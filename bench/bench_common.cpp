@@ -1,0 +1,186 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace powerlog::bench {
+
+uint32_t BenchWorkers() {
+  const char* env = std::getenv("POWERLOG_BENCH_WORKERS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 64) return static_cast<uint32_t>(v);
+  }
+  return 4;
+}
+
+bool FastMode() { return std::getenv("POWERLOG_BENCH_FAST") != nullptr; }
+
+runtime::NetworkConfig BenchNetwork() {
+  runtime::NetworkConfig network;
+  network.latency_us = 150.0;    // per-message coordination/wire latency
+  network.per_update_us = 0.02;  // wire cost per update (delivery delay)
+  network.cpu_us_per_message = 20.0;  // receiver dispatch/deserialise per message
+  network.cpu_us_per_update = 0.05;   // receiver per-update deserialise cost
+  network.instant = false;
+  return network;
+}
+
+systems::RunConfig BenchRunConfig() {
+  systems::RunConfig config;
+  config.num_workers = BenchWorkers();
+  config.network = BenchNetwork();
+  config.max_wall_seconds = 30.0;
+  config.max_supersteps = 3000;
+  config.stall_every_us = 8000;
+  config.stall_mean_us = 4000;
+  return config;
+}
+
+const Graph& MustDataset(const std::string& name, bool stochastic) {
+  auto graph = GetDataset(name, stochastic);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "FATAL: dataset %s: %s\n", name.c_str(),
+                 graph.status().ToString().c_str());
+    std::abort();
+  }
+  return **graph;
+}
+
+Kernel MustKernel(const std::string& name) {
+  auto entry = datalog::GetCatalogEntry(name);
+  if (!entry.ok()) {
+    std::fprintf(stderr, "FATAL: program %s: %s\n", name.c_str(),
+                 entry.status().ToString().c_str());
+    std::abort();
+  }
+  auto kernel = BuildKernelFromSource(entry->source);
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "FATAL: compile %s: %s\n", name.c_str(),
+                 kernel.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(kernel).ValueOrDie();
+}
+
+const Graph& DatasetForProgram(const std::string& program,
+                               const std::string& dataset) {
+  auto entry = datalog::GetCatalogEntry(program);
+  const bool stochastic = entry.ok() && entry->stochastic_weights;
+  return MustDataset(dataset, stochastic);
+}
+
+double RunSystemSeconds(systems::SystemId system, const std::string& program,
+                        const std::string& dataset) {
+  const Graph& graph = DatasetForProgram(program, dataset);
+  Kernel kernel = MustKernel(program);
+  auto entry = datalog::GetCatalogEntry(program);
+  const bool mra_sat = entry.ok() && entry->expected_mra_sat;
+  auto run = systems::RunSystem(system, graph, kernel, BenchRunConfig(), mra_sat);
+  if (!run.ok()) {
+    std::fprintf(stderr, "  (error: %s on %s/%s: %s)\n",
+                 systems::SystemName(system), program.c_str(), dataset.c_str(),
+                 run.status().ToString().c_str());
+    return -1.0;
+  }
+  return run->result.stats.wall_seconds;
+}
+
+double RunModeSeconds(runtime::ExecMode mode, const std::string& program,
+                      const std::string& dataset, double delta_stepping) {
+  const Graph& graph = DatasetForProgram(program, dataset);
+  Kernel kernel = MustKernel(program);
+  runtime::EngineOptions options;
+  options.mode = mode;
+  options.num_workers = BenchWorkers();
+  options.network = BenchNetwork();
+  options.max_wall_seconds = 30.0;
+  options.max_supersteps = 3000;
+  options.barrier_overhead_us = 300;
+  options.stall_every_us = 8000;  // cloud-VM / GC noise (see engine.h)
+  options.stall_mean_us = 4000;
+  options.delta_stepping = delta_stepping;
+  // The shipped sync-async engine includes the §5.4 priority optimisation
+  // and a longer adaptation window for the buffer policy.
+  options.adaptive_priority = mode == runtime::ExecMode::kSyncAsync;
+  if (mode == runtime::ExecMode::kSyncAsync) options.buffer.tau_us = 1500;
+  runtime::Engine engine(graph, kernel, options);
+  auto run = engine.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "  (error: %s on %s/%s: %s)\n",
+                 runtime::ExecModeName(mode), program.c_str(), dataset.c_str(),
+                 run.status().ToString().c_str());
+    return -1.0;
+  }
+  return run->stats.wall_seconds;
+}
+
+double RunNaiveSeconds(const std::string& program, const std::string& dataset) {
+  const Graph& graph = DatasetForProgram(program, dataset);
+  Kernel kernel = MustKernel(program);
+  runtime::EngineOptions options;
+  options.num_workers = BenchWorkers();
+  options.network = BenchNetwork();
+  options.max_wall_seconds = 30.0;
+  options.max_supersteps = 3000;
+  options.barrier_overhead_us = 300;
+  options.stall_every_us = 8000;
+  options.stall_mean_us = 4000;
+  // Naive evaluation re-materialises the rank⋈edge⋈degree join every
+  // iteration (§1); MRA replaces that with in-place MonoTable updates. The
+  // factor is grounded empirically: our own relational join evaluator
+  // (src/relational) measures ~44x the kernel path's per-edge cost on
+  // PageRank; 30x is a conservative stand-in for a tuned engine.
+  systems::NaiveEngineCosts costs;
+  costs.compute_factor = 30.0;
+  costs.superstep_overhead_us = 2000;
+  auto run = systems::NaiveSyncRun(graph, kernel, options, costs);
+  if (!run.ok()) {
+    std::fprintf(stderr, "  (error: naive on %s/%s: %s)\n", program.c_str(),
+                 dataset.c_str(), run.status().ToString().c_str());
+    return -1.0;
+  }
+  return run->stats.wall_seconds;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void PrintColumns(const std::string& label, const std::vector<std::string>& names) {
+  std::printf("%-22s", label.c_str());
+  for (const auto& n : names) std::printf("%12s", n.c_str());
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& cells) {
+  std::printf("%-22s", label.c_str());
+  for (double c : cells) {
+    if (c < 0) {
+      std::printf("%12s", "-");
+    } else {
+      std::printf("%11.3fs", c);
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintSpeedupSummary(const std::string& who, const std::vector<double>& ours,
+                         const std::vector<std::vector<double>>& others) {
+  double best = 1e300;
+  double worst = 0.0;
+  for (size_t i = 0; i < ours.size(); ++i) {
+    if (ours[i] <= 0) continue;
+    for (const auto& series : others) {
+      if (i >= series.size() || series[i] <= 0) continue;
+      const double speedup = series[i] / ours[i];
+      best = std::min(best, speedup);
+      worst = std::max(worst, speedup);
+    }
+  }
+  if (worst > 0.0) {
+    std::printf("  -> %s speedups over comparators: %.1fx .. %.1fx\n", who.c_str(),
+                best, worst);
+  }
+}
+
+}  // namespace powerlog::bench

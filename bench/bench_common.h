@@ -1,0 +1,77 @@
+// Shared harness for the table/figure reproduction benches.
+//
+// Every bench prints the same rows/series its paper counterpart reports.
+// Absolute numbers differ (the substrate is an in-process simulation, not a
+// 17-node cluster); the *shape* — who wins, by roughly what factor, where
+// crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kernel.h"
+#include "datalog/catalog.h"
+#include "graph/datasets.h"
+#include "runtime/engine.h"
+#include "systems/comparators.h"
+
+namespace powerlog::bench {
+
+/// Workers per run. The paper uses 16 worker nodes; we default to 4 worker
+/// threads so the simulation stays faithful on small hosts (override with
+/// POWERLOG_BENCH_WORKERS).
+uint32_t BenchWorkers();
+
+/// True when POWERLOG_BENCH_FAST is set: benches subsample their grids
+/// (first/last dataset only) to smoke-test quickly.
+bool FastMode();
+
+/// The simulated cluster network used by all benches (1.5 Gbps-ish: per-
+/// message latency plus per-update serialisation cost).
+runtime::NetworkConfig BenchNetwork();
+
+/// Baseline run configuration for comparator systems.
+systems::RunConfig BenchRunConfig();
+
+/// Loads a registry dataset or aborts with a message. `stochastic` selects
+/// the row-normalised view (Markov-style programs).
+const Graph& MustDataset(const std::string& name, bool stochastic = false);
+
+/// The dataset view appropriate for a catalog program.
+const Graph& DatasetForProgram(const std::string& program,
+                               const std::string& dataset);
+
+/// Compiles a catalog program or aborts.
+Kernel MustKernel(const std::string& name);
+
+/// Runs `system` on (program, dataset); returns wall seconds (negative on
+/// error, with the error printed).
+double RunSystemSeconds(systems::SystemId system, const std::string& program,
+                        const std::string& dataset);
+
+/// Runs our engine in a specific mode with MRA evaluation; returns seconds.
+double RunModeSeconds(runtime::ExecMode mode, const std::string& program,
+                      const std::string& dataset, double delta_stepping = 0.0);
+
+/// Runs naive evaluation on the sync substrate; returns seconds.
+double RunNaiveSeconds(const std::string& program, const std::string& dataset);
+
+// -- Output helpers ----------------------------------------------------------
+
+/// Prints a header box: "==== Figure 9(a): CC ====".
+void PrintHeader(const std::string& title);
+
+/// Prints one row: label padded to 14, then `cells` (seconds) with 9 chars.
+void PrintRow(const std::string& label, const std::vector<double>& cells);
+
+/// Prints the column header row.
+void PrintColumns(const std::string& label, const std::vector<std::string>& names);
+
+/// Formats a speedup note, e.g. "PowerLog speedups: 1.3x .. 42.1x".
+void PrintSpeedupSummary(const std::string& who,
+                         const std::vector<double>& ours,
+                         const std::vector<std::vector<double>>& others);
+
+}  // namespace powerlog::bench

@@ -1,0 +1,41 @@
+// Figure 11 reproduction: the unified sync-async engine vs Grape+'s AAP
+// model (implemented from its paper, as §6.5 does), plus plain sync/async.
+//
+// Paper shape: AAP generally beats plain sync and async but the sync-async
+// engine is best on all datasets for both SSSP and PageRank.
+#include "bench_common.h"
+
+using namespace powerlog;
+using runtime::ExecMode;
+
+namespace {
+
+void RunPanel(const std::string& title, const std::string& program) {
+  bench::PrintHeader(title);
+  bench::PrintColumns("dataset", {"Sync", "Async", "AAP", "Sync-Async"});
+  std::vector<std::string> datasets = {"wiki", "web", "arabic"};
+  if (bench::FastMode()) datasets = {"wiki"};
+  int best_count = 0;
+  for (const auto& dataset : datasets) {
+    const double sync = bench::RunModeSeconds(ExecMode::kSync, program, dataset);
+    const double async = bench::RunModeSeconds(ExecMode::kAsync, program, dataset);
+    const double aap = bench::RunModeSeconds(ExecMode::kAap, program, dataset);
+    const double unified =
+        bench::RunModeSeconds(ExecMode::kSyncAsync, program, dataset);
+    bench::PrintRow(dataset, {sync, async, aap, unified});
+    if (unified > 0 && unified <= sync && unified <= async && unified <= aap) {
+      ++best_count;
+    }
+  }
+  std::printf("  shape check: Sync-Async best on %d/%zu datasets (paper: all)\n",
+              best_count, datasets.size());
+}
+
+}  // namespace
+
+int main() {
+  RunPanel("Figure 11(a): SSSP — Sync vs Async vs AAP vs Sync-Async", "sssp");
+  RunPanel("Figure 11(b): PageRank — Sync vs Async vs AAP vs Sync-Async",
+           "pagerank");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 1 reproduction: the motivating observation that neither sync
+// (SociaLite) nor async (Myria) consistently wins.
+//
+// Paper shape:
+//   (a) LiveJournal — SociaLite beats Myria on SSSP but loses on PageRank.
+//   (b) SSSP        — SociaLite beats Myria on Arabic-2005 but loses on
+//                     Wiki-link.
+#include "bench_common.h"
+
+using namespace powerlog;
+using systems::SystemId;
+
+int main() {
+  bench::PrintHeader("Figure 1(a): SociaLite vs Myria on LiveJournal");
+  bench::PrintColumns("algorithm", {"SociaLite", "Myria"});
+  {
+    const double s_sssp = bench::RunSystemSeconds(SystemId::kSociaLite, "sssp", "livej");
+    const double m_sssp = bench::RunSystemSeconds(SystemId::kMyria, "sssp", "livej");
+    bench::PrintRow("SSSP", {s_sssp, m_sssp});
+    const double s_pr =
+        bench::RunSystemSeconds(SystemId::kSociaLite, "pagerank", "livej");
+    const double m_pr = bench::RunSystemSeconds(SystemId::kMyria, "pagerank", "livej");
+    bench::PrintRow("PageRank", {s_pr, m_pr});
+    std::printf("  shape check: SociaLite wins SSSP: %s; Myria wins PageRank: %s\n",
+                s_sssp < m_sssp ? "yes (paper: yes)" : "NO (paper: yes)",
+                m_pr < s_pr ? "yes (paper: yes)" : "NO (paper: yes)");
+  }
+
+  bench::PrintHeader("Figure 1(b): SSSP on Wiki-link vs Arabic-2005");
+  bench::PrintColumns("dataset", {"SociaLite", "Myria"});
+  {
+    const double s_wiki = bench::RunSystemSeconds(SystemId::kSociaLite, "sssp", "wiki");
+    const double m_wiki = bench::RunSystemSeconds(SystemId::kMyria, "sssp", "wiki");
+    bench::PrintRow("Wiki-link", {s_wiki, m_wiki});
+    const double s_ar = bench::RunSystemSeconds(SystemId::kSociaLite, "sssp", "arabic");
+    const double m_ar = bench::RunSystemSeconds(SystemId::kMyria, "sssp", "arabic");
+    bench::PrintRow("Arabic-2005", {s_ar, m_ar});
+    std::printf("  shape check: Myria wins Wiki: %s; SociaLite wins Arabic: %s\n",
+                m_wiki < s_wiki ? "yes (paper: yes)" : "NO (paper: yes)",
+                s_ar < m_ar ? "yes (paper: yes)" : "NO (paper: yes)");
+  }
+  return 0;
+}

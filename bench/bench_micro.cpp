@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark) for the hot primitives: the expression
+// VM, MonoTable protocol, combining buffers, aggregates, and the condition
+// checker itself.
+#include <benchmark/benchmark.h>
+
+#include "checker/mra_checker.h"
+#include "core/mono_table.h"
+#include "datalog/catalog.h"
+#include "eval/mra.h"
+#include "eval/semi_naive.h"
+#include "graph/generators.h"
+#include "runtime/message.h"
+#include "core/kernel.h"
+
+namespace powerlog {
+namespace {
+
+void BM_CompiledExprEval(benchmark::State& state) {
+  auto kernel = BuildKernelFromSource(
+      datalog::GetCatalogEntry("pagerank")->source);
+  double x = 1.0;
+  for (auto _ : state) {
+    x = kernel->EvalEdge(x, 1.0, 4.0) + 0.1;
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_CompiledExprEval);
+
+void BM_MonoTableCombineHarvest(benchmark::State& state) {
+  auto table = MonoTable::Create(AggKind::kSum, 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    table->CombineDelta(i & 1023, 0.5);
+    benchmark::DoNotOptimize(table->HarvestDelta(i & 1023));
+    ++i;
+  }
+}
+BENCHMARK(BM_MonoTableCombineHarvest);
+
+void BM_AtomicCombineMin(benchmark::State& state) {
+  std::atomic<double> slot{1e300};
+  double v = 1e300;
+  for (auto _ : state) {
+    AtomicCombine(&slot, v, AggKind::kMin);
+    v *= 0.999999;
+  }
+  benchmark::DoNotOptimize(slot.load());
+}
+BENCHMARK(BM_AtomicCombineMin);
+
+void BM_CombiningBufferAdd(benchmark::State& state) {
+  runtime::CombiningBuffer buffer(AggKind::kSum);
+  VertexId key = 0;
+  for (auto _ : state) {
+    buffer.Add(key++ & 4095, 1.0);
+    if (buffer.size() >= 4096) benchmark::DoNotOptimize(buffer.Drain());
+  }
+}
+BENCHMARK(BM_CombiningBufferAdd);
+
+void BM_ConditionCheck(benchmark::State& state) {
+  const auto entry = datalog::GetCatalogEntry(
+      state.range(0) == 0 ? "sssp" : (state.range(0) == 1 ? "pagerank" : "gcn_forward"));
+  for (auto _ : state) {
+    auto result = checker::CheckMraConditionsFromSource(entry->source);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ConditionCheck)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MraSssp(benchmark::State& state) {
+  auto kernel = BuildKernelFromSource(datalog::GetCatalogEntry("sssp")->source);
+  auto graph = GenerateRmat(
+      {static_cast<uint32_t>(state.range(0)), 8.0, 0.57, 0.19, 0.19, 0.05, true, 1, 64, 3});
+  for (auto _ : state) {
+    auto r = eval::MraEvaluate(*kernel, *graph);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph->num_edges()));
+}
+BENCHMARK(BM_MraSssp)->Arg(10)->Arg(12);
+
+void BM_SemiNaiveCc(benchmark::State& state) {
+  auto kernel = BuildKernelFromSource(datalog::GetCatalogEntry("cc")->source);
+  auto graph = GenerateRmat(
+      {static_cast<uint32_t>(state.range(0)), 8.0, 0.57, 0.19, 0.19, 0.05, false, 1, 64, 5});
+  for (auto _ : state) {
+    auto r = eval::SemiNaiveEvaluate(*kernel, *graph);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_SemiNaiveCc)->Arg(10)->Arg(12);
+
+}  // namespace
+}  // namespace powerlog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Domain scenario: ranking a web-graph analogue with the original
+// (non-monotonic!) PageRank program — the paper's flagship example of a
+// program existing systems relegate to naive evaluation but PowerLog's
+// checker proves convertible, then executes incrementally.
+//
+// Also demonstrates the execution-mode override to compare sync vs async vs
+// the unified engine on the same query.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "datalog/catalog.h"
+#include "graph/generators.h"
+#include "powerlog/powerlog.h"
+
+using namespace powerlog;
+
+int main() {
+  RmatParams params;
+  params.scale = 13;
+  params.edge_factor = 10;
+  params.a = 0.65;  // hub-dominated, web-like
+  params.b = params.c = 0.14;
+  params.d = 0.07;
+  auto graph = GenerateRmat(params).ValueOrDie();
+  std::printf("web graph: %s\n\n", graph.Summary().c_str());
+
+  const auto entry = datalog::GetCatalogEntry("pagerank");
+
+  // First: what does the checker say about the original PageRank?
+  auto check = PowerLog::Check(entry->source);
+  if (!check.ok()) {
+    std::fprintf(stderr, "check failed: %s\n", check.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", check->report.c_str());
+
+  // Then run it under each execution mode.
+  std::vector<double> reference;
+  for (auto mode : {runtime::ExecMode::kSync, runtime::ExecMode::kAsync,
+                    runtime::ExecMode::kSyncAsync}) {
+    RunOptions options;
+    options.num_workers = 4;
+    options.mode = mode;
+    options.epsilon_override = 1e-6;
+    auto run = PowerLog::Run(entry->source, graph, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", runtime::ExecModeName(mode),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    if (reference.empty()) reference = run->values;
+    double max_diff = 0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      max_diff = std::max(max_diff, std::abs(reference[i] - run->values[i]));
+    }
+    std::printf("%-11s %s   (max diff vs sync: %.2e)\n",
+                runtime::ExecModeName(mode), run->stats.Summary().c_str(),
+                max_diff);
+  }
+
+  // Report the top pages under the unified engine.
+  RunOptions options;
+  options.num_workers = 4;
+  auto run = PowerLog::Run(entry->source, graph, options);
+  if (!run.ok()) return 1;
+  std::vector<std::pair<double, VertexId>> ranked;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ranked.emplace_back(run->values[v], v);
+  }
+  std::partial_sort(ranked.begin(), ranked.begin() + 10, ranked.end(),
+                    std::greater<>());
+  std::printf("\ntop-10 pages by rank:\n");
+  for (int i = 0; i < 10; ++i) {
+    std::printf("  page %-8u rank %.3f\n", ranked[i].second, ranked[i].first);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "checker/aggregate_props.h"
+
+namespace powerlog::checker {
+
+smt::TermPtr AggCombineTerm(AggKind kind, smt::TermPtr a, smt::TermPtr b) {
+  switch (kind) {
+    case AggKind::kMin:
+      return smt::Min(std::move(a), std::move(b));
+    case AggKind::kMax:
+      return smt::Max(std::move(a), std::move(b));
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return smt::Add(std::move(a), std::move(b));
+    case AggKind::kMean:
+      return smt::Div(smt::Add(std::move(a), std::move(b)), smt::ConstInt(2));
+  }
+  return nullptr;
+}
+
+Property1Result CheckProperty1(AggKind kind) {
+  const smt::TermPtr a = smt::Var("a");
+  const smt::TermPtr b = smt::Var("b");
+  const smt::TermPtr c = smt::Var("c");
+  smt::Solver solver;
+  Property1Result result;
+  result.commutativity =
+      solver.CheckEqualValid(AggCombineTerm(kind, a, b), AggCombineTerm(kind, b, a));
+  result.associativity = solver.CheckEqualValid(
+      AggCombineTerm(kind, AggCombineTerm(kind, a, b), c),
+      AggCombineTerm(kind, a, AggCombineTerm(kind, b, c)));
+  return result;
+}
+
+}  // namespace powerlog::checker

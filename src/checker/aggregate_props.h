@@ -1,0 +1,30 @@
+// Property 1 of Theorem 1: the aggregate G must be commutative and
+// associative (G(X∪Y)=G(Y∪X), G(X∪Y)=G(G(X)∪Y)).
+#pragma once
+
+#include "datalog/ast.h"
+#include "smt/solver.h"
+#include "smt/term.h"
+
+namespace powerlog::checker {
+
+using datalog::AggKind;
+
+/// Builds the binary combiner term g(a, b) for an aggregate:
+/// min/max -> min/max, sum/count -> a+b, mean -> (a+b)/2.
+smt::TermPtr AggCombineTerm(AggKind kind, smt::TermPtr a, smt::TermPtr b);
+
+/// \brief Outcome of the Property-1 check.
+struct Property1Result {
+  smt::CheckReport commutativity;  ///< g(a,b) == g(b,a)
+  smt::CheckReport associativity;  ///< g(g(a,b),c) == g(a,g(b,c))
+  bool holds() const {
+    return commutativity.verdict == smt::Verdict::kValid &&
+           associativity.verdict == smt::Verdict::kValid;
+  }
+};
+
+/// Checks Property 1 for an aggregate via the validity solver.
+Property1Result CheckProperty1(AggKind kind);
+
+}  // namespace powerlog::checker

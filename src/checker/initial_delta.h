@@ -1,0 +1,25 @@
+// Verification of the ΔX¹ derivation (§3.3): checks numerically that the
+// initial state produced by ComputeInitialState satisfies
+//   X¹ = G(ΔX¹ ∪ X⁰)   where   X¹ = G∘F(X⁰).
+#pragma once
+
+#include "common/result.h"
+#include "core/kernel.h"
+#include "graph/graph.h"
+
+namespace powerlog::checker {
+
+/// \brief Outcome of the initial-delta verification.
+struct InitialDeltaReport {
+  bool consistent = false;
+  double max_abs_error = 0.0;
+  VertexId worst_vertex = 0;
+  std::string detail;
+};
+
+/// Recomputes X¹ by one naive step and compares against G(ΔX¹ ∪ X⁰).
+/// `tolerance` absorbs float rounding in sum programs.
+Result<InitialDeltaReport> VerifyInitialDelta(const Kernel& kernel, const Graph& graph,
+                                              double tolerance = 1e-9);
+
+}  // namespace powerlog::checker

@@ -1,0 +1,38 @@
+// The automatic MRA condition checker (§3.3, §5.1): given an analyzed
+// program, verifies Theorem 1's conditions:
+//   * decomposability G∘F(X) = G(F'(X) ∪ C)  — established structurally by
+//     the analyzer's separation of constant bodies;
+//   * Property 1: G commutative + associative;
+//   * Property 2: G∘F'∘G(X) = G∘F'(X), encoded exactly as the paper's Fig. 4
+//     Z3 query: g(f(g(x1,y1)), f(g(x2,y2))) == g(g(g(f(x1),f(y1)),f(x2)),f(y2)).
+#pragma once
+
+#include <string>
+
+#include "checker/aggregate_props.h"
+#include "common/result.h"
+#include "datalog/analyzer.h"
+
+namespace powerlog::checker {
+
+/// \brief Full condition-check outcome for one program.
+struct MraCheckResult {
+  bool satisfied = false;       ///< the Table-1 "MRA sat." verdict
+  bool decomposable = true;     ///< F = F' ∪ C extraction succeeded
+  Property1Result property1;
+  smt::CheckReport property2;
+  std::string smtlib_script;    ///< Fig. 4-style script for Property 2
+  std::string report;           ///< multi-line human-readable summary
+
+  /// True when any sub-verdict was "unknown" (treated as unsatisfied,
+  /// conservatively, but flagged so callers can distinguish).
+  bool inconclusive = false;
+};
+
+/// Runs the full check on an analyzed program.
+Result<MraCheckResult> CheckMraConditions(const datalog::AnalyzedProgram& program);
+
+/// Parses + analyzes + checks source text in one call.
+Result<MraCheckResult> CheckMraConditionsFromSource(const std::string& source);
+
+}  // namespace powerlog::checker

@@ -1,0 +1,25 @@
+// Automatic conversion of a convertible non-monotonic program into its
+// incremental (delta) equivalent — what §3.3 shows manually as Program 2.b
+// for PageRank ("Our system can convert it to its equivalent incremental
+// program automatically and transparently to users").
+//
+// Given an analyzed program that passes the MRA conditions, emits Datalog
+// source whose recursive rule accumulates: the head value is the sum of the
+// key's previous value and the freshly derived contributions, which is the
+// monotonic formulation semi-naive engines can execute.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "datalog/analyzer.h"
+
+namespace powerlog::checker {
+
+/// Emits the incremental equivalent of a sum/count program (min/max programs
+/// are already monotonic and are returned unchanged in spirit: their
+/// original text is regenerated). Fails for programs that do not satisfy the
+/// MRA conditions structure (no f_term) or use the mean aggregate.
+Result<std::string> EmitIncrementalEquivalent(const datalog::AnalyzedProgram& program);
+
+}  // namespace powerlog::checker

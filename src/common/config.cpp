@@ -1,0 +1,78 @@
+#include "common/config.h"
+
+#include "common/string_util.h"
+
+namespace powerlog {
+
+Result<Config> Config::FromString(const std::string& spec) {
+  Config cfg;
+  if (Trim(spec).empty()) return cfg;
+  for (const std::string& part : Split(spec, ',')) {
+    std::string_view entry = Trim(part);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("config entry missing '=': " + std::string(entry));
+    }
+    std::string key(Trim(entry.substr(0, eq)));
+    std::string value(Trim(entry.substr(eq + 1)));
+    if (key.empty()) return Status::ParseError("empty config key in: " + spec);
+    cfg.entries_[key] = value;
+  }
+  return cfg;
+}
+
+void Config::Set(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+}
+
+void Config::SetInt(const std::string& key, int64_t value) {
+  entries_[key] = std::to_string(value);
+}
+
+void Config::SetDouble(const std::string& key, double value) {
+  entries_[key] = StringFormat("%.17g", value);
+}
+
+void Config::SetBool(const std::string& key, bool value) {
+  entries_[key] = value ? "true" : "false";
+}
+
+bool Config::Has(const std::string& key) const { return entries_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  auto r = ParseInt64(it->second);
+  return r.ok() ? *r : def;
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  auto r = ParseDouble(it->second);
+  return r.ok() ? *r : def;
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return def;
+}
+
+std::string Config::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) parts.push_back(k + "=" + v);
+  return Join(parts, ",");
+}
+
+}  // namespace powerlog

@@ -1,0 +1,40 @@
+// Typed key-value configuration used by engines, benches, and examples.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace powerlog {
+
+/// \brief Flat string->string option map with typed getters and
+/// "key=value,key=value" parsing (for CLI flags).
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "a=1,b=2.5,c=hello". Empty string yields an empty config.
+  static Result<Config> FromString(const std::string& spec);
+
+  void Set(const std::string& key, std::string value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace powerlog

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace powerlog {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logger::Log(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (level < Logger::level()) return;
+  // Strip directories from __FILE__ for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+}
+
+}  // namespace powerlog

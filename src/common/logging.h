@@ -1,0 +1,53 @@
+// Minimal leveled logger with compile-time-cheap macros.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace powerlog {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide logging controls. Thread-safe.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+  /// Emits one formatted line to stderr if `level` is enabled.
+  static void Log(LogLevel level, const char* file, int line, const std::string& msg);
+};
+
+namespace internal {
+
+/// Stream-style collector used by the POWERLOG_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Log(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace powerlog
+
+#define POWERLOG_LOG(severity)                                           \
+  if (::powerlog::LogLevel::severity >= ::powerlog::Logger::level())     \
+  ::powerlog::internal::LogMessage(::powerlog::LogLevel::severity,       \
+                                   __FILE__, __LINE__)
+
+#define POWERLOG_DEBUG POWERLOG_LOG(kDebug)
+#define POWERLOG_INFO POWERLOG_LOG(kInfo)
+#define POWERLOG_WARN POWERLOG_LOG(kWarning)
+#define POWERLOG_ERROR POWERLOG_LOG(kError)

@@ -1,0 +1,5 @@
+#include "common/random.h"
+
+// Header-only; this TU exists to give the module a home in the library and
+// to catch ODR issues early.
+namespace powerlog {}

@@ -1,0 +1,62 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible producers.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace powerlog {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// A Result constructed from an OK status is a programming error and is
+/// converted into an Internal error so it is never silently treated as a
+/// value.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, mirrors arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value or `alternative` if this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace powerlog

@@ -1,0 +1,123 @@
+// Status: lightweight error model in the Arrow/RocksDB idiom.
+//
+// Functions that can fail return Status (or Result<T>, see result.h) instead
+// of throwing. A Status is cheap to copy in the OK case (single pointer).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace powerlog {
+
+/// \brief Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kNotSupported = 3,
+  kNotFound = 4,
+  kOutOfRange = 5,
+  kIOError = 6,
+  kInternal = 7,
+  kConditionViolated = 8,  // MRA condition check failed
+  kTimeout = 9,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Operation outcome: OK, or an error code plus message.
+///
+/// Usage follows the RocksDB/Arrow convention:
+/// \code
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+/// \endcode
+/// or with the convenience macro: `POWERLOG_RETURN_NOT_OK(DoThing());`
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ConditionViolated(std::string msg) {
+    return Status(StatusCode::kConditionViolated, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsConditionViolated() const { return code() == StatusCode::kConditionViolated; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+}  // namespace powerlog
+
+/// Propagates a non-OK Status to the caller.
+#define POWERLOG_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::powerlog::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define POWERLOG_CONCAT_IMPL(a, b) a##b
+#define POWERLOG_CONCAT(a, b) POWERLOG_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise binds the value to `lhs`.
+#define POWERLOG_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto POWERLOG_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!POWERLOG_CONCAT(_res_, __LINE__).ok())                          \
+    return POWERLOG_CONCAT(_res_, __LINE__).status();                  \
+  lhs = std::move(POWERLOG_CONCAT(_res_, __LINE__)).ValueOrDie()

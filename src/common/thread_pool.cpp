@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace powerlog {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunks = std::min(n, threads_.size() * 4);
+  std::atomic<size_t> next{0};
+  for (size_t c = 0; c < chunks; ++c) {
+    Submit([&next, n, chunks, &fn] {
+      const size_t step = (n + chunks - 1) / chunks;
+      while (true) {
+        size_t begin = next.fetch_add(step);
+        if (begin >= n) break;
+        size_t end = std::min(begin + step, n);
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+bool Barrier::ArriveAndWait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  size_t gen = generation_;
+  if (--count_ == 0) {
+    ++generation_;
+    count_ = threshold_;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(lock, [this, gen] { return gen != generation_; });
+  return false;
+}
+
+}  // namespace powerlog

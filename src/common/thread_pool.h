@@ -1,0 +1,67 @@
+// Simple fixed-size thread pool plus a reusable spin/condvar barrier.
+//
+// The distributed runtime spawns dedicated worker threads itself; this pool
+// serves parallel helpers (graph generation, per-shard scans).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace powerlog {
+
+/// \brief Fixed-size pool executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Reusable barrier for N participants (the BSP superstep boundary).
+class Barrier {
+ public:
+  explicit Barrier(size_t count) : threshold_(count), count_(count) {}
+
+  /// Blocks until all participants arrive. Returns true for exactly one
+  /// participant per generation (the "serial" thread, mirroring
+  /// std::barrier's completion step).
+  bool ArriveAndWait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t threshold_;
+  size_t count_;
+  size_t generation_ = 0;
+};
+
+}  // namespace powerlog

@@ -1,0 +1,143 @@
+#include "core/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace powerlog {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Result<double> Aggregator::Identity() const {
+  switch (kind_) {
+    case AggKind::kMin:
+      return kInf;
+    case AggKind::kMax:
+      return -kInf;
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return 0.0;
+    case AggKind::kMean:
+      return Status::NotSupported("mean has no identity element");
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+Result<double> Aggregator::Combine(double a, double b) const {
+  switch (kind_) {
+    case AggKind::kMin:
+      return std::min(a, b);
+    case AggKind::kMax:
+      return std::max(a, b);
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return a + b;
+    case AggKind::kMean:
+      return Status::NotSupported("mean is not a binary fold");
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+Result<double> Aggregator::Inverse(double x_new, double x_old) const {
+  switch (kind_) {
+    case AggKind::kMin:
+      return std::min(x_new, x_old);
+    case AggKind::kMax:
+      return std::max(x_new, x_old);
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return x_new - x_old;
+    case AggKind::kMean:
+      return Status::NotSupported("mean has no inverse");
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+bool Aggregator::IsIdentity(double v) const {
+  switch (kind_) {
+    case AggKind::kMin:
+      return v == kInf;
+    case AggKind::kMax:
+      return v == -kInf;
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return v == 0.0;
+    case AggKind::kMean:
+      return false;
+  }
+  return false;
+}
+
+bool Aggregator::Improves(double current, double candidate) const {
+  switch (kind_) {
+    case AggKind::kMin:
+      return candidate < current;
+    case AggKind::kMax:
+      return candidate > current;
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return candidate != 0.0;
+    case AggKind::kMean:
+      return true;
+  }
+  return false;
+}
+
+Result<double> AggregateMultiset(AggKind kind, const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("aggregate of an empty multiset");
+  }
+  switch (kind) {
+    case AggKind::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case AggKind::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case AggKind::kSum:
+    case AggKind::kCount: {
+      double acc = 0.0;
+      for (double v : values) acc += v;
+      return acc;
+    }
+    case AggKind::kMean: {
+      double acc = 0.0;
+      for (double v : values) acc += v;
+      return acc / static_cast<double>(values.size());
+    }
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+void AtomicCombine(std::atomic<double>* slot, double value, AggKind kind) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (true) {
+    double combined;
+    switch (kind) {
+      case AggKind::kMin:
+        if (value >= current) return;
+        combined = value;
+        break;
+      case AggKind::kMax:
+        if (value <= current) return;
+        combined = value;
+        break;
+      case AggKind::kSum:
+      case AggKind::kCount:
+        combined = current + value;
+        break;
+      case AggKind::kMean:
+      default:
+        return;  // mean never reaches the incremental runtime
+    }
+    if (slot->compare_exchange_weak(current, combined, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double AtomicExchange(std::atomic<double>* slot, double replacement) {
+  return slot->exchange(replacement, std::memory_order_acq_rel);
+}
+
+}  // namespace powerlog

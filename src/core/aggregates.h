@@ -1,0 +1,63 @@
+// Aggregate operators with identities, combination, inverses (G⁻), and
+// atomic-combine primitives for the MonoTable (§2.3, §3.3).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+
+namespace powerlog {
+
+using datalog::AggKind;
+
+/// \brief Value-level semantics of one aggregate operator.
+///
+/// min/max/sum/count form the commutative-associative family the runtime can
+/// execute incrementally; count combines like sum over counts (the paper's
+/// "return sum(r, count[d])" runtime semantics). mean exists only as the
+/// negative control — it has no identity/inverse and is rejected by MRA.
+class Aggregator {
+ public:
+  explicit Aggregator(AggKind kind) : kind_(kind) {}
+
+  AggKind kind() const { return kind_; }
+
+  /// Identity element: +inf (min), -inf (max), 0 (sum/count).
+  /// Error for mean, which has no identity.
+  Result<double> Identity() const;
+
+  /// g(a, b). Error for mean (not expressible as a binary fold).
+  Result<double> Combine(double a, double b) const;
+
+  /// The inverse G⁻ used to derive ΔX¹ (§3.3): min/max -> itself,
+  /// sum/count -> pairwise subtraction.
+  Result<double> Inverse(double x_new, double x_old) const;
+
+  /// True if combining `v` into any value is a no-op.
+  bool IsIdentity(double v) const;
+
+  /// For ordered aggregates: does `candidate` improve on `current`?
+  /// (strictly smaller for min, strictly larger for max; always true for
+  /// sum/count with nonzero candidate).
+  bool Improves(double current, double candidate) const;
+
+ private:
+  AggKind kind_;
+};
+
+/// Aggregates a full multiset — the only way to evaluate `mean`, and the
+/// reference semantics for naive evaluation. Error on empty input.
+Result<double> AggregateMultiset(AggKind kind, const std::vector<double>& values);
+
+/// Lock-free combine of `value` into `*slot` under aggregate `kind`
+/// (CAS loop; relaxed ordering is sufficient because MonoTable readers
+/// tolerate stale intermediates).
+void AtomicCombine(std::atomic<double>* slot, double value, AggKind kind);
+
+/// Atomically swaps in `replacement` and returns the previous value
+/// (MonoTable steps 1+2 of Fig. 7).
+double AtomicExchange(std::atomic<double>* slot, double replacement);
+
+}  // namespace powerlog

@@ -1,0 +1,170 @@
+#include "core/kernel.h"
+
+#include "datalog/parser.h"
+
+namespace powerlog {
+
+using datalog::ConstKind;
+using datalog::InitKind;
+
+Result<Kernel> BuildKernel(const datalog::AnalyzedProgram& program) {
+  Kernel kernel;
+  kernel.name = program.name;
+  kernel.agg = program.aggregate;
+  kernel.uses_weights = !program.edge_fn.weight_var.empty();
+  kernel.uses_degree = !program.edge_fn.degree_var.empty();
+  kernel.uses_in_edges = program.uses_in_edges;
+  kernel.constant = program.constant;
+  kernel.init = program.init;
+  kernel.termination = program.termination;
+
+  datalog::CompileEnv env;
+  env.input_var = program.edge_fn.input_var;
+  env.weight_var = program.edge_fn.weight_var;
+  env.degree_var = program.edge_fn.degree_var;
+  env.const_bindings = program.edge_fn.const_bindings;
+  auto compiled = datalog::CompileExpr(program.edge_fn.expr, env);
+  if (!compiled.ok()) return compiled.status();
+  kernel.edge_fn = std::move(compiled).ValueOrDie();
+
+  // Ensure the aggregate is executable (mean is checker-only).
+  Aggregator agg(kernel.agg);
+  if (kernel.agg != AggKind::kMean) {
+    auto id = agg.Identity();
+    if (!id.ok()) return id.status();
+  }
+  return kernel;
+}
+
+Result<Kernel> BuildKernelFromSource(const std::string& source) {
+  auto parsed = datalog::Parse(source);
+  if (!parsed.ok()) return parsed.status();
+  auto analyzed = datalog::Analyze(*parsed);
+  if (!analyzed.ok()) return analyzed.status();
+  return BuildKernel(*analyzed);
+}
+
+Result<std::vector<double>> ComputeX0(const Kernel& kernel, VertexId num_vertices) {
+  Aggregator agg(kernel.agg);
+  auto id = agg.Identity();
+  if (!id.ok()) return id.status();
+  std::vector<double> x0(num_vertices, *id);
+  switch (kernel.init.kind) {
+    case InitKind::kNone:
+      break;
+    case InitKind::kAllVerticesConst:
+      std::fill(x0.begin(), x0.end(), kernel.init.value);
+      break;
+    case InitKind::kAllVerticesOwnId:
+      for (VertexId v = 0; v < num_vertices; ++v) x0[v] = static_cast<double>(v);
+      break;
+    case InitKind::kSingleSource:
+      if (kernel.init.source >= num_vertices) {
+        return Status::OutOfRange("init source vertex out of range");
+      }
+      x0[kernel.init.source] = kernel.init.value;
+      break;
+  }
+  return x0;
+}
+
+Result<MraInitialState> ComputeInitialState(const Kernel& kernel, const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  auto x0r = ComputeX0(kernel, n);
+  if (!x0r.ok()) return x0r.status();
+  MraInitialState state;
+  state.x0 = std::move(x0r).ValueOrDie();
+
+  Aggregator agg(kernel.agg);
+  auto idr = agg.Identity();
+  if (!idr.ok()) return idr.status();
+  const double identity = *idr;
+
+  if (kernel.agg == AggKind::kMin || kernel.agg == AggKind::kMax) {
+    // G⁻ = G itself and ΔX¹ = X¹ (§3.3, "For SSSP, we get ΔX¹ = X¹"):
+    // compute X¹ = G∘F(X⁰) by one propagation round. Starting the delta
+    // column at X¹ lets the runtime gate every later delta on strict
+    // improvement, which is what makes fixpoint detection exact.
+    Aggregator agg(kernel.agg);
+    state.delta0.assign(n, identity);
+    auto fold = [&](VertexId v, double value) {
+      state.delta0[v] = state.delta0[v] == identity
+                            ? value
+                            : *agg.Combine(state.delta0[v], value);
+    };
+    // Non-recursive bodies of F: re-derived init facts and the constant part.
+    if (!kernel.init.iteration_indexed) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (state.x0[v] != identity) fold(v, state.x0[v]);
+      }
+    }
+    if (kernel.constant.kind == ConstKind::kAllVertices) {
+      for (VertexId v = 0; v < n; ++v) fold(v, kernel.constant.value);
+    } else if (kernel.constant.kind == ConstKind::kSingleKey) {
+      if (kernel.constant.key >= n) {
+        return Status::OutOfRange("constant-part key out of range");
+      }
+      fold(kernel.constant.key, kernel.constant.value);
+    }
+    const Graph& prop = kernel.uses_in_edges ? graph.Reverse() : graph;
+    for (VertexId src = 0; src < n; ++src) {
+      const double x = state.x0[src];
+      if (x == identity) continue;
+      const double deg = static_cast<double>(graph.OutDegree(src));
+      for (const Edge& e : prop.OutEdges(src)) {
+        fold(e.dst, kernel.EvalEdge(x, e.weight, deg));
+      }
+    }
+    return state;
+  }
+
+  // sum/count: ΔX¹ = X¹ - X⁰ where X¹ = G∘F(X⁰) = Σ_in F'(x⁰) + C.
+  state.delta0.assign(n, 0.0);
+  bool x0_all_zero = true;
+  for (double v : state.x0) {
+    if (v != 0.0 && v != identity) {
+      x0_all_zero = false;
+      break;
+    }
+  }
+  if (!x0_all_zero) {
+    // One propagation round of F' over X⁰.
+    const Graph& prop = kernel.uses_in_edges ? graph.Reverse() : graph;
+    for (VertexId src = 0; src < n; ++src) {
+      const double x = state.x0[src];
+      if (x == identity || x == 0.0) continue;
+      // degree() always refers to the original out-degree (its defining rule
+      // counts edge(X, Y) tuples), even when propagation runs on the reverse.
+      const double deg = static_cast<double>(graph.OutDegree(src));
+      for (const Edge& e : prop.OutEdges(src)) {
+        state.delta0[e.dst] += kernel.EvalEdge(x, e.weight, deg);
+      }
+    }
+    // ΔX¹ = X¹ - X⁰ with X¹ = Σ_in F'(x⁰) + C [+ re-derived init facts].
+    // A non-iteration-indexed init rule is part of F's non-recursive bodies
+    // and re-derives the X⁰ facts every iteration, cancelling the
+    // subtraction; only an iteration-indexed init (rank(0,X,r)) leaves a
+    // genuine -X⁰ term.
+    if (kernel.init.iteration_indexed) {
+      for (VertexId v = 0; v < n; ++v) state.delta0[v] -= state.x0[v];
+    }
+  }
+  switch (kernel.constant.kind) {
+    case ConstKind::kNone:
+      break;
+    case ConstKind::kAllVertices:
+      for (VertexId v = 0; v < n; ++v) state.delta0[v] += kernel.constant.value;
+      break;
+    case ConstKind::kSingleKey:
+      if (kernel.constant.key >= n) {
+        return Status::OutOfRange("constant-part key out of range");
+      }
+      state.delta0[kernel.constant.key] += kernel.constant.value;
+      break;
+  }
+  // Normalise X⁰ for sum: the accumulated column starts from the initial
+  // values themselves (identity == 0 for sum, so nothing else to do).
+  return state;
+}
+
+}  // namespace powerlog

@@ -1,0 +1,54 @@
+// Kernel: the runnable form of an analyzed program — everything the
+// evaluators and the distributed runtime need, with the edge function
+// compiled to the expression VM.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "core/aggregates.h"
+#include "datalog/analyzer.h"
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// \brief Compiled recursive aggregate program.
+struct Kernel {
+  std::string name;
+  AggKind agg = AggKind::kSum;
+  datalog::CompiledExpr edge_fn;  ///< F' over (x, w, deg)
+  bool uses_weights = false;
+  bool uses_degree = false;
+  bool uses_in_edges = false;  ///< propagate along reversed edges
+  datalog::ConstSpec constant;
+  datalog::InitSpec init;
+  datalog::TerminationSpec termination;
+
+  /// Applies F' to one contribution.
+  double EvalEdge(double x, double w, double deg) const {
+    return edge_fn.Eval(x, w, deg);
+  }
+};
+
+/// Compiles an analyzed program into a kernel. Fails if the edge expression
+/// references unbound symbols or the aggregate has no runtime identity.
+Result<Kernel> BuildKernel(const datalog::AnalyzedProgram& program);
+
+/// Convenience: parse + analyze + build from catalog-style source text.
+Result<Kernel> BuildKernelFromSource(const std::string& source);
+
+/// Per-vertex initial state of MRA evaluation (§3.3): the accumulated column
+/// X⁰ and the first delta ΔX¹ with X¹ = G(ΔX¹ ∪ X⁰).
+struct MraInitialState {
+  std::vector<double> x0;
+  std::vector<double> delta0;
+};
+
+/// Derives (X⁰, ΔX¹) for `kernel` on `graph` using the predefined inverse
+/// aggregates G⁻ (min/max: min/max; sum/count: pairwise subtraction).
+Result<MraInitialState> ComputeInitialState(const Kernel& kernel, const Graph& graph);
+
+/// X⁰ alone (for the naive evaluator).
+Result<std::vector<double>> ComputeX0(const Kernel& kernel, VertexId num_vertices);
+
+}  // namespace powerlog

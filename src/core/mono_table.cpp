@@ -1,0 +1,87 @@
+#include "core/mono_table.h"
+
+#include <cmath>
+
+namespace powerlog {
+
+MonoTable::MonoTable(AggKind kind, size_t num_rows, double identity)
+    : kind_(kind),
+      identity_(identity),
+      accumulation_(num_rows),
+      intermediate_(num_rows) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    accumulation_[i].store(identity, std::memory_order_relaxed);
+    intermediate_[i].store(identity, std::memory_order_relaxed);
+  }
+}
+
+Result<MonoTable> MonoTable::Create(AggKind kind, size_t num_rows) {
+  Aggregator agg(kind);
+  auto identity = agg.Identity();
+  if (!identity.ok()) return identity.status();
+  return MonoTable(kind, num_rows, *identity);
+}
+
+Status MonoTable::Initialize(const std::vector<double>& x0,
+                             const std::vector<double>& delta0) {
+  if (x0.size() != num_rows() || delta0.size() != num_rows()) {
+    return Status::InvalidArgument("MonoTable::Initialize: size mismatch");
+  }
+  for (size_t i = 0; i < num_rows(); ++i) {
+    accumulation_[i].store(x0[i], std::memory_order_relaxed);
+    intermediate_[i].store(delta0[i], std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+double MonoTable::HarvestDelta(size_t row) {
+  const double tmp = AtomicExchange(&intermediate_[row], identity_);
+  if (tmp == identity_) return identity_;
+  AtomicCombine(&accumulation_[row], tmp, kind_);
+  return tmp;
+}
+
+bool MonoTable::HasUsefulDelta(size_t row) const {
+  const double delta = intermediate_[row].load(std::memory_order_relaxed);
+  if (delta == identity_) return false;
+  Aggregator agg(kind_);
+  return agg.Improves(accumulation_[row].load(std::memory_order_relaxed), delta);
+}
+
+double MonoTable::PendingDeltaMass() const {
+  double mass = 0.0;
+  Aggregator agg(kind_);
+  for (size_t i = 0; i < num_rows(); ++i) {
+    const double delta = intermediate_[i].load(std::memory_order_relaxed);
+    if (delta == identity_) continue;
+    if (kind_ == AggKind::kSum || kind_ == AggKind::kCount) {
+      mass += std::abs(delta);
+    } else if (agg.Improves(accumulation_[i].load(std::memory_order_relaxed), delta)) {
+      mass += 1.0;
+    }
+  }
+  return mass;
+}
+
+std::vector<double> MonoTable::SnapshotAccumulation() const {
+  std::vector<double> out(num_rows());
+  for (size_t i = 0; i < num_rows(); ++i) {
+    out[i] = accumulation_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> MonoTable::SnapshotIntermediate() const {
+  std::vector<double> out(num_rows());
+  for (size_t i = 0; i < num_rows(); ++i) {
+    out[i] = intermediate_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Status MonoTable::Restore(const std::vector<double>& x,
+                          const std::vector<double>& delta) {
+  return Initialize(x, delta);
+}
+
+}  // namespace powerlog

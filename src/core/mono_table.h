@@ -1,0 +1,80 @@
+// MonoTable: the distributed mutable in-memory state table of §5.2 (Fig. 7).
+//
+// Each row holds an accumulated result x (the "Accumulation" column) and an
+// intermediate aggregated delta g(Δx) (the "Intermediate" column). The
+// three-step update protocol:
+//   1. tmp = exchange(intermediate, identity)   // fetch + reset atomically
+//   2. x   = g(x, tmp)                          // fold into accumulation
+//   3. for each dependent row j: intermediate_j = g(intermediate_j, f(tmp))
+// Steps 1+2 use an atomic exchange so a delta is never double-counted even
+// while remote workers are concurrently combining into the same row (§5.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/aggregates.h"
+
+namespace powerlog {
+
+/// \brief One shard of the state table (rows = keys owned by a worker; for
+/// single-node use, all keys).
+class MonoTable {
+ public:
+  /// Creates a table of `num_rows` rows with both columns at the identity.
+  /// Fails for aggregates without an identity (mean).
+  static Result<MonoTable> Create(AggKind kind, size_t num_rows);
+
+  AggKind agg_kind() const { return kind_; }
+  size_t num_rows() const { return accumulation_.size(); }
+  double identity() const { return identity_; }
+
+  /// Bulk initialisation of the accumulation / intermediate columns.
+  Status Initialize(const std::vector<double>& x0, const std::vector<double>& delta0);
+
+  double accumulation(size_t row) const {
+    return accumulation_[row].load(std::memory_order_relaxed);
+  }
+  double intermediate(size_t row) const {
+    return intermediate_[row].load(std::memory_order_relaxed);
+  }
+
+  /// Steps 1+2 of the protocol: atomically removes and returns the pending
+  /// delta (identity if none) and folds it into the accumulation.
+  /// Returns the fetched delta.
+  double HarvestDelta(size_t row);
+
+  /// Step 3 receiver side: combines a computed contribution into the row's
+  /// intermediate column. Safe from any thread.
+  void CombineDelta(size_t row, double contribution) {
+    AtomicCombine(&intermediate_[row], contribution, kind_);
+  }
+
+  /// True if the row has a pending delta that would change the accumulation
+  /// (improvement for min/max, nonzero for sum/count).
+  bool HasUsefulDelta(size_t row) const;
+
+  /// Sum over |pending deltas| — the convergence metric for epsilon
+  /// termination (∑|ΔX|, §3.1). For min/max returns the count of pending
+  /// improving deltas instead (a fixpoint metric).
+  double PendingDeltaMass() const;
+
+  /// Copies the accumulation column (termination checks, result export).
+  std::vector<double> SnapshotAccumulation() const;
+  std::vector<double> SnapshotIntermediate() const;
+
+  /// Restores both columns (checkpoint recovery).
+  Status Restore(const std::vector<double>& x, const std::vector<double>& delta);
+
+ private:
+  MonoTable(AggKind kind, size_t num_rows, double identity);
+
+  AggKind kind_;
+  double identity_;
+  std::vector<std::atomic<double>> accumulation_;
+  std::vector<std::atomic<double>> intermediate_;
+};
+
+}  // namespace powerlog

@@ -1,0 +1,671 @@
+#include "datalog/analyzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace powerlog::datalog {
+namespace {
+
+/// Interpretation of a non-recursive predicate definition rule. The analyzer
+/// recognises the three shapes the paper's programs use (§5.1):
+///   p(X, c)        :- node(X) [, c = const].   -> kAllVerticesConst
+///   p(X, c)        :- X = k, c = const.        -> kSingleKey
+///   p(X, count[Y]) :- edge(X, Y).              -> kDegree
+struct PredDef {
+  enum class Kind { kAllVerticesConst, kSingleKey, kDegree };
+  Kind kind;
+  double value = 0.0;
+  uint32_t key = 0;
+};
+
+bool IsPlainVar(const ExprPtr& e) { return e && e->kind == ExprKind::kVar; }
+
+bool IsNumber(const ExprPtr& e) { return e && e->kind == ExprKind::kNumber; }
+
+/// Matches `v + 1` / `1 + v`; returns the var name.
+std::optional<std::string> MatchIterationSuccessor(const ExprPtr& e) {
+  if (!e || e->kind != ExprKind::kBinary || e->bin_op != BinOp::kAdd) {
+    return std::nullopt;
+  }
+  if (IsPlainVar(e->lhs) && IsNumber(e->rhs) && e->rhs->number_value == 1.0) {
+    return e->lhs->var;
+  }
+  if (IsPlainVar(e->rhs) && IsNumber(e->lhs) && e->lhs->number_value == 1.0) {
+    return e->rhs->var;
+  }
+  return std::nullopt;
+}
+
+/// Returns true if any body of `rule` references predicate `name`.
+bool BodyReferences(const Rule& rule, const std::string& name) {
+  for (const RuleBody& body : rule.bodies) {
+    for (const BodyLiteral& lit : body.literals) {
+      if (lit.kind == BodyLiteral::Kind::kPredicate && lit.predicate == name) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct Annotations {
+  std::string name;
+  std::string edges = "edge";
+  std::optional<uint32_t> source;
+  int64_t max_iterations = 0;
+  smt::ConstraintSet assumes;
+  std::map<std::string, double> binds;
+};
+
+Result<Annotations> ParseAnnotations(const Program& program) {
+  Annotations ann;
+  for (const auto& [key, toks] : program.annotations) {
+    if (key == "name") {
+      if (toks.empty()) return Status::InvalidArgument("@name needs a value");
+      ann.name = toks[0];
+    } else if (key == "edges") {
+      if (toks.empty()) return Status::InvalidArgument("@edges needs a predicate name");
+      ann.edges = toks[0];
+    } else if (key == "source") {
+      if (toks.empty()) return Status::InvalidArgument("@source needs a vertex id");
+      auto v = ParseInt64(toks[0]);
+      if (!v.ok() || *v < 0) return Status::InvalidArgument("@source: bad vertex id");
+      ann.source = static_cast<uint32_t>(*v);
+    } else if (key == "maxiters") {
+      if (toks.empty()) return Status::InvalidArgument("@maxiters needs a value");
+      auto v = ParseInt64(toks[0]);
+      if (!v.ok() || *v < 0) return Status::InvalidArgument("@maxiters: bad value");
+      ann.max_iterations = *v;
+    } else if (key == "assume") {
+      // @assume d > 0.   tokens: ["d", ">", "0"]
+      if (toks.size() != 3 || toks[2] != "0") {
+        return Status::InvalidArgument(
+            "@assume must have the form '@assume <var> <op> 0.'");
+      }
+      smt::Sign sign;
+      if (toks[1] == ">") {
+        sign = smt::Sign::kPositive;
+      } else if (toks[1] == ">=") {
+        sign = smt::Sign::kNonNegative;
+      } else if (toks[1] == "<") {
+        sign = smt::Sign::kNegative;
+      } else if (toks[1] == "<=") {
+        sign = smt::Sign::kNonPositive;
+      } else {
+        return Status::InvalidArgument("@assume: unknown comparison " + toks[1]);
+      }
+      ann.assumes.Assume(toks[0], sign);
+    } else if (key == "bind") {
+      // @bind p = 0.5.   tokens: ["p", "=", "0.5"]
+      if (toks.size() != 3 || toks[1] != "=") {
+        return Status::InvalidArgument("@bind must have the form '@bind <var> = <c>.'");
+      }
+      auto v = ParseDouble(toks[2]);
+      if (!v.ok()) return Status::InvalidArgument("@bind: bad constant " + toks[2]);
+      ann.binds[toks[0]] = *v;
+    } else {
+      return Status::InvalidArgument("unknown annotation @" + key);
+    }
+  }
+  return ann;
+}
+
+/// Recognises non-recursive predicate definition rules into PredDefs.
+Result<PredDef> InterpretPredDef(const Rule& rule, const Annotations& ann) {
+  const HeadAtom& head = rule.head;
+  if (rule.bodies.size() != 1) {
+    return Status::NotSupported("aux predicate " + head.predicate +
+                                " has multiple bodies");
+  }
+  const RuleBody& body = rule.bodies[0];
+
+  // degree(X, count[Y]) :- edge(X, Y).
+  if (head.args.size() == 2 && head.args[1].aggregate == AggKind::kCount) {
+    for (const BodyLiteral& lit : body.literals) {
+      if (lit.kind == BodyLiteral::Kind::kPredicate && lit.predicate == ann.edges) {
+        PredDef def;
+        def.kind = PredDef::Kind::kDegree;
+        return def;
+      }
+    }
+    return Status::NotSupported("count aggregate in aux predicate " + head.predicate +
+                                " is not a degree definition");
+  }
+
+  if (head.args.size() != 2 || head.args[0].aggregate || head.args[1].aggregate) {
+    return Status::NotSupported("aux predicate " + head.predicate +
+                                " is not of the form p(Key, Value)");
+  }
+  if (!IsPlainVar(head.args[0].expr)) {
+    return Status::NotSupported("aux predicate " + head.predicate +
+                                " must have a variable key");
+  }
+  const std::string key_var = head.args[0].expr->var;
+
+  // Gather assignments / key constraints / node() from the body.
+  bool all_vertices = false;
+  std::optional<uint32_t> fixed_key;
+  std::map<std::string, double> env = ann.binds;
+  for (const BodyLiteral& lit : body.literals) {
+    if (lit.kind == BodyLiteral::Kind::kPredicate) {
+      if (lit.predicate == "node" || lit.predicate == ann.edges) {
+        all_vertices = true;
+        continue;
+      }
+      return Status::NotSupported("aux predicate " + head.predicate +
+                                  " references predicate " + lit.predicate);
+    }
+    if (lit.cmp_op != CmpOp::kEq || !IsPlainVar(lit.lhs)) {
+      return Status::NotSupported("unsupported constraint in aux predicate " +
+                                  head.predicate);
+    }
+    if (lit.lhs->var == key_var) {
+      auto v = EvalConstExpr(lit.rhs, env);
+      if (!v.ok()) return v.status();
+      fixed_key = static_cast<uint32_t>(*v);
+    } else {
+      auto v = EvalConstExpr(lit.rhs, env);
+      if (!v.ok()) return v.status();
+      env[lit.lhs->var] = *v;
+    }
+  }
+
+  // Resolve the head value.
+  double value = 0.0;
+  if (IsNumber(head.args[1].expr)) {
+    value = head.args[1].expr->number_value;
+  } else if (IsPlainVar(head.args[1].expr)) {
+    auto it = env.find(head.args[1].expr->var);
+    if (it == env.end()) {
+      return Status::NotSupported("aux predicate " + head.predicate +
+                                  ": value variable " + head.args[1].expr->var +
+                                  " is not assigned a constant");
+    }
+    value = it->second;
+  } else {
+    auto v = EvalConstExpr(head.args[1].expr, env);
+    if (!v.ok()) return v.status();
+    value = *v;
+  }
+
+  PredDef def;
+  def.value = value;
+  if (fixed_key) {
+    def.kind = PredDef::Kind::kSingleKey;
+    def.key = *fixed_key;
+  } else if (all_vertices) {
+    def.kind = PredDef::Kind::kAllVerticesConst;
+  } else {
+    return Status::NotSupported("aux predicate " + head.predicate +
+                                " has neither a key constraint nor node()/edge()");
+  }
+  return def;
+}
+
+}  // namespace
+
+Result<AnalyzedProgram> Analyze(const Program& program) {
+  AnalyzedProgram out;
+  auto ann_r = ParseAnnotations(program);
+  if (!ann_r.ok()) return ann_r.status();
+  Annotations ann = std::move(ann_r).ValueOrDie();
+  out.name = ann.name;
+  out.edges_predicate = ann.edges;
+  out.constraints = ann.assumes;
+  out.termination.max_iterations = ann.max_iterations;
+
+  // ---- Locate the unique recursive rule. ----
+  const Rule* recursive_rule = nullptr;
+  for (const Rule& rule : program.rules) {
+    if (BodyReferences(rule, rule.head.predicate)) {
+      if (recursive_rule != nullptr) {
+        return Status::NotSupported(
+            "multiple recursive rules (mutual/non-linear recursion is outside the "
+            "supported fragment, §2.1)");
+      }
+      recursive_rule = &rule;
+    }
+  }
+  if (recursive_rule == nullptr) {
+    return Status::InvalidArgument("program has no recursive rule");
+  }
+  out.head_predicate = recursive_rule->head.predicate;
+
+  // Reject indirect mutual recursion: another rule must not reference the
+  // recursive head unless it *is* an init rule for the head predicate.
+  for (const Rule& rule : program.rules) {
+    if (&rule == recursive_rule) continue;
+    if (BodyReferences(rule, out.head_predicate)) {
+      return Status::NotSupported("predicate " + rule.head.predicate +
+                                  " depends on the recursive predicate (mutual "
+                                  "recursion is outside the supported fragment)");
+    }
+  }
+
+  // ---- Head analysis: iteration arg, key var, aggregate. ----
+  const HeadAtom& head = recursive_rule->head;
+  int agg_pos = -1;
+  int iter_pos = -1;
+  int key_pos = -1;
+  std::string iter_var;
+  std::string head_key_var;
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    const HeadArg& arg = head.args[i];
+    if (arg.aggregate) {
+      if (agg_pos >= 0) {
+        return Status::NotSupported("multiple aggregates in the rule head");
+      }
+      agg_pos = static_cast<int>(i);
+      out.aggregate = *arg.aggregate;
+      continue;
+    }
+    if (auto iv = MatchIterationSuccessor(arg.expr)) {
+      if (iter_pos >= 0) return Status::NotSupported("multiple iteration arguments");
+      iter_pos = static_cast<int>(i);
+      iter_var = *iv;
+      continue;
+    }
+    if (IsPlainVar(arg.expr)) {
+      if (key_pos >= 0) {
+        return Status::NotSupported(
+            "multiple group-by keys in the rule head (multi-key group-by is outside "
+            "the supported fragment)");
+      }
+      key_pos = static_cast<int>(i);
+      head_key_var = arg.expr->var;
+      continue;
+    }
+    return Status::NotSupported("unsupported head argument: " + arg.expr->ToString());
+  }
+  if (agg_pos < 0) {
+    return Status::InvalidArgument(
+        "recursive rule head has no aggregate: not a recursive aggregate program");
+  }
+  if (key_pos < 0) {
+    return Status::NotSupported("recursive rule head has no group-by key variable");
+  }
+  const HeadArg& agg_arg = head.args[static_cast<size_t>(agg_pos)];
+  if (!IsPlainVar(agg_arg.agg_input)) {
+    return Status::NotSupported("aggregate input must be a single variable, got " +
+                                agg_arg.agg_input->ToString());
+  }
+  const std::string agg_var = agg_arg.agg_input->var;
+
+  // ---- Interpret non-recursive rules. ----
+  std::map<std::string, PredDef> pred_defs;
+  for (const Rule& rule : program.rules) {
+    if (&rule == recursive_rule) continue;
+    if (rule.head.predicate == out.head_predicate) {
+      // Initialisation rule for the recursive predicate.
+      auto interpret_init = [&]() -> Status {
+        const HeadAtom& ihead = rule.head;
+        if (rule.bodies.size() != 1) {
+          return Status::NotSupported("init rule with multiple bodies");
+        }
+        const RuleBody& body = rule.bodies[0];
+        // Positional view: iteration literal (number 0) may lead.
+        std::vector<const HeadArg*> args;
+        for (const HeadArg& a : ihead.args) {
+          if (IsNumber(a.expr) && a.expr->number_value == 0.0 &&
+              ihead.args.size() == head.args.size() && iter_pos >= 0) {
+            out.init.iteration_indexed = true;
+            continue;  // iteration index 0
+          }
+          args.push_back(&a);
+        }
+        if (args.size() != 2) {
+          return Status::NotSupported("init rule must bind (key, value)");
+        }
+        const HeadArg* key_arg = args[0];
+        const HeadArg* val_arg = args[1];
+        if (!IsPlainVar(key_arg->expr)) {
+          return Status::NotSupported("init rule key must be a variable");
+        }
+        const std::string ikey = key_arg->expr->var;
+        // cc(X, X) :- edge(X, _).
+        if (IsPlainVar(val_arg->expr) && val_arg->expr->var == ikey) {
+          out.init.kind = InitKind::kAllVerticesOwnId;
+          return Status::OK();
+        }
+        bool all_vertices = false;
+        std::optional<uint32_t> fixed_key;
+        std::map<std::string, double> env = ann.binds;
+        for (const BodyLiteral& lit : body.literals) {
+          if (lit.kind == BodyLiteral::Kind::kPredicate) {
+            if (lit.predicate == "node" || lit.predicate == ann.edges) {
+              all_vertices = true;
+              continue;
+            }
+            return Status::NotSupported("init rule references predicate " +
+                                        lit.predicate);
+          }
+          if (lit.cmp_op != CmpOp::kEq || !IsPlainVar(lit.lhs)) {
+            return Status::NotSupported("unsupported constraint in init rule");
+          }
+          auto v = EvalConstExpr(lit.rhs, env);
+          if (!v.ok()) return v.status();
+          if (lit.lhs->var == ikey) {
+            fixed_key = static_cast<uint32_t>(*v);
+          } else {
+            env[lit.lhs->var] = *v;
+          }
+        }
+        double value = 0.0;
+        if (IsNumber(val_arg->expr)) {
+          value = val_arg->expr->number_value;
+        } else if (IsPlainVar(val_arg->expr)) {
+          auto it = env.find(val_arg->expr->var);
+          if (it == env.end()) {
+            return Status::NotSupported("init rule value variable " +
+                                        val_arg->expr->var + " is unbound");
+          }
+          value = it->second;
+        } else {
+          auto v = EvalConstExpr(val_arg->expr, env);
+          if (!v.ok()) return v.status();
+          value = *v;
+        }
+        if (fixed_key) {
+          out.init.kind = InitKind::kSingleSource;
+          out.init.source = ann.source.value_or(*fixed_key);
+          out.init.value = value;
+        } else if (all_vertices) {
+          out.init.kind = InitKind::kAllVerticesConst;
+          out.init.value = value;
+        } else {
+          return Status::NotSupported("init rule binds neither a key nor node()");
+        }
+        return Status::OK();
+      };
+      POWERLOG_RETURN_NOT_OK(interpret_init());
+      continue;
+    }
+    auto def = InterpretPredDef(rule, ann);
+    if (!def.ok()) return def.status();
+    pred_defs[rule.head.predicate] = std::move(def).ValueOrDie();
+  }
+
+  // ---- Recursive rule bodies: one recursive, the rest constant. ----
+  const RuleBody* recursive_body = nullptr;
+  std::vector<const RuleBody*> constant_bodies;
+  for (const RuleBody& body : recursive_rule->bodies) {
+    const bool is_recursive = std::any_of(
+        body.literals.begin(), body.literals.end(), [&](const BodyLiteral& lit) {
+          return lit.kind == BodyLiteral::Kind::kPredicate &&
+                 lit.predicate == out.head_predicate;
+        });
+    if (is_recursive) {
+      if (recursive_body != nullptr) {
+        return Status::NotSupported(
+            "more than one recursive body (non-linear recursion)");
+      }
+      recursive_body = &body;
+    } else {
+      constant_bodies.push_back(&body);
+    }
+  }
+  if (recursive_body == nullptr) {
+    return Status::Internal("recursive rule lost its recursive body");
+  }
+
+  // ---- Extract from the recursive body. ----
+  std::string source_var;
+  std::string value_var;
+  std::string weight_var;
+  std::string degree_var;
+  std::map<std::string, ExprPtr> assignments;
+  std::map<std::string, double> const_bindings = ann.binds;
+  std::vector<std::string> default_bound;
+
+  for (const BodyLiteral& lit : recursive_body->literals) {
+    if (lit.kind == BodyLiteral::Kind::kComparison) {
+      if (lit.cmp_op != CmpOp::kEq || !IsPlainVar(lit.lhs)) {
+        return Status::NotSupported(
+            "recursive body supports only '<var> = <expr>' constraints");
+      }
+      assignments[lit.lhs->var] = lit.rhs;
+      continue;
+    }
+    if (lit.predicate == out.head_predicate) {
+      // Positional match against the head: key position -> source var,
+      // aggregate position -> value var, iteration position -> iter var.
+      if (lit.args.size() != head.args.size()) {
+        return Status::InvalidArgument("recursive literal arity mismatch");
+      }
+      for (size_t i = 0; i < lit.args.size(); ++i) {
+        const int pos = static_cast<int>(i);
+        if (pos == iter_pos) {
+          if (!IsPlainVar(lit.args[i]) || lit.args[i]->var != iter_var) {
+            return Status::NotSupported("iteration argument of recursive literal must "
+                                        "match the head's iteration variable");
+          }
+        } else if (pos == key_pos) {
+          if (!IsPlainVar(lit.args[i])) {
+            return Status::NotSupported("recursive literal key must be a variable");
+          }
+          source_var = lit.args[i]->var;
+        } else if (pos == agg_pos) {
+          if (!IsPlainVar(lit.args[i])) {
+            return Status::NotSupported("recursive literal value must be a variable");
+          }
+          value_var = lit.args[i]->var;
+        }
+      }
+      continue;
+    }
+    if (lit.predicate == ann.edges) {
+      if (lit.args.size() < 2 || lit.args.size() > 3) {
+        return Status::NotSupported("edges predicate must have 2 or 3 arguments");
+      }
+      if (!IsPlainVar(lit.args[0]) || !IsPlainVar(lit.args[1])) {
+        return Status::NotSupported("edges predicate arguments must be variables");
+      }
+      if (lit.args.size() == 3) {
+        if (!IsPlainVar(lit.args[2])) {
+          return Status::NotSupported("edge weight must be a variable");
+        }
+        weight_var = lit.args[2]->var;
+      }
+      // Direction: edge(src, headkey) is push-style; edge(headkey, src) pulls
+      // along in-edges.
+      if (lit.args[1]->var == head_key_var) {
+        out.uses_in_edges = false;
+      } else if (lit.args[0]->var == head_key_var) {
+        out.uses_in_edges = true;
+      } else {
+        return Status::NotSupported(
+            "edges predicate does not connect the recursive key to the head key");
+      }
+      continue;
+    }
+    // degree() or aux predicate.
+    auto it = pred_defs.find(lit.predicate);
+    if (it != pred_defs.end() && it->second.kind == PredDef::Kind::kDegree) {
+      if (lit.args.size() != 2 || !IsPlainVar(lit.args[1])) {
+        return Status::NotSupported("degree predicate must bind a variable");
+      }
+      degree_var = lit.args[1]->var;
+      continue;
+    }
+    // Aux table: bind its value variable(s) to constants.
+    for (size_t i = 1; i < lit.args.size(); ++i) {
+      if (!IsPlainVar(lit.args[i])) continue;
+      const std::string& v = lit.args[i]->var;
+      if (const_bindings.count(v)) continue;
+      if (it != pred_defs.end() && it->second.kind == PredDef::Kind::kAllVerticesConst) {
+        const_bindings[v] = it->second.value;
+      } else {
+        const_bindings[v] = 1.0;  // default; recorded in the summary
+        default_bound.push_back(v);
+      }
+    }
+  }
+  if (source_var.empty() || value_var.empty()) {
+    return Status::Internal("failed to locate recursive key/value variables");
+  }
+  (void)source_var;
+
+  // Resolve the aggregate-input expression with assignment substitution.
+  auto resolve = [&](const std::string& var) -> Result<ExprPtr> {
+    std::set<std::string> visiting;
+    std::function<Result<ExprPtr>(const ExprPtr&)> subst =
+        [&](const ExprPtr& e) -> Result<ExprPtr> {
+      switch (e->kind) {
+        case ExprKind::kVar: {
+          auto it = assignments.find(e->var);
+          if (it == assignments.end()) return e;
+          if (!visiting.insert(e->var).second) {
+            return Status::InvalidArgument("cyclic assignment involving " + e->var);
+          }
+          auto r = subst(it->second);
+          visiting.erase(e->var);
+          return r;
+        }
+        case ExprKind::kBinary: {
+          auto l = subst(e->lhs);
+          if (!l.ok()) return l;
+          auto r = subst(e->rhs);
+          if (!r.ok()) return r;
+          return MakeBinary(e->bin_op, *l, *r);
+        }
+        case ExprKind::kCall: {
+          std::vector<ExprPtr> args;
+          for (const auto& a : e->call_args) {
+            auto s = subst(a);
+            if (!s.ok()) return s;
+            args.push_back(*s);
+          }
+          return MakeCall(e->callee, std::move(args));
+        }
+        default:
+          return e;
+      }
+    };
+    auto it = assignments.find(var);
+    if (it == assignments.end()) {
+      // `cc(Y,min[v]) :- cc(X,v), edge(X,Y)` — the aggregate input *is* the
+      // recursive value (identity F').
+      if (var == value_var) return MakeVar(var);
+      return Status::InvalidArgument("aggregate input variable " + var +
+                                     " is never assigned in the recursive body");
+    }
+    visiting.insert(var);
+    return subst(it->second);
+  };
+  auto fexpr = resolve(agg_var);
+  if (!fexpr.ok()) return fexpr.status();
+
+  out.edge_fn.expr = *fexpr;
+  out.edge_fn.input_var = value_var;
+  out.edge_fn.weight_var = weight_var;
+  out.edge_fn.degree_var = degree_var;
+  out.edge_fn.const_bindings = const_bindings;
+
+  // The checker sees F' over canonical "x"; degree vars are positive.
+  auto f_term = ExprToTerm(*fexpr, {{value_var, "x"}});
+  if (!f_term.ok()) return f_term.status();
+  out.f_term = *f_term;
+  if (!degree_var.empty()) out.constraints.Assume(degree_var, smt::Sign::kPositive);
+
+  // ---- Constant bodies -> ConstSpec. ----
+  for (const RuleBody* body : constant_bodies) {
+    if (out.constant.kind != ConstKind::kNone) {
+      return Status::NotSupported("multiple constant bodies");
+    }
+    std::map<std::string, double> env = ann.binds;
+    std::optional<uint32_t> fixed_key;
+    std::map<std::string, ExprPtr> local_assignments;
+    for (const BodyLiteral& lit : body->literals) {
+      if (lit.kind == BodyLiteral::Kind::kPredicate) {
+        if (lit.predicate == "node" || lit.predicate == ann.edges) continue;
+        auto it = pred_defs.find(lit.predicate);
+        if (it == pred_defs.end()) {
+          return Status::NotSupported("constant body references unknown predicate " +
+                                      lit.predicate);
+        }
+        const PredDef& def = it->second;
+        if (lit.args.size() >= 2 && IsPlainVar(lit.args[1])) {
+          if (def.kind == PredDef::Kind::kDegree) {
+            return Status::NotSupported("degree() in a constant body");
+          }
+          env[lit.args[1]->var] = def.value;
+          if (def.kind == PredDef::Kind::kSingleKey) fixed_key = def.key;
+        }
+        continue;
+      }
+      if (lit.cmp_op != CmpOp::kEq || !IsPlainVar(lit.lhs)) {
+        return Status::NotSupported("unsupported constraint in constant body");
+      }
+      local_assignments[lit.lhs->var] = lit.rhs;
+    }
+    auto it = local_assignments.find(agg_var);
+    if (it == local_assignments.end()) {
+      return Status::NotSupported(
+          "constant body does not assign the aggregate input variable");
+    }
+    // Fold nested assignments then the final expression.
+    std::function<Result<double>(const ExprPtr&)> fold =
+        [&](const ExprPtr& e) -> Result<double> {
+      if (e->kind == ExprKind::kVar) {
+        auto ev = env.find(e->var);
+        if (ev != env.end()) return ev->second;
+        auto as = local_assignments.find(e->var);
+        if (as != local_assignments.end()) return fold(as->second);
+        return Status::NotSupported("unbound variable in constant body: " + e->var);
+      }
+      if (e->kind == ExprKind::kBinary) {
+        auto l = fold(e->lhs);
+        if (!l.ok()) return l;
+        auto r = fold(e->rhs);
+        if (!r.ok()) return r;
+        switch (e->bin_op) {
+          case BinOp::kAdd: return *l + *r;
+          case BinOp::kSub: return *l - *r;
+          case BinOp::kMul: return *l * *r;
+          case BinOp::kDiv:
+            if (*r == 0) return Status::InvalidArgument("division by zero");
+            return *l / *r;
+        }
+      }
+      return EvalConstExpr(e, env);
+    };
+    auto value = fold(it->second);
+    if (!value.ok()) return value.status();
+    if (fixed_key) {
+      out.constant.kind = ConstKind::kSingleKey;
+      out.constant.key = *fixed_key;
+    } else {
+      out.constant.kind = ConstKind::kAllVertices;
+    }
+    out.constant.value = *value;
+  }
+
+  // ---- Termination. ----
+  if (recursive_rule->termination) {
+    out.termination.has_epsilon = true;
+    out.termination.epsilon = recursive_rule->termination->epsilon;
+  }
+
+  // ---- Source override & summary. ----
+  if (ann.source && out.init.kind == InitKind::kSingleSource) {
+    out.init.source = *ann.source;
+  }
+  std::string summary =
+      StringFormat("program '%s': G=%s, F'(x)=%s", out.name.c_str(),
+                   AggKindName(out.aggregate), out.edge_fn.expr->ToString().c_str());
+  if (out.constant.kind == ConstKind::kAllVertices) {
+    summary += StringFormat(", C=%g per vertex", out.constant.value);
+  } else if (out.constant.kind == ConstKind::kSingleKey) {
+    summary += StringFormat(", C=%g at key %u", out.constant.value, out.constant.key);
+  }
+  if (!default_bound.empty()) {
+    summary += " (defaulted aux bindings: " + Join(default_bound, ", ") + " = 1)";
+  }
+  out.summary = std::move(summary);
+  return out;
+}
+
+}  // namespace powerlog::datalog

@@ -1,0 +1,97 @@
+// Semantic analysis: identifies the recursive aggregate rule and extracts
+// the aggregate G, non-aggregate F', constant part C, initialisation X⁰ and
+// termination criteria (paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+#include "datalog/expr_compiler.h"
+#include "smt/monotone.h"
+#include "smt/term.h"
+
+namespace powerlog::datalog {
+
+/// How X⁰ is populated from the non-recursive initialisation rules.
+enum class InitKind {
+  kNone,              ///< empty X⁰ (aggregate identity everywhere)
+  kAllVerticesConst,  ///< rank(0,X,r) :- node(X), r = c.
+  kAllVerticesOwnId,  ///< cc(X,X) :- edge(X,_).
+  kSingleSource,      ///< sssp(X,d) :- X = s, d = c.
+};
+
+struct InitSpec {
+  InitKind kind = InitKind::kNone;
+  double value = 0.0;
+  uint32_t source = 0;  ///< kSingleSource only
+  /// True if the init rule is iteration-indexed (rank(0,X,r) :- ...), i.e.
+  /// derives facts only at iteration 0; false if the init facts are
+  /// re-derived every iteration (sssp(X,d) :- X=s, d=0).
+  bool iteration_indexed = false;
+};
+
+/// The constant part C of the decomposition G∘F(X) = G(F'(X) ∪ C).
+enum class ConstKind {
+  kNone,
+  kAllVertices,  ///< e.g. PageRank's 0.15 per vertex
+  kSingleKey,    ///< e.g. Katz's 10000 at the source
+};
+
+struct ConstSpec {
+  ConstKind kind = ConstKind::kNone;
+  double value = 0.0;
+  uint32_t key = 0;  ///< kSingleKey only
+};
+
+/// Two-level termination (§2.2): user-level epsilon + system-level cap.
+struct TerminationSpec {
+  bool has_epsilon = false;
+  double epsilon = 0.0;
+  int64_t max_iterations = 0;  ///< 0 = unlimited
+};
+
+/// F' as the runtime sees it: an expression of the recursive value plus the
+/// edge weight / source degree, with every remaining symbol bound to a
+/// constant (from @bind, defaulting per-aux-table to 1.0).
+struct EdgeFunction {
+  ExprPtr expr;
+  std::string input_var;
+  std::string weight_var;   ///< "" if the program ignores edge weights
+  std::string degree_var;   ///< "" if no degree() predicate is joined
+  std::map<std::string, double> const_bindings;
+};
+
+/// \brief Everything later stages need, extracted from one parsed program.
+struct AnalyzedProgram {
+  std::string name;
+  std::string head_predicate;
+  std::string edges_predicate;
+  AggKind aggregate = AggKind::kSum;
+
+  EdgeFunction edge_fn;       // F'
+  ConstSpec constant;         // C
+  InitSpec init;              // X⁰
+  TerminationSpec termination;
+
+  /// F' as an SMT term with the recursive value renamed to "x"; all other
+  /// symbols stay symbolic under `constraints` (from @assume + auto d>0).
+  smt::TermPtr f_term;
+  smt::ConstraintSet constraints;
+
+  /// True if the program propagates along reversed edges (CC-style
+  /// "value from in-neighbors" formulations are normalised to push-style).
+  bool uses_in_edges = false;
+
+  std::string summary;  ///< human-readable extraction report
+};
+
+/// Analyzes a parsed program. Fails with descriptive errors for programs
+/// outside the supported fragment (multi-key group-by, mutual recursion,
+/// non-linear rules) — mirroring the paper's §2.1 restrictions.
+Result<AnalyzedProgram> Analyze(const Program& program);
+
+}  // namespace powerlog::datalog

@@ -1,0 +1,198 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+#include <set>
+
+namespace powerlog::datalog {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+    case AggKind::kSum: return "sum";
+    case AggKind::kCount: return "count";
+    case AggKind::kMean: return "mean";
+  }
+  return "?";
+}
+
+std::optional<AggKind> AggKindFromName(const std::string& name) {
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  if (name == "sum") return AggKind::kSum;
+  if (name == "count") return AggKind::kCount;
+  if (name == "mean" || name == "avg") return AggKind::kMean;
+  return std::nullopt;
+}
+
+namespace {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kNumber:
+      return number_text.empty() ? std::to_string(number_value) : number_text;
+    case ExprKind::kVar:
+      return var;
+    case ExprKind::kWildcard:
+      return "_";
+    case ExprKind::kBinary:
+      return "(" + lhs->ToString() + " " + BinOpName(bin_op) + " " + rhs->ToString() +
+             ")";
+    case ExprKind::kCall: {
+      std::string out = callee + "(";
+      for (size_t i = 0; i < call_args.size(); ++i) {
+        if (i) out += ", ";
+        out += call_args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+ExprPtr MakeNumber(double value, std::string text) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number_value = value;
+  e->number_text = std::move(text);
+  return e;
+}
+
+ExprPtr MakeVar(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeCall(std::string callee, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->callee = std::move(callee);
+  e->call_args = std::move(args);
+  return e;
+}
+
+ExprPtr MakeWildcard() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kWildcard;
+  return e;
+}
+
+namespace {
+void CollectExprVars(const ExprPtr& e, std::set<std::string>& out) {
+  switch (e->kind) {
+    case ExprKind::kVar:
+      out.insert(e->var);
+      break;
+    case ExprKind::kBinary:
+      CollectExprVars(e->lhs, out);
+      CollectExprVars(e->rhs, out);
+      break;
+    case ExprKind::kCall:
+      for (const auto& a : e->call_args) CollectExprVars(a, out);
+      break;
+    default:
+      break;
+  }
+}
+}  // namespace
+
+std::vector<std::string> ExprVars(const ExprPtr& e) {
+  std::set<std::string> vars;
+  CollectExprVars(e, vars);
+  return {vars.begin(), vars.end()};
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.predicate + "(";
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    if (i) out += ",";
+    const HeadArg& a = head.args[i];
+    if (a.aggregate) {
+      out += AggKindName(*a.aggregate);
+      out += "[" + a.agg_input->ToString() + "]";
+    } else {
+      out += a.expr->ToString();
+    }
+  }
+  out += ") :- ";
+  for (size_t b = 0; b < bodies.size(); ++b) {
+    if (b) out += "; :- ";
+    const RuleBody& body = bodies[b];
+    for (size_t i = 0; i < body.literals.size(); ++i) {
+      if (i) out += ", ";
+      const BodyLiteral& lit = body.literals[i];
+      if (lit.kind == BodyLiteral::Kind::kPredicate) {
+        out += lit.predicate + "(";
+        for (size_t j = 0; j < lit.args.size(); ++j) {
+          if (j) out += ",";
+          out += lit.args[j]->ToString();
+        }
+        out += ")";
+      } else {
+        out += lit.lhs->ToString();
+        out += " ";
+        out += CmpOpName(lit.cmp_op);
+        out += " ";
+        out += lit.rhs->ToString();
+      }
+    }
+  }
+  if (termination) {
+    out += "; {";
+    out += AggKindName(termination->agg);
+    out += "[" + termination->delta_var + "] < " + std::to_string(termination->epsilon) +
+           "}";
+  }
+  out += ".";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& [key, toks] : annotations) {
+    out += "@" + key;
+    for (const auto& t : toks) out += " " + t;
+    out += ".\n";
+  }
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace powerlog::datalog

@@ -1,0 +1,130 @@
+// Abstract syntax tree for recursive aggregate Datalog programs (§2.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace powerlog::datalog {
+
+/// Aggregate operators the system knows (Table 1 uses all five; `mean` is
+/// the non-associative negative control).
+enum class AggKind { kMin, kMax, kSum, kCount, kMean };
+
+const char* AggKindName(AggKind kind);
+std::optional<AggKind> AggKindFromName(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind { kNumber, kVar, kBinary, kCall, kWildcard };
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+struct Expr {
+  ExprKind kind;
+  // kNumber
+  double number_value = 0.0;
+  std::string number_text;  ///< original literal text, for exact rationals
+  // kVar
+  std::string var;
+  // kBinary
+  BinOp bin_op = BinOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  // kCall: relu(x), abs(x), ...
+  std::string callee;
+  std::vector<ExprPtr> call_args;
+
+  /// Round-trippable text form for diagnostics.
+  std::string ToString() const;
+};
+
+ExprPtr MakeNumber(double value, std::string text);
+ExprPtr MakeVar(std::string name);
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeCall(std::string callee, std::vector<ExprPtr> args);
+ExprPtr MakeWildcard();
+
+/// Collects variable names appearing in `e` (sorted, distinct).
+std::vector<std::string> ExprVars(const ExprPtr& e);
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// One argument of a rule head: either a plain expression or an aggregate
+/// spec `agg[expr]`.
+struct HeadArg {
+  ExprPtr expr;                      // null if aggregate
+  std::optional<AggKind> aggregate;  // set if `agg[...]`
+  ExprPtr agg_input;                 // expression inside the brackets
+};
+
+struct HeadAtom {
+  std::string predicate;
+  std::vector<HeadArg> args;
+};
+
+/// Comparison operators usable in body literals.
+enum class CmpOp { kEq, kLt, kLe, kGt, kGe };
+
+/// A body literal: a predicate atom, or a comparison/assignment between
+/// expressions (`dy = dx + dxy`, `X = 1`).
+struct BodyLiteral {
+  enum class Kind { kPredicate, kComparison };
+  Kind kind;
+  // kPredicate
+  std::string predicate;
+  std::vector<ExprPtr> args;
+  // kComparison
+  CmpOp cmp_op = CmpOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// One alternative body (bodies are ';'-separated per §2.1).
+struct RuleBody {
+  std::vector<BodyLiteral> literals;
+};
+
+/// User-level termination clause `{sum[Δa] < 0.001}` (§3.1).
+struct TerminationClause {
+  AggKind agg = AggKind::kSum;
+  std::string delta_var;
+  double epsilon = 0.0;
+};
+
+struct Rule {
+  HeadAtom head;
+  std::vector<RuleBody> bodies;
+  std::optional<TerminationClause> termination;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// Parsed program: rules plus '@' annotations.
+///
+/// Annotations steer analysis without changing Datalog semantics:
+///   @name sssp.            — program name
+///   @edges edge.           — which predicate is the graph's edge relation
+///   @assume d > 0.         — sign constraint for the condition checker
+///   @bind p = 1.0.         — constant binding for an auxiliary symbol
+///   @source 0.             — source vertex for single-source programs
+///   @maxiters 100.         — system-level iteration cap (§2.2)
+struct Program {
+  std::vector<Rule> rules;
+  /// annotation key -> list of raw token texts after the key.
+  std::multimap<std::string, std::vector<std::string>> annotations;
+
+  std::string ToString() const;
+};
+
+}  // namespace powerlog::datalog

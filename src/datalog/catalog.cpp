@@ -1,0 +1,188 @@
+#include "datalog/catalog.h"
+
+namespace powerlog::datalog {
+
+const std::vector<CatalogEntry>& ProgramCatalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      {"sssp", "SSSP", "[24]",
+       R"(
+@name sssp.
+@source 0.
+// Program 1 of the paper.
+sssp(X,d) :- X = 0, d = 0.
+sssp(Y,min[dy]) :- sssp(X,dx), edge(X,Y,dxy), dy = dx + dxy.
+)",
+       AggKind::kMin, true, true},
+
+      {"cc", "CC", "[24]",
+       R"(
+@name cc.
+// Program 3: label propagation, min component id.
+cc(X,X) :- edge(X,_).
+cc(Y,min[v]) :- cc(X,v), edge(X,Y).
+)",
+       AggKind::kMin, true, false},
+
+      {"pagerank", "PageRank", "[39]",
+       R"(
+@name pagerank.
+@maxiters 200.
+// Program 2: original (non-monotonic) PageRank.
+degree(X,count[Y]) :- edge(X,Y).
+rank(0,X,r) :- node(X), r = 0.
+rank(i+1,Y,sum[ry]) :- node(Y), ry = 0.15;
+                    :- rank(i,X,rx), edge(X,Y), degree(X,d), ry = 0.85*rx/d;
+                    {sum[Δr] < 0.0001}.
+)",
+       AggKind::kSum, true, false},
+
+      {"adsorption", "Adsorption", "[7]",
+       R"(
+@name adsorption.
+@edges A.
+@maxiters 200.
+// Program 4: Markov-process label propagation.
+pi(x,p2) :- node(x), p2 = 0.2.
+pc(x,p)  :- node(x), p = 0.9.
+I(x,i)   :- node(x), i = 1.
+L(0,x,l) :- node(x), l = 0.
+L(j+1,y,sum[a1]) :- I(y,i), pi(y,p2), a1 = i*p2;
+                 :- L(j,x,a), A(x,y,w), pc(x,p), a1 = 0.7*a*w*p;
+                 {sum[Δa] < 0.0001}.
+)",
+       AggKind::kSum, true, true, /*stochastic_weights=*/true},
+
+      {"katz", "Katz metric", "[21]",
+       R"(
+@name katz.
+@maxiters 200.
+// Program 5: Katz proximity from a source. The paper writes β = 0.1; Katz
+// convergence requires β < 1/λmax, and the skewed analogue datasets have
+// λmax ≈ 150-230, so we use β = 0.003 (same program shape, convergent).
+I(X,k) :- X = 0, k = 10000.
+K(i+1,y,sum[k1]) :- I(y,j), k1 = j;
+                 :- K(i,x,k), edge(x,y), k1 = 0.003*k;
+                 {sum[Δk] < 0.001}.
+)",
+       AggKind::kSum, true, false},
+
+      {"bp", "Belief Propagation", "[40]",
+       R"(
+@name bp.
+@edges E.
+@maxiters 200.
+@bind h = 0.9.
+@assume h >= 0.
+@assume w >= 0.
+// Program 6, simplified per the paper's footnote 4 (vertex-pairs abstracted
+// into vertices; the coupling score h becomes a bound constant).
+I(v,b) :- node(v), b = 1.
+B(j+1,t,sum[b1]) :- I(t,b2), b1 = b2;
+                 :- B(j,s,b), E(s,t,w), b1 = 0.8*w*b*h;
+                 {sum[Δb] < 0.0001}.
+)",
+       AggKind::kSum, true, true, /*stochastic_weights=*/true},
+
+      {"paths_dag", "Computing Paths in DAG", "[50]",
+       R"(
+@name paths_dag.
+// Counts distinct paths from the source in a DAG; count accumulates as a
+// sum of path counts (§2.3 runtime semantics of count).
+seed(X,c) :- X = 0, c = 1.
+paths(Y,count[c1]) :- seed(Y,c2), c1 = c2;
+                   :- paths(X,c), edge(X,Y), c1 = c.
+)",
+       AggKind::kCount, true, false},
+
+      {"cost", "Cost", "[50]",
+       R"(
+@name cost.
+@maxiters 100.
+@assume w >= 0.
+// Attenuated cost accumulation over weighted paths.
+seed(X,c) :- X = 0, c = 1.
+cost(Y,sum[c1]) :- seed(Y,s), c1 = s;
+                :- cost(X,c), edge(X,Y,w), c1 = 0.5*c*w;
+                {sum[Δc] < 0.0001}.
+)",
+       AggKind::kSum, true, true, /*stochastic_weights=*/true},
+
+      {"viterbi", "Viterbi Algorithm", "[50]",
+       R"(
+@name viterbi.
+@assume p > 0.
+// Max-product most-probable-path; edge weights are transition probabilities.
+vit(X,v) :- X = 0, v = 1.
+vit(Y,max[v1]) :- vit(X,v), edge(X,Y,p), v1 = v*p.
+)",
+       AggKind::kMax, true, true, /*stochastic_weights=*/true},
+
+      {"simrank", "SimRank", "[20]",
+       R"(
+@name simrank.
+@maxiters 100.
+// Vertex-abstracted SimRank (paper footnote 4): decayed similarity mass
+// spread over out-neighbors.
+degree(X,count[Y]) :- edge(X,Y).
+seed(x,s) :- node(x), s = 1.
+sim(Y,sum[s1]) :- seed(Y,s2), s1 = 0.2*s2;
+               :- sim(X,s), edge(X,Y), degree(X,d), s1 = 0.8*s/d;
+               {sum[Δs] < 0.0001}.
+)",
+       AggKind::kSum, true, false},
+
+      {"lca", "Lowest Common Ancestor", "[44]",
+       R"(
+@name lca.
+// Runs on the ancestor product graph (pair keys encoded as vertices):
+// minimum number of upward moves until the two walks meet.
+lca(X,v) :- X = 0, v = 0.
+lca(Y,min[v1]) :- lca(X,v), edge(X,Y), v1 = v + 1.
+)",
+       AggKind::kMin, true, false},
+
+      {"apsp", "APSP", "[50]",
+       R"(
+@name apsp.
+// All-pairs shortest paths: product-form, one SSSP instance per source
+// (pair keys (s,v) are encoded as vertices of the product graph).
+apsp(X,d) :- X = 0, d = 0.
+apsp(Y,min[d1]) :- apsp(X,d), edge(X,Y,w), d1 = d + w.
+)",
+       AggKind::kMin, true, true},
+
+      {"commnet", "CommNet", "[52]",
+       R"(
+@name commnet.
+@maxiters 20.
+// Multi-agent communication averaging step: the mean aggregate is not
+// associative, so Property 1 fails.
+comm(0,x,h) :- node(x), h = 1.
+comm(j+1,y,mean[h1]) :- comm(j,x,h), edge(x,y), h1 = 0.5*h.
+)",
+       AggKind::kMean, false, false},
+
+      {"gcn_forward", "GCN-Forward", "[22]",
+       R"(
+@name gcn_forward.
+@edges A.
+@maxiters 20.
+@bind p = 1.0.
+// Program 7: graph convolution forward pass; relu breaks Property 2
+// (sum(relu(sum(-1,2)), relu(sum(1,-2))) = 1 but the flattened form gives 3).
+gcn(0,x,g) :- node(x), g = 1.
+gcn(j+1,Y,sum[g1]) :- gcn(j,X,g), A(X,Y,w), g1 = relu(g*p)*w.
+)",
+       AggKind::kSum, false, true},
+  };
+  return kCatalog;
+}
+
+Result<CatalogEntry> GetCatalogEntry(const std::string& name) {
+  for (const CatalogEntry& entry : ProgramCatalog()) {
+    if (entry.name == name) return entry;
+  }
+  return Status::NotFound("no catalog program named '" + name + "'");
+}
+
+}  // namespace powerlog::datalog

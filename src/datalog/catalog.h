@@ -1,0 +1,38 @@
+// The fourteen recursive aggregate programs of Table 1, as Datalog source.
+//
+// Twelve pass the MRA condition check; CommNet (mean aggregate, fails
+// Property 1) and GCN-Forward (relu inside F', fails Property 2) do not.
+// Pair-keyed programs (LCA, APSP) are expressed in their per-source /
+// product-graph form, and Belief Propagation / SimRank use the paper's own
+// simplification (footnote 4: "abstracting vertex-pairs into vertices").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+
+namespace powerlog::datalog {
+
+struct CatalogEntry {
+  std::string name;          ///< machine name ("sssp")
+  std::string display_name;  ///< Table-1 name ("SSSP")
+  std::string citation;      ///< Table-1 provenance ("[24]")
+  std::string source;        ///< Datalog text
+  AggKind aggregate;         ///< Table-1 "Aggregator" column
+  bool expected_mra_sat;     ///< Table-1 "MRA sat." column
+  bool needs_weights;        ///< uses the edge weight column
+  /// True if the program reads edge weights as transition/coupling
+  /// probabilities (Adsorption's Markov matrix A, BP's E, Cost, Viterbi):
+  /// such programs run on the row-stochastic view of a dataset.
+  bool stochastic_weights = false;
+};
+
+/// All fourteen programs in Table-1 order.
+const std::vector<CatalogEntry>& ProgramCatalog();
+
+/// Lookup by machine name.
+Result<CatalogEntry> GetCatalogEntry(const std::string& name);
+
+}  // namespace powerlog::datalog

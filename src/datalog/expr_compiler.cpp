@@ -1,0 +1,257 @@
+#include "datalog/expr_compiler.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace powerlog::datalog {
+
+double CompiledExpr::Eval(double x, double w, double deg) const {
+  double stack[16];
+  size_t sp = 0;
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case OpCode::kPushConst: stack[sp++] = ins.imm; break;
+      case OpCode::kPushX: stack[sp++] = x; break;
+      case OpCode::kPushW: stack[sp++] = w; break;
+      case OpCode::kPushDeg: stack[sp++] = deg; break;
+      case OpCode::kAdd: --sp; stack[sp - 1] += stack[sp]; break;
+      case OpCode::kSub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case OpCode::kMul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case OpCode::kDiv: --sp; stack[sp - 1] /= stack[sp]; break;
+      case OpCode::kNeg: stack[sp - 1] = -stack[sp - 1]; break;
+      case OpCode::kMin: --sp; stack[sp - 1] = std::min(stack[sp - 1], stack[sp]); break;
+      case OpCode::kMax: --sp; stack[sp - 1] = std::max(stack[sp - 1], stack[sp]); break;
+      case OpCode::kRelu: stack[sp - 1] = stack[sp - 1] > 0 ? stack[sp - 1] : 0.0; break;
+      case OpCode::kAbs: stack[sp - 1] = std::abs(stack[sp - 1]); break;
+    }
+  }
+  return sp > 0 ? stack[sp - 1] : 0.0;
+}
+
+std::string CompiledExpr::Disassemble() const {
+  std::string out;
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case OpCode::kPushConst: out += StringFormat("push %g; ", ins.imm); break;
+      case OpCode::kPushX: out += "push x; "; break;
+      case OpCode::kPushW: out += "push w; "; break;
+      case OpCode::kPushDeg: out += "push deg; "; break;
+      case OpCode::kAdd: out += "add; "; break;
+      case OpCode::kSub: out += "sub; "; break;
+      case OpCode::kMul: out += "mul; "; break;
+      case OpCode::kDiv: out += "div; "; break;
+      case OpCode::kNeg: out += "neg; "; break;
+      case OpCode::kMin: out += "min; "; break;
+      case OpCode::kMax: out += "max; "; break;
+      case OpCode::kRelu: out += "relu; "; break;
+      case OpCode::kAbs: out += "abs; "; break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class ExprCompilerImpl {
+ public:
+  explicit ExprCompilerImpl(const CompileEnv& env) : env_(env) {}
+
+  Result<CompiledExpr> Compile(const ExprPtr& e) {
+    POWERLOG_RETURN_NOT_OK(Emit(e));
+    if (depth_max_ > 15) {
+      return Status::NotSupported("expression too deep (> 15 stack slots)");
+    }
+    return CompiledExpr::FromCode(std::move(code_), static_cast<size_t>(depth_max_));
+  }
+
+ private:
+  using OpCode = CompiledExpr::OpCode;
+
+  void Push(OpCode op, double imm = 0.0) {
+    code_.push_back(CompiledExpr::Instr{op, imm});
+  }
+
+  Status Emit(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kNumber:
+        Track(+1);
+        Push(OpCode::kPushConst, e->number_value);
+        return Status::OK();
+      case ExprKind::kVar: {
+        Track(+1);
+        if (e->var == env_.input_var) {
+          Push(OpCode::kPushX);
+        } else if (!env_.weight_var.empty() && e->var == env_.weight_var) {
+          Push(OpCode::kPushW);
+        } else if (!env_.degree_var.empty() && e->var == env_.degree_var) {
+          Push(OpCode::kPushDeg);
+        } else {
+          auto it = env_.const_bindings.find(e->var);
+          if (it == env_.const_bindings.end()) {
+            return Status::InvalidArgument("unbound variable in edge expression: " +
+                                           e->var);
+          }
+          Push(OpCode::kPushConst, it->second);
+        }
+        return Status::OK();
+      }
+      case ExprKind::kBinary: {
+        POWERLOG_RETURN_NOT_OK(Emit(e->lhs));
+        POWERLOG_RETURN_NOT_OK(Emit(e->rhs));
+        Track(-1);
+        switch (e->bin_op) {
+          case BinOp::kAdd: Push(OpCode::kAdd); break;
+          case BinOp::kSub: Push(OpCode::kSub); break;
+          case BinOp::kMul: Push(OpCode::kMul); break;
+          case BinOp::kDiv: Push(OpCode::kDiv); break;
+        }
+        return Status::OK();
+      }
+      case ExprKind::kCall: {
+        const std::string name = ToLower(e->callee);
+        if (name == "relu" || name == "abs") {
+          if (e->call_args.size() != 1) {
+            return Status::InvalidArgument(name + " takes one argument");
+          }
+          POWERLOG_RETURN_NOT_OK(Emit(e->call_args[0]));
+          Push(name == "relu" ? OpCode::kRelu : OpCode::kAbs);
+          return Status::OK();
+        }
+        if (name == "min" || name == "max") {
+          if (e->call_args.size() != 2) {
+            return Status::InvalidArgument(name + " takes two arguments");
+          }
+          POWERLOG_RETURN_NOT_OK(Emit(e->call_args[0]));
+          POWERLOG_RETURN_NOT_OK(Emit(e->call_args[1]));
+          Track(-1);
+          Push(name == "min" ? OpCode::kMin : OpCode::kMax);
+          return Status::OK();
+        }
+        return Status::NotSupported("unknown function: " + e->callee);
+      }
+      case ExprKind::kWildcard:
+        return Status::InvalidArgument("wildcard in arithmetic expression");
+    }
+    return Status::Internal("unreachable expression kind");
+  }
+
+  void Track(int delta) {
+    depth_ += delta;
+    if (depth_ > depth_max_) depth_max_ = depth_;
+  }
+
+  const CompileEnv& env_;
+  std::vector<CompiledExpr::Instr> code_;
+  int depth_ = 0;
+  int depth_max_ = 0;
+};
+
+}  // namespace
+
+Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const CompileEnv& env) {
+  ExprCompilerImpl impl(env);
+  return impl.Compile(expr);
+}
+
+Result<smt::TermPtr> ExprToTerm(const ExprPtr& expr,
+                                const std::map<std::string, std::string>& rename) {
+  switch (expr->kind) {
+    case ExprKind::kNumber: {
+      if (!expr->number_text.empty()) {
+        auto r = smt::Rational::FromDecimalString(expr->number_text);
+        if (r.ok()) return smt::Const(*r);
+      }
+      return smt::ConstDouble(expr->number_value);
+    }
+    case ExprKind::kVar: {
+      auto it = rename.find(expr->var);
+      return smt::Var(it == rename.end() ? expr->var : it->second);
+    }
+    case ExprKind::kBinary: {
+      auto l = ExprToTerm(expr->lhs, rename);
+      if (!l.ok()) return l;
+      auto r = ExprToTerm(expr->rhs, rename);
+      if (!r.ok()) return r;
+      switch (expr->bin_op) {
+        case BinOp::kAdd: return smt::Add(*l, *r);
+        case BinOp::kSub: return smt::Sub(*l, *r);
+        case BinOp::kMul: return smt::Mul(*l, *r);
+        case BinOp::kDiv: return smt::Div(*l, *r);
+      }
+      return Status::Internal("unreachable binop");
+    }
+    case ExprKind::kCall: {
+      const std::string name = ToLower(expr->callee);
+      std::vector<smt::TermPtr> args;
+      for (const auto& a : expr->call_args) {
+        auto t = ExprToTerm(a, rename);
+        if (!t.ok()) return t;
+        args.push_back(*t);
+      }
+      if (name == "relu" && args.size() == 1) return smt::Relu(args[0]);
+      if (name == "abs" && args.size() == 1) return smt::Abs(args[0]);
+      if (name == "min" && args.size() == 2) return smt::Min(args[0], args[1]);
+      if (name == "max" && args.size() == 2) return smt::Max(args[0], args[1]);
+      return Status::NotSupported("unknown function in term conversion: " +
+                                  expr->callee);
+    }
+    case ExprKind::kWildcard:
+      return Status::InvalidArgument("wildcard cannot be converted to a term");
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<double> EvalConstExpr(const ExprPtr& expr,
+                             const std::map<std::string, double>& bindings) {
+  switch (expr->kind) {
+    case ExprKind::kNumber:
+      return expr->number_value;
+    case ExprKind::kVar: {
+      auto it = bindings.find(expr->var);
+      if (it == bindings.end()) {
+        return Status::NotFound("unbound variable in constant expression: " + expr->var);
+      }
+      return it->second;
+    }
+    case ExprKind::kBinary: {
+      auto l = EvalConstExpr(expr->lhs, bindings);
+      if (!l.ok()) return l;
+      auto r = EvalConstExpr(expr->rhs, bindings);
+      if (!r.ok()) return r;
+      switch (expr->bin_op) {
+        case BinOp::kAdd: return *l + *r;
+        case BinOp::kSub: return *l - *r;
+        case BinOp::kMul: return *l * *r;
+        case BinOp::kDiv:
+          if (*r == 0.0) return Status::InvalidArgument("constant division by zero");
+          return *l / *r;
+      }
+      return Status::Internal("unreachable binop");
+    }
+    case ExprKind::kCall: {
+      const std::string name = ToLower(expr->callee);
+      if (expr->call_args.size() == 1) {
+        auto a = EvalConstExpr(expr->call_args[0], bindings);
+        if (!a.ok()) return a;
+        if (name == "relu") return *a > 0 ? *a : 0.0;
+        if (name == "abs") return std::abs(*a);
+      }
+      if (expr->call_args.size() == 2) {
+        auto a = EvalConstExpr(expr->call_args[0], bindings);
+        if (!a.ok()) return a;
+        auto b = EvalConstExpr(expr->call_args[1], bindings);
+        if (!b.ok()) return b;
+        if (name == "min") return std::min(*a, *b);
+        if (name == "max") return std::max(*a, *b);
+      }
+      return Status::NotSupported("unknown function in constant expression: " +
+                                  expr->callee);
+    }
+    case ExprKind::kWildcard:
+      return Status::InvalidArgument("wildcard in constant expression");
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace powerlog::datalog

@@ -1,0 +1,86 @@
+// Compiles body expressions into a tiny stack VM evaluable per edge, and
+// converts expression ASTs into SMT terms for the condition checker.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+#include "smt/term.h"
+
+namespace powerlog::datalog {
+
+/// \brief A compiled arithmetic expression over the runtime inputs
+/// (x = recursive value, w = edge weight, deg = source out-degree).
+///
+/// All named constants are folded at compile time, so evaluation is a tight
+/// loop over a handful of instructions — this runs once per edge per delta.
+class CompiledExpr {
+ public:
+  /// Evaluates with the given runtime inputs. No allocation.
+  double Eval(double x, double w, double deg) const;
+
+  size_t num_instructions() const { return code_.size(); }
+
+  std::string Disassemble() const;
+
+  // Implementation details, public for the compiler in expr_compiler.cpp.
+  enum class OpCode : uint8_t {
+    kPushConst,
+    kPushX,
+    kPushW,
+    kPushDeg,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kNeg,
+    kMin,
+    kMax,
+    kRelu,
+    kAbs,
+  };
+  struct Instr {
+    OpCode op;
+    double imm;  // kPushConst only
+  };
+
+  /// Assembles a compiled expression from raw instructions (compiler only).
+  static CompiledExpr FromCode(std::vector<Instr> code, size_t max_stack) {
+    CompiledExpr e;
+    e.code_ = std::move(code);
+    e.max_stack_ = max_stack;
+    return e;
+  }
+
+ private:
+  std::vector<Instr> code_;
+  size_t max_stack_ = 0;
+};
+
+/// \brief Compiler context: which variable plays which runtime role, and
+/// constant bindings for all remaining symbols.
+struct CompileEnv {
+  std::string input_var;   ///< maps to x
+  std::string weight_var;  ///< maps to w ("" if unused)
+  std::string degree_var;  ///< maps to deg ("" if unused)
+  std::map<std::string, double> const_bindings;
+};
+
+/// Compiles `expr` under `env`. Unknown variables are an error.
+Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const CompileEnv& env);
+
+/// Converts an expression AST to an SMT term. Variables stay symbolic except
+/// `rename` entries (e.g. the recursive value var -> "x"). Calls supported:
+/// relu, abs, min, max.
+Result<smt::TermPtr> ExprToTerm(const ExprPtr& expr,
+                                const std::map<std::string, std::string>& rename);
+
+/// Numeric constant folding of an expression under bindings; error if any
+/// unbound variable or unsupported call remains.
+Result<double> EvalConstExpr(const ExprPtr& expr,
+                             const std::map<std::string, double>& bindings);
+
+}  // namespace powerlog::datalog

@@ -1,0 +1,191 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace powerlog::datalog {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kUnderscore: return "'_'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(unsigned char c) {
+  return std::isalpha(c) || c == '_' || c >= 0x80;  // UTF-8 continuation ok
+}
+
+bool IsIdentChar(unsigned char c) {
+  return std::isalnum(c) || c == '_' || c >= 0x80;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::string text, int tline, int tcol) {
+    tokens.push_back(Token{kind, std::move(text), tline, tcol});
+  };
+
+  while (i < n) {
+    const unsigned char c = static_cast<unsigned char>(source[i]);
+    const int tline = line;
+    const int tcol = col;
+
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(c)) {
+      ++col;
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '%' || (c == '/' && i + 1 < n && source[i + 1] == '/')) {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    // '·' multiplication (UTF-8 0xC2 0xB7).
+    if (c == 0xC2 && i + 1 < n && static_cast<unsigned char>(source[i + 1]) == 0xB7) {
+      push(TokenKind::kStar, "*", tline, tcol);
+      i += 2;
+      col += 1;
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < n && source[i + 1] == '-') {
+        push(TokenKind::kImplies, ":-", tline, tcol);
+        i += 2;
+        col += 2;
+        continue;
+      }
+      return Status::ParseError(
+          StringFormat("%d:%d: expected ':-' after ':'", tline, tcol));
+    }
+    if (std::isdigit(c) || (c == '.' && i + 1 < n && std::isdigit(
+                                static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      bool seen_dot = false;
+      while (i < n) {
+        const char d = source[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !seen_dot && i + 1 < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+          seen_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && i + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(source[i + 1])) ||
+                    ((source[i + 1] == '+' || source[i + 1] == '-') && i + 2 < n &&
+                     std::isdigit(static_cast<unsigned char>(source[i + 2]))))) {
+          i += 2;
+          while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+          break;
+        } else {
+          break;
+        }
+      }
+      std::string text = source.substr(start, i - start);
+      col += static_cast<int>(i - start);
+      push(TokenKind::kNumber, std::move(text), tline, tcol);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(static_cast<unsigned char>(source[i]))) ++i;
+      std::string text = source.substr(start, i - start);
+      col += static_cast<int>(i - start);
+      if (text == "_") {
+        push(TokenKind::kUnderscore, "_", tline, tcol);
+      } else {
+        push(TokenKind::kIdent, std::move(text), tline, tcol);
+      }
+      continue;
+    }
+
+    TokenKind kind;
+    std::string text(1, static_cast<char>(c));
+    size_t len = 1;
+    switch (c) {
+      case '.': kind = TokenKind::kDot; break;
+      case ',': kind = TokenKind::kComma; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '=': kind = TokenKind::kEquals; break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          kind = TokenKind::kLessEq;
+          text = "<=";
+          len = 2;
+        } else {
+          kind = TokenKind::kLess;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          kind = TokenKind::kGreaterEq;
+          text = ">=";
+          len = 2;
+        } else {
+          kind = TokenKind::kGreater;
+        }
+        break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '@': kind = TokenKind::kAt; break;
+      default:
+        return Status::ParseError(
+            StringFormat("%d:%d: unexpected character '%c' (0x%02x)", tline, tcol,
+                         std::isprint(c) ? static_cast<char>(c) : '?', c));
+    }
+    push(kind, std::move(text), tline, tcol);
+    i += len;
+    col += static_cast<int>(len);
+  }
+  push(TokenKind::kEof, "", line, col);
+  return tokens;
+}
+
+}  // namespace powerlog::datalog

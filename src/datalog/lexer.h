@@ -1,0 +1,58 @@
+// Tokenizer for the paper's Datalog dialect.
+//
+// Extensions over textbook Datalog, following the paper:
+//  * aggregates in rule heads:            sssp(Y, min[dy])
+//  * arithmetic in bodies:                dy = dx + dxy
+//  * termination clauses:                 {sum[Δa] < 0.001}
+//  * '·' (U+00B7) as multiplication, 'Δ' (U+0394) as an identifier char
+//  * '@' annotation lines:                @assume d > 0.
+// Comments: '//' and '%' to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace powerlog::datalog {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kImplies,   // :-
+  kDot,
+  kComma,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kEquals,
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kUnderscore,
+  kAt,
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier or number text
+  int line;
+  int column;
+};
+
+/// Tokenizes `source`; the resulting stream always ends with kEof.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace powerlog::datalog

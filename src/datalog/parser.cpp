@@ -1,0 +1,292 @@
+#include "datalog/parser.h"
+
+#include "common/string_util.h"
+#include "datalog/lexer.h"
+
+namespace powerlog::datalog {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!Check(TokenKind::kEof)) {
+      if (Check(TokenKind::kAt)) {
+        POWERLOG_RETURN_NOT_OK(ParseAnnotation(&program));
+      } else {
+        auto rule = ParseRule();
+        if (!rule.ok()) return rule.status();
+        program.rules.push_back(std::move(rule).ValueOrDie());
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ErrorHere(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError(StringFormat("%d:%d: %s (found %s '%s')", t.line, t.column,
+                                           what.c_str(), TokenKindName(t.kind),
+                                           t.text.c_str()));
+  }
+
+  Status Expect(TokenKind kind, const char* context) {
+    if (Match(kind)) return Status::OK();
+    return ErrorHere(StringFormat("expected %s in %s", TokenKindName(kind), context));
+  }
+
+  Status ParseAnnotation(Program* program) {
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kAt, "annotation"));
+    if (!Check(TokenKind::kIdent)) return ErrorHere("expected annotation name");
+    std::string key = Advance().text;
+    std::vector<std::string> values;
+    while (!Check(TokenKind::kDot) && !Check(TokenKind::kEof)) {
+      values.push_back(Advance().text);
+    }
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kDot, "annotation"));
+    program->annotations.emplace(std::move(key), std::move(values));
+    return Status::OK();
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    rule.line = Peek().line;
+    auto head = ParseHead();
+    if (!head.ok()) return head.status();
+    rule.head = std::move(head).ValueOrDie();
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kImplies, "rule"));
+    while (true) {
+      if (Check(TokenKind::kLBrace)) {
+        auto tc = ParseTermination();
+        if (!tc.ok()) return tc.status();
+        rule.termination = std::move(tc).ValueOrDie();
+      } else {
+        auto body = ParseBody();
+        if (!body.ok()) return body.status();
+        rule.bodies.push_back(std::move(body).ValueOrDie());
+      }
+      if (Match(TokenKind::kSemicolon)) {
+        Match(TokenKind::kImplies);  // optional ':-' before each extra body
+        if (Check(TokenKind::kDot)) break;  // trailing ';' before '.'
+        continue;
+      }
+      break;
+    }
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kDot, "rule"));
+    if (rule.bodies.empty()) {
+      return Status::ParseError(
+          StringFormat("%d: rule has no body", rule.line));
+    }
+    return rule;
+  }
+
+  Result<HeadAtom> ParseHead() {
+    if (!Check(TokenKind::kIdent)) return ErrorHere("expected head predicate");
+    HeadAtom head;
+    head.predicate = Advance().text;
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kLParen, "rule head"));
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        auto arg = ParseHeadArg();
+        if (!arg.ok()) return arg.status();
+        head.args.push_back(std::move(arg).ValueOrDie());
+      } while (Match(TokenKind::kComma));
+    }
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen, "rule head"));
+    return head;
+  }
+
+  Result<HeadArg> ParseHeadArg() {
+    // `agg[expr]` if an aggregate name is directly followed by '['.
+    if (Check(TokenKind::kIdent) && Peek(1).kind == TokenKind::kLBracket) {
+      auto agg = AggKindFromName(Peek().text);
+      if (agg) {
+        Advance();  // agg name
+        Advance();  // '['
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner.status();
+        POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "aggregate"));
+        HeadArg arg;
+        arg.aggregate = *agg;
+        arg.agg_input = std::move(inner).ValueOrDie();
+        return arg;
+      }
+    }
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    HeadArg arg;
+    arg.expr = std::move(e).ValueOrDie();
+    return arg;
+  }
+
+  Result<TerminationClause> ParseTermination() {
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kLBrace, "termination clause"));
+    if (!Check(TokenKind::kIdent)) return ErrorHere("expected aggregate name");
+    auto agg = AggKindFromName(Peek().text);
+    if (!agg) return ErrorHere("unknown aggregate in termination clause");
+    Advance();
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "termination clause"));
+    if (!Check(TokenKind::kIdent)) return ErrorHere("expected delta variable");
+    std::string var = Advance().text;
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "termination clause"));
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kLess, "termination clause"));
+    if (!Check(TokenKind::kNumber)) return ErrorHere("expected epsilon");
+    auto eps = ParseDouble(Peek().text);
+    if (!eps.ok()) return eps.status();
+    Advance();
+    POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "termination clause"));
+    TerminationClause tc;
+    tc.agg = *agg;
+    tc.delta_var = std::move(var);
+    tc.epsilon = *eps;
+    return tc;
+  }
+
+  Result<RuleBody> ParseBody() {
+    RuleBody body;
+    do {
+      auto lit = ParseLiteral();
+      if (!lit.ok()) return lit.status();
+      body.literals.push_back(std::move(lit).ValueOrDie());
+    } while (Match(TokenKind::kComma));
+    return body;
+  }
+
+  Result<BodyLiteral> ParseLiteral() {
+    auto lhs = ParseExpr();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr lhs_e = std::move(lhs).ValueOrDie();
+
+    CmpOp op;
+    bool has_cmp = true;
+    if (Match(TokenKind::kEquals)) {
+      op = CmpOp::kEq;
+    } else if (Match(TokenKind::kLess)) {
+      op = CmpOp::kLt;
+    } else if (Match(TokenKind::kLessEq)) {
+      op = CmpOp::kLe;
+    } else if (Match(TokenKind::kGreater)) {
+      op = CmpOp::kGt;
+    } else if (Match(TokenKind::kGreaterEq)) {
+      op = CmpOp::kGe;
+    } else {
+      has_cmp = false;
+    }
+
+    BodyLiteral lit;
+    if (has_cmp) {
+      auto rhs = ParseExpr();
+      if (!rhs.ok()) return rhs.status();
+      lit.kind = BodyLiteral::Kind::kComparison;
+      lit.cmp_op = op;
+      lit.lhs = std::move(lhs_e);
+      lit.rhs = std::move(rhs).ValueOrDie();
+      return lit;
+    }
+    // No comparison: the expression must be a bare predicate atom.
+    if (lhs_e->kind != ExprKind::kCall) {
+      return ErrorHere("expected predicate atom or comparison");
+    }
+    lit.kind = BodyLiteral::Kind::kPredicate;
+    lit.predicate = lhs_e->callee;
+    lit.args = lhs_e->call_args;
+    return lit;
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).ValueOrDie();
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      const BinOp op = Check(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      auto rhs = ParseTerm();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(op, std::move(e), std::move(rhs).ValueOrDie());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).ValueOrDie();
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      const BinOp op = Check(TokenKind::kStar) ? BinOp::kMul : BinOp::kDiv;
+      Advance();
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(op, std::move(e), std::move(rhs).ValueOrDie());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (Check(TokenKind::kNumber)) {
+      const std::string text = Advance().text;
+      auto v = ParseDouble(text);
+      if (!v.ok()) return v.status();
+      return MakeNumber(*v, text);
+    }
+    if (Match(TokenKind::kMinus)) {
+      auto inner = ParseFactor();
+      if (!inner.ok()) return inner;
+      return MakeBinary(BinOp::kSub, MakeNumber(0.0, "0"),
+                        std::move(inner).ValueOrDie());
+    }
+    if (Match(TokenKind::kUnderscore)) {
+      return MakeWildcard();
+    }
+    if (Check(TokenKind::kIdent)) {
+      std::string name = Advance().text;
+      if (Match(TokenKind::kLParen)) {
+        std::vector<ExprPtr> args;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            auto a = ParseExpr();
+            if (!a.ok()) return a;
+            args.push_back(std::move(a).ValueOrDie());
+          } while (Match(TokenKind::kComma));
+        }
+        POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen, "call"));
+        return MakeCall(std::move(name), std::move(args));
+      }
+      return MakeVar(std::move(name));
+    }
+    if (Match(TokenKind::kLParen)) {
+      auto e = ParseExpr();
+      if (!e.ok()) return e;
+      POWERLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen, "parenthesised expression"));
+      return e;
+    }
+    return ErrorHere("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(const std::string& source) {
+  auto tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).ValueOrDie());
+  return parser.ParseProgram();
+}
+
+}  // namespace powerlog::datalog

@@ -1,0 +1,17 @@
+// Recursive-descent parser producing the Program AST.
+//
+// (The paper uses an ANTLR-generated parser; a hand-written one covers the
+// same grammar with better error messages and no codegen dependency.)
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+
+namespace powerlog::datalog {
+
+/// Parses Datalog source text into a Program. Errors carry line:column.
+Result<Program> Parse(const std::string& source);
+
+}  // namespace powerlog::datalog

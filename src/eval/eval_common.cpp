@@ -1,0 +1,62 @@
+#include "eval/eval_common.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace powerlog::eval {
+
+std::string EvalResult::Summary() const {
+  return StringFormat("iterations=%lld, edge_applications=%lld, converged=%s",
+                      static_cast<long long>(iterations),
+                      static_cast<long long>(edge_applications),
+                      converged ? "true" : "false");
+}
+
+TerminationParams ResolveTermination(const Kernel& kernel, const EvalOptions& options) {
+  TerminationParams params;
+  params.epsilon = options.epsilon_override >= 0
+                       ? options.epsilon_override
+                       : (kernel.termination.has_epsilon ? kernel.termination.epsilon
+                                                         : 0.0);
+  params.max_iterations = options.max_iterations;
+  if (kernel.termination.max_iterations > 0 &&
+      kernel.termination.max_iterations < params.max_iterations) {
+    params.max_iterations = kernel.termination.max_iterations;
+  }
+  return params;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = a.size() == b.size() ? 0.0 : std::numeric_limits<double>::infinity();
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isinf(a[i]) && std::isinf(b[i]) && a[i] == b[i]) continue;
+    if (std::isnan(a[i]) || std::isnan(b[i])) {
+      // NaN marks "no fact" (mean programs): same-absent is equal,
+      // absent-vs-present counts as a unit difference.
+      if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+      worst = std::max(worst, 1.0);
+      continue;
+    }
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double SumAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isinf(a[i]) && std::isinf(b[i]) && a[i] == b[i]) continue;
+    if (std::isnan(a[i]) || std::isnan(b[i])) {
+      if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+      total += 1.0;
+      continue;
+    }
+    total += std::abs(a[i] - b[i]);
+  }
+  return total;
+}
+
+}  // namespace powerlog::eval

@@ -1,0 +1,44 @@
+// Shared types for the single-node reference evaluators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kernel.h"
+#include "graph/graph.h"
+
+namespace powerlog::eval {
+
+/// \brief Common knobs for all evaluators. Program-specified termination
+/// (epsilon / max iterations from the kernel) applies on top.
+struct EvalOptions {
+  int64_t max_iterations = 100000;  ///< hard system-level cap (§2.2)
+  double epsilon_override = -1.0;   ///< <0: use the kernel's epsilon
+};
+
+/// \brief Evaluation outcome: final per-key values plus statistics.
+struct EvalResult {
+  std::vector<double> values;
+  int64_t iterations = 0;
+  int64_t edge_applications = 0;  ///< number of F' applications (work metric)
+  bool converged = false;         ///< reached fixpoint / epsilon (vs. cap)
+
+  std::string Summary() const;
+};
+
+/// Resolved termination parameters for a kernel + options pair.
+struct TerminationParams {
+  double epsilon;        ///< <= 0 means exact-fixpoint only
+  int64_t max_iterations;
+};
+TerminationParams ResolveTermination(const Kernel& kernel, const EvalOptions& options);
+
+/// L∞ distance between two value vectors (result comparison in tests).
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b);
+
+/// L1 distance, treating matching infinities as zero difference.
+double SumAbsDiff(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace powerlog::eval

@@ -1,0 +1,78 @@
+#include "eval/mra.h"
+
+#include <cmath>
+
+namespace powerlog::eval {
+
+Result<EvalResult> MraEvaluate(const Kernel& kernel, const Graph& graph,
+                               const EvalOptions& options) {
+  if (kernel.agg == AggKind::kMean) {
+    return Status::ConditionViolated("mean programs fail the MRA conditions");
+  }
+  const VertexId n = graph.num_vertices();
+  auto init = ComputeInitialState(kernel, graph);
+  if (!init.ok()) return init.status();
+  Aggregator agg(kernel.agg);
+  const double identity = *agg.Identity();
+  const bool ordered = kernel.agg == AggKind::kMin || kernel.agg == AggKind::kMax;
+
+  // Mirrors the MonoTable protocol: `x` is the accumulation column, `delta`
+  // the intermediate column, initialised to (X⁰, ΔX¹).
+  std::vector<double> x = init->x0;
+  std::vector<double> delta = init->delta0;
+  const Graph& prop = kernel.uses_in_edges ? graph.Reverse() : graph;
+  const TerminationParams term = ResolveTermination(kernel, options);
+  EvalResult result;
+  std::vector<double> next(n, identity);
+
+  while (result.iterations < term.max_iterations) {
+    ++result.iterations;
+    bool any = false;
+    for (VertexId src = 0; src < n; ++src) {
+      const double d = delta[src];
+      if (d == identity) continue;
+      if (ordered && !agg.Improves(x[src], d)) continue;  // stale delta
+      // Harvest: fold into the accumulation, then propagate F'(d).
+      x[src] = x[src] == identity ? d : *agg.Combine(x[src], d);
+      any = true;
+      const double deg = static_cast<double>(graph.OutDegree(src));
+      for (const Edge& e : prop.OutEdges(src)) {
+        const double contribution = kernel.EvalEdge(d, e.weight, deg);
+        ++result.edge_applications;
+        next[e.dst] = next[e.dst] == identity ? contribution
+                                              : *agg.Combine(next[e.dst], contribution);
+      }
+    }
+    if (!any) {
+      result.converged = true;
+      break;
+    }
+    double new_mass = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      delta[v] = next[v];
+      next[v] = identity;
+      if (delta[v] == identity) continue;
+      if (ordered) {
+        if (agg.Improves(x[v], delta[v])) new_mass += 1.0;
+      } else {
+        new_mass += std::abs(delta[v]);
+      }
+    }
+    if (new_mass == 0.0) {
+      result.converged = true;
+      break;
+    }
+    if (!ordered && term.epsilon > 0.0 && new_mass < term.epsilon) {
+      // Fold the remaining sub-epsilon deltas so X is a proper prefix sum.
+      for (VertexId v = 0; v < n; ++v) {
+        if (delta[v] != identity) x[v] = *agg.Combine(x[v], delta[v]);
+      }
+      result.converged = true;
+      break;
+    }
+  }
+  result.values = std::move(x);
+  return result;
+}
+
+}  // namespace powerlog::eval

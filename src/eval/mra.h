@@ -1,0 +1,16 @@
+// MRA evaluation (Eq. 4) — the paper's contribution, single-node reference:
+//   ΔX_k = G∘F'(ΔX_{k-1});   X_k = G(X_{k-1} ∪ ΔX_k).
+// Valid for every program passing the MRA condition check, including
+// convertible non-monotonic ones (PageRank et al.).
+#pragma once
+
+#include "eval/eval_common.h"
+
+namespace powerlog::eval {
+
+/// Runs synchronous MRA evaluation to fixpoint / epsilon / cap.
+/// Fails with ConditionViolated for mean programs (no identity).
+Result<EvalResult> MraEvaluate(const Kernel& kernel, const Graph& graph,
+                               const EvalOptions& options = {});
+
+}  // namespace powerlog::eval

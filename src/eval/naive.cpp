@@ -1,0 +1,151 @@
+#include "eval/naive.h"
+
+#include <cmath>
+#include <limits>
+
+namespace powerlog::eval {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// "No fact derived" marker: aggregate identity where one exists, NaN for
+/// mean (which has no identity).
+double AbsentMarker(const Kernel& kernel) {
+  Aggregator agg(kernel.agg);
+  auto id = agg.Identity();
+  return id.ok() ? *id : kNan;
+}
+
+bool IsAbsent(const Kernel& kernel, double absent, double v) {
+  if (kernel.agg == AggKind::kMean) return std::isnan(v);
+  return v == absent;
+}
+
+}  // namespace
+
+Result<std::vector<double>> NaiveStep(const Kernel& kernel, const Graph& graph,
+                                      const std::vector<double>& x,
+                                      int64_t* edge_applications) {
+  const VertexId n = graph.num_vertices();
+  if (x.size() != n) return Status::InvalidArgument("NaiveStep: size mismatch");
+  const double absent = AbsentMarker(kernel);
+  Aggregator agg(kernel.agg);
+
+  // Fold state: accumulated combine + contribution count (count drives mean
+  // and distinguishes "no fact" from "identity-valued fact").
+  std::vector<double> acc(n, 0.0);
+  std::vector<uint32_t> cnt(n, 0);
+  auto contribute = [&](VertexId y, double v) {
+    if (cnt[y] == 0) {
+      acc[y] = v;
+    } else if (kernel.agg == AggKind::kMean) {
+      acc[y] += v;
+    } else {
+      acc[y] = *agg.Combine(acc[y], v);  // min/max/sum/count always combine OK
+    }
+    ++cnt[y];
+  };
+
+  // Non-recursive bodies of F: the constant part C ...
+  switch (kernel.constant.kind) {
+    case datalog::ConstKind::kNone:
+      break;
+    case datalog::ConstKind::kAllVertices:
+      for (VertexId v = 0; v < n; ++v) contribute(v, kernel.constant.value);
+      break;
+    case datalog::ConstKind::kSingleKey:
+      if (kernel.constant.key >= n) {
+        return Status::OutOfRange("constant key out of range");
+      }
+      contribute(kernel.constant.key, kernel.constant.value);
+      break;
+  }
+  // ... and init facts that are re-derived every iteration.
+  if (!kernel.init.iteration_indexed) {
+    switch (kernel.init.kind) {
+      case datalog::InitKind::kNone:
+        break;
+      case datalog::InitKind::kAllVerticesConst:
+        for (VertexId v = 0; v < n; ++v) contribute(v, kernel.init.value);
+        break;
+      case datalog::InitKind::kAllVerticesOwnId:
+        for (VertexId v = 0; v < n; ++v) contribute(v, static_cast<double>(v));
+        break;
+      case datalog::InitKind::kSingleSource:
+        if (kernel.init.source >= n) {
+          return Status::OutOfRange("init source out of range");
+        }
+        contribute(kernel.init.source, kernel.init.value);
+        break;
+    }
+  }
+
+  // Recursive body: apply F' along every edge from a vertex holding a fact.
+  const Graph& prop = kernel.uses_in_edges ? graph.Reverse() : graph;
+  int64_t applications = 0;
+  for (VertexId src = 0; src < n; ++src) {
+    const double value = x[src];
+    if (IsAbsent(kernel, absent, value)) continue;
+    const double deg = static_cast<double>(graph.OutDegree(src));
+    for (const Edge& e : prop.OutEdges(src)) {
+      contribute(e.dst, kernel.EvalEdge(value, e.weight, deg));
+      ++applications;
+    }
+  }
+  if (edge_applications != nullptr) *edge_applications += applications;
+
+  std::vector<double> next(n, absent);
+  for (VertexId v = 0; v < n; ++v) {
+    if (cnt[v] == 0) continue;
+    next[v] = kernel.agg == AggKind::kMean ? acc[v] / cnt[v] : acc[v];
+  }
+  return next;
+}
+
+Result<EvalResult> NaiveEvaluate(const Kernel& kernel, const Graph& graph,
+                                 const EvalOptions& options) {
+  const VertexId n = graph.num_vertices();
+  auto x0 = ComputeX0(kernel, n);
+  if (!x0.ok()) {
+    // mean programs have no identity: start from "no facts" (NaN markers)
+    // plus the init rule's facts.
+    if (kernel.agg != AggKind::kMean) return x0.status();
+    std::vector<double> init(n, kNan);
+    switch (kernel.init.kind) {
+      case datalog::InitKind::kNone:
+        break;
+      case datalog::InitKind::kAllVerticesConst:
+        std::fill(init.begin(), init.end(), kernel.init.value);
+        break;
+      case datalog::InitKind::kAllVerticesOwnId:
+        for (VertexId v = 0; v < n; ++v) init[v] = static_cast<double>(v);
+        break;
+      case datalog::InitKind::kSingleSource:
+        if (kernel.init.source >= n) {
+          return Status::OutOfRange("init source out of range");
+        }
+        init[kernel.init.source] = kernel.init.value;
+        break;
+    }
+    x0 = std::move(init);
+  }
+
+  const TerminationParams term = ResolveTermination(kernel, options);
+  EvalResult result;
+  std::vector<double> x = std::move(x0).ValueOrDie();
+  for (int64_t k = 0; k < term.max_iterations; ++k) {
+    auto next = NaiveStep(kernel, graph, x, &result.edge_applications);
+    if (!next.ok()) return next.status();
+    ++result.iterations;
+    const double diff = SumAbsDiff(*next, x);
+    x = std::move(next).ValueOrDie();
+    if (diff == 0.0 || (term.epsilon > 0.0 && diff < term.epsilon)) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.values = std::move(x);
+  return result;
+}
+
+}  // namespace powerlog::eval

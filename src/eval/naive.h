@@ -1,0 +1,21 @@
+// Naive evaluation (Eq. 2): X_k = G∘F(X_{k-1}), recomputing every fact each
+// iteration. The correctness oracle for everything else, and the execution
+// strategy comparator systems fall back to for non-monotonic programs.
+#pragma once
+
+#include "eval/eval_common.h"
+
+namespace powerlog::eval {
+
+/// One naive step: X' = G∘F(X). Exposed for the ΔX¹ verification (§3.3).
+/// F includes the non-recursive bodies: re-derived init facts (when the init
+/// rule is not iteration-indexed) and the constant part C.
+Result<std::vector<double>> NaiveStep(const Kernel& kernel, const Graph& graph,
+                                      const std::vector<double>& x,
+                                      int64_t* edge_applications = nullptr);
+
+/// Runs naive evaluation to fixpoint / epsilon / iteration cap.
+Result<EvalResult> NaiveEvaluate(const Kernel& kernel, const Graph& graph,
+                                 const EvalOptions& options = {});
+
+}  // namespace powerlog::eval

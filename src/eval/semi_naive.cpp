@@ -1,0 +1,67 @@
+#include "eval/semi_naive.h"
+
+namespace powerlog::eval {
+
+Result<EvalResult> SemiNaiveEvaluate(const Kernel& kernel, const Graph& graph,
+                                     const EvalOptions& options) {
+  if (kernel.agg != AggKind::kMin && kernel.agg != AggKind::kMax) {
+    return Status::ConditionViolated(
+        "semi-naive evaluation supports only monotonic (min/max) programs; use MRA "
+        "evaluation for convertible programs");
+  }
+  const VertexId n = graph.num_vertices();
+  auto x0 = ComputeX0(kernel, n);
+  if (!x0.ok()) return x0.status();
+  Aggregator agg(kernel.agg);
+  const double identity = *agg.Identity();
+
+  std::vector<double> x = std::move(x0).ValueOrDie();
+  // ΔX⁰ = X⁰: every initial fact is in the first frontier.
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v) {
+    if (x[v] != identity) frontier.push_back(v);
+  }
+
+  const Graph& prop = kernel.uses_in_edges ? graph.Reverse() : graph;
+  const TerminationParams term = ResolveTermination(kernel, options);
+  EvalResult result;
+  std::vector<double> candidate(n, identity);
+  std::vector<bool> in_next(n, false);
+
+  while (!frontier.empty() && result.iterations < term.max_iterations) {
+    ++result.iterations;
+    std::vector<VertexId> next;
+    for (VertexId src : frontier) {
+      const double value = x[src];
+      const double deg = static_cast<double>(graph.OutDegree(src));
+      for (const Edge& e : prop.OutEdges(src)) {
+        const double contribution = kernel.EvalEdge(value, e.weight, deg);
+        ++result.edge_applications;
+        if (!agg.Improves(candidate[e.dst], contribution)) continue;
+        candidate[e.dst] = contribution;
+      }
+    }
+    // Merge candidates into X; changed keys form the next frontier.
+    for (VertexId src : frontier) {
+      for (const Edge& e : prop.OutEdges(src)) {
+        const VertexId y = e.dst;
+        if (candidate[y] == identity) continue;
+        if (agg.Improves(x[y], candidate[y])) {
+          x[y] = candidate[y];
+          if (!in_next[y]) {
+            in_next[y] = true;
+            next.push_back(y);
+          }
+        }
+        candidate[y] = identity;
+      }
+    }
+    for (VertexId v : next) in_next[v] = false;
+    frontier = std::move(next);
+  }
+  result.converged = frontier.empty();
+  result.values = std::move(x);
+  return result;
+}
+
+}  // namespace powerlog::eval

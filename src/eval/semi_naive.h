@@ -1,0 +1,16 @@
+// Semi-naive evaluation (Eq. 3): propagates only the per-iteration frontier
+// of changed keys. Sound for monotonic (min/max) programs only — exactly the
+// scope existing systems support (§2.3); sum/count programs are rejected,
+// which is what MRA evaluation (mra.h) lifts.
+#pragma once
+
+#include "eval/eval_common.h"
+
+namespace powerlog::eval {
+
+/// Runs semi-naive evaluation. Fails with ConditionViolated for aggregates
+/// other than min/max.
+Result<EvalResult> SemiNaiveEvaluate(const Kernel& kernel, const Graph& graph,
+                                     const EvalOptions& options = {});
+
+}  // namespace powerlog::eval

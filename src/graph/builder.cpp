@@ -1,0 +1,71 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace powerlog {
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst, double weight) {
+  srcs_.push_back(src);
+  dsts_.push_back(dst);
+  weights_.push_back(weight);
+  min_vertices_ = std::max(min_vertices_, std::max(src, dst) + 1);
+}
+
+void GraphBuilder::EnsureVertices(VertexId n) {
+  min_vertices_ = std::max(min_vertices_, n);
+}
+
+Result<Graph> GraphBuilder::Build(const Options& options) && {
+  if (options.symmetrize) {
+    const size_t m = srcs_.size();
+    srcs_.reserve(2 * m);
+    dsts_.reserve(2 * m);
+    weights_.reserve(2 * m);
+    for (size_t i = 0; i < m; ++i) {
+      srcs_.push_back(dsts_[i]);
+      dsts_.push_back(srcs_[i]);
+      weights_.push_back(weights_[i]);
+    }
+  }
+
+  const VertexId n = min_vertices_;
+  const size_t m = srcs_.size();
+
+  // Sort edge triples by (src, dst) via an index permutation.
+  std::vector<uint64_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint64_t a, uint64_t b) {
+    if (srcs_[a] != srcs_[b]) return srcs_[a] < srcs_[b];
+    return dsts_[a] < dsts_[b];
+  });
+
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+
+  VertexId prev_src = 0;
+  VertexId prev_dst = 0;
+  bool have_prev = false;
+  for (uint64_t idx : order) {
+    const VertexId s = srcs_[idx];
+    const VertexId d = dsts_[idx];
+    const double w = weights_[idx];
+    if (options.remove_self_loops && s == d) continue;
+    if (options.dedup && have_prev && s == prev_src && d == prev_dst) {
+      // Keep the minimum weight among duplicates (shortest-path friendly).
+      Edge& last = edges.back();
+      last.weight = std::min(last.weight, w);
+      continue;
+    }
+    edges.push_back(Edge{d, w});
+    ++offsets[s + 1];
+    prev_src = s;
+    prev_dst = d;
+    have_prev = true;
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  return Graph(std::move(offsets), std::move(edges));
+}
+
+}  // namespace powerlog

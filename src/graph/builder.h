@@ -1,0 +1,45 @@
+// Mutable edge-list accumulator that finalises into a CSR Graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// \brief Accumulates (src, dst, weight) triples and builds a Graph.
+///
+/// The builder tracks the maximum vertex id seen; Build() produces a dense
+/// graph over [0, max_id]. Options allow deduplication, self-loop removal,
+/// and symmetrisation (adding the reverse of every edge).
+class GraphBuilder {
+ public:
+  struct Options {
+    bool dedup = false;            ///< Drop duplicate (src,dst), keeping min weight.
+    bool remove_self_loops = false;
+    bool symmetrize = false;       ///< Add (dst,src,w) for every (src,dst,w).
+  };
+
+  GraphBuilder() = default;
+
+  void AddEdge(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Ensures the graph has at least `n` vertices even if isolated.
+  void EnsureVertices(VertexId n);
+
+  size_t num_edges() const { return srcs_.size(); }
+
+  /// Sorts, applies options, and produces the CSR graph.
+  Result<Graph> Build(const Options& options) &&;
+  Result<Graph> Build() && { return std::move(*this).Build(Options{}); }
+
+ private:
+  std::vector<VertexId> srcs_;
+  std::vector<VertexId> dsts_;
+  std::vector<double> weights_;
+  VertexId min_vertices_ = 0;
+};
+
+}  // namespace powerlog

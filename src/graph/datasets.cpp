@@ -1,0 +1,146 @@
+#include "graph/datasets.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace powerlog {
+namespace {
+
+struct Recipe {
+  DatasetInfo info;
+  RmatParams params;
+  /// Appended directed chain (fresh vertices, entered only from vertex 0):
+  /// gives the analogue a controllably long effective diameter. Real
+  /// Wiki-link is the long-diameter outlier among the six datasets — this is
+  /// what makes async win SSSP on Wiki in Fig. 1(b).
+  VertexId chain_length = 0;
+};
+
+// Skew (`a` parameter) and scale are chosen so that:
+//  * web/arabic have hub-dominated topology (high skew, short paths);
+//  * wiki has the flattest degree distribution and the longest effective
+//    diameter (this is what makes async win SSSP on Wiki in Fig. 1(b));
+//  * social graphs sit in between, with orkut densest (mirrors Table 2).
+const std::vector<Recipe>& Recipes() {
+  static const std::vector<Recipe> kRecipes = [] {
+    std::vector<Recipe> r;
+    auto add = [&r](const char* name, const char* paper, uint64_t pv, uint64_t pe,
+                    const char* family, uint32_t scale, double ef, double a,
+                    uint64_t seed, double max_weight, VertexId chain) {
+      RmatParams p;
+      p.scale = scale;
+      p.edge_factor = ef;
+      p.a = a;
+      const double rest = (1.0 - a) / 3.0;
+      p.b = rest + 0.02;
+      p.c = rest + 0.02;
+      p.d = rest - 0.04;
+      p.weighted = true;
+      p.min_weight = 1.0;
+      p.max_weight = max_weight;
+      p.seed = seed;
+      r.push_back(Recipe{DatasetInfo{name, paper, pv, pe, family}, p, chain});
+    };
+    //   name      paper name      |V| (paper)  |E| (paper)  family  scale ef   a    seed wmax chain
+    add("flickr", "Flickr", 2302925ULL, 33140017ULL, "social", 14, 14.0, 0.55, 101, 64.0, 0);
+    add("livej", "LiveJournal", 4847571ULL, 68475391ULL, "social", 15, 14.0, 0.57, 102, 64.0, 0);
+    add("orkut", "Orkut", 3072441ULL, 117184899ULL, "social", 14, 30.0, 0.52, 103, 64.0, 0);
+    // ClueWeb09: hub topology with heavy weight variance — the small-
+    // diameter, Δ-stepping-friendly dataset of §6.3.
+    add("web", "ClueWeb09", 20000000ULL, 243063334ULL, "web", 15, 12.0, 0.68, 104, 512.0, 0);
+    // Wiki-link: flattest degrees plus a 1500-hop appendix chain for the
+    // long effective diameter that favours async execution (Fig. 1(b)).
+    add("wiki", "Wiki-link", 12150976ULL, 378142420ULL, "wiki", 16, 10.0, 0.45, 105, 64.0, 1500);
+    add("arabic", "Arabic-2005", 22744080ULL, 639999458ULL, "web", 15, 22.0, 0.66, 106, 64.0, 0);
+    return r;
+  }();
+  return kRecipes;
+}
+
+std::mutex g_cache_mutex;
+std::map<std::string, std::unique_ptr<Graph>>& Cache() {
+  static std::map<std::string, std::unique_ptr<Graph>> cache;
+  return cache;
+}
+
+}  // namespace
+
+const std::vector<std::string>& DatasetNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const Recipe& r : Recipes()) names.push_back(r.info.name);
+    return names;
+  }();
+  return kNames;
+}
+
+Result<DatasetInfo> GetDatasetInfo(const std::string& name) {
+  for (const Recipe& r : Recipes()) {
+    if (r.info.name == name) return r.info;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<const Graph*> GetDataset(const std::string& name, bool stochastic) {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  const std::string key = stochastic ? name + "#stochastic" : name;
+  auto it = Cache().find(key);
+  if (it != Cache().end()) return const_cast<const Graph*>(it->second.get());
+  for (const Recipe& r : Recipes()) {
+    if (r.info.name != name) continue;
+    auto graph = GenerateRmat(r.params);
+    if (!graph.ok()) return graph.status();
+    if (r.chain_length > 0) {
+      // Append a directed chain of fresh vertices entered from vertex 0:
+      // they are reachable only along the chain, which pins the hop
+      // diameter at chain_length.
+      GraphBuilder builder;
+      const Graph& base = *graph;
+      const VertexId n = base.num_vertices();
+      builder.EnsureVertices(n + r.chain_length);
+      for (VertexId v = 0; v < n; ++v) {
+        for (const Edge& e : base.OutEdges(v)) builder.AddEdge(v, e.dst, e.weight);
+      }
+      builder.AddEdge(0, n, 1.0);
+      for (VertexId i = 0; i + 1 < r.chain_length; ++i) {
+        builder.AddEdge(n + i, n + i + 1, 1.0);
+      }
+      auto extended = std::move(builder).Build();
+      if (!extended.ok()) return extended.status();
+      graph = std::move(extended);
+    }
+    if (stochastic) {
+      // Row-normalise: w'_{uv} = w_{uv} / Σ_v w_{uv}.
+      const Graph& base = *graph;
+      GraphBuilder builder;
+      builder.EnsureVertices(base.num_vertices());
+      for (VertexId v = 0; v < base.num_vertices(); ++v) {
+        double total = 0.0;
+        for (const Edge& e : base.OutEdges(v)) total += e.weight;
+        if (total <= 0.0) continue;
+        for (const Edge& e : base.OutEdges(v)) {
+          builder.AddEdge(v, e.dst, e.weight / total);
+        }
+      }
+      auto normalised = std::move(builder).Build();
+      if (!normalised.ok()) return normalised.status();
+      graph = std::move(normalised);
+    }
+    auto owned = std::make_unique<Graph>(std::move(graph).ValueOrDie());
+    const Graph* ptr = owned.get();
+    Cache()[key] = std::move(owned);
+    return ptr;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+void ClearDatasetCache() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  Cache().clear();
+}
+
+}  // namespace powerlog

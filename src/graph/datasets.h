@@ -1,0 +1,51 @@
+// Registry of the paper's six datasets (Table 2), reproduced as deterministic
+// scaled-down synthetic analogues.
+//
+// The real graphs (Flickr, LiveJournal, Orkut, ClueWeb09, Wiki-link,
+// Arabic-2005) are multi-hundred-MB downloads unavailable offline. Each entry
+// here is an R-MAT instance whose skew and effective diameter are tuned to
+// the published shape of its namesake:
+//   * social networks (flickr/livej/orkut): moderate skew, low diameter;
+//   * web graphs (web/arabic): heavy skew, hub-dominated;
+//   * wiki: lower skew and a long-tail diameter (the async-friendly case in
+//     Fig. 1(b)).
+// Sizes are scaled down ~100x so every bench finishes in seconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// \brief Metadata for one registry entry.
+struct DatasetInfo {
+  std::string name;          ///< Short name used by benches ("flickr", ...).
+  std::string paper_name;    ///< Name in the paper ("Flickr", "LiveJournal", ...).
+  uint64_t paper_vertices;   ///< |V| reported in Table 2.
+  uint64_t paper_edges;      ///< |E| reported in Table 2.
+  std::string family;        ///< "social", "web", or "wiki".
+};
+
+/// Names of the six Table-2 datasets in paper order.
+const std::vector<std::string>& DatasetNames();
+
+/// Metadata for `name`; error if unknown.
+Result<DatasetInfo> GetDatasetInfo(const std::string& name);
+
+/// Returns the synthetic analogue of dataset `name` (weighted edges; SSSP
+/// simply uses the weights, others ignore them). Graphs are generated once
+/// and cached for the lifetime of the process.
+///
+/// With `stochastic = true`, weights are row-normalised into transition
+/// probabilities (each vertex's out-weights sum to ~1) — the reading the
+/// Markov-style programs (Adsorption, BP, Cost, Viterbi) give their weight
+/// tables. Cached separately.
+Result<const Graph*> GetDataset(const std::string& name, bool stochastic = false);
+
+/// Clears the cache (tests use this to bound memory).
+void ClearDatasetCache();
+
+}  // namespace powerlog

@@ -1,0 +1,149 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "graph/builder.h"
+
+namespace powerlog {
+
+Result<Graph> GenerateRmat(const RmatParams& params) {
+  const double total = params.a + params.b + params.c + params.d;
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("RMAT probabilities must sum to 1");
+  }
+  if (params.scale == 0 || params.scale > 28) {
+    return Status::InvalidArgument("RMAT scale must be in [1, 28]");
+  }
+  const VertexId n = static_cast<VertexId>(1u) << params.scale;
+  const EdgeIndex m = static_cast<EdgeIndex>(params.edge_factor * n);
+  Rng rng(params.seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (EdgeIndex i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.NextDouble();
+      // Quadrant selection with light noise to avoid exact self-similarity.
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < params.a + params.b) {
+        dst |= (1u << bit);
+      } else if (r < params.a + params.b + params.c) {
+        src |= (1u << bit);
+      } else {
+        src |= (1u << bit);
+        dst |= (1u << bit);
+      }
+    }
+    const double w =
+        params.weighted ? rng.NextDouble(params.min_weight, params.max_weight) : 1.0;
+    builder.AddEdge(src, dst, w);
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  opts.remove_self_loops = true;
+  return std::move(builder).Build(opts);
+}
+
+Result<Graph> GenerateErdosRenyi(VertexId n, EdgeIndex m, uint64_t seed, bool weighted,
+                                 double max_weight) {
+  if (n < 2) return Status::InvalidArgument("ER graph needs >= 2 vertices");
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (EdgeIndex i = 0; i < m; ++i) {
+    VertexId src = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId dst = static_cast<VertexId>(rng.NextBounded(n));
+    if (src == dst) dst = (dst + 1) % n;
+    const double w = weighted ? rng.NextDouble(1.0, max_weight) : 1.0;
+    builder.AddEdge(src, dst, w);
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  opts.remove_self_loops = true;
+  return std::move(builder).Build(opts);
+}
+
+Graph GeneratePath(VertexId n, double weight) {
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1, weight);
+  return std::move(builder).Build().ValueOrDie();
+}
+
+Graph GenerateCycle(VertexId n, double weight) {
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n, weight);
+  return std::move(builder).Build().ValueOrDie();
+}
+
+Graph GenerateGrid(VertexId side, bool weighted, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder;
+  const VertexId n = side * side;
+  builder.EnsureVertices(n);
+  auto id = [side](VertexId r, VertexId c) { return r * side + c; };
+  for (VertexId r = 0; r < side; ++r) {
+    for (VertexId c = 0; c < side; ++c) {
+      const double w1 = weighted ? rng.NextDouble(1.0, 8.0) : 1.0;
+      const double w2 = weighted ? rng.NextDouble(1.0, 8.0) : 1.0;
+      if (c + 1 < side) builder.AddEdge(id(r, c), id(r, c + 1), w1);
+      if (r + 1 < side) builder.AddEdge(id(r, c), id(r + 1, c), w2);
+    }
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+Graph GenerateStar(VertexId n) {
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId v = 1; v < n; ++v) builder.AddEdge(0, v, 1.0);
+  return std::move(builder).Build().ValueOrDie();
+}
+
+Graph GenerateComplete(VertexId n) {
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId d = 0; d < n; ++d) {
+      if (s != d) builder.AddEdge(s, d, 1.0);
+    }
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+Graph GenerateRandomTree(VertexId n, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId v = 1; v < n; ++v) {
+    const VertexId parent = static_cast<VertexId>(rng.NextBounded(v));
+    builder.AddEdge(parent, v, 1.0);
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+Result<Graph> GenerateRandomDag(VertexId n, double deg, uint64_t seed, bool weighted) {
+  if (n < 2) return Status::InvalidArgument("DAG needs >= 2 vertices");
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  const EdgeIndex m = static_cast<EdgeIndex>(deg * n);
+  for (EdgeIndex i = 0; i < m; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    const double w = weighted ? rng.NextDouble(1.0, 16.0) : 1.0;
+    builder.AddEdge(a, b, w);
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  return std::move(builder).Build(opts);
+}
+
+}  // namespace powerlog

@@ -1,0 +1,60 @@
+// Deterministic synthetic graph generators.
+//
+// These stand in for the paper's real datasets (Table 2): the sync/async
+// behaviour the paper studies is driven by degree skew and effective
+// diameter, both of which R-MAT parameterisation controls.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// \brief Parameters for the R-MAT recursive-matrix generator (Chakrabarti
+/// et al.). a+b+c+d must equal 1; larger `a` means more skew.
+struct RmatParams {
+  uint32_t scale = 14;        ///< num_vertices = 2^scale.
+  double edge_factor = 16.0;  ///< num_edges = edge_factor * num_vertices.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  bool weighted = false;      ///< Uniform weights in [min_weight, max_weight).
+  double min_weight = 1.0;
+  double max_weight = 64.0;
+  uint64_t seed = 7;
+};
+
+/// Generates an R-MAT graph; self-loops removed, duplicates deduped.
+Result<Graph> GenerateRmat(const RmatParams& params);
+
+/// Erdős–Rényi G(n, m) digraph with m distinct non-loop edges.
+Result<Graph> GenerateErdosRenyi(VertexId n, EdgeIndex m, uint64_t seed,
+                                 bool weighted = false, double max_weight = 64.0);
+
+/// Directed path 0 -> 1 -> ... -> n-1 (worst-case diameter; async stressor).
+Graph GeneratePath(VertexId n, double weight = 1.0);
+
+/// Directed cycle over n vertices.
+Graph GenerateCycle(VertexId n, double weight = 1.0);
+
+/// 2-D grid with edges to right/down neighbors; n = side*side vertices.
+Graph GenerateGrid(VertexId side, bool weighted = false, uint64_t seed = 11);
+
+/// Star: hub 0 -> spokes 1..n-1 (extreme skew).
+Graph GenerateStar(VertexId n);
+
+/// Complete digraph over n vertices (no self-loops). Keep n small.
+Graph GenerateComplete(VertexId n);
+
+/// Random rooted tree over n vertices, edges parent -> child (DAG; used by
+/// the Paths-in-DAG / LCA programs).
+Graph GenerateRandomTree(VertexId n, uint64_t seed);
+
+/// Random DAG: edges only from lower to higher ids, expected out-degree deg.
+Result<Graph> GenerateRandomDag(VertexId n, double deg, uint64_t seed,
+                                bool weighted = false);
+
+}  // namespace powerlog

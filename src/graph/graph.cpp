@@ -1,0 +1,48 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace powerlog {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<Edge> edges)
+    : offsets_(std::move(offsets)), edges_(std::move(edges)) {
+  if (offsets_.empty()) offsets_.push_back(0);
+}
+
+const Graph& Graph::Reverse() const {
+  if (reverse_) return *reverse_;
+  const VertexId n = num_vertices();
+  std::vector<EdgeIndex> roffsets(n + 1, 0);
+  for (const Edge& e : edges_) ++roffsets[e.dst + 1];
+  for (VertexId v = 0; v < n; ++v) roffsets[v + 1] += roffsets[v];
+  std::vector<Edge> redges(edges_.size());
+  std::vector<EdgeIndex> cursor(roffsets.begin(), roffsets.end() - 1);
+  for (VertexId src = 0; src < n; ++src) {
+    for (const Edge* e = OutBegin(src); e != OutEnd(src); ++e) {
+      redges[cursor[e->dst]++] = Edge{src, e->weight};
+    }
+  }
+  reverse_ = std::make_shared<Graph>(std::move(roffsets), std::move(redges));
+  return *reverse_;
+}
+
+double Graph::AverageDegree() const {
+  const VertexId n = num_vertices();
+  return n == 0 ? 0.0 : static_cast<double>(num_edges()) / n;
+}
+
+uint32_t Graph::MaxOutDegree() const {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, OutDegree(v));
+  return best;
+}
+
+std::string Graph::Summary() const {
+  return StringFormat("|V|=%u, |E|=%llu, avg_deg=%.2f", num_vertices(),
+                      static_cast<unsigned long long>(num_edges()), AverageDegree());
+}
+
+}  // namespace powerlog

@@ -1,0 +1,78 @@
+// Compressed-sparse-row graph: the storage substrate every engine runs on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace powerlog {
+
+using VertexId = uint32_t;
+using EdgeIndex = uint64_t;
+
+/// \brief One outgoing edge (destination + weight).
+struct Edge {
+  VertexId dst;
+  double weight;
+};
+
+/// \brief Immutable directed graph in CSR form, with optional reverse index.
+///
+/// Edge weights default to 1.0 for unweighted inputs. Vertices are dense
+/// [0, num_vertices). Built via GraphBuilder (builder.h) or generators.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<EdgeIndex> offsets, std::vector<Edge> edges);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeIndex num_edges() const { return edges_.size(); }
+
+  /// Out-degree of v.
+  uint32_t OutDegree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Span of outgoing edges of v.
+  const Edge* OutBegin(VertexId v) const { return edges_.data() + offsets_[v]; }
+  const Edge* OutEnd(VertexId v) const { return edges_.data() + offsets_[v + 1]; }
+
+  /// Iterates out-edges: for (const Edge& e : g.OutEdges(v)) ...
+  struct EdgeRange {
+    const Edge* begin_;
+    const Edge* end_;
+    const Edge* begin() const { return begin_; }
+    const Edge* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  };
+  EdgeRange OutEdges(VertexId v) const { return {OutBegin(v), OutEnd(v)}; }
+
+  /// Builds (lazily, on first call) and returns the transposed graph.
+  /// Used by pull-style kernels and in-neighbor programs (CC over in-edges).
+  const Graph& Reverse() const;
+
+  /// True if the reverse index is already materialised.
+  bool HasReverse() const { return reverse_ != nullptr; }
+
+  /// Sum of all out-degrees divided by |V| (0 for empty graphs).
+  double AverageDegree() const;
+
+  /// Maximum out-degree.
+  uint32_t MaxOutDegree() const;
+
+  /// Short human-readable summary: "|V|=..., |E|=..., avg_deg=...".
+  std::string Summary() const;
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<EdgeIndex> offsets_;  // size num_vertices()+1
+  std::vector<Edge> edges_;
+  mutable std::shared_ptr<Graph> reverse_;
+};
+
+}  // namespace powerlog

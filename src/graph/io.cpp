@@ -1,0 +1,69 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "graph/builder.h"
+
+namespace powerlog {
+namespace {
+
+Result<Graph> ParseFromStream(std::istream& in, const std::string& origin) {
+  GraphBuilder builder;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    std::vector<std::string> fields = SplitWhitespace(trimmed);
+    if (fields.size() != 2 && fields.size() != 3) {
+      return Status::ParseError(StringFormat("%s:%zu: expected 2 or 3 fields, got %zu",
+                                             origin.c_str(), lineno, fields.size()));
+    }
+    auto src = ParseInt64(fields[0]);
+    auto dst = ParseInt64(fields[1]);
+    if (!src.ok()) return src.status();
+    if (!dst.ok()) return dst.status();
+    if (*src < 0 || *dst < 0) {
+      return Status::ParseError(
+          StringFormat("%s:%zu: negative vertex id", origin.c_str(), lineno));
+    }
+    double w = 1.0;
+    if (fields.size() == 3) {
+      auto wr = ParseDouble(fields[2]);
+      if (!wr.ok()) return wr.status();
+      w = *wr;
+    }
+    builder.AddEdge(static_cast<VertexId>(*src), static_cast<VertexId>(*dst), w);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseFromStream(in, path);
+}
+
+Result<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseFromStream(in, "<string>");
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const Edge& e : graph.OutEdges(v)) {
+      out << v << ' ' << e.dst << ' ' << e.weight << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace powerlog

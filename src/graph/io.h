@@ -1,0 +1,21 @@
+// Edge-list text IO: "src dst [weight]" per line, '#'/'%' comments.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// Loads a graph from an edge-list file. Lines beginning with '#' or '%' are
+/// skipped. Two-column lines get weight 1.0.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Parses the same format from an in-memory string (used by tests/examples).
+Result<Graph> ParseEdgeList(const std::string& text);
+
+/// Writes a graph as an edge-list file (weights included).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace powerlog

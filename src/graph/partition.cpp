@@ -1,0 +1,39 @@
+#include "graph/partition.h"
+
+#include "common/random.h"
+
+namespace powerlog {
+
+Partitioner::Partitioner(Kind kind, VertexId num_vertices, uint32_t num_workers)
+    : kind_(kind),
+      num_vertices_(num_vertices),
+      num_workers_(num_workers == 0 ? 1 : num_workers),
+      range_size_((num_vertices + num_workers_ - 1) / num_workers_) {
+  if (range_size_ == 0) range_size_ = 1;
+}
+
+uint32_t Partitioner::WorkerOf(VertexId v) const {
+  if (kind_ == Kind::kHash) {
+    return static_cast<uint32_t>(Mix64(v) % num_workers_);
+  }
+  uint32_t w = v / range_size_;
+  return w >= num_workers_ ? num_workers_ - 1 : w;
+}
+
+std::vector<VertexId> Partitioner::OwnedVertices(uint32_t worker) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (WorkerOf(v) == worker) out.push_back(v);
+  }
+  return out;
+}
+
+VertexId Partitioner::OwnedCount(uint32_t worker) const {
+  VertexId count = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (WorkerOf(v) == worker) ++count;
+  }
+  return count;
+}
+
+}  // namespace powerlog

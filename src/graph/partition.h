@@ -1,0 +1,35 @@
+// Vertex partitioning for the distributed runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// \brief Maps vertices to workers. Hash partitioning mirrors the paper's
+/// shared-nothing key partitioning; Range is kept for locality experiments.
+class Partitioner {
+ public:
+  enum class Kind { kHash, kRange };
+
+  Partitioner(Kind kind, VertexId num_vertices, uint32_t num_workers);
+
+  uint32_t WorkerOf(VertexId v) const;
+  uint32_t num_workers() const { return num_workers_; }
+
+  /// All vertices owned by `worker`, ascending.
+  std::vector<VertexId> OwnedVertices(uint32_t worker) const;
+
+  /// Number of vertices owned by `worker`.
+  VertexId OwnedCount(uint32_t worker) const;
+
+ private:
+  Kind kind_;
+  VertexId num_vertices_;
+  uint32_t num_workers_;
+  VertexId range_size_;  // for kRange
+};
+
+}  // namespace powerlog

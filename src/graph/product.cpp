@@ -1,0 +1,103 @@
+#include "graph/product.h"
+
+#include <cmath>
+#include <limits>
+
+#include "datalog/catalog.h"
+#include "eval/mra.h"
+#include "graph/builder.h"
+
+namespace powerlog {
+
+Result<ApspResult> SolveApsp(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (static_cast<uint64_t>(n) * n > (1ULL << 26)) {
+    return Status::InvalidArgument(
+        "APSP product form is intended for small graphs (n^2 output)");
+  }
+  auto entry = datalog::GetCatalogEntry("apsp");
+  if (!entry.ok()) return entry.status();
+  auto kernel = BuildKernelFromSource(entry->source);
+  if (!kernel.ok()) return kernel.status();
+
+  ApspResult result;
+  result.num_vertices = n;
+  result.distances.resize(static_cast<size_t>(n) * n);
+  for (VertexId src = 0; src < n; ++src) {
+    kernel->init.source = src;
+    auto run = eval::MraEvaluate(*kernel, graph);
+    if (!run.ok()) return run.status();
+    std::copy(run->values.begin(), run->values.end(),
+              result.distances.begin() + static_cast<size_t>(src) * n);
+  }
+  return result;
+}
+
+Result<AncestorProductGraph> AncestorProductGraph::Build(const Graph& tree) {
+  const VertexId n = tree.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty tree");
+  if (static_cast<uint64_t>(n) * n > (1ULL << 24)) {
+    return Status::InvalidArgument("ancestor product graph: tree too large");
+  }
+  // Parent of each vertex from the reversed tree; forests allowed.
+  constexpr VertexId kNoParent = std::numeric_limits<VertexId>::max();
+  std::vector<VertexId> parent(n, kNoParent);
+  const Graph& reversed = tree.Reverse();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto in_edges = reversed.OutEdges(v);
+    if (in_edges.size() > 1) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " has multiple parents (not a forest)");
+    }
+    if (in_edges.size() == 1) parent[v] = in_edges.begin()->dst;
+  }
+
+  GraphBuilder builder;
+  builder.EnsureVertices(n * n);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = 0; b < n; ++b) {
+      if (a == b) continue;  // diagonal states are absorbing
+      const VertexId from = a * n + b;
+      if (parent[a] != kNoParent) builder.AddEdge(from, parent[a] * n + b, 1.0);
+      if (parent[b] != kNoParent) builder.AddEdge(from, a * n + parent[b], 1.0);
+    }
+  }
+  auto product = std::move(builder).Build(GraphBuilder::Options{});
+  if (!product.ok()) return product.status();
+  AncestorProductGraph out;
+  out.n_ = n;
+  out.product_ = std::move(product).ValueOrDie();
+  return out;
+}
+
+Result<LcaResult> SolveLca(const Graph& tree, VertexId u, VertexId v) {
+  const VertexId n = tree.num_vertices();
+  if (u >= n || v >= n) return Status::OutOfRange("query vertex out of range");
+  auto product = AncestorProductGraph::Build(tree);
+  if (!product.ok()) return product.status();
+
+  auto entry = datalog::GetCatalogEntry("lca");
+  if (!entry.ok()) return entry.status();
+  auto kernel = BuildKernelFromSource(entry->source);
+  if (!kernel.ok()) return kernel.status();
+  kernel->init.source = product->Encode(u, v);
+
+  auto run = eval::MraEvaluate(*kernel, product->graph());
+  if (!run.ok()) return run.status();
+
+  LcaResult best{0, std::numeric_limits<double>::infinity()};
+  for (VertexId w = 0; w < n; ++w) {
+    const double d = run->values[product->Encode(w, w)];
+    if (d < best.distance) {
+      best.distance = d;
+      best.ancestor = w;
+    }
+  }
+  if (std::isinf(best.distance)) {
+    return Status::NotFound("vertices share no common ancestor");
+  }
+  return best;
+}
+
+}  // namespace powerlog

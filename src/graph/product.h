@@ -1,0 +1,68 @@
+// Product-graph constructions for pair-keyed recursive aggregate programs.
+//
+// The runtime is keyed by single vertices (§2.1's group-by key); APSP and
+// LCA group by vertex *pairs*. Both reduce to single-key programs over a
+// derived graph:
+//   * APSP   — n independent SSSP instances ("product form"): apsp(s,v)
+//              is sssp from s evaluated at v.
+//   * LCA    — the ancestor product graph: state (a,b) steps to
+//              (parent(a), b) or (a, parent(b)); the minimum number of steps
+//              from (u,v) to any diagonal state (w,w) is attained at the
+//              lowest common ancestor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kernel.h"
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// \brief Dense all-pairs distances (row = source).
+struct ApspResult {
+  VertexId num_vertices = 0;
+  std::vector<double> distances;  ///< row-major n*n; +inf = unreachable
+
+  double At(VertexId src, VertexId dst) const {
+    return distances[static_cast<size_t>(src) * num_vertices + dst];
+  }
+};
+
+/// Evaluates the catalog `apsp` program as n per-source MRA runs.
+/// Intended for small graphs (n^2 output).
+Result<ApspResult> SolveApsp(const Graph& graph);
+
+/// \brief The ancestor product graph of a forest.
+///
+/// Vertices encode pairs: Encode(a, b) = a * n + b. Edges: (a,b)->(pa,b) and
+/// (a,b)->(a,pb), each weight 1, where pa/pb are the (unique) parents.
+/// Diagonal states (w,w) are absorbing.
+class AncestorProductGraph {
+ public:
+  /// Builds from a forest given as child->parent edges in `tree` (i.e. the
+  /// tree's edges go parent -> child; parents are derived from the reverse).
+  /// Fails if any vertex has more than one parent.
+  static Result<AncestorProductGraph> Build(const Graph& tree);
+
+  VertexId Encode(VertexId a, VertexId b) const { return a * n_ + b; }
+  const Graph& graph() const { return product_; }
+  VertexId base_vertices() const { return n_; }
+
+ private:
+  VertexId n_ = 0;
+  Graph product_;
+};
+
+/// \brief LCA query result.
+struct LcaResult {
+  VertexId ancestor;  ///< the lowest common ancestor
+  double distance;    ///< minimal total up-moves from (u, v) to meet
+};
+
+/// Runs the catalog `lca` min-program on the ancestor product graph from
+/// (u, v). Fails if u and v share no ancestor (different trees).
+Result<LcaResult> SolveLca(const Graph& tree, VertexId u, VertexId v);
+
+}  // namespace powerlog

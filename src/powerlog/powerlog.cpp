@@ -1,0 +1,88 @@
+#include "powerlog/powerlog.h"
+
+#include "datalog/parser.h"
+#include "eval/naive.h"
+#include "systems/vertex_engines.h"
+
+namespace powerlog {
+
+Result<checker::MraCheckResult> PowerLog::Check(const std::string& source) {
+  return checker::CheckMraConditionsFromSource(source);
+}
+
+Result<Kernel> PowerLog::Compile(const std::string& source) {
+  return BuildKernelFromSource(source);
+}
+
+Result<RunOutcome> PowerLog::Run(const std::string& source, const Graph& graph,
+                                 const RunOptions& options) {
+  auto parsed = datalog::Parse(source);
+  if (!parsed.ok()) return parsed.status();
+  auto analyzed = datalog::Analyze(*parsed);
+  if (!analyzed.ok()) return analyzed.status();
+
+  auto check = checker::CheckMraConditions(*analyzed);
+  if (!check.ok()) return check.status();
+
+  auto kernel = BuildKernel(*analyzed);
+  if (!kernel.ok()) return kernel.status();
+  if (options.source) {
+    if (kernel->init.kind != datalog::InitKind::kSingleSource) {
+      return Status::InvalidArgument(
+          "source override requires a single-source program");
+    }
+    kernel->init.source = *options.source;
+  }
+
+  RunOutcome outcome;
+  outcome.check = std::move(check).ValueOrDie();
+
+  if (outcome.check.satisfied) {
+    runtime::EngineOptions engine_options;
+    engine_options.num_workers = options.num_workers;
+    engine_options.network = options.network;
+    engine_options.mode = options.mode.value_or(runtime::ExecMode::kSyncAsync);
+    engine_options.max_wall_seconds = options.max_wall_seconds;
+    engine_options.max_supersteps = options.max_supersteps;
+    engine_options.epsilon_override = options.epsilon_override;
+    engine_options.priority_threshold = options.priority_threshold;
+    runtime::Engine engine(graph, *kernel, engine_options);
+    auto run = engine.Run();
+    if (!run.ok()) return run.status();
+    outcome.evaluation = "MRA";
+    outcome.execution = runtime::ExecModeName(engine_options.mode);
+    outcome.values = std::move(run->values);
+    outcome.stats = run->stats;
+    return outcome;
+  }
+
+  // Failed the check: naive evaluation. mean programs need the multiset
+  // reference evaluator; others use the distributed naive sync engine.
+  outcome.evaluation = "naive";
+  outcome.execution = "sync";
+  if (kernel->agg == AggKind::kMean) {
+    eval::EvalOptions eval_options;
+    eval_options.epsilon_override = options.epsilon_override;
+    auto run = eval::NaiveEvaluate(*kernel, graph, eval_options);
+    if (!run.ok()) return run.status();
+    outcome.values = std::move(run->values);
+    outcome.stats.edge_applications = run->edge_applications;
+    outcome.stats.supersteps = run->iterations;
+    outcome.stats.converged = run->converged;
+    return outcome;
+  }
+  runtime::EngineOptions engine_options;
+  engine_options.num_workers = options.num_workers;
+  engine_options.network = options.network;
+  engine_options.mode = runtime::ExecMode::kSync;
+  engine_options.max_wall_seconds = options.max_wall_seconds;
+  engine_options.max_supersteps = options.max_supersteps;
+  engine_options.epsilon_override = options.epsilon_override;
+  auto run = systems::NaiveSyncRun(graph, *kernel, engine_options);
+  if (!run.ok()) return run.status();
+  outcome.values = std::move(run->values);
+  outcome.stats = run->stats;
+  return outcome;
+}
+
+}  // namespace powerlog

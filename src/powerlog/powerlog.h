@@ -1,0 +1,64 @@
+// PowerLog public API — the end-to-end pipeline of Fig. 2:
+//
+//   Datalog source ─▶ parser/analyzer ─▶ automatic condition checker
+//        ├─ MRA conditions hold  ─▶ MRA evaluation on the unified
+//        │                          sync-async engine
+//        └─ otherwise            ─▶ naive evaluation on the sync engine
+//
+// Quickstart:
+//   #include "powerlog/powerlog.h"
+//   auto graph = powerlog::GenerateRmat({...});
+//   auto run = powerlog::PowerLog::Run(source_text, *graph, {});
+//   if (run.ok()) { use run->values ... }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/mra_checker.h"
+#include "common/result.h"
+#include "core/kernel.h"
+#include "graph/graph.h"
+#include "runtime/engine.h"
+
+namespace powerlog {
+
+/// \brief End-to-end run options.
+struct RunOptions {
+  uint32_t num_workers = 4;
+  runtime::NetworkConfig network;
+  /// Force an execution mode instead of the default sync-async engine
+  /// (experiments/ablations). Ignored for programs failing the MRA check.
+  std::optional<runtime::ExecMode> mode;
+  double max_wall_seconds = 60.0;
+  int64_t max_supersteps = 100000;
+  double epsilon_override = -1.0;
+  double priority_threshold = 0.0;
+  /// Overrides the @source annotation (single-source programs).
+  std::optional<uint32_t> source;
+};
+
+/// \brief Everything a run produces.
+struct RunOutcome {
+  checker::MraCheckResult check;       ///< condition-check provenance
+  std::string evaluation;              ///< "MRA" or "naive"
+  std::string execution;               ///< engine mode used
+  std::vector<double> values;          ///< final per-key results
+  runtime::EngineStats stats;
+};
+
+/// \brief The system façade.
+class PowerLog {
+ public:
+  /// Parses, checks, and executes `source` against `graph`.
+  static Result<RunOutcome> Run(const std::string& source, const Graph& graph,
+                                const RunOptions& options = {});
+
+  /// Condition check only (the standalone verification tool).
+  static Result<checker::MraCheckResult> Check(const std::string& source);
+
+  /// Parse + analyze + compile without executing.
+  static Result<Kernel> Compile(const std::string& source);
+};
+
+}  // namespace powerlog

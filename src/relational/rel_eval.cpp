@@ -1,0 +1,750 @@
+#include "relational/rel_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <set>
+
+#include "common/string_util.h"
+#include "datalog/expr_compiler.h"
+#include "datalog/parser.h"
+
+namespace powerlog::relational {
+
+using datalog::AggKind;
+using datalog::BodyLiteral;
+using datalog::CmpOp;
+using datalog::Expr;
+using datalog::ExprKind;
+using datalog::ExprPtr;
+using datalog::HeadArg;
+using datalog::Program;
+using datalog::Rule;
+using datalog::RuleBody;
+
+namespace {
+
+using Env = std::map<std::string, double>;
+
+bool IsPlainVar(const ExprPtr& e) { return e && e->kind == ExprKind::kVar; }
+bool IsNumber(const ExprPtr& e) { return e && e->kind == ExprKind::kNumber; }
+
+std::optional<std::string> MatchIterationSuccessor(const ExprPtr& e) {
+  if (!e || e->kind != ExprKind::kBinary || e->bin_op != datalog::BinOp::kAdd) {
+    return std::nullopt;
+  }
+  if (IsPlainVar(e->lhs) && IsNumber(e->rhs) && e->rhs->number_value == 1.0) {
+    return e->lhs->var;
+  }
+  if (IsPlainVar(e->rhs) && IsNumber(e->lhs) && e->lhs->number_value == 1.0) {
+    return e->rhs->var;
+  }
+  return std::nullopt;
+}
+
+bool BodyReferences(const Rule& rule, const std::string& name) {
+  for (const RuleBody& body : rule.bodies) {
+    for (const BodyLiteral& lit : body.literals) {
+      if (lit.kind == BodyLiteral::Kind::kPredicate && lit.predicate == name) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Group-by fold state supporting all five aggregates.
+struct GroupState {
+  double acc = 0.0;
+  int64_t count = 0;
+  void Add(AggKind kind, double v) {
+    if (count == 0) {
+      acc = v;
+    } else {
+      switch (kind) {
+        case AggKind::kMin: acc = std::min(acc, v); break;
+        case AggKind::kMax: acc = std::max(acc, v); break;
+        case AggKind::kSum:
+        case AggKind::kCount:
+        case AggKind::kMean: acc += v; break;
+      }
+    }
+    ++count;
+  }
+  double Finish(AggKind kind) const {
+    return kind == AggKind::kMean ? acc / static_cast<double>(count) : acc;
+  }
+};
+
+/// \brief One pass of conjunctive-query evaluation over a body, calling
+/// `emit` for every satisfying variable binding.
+class BodyMatcher {
+ public:
+  BodyMatcher(const Database* db, const std::string& head_predicate,
+              const Relation* current, int iter_pos, int key_pos, int agg_pos,
+              const std::string& iter_var)
+      : db_(db),
+        head_predicate_(head_predicate),
+        current_(current),
+        iter_pos_(iter_pos),
+        key_pos_(key_pos),
+        agg_pos_(agg_pos),
+        iter_var_(iter_var) {}
+
+  Status Match(const RuleBody& body, Env env,
+               const std::function<Status(const Env&)>& emit) {
+    return Step(body, 0, std::move(env), emit);
+  }
+
+ private:
+  /// Positional column mapping for a literal of the recursive predicate:
+  /// the iteration argument is dropped, key -> column 0, value -> column 1.
+  Result<std::vector<int>> RecursiveColumns(const BodyLiteral& lit) const {
+    std::vector<int> cols(lit.args.size(), -1);
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      const int pos = static_cast<int>(i);
+      if (pos == iter_pos_) {
+        if (!IsPlainVar(lit.args[i]) || lit.args[i]->var != iter_var_) {
+          return Status::NotSupported("recursive literal iteration arg mismatch");
+        }
+        cols[i] = -1;  // dropped column
+      } else if (pos == key_pos_) {
+        cols[i] = 0;
+      } else if (pos == agg_pos_) {
+        cols[i] = 1;
+      } else {
+        return Status::NotSupported("unexpected recursive literal argument");
+      }
+    }
+    return cols;
+  }
+
+  Status Step(const RuleBody& body, size_t index, Env env,
+              const std::function<Status(const Env&)>& emit) {
+    if (index == body.literals.size()) return emit(env);
+    const BodyLiteral& lit = body.literals[index];
+
+    if (lit.kind == BodyLiteral::Kind::kComparison) {
+      // Assignment: single unbound variable on the left.
+      if (lit.cmp_op == CmpOp::kEq && IsPlainVar(lit.lhs) &&
+          env.count(lit.lhs->var) == 0) {
+        auto v = datalog::EvalConstExpr(lit.rhs, env);
+        if (!v.ok()) return v.status();
+        env[lit.lhs->var] = *v;
+        return Step(body, index + 1, std::move(env), emit);
+      }
+      // Filter: both sides must evaluate.
+      auto l = datalog::EvalConstExpr(lit.lhs, env);
+      if (!l.ok()) return l.status();
+      auto r = datalog::EvalConstExpr(lit.rhs, env);
+      if (!r.ok()) return r.status();
+      bool pass = false;
+      switch (lit.cmp_op) {
+        case CmpOp::kEq: pass = *l == *r; break;
+        case CmpOp::kLt: pass = *l < *r; break;
+        case CmpOp::kLe: pass = *l <= *r; break;
+        case CmpOp::kGt: pass = *l > *r; break;
+        case CmpOp::kGe: pass = *l >= *r; break;
+      }
+      if (!pass) return Status::OK();
+      return Step(body, index + 1, std::move(env), emit);
+    }
+
+    // Predicate literal.
+    const Relation* relation = nullptr;
+    std::vector<int> columns;  // arg index -> relation column (-1 = dropped)
+    if (lit.predicate == head_predicate_) {
+      relation = current_;
+      auto cols = RecursiveColumns(lit);
+      if (!cols.ok()) return cols.status();
+      columns = std::move(cols).ValueOrDie();
+    } else {
+      relation = db_->Find(lit.predicate);
+      if (relation == nullptr) {
+        return Status::NotFound("unknown predicate: " + lit.predicate);
+      }
+      if (relation->arity() != lit.args.size()) {
+        return Status::InvalidArgument(
+            StringFormat("predicate %s used with %zu args, relation has %zu",
+                         lit.predicate.c_str(), lit.args.size(),
+                         relation->arity()));
+      }
+      columns.resize(lit.args.size());
+      for (size_t i = 0; i < lit.args.size(); ++i) {
+        columns[i] = static_cast<int>(i);
+      }
+    }
+
+    // Classify arguments: constants and bound vars constrain; pick a probe.
+    int probe_column = -1;
+    double probe_value = 0.0;
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      if (columns[i] < 0) continue;
+      const ExprPtr& arg = lit.args[i];
+      if (arg->kind == ExprKind::kWildcard) continue;
+      double bound_value;
+      bool have = false;
+      if (IsNumber(arg)) {
+        bound_value = arg->number_value;
+        have = true;
+      } else if (IsPlainVar(arg)) {
+        auto it = env.find(arg->var);
+        if (it != env.end()) {
+          bound_value = it->second;
+          have = true;
+        }
+      } else {
+        return Status::NotSupported("complex expressions in predicate arguments");
+      }
+      if (have && probe_column < 0) {
+        probe_column = columns[i];
+        probe_value = bound_value;
+      }
+    }
+
+    auto try_tuple = [&](const Tuple& tuple) -> Status {
+      Env extended = env;
+      for (size_t i = 0; i < lit.args.size(); ++i) {
+        if (columns[i] < 0) continue;
+        const ExprPtr& arg = lit.args[i];
+        const double cell = tuple[static_cast<size_t>(columns[i])];
+        if (arg->kind == ExprKind::kWildcard) continue;
+        if (IsNumber(arg)) {
+          if (arg->number_value != cell) return Status::OK();
+          continue;
+        }
+        auto [it, inserted] = extended.emplace(arg->var, cell);
+        if (!inserted && it->second != cell) return Status::OK();
+      }
+      return Step(body, index + 1, std::move(extended), emit);
+    };
+
+    if (probe_column >= 0) {
+      for (uint32_t idx :
+           relation->Probe(static_cast<size_t>(probe_column), probe_value)) {
+        POWERLOG_RETURN_NOT_OK(try_tuple(relation->tuples()[idx]));
+      }
+    } else {
+      for (const Tuple& tuple : relation->tuples()) {
+        POWERLOG_RETURN_NOT_OK(try_tuple(tuple));
+      }
+    }
+    return Status::OK();
+  }
+
+  const Database* db_;
+  const std::string& head_predicate_;
+  const Relation* current_;
+  int iter_pos_;
+  int key_pos_;
+  int agg_pos_;
+  const std::string& iter_var_;
+};
+
+}  // namespace
+
+Result<RelationalEvaluator> RelationalEvaluator::Create(const std::string& source) {
+  auto parsed = datalog::Parse(source);
+  if (!parsed.ok()) return parsed.status();
+  RelationalEvaluator ev;
+  ev.program_ = std::move(parsed).ValueOrDie();
+
+  // Annotations (only those the relational path needs).
+  for (const auto& [key, toks] : ev.program_.annotations) {
+    if (key == "edges" && !toks.empty()) {
+      ev.edges_predicate_ = toks[0];
+    } else if (key == "bind" && toks.size() == 3) {
+      auto v = ParseDouble(toks[2]);
+      if (v.ok()) ev.binds_[toks[0]] = *v;
+    } else if (key == "maxiters" && !toks.empty()) {
+      auto v = ParseInt64(toks[0]);
+      if (v.ok()) ev.max_iterations_ = *v;
+    }
+  }
+
+  // Edge relation arity: from the first use in any rule body.
+  bool arity_known = false;
+  for (const Rule& rule : ev.program_.rules) {
+    for (const RuleBody& body : rule.bodies) {
+      for (const BodyLiteral& lit : body.literals) {
+        if (lit.kind != BodyLiteral::Kind::kPredicate ||
+            lit.predicate != ev.edges_predicate_) {
+          continue;
+        }
+        if (arity_known && ev.edges_arity_ != lit.args.size()) {
+          return Status::NotSupported("mixed edge-predicate arities");
+        }
+        ev.edges_arity_ = lit.args.size();
+        arity_known = true;
+      }
+    }
+  }
+
+  // Locate the recursive rule.
+  const Rule* recursive = nullptr;
+  for (size_t i = 0; i < ev.program_.rules.size(); ++i) {
+    const Rule& rule = ev.program_.rules[i];
+    if (BodyReferences(rule, rule.head.predicate)) {
+      if (recursive != nullptr) {
+        return Status::NotSupported("multiple recursive rules");
+      }
+      recursive = &rule;
+      ev.recursive_rule_index_ = i;
+    }
+  }
+  if (recursive == nullptr) {
+    return Status::InvalidArgument("program has no recursive rule");
+  }
+  ev.head_predicate_ = recursive->head.predicate;
+
+  // Head decomposition: iteration / key / aggregate positions.
+  for (size_t i = 0; i < recursive->head.args.size(); ++i) {
+    const HeadArg& arg = recursive->head.args[i];
+    if (arg.aggregate) {
+      if (ev.agg_pos_ >= 0) return Status::NotSupported("multiple aggregates");
+      ev.agg_pos_ = static_cast<int>(i);
+      ev.aggregate_ = *arg.aggregate;
+      if (!IsPlainVar(arg.agg_input)) {
+        return Status::NotSupported("aggregate input must be a variable");
+      }
+      ev.agg_var_ = arg.agg_input->var;
+    } else if (MatchIterationSuccessor(arg.expr)) {
+      ev.iter_pos_ = static_cast<int>(i);
+    } else if (IsPlainVar(arg.expr)) {
+      if (ev.key_pos_ >= 0) return Status::NotSupported("multi-key group-by");
+      ev.key_pos_ = static_cast<int>(i);
+    } else {
+      return Status::NotSupported("unsupported head argument");
+    }
+  }
+  if (ev.agg_pos_ < 0 || ev.key_pos_ < 0) {
+    return Status::InvalidArgument("head needs a key and an aggregate");
+  }
+
+  // count semantics (§2.3): true tuple counting when the aggregate input is
+  // introduced by a body predicate; accumulator (sum-of-counts) otherwise.
+  if (ev.aggregate_ == AggKind::kCount) {
+    ev.count_tuples_ = false;
+    for (const RuleBody& body : recursive->bodies) {
+      for (const BodyLiteral& lit : body.literals) {
+        if (lit.kind != BodyLiteral::Kind::kPredicate) continue;
+        for (const ExprPtr& arg : lit.args) {
+          if (IsPlainVar(arg) && arg->var == ev.agg_var_) ev.count_tuples_ = true;
+        }
+      }
+      for (const BodyLiteral& lit : body.literals) {
+        if (lit.kind == BodyLiteral::Kind::kComparison &&
+            IsPlainVar(lit.lhs) && lit.lhs->var == ev.agg_var_) {
+          ev.count_tuples_ = false;  // assignment wins
+        }
+      }
+    }
+  }
+
+  if (recursive->termination) {
+    ev.has_epsilon_ = true;
+    ev.epsilon_ = recursive->termination->epsilon;
+  }
+  return ev;
+}
+
+Result<RelEvalResult> RelationalEvaluator::Evaluate(
+    const Graph& graph, const RelEvalOptions& options) const {
+  const Rule& recursive = program_.rules[recursive_rule_index_];
+  std::string iter_var;
+  if (iter_pos_ >= 0) {
+    iter_var = *MatchIterationSuccessor(
+        recursive.head.args[static_cast<size_t>(iter_pos_)].expr);
+  }
+
+  // ---- EDB ----
+  Database db;
+  auto edges = db.GetOrCreate(edges_predicate_, edges_arity_);
+  if (!edges.ok()) return edges.status();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const Edge& e : graph.OutEdges(v)) {
+      Tuple t{static_cast<double>(v), static_cast<double>(e.dst)};
+      if (edges_arity_ == 3) t.push_back(e.weight);
+      POWERLOG_RETURN_NOT_OK((*edges)->Insert(std::move(t)).status());
+    }
+  }
+  auto node = db.GetOrCreate("node", 1);
+  if (!node.ok()) return node.status();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    POWERLOG_RETURN_NOT_OK((*node)->Insert({static_cast<double>(v)}).status());
+  }
+
+  Relation current(2);  // (key, value) facts of the recursive predicate
+  BodyMatcher matcher(&db, head_predicate_, &current, iter_pos_, key_pos_,
+                      agg_pos_, iter_var);
+
+  // Evaluates one rule (non-recursive or one pass of the recursive rule).
+  // For aggregate heads the results land in `groups`; for plain heads the
+  // tuples go into the target relation directly.
+  auto eval_rule = [&](const Rule& rule, Relation* target,
+                       std::map<double, GroupState>* groups,
+                       AggKind agg, bool count_tuples) -> Result<bool> {
+    bool changed = false;
+    for (const RuleBody& body : rule.bodies) {
+      Env seed(binds_.begin(), binds_.end());
+      Status st = matcher.Match(body, seed, [&](const Env& env) -> Status {
+        // Project the head under this binding.
+        std::vector<double> values;
+        values.reserve(rule.head.args.size());
+        for (size_t i = 0; i < rule.head.args.size(); ++i) {
+          const HeadArg& arg = rule.head.args[i];
+          if (rule.head.predicate == head_predicate_ &&
+              static_cast<int>(i) == iter_pos_) {
+            // The iteration index (i+1) is erased from the stored relation;
+            // its variable is intentionally never bound.
+            values.push_back(0.0);
+            continue;
+          }
+          if (arg.aggregate) {
+            auto v = count_tuples ? Result<double>(1.0)
+                                  : datalog::EvalConstExpr(arg.agg_input, env);
+            if (!v.ok()) return v.status();
+            values.push_back(*v);
+          } else {
+            auto v = datalog::EvalConstExpr(arg.expr, env);
+            if (!v.ok()) return v.status();
+            values.push_back(*v);
+          }
+        }
+        if (groups != nullptr) {
+          // Aggregate rule: (key, agg input).
+          double key = 0.0, input = 0.0;
+          for (size_t i = 0; i < rule.head.args.size(); ++i) {
+            if (rule.head.args[i].aggregate) {
+              input = values[i];
+            } else if (static_cast<int>(i) == key_pos_ ||
+                       (rule.head.predicate != head_predicate_ && i == 0)) {
+              key = values[i];
+            }
+          }
+          (*groups)[key].Add(agg, input);
+          return Status::OK();
+        }
+        auto inserted = target->Insert(Tuple(values.begin(), values.end()));
+        if (!inserted.ok()) return inserted.status();
+        changed = changed || *inserted;
+        return Status::OK();
+      });
+      POWERLOG_RETURN_NOT_OK(st);
+    }
+    return changed;
+  };
+
+  // ---- Non-recursive rules: saturate (handles inter-rule dependencies) ----
+  std::vector<const Rule*> aux_rules;    // other predicates
+  std::vector<const Rule*> init_rules;   // head predicate initialisation
+  for (size_t i = 0; i < program_.rules.size(); ++i) {
+    if (i == recursive_rule_index_) continue;
+    const Rule& rule = program_.rules[i];
+    (rule.head.predicate == head_predicate_ ? init_rules : aux_rules)
+        .push_back(&rule);
+  }
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    for (const Rule* rule : aux_rules) {
+      const bool is_agg = std::any_of(
+          rule->head.args.begin(), rule->head.args.end(),
+          [](const HeadArg& a) { return a.aggregate.has_value(); });
+      if (is_agg) {
+        // e.g. degree(X, count[Y]) :- edge(X, Y): group and materialise.
+        std::map<double, GroupState> groups;
+        AggKind agg = AggKind::kCount;
+        for (const HeadArg& a : rule->head.args) {
+          if (a.aggregate) agg = *a.aggregate;
+        }
+        // Aux counts always count tuples (join-variable inputs).
+        auto r = eval_rule(*rule, nullptr, &groups, agg, agg == AggKind::kCount);
+        if (!r.ok()) return r.status();
+        auto rel = db.GetOrCreate(rule->head.predicate, rule->head.args.size());
+        if (!rel.ok()) return rel.status();
+        for (const auto& [key, state] : groups) {
+          auto inserted = (*rel)->Insert({key, state.Finish(agg)});
+          if (!inserted.ok()) return inserted.status();
+          changed = changed || *inserted;
+        }
+        continue;
+      }
+      auto rel = db.GetOrCreate(rule->head.predicate, rule->head.args.size());
+      if (!rel.ok()) return rel.status();
+      auto r = eval_rule(*rule, *rel, nullptr, AggKind::kSum, false);
+      if (!r.ok()) return r.status();
+      changed = changed || *r;
+    }
+    if (!changed) break;
+  }
+
+  // ---- Initialise the recursive predicate (X⁰). ----
+  // Iteration-indexed init rules (rank(0,X,r)) contribute only here;
+  // non-indexed ones are re-derived every iteration as part of F.
+  auto derive_init = [&](std::map<double, GroupState>* groups) -> Status {
+    for (const Rule* rule : init_rules) {
+      // Strip an explicit iteration-0 argument if present.
+      Rule stripped = *rule;
+      if (iter_pos_ >= 0 &&
+          stripped.head.args.size() == recursive.head.args.size()) {
+        stripped.head.args.erase(stripped.head.args.begin() + iter_pos_);
+      }
+      // Plain projection into groups: first arg key, second value.
+      Env seed(binds_.begin(), binds_.end());
+      POWERLOG_RETURN_NOT_OK(
+          matcher.Match(rule->bodies.empty() ? RuleBody{} : rule->bodies[0], seed,
+                        [&](const Env& env) -> Status {
+                          std::vector<double> vals;
+                          for (const HeadArg& arg : stripped.head.args) {
+                            auto v = datalog::EvalConstExpr(arg.expr, env);
+                            if (!v.ok()) return v.status();
+                            vals.push_back(*v);
+                          }
+                          if (vals.size() != 2) {
+                            return Status::NotSupported(
+                                "init rule must bind (key, value)");
+                          }
+                          (*groups)[vals[0]].Add(aggregate_, vals[1]);
+                          return Status::OK();
+                        }));
+    }
+    return Status::OK();
+  };
+
+  const bool init_indexed =
+      iter_pos_ >= 0 &&
+      std::any_of(init_rules.begin(), init_rules.end(), [&](const Rule* r) {
+        return r->head.args.size() == recursive.head.args.size() &&
+               IsNumber(r->head.args[static_cast<size_t>(iter_pos_)].expr);
+      });
+
+  {
+    std::map<double, GroupState> groups;
+    POWERLOG_RETURN_NOT_OK(derive_init(&groups));
+    for (const auto& [key, state] : groups) {
+      POWERLOG_RETURN_NOT_OK(
+          current.Insert({key, state.Finish(aggregate_)}).status());
+    }
+  }
+
+  RelEvalResult result;
+  int64_t cap = options.max_iterations;
+  if (max_iterations_ > 0 && max_iterations_ < cap) cap = max_iterations_;
+  const double epsilon = options.epsilon_override >= 0
+                             ? options.epsilon_override
+                             : (has_epsilon_ ? epsilon_ : 0.0);
+
+  // ---- Semi-naive / delta recursion (Eq. 3/4 at the relation level). ----
+  if (options.semi_naive) {
+    if (aggregate_ == AggKind::kMean) {
+      return Status::ConditionViolated(
+          "mean programs cannot be evaluated incrementally");
+    }
+    const bool rel_ordered =
+        aggregate_ == AggKind::kMin || aggregate_ == AggKind::kMax;
+    const std::string head_key_var =
+        recursive.head.args[static_cast<size_t>(key_pos_)].expr->var;
+    auto is_self_body = [&](const RuleBody& body) {
+      // A self body (Program 2.b's "ry = r") reads the key's own previous
+      // value: its recursive literal carries the head key variable in the
+      // key position. Under delta execution it *is* the accumulation.
+      for (const BodyLiteral& lit : body.literals) {
+        if (lit.kind != BodyLiteral::Kind::kPredicate ||
+            lit.predicate != head_predicate_) {
+          continue;
+        }
+        return key_pos_ >= 0 &&
+               static_cast<size_t>(key_pos_) < lit.args.size() &&
+               IsPlainVar(lit.args[static_cast<size_t>(key_pos_)]) &&
+               lit.args[static_cast<size_t>(key_pos_)]->var == head_key_var;
+      }
+      return false;
+    };
+    auto has_recursive_literal = [&](const RuleBody& body) {
+      for (const BodyLiteral& lit : body.literals) {
+        if (lit.kind == BodyLiteral::Kind::kPredicate &&
+            lit.predicate == head_predicate_) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    auto combine = [&](double a, double b) {
+      switch (aggregate_) {
+        case AggKind::kMin: return std::min(a, b);
+        case AggKind::kMax: return std::max(a, b);
+        default: return a + b;
+      }
+    };
+    auto improves = [&](double current_value, double candidate) {
+      switch (aggregate_) {
+        case AggKind::kMin: return candidate < current_value;
+        case AggKind::kMax: return candidate > current_value;
+        default: return candidate != 0.0;
+      }
+    };
+
+    // Accumulated values X and the first delta ΔX¹: the iteration-0 facts
+    // plus the constant bodies (which, under delta execution, fire once).
+    // For sum programs this assumes the delta form: the init facts are
+    // themselves ΔX¹ (true for generated 2.b programs and for zero inits);
+    // a nonzero iteration-indexed init in an original-form sum program
+    // would need the G⁻ derivation the kernel path performs.
+    std::map<double, double> x;
+    for (const Tuple& t : current.tuples()) x[t[0]] = t[1];
+    std::map<double, double> delta = x;
+    if (!rel_ordered) {
+      std::erase_if(delta, [](const auto& kv) { return kv.second == 0.0; });
+    }
+    {
+      std::map<double, GroupState> seed_groups;
+      Relation empty_delta(2);
+      BodyMatcher seed_matcher(&db, head_predicate_, &empty_delta, iter_pos_,
+                               key_pos_, agg_pos_, iter_var);
+      for (const RuleBody& body : recursive.bodies) {
+        if (has_recursive_literal(body)) continue;
+        Env seed(binds_.begin(), binds_.end());
+        POWERLOG_RETURN_NOT_OK(seed_matcher.Match(
+            body, seed, [&](const Env& env) -> Status {
+              double key_value = 0.0, input = 0.0;
+              for (size_t i = 0; i < recursive.head.args.size(); ++i) {
+                const auto& arg = recursive.head.args[i];
+                if (arg.aggregate) {
+                  auto v = datalog::EvalConstExpr(arg.agg_input, env);
+                  if (!v.ok()) return v.status();
+                  input = *v;
+                } else if (static_cast<int>(i) == key_pos_) {
+                  auto v = datalog::EvalConstExpr(arg.expr, env);
+                  if (!v.ok()) return v.status();
+                  key_value = *v;
+                }
+              }
+              seed_groups[key_value].Add(aggregate_, input);
+              return Status::OK();
+            }));
+      }
+      for (const auto& [key_value, state] : seed_groups) {
+        const double v = state.Finish(aggregate_);
+        auto it = x.find(key_value);
+        if (it == x.end()) {
+          x[key_value] = v;
+          delta[key_value] = v;
+        } else if (rel_ordered) {
+          if (improves(it->second, v)) {
+            it->second = v;
+            delta[key_value] = v;
+          }
+        } else {
+          it->second += v;
+          delta[key_value] += v;
+        }
+      }
+    }
+
+    while (result.iterations < cap && !delta.empty()) {
+      ++result.iterations;
+      Relation delta_rel(2);
+      for (const auto& [key_value, v] : delta) {
+        POWERLOG_RETURN_NOT_OK(delta_rel.Insert({key_value, v}).status());
+      }
+      BodyMatcher delta_matcher(&db, head_predicate_, &delta_rel, iter_pos_,
+                                key_pos_, agg_pos_, iter_var);
+      std::map<double, GroupState> groups;
+      for (const RuleBody& body : recursive.bodies) {
+        if (!has_recursive_literal(body) || is_self_body(body)) continue;
+        Env seed(binds_.begin(), binds_.end());
+        POWERLOG_RETURN_NOT_OK(delta_matcher.Match(
+            body, seed, [&](const Env& env) -> Status {
+              double key_value = 0.0, input = 0.0;
+              for (size_t i = 0; i < recursive.head.args.size(); ++i) {
+                const auto& arg = recursive.head.args[i];
+                if (arg.aggregate) {
+                  auto v = count_tuples_
+                               ? Result<double>(1.0)
+                               : datalog::EvalConstExpr(arg.agg_input, env);
+                  if (!v.ok()) return v.status();
+                  input = *v;
+                } else if (static_cast<int>(i) == key_pos_) {
+                  auto v = datalog::EvalConstExpr(arg.expr, env);
+                  if (!v.ok()) return v.status();
+                  key_value = *v;
+                }
+              }
+              groups[key_value].Add(aggregate_, input);
+              return Status::OK();
+            }));
+      }
+      // Merge: X_k = G(X_{k-1} ∪ ΔX_k); the new delta keeps only what
+      // actually changed (ordered) or is nonzero (sum).
+      std::map<double, double> next_delta;
+      double mass = 0.0;
+      for (const auto& [key_value, state] : groups) {
+        const double v = state.Finish(aggregate_);
+        auto it = x.find(key_value);
+        if (it == x.end()) {
+          x[key_value] = v;
+          next_delta[key_value] = v;
+          mass += rel_ordered ? 1.0 : std::abs(v);
+        } else if (rel_ordered) {
+          if (improves(it->second, v)) {
+            it->second = v;
+            next_delta[key_value] = v;
+            mass += 1.0;
+          }
+        } else if (v != 0.0) {
+          it->second = combine(it->second, v);
+          next_delta[key_value] = v;
+          mass += std::abs(v);
+        }
+      }
+      delta = std::move(next_delta);
+      if (delta.empty() || (epsilon > 0.0 && mass < epsilon)) {
+        result.converged = true;
+        break;
+      }
+    }
+    if (delta.empty()) result.converged = true;
+    result.values = std::move(x);
+    return result;
+  }
+
+  // ---- Naive recursion (Eq. 2). ----
+
+  for (int64_t k = 0; k < cap; ++k) {
+    std::map<double, GroupState> groups;
+    auto r = eval_rule(recursive, nullptr, &groups, aggregate_, count_tuples_);
+    if (!r.ok()) return r.status();
+    if (!init_indexed) POWERLOG_RETURN_NOT_OK(derive_init(&groups));
+    ++result.iterations;
+
+    // Build X_{k+1} and diff against X_k.
+    Relation next(2);
+    double diff = 0.0;
+    std::map<double, double> prev;
+    for (const Tuple& t : current.tuples()) prev[t[0]] = t[1];
+    for (const auto& [key, state] : groups) {
+      const double value = state.Finish(aggregate_);
+      POWERLOG_RETURN_NOT_OK(next.Insert({key, value}).status());
+      auto it = prev.find(key);
+      if (it == prev.end()) {
+        diff += 1.0 + std::abs(value);
+      } else {
+        diff += std::abs(value - it->second);
+        prev.erase(it);
+      }
+    }
+    diff += static_cast<double>(prev.size());  // facts that disappeared
+    current = std::move(next);
+    if (diff == 0.0 || (epsilon > 0.0 && diff < epsilon)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (const Tuple& t : current.tuples()) result.values[t[0]] = t[1];
+  return result;
+}
+
+}  // namespace powerlog::relational

@@ -1,0 +1,77 @@
+// Bottom-up relational evaluation of recursive aggregate Datalog programs.
+//
+// This is the general execution path a Datalog system (SociaLite, the
+// paper's base) uses: rules become joins over tuple relations, aggregates
+// become group-bys, and the recursive rule iterates to fixpoint (naive
+// evaluation, Eq. 2). It makes no use of the vertex kernels or MonoTable —
+// which is exactly why tests use it as an independent oracle for them.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+#include "graph/graph.h"
+#include "relational/relation.h"
+
+namespace powerlog::relational {
+
+struct RelEvalOptions {
+  int64_t max_iterations = 100000;  ///< system-level cap (§2.2)
+  double epsilon_override = -1.0;   ///< <0: use the program's {agg[Δx] < ε}
+  /// Semi-naive/delta evaluation (Eq. 3 / Eq. 4 at the relation level): the
+  /// recursive literal reads the per-iteration delta relation instead of the
+  /// full one, self bodies become accumulation, and constant bodies seed the
+  /// first delta. This is the execution mode the generated incremental
+  /// equivalents (checker/rewrite.h) are written for.
+  bool semi_naive = false;
+};
+
+struct RelEvalResult {
+  /// Final (key, value) facts of the recursive predicate.
+  std::map<double, double> values;
+  int64_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Compiled form of one program for relational evaluation.
+class RelationalEvaluator {
+ public:
+  /// Parses and analyses `source` (same fragment as the kernel path).
+  static Result<RelationalEvaluator> Create(const std::string& source);
+
+  /// Evaluates against `graph` (which provides the EDB: the edge relation
+  /// named by @edges plus node/1).
+  Result<RelEvalResult> Evaluate(const Graph& graph,
+                                 const RelEvalOptions& options = {}) const;
+
+  const std::string& head_predicate() const { return head_predicate_; }
+
+ private:
+  RelationalEvaluator() = default;
+
+  datalog::Program program_;
+  std::string head_predicate_;
+  std::string edges_predicate_ = "edge";
+  size_t edges_arity_ = 3;
+  std::map<std::string, double> binds_;
+  int64_t max_iterations_ = 0;  // from @maxiters; 0 = none
+
+  // Recursive rule decomposition.
+  size_t recursive_rule_index_ = 0;
+  int iter_pos_ = -1;
+  int key_pos_ = -1;
+  int agg_pos_ = -1;
+  datalog::AggKind aggregate_ = datalog::AggKind::kSum;
+  std::string agg_var_;
+  /// True when the aggregate input variable is introduced by a body
+  /// predicate (degree-style true tuple counting) rather than an assignment
+  /// (accumulator semantics, §2.3).
+  bool count_tuples_ = false;
+
+  double epsilon_ = 0.0;
+  bool has_epsilon_ = false;
+};
+
+}  // namespace powerlog::relational

@@ -1,0 +1,131 @@
+#include "relational/relation.h"
+
+#include <cstring>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace powerlog::relational {
+
+const std::vector<uint32_t> Relation::kEmpty;
+
+namespace {
+
+uint64_t Bits(Value v) {
+  // Normalise -0.0 to +0.0 so they hash identically.
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t HashTuple(const Tuple& tuple) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (Value v : tuple) {
+    h ^= Mix64(Bits(v)) + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Result<bool> Relation::Insert(Tuple tuple) {
+  if (tuple.size() != arity_) {
+    return Status::InvalidArgument(
+        StringFormat("arity mismatch: relation has %zu columns, tuple has %zu",
+                     arity_, tuple.size()));
+  }
+  const uint64_t h = HashTuple(tuple);
+  auto it = dedup_.find(h);
+  if (it != dedup_.end()) {
+    for (uint32_t idx : it->second) {
+      if (tuples_[idx] == tuple) return false;
+    }
+  }
+  const uint32_t index = static_cast<uint32_t>(tuples_.size());
+  // Maintain any already-built column indexes.
+  for (auto& [column, index_map] : indexes_) {
+    index_map[Bits(tuple[column])].push_back(index);
+  }
+  dedup_[h].push_back(index);
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  auto it = dedup_.find(HashTuple(tuple));
+  if (it == dedup_.end()) return false;
+  for (uint32_t idx : it->second) {
+    if (tuples_[idx] == tuple) return true;
+  }
+  return false;
+}
+
+const std::vector<uint32_t>& Relation::Probe(size_t column, Value v) const {
+  auto [it, inserted] = indexes_.try_emplace(column);
+  if (inserted) {
+    for (uint32_t i = 0; i < tuples_.size(); ++i) {
+      it->second[Bits(tuples_[i][column])].push_back(i);
+    }
+  }
+  auto hit = it->second.find(Bits(v));
+  return hit == it->second.end() ? kEmpty : hit->second;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  dedup_.clear();
+  indexes_.clear();
+}
+
+uint64_t Relation::Fingerprint() const {
+  // Order-independent: XOR of tuple hashes (set semantics make this sound).
+  uint64_t fp = 0;
+  for (const Tuple& t : tuples_) fp ^= Mix64(HashTuple(t));
+  return fp;
+}
+
+std::string Relation::ToString(size_t limit) const {
+  std::string out = StringFormat("relation/%zu {%zu tuples}", arity_, size());
+  size_t shown = 0;
+  for (const Tuple& t : tuples_) {
+    if (shown++ >= limit) {
+      out += " ...";
+      break;
+    }
+    out += " (";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i) out += ",";
+      out += StringFormat("%g", t[i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Result<Relation*> Database::GetOrCreate(const std::string& name, size_t arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return Status::InvalidArgument(
+          StringFormat("relation %s exists with arity %zu, requested %zu",
+                       name.c_str(), it->second.arity(), arity));
+    }
+    return &it->second;
+  }
+  auto [inserted, ok] = relations_.emplace(name, Relation(arity));
+  (void)ok;
+  return &inserted->second;
+}
+
+Relation* Database::Find(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+}  // namespace powerlog::relational

@@ -1,0 +1,90 @@
+// Generic tuple storage for the relational Datalog substrate.
+//
+// PowerLog is built on a Datalog engine (SociaLite); the vertex kernels in
+// core/ are its specialised fast path. This module is the general path: a
+// deduplicating tuple store with hash indexes, used by the bottom-up
+// relational evaluator (rel_eval.h) — and, in tests, as an independent
+// oracle for the kernel-based evaluators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+
+namespace powerlog::relational {
+
+/// Datalog values are doubles; vertex ids up to 2^53 are exact.
+using Value = double;
+using Tuple = std::vector<Value>;
+
+/// Bit-exact hash of a tuple (NaN-free domains assumed).
+uint64_t HashTuple(const Tuple& tuple);
+
+/// \brief A set-semantics relation of fixed arity with lazy per-column
+/// hash indexes.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Inserts under set semantics; returns true if the tuple was new.
+  /// Fails on arity mismatch.
+  Result<bool> Insert(Tuple tuple);
+
+  /// True if the exact tuple is present.
+  bool Contains(const Tuple& tuple) const;
+
+  /// Indices of tuples whose `column` equals `v`. Builds the column index on
+  /// first use. The returned reference is invalidated by Insert.
+  const std::vector<uint32_t>& Probe(size_t column, Value v) const;
+
+  /// Removes all tuples (indexes reset).
+  void Clear();
+
+  /// Deterministic content fingerprint (order-independent).
+  uint64_t Fingerprint() const;
+
+  std::string ToString(size_t limit = 20) const;
+
+ private:
+  struct TupleRef {
+    const Relation* relation;
+    uint32_t index;
+  };
+
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  /// Dedup set over tuple indices (hashes the stored tuple).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
+  /// Lazy per-column indexes: column -> (value bits -> tuple indices).
+  mutable std::unordered_map<size_t, std::unordered_map<uint64_t, std::vector<uint32_t>>>
+      indexes_;
+  static const std::vector<uint32_t> kEmpty;
+};
+
+/// \brief A named collection of relations (the EDB + derived IDB).
+class Database {
+ public:
+  /// Creates (or returns) the relation `name` with the given arity; errors
+  /// if it exists with a different arity.
+  Result<Relation*> GetOrCreate(const std::string& name, size_t arity);
+
+  /// Lookup; null if absent.
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return relations_.count(name) > 0; }
+
+ private:
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace powerlog::relational

@@ -1,0 +1,39 @@
+#include "runtime/buffer_policy.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace powerlog::runtime {
+
+BufferPolicy::BufferPolicy(const Params& params)
+    : params_(params), beta_(params.beta), last_flush_us_(NowMicros()) {}
+
+bool BufferPolicy::ShouldFlush(size_t buffered, int64_t now_us) const {
+  if (buffered == 0) return false;
+  switch (params_.kind) {
+    case FlushPolicyKind::kEager:
+      return true;
+    case FlushPolicyKind::kFixed:
+    case FlushPolicyKind::kAdaptive:
+      if (static_cast<double>(buffered) >= beta_) return true;
+      return now_us - last_flush_us_ >= params_.tau_us;
+  }
+  return true;
+}
+
+void BufferPolicy::OnFlush(size_t flushed, int64_t now_us) {
+  const int64_t delta_t = std::max<int64_t>(now_us - last_flush_us_, 1);
+  last_flush_us_ = now_us;
+  if (params_.kind != FlushPolicyKind::kAdaptive) return;
+  // Accumulation rate over the window, in updates/us.
+  const double rate = static_cast<double>(flushed) / static_cast<double>(delta_t);
+  const double target_rate = beta_ / static_cast<double>(params_.tau_us);
+  if (rate > params_.r * target_rate || rate < target_rate / params_.r) {
+    // β = α · τ · |B|/ΔT — re-centre the buffer size on the observed rate.
+    beta_ = params_.alpha * static_cast<double>(params_.tau_us) * rate;
+    beta_ = std::clamp(beta_, params_.beta_min, params_.beta_max);
+  }
+}
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,50 @@
+// Message-passing frequency control (§5.3).
+//
+// Three policies:
+//  * Fixed:    flush whenever |B(i,j)| >= β or the interval τ elapses — the
+//              plain async engine and the AAP baseline's fixed-size buffer.
+//  * Adaptive: the paper's rule — if updates accumulate fast
+//              (|B|/ΔT > r·β/τ) grow β to β = α·τ·|B|/ΔT; if slow, shrink
+//              the same way. α = 0.8, r = 2 (paper's settings). Each worker
+//              adapts independently per destination; no global information.
+//  * Eager:    flush on every update (maximum asynchrony).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace powerlog::runtime {
+
+enum class FlushPolicyKind { kEager, kFixed, kAdaptive };
+
+/// \brief Per-(i,j) flush decision state.
+class BufferPolicy {
+ public:
+  struct Params {
+    FlushPolicyKind kind = FlushPolicyKind::kAdaptive;
+    double beta = 256.0;       ///< initial message size β(i,j)
+    int64_t tau_us = 500;      ///< message-passing interval τ
+    double alpha = 0.8;        ///< damping factor (fixed to 0.8 in the paper)
+    double r = 2.0;            ///< adjustment trigger ratio (2 in the paper)
+    double beta_min = 1.0;
+    double beta_max = 262144.0;
+  };
+
+  BufferPolicy() : BufferPolicy(Params{}) {}
+  explicit BufferPolicy(const Params& params);
+
+  /// Should the buffer holding `buffered` updates be flushed now?
+  bool ShouldFlush(size_t buffered, int64_t now_us) const;
+
+  /// Records a flush of `flushed` updates and adapts β (adaptive only).
+  void OnFlush(size_t flushed, int64_t now_us);
+
+  double beta() const { return beta_; }
+
+ private:
+  Params params_;
+  double beta_;
+  int64_t last_flush_us_ = 0;
+};
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,107 @@
+#include "runtime/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace powerlog::runtime {
+namespace {
+
+constexpr uint64_t kMagic = 0x504F574C4F47434BULL;  // "POWLOGCK"
+
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void Append(std::vector<uint8_t>* buf, const void* data, size_t size) {
+  const size_t offset = buf->size();
+  buf->resize(offset + size);
+  std::memcpy(buf->data() + offset, data, size);
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const MonoTable& table, const std::string& path) {
+  std::vector<uint8_t> buf;
+  const uint64_t kind = static_cast<uint64_t>(table.agg_kind());
+  const uint64_t rows = table.num_rows();
+  Append(&buf, &kMagic, sizeof(kMagic));
+  Append(&buf, &kind, sizeof(kind));
+  Append(&buf, &rows, sizeof(rows));
+  const std::vector<double> x = table.SnapshotAccumulation();
+  const std::vector<double> delta = table.SnapshotIntermediate();
+  Append(&buf, x.data(), x.size() * sizeof(double));
+  Append(&buf, delta.data(), delta.size() * sizeof(double));
+  const uint64_t checksum = Fnv1a(buf.data(), buf.size());
+  Append(&buf, &checksum, sizeof(checksum));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + tmp + " for writing");
+  const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != buf.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status RestoreCheckpoint(MonoTable* table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open checkpoint " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < static_cast<long>(4 * sizeof(uint64_t))) {
+    std::fclose(f);
+    return Status::IOError("checkpoint too small: " + path);
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  const size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) return Status::IOError("short read from " + path);
+
+  const size_t body = buf.size() - sizeof(uint64_t);
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, buf.data() + body, sizeof(checksum));
+  if (checksum != Fnv1a(buf.data(), body)) {
+    return Status::IOError("checkpoint checksum mismatch: " + path);
+  }
+
+  uint64_t magic = 0, kind = 0, rows = 0;
+  const uint8_t* p = buf.data();
+  std::memcpy(&magic, p, sizeof(magic));
+  p += sizeof(magic);
+  std::memcpy(&kind, p, sizeof(kind));
+  p += sizeof(kind);
+  std::memcpy(&rows, p, sizeof(rows));
+  p += sizeof(rows);
+  if (magic != kMagic) return Status::IOError("bad checkpoint magic: " + path);
+  if (kind != static_cast<uint64_t>(table->agg_kind())) {
+    return Status::InvalidArgument("checkpoint aggregate kind mismatch");
+  }
+  if (rows != table->num_rows()) {
+    return Status::InvalidArgument("checkpoint row count mismatch");
+  }
+  const size_t expect = 3 * sizeof(uint64_t) + 2 * rows * sizeof(double);
+  if (body != expect) return Status::IOError("checkpoint size mismatch: " + path);
+
+  std::vector<double> x(rows);
+  std::vector<double> delta(rows);
+  std::memcpy(x.data(), p, rows * sizeof(double));
+  p += rows * sizeof(double);
+  std::memcpy(delta.data(), p, rows * sizeof(double));
+  return table->Restore(x, delta);
+}
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,23 @@
+// Checkpoint / restore of MonoTable state — the stand-in for the paper's
+// HDFS checkpointing of intermediates (fault tolerance, Fig. 6).
+//
+// Format (little-endian): magic, aggregate kind, row count, then the
+// accumulation and intermediate columns as raw doubles, then a FNV-1a
+// checksum of everything before it.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "core/mono_table.h"
+
+namespace powerlog::runtime {
+
+/// Writes a consistent snapshot of `table` to `path` (atomic via temp+rename).
+Status WriteCheckpoint(const MonoTable& table, const std::string& path);
+
+/// Restores `table` from `path`; validates magic, aggregate kind, row count,
+/// and checksum.
+Status RestoreCheckpoint(MonoTable* table, const std::string& path);
+
+}  // namespace powerlog::runtime

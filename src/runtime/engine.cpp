@@ -1,0 +1,112 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "runtime/termination.h"
+#include "runtime/worker.h"
+
+namespace powerlog::runtime {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kSync: return "sync";
+    case ExecMode::kAsync: return "async";
+    case ExecMode::kAap: return "aap";
+    case ExecMode::kSyncAsync: return "sync-async";
+  }
+  return "?";
+}
+
+std::string EngineStats::Summary() const {
+  return StringFormat(
+      "wall=%.3fs supersteps=%lld harvests=%lld edge_apps=%lld messages=%lld "
+      "updates=%lld converged=%s",
+      wall_seconds, static_cast<long long>(supersteps),
+      static_cast<long long>(harvests), static_cast<long long>(edge_applications),
+      static_cast<long long>(messages), static_cast<long long>(updates_sent),
+      converged ? "true" : "false");
+}
+
+Engine::Engine(const Graph& graph, Kernel kernel, EngineOptions options)
+    : graph_(graph), kernel_(std::move(kernel)), options_(std::move(options)) {}
+
+Result<EngineResult> Engine::Run() {
+  if (kernel_.agg == AggKind::kMean) {
+    return Status::ConditionViolated(
+        "mean programs fail the MRA conditions and cannot run on the incremental "
+        "engine; use naive evaluation");
+  }
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument("engine needs at least one worker");
+  }
+  const VertexId n = graph_.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  auto table = MonoTable::Create(kernel_.agg, n);
+  if (!table.ok()) return table.status();
+  auto init = ComputeInitialState(kernel_, graph_);
+  if (!init.ok()) return init.status();
+  POWERLOG_RETURN_NOT_OK(table->Initialize(init->x0, init->delta0));
+
+  Partitioner partition(options_.partition, n, options_.num_workers);
+  MessageBus bus(options_.num_workers, options_.network);
+  Barrier barrier(options_.num_workers);
+  std::vector<std::atomic<uint8_t>> idle_flags(options_.num_workers);
+  for (auto& flag : idle_flags) flag.store(0);
+
+  SharedState shared;
+  shared.graph = &graph_;
+  shared.prop = kernel_.uses_in_edges ? &graph_.Reverse() : &graph_;
+  shared.kernel = &kernel_;
+  shared.table = &*table;
+  shared.partition = &partition;
+  shared.bus = &bus;
+  shared.options = &options_;
+  shared.barrier = &barrier;
+  shared.idle_flags = &idle_flags;
+  if (options_.delta_stepping > 0.0 && kernel_.agg == AggKind::kMin) {
+    double init_min = std::numeric_limits<double>::infinity();
+    for (double d : init->delta0) init_min = std::min(init_min, d);
+    shared.bucket_limit.store(init_min + options_.delta_stepping);
+  } else {
+    shared.bucket_limit.store(std::numeric_limits<double>::infinity());
+  }
+
+  Timer timer;
+  shared.start_us = NowMicros();
+  std::vector<std::thread> threads;
+  threads.reserve(options_.num_workers + 1);
+  std::vector<Worker> workers;
+  workers.reserve(options_.num_workers);
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    workers.emplace_back(w, &shared);
+  }
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    threads.emplace_back([&workers, w] { workers[w].Run(); });
+  }
+
+  TerminationController controller(&shared);
+  if (options_.mode != ExecMode::kSync) {
+    threads.emplace_back([&controller] { controller.Run(); });
+  }
+  for (auto& t : threads) t.join();
+
+  EngineResult result;
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.supersteps = shared.superstep.load();
+  result.stats.harvests = shared.harvests.load();
+  result.stats.edge_applications = shared.edge_applications.load();
+  const NetworkStats net = bus.stats();
+  result.stats.messages = net.messages;
+  result.stats.updates_sent = net.updates;
+  result.stats.converged = shared.converged.load();
+  result.values = table->SnapshotAccumulation();
+  result.trace = std::move(shared.trace);
+  return result;
+}
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,138 @@
+// The unified sync-async execution engine (§5.3, Fig. 8): N worker threads
+// over MonoTable shards, a master thread for global termination checks, and
+// per-pair adaptive message buffers over the simulated network.
+//
+// Execution modes:
+//   kSync      — BSP supersteps with barriers (SociaLite/BigDatalog style).
+//   kAsync     — free-running workers, eager per-update messages (Myria style).
+//   kAap       — Grape+'s Adaptive Asynchronous Parallel model (fixed-size
+//                buffers, in-message-driven pacing), implemented from its
+//                paper as §6.5 does.
+//   kSyncAsync — the paper's contribution: async execution with per-pair
+//                adaptive buffer sizing (β, τ, α=0.8, r=2) plus periodic
+//                global termination checks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kernel.h"
+#include "core/mono_table.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "runtime/buffer_policy.h"
+#include "runtime/network.h"
+
+namespace powerlog::runtime {
+
+enum class ExecMode { kSync, kAsync, kAap, kSyncAsync };
+
+const char* ExecModeName(ExecMode mode);
+
+struct EngineOptions {
+  uint32_t num_workers = 4;
+  ExecMode mode = ExecMode::kSyncAsync;
+  NetworkConfig network;
+
+  /// Adaptive buffer parameters (kSyncAsync); β is also the fixed size for
+  /// kAap/kFixed flushing.
+  BufferPolicy::Params buffer;
+
+  /// §5.4 priority threshold for sum programs: deltas below the threshold
+  /// stay cached locally until they accumulate. 0 disables.
+  double priority_threshold = 0.0;
+
+  /// §5.4 adaptive variant: harvest a delta only if it is at least a
+  /// fraction of the worker's moving-average pending magnitude. Larger
+  /// deltas are "more important for the convergence" [67]; deferring the
+  /// small ones lets them accumulate before one combined propagation.
+  /// Async-family sum programs only.
+  bool adaptive_priority = false;
+
+  /// Δ-stepping bucket width for min programs in sync mode (the SSSP
+  /// optimisation SociaLite applies, §6.3). 0 disables. Only deltas within
+  /// the current bucket are expanded; the bucket advances when exhausted.
+  double delta_stepping = 0.0;
+
+  /// Termination.
+  double epsilon_override = -1.0;     ///< <0: use the kernel's epsilon
+  int64_t max_supersteps = 100000;    ///< sync-mode cap
+  double max_wall_seconds = 60.0;     ///< async-mode hard cap
+  int64_t term_check_interval_us = 1000;
+
+  /// Per-superstep coordination overhead of a distributed barrier, paid by
+  /// every worker in sync mode (models the 17-node cluster's barrier cost).
+  int64_t barrier_overhead_us = 300;
+
+  /// Extra compute burned per F' application, in nanoseconds. 0 = our native
+  /// speed; comparator configurations use it to model slower (JVM/Spark)
+  /// per-tuple processing. Amortised via a debt accumulator.
+  double compute_inflation_ns_per_edge = 0.0;
+
+  /// Environment-noise model: each worker pauses for ~Exp(stall_mean_us)
+  /// roughly every Exp(stall_every_us) of wall time (GC pauses, cloud-VM
+  /// noise). In async modes the other workers keep computing through a
+  /// peer's pause; in sync mode the barrier converts every pause into a
+  /// collective straggler wait — the asymmetry §5.3 calls "over-controlled
+  /// synchronization". 0 disables (default; correctness tests run clean).
+  int64_t stall_every_us = 0;
+  int64_t stall_mean_us = 2000;
+  uint64_t stall_seed = 0x57A11;
+
+  Partitioner::Kind partition = Partitioner::Kind::kHash;
+
+  /// Checkpointing (sync mode): write state every k supersteps to `path`.
+  /// 0 disables.
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  /// Record a convergence trace: one (seconds, global aggregate, pending
+  /// delta mass) sample per termination check (async modes) or superstep
+  /// (sync mode).
+  bool record_trace = false;
+};
+
+struct EngineStats {
+  double wall_seconds = 0.0;
+  int64_t supersteps = 0;        ///< sync mode; termination checks otherwise
+  int64_t harvests = 0;          ///< MonoTable deltas processed
+  int64_t edge_applications = 0; ///< F' applications
+  int64_t messages = 0;
+  int64_t updates_sent = 0;
+  bool converged = false;
+
+  std::string Summary() const;
+};
+
+/// \brief One convergence-trace sample.
+struct TraceSample {
+  double seconds;
+  double global_aggregate;  ///< Σ of finite accumulation entries
+  double pending_mass;      ///< Σ|ΔX| (sum) or #improving deltas (min/max)
+};
+
+struct EngineResult {
+  std::vector<double> values;
+  EngineStats stats;
+  std::vector<TraceSample> trace;  ///< non-empty iff options.record_trace
+};
+
+/// \brief One evaluation run of a kernel on a graph under the chosen mode.
+class Engine {
+ public:
+  Engine(const Graph& graph, Kernel kernel, EngineOptions options);
+
+  /// Executes to convergence (or cap) and returns the final accumulation
+  /// column plus statistics. May be called repeatedly (state resets).
+  Result<EngineResult> Run();
+
+ private:
+  const Graph& graph_;
+  Kernel kernel_;
+  EngineOptions options_;
+};
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,66 @@
+#include "runtime/message.h"
+
+#include <cstring>
+
+namespace powerlog::runtime {
+
+void CombiningBuffer::Add(VertexId key, double value) {
+  auto [it, inserted] = pending_.emplace(key, value);
+  if (inserted) return;
+  switch (kind_) {
+    case AggKind::kMin:
+      if (value < it->second) it->second = value;
+      break;
+    case AggKind::kMax:
+      if (value > it->second) it->second = value;
+      break;
+    case AggKind::kSum:
+    case AggKind::kCount:
+      it->second += value;
+      break;
+    case AggKind::kMean:
+      break;  // mean programs never reach the incremental runtime
+  }
+}
+
+UpdateBatch CombiningBuffer::Drain() {
+  UpdateBatch batch;
+  batch.reserve(pending_.size());
+  for (const auto& [key, value] : pending_) batch.push_back(Update{key, value});
+  pending_.clear();
+  return batch;
+}
+
+void SerializeUpdates(const UpdateBatch& batch, std::vector<uint8_t>* out) {
+  const uint64_t count = batch.size();
+  const size_t offset = out->size();
+  out->resize(offset + sizeof(uint64_t) + count * (sizeof(VertexId) + sizeof(double)));
+  uint8_t* p = out->data() + offset;
+  std::memcpy(p, &count, sizeof(count));
+  p += sizeof(count);
+  for (const Update& u : batch) {
+    std::memcpy(p, &u.key, sizeof(u.key));
+    p += sizeof(u.key);
+    std::memcpy(p, &u.value, sizeof(u.value));
+    p += sizeof(u.value);
+  }
+}
+
+Result<UpdateBatch> DeserializeUpdates(const uint8_t* data, size_t size) {
+  if (size < sizeof(uint64_t)) return Status::IOError("truncated update batch");
+  uint64_t count = 0;
+  std::memcpy(&count, data, sizeof(count));
+  const size_t need = sizeof(uint64_t) + count * (sizeof(VertexId) + sizeof(double));
+  if (size < need) return Status::IOError("truncated update batch payload");
+  UpdateBatch batch(count);
+  const uint8_t* p = data + sizeof(uint64_t);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::memcpy(&batch[i].key, p, sizeof(VertexId));
+    p += sizeof(VertexId);
+    std::memcpy(&batch[i].value, p, sizeof(double));
+    p += sizeof(double);
+  }
+  return batch;
+}
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,48 @@
+// Message types exchanged between workers, with sender-side combining
+// buffers (the paper's per-destination message buffers B(i,j), §5.3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregates.h"
+#include "graph/graph.h"
+
+namespace powerlog::runtime {
+
+/// \brief One delta contribution routed to a remote key.
+struct Update {
+  VertexId key;
+  double value;
+};
+
+using UpdateBatch = std::vector<Update>;
+
+/// \brief Sender-side buffer for one (source worker, destination worker)
+/// pair. Contributions to the same key are combined *before* shipping —
+/// lower message volume at higher batching levels is exactly the lever the
+/// unified sync-async engine turns (§5.3).
+class CombiningBuffer {
+ public:
+  explicit CombiningBuffer(AggKind kind) : kind_(kind) {}
+
+  /// Combines `value` into the pending update for `key`.
+  void Add(VertexId key, double value);
+
+  size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+
+  /// Moves the buffered updates out as a batch (buffer becomes empty).
+  UpdateBatch Drain();
+
+ private:
+  AggKind kind_;
+  std::unordered_map<VertexId, double> pending_;
+};
+
+/// Binary serialisation (checkpoints; stands in for the paper's ProtoStuff).
+void SerializeUpdates(const UpdateBatch& batch, std::vector<uint8_t>* out);
+Result<UpdateBatch> DeserializeUpdates(const uint8_t* data, size_t size);
+
+}  // namespace powerlog::runtime

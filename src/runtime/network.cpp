@@ -1,0 +1,84 @@
+#include "runtime/network.h"
+
+#include <chrono>
+#include <thread>
+
+namespace powerlog::runtime {
+
+MessageBus::MessageBus(uint32_t num_workers, NetworkConfig config)
+    : config_(config), inboxes_(num_workers) {}
+
+void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
+  (void)from;
+  if (batch.empty()) return;
+  const int64_t now = NowMicros();
+  const int64_t deliver_at =
+      config_.instant
+          ? now
+          : now + static_cast<int64_t>(config_.latency_us +
+                                       config_.per_update_us *
+                                           static_cast<double>(batch.size()));
+  inflight_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_acq_rel);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  updates_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_relaxed);
+  Inbox& inbox = inboxes_[to];
+  std::lock_guard<std::mutex> lock(inbox.mutex);
+  inbox.queue.push_back(Envelope{deliver_at, std::move(batch)});
+}
+
+size_t MessageBus::Receive(uint32_t worker, UpdateBatch* out) {
+  Inbox& inbox = inboxes_[worker];
+  const int64_t now = NowMicros();
+  size_t received = 0;
+  size_t messages = 0;
+  int64_t sleep_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    // Envelopes are queued in send order; delivery times are monotone per
+    // sender but interleaved across senders, so scan the whole ready prefix
+    // conservatively: pop any envelope whose time has come.
+    for (auto it = inbox.queue.begin(); it != inbox.queue.end();) {
+      if (it->deliver_at_us > now) {
+        ++it;
+        continue;
+      }
+      received += it->batch.size();
+      ++messages;
+      inflight_.fetch_sub(static_cast<int64_t>(it->batch.size()),
+                          std::memory_order_acq_rel);
+      out->insert(out->end(), it->batch.begin(), it->batch.end());
+      it = inbox.queue.erase(it);
+    }
+    // Burn the receiver-CPU cost, amortised through a debt accumulator so
+    // sub-quantum costs still add up correctly.
+    if (messages > 0 &&
+        (config_.cpu_us_per_message > 0 || config_.cpu_us_per_update > 0)) {
+      inbox.cpu_debt_ns += static_cast<int64_t>(
+          1000.0 * (config_.cpu_us_per_message * static_cast<double>(messages) +
+                    config_.cpu_us_per_update * static_cast<double>(received)));
+    }
+    if (inbox.cpu_debt_ns > 200000) {  // sleep off >= 200us chunks
+      sleep_us = inbox.cpu_debt_ns / 1000;
+      inbox.cpu_debt_ns = 0;
+    }
+  }
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+  return received;
+}
+
+bool MessageBus::HasPending(uint32_t worker) const {
+  const Inbox& inbox = inboxes_[worker];
+  std::lock_guard<std::mutex> lock(inbox.mutex);
+  return !inbox.queue.empty();
+}
+
+NetworkStats MessageBus::stats() const {
+  NetworkStats s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.updates = updates_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,89 @@
+// In-process message bus with an explicit network cost model — the stand-in
+// for the paper's OpenMPI transport on a 17-node 1.5 Gbps cluster.
+//
+// Every message pays a fixed latency plus a per-update cost before it
+// becomes visible to the receiver. This is what makes the sync/async
+// trade-off real in a single process: many small messages pay latency per
+// message (penalising naive async), big batches delay data (penalising
+// over-buffered execution), and barrier-based sync pays the straggler wait.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/timer.h"
+#include "runtime/message.h"
+
+namespace powerlog::runtime {
+
+/// \brief Simulated transport parameters.
+struct NetworkConfig {
+  double latency_us = 150.0;     ///< fixed per-message delivery latency
+  double per_update_us = 0.02;   ///< serialisation/wire cost per update
+  bool instant = false;          ///< tests: deliver immediately
+
+  /// Receiver-side CPU consumed per message / per update (dispatch +
+  /// deserialisation). Unlike the delivery delay above, this is *burned* by
+  /// the receiving worker, so fine-grained messaging steals compute — the
+  /// effect the adaptive buffer policy (§5.3) exists to manage. Defaults to
+  /// zero so correctness tests run at full speed; benches set realistic
+  /// values.
+  double cpu_us_per_message = 0.0;
+  double cpu_us_per_update = 0.0;
+};
+
+/// \brief Aggregate transport statistics.
+struct NetworkStats {
+  int64_t messages = 0;
+  int64_t updates = 0;
+};
+
+/// \brief N-worker mailbox fabric with delivery-time simulation.
+class MessageBus {
+ public:
+  MessageBus(uint32_t num_workers, NetworkConfig config);
+
+  uint32_t num_workers() const { return static_cast<uint32_t>(inboxes_.size()); }
+
+  /// Ships a batch from `from` to `to`. Empty batches are dropped.
+  void Send(uint32_t from, uint32_t to, UpdateBatch batch);
+
+  /// Delivers every message for `worker` that has reached its delivery time.
+  /// Appends into `out`; returns number of updates received.
+  size_t Receive(uint32_t worker, UpdateBatch* out);
+
+  /// Updates shipped (Send) but not yet consumed via Receive.
+  int64_t InFlightUpdates() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+  /// True if a Receive for `worker` right now would deliver something, or
+  /// messages are still in flight to it (even if not yet deliverable).
+  bool HasPending(uint32_t worker) const;
+
+  NetworkStats stats() const;
+
+ private:
+  struct Envelope {
+    int64_t deliver_at_us;
+    UpdateBatch batch;
+  };
+  struct Inbox {
+    mutable std::mutex mutex;
+    std::deque<Envelope> queue;
+    /// Accumulated receive-CPU debt in nanoseconds; slept off in chunks so
+    /// sub-microsecond costs are not rounded up to the OS sleep quantum.
+    int64_t cpu_debt_ns = 0;
+  };
+
+  NetworkConfig config_;
+  std::vector<Inbox> inboxes_;
+  std::atomic<int64_t> inflight_{0};
+  std::atomic<int64_t> messages_{0};
+  std::atomic<int64_t> updates_{0};
+};
+
+}  // namespace powerlog::runtime

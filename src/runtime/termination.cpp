@@ -1,0 +1,103 @@
+#include "runtime/termination.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace powerlog::runtime {
+namespace {
+
+/// Global aggregation over the accumulation column (the per-worker local
+/// results the master merges, §5.4). Identity infinities (unreached min/max
+/// keys) are skipped, but an overflowed *sum* value means the program is
+/// diverging — report NaN so the epsilon criterion can never fire on it.
+double GlobalAggregate(const MonoTable& table) {
+  const bool ordered =
+      table.agg_kind() == AggKind::kMin || table.agg_kind() == AggKind::kMax;
+  double total = 0.0;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const double v = table.accumulation(i);
+    if (std::isnan(v)) return std::nan("");
+    if (std::isinf(v)) {
+      if (!ordered) return std::nan("");  // diverging sum program
+      continue;                           // unreached key
+    }
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace
+
+bool TerminationController::Quiescent() const {
+  for (const auto& flag : *shared_->idle_flags) {
+    if (flag.load(std::memory_order_acquire) == 0) return false;
+  }
+  if (shared_->bus->InFlightUpdates() != 0) return false;
+  if (shared_->table->PendingDeltaMass() != 0.0) return false;
+  return true;
+}
+
+void TerminationController::Run() {
+  const EngineOptions& options = *shared_->options;
+  const Kernel& kernel = *shared_->kernel;
+  const double epsilon =
+      options.epsilon_override >= 0
+          ? options.epsilon_override
+          : (kernel.termination.has_epsilon ? kernel.termination.epsilon : 0.0);
+  Timer timer;
+  double prev_global = std::nan("");
+  int64_t prev_harvests = -1;
+  int below_eps_streak = 0;
+
+  while (!shared_->stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options.term_check_interval_us));
+    ++checks_;
+    shared_->superstep.fetch_add(1, std::memory_order_relaxed);  // check count
+    RecordTraceSample(shared_);
+
+    // Hard wall-clock cap (divergent programs, e.g. Katz with β too large).
+    if (timer.ElapsedSeconds() > options.max_wall_seconds) {
+      shared_->stop.store(true, std::memory_order_release);
+      return;
+    }
+
+    // Fixpoint quiescence, double-checked to close in-flight windows.
+    if (Quiescent()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      if (Quiescent()) {
+        shared_->converged.store(true, std::memory_order_release);
+        shared_->stop.store(true, std::memory_order_release);
+        return;
+      }
+    }
+
+    // Epsilon criterion: the difference between two consecutive global
+    // aggregation results must stay below epsilon (two checks in a row).
+    // Guard against scheduler stalls: a static aggregate with no harvests in
+    // between means the workers were preempted, not that the computation
+    // converged — skip the sample entirely (real pending-work exhaustion is
+    // caught by the quiescence check above).
+    const int64_t harvests = shared_->harvests.load(std::memory_order_relaxed);
+    if (epsilon > 0.0 && harvests > 0 && harvests != prev_harvests) {
+      prev_harvests = harvests;
+      const double global = GlobalAggregate(*shared_->table);
+      if (!std::isnan(global) && !std::isnan(prev_global) &&
+          std::abs(global - prev_global) < epsilon) {
+        if (++below_eps_streak >= 2) {
+          shared_->converged.store(true, std::memory_order_release);
+          shared_->stop.store(true, std::memory_order_release);
+          return;
+        }
+      } else {
+        below_eps_streak = 0;
+      }
+      prev_global = global;
+    }
+  }
+}
+
+}  // namespace powerlog::runtime

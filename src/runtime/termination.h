@@ -1,0 +1,31 @@
+// Global termination control for the async-family modes (§5.4): a master
+// thread periodically merges per-worker state and decides when to stop —
+// fixpoint quiescence for min/max programs, consecutive-global-aggregate
+// difference below epsilon for sum programs, plus hard caps.
+#pragma once
+
+#include "runtime/worker.h"
+
+namespace powerlog::runtime {
+
+/// \brief The master's termination loop. Runs on its own thread until it
+/// sets shared->stop.
+class TerminationController {
+ public:
+  explicit TerminationController(SharedState* shared) : shared_(shared) {}
+
+  /// Blocks until termination is decided; sets shared->stop / converged.
+  void Run();
+
+  int64_t checks_performed() const { return checks_; }
+
+ private:
+  /// All workers idle, no in-flight messages, no pending deltas — checked
+  /// twice to close the harvest->buffer->send window.
+  bool Quiescent() const;
+
+  SharedState* shared_;
+  int64_t checks_ = 0;
+};
+
+}  // namespace powerlog::runtime

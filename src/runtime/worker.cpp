@@ -1,0 +1,326 @@
+#include "runtime/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "runtime/checkpoint.h"
+
+namespace powerlog::runtime {
+namespace {
+
+void SpinSleep(int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace
+
+void Worker::MaybeStall() {
+  const EngineOptions& options = *shared_->options;
+  if (options.stall_every_us <= 0) return;
+  const int64_t now = NowMicros();
+  if (next_stall_us_ == 0) {
+    next_stall_us_ =
+        now + static_cast<int64_t>(-static_cast<double>(options.stall_every_us) *
+                                   std::log(1.0 - stall_rng_.NextDouble()));
+    return;
+  }
+  if (now < next_stall_us_) return;
+  const int64_t pause = static_cast<int64_t>(
+      -static_cast<double>(options.stall_mean_us) *
+      std::log(1.0 - stall_rng_.NextDouble()));
+  SpinSleep(pause);
+  next_stall_us_ =
+      NowMicros() + static_cast<int64_t>(-static_cast<double>(options.stall_every_us) *
+                                         std::log(1.0 - stall_rng_.NextDouble()));
+}
+
+void RecordTraceSample(SharedState* shared) {
+  if (!shared->options->record_trace) return;
+  TraceSample sample;
+  sample.seconds = static_cast<double>(NowMicros() - shared->start_us) * 1e-6;
+  sample.global_aggregate = 0.0;
+  for (size_t i = 0; i < shared->table->num_rows(); ++i) {
+    const double v = shared->table->accumulation(i);
+    if (std::isfinite(v)) sample.global_aggregate += v;
+  }
+  sample.pending_mass = shared->table->PendingDeltaMass();
+  std::lock_guard<std::mutex> lock(shared->trace_mutex);
+  shared->trace.push_back(sample);
+}
+
+Worker::Worker(uint32_t id, SharedState* shared) : id_(id), shared_(shared) {
+  owned_ = shared_->partition->OwnedVertices(id);
+  stall_rng_.Seed(shared_->options->stall_seed * 0x9E3779B9ULL + id * 1297 + 1);
+  const uint32_t n = shared_->options->num_workers;
+  out_buffers_.reserve(n);
+  policies_.reserve(n);
+  BufferPolicy::Params params = shared_->options->buffer;
+  switch (shared_->options->mode) {
+    case ExecMode::kAsync:
+      params.kind = FlushPolicyKind::kEager;
+      break;
+    case ExecMode::kAap:
+      params.kind = FlushPolicyKind::kFixed;
+      break;
+    case ExecMode::kSync:
+      // Buffers flushed only at barriers; policy is irrelevant.
+      params.kind = FlushPolicyKind::kFixed;
+      params.beta = 1e18;
+      params.tau_us = INT64_MAX / 2;
+      break;
+    case ExecMode::kSyncAsync:
+      // Honours the configured policy: adaptive by default; a fixed-buffer
+      // override models Maiter/Prom-style engines without β/τ adaptation.
+      break;
+  }
+  for (uint32_t w = 0; w < n; ++w) {
+    out_buffers_.emplace_back(shared_->kernel->agg);
+    policies_.emplace_back(params);
+  }
+}
+
+void Worker::Run() {
+  if (shared_->options->mode == ExecMode::kSync) {
+    RunSync();
+  } else {
+    RunAsyncLike();
+  }
+}
+
+size_t Worker::DrainInbox() {
+  inbox_scratch_.clear();
+  const size_t received = shared_->bus->Receive(id_, &inbox_scratch_);
+  for (const Update& u : inbox_scratch_) {
+    shared_->table->CombineDelta(u.key, u.value);
+  }
+  return received;
+}
+
+bool Worker::ProcessVertex(VertexId v) {
+  MonoTable& table = *shared_->table;
+  const Kernel& kernel = *shared_->kernel;
+  Aggregator agg(kernel.agg);
+  const double identity = table.identity();
+  const bool ordered = kernel.agg == AggKind::kMin || kernel.agg == AggKind::kMax;
+
+  // Peek first: cheap rejection without the atomic exchange.
+  const double pending = table.intermediate(v);
+  if (pending == identity) return false;
+  const double x_before = table.accumulation(v);
+  if (ordered && !agg.Improves(x_before, pending)) {
+    // Stale delta: absorb it into the accumulation (no-op) and clear.
+    // ΔX¹ = X¹ (ComputeInitialState), so even the very first deltas are
+    // gated on strict improvement over X⁰ — equal deltas were already
+    // accounted for when X¹ was derived.
+    table.HarvestDelta(v);
+    return false;
+  }
+  // §5.4 priority threshold for sum programs: small deltas stay cached.
+  if (!ordered && shared_->options->priority_threshold > 0.0 &&
+      std::abs(pending) < shared_->options->priority_threshold &&
+      idle_scans_ < 3) {
+    return false;
+  }
+  // §5.4 adaptive priority: defer deltas well below this worker's moving
+  // average pending magnitude so they accumulate before propagation.
+  if (!ordered && shared_->options->adaptive_priority) {
+    scan_abs_sum_ += std::abs(pending);
+    ++scan_count_;
+    if (idle_scans_ < 3 && priority_ema_ > 0.0 &&
+        std::abs(pending) < 0.3 * priority_ema_) {
+      return false;
+    }
+  }
+  // Δ-stepping (sync min programs): expand only the current bucket.
+  if (kernel.agg == AggKind::kMin && shared_->options->delta_stepping > 0.0 &&
+      shared_->options->mode == ExecMode::kSync &&
+      pending > shared_->bucket_limit.load(std::memory_order_relaxed)) {
+    return false;
+  }
+
+  const double tmp = table.HarvestDelta(v);
+  if (tmp == identity) return false;  // raced with another harvest
+  if (ordered && !agg.Improves(x_before, tmp)) return false;
+  shared_->harvests.fetch_add(1, std::memory_order_relaxed);
+
+  // Step 3 of Fig. 7: apply F' and route contributions.
+  const double deg = static_cast<double>(shared_->graph->OutDegree(v));
+  int64_t apps = 0;
+  for (const Edge& e : shared_->prop->OutEdges(v)) {
+    const double contribution = kernel.EvalEdge(tmp, e.weight, deg);
+    ++apps;
+    const uint32_t owner = shared_->partition->WorkerOf(e.dst);
+    if (owner == id_) {
+      shared_->table->CombineDelta(e.dst, contribution);
+    } else {
+      out_buffers_[owner].Add(e.dst, contribution);
+    }
+  }
+  shared_->edge_applications.fetch_add(apps, std::memory_order_relaxed);
+  // Comparator configurations inflate per-edge compute (JVM/Spark engines);
+  // sleep the debt off in >=200us chunks to dodge the OS sleep quantum.
+  if (shared_->options->compute_inflation_ns_per_edge > 0.0) {
+    compute_debt_ns_ += static_cast<int64_t>(
+        shared_->options->compute_inflation_ns_per_edge * static_cast<double>(apps));
+    if (compute_debt_ns_ > 200000) {
+      SpinSleep(compute_debt_ns_ / 1000);
+      compute_debt_ns_ = 0;
+    }
+  }
+  return true;
+}
+
+void Worker::FlushBuffers(bool force) {
+  const int64_t now = NowMicros();
+  for (uint32_t w = 0; w < out_buffers_.size(); ++w) {
+    if (w == id_) continue;
+    CombiningBuffer& buffer = out_buffers_[w];
+    if (buffer.empty()) continue;
+    if (!force && !policies_[w].ShouldFlush(buffer.size(), now)) continue;
+    const size_t flushed = buffer.size();
+    shared_->bus->Send(id_, w, buffer.Drain());
+    policies_[w].OnFlush(flushed, now);
+  }
+}
+
+void Worker::RunSync() {
+  const EngineOptions& options = *shared_->options;
+  while (!shared_->stop.load(std::memory_order_acquire)) {
+    // --- compute phase ---
+    MaybeStall();
+    int64_t useful = 0;
+    for (VertexId v : owned_) {
+      if (ProcessVertex(v)) ++useful;
+      if ((v & 0xFF) == 0) MaybeStall();
+    }
+    shared_->superstep_work.fetch_add(useful, std::memory_order_relaxed);
+    FlushBuffers(/*force=*/true);
+    // Model the distributed barrier's coordination cost.
+    SpinSleep(options.barrier_overhead_us);
+    shared_->barrier->ArriveAndWait();  // all sends complete
+
+    // --- communication phase: wait until our inbox is fully delivered ---
+    while (shared_->bus->HasPending(id_)) {
+      DrainInbox();
+      SpinSleep(20);
+    }
+    const bool serial = shared_->barrier->ArriveAndWait();  // all receives done
+
+    // --- termination decision (one worker per superstep) ---
+    if (serial) {
+      const int64_t step = shared_->superstep.fetch_add(1) + 1;
+      const int64_t work = shared_->superstep_work.exchange(0);
+      const double mass = shared_->table->PendingDeltaMass();
+      const Kernel& kernel = *shared_->kernel;
+      double epsilon = options.epsilon_override >= 0
+                           ? options.epsilon_override
+                           : (kernel.termination.has_epsilon
+                                  ? kernel.termination.epsilon
+                                  : 0.0);
+      bool done = false;
+      if (work == 0 && mass == 0.0) done = true;  // fixpoint
+      if (epsilon > 0.0 && mass < epsilon) done = true;
+      if (work == 0 && mass > 0.0 && options.delta_stepping > 0.0 &&
+          kernel.agg == AggKind::kMin) {
+        // Δ-stepping: current bucket exhausted, advance to the smallest
+        // pending tentative distance plus the bucket width.
+        Aggregator agg(kernel.agg);
+        double next_min = std::numeric_limits<double>::infinity();
+        for (size_t row = 0; row < shared_->table->num_rows(); ++row) {
+          const double d = shared_->table->intermediate(row);
+          if (d == shared_->table->identity()) continue;
+          if (agg.Improves(shared_->table->accumulation(row), d)) {
+            next_min = std::min(next_min, d);
+          }
+        }
+        shared_->bucket_limit.store(next_min + options.delta_stepping,
+                                    std::memory_order_relaxed);
+      }
+      int64_t cap = options.max_supersteps;
+      if (kernel.termination.max_iterations > 0 &&
+          kernel.termination.max_iterations < cap) {
+        cap = kernel.termination.max_iterations;
+      }
+      if (step >= cap) {
+        done = true;
+      } else if (done) {
+        shared_->converged.store(true, std::memory_order_release);
+      }
+      if (done) shared_->stop.store(true, std::memory_order_release);
+      RecordTraceSample(shared_);
+      // Consistent checkpoint: every worker is parked at the next barrier,
+      // all messages are drained, so the table snapshot is quiescent.
+      if (!done && options.checkpoint_every > 0 &&
+          step % options.checkpoint_every == 0 && !options.checkpoint_path.empty()) {
+        Status st = WriteCheckpoint(*shared_->table, options.checkpoint_path);
+        if (!st.ok()) {
+          POWERLOG_WARN << "checkpoint failed: " << st.ToString();
+        }
+      }
+    }
+    shared_->barrier->ArriveAndWait();  // decision visible to all
+  }
+}
+
+void Worker::RunAsyncLike() {
+  const EngineOptions& options = *shared_->options;
+  const bool aap = options.mode == ExecMode::kAap;
+  int64_t last_process_us = NowMicros();
+  size_t received_since_process = 0;
+
+  while (!shared_->stop.load(std::memory_order_acquire)) {
+    MaybeStall();
+    received_since_process += DrainInbox();
+
+    // AAP (Grape+): pace the compute phase by incoming message volume — a
+    // worker prefers to batch up arriving blocks before recomputing, with a
+    // timeout so progress never stalls.
+    if (aap) {
+      const bool enough = received_since_process >= options.buffer.beta / 2;
+      const bool timeout = NowMicros() - last_process_us >= options.buffer.tau_us;
+      if (!enough && !timeout) {
+        SpinSleep(10);
+        continue;
+      }
+    }
+
+    bool any = false;
+    scan_abs_sum_ = 0.0;
+    scan_count_ = 0;
+    for (VertexId v : owned_) {
+      if (ProcessVertex(v)) any = true;
+      // Interleave communication with compute (a dedicated communication
+      // thread in the paper; cooperative here).
+      if ((v & 0x3F) == 0) FlushBuffers(/*force=*/false);
+    }
+    FlushBuffers(/*force=*/false);
+    if (scan_count_ > 0) {
+      const double mean = scan_abs_sum_ / static_cast<double>(scan_count_);
+      priority_ema_ = priority_ema_ == 0.0 ? mean : 0.7 * priority_ema_ + 0.3 * mean;
+    }
+    last_process_us = NowMicros();
+    received_since_process = 0;
+
+    auto& idle = (*shared_->idle_flags)[id_];
+    if (!any) {
+      ++idle_scans_;
+      // Nothing useful locally: push out whatever is buffered so other
+      // workers can progress, then declare idleness.
+      FlushBuffers(/*force=*/true);
+      idle.store(1, std::memory_order_release);
+      SpinSleep(50);
+    } else {
+      idle_scans_ = 0;
+      idle.store(0, std::memory_order_release);
+    }
+  }
+  FlushBuffers(/*force=*/true);
+}
+
+}  // namespace powerlog::runtime

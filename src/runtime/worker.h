@@ -1,0 +1,97 @@
+// Worker threads of the unified sync-async engine (Fig. 8) and the shared
+// run state they operate on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/kernel.h"
+#include "core/mono_table.h"
+#include "graph/partition.h"
+#include "runtime/buffer_policy.h"
+#include "runtime/engine.h"
+#include "runtime/network.h"
+
+namespace powerlog::runtime {
+
+/// \brief State shared by all workers and the master for one run.
+struct SharedState {
+  const Graph* graph = nullptr;
+  const Graph* prop = nullptr;  ///< propagation graph (reverse if pulling)
+  const Kernel* kernel = nullptr;
+  MonoTable* table = nullptr;
+  const Partitioner* partition = nullptr;
+  MessageBus* bus = nullptr;
+  const EngineOptions* options = nullptr;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> converged{false};
+
+  // Statistics.
+  std::atomic<int64_t> harvests{0};
+  std::atomic<int64_t> edge_applications{0};
+
+  // Sync mode.
+  Barrier* barrier = nullptr;            ///< all workers
+  std::atomic<int64_t> superstep{0};
+  std::atomic<int64_t> superstep_work{0};  ///< useful harvests this superstep
+  std::atomic<double> bucket_limit{0.0};   ///< Δ-stepping current bucket bound
+
+  // Async modes: per-worker idle flags for quiescence detection.
+  std::vector<std::atomic<uint8_t>>* idle_flags = nullptr;
+
+  // Convergence trace (options->record_trace): guarded by trace_mutex.
+  std::mutex trace_mutex;
+  std::vector<TraceSample> trace;
+  int64_t start_us = 0;
+};
+
+/// Appends a trace sample (no-op unless recording). Thread-safe.
+void RecordTraceSample(SharedState* shared);
+
+/// \brief One worker: owns a shard of the key space, processes deltas, and
+/// routes remote contributions through per-destination combining buffers.
+class Worker {
+ public:
+  Worker(uint32_t id, SharedState* shared);
+
+  /// Entry point; dispatches on the engine mode.
+  void Run();
+
+ private:
+  void RunSync();
+  void RunAsyncLike();  // kAsync / kAap / kSyncAsync
+
+  /// Drains the inbox into the MonoTable. Returns updates applied.
+  size_t DrainInbox();
+
+  /// Harvests one vertex's delta and propagates it. Returns true if the
+  /// delta was useful (actually propagated).
+  bool ProcessVertex(VertexId v);
+
+  /// Sends buffers per policy; `force` flushes everything (barrier).
+  void FlushBuffers(bool force);
+
+  uint32_t id_;
+  SharedState* shared_;
+  std::vector<VertexId> owned_;
+  std::vector<CombiningBuffer> out_buffers_;  ///< one per destination worker
+  std::vector<BufferPolicy> policies_;
+  UpdateBatch inbox_scratch_;
+  int64_t idle_scans_ = 0;  ///< consecutive no-work scans (threshold decay)
+  int64_t compute_debt_ns_ = 0;  ///< accumulated inflation cost to sleep off
+  // Adaptive priority (§5.4): moving average of pending |delta| magnitudes.
+  double priority_ema_ = 0.0;
+  double scan_abs_sum_ = 0.0;
+  int64_t scan_count_ = 0;
+  // Environment-noise stalls.
+  void MaybeStall();
+  Rng stall_rng_;
+  int64_t next_stall_us_ = 0;
+};
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,130 @@
+#include "smt/counterexample.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace powerlog::smt {
+namespace {
+
+/// Candidate grid values per sign class. Includes the boundary-crossing
+/// values that break piecewise-linear identities (relu) and the asymmetric
+/// values that break mean-style averaging.
+std::vector<double> GridValues(Sign sign) {
+  switch (sign) {
+    case Sign::kPositive:
+      return {0.25, 0.5, 1.0, 2.0, 3.0, 10.0};
+    case Sign::kNonNegative:
+      return {0.0, 0.5, 1.0, 2.0, 5.0};
+    case Sign::kNegative:
+      return {-0.25, -1.0, -2.0, -10.0};
+    case Sign::kNonPositive:
+      return {0.0, -0.5, -1.0, -3.0};
+    case Sign::kZero:
+      return {0.0};
+    case Sign::kUnknown:
+      return {-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 3.0};
+  }
+  return {0.0, 1.0};
+}
+
+double RandomValue(Rng& rng, Sign sign) {
+  const double magnitude = std::exp(rng.NextDouble(-2.0, 4.0));  // ~[0.13, 54]
+  switch (sign) {
+    case Sign::kPositive:
+      return magnitude;
+    case Sign::kNonNegative:
+      return rng.NextBool(0.1) ? 0.0 : magnitude;
+    case Sign::kNegative:
+      return -magnitude;
+    case Sign::kNonPositive:
+      return rng.NextBool(0.1) ? 0.0 : -magnitude;
+    case Sign::kZero:
+      return 0.0;
+    case Sign::kUnknown:
+      return rng.NextBool(0.5) ? magnitude : -magnitude;
+  }
+  return 0.0;
+}
+
+bool Differs(double a, double b, double tol) {
+  if (std::isnan(a) || std::isnan(b)) return false;  // undefined point: skip
+  return std::abs(a - b) > tol * (1.0 + std::abs(a) + std::abs(b));
+}
+
+}  // namespace
+
+std::string Counterexample::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [var, val] : assignment) {
+    parts.push_back(StringFormat("%s=%g", var.c_str(), val));
+  }
+  return StringFormat("{%s} -> lhs=%g, rhs=%g", Join(parts, ", ").c_str(), lhs_value,
+                      rhs_value);
+}
+
+std::optional<Counterexample> FindCounterexample(const TermPtr& lhs, const TermPtr& rhs,
+                                                 const ConstraintSet& cs,
+                                                 const SearchOptions& options) {
+  // Merge the variable sets of both sides.
+  std::set<std::string> var_set;
+  for (const auto& v : CollectVars(lhs)) var_set.insert(v);
+  for (const auto& v : CollectVars(rhs)) var_set.insert(v);
+  const std::vector<std::string> vars(var_set.begin(), var_set.end());
+
+  auto test = [&](const std::map<std::string, double>& env)
+      -> std::optional<Counterexample> {
+    auto lv = Evaluate(lhs, env);
+    auto rv = Evaluate(rhs, env);
+    if (!lv.ok() || !rv.ok()) return std::nullopt;  // undefined point
+    if (Differs(*lv, *rv, options.tolerance)) {
+      return Counterexample{env, *lv, *rv};
+    }
+    return std::nullopt;
+  };
+
+  if (vars.empty()) {
+    return test({});
+  }
+
+  // Phase 1: exhaustive grid when the cross product is tractable.
+  if (static_cast<int>(vars.size()) <= options.grid_vars_limit) {
+    std::vector<std::vector<double>> values;
+    size_t total = 1;
+    for (const auto& v : vars) {
+      values.push_back(GridValues(cs.SignOf(v)));
+      total *= values.back().size();
+      if (total > 2000000) break;
+    }
+    if (values.size() == vars.size() && total <= 2000000) {
+      std::vector<size_t> idx(vars.size(), 0);
+      while (true) {
+        std::map<std::string, double> env;
+        for (size_t i = 0; i < vars.size(); ++i) env[vars[i]] = values[i][idx[i]];
+        if (auto cx = test(env)) return cx;
+        // Advance the mixed-radix counter.
+        size_t i = 0;
+        while (i < idx.size()) {
+          if (++idx[i] < values[i].size()) break;
+          idx[i] = 0;
+          ++i;
+        }
+        if (i == idx.size()) break;
+      }
+    }
+  }
+
+  // Phase 2: random sampling.
+  Rng rng(options.seed);
+  for (int s = 0; s < options.random_samples; ++s) {
+    std::map<std::string, double> env;
+    for (const auto& v : vars) env[v] = RandomValue(rng, cs.SignOf(v));
+    if (auto cx = test(env)) return cx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace powerlog::smt

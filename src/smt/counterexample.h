@@ -1,0 +1,41 @@
+// Counterexample search: the "sat" half of the checker.
+//
+// To refute "lhs == rhs always", we search for a variable assignment (a
+// model) where the two sides differ, honoring sign constraints. The search
+// combines a structured grid over adversarial values (0, ±1, small, large,
+// sign boundaries — the values that expose relu/abs/mean failures) with
+// random sampling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "smt/monotone.h"
+#include "smt/term.h"
+
+namespace powerlog::smt {
+
+struct SearchOptions {
+  int grid_vars_limit = 5;     ///< full grid only up to this many variables
+  int random_samples = 20000;
+  uint64_t seed = 0xC0FFEE;
+  double tolerance = 1e-7;     ///< relative tolerance for "differs"
+};
+
+/// \brief A falsifying assignment plus the two observed values.
+struct Counterexample {
+  std::map<std::string, double> assignment;
+  double lhs_value;
+  double rhs_value;
+
+  std::string ToString() const;
+};
+
+/// Searches for env with |lhs(env) - rhs(env)| > tol*(1+|lhs|+|rhs|), where
+/// every variable respects its constraint sign. Returns nullopt if none found.
+std::optional<Counterexample> FindCounterexample(const TermPtr& lhs, const TermPtr& rhs,
+                                                 const ConstraintSet& cs,
+                                                 const SearchOptions& options = {});
+
+}  // namespace powerlog::smt

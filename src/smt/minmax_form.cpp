@@ -1,0 +1,286 @@
+#include "smt/minmax_form.h"
+
+#include <algorithm>
+
+namespace powerlog::smt {
+namespace {
+
+using Kind = MinMaxForm::Kind;
+
+Kind FlipKind(Kind k) {
+  if (k == Kind::kMin) return Kind::kMax;
+  if (k == Kind::kMax) return Kind::kMin;
+  return k;
+}
+
+MinMaxForm MakeAtom(Polynomial p) {
+  MinMaxForm f;
+  f.kind = Kind::kAtom;
+  f.elems.push_back(LatticeElem{std::move(p), 0});
+  return f;
+}
+
+/// Sign of a polynomial under constraints, via its term structure: we only
+/// need constants and single-variable monomials with known-sign coefficients.
+Sign PolySign(const Polynomial& p, const ConstraintSet& cs) {
+  if (p.IsZero()) return Sign::kZero;
+  Sign acc = Sign::kZero;
+  for (const auto& [mono, coeff] : p.terms()) {
+    Sign term_sign = coeff.IsNegative() ? Sign::kNegative : Sign::kPositive;
+    for (const auto& [v, pow] : mono) {
+      Sign vs = cs.SignOf(v);
+      if (pow % 2 == 0) {
+        // Even power: v^2k is >= 0 always, > 0 iff v is strictly signed.
+        if (vs == Sign::kZero) {
+          // keep kZero
+        } else if (vs == Sign::kPositive || vs == Sign::kNegative) {
+          vs = Sign::kPositive;
+        } else {
+          vs = Sign::kNonNegative;
+        }
+      }
+      term_sign = SignMul(term_sign, vs);
+    }
+    acc = SignAdd(acc, term_sign);
+    if (acc == Sign::kUnknown) return Sign::kUnknown;
+  }
+  return acc;
+}
+
+Sign ElemSign(const LatticeElem& e, const ConstraintSet& cs) {
+  const Sign inner = PolySign(e.poly, cs);
+  if (e.relu_wraps == 0) return inner;
+  return SignIsStrictlyPositive(inner) ? Sign::kPositive : Sign::kNonNegative;
+}
+
+}  // namespace
+
+std::string LatticeElem::ToString() const {
+  std::string inner = poly.ToString();
+  for (int i = 0; i < relu_wraps; ++i) inner = "relu(" + inner + ")";
+  return inner;
+}
+
+void MinMaxForm::Canonicalize() {
+  std::sort(elems.begin(), elems.end(),
+            [](const LatticeElem& a, const LatticeElem& b) {
+              if (a.relu_wraps != b.relu_wraps) return a.relu_wraps < b.relu_wraps;
+              return a.poly.ToString() < b.poly.ToString();
+            });
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  if (elems.size() == 1) kind = Kind::kAtom;
+}
+
+bool MinMaxForm::operator==(const MinMaxForm& o) const {
+  return kind == o.kind && elems == o.elems;
+}
+
+std::string MinMaxForm::ToString() const {
+  std::string out = kind == Kind::kAtom ? "" : (kind == Kind::kMin ? "min" : "max");
+  out += "{";
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (i) out += ", ";
+    out += elems[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Result<MinMaxForm> NormalizeMinMax(const TermPtr& t, const ConstraintSet& cs) {
+  switch (t->op) {
+    case Op::kConst:
+      if (t->value.overflow()) return Status::OutOfRange("constant overflow");
+      return MakeAtom(Polynomial::Constant(t->value));
+    case Op::kVar:
+      return MakeAtom(Polynomial::Variable(t->var));
+    case Op::kMin:
+    case Op::kMax: {
+      const Kind want = t->op == Op::kMin ? Kind::kMin : Kind::kMax;
+      auto a = NormalizeMinMax(t->args[0], cs);
+      if (!a.ok()) return a;
+      auto b = NormalizeMinMax(t->args[1], cs);
+      if (!b.ok()) return b;
+      if ((a->kind != Kind::kAtom && a->kind != want) ||
+          (b->kind != Kind::kAtom && b->kind != want)) {
+        return Status::NotSupported("mixed min/max nesting");
+      }
+      MinMaxForm f;
+      f.kind = want;
+      f.elems = a->elems;
+      f.elems.insert(f.elems.end(), b->elems.begin(), b->elems.end());
+      f.Canonicalize();
+      // Canonicalize() demotes singletons to atoms so min(x, x) == x.
+      return f;
+    }
+    case Op::kAdd: {
+      auto a = NormalizeMinMax(t->args[0], cs);
+      if (!a.ok()) return a;
+      auto b = NormalizeMinMax(t->args[1], cs);
+      if (!b.ok()) return b;
+      // Addition is monotone in both operands: min-sets combine pairwise —
+      // but only plain polynomial elements support arithmetic.
+      if (a->kind != Kind::kAtom && b->kind != Kind::kAtom && a->kind != b->kind) {
+        return Status::NotSupported("min-set + max-set");
+      }
+      MinMaxForm f;
+      f.kind = a->kind == Kind::kAtom ? b->kind : a->kind;
+      for (const LatticeElem& x : a->elems) {
+        for (const LatticeElem& y : b->elems) {
+          if (x.relu_wraps != 0 || y.relu_wraps != 0) {
+            return Status::NotSupported("arithmetic on relu-wrapped elements");
+          }
+          f.elems.push_back(LatticeElem{x.poly + y.poly, 0});
+        }
+      }
+      f.Canonicalize();
+      return f;
+    }
+    case Op::kSub: {
+      // a - b == a + neg(b); reuse those cases.
+      return NormalizeMinMax(Add(t->args[0], Neg(t->args[1])), cs);
+    }
+    case Op::kNeg: {
+      auto a = NormalizeMinMax(t->args[0], cs);
+      if (!a.ok()) return a;
+      MinMaxForm f;
+      f.kind = FlipKind(a->kind);
+      for (const LatticeElem& e : a->elems) {
+        if (e.relu_wraps != 0) {
+          return Status::NotSupported("negation of relu-wrapped element");
+        }
+        f.elems.push_back(LatticeElem{-e.poly, 0});
+      }
+      f.Canonicalize();
+      return f;
+    }
+    case Op::kMul: {
+      auto a = NormalizeMinMax(t->args[0], cs);
+      if (!a.ok()) return a;
+      auto b = NormalizeMinMax(t->args[1], cs);
+      if (!b.ok()) return b;
+      // Atom * Atom on plain polynomials is plain arithmetic.
+      if (a->kind == Kind::kAtom && b->kind == Kind::kAtom &&
+          a->elems[0].relu_wraps == 0 && b->elems[0].relu_wraps == 0) {
+        return MakeAtom(a->elems[0].poly * b->elems[0].poly);
+      }
+      // Set (or relu atom) * plain atom: push through with known sign.
+      const MinMaxForm* set = &*a;
+      const MinMaxForm* atom = &*b;
+      if (atom->kind != Kind::kAtom || atom->elems[0].relu_wraps != 0) {
+        std::swap(set, atom);
+      }
+      if (atom->kind != Kind::kAtom || atom->elems[0].relu_wraps != 0) {
+        return Status::NotSupported("product of two lattice sets");
+      }
+      const Polynomial& factor = atom->elems[0].poly;
+      const Sign s = PolySign(factor, cs);
+      MinMaxForm f;
+      if (SignIsNonNegative(s)) {
+        f.kind = set->kind;
+      } else if (SignIsNonPositive(s)) {
+        f.kind = FlipKind(set->kind);
+      } else {
+        return Status::NotSupported("min/max scaled by factor of unknown sign");
+      }
+      for (const LatticeElem& e : set->elems) {
+        if (e.relu_wraps == 0) {
+          f.elems.push_back(LatticeElem{e.poly * factor, 0});
+        } else if (SignIsNonNegative(s)) {
+          // c >= 0: c * relu(p) == relu(c * p).
+          f.elems.push_back(LatticeElem{e.poly * factor, e.relu_wraps});
+        } else {
+          return Status::NotSupported(
+              "relu-wrapped element scaled by non-positive factor");
+        }
+      }
+      f.Canonicalize();
+      return f;
+    }
+    case Op::kDiv: {
+      auto a = NormalizeMinMax(t->args[0], cs);
+      if (!a.ok()) return a;
+      auto b = NormalizeMinMax(t->args[1], cs);
+      if (!b.ok()) return b;
+      if (b->kind != Kind::kAtom || b->elems[0].relu_wraps != 0) {
+        return Status::NotSupported("division by lattice set");
+      }
+      const Polynomial& den = b->elems[0].poly;
+      const Sign s = PolySign(den, cs);
+      MinMaxForm f;
+      if (SignIsStrictlyPositive(s)) {
+        f.kind = a->kind;
+      } else if (SignIsStrictlyNegative(s)) {
+        f.kind = FlipKind(a->kind);
+      } else if (a->kind == Kind::kAtom && a->elems[0].relu_wraps == 0) {
+        f.kind = Kind::kAtom;  // no ordering to preserve
+      } else {
+        return Status::NotSupported("min/max divided by denominator of unknown sign");
+      }
+      for (const LatticeElem& e : a->elems) {
+        if (e.relu_wraps != 0 && !SignIsStrictlyPositive(s)) {
+          return Status::NotSupported(
+              "relu-wrapped element divided by non-positive denominator");
+        }
+        Polynomial scaled;
+        if (den.IsConstant()) {
+          const Rational c = den.ConstantValue();
+          if (c.IsZero()) return Status::InvalidArgument("division by zero");
+          scaled = e.poly.Scale(Rational::FromInt(1) / c);
+        } else {
+          scaled = e.poly * Polynomial::Variable("recip[" + den.ToString() + "]");
+        }
+        f.elems.push_back(LatticeElem{std::move(scaled), e.relu_wraps});
+      }
+      f.Canonicalize();
+      return f;
+    }
+    case Op::kRelu: {
+      // relu is monotone nondecreasing: it distributes over min and max, so
+      // wrap every element (idempotently).
+      auto a = NormalizeMinMax(t->args[0], cs);
+      if (!a.ok()) return a;
+      MinMaxForm f;
+      f.kind = a->kind;
+      for (const LatticeElem& e : a->elems) {
+        if (SignIsNonNegative(ElemSign(e, cs))) {
+          f.elems.push_back(e);  // relu is the identity on >= 0
+        } else {
+          f.elems.push_back(LatticeElem{e.poly, 1});
+        }
+      }
+      f.Canonicalize();
+      return f;
+    }
+    case Op::kAbs: {
+      // abs is not monotone; only uniformly sign-known arguments normalise:
+      // |x| == x on x >= 0 (kind preserved), |x| == -x on x <= 0 (abs is
+      // decreasing there, so the lattice kind flips).
+      auto a = NormalizeMinMax(t->args[0], cs);
+      if (!a.ok()) return a;
+      const bool all_nonneg =
+          std::all_of(a->elems.begin(), a->elems.end(), [&](const LatticeElem& e) {
+            return SignIsNonNegative(ElemSign(e, cs));
+          });
+      if (all_nonneg) return a;
+      const bool all_nonpos =
+          std::all_of(a->elems.begin(), a->elems.end(), [&](const LatticeElem& e) {
+            return e.relu_wraps == 0 && SignIsNonPositive(ElemSign(e, cs));
+          });
+      if (all_nonpos) {
+        MinMaxForm f;
+        f.kind = FlipKind(a->kind);
+        for (const LatticeElem& e : a->elems) {
+          f.elems.push_back(LatticeElem{-e.poly, 0});
+        }
+        f.Canonicalize();
+        return f;
+      }
+      return Status::NotSupported("abs of element with unknown sign");
+    }
+    default:
+      return Status::NotSupported(std::string("op not in lattice fragment: ") +
+                                  OpName(t->op));
+  }
+}
+
+}  // namespace powerlog::smt

@@ -1,0 +1,56 @@
+// Min/max normal form: flattens a term into "min{e1,...,ek}" (or max) where
+// each element is relu^r(p) for a polynomial p (r = 0 for plain atoms).
+//
+// This decides Property 2 for min/max aggregates: both sides of
+// G∘F'∘G(X) = G∘F'(X) flatten to the same element set exactly when the
+// identity holds, provided every operation pushed through the lattice op is
+// monotone (enforced via sign analysis: multiplying a min-set by a factor of
+// unknown sign aborts normalisation and defers to counterexample search).
+// relu — monotone nondecreasing — distributes over min/max, hence the
+// relu-wrapped elements; this widens the checker beyond the paper's Z3
+// encoding to piecewise-monotone F' like relu(a·x + b) with a >= 0.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "smt/monotone.h"
+#include "smt/polynomial.h"
+#include "smt/term.h"
+
+namespace powerlog::smt {
+
+/// \brief One element of a lattice normal form: relu^r(poly).
+struct LatticeElem {
+  Polynomial poly;
+  int relu_wraps = 0;  ///< 0 or 1 (relu is idempotent)
+
+  bool operator==(const LatticeElem& o) const {
+    return relu_wraps == o.relu_wraps && poly == o.poly;
+  }
+  std::string ToString() const;
+};
+
+/// \brief A term in lattice normal form.
+struct MinMaxForm {
+  enum class Kind { kAtom, kMin, kMax };
+  Kind kind = Kind::kAtom;
+  /// For kAtom: exactly one element. For kMin/kMax: >= 1 elements,
+  /// deduplicated and sorted canonically.
+  std::vector<LatticeElem> elems;
+
+  /// Canonicalises: sorts elements, removes duplicates, demotes singleton
+  /// min/max to atoms.
+  void Canonicalize();
+
+  bool operator==(const MinMaxForm& o) const;
+
+  std::string ToString() const;
+};
+
+/// Normalises `t` under sign constraints `cs`. Fails with NotSupported when
+/// a transformation cannot be justified (e.g. arithmetic on relu-wrapped
+/// elements, multiplier of unknown sign, min-set divided by min-set).
+Result<MinMaxForm> NormalizeMinMax(const TermPtr& t, const ConstraintSet& cs);
+
+}  // namespace powerlog::smt

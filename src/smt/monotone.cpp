@@ -1,0 +1,209 @@
+#include "smt/monotone.h"
+
+#include <algorithm>
+
+namespace powerlog::smt {
+
+Sign SignNegate(Sign s) {
+  switch (s) {
+    case Sign::kPositive: return Sign::kNegative;
+    case Sign::kNegative: return Sign::kPositive;
+    case Sign::kNonNegative: return Sign::kNonPositive;
+    case Sign::kNonPositive: return Sign::kNonNegative;
+    case Sign::kZero: return Sign::kZero;
+    case Sign::kUnknown: return Sign::kUnknown;
+  }
+  return Sign::kUnknown;
+}
+
+bool SignIsNonNegative(Sign s) {
+  return s == Sign::kZero || s == Sign::kPositive || s == Sign::kNonNegative;
+}
+
+bool SignIsNonPositive(Sign s) {
+  return s == Sign::kZero || s == Sign::kNegative || s == Sign::kNonPositive;
+}
+
+bool SignIsStrictlyPositive(Sign s) { return s == Sign::kPositive; }
+bool SignIsStrictlyNegative(Sign s) { return s == Sign::kNegative; }
+
+Sign SignAdd(Sign a, Sign b) {
+  if (a == Sign::kZero) return b;
+  if (b == Sign::kZero) return a;
+  if (SignIsNonNegative(a) && SignIsNonNegative(b)) {
+    return (a == Sign::kPositive || b == Sign::kPositive) ? Sign::kPositive
+                                                          : Sign::kNonNegative;
+  }
+  if (SignIsNonPositive(a) && SignIsNonPositive(b)) {
+    return (a == Sign::kNegative || b == Sign::kNegative) ? Sign::kNegative
+                                                          : Sign::kNonPositive;
+  }
+  return Sign::kUnknown;
+}
+
+Sign SignMul(Sign a, Sign b) {
+  if (a == Sign::kZero || b == Sign::kZero) return Sign::kZero;
+  if (a == Sign::kUnknown || b == Sign::kUnknown) return Sign::kUnknown;
+  const bool a_nn = SignIsNonNegative(a);
+  const bool b_nn = SignIsNonNegative(b);
+  const bool strict = (a == Sign::kPositive || a == Sign::kNegative) &&
+                      (b == Sign::kPositive || b == Sign::kNegative);
+  if (a_nn == b_nn) return strict ? Sign::kPositive : Sign::kNonNegative;
+  return strict ? Sign::kNegative : Sign::kNonPositive;
+}
+
+Sign TermSign(const TermPtr& t, const ConstraintSet& cs) {
+  switch (t->op) {
+    case Op::kConst: {
+      if (t->value.overflow()) return Sign::kUnknown;
+      if (t->value.IsZero()) return Sign::kZero;
+      return t->value.IsNegative() ? Sign::kNegative : Sign::kPositive;
+    }
+    case Op::kVar:
+      return cs.SignOf(t->var);
+    case Op::kAdd:
+      return SignAdd(TermSign(t->args[0], cs), TermSign(t->args[1], cs));
+    case Op::kSub:
+      return SignAdd(TermSign(t->args[0], cs), SignNegate(TermSign(t->args[1], cs)));
+    case Op::kMul:
+      return SignMul(TermSign(t->args[0], cs), TermSign(t->args[1], cs));
+    case Op::kDiv: {
+      const Sign num = TermSign(t->args[0], cs);
+      const Sign den = TermSign(t->args[1], cs);
+      if (den == Sign::kZero) return Sign::kUnknown;
+      return SignMul(num, den);  // sign of 1/x equals sign of x
+    }
+    case Op::kNeg:
+      return SignNegate(TermSign(t->args[0], cs));
+    case Op::kMin: {
+      const Sign a = TermSign(t->args[0], cs);
+      const Sign b = TermSign(t->args[1], cs);
+      if (SignIsNonNegative(a) && SignIsNonNegative(b)) {
+        return (a == Sign::kPositive && b == Sign::kPositive) ? Sign::kPositive
+                                                              : Sign::kNonNegative;
+      }
+      if (SignIsNonPositive(a) || SignIsNonPositive(b)) {
+        return (a == Sign::kNegative || b == Sign::kNegative) ? Sign::kNegative
+                                                              : Sign::kNonPositive;
+      }
+      return Sign::kUnknown;
+    }
+    case Op::kMax: {
+      const Sign a = TermSign(t->args[0], cs);
+      const Sign b = TermSign(t->args[1], cs);
+      if (SignIsNonNegative(a) || SignIsNonNegative(b)) {
+        return (a == Sign::kPositive || b == Sign::kPositive) ? Sign::kPositive
+                                                              : Sign::kNonNegative;
+      }
+      if (SignIsNonPositive(a) && SignIsNonPositive(b)) {
+        return (a == Sign::kNegative && b == Sign::kNegative) ? Sign::kNegative
+                                                              : Sign::kNonPositive;
+      }
+      return Sign::kUnknown;
+    }
+    case Op::kRelu:
+      return SignIsStrictlyPositive(TermSign(t->args[0], cs)) ? Sign::kPositive
+                                                              : Sign::kNonNegative;
+    case Op::kAbs: {
+      const Sign a = TermSign(t->args[0], cs);
+      if (a == Sign::kZero) return Sign::kZero;
+      if (a == Sign::kPositive || a == Sign::kNegative) return Sign::kPositive;
+      return Sign::kNonNegative;
+    }
+    default:
+      return Sign::kUnknown;
+  }
+}
+
+namespace {
+
+bool DependsOn(const TermPtr& t, const std::string& var) {
+  if (t->op == Op::kVar) return t->var == var;
+  for (const auto& a : t->args) {
+    if (DependsOn(a, var)) return true;
+  }
+  return false;
+}
+
+Monotonicity Flip(Monotonicity m) {
+  if (m == Monotonicity::kNondecreasing) return Monotonicity::kNonincreasing;
+  if (m == Monotonicity::kNonincreasing) return Monotonicity::kNondecreasing;
+  return m;
+}
+
+Monotonicity Combine(Monotonicity a, Monotonicity b) {
+  if (a == Monotonicity::kConstant) return b;
+  if (b == Monotonicity::kConstant) return a;
+  if (a == b) return a;
+  return Monotonicity::kUnknown;
+}
+
+}  // namespace
+
+Monotonicity MonotoneIn(const TermPtr& t, const std::string& var,
+                        const ConstraintSet& cs) {
+  if (!DependsOn(t, var)) return Monotonicity::kConstant;
+  switch (t->op) {
+    case Op::kVar:
+      return Monotonicity::kNondecreasing;
+    case Op::kAdd:
+      return Combine(MonotoneIn(t->args[0], var, cs), MonotoneIn(t->args[1], var, cs));
+    case Op::kSub:
+      return Combine(MonotoneIn(t->args[0], var, cs),
+                     Flip(MonotoneIn(t->args[1], var, cs)));
+    case Op::kNeg:
+      return Flip(MonotoneIn(t->args[0], var, cs));
+    case Op::kMul: {
+      // t = a * b. Handle the cases where one side is var-free with known sign.
+      const TermPtr& a = t->args[0];
+      const TermPtr& b = t->args[1];
+      if (!DependsOn(a, var)) {
+        const Sign sa = TermSign(a, cs);
+        const Monotonicity mb = MonotoneIn(b, var, cs);
+        if (SignIsNonNegative(sa)) return mb;
+        if (SignIsNonPositive(sa)) return Flip(mb);
+        return Monotonicity::kUnknown;
+      }
+      if (!DependsOn(b, var)) {
+        const Sign sb = TermSign(b, cs);
+        const Monotonicity ma = MonotoneIn(a, var, cs);
+        if (SignIsNonNegative(sb)) return ma;
+        if (SignIsNonPositive(sb)) return Flip(ma);
+        return Monotonicity::kUnknown;
+      }
+      // Both sides depend on var: nondecreasing * nondecreasing is monotone
+      // only with sign knowledge of both sides.
+      const Sign sa = TermSign(a, cs);
+      const Sign sb = TermSign(b, cs);
+      const Monotonicity ma = MonotoneIn(a, var, cs);
+      const Monotonicity mb = MonotoneIn(b, var, cs);
+      if (SignIsNonNegative(sa) && SignIsNonNegative(sb) &&
+          ma == Monotonicity::kNondecreasing && mb == Monotonicity::kNondecreasing) {
+        return Monotonicity::kNondecreasing;
+      }
+      return Monotonicity::kUnknown;
+    }
+    case Op::kDiv: {
+      const TermPtr& a = t->args[0];
+      const TermPtr& b = t->args[1];
+      if (DependsOn(b, var)) return Monotonicity::kUnknown;
+      const Sign sb = TermSign(b, cs);
+      const Monotonicity ma = MonotoneIn(a, var, cs);
+      if (SignIsStrictlyPositive(sb)) return ma;
+      if (SignIsStrictlyNegative(sb)) return Flip(ma);
+      return Monotonicity::kUnknown;
+    }
+    case Op::kMin:
+    case Op::kMax:
+      return Combine(MonotoneIn(t->args[0], var, cs), MonotoneIn(t->args[1], var, cs));
+    case Op::kRelu: {
+      // relu is a nondecreasing function of its input.
+      return MonotoneIn(t->args[0], var, cs);
+    }
+    case Op::kAbs:
+    default:
+      return Monotonicity::kUnknown;
+  }
+}
+
+}  // namespace powerlog::smt

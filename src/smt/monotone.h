@@ -1,0 +1,60 @@
+// Sign and monotonicity analysis over the term fragment.
+//
+// The min/max normal form needs to know (a) the sign of multipliers to push
+// them through min/max, and (b) whether F' is monotone in its recursive
+// input. Side constraints ("d > 0" for a degree column, "w >= 0" for a
+// probability) are carried in a ConstraintSet.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "smt/term.h"
+
+namespace powerlog::smt {
+
+/// Best-effort sign knowledge for a variable or term.
+enum class Sign {
+  kUnknown,
+  kZero,
+  kPositive,     // > 0
+  kNonNegative,  // >= 0
+  kNegative,     // < 0
+  kNonPositive,  // <= 0
+};
+
+/// \brief Variable sign assumptions ("d" -> kPositive, etc.).
+struct ConstraintSet {
+  std::map<std::string, Sign> var_signs;
+
+  void Assume(const std::string& var, Sign sign) { var_signs[var] = sign; }
+  Sign SignOf(const std::string& var) const {
+    auto it = var_signs.find(var);
+    return it == var_signs.end() ? Sign::kUnknown : it->second;
+  }
+};
+
+/// Structural sign inference for `t` under `cs`.
+Sign TermSign(const TermPtr& t, const ConstraintSet& cs);
+
+/// Derivative-sign classification of `t` as a function of `var`.
+enum class Monotonicity {
+  kConstant,       // does not depend on var
+  kNondecreasing,
+  kNonincreasing,
+  kUnknown,
+};
+
+Monotonicity MonotoneIn(const TermPtr& t, const std::string& var,
+                        const ConstraintSet& cs);
+
+/// Sign algebra helpers (exposed for tests).
+Sign SignNegate(Sign s);
+Sign SignAdd(Sign a, Sign b);
+Sign SignMul(Sign a, Sign b);
+bool SignIsNonNegative(Sign s);  // kZero/kPositive/kNonNegative
+bool SignIsNonPositive(Sign s);  // kZero/kNegative/kNonPositive
+bool SignIsStrictlyPositive(Sign s);
+bool SignIsStrictlyNegative(Sign s);
+
+}  // namespace powerlog::smt

@@ -1,0 +1,157 @@
+#include "smt/polynomial.h"
+
+#include "common/string_util.h"
+
+namespace powerlog::smt {
+
+Polynomial Polynomial::Constant(const Rational& c) {
+  Polynomial p;
+  p.AddTerm(Monomial{}, c);
+  return p;
+}
+
+Polynomial Polynomial::Variable(const std::string& name) {
+  Polynomial p;
+  p.AddTerm(Monomial{{name, 1}}, Rational::FromInt(1));
+  return p;
+}
+
+void Polynomial::AddTerm(const Monomial& m, const Rational& c) {
+  if (c.overflow()) {
+    overflowed_ = true;
+    return;
+  }
+  if (c.IsZero()) return;
+  auto [it, inserted] = terms_.emplace(m, c);
+  if (!inserted) {
+    it->second = it->second + c;
+    if (it->second.overflow()) overflowed_ = true;
+    if (it->second.IsZero()) terms_.erase(it);
+  }
+}
+
+Result<Polynomial> Polynomial::FromTerm(const TermPtr& t) {
+  switch (t->op) {
+    case Op::kConst:
+      if (t->value.overflow()) return Status::OutOfRange("constant overflow");
+      return Constant(t->value);
+    case Op::kVar:
+      return Variable(t->var);
+    case Op::kAdd:
+    case Op::kSub: {
+      auto a = FromTerm(t->args[0]);
+      if (!a.ok()) return a;
+      auto b = FromTerm(t->args[1]);
+      if (!b.ok()) return b;
+      Polynomial r = t->op == Op::kAdd ? *a + *b : *a - *b;
+      if (r.overflowed()) return Status::OutOfRange("polynomial overflow");
+      return r;
+    }
+    case Op::kMul: {
+      auto a = FromTerm(t->args[0]);
+      if (!a.ok()) return a;
+      auto b = FromTerm(t->args[1]);
+      if (!b.ok()) return b;
+      Polynomial r = *a * *b;
+      if (r.overflowed()) return Status::OutOfRange("polynomial overflow");
+      return r;
+    }
+    case Op::kDiv: {
+      auto a = FromTerm(t->args[0]);
+      if (!a.ok()) return a;
+      auto b = FromTerm(t->args[1]);
+      if (!b.ok()) return b;
+      if (b->IsConstant()) {
+        const Rational c = b->ConstantValue();
+        if (c.IsZero()) return Status::InvalidArgument("division by constant zero");
+        Polynomial r = a->Scale(Rational::FromInt(1) / c);
+        if (r.overflowed()) return Status::OutOfRange("polynomial overflow");
+        return r;
+      }
+      // Non-constant denominator: multiply by a reciprocal pseudo-variable
+      // keyed by the denominator's canonical form.
+      const std::string recip = "recip[" + b->ToString() + "]";
+      Polynomial r = *a * Variable(recip);
+      if (r.overflowed()) return Status::OutOfRange("polynomial overflow");
+      return r;
+    }
+    case Op::kNeg: {
+      auto a = FromTerm(t->args[0]);
+      if (!a.ok()) return a;
+      return -*a;
+    }
+    default:
+      return Status::NotSupported(std::string("non-polynomial op: ") + OpName(t->op));
+  }
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  Polynomial r = *this;
+  r.overflowed_ = overflowed_ || o.overflowed_;
+  for (const auto& [m, c] : o.terms_) r.AddTerm(m, c);
+  return r;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const { return *this + (-o); }
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  Polynomial r;
+  r.overflowed_ = overflowed_ || o.overflowed_;
+  for (const auto& [m1, c1] : terms_) {
+    for (const auto& [m2, c2] : o.terms_) {
+      Monomial m = m1;
+      for (const auto& [v, p] : m2) m[v] += p;
+      r.AddTerm(m, c1 * c2);
+    }
+  }
+  return r;
+}
+
+Polynomial Polynomial::operator-() const { return Scale(Rational::FromInt(-1)); }
+
+Polynomial Polynomial::Scale(const Rational& c) const {
+  Polynomial r;
+  r.overflowed_ = overflowed_;
+  for (const auto& [m, coeff] : terms_) r.AddTerm(m, coeff * c);
+  return r;
+}
+
+bool Polynomial::IsConstant() const {
+  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+Rational Polynomial::ConstantValue() const {
+  if (terms_.empty()) return Rational::FromInt(0);
+  return terms_.begin()->second;
+}
+
+bool Polynomial::HasReciprocal() const {
+  for (const auto& [m, c] : terms_) {
+    (void)c;
+    for (const auto& [v, p] : m) {
+      (void)p;
+      if (StartsWith(v, "recip[")) return true;
+    }
+  }
+  return false;
+}
+
+std::string Polynomial::ToString() const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  bool first = true;
+  for (const auto& [m, c] : terms_) {
+    if (!first) out += " + ";
+    first = false;
+    out += c.ToString();
+    for (const auto& [v, p] : m) {
+      for (int i = 0; i < p; ++i) {
+        out += "*";
+        out += v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace powerlog::smt

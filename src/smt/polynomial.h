@@ -1,0 +1,66 @@
+// Multivariate polynomial normal form over exact rationals.
+//
+// Deciding Property 2 for `sum`/`count` aggregates reduces to equality of
+// polynomial normal forms. Division by a non-constant subterm `b` is handled
+// by introducing a reciprocal pseudo-variable "recip[b]" — sound for the
+// VALID direction (equal normal forms imply equal terms wherever defined);
+// when normal forms differ and reciprocals are involved the solver falls
+// back to counterexample search instead of declaring invalidity.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "smt/term.h"
+
+namespace powerlog::smt {
+
+/// Monomial: variable name -> positive integer power. Empty map == 1.
+using Monomial = std::map<std::string, int>;
+
+/// \brief Canonical sum of monomials with rational coefficients.
+class Polynomial {
+ public:
+  Polynomial() = default;
+
+  static Polynomial Constant(const Rational& c);
+  static Polynomial Variable(const std::string& name);
+
+  /// Converts a term; fails with NotSupported on min/max/relu/abs/ite and
+  /// with OutOfRange if rational arithmetic overflows.
+  static Result<Polynomial> FromTerm(const TermPtr& t);
+
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  Polynomial operator-() const;
+  Polynomial Scale(const Rational& c) const;
+
+  bool IsZero() const { return terms_.empty(); }
+  bool IsConstant() const;
+  /// Constant value if IsConstant() (zero polynomial -> 0).
+  Rational ConstantValue() const;
+
+  bool operator==(const Polynomial& o) const { return terms_ == o.terms_; }
+  bool operator!=(const Polynomial& o) const { return !(*this == o); }
+
+  /// True if any coefficient overflowed during construction.
+  bool overflowed() const { return overflowed_; }
+
+  /// True if any monomial mentions a reciprocal pseudo-variable.
+  bool HasReciprocal() const;
+
+  /// Deterministic text form, e.g. "17/20*x*y + -1*z + 3".
+  std::string ToString() const;
+
+  const std::map<Monomial, Rational>& terms() const { return terms_; }
+
+ private:
+  void AddTerm(const Monomial& m, const Rational& c);
+
+  std::map<Monomial, Rational> terms_;
+  bool overflowed_ = false;
+};
+
+}  // namespace powerlog::smt

@@ -1,0 +1,151 @@
+#include "smt/printer.h"
+
+#include "common/string_util.h"
+
+namespace powerlog::smt {
+namespace {
+
+int Precedence(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+      return 1;
+    case Op::kMul:
+    case Op::kDiv:
+      return 2;
+    case Op::kNeg:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+std::string InfixImpl(const TermPtr& t, int parent_prec) {
+  const int prec = Precedence(t->op);
+  std::string out;
+  switch (t->op) {
+    case Op::kConst:
+      out = t->value.ToString();
+      break;
+    case Op::kVar:
+      out = t->var;
+      break;
+    case Op::kAdd:
+      out = InfixImpl(t->args[0], prec) + " + " + InfixImpl(t->args[1], prec + 1);
+      break;
+    case Op::kSub:
+      out = InfixImpl(t->args[0], prec) + " - " + InfixImpl(t->args[1], prec + 1);
+      break;
+    case Op::kMul:
+      out = InfixImpl(t->args[0], prec) + "*" + InfixImpl(t->args[1], prec + 1);
+      break;
+    case Op::kDiv:
+      out = InfixImpl(t->args[0], prec) + "/" + InfixImpl(t->args[1], prec + 1);
+      break;
+    case Op::kNeg:
+      out = "-" + InfixImpl(t->args[0], prec);
+      break;
+    case Op::kLt:
+      out = InfixImpl(t->args[0], 0) + " < " + InfixImpl(t->args[1], 0);
+      break;
+    case Op::kLe:
+      out = InfixImpl(t->args[0], 0) + " <= " + InfixImpl(t->args[1], 0);
+      break;
+    case Op::kEq:
+      out = InfixImpl(t->args[0], 0) + " = " + InfixImpl(t->args[1], 0);
+      break;
+    default: {
+      out = OpName(t->op);
+      out += "(";
+      for (size_t i = 0; i < t->args.size(); ++i) {
+        if (i) out += ", ";
+        out += InfixImpl(t->args[i], 0);
+      }
+      out += ")";
+      return out;  // function syntax needs no parens
+    }
+  }
+  if (prec < parent_prec) return "(" + out + ")";
+  return out;
+}
+
+}  // namespace
+
+std::string ToSmtLib(const TermPtr& t) {
+  switch (t->op) {
+    case Op::kConst: {
+      if (t->value.den() == 1) {
+        if (t->value.num() < 0) {
+          return StringFormat("(- %lld)",
+                              static_cast<long long>(-t->value.num()));
+        }
+        return std::to_string(t->value.num());
+      }
+      return StringFormat("(/ %lld %lld)", static_cast<long long>(t->value.num()),
+                          static_cast<long long>(t->value.den()));
+    }
+    case Op::kVar:
+      return t->var;
+    case Op::kRelu:
+      return "(ite (> " + ToSmtLib(t->args[0]) + " 0) " + ToSmtLib(t->args[0]) + " 0)";
+    default:
+      break;
+  }
+  std::string head;
+  switch (t->op) {
+    case Op::kAdd: head = "+"; break;
+    case Op::kSub: head = "-"; break;
+    case Op::kMul: head = "*"; break;
+    case Op::kDiv: head = "/"; break;
+    case Op::kNeg: head = "-"; break;
+    case Op::kMin: head = "min"; break;
+    case Op::kMax: head = "max"; break;
+    case Op::kAbs: head = "abs"; break;
+    case Op::kIte: head = "ite"; break;
+    case Op::kLt: head = "<"; break;
+    case Op::kLe: head = "<="; break;
+    case Op::kEq: head = "="; break;
+    default: head = OpName(t->op); break;
+  }
+  std::string out = "(" + head;
+  for (const auto& a : t->args) {
+    out += " ";
+    out += ToSmtLib(a);
+  }
+  out += ")";
+  return out;
+}
+
+std::string ToInfix(const TermPtr& t) { return InfixImpl(t, 0); }
+
+std::string ToSmtLibScript(const TermPtr& lhs, const TermPtr& rhs,
+                           const ConstraintSet& cs) {
+  std::string out;
+  // Declare constrained symbols as constants (as Fig. 4 declares d).
+  for (const auto& [var, sign] : cs.var_signs) {
+    out += "(declare-const " + var + " Real)\n";
+    switch (sign) {
+      case Sign::kPositive: out += "(assert (> " + var + " 0))\n"; break;
+      case Sign::kNonNegative: out += "(assert (>= " + var + " 0))\n"; break;
+      case Sign::kNegative: out += "(assert (< " + var + " 0))\n"; break;
+      case Sign::kNonPositive: out += "(assert (<= " + var + " 0))\n"; break;
+      case Sign::kZero: out += "(assert (= " + var + " 0))\n"; break;
+      case Sign::kUnknown: break;
+    }
+  }
+  // Universally quantified variables: those not constrained.
+  std::vector<std::string> qvars;
+  for (const auto& v : CollectVars(EqTerm(lhs, rhs))) {
+    if (cs.var_signs.count(v) == 0) qvars.push_back(v);
+  }
+  out += "(assert (not (forall (";
+  for (size_t i = 0; i < qvars.size(); ++i) {
+    if (i) out += " ";
+    out += "(" + qvars[i] + " Real)";
+  }
+  out += ")\n  (= " + ToSmtLib(lhs) + "\n     " + ToSmtLib(rhs) + "))))\n";
+  out += "(check-sat)\n";
+  return out;
+}
+
+}  // namespace powerlog::smt

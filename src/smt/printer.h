@@ -1,0 +1,23 @@
+// Term pretty-printers: SMT-LIB s-expressions (mirroring the paper's Fig. 4
+// Z3 encoding) and infix for diagnostics.
+#pragma once
+
+#include <string>
+
+#include "smt/monotone.h"
+#include "smt/term.h"
+
+namespace powerlog::smt {
+
+/// "(+ (* x (/ 17 20)) y)" — SMT-LIB 2 style.
+std::string ToSmtLib(const TermPtr& t);
+
+/// "x*17/20 + y" — conventional infix with minimal parens.
+std::string ToInfix(const TermPtr& t);
+
+/// Renders a full (assert (not (forall ...))) script for the equality
+/// lhs == rhs under `cs`, as the paper's Fig. 4 shows for PageRank.
+std::string ToSmtLibScript(const TermPtr& lhs, const TermPtr& rhs,
+                           const ConstraintSet& cs);
+
+}  // namespace powerlog::smt

@@ -1,0 +1,181 @@
+#include "smt/rational.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace powerlog::smt {
+namespace {
+
+using int128 = __int128;
+
+bool FitsInt64(int128 v) {
+  return v >= static_cast<int128>(INT64_MIN) && v <= static_cast<int128>(INT64_MAX);
+}
+
+int64_t Gcd64(int64_t a, int64_t b) {
+  a = std::llabs(a);
+  b = std::llabs(b);
+  while (b) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a == 0 ? 1 : a;
+}
+
+int128 Gcd128(int128 a, int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b) {
+    int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a == 0 ? 1 : a;
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den), overflow_(false) {
+  if (den_ == 0) {
+    overflow_ = true;
+    num_ = 0;
+    den_ = 1;
+    return;
+  }
+  if (den_ < 0) {
+    // Avoid overflow on INT64_MIN negation.
+    if (num_ == INT64_MIN || den_ == INT64_MIN) {
+      overflow_ = true;
+      num_ = 0;
+      den_ = 1;
+      return;
+    }
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const int64_t g = Gcd64(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+Rational Rational::FromDouble(double v) {
+  if (!std::isfinite(v)) return Poisoned();
+  // Continued-fraction expansion with denominator bound 1e12.
+  const double kEps = 1e-12;
+  const int64_t kMaxDen = 1000000000000LL;
+  double x = v;
+  int64_t p0 = 0, q0 = 1, p1 = 1, q1 = 0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double fa = std::floor(x);
+    if (fa > 9e17 || fa < -9e17) return Poisoned();
+    const int64_t a = static_cast<int64_t>(fa);
+    const int128 p2 = static_cast<int128>(a) * p1 + p0;
+    const int128 q2 = static_cast<int128>(a) * q1 + q0;
+    if (!FitsInt64(p2) || !FitsInt64(q2) || q2 > kMaxDen) break;
+    p0 = p1;
+    q0 = q1;
+    p1 = static_cast<int64_t>(p2);
+    q1 = static_cast<int64_t>(q2);
+    if (q1 != 0 && std::abs(static_cast<double>(p1) / q1 - v) < kEps * (1 + std::abs(v))) {
+      return Rational(p1, q1);
+    }
+    const double frac = x - fa;
+    if (frac < 1e-15) break;
+    x = 1.0 / frac;
+  }
+  if (q1 != 0 && std::abs(static_cast<double>(p1) / q1 - v) < 1e-9 * (1 + std::abs(v))) {
+    return Rational(p1, q1);
+  }
+  return Poisoned();
+}
+
+Result<Rational> Rational::FromDecimalString(const std::string& text) {
+  std::string_view s = Trim(text);
+  if (s.empty()) return Status::ParseError("empty rational literal");
+  bool negative = false;
+  if (s[0] == '+' || s[0] == '-') {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  size_t dot = s.find('.');
+  std::string_view int_part = dot == std::string_view::npos ? s : s.substr(0, dot);
+  std::string_view frac_part = dot == std::string_view::npos ? "" : s.substr(dot + 1);
+  if (int_part.empty() && frac_part.empty()) {
+    return Status::ParseError("malformed rational: " + text);
+  }
+  int128 num = 0;
+  int128 den = 1;
+  for (char c : int_part) {
+    if (c < '0' || c > '9') return Status::ParseError("malformed rational: " + text);
+    num = num * 10 + (c - '0');
+    if (!FitsInt64(num)) return Status::OutOfRange("rational too large: " + text);
+  }
+  for (char c : frac_part) {
+    if (c < '0' || c > '9') return Status::ParseError("malformed rational: " + text);
+    num = num * 10 + (c - '0');
+    den *= 10;
+    if (!FitsInt64(num) || !FitsInt64(den)) {
+      return Status::OutOfRange("rational too precise: " + text);
+    }
+  }
+  if (negative) num = -num;
+  return Rational(static_cast<int64_t>(num), static_cast<int64_t>(den));
+}
+
+double Rational::ToDouble() const {
+  if (overflow_) return std::nan("");
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::ToString() const {
+  if (overflow_) return "<overflow>";
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  if (overflow_ || o.overflow_) return Poisoned();
+  const int128 n =
+      static_cast<int128>(num_) * o.den_ + static_cast<int128>(o.num_) * den_;
+  const int128 d = static_cast<int128>(den_) * o.den_;
+  const int128 g = Gcd128(n, d);
+  if (!FitsInt64(n / g) || !FitsInt64(d / g)) return Poisoned();
+  return Rational(static_cast<int64_t>(n / g), static_cast<int64_t>(d / g));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  if (overflow_ || o.overflow_) return Poisoned();
+  const int128 n = static_cast<int128>(num_) * o.num_;
+  const int128 d = static_cast<int128>(den_) * o.den_;
+  const int128 g = Gcd128(n, d);
+  if (!FitsInt64(n / g) || !FitsInt64(d / g)) return Poisoned();
+  return Rational(static_cast<int64_t>(n / g), static_cast<int64_t>(d / g));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (overflow_ || o.overflow_ || o.num_ == 0) return Poisoned();
+  return *this * Rational(o.den_, o.num_);
+}
+
+Rational Rational::operator-() const {
+  if (overflow_ || num_ == INT64_MIN) return Poisoned();
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  r.overflow_ = false;
+  return r;
+}
+
+bool Rational::operator<(const Rational& o) const {
+  if (overflow_) return false;
+  if (o.overflow_) return true;
+  return static_cast<int128>(num_) * o.den_ < static_cast<int128>(o.num_) * den_;
+}
+
+}  // namespace powerlog::smt

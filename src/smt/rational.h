@@ -1,0 +1,71 @@
+// Exact rational arithmetic for the polynomial normal form.
+//
+// The checker must decide term equalities *exactly*; floating point would
+// turn "G∘F'∘G == G∘F'" into a tolerance judgement. Numerator/denominator
+// are int64 with overflow detection: an overflowing operation poisons the
+// value, and the solver degrades to "unknown" rather than mis-deciding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace powerlog::smt {
+
+/// \brief Normalised rational p/q (q > 0, gcd(p,q)=1) with an overflow flag.
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1), overflow_(false) {}
+  Rational(int64_t num, int64_t den);
+
+  static Rational FromInt(int64_t v) { return Rational(v, 1); }
+
+  /// Best rational approximation of `v` by continued fractions; exact for the
+  /// decimal literals appearing in Datalog programs (0.85 -> 17/20).
+  static Rational FromDouble(double v);
+
+  /// Parses a decimal literal exactly ("0.85" -> 17/20, "-3" -> -3/1).
+  static Result<Rational> FromDecimalString(const std::string& text);
+
+  bool overflow() const { return overflow_; }
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool IsZero() const { return !overflow_ && num_ == 0; }
+  bool IsOne() const { return !overflow_ && num_ == 1 && den_ == 1; }
+  bool IsNegative() const { return !overflow_ && num_ < 0; }
+
+  double ToDouble() const;
+  std::string ToString() const;
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division by zero yields an overflow-poisoned value.
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+
+  bool operator==(const Rational& o) const {
+    // Poisoned values never compare equal (mirrors NaN).
+    if (overflow_ || o.overflow_) return false;
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+
+  /// Total order (overflow sorts last); used for canonical term ordering.
+  bool operator<(const Rational& o) const;
+
+ private:
+  static Rational Poisoned() {
+    Rational r;
+    r.overflow_ = true;
+    return r;
+  }
+
+  int64_t num_;
+  int64_t den_;
+  bool overflow_;
+};
+
+}  // namespace powerlog::smt

@@ -1,0 +1,101 @@
+#include "smt/simplify.h"
+
+#include <algorithm>
+
+namespace powerlog::smt {
+namespace {
+
+bool IsConst(const TermPtr& t) { return t->op == Op::kConst && !t->value.overflow(); }
+
+bool IsZero(const TermPtr& t) { return IsConst(t) && t->value.IsZero(); }
+bool IsOne(const TermPtr& t) { return IsConst(t) && t->value.IsOne(); }
+
+/// True if evaluating t cannot fault (no division).
+bool IsTotal(const TermPtr& t) {
+  if (t->op == Op::kDiv) return false;
+  return std::all_of(t->args.begin(), t->args.end(),
+                     [](const TermPtr& a) { return IsTotal(a); });
+}
+
+}  // namespace
+
+TermPtr Simplify(const TermPtr& t) {
+  if (t->args.empty()) return t;
+  std::vector<TermPtr> args;
+  args.reserve(t->args.size());
+  for (const auto& a : t->args) args.push_back(Simplify(a));
+
+  auto rebuilt = [&]() -> TermPtr {
+    auto nt = std::make_shared<Term>();
+    nt->op = t->op;
+    nt->value = t->value;
+    nt->var = t->var;
+    nt->args = args;
+    return nt;
+  };
+
+  // Constant folding for fully-constant operands.
+  const bool all_const =
+      std::all_of(args.begin(), args.end(), [](const TermPtr& a) { return IsConst(a); });
+  if (all_const && t->op != Op::kIte) {
+    const Rational& a = args[0]->value;
+    switch (t->op) {
+      case Op::kAdd: return Const(a + args[1]->value);
+      case Op::kSub: return Const(a - args[1]->value);
+      case Op::kMul: return Const(a * args[1]->value);
+      case Op::kDiv: {
+        if (args[1]->value.IsZero()) return rebuilt();  // keep fault visible
+        Rational r = a / args[1]->value;
+        if (r.overflow()) return rebuilt();
+        return Const(r);
+      }
+      case Op::kNeg: return Const(-a);
+      case Op::kMin: return Const(a < args[1]->value ? a : args[1]->value);
+      case Op::kMax: return Const(a < args[1]->value ? args[1]->value : a);
+      case Op::kRelu: return Const(a.IsNegative() ? Rational() : a);
+      case Op::kAbs: return Const(a.IsNegative() ? -a : a);
+      case Op::kLt: return ConstInt(a < args[1]->value ? 1 : 0);
+      case Op::kLe: return ConstInt(!(args[1]->value < a) ? 1 : 0);
+      case Op::kEq: return ConstInt(a == args[1]->value ? 1 : 0);
+      default: break;
+    }
+  }
+
+  switch (t->op) {
+    case Op::kAdd:
+      if (IsZero(args[0])) return args[1];
+      if (IsZero(args[1])) return args[0];
+      break;
+    case Op::kSub:
+      if (IsZero(args[1])) return args[0];
+      break;
+    case Op::kMul:
+      if (IsOne(args[0])) return args[1];
+      if (IsOne(args[1])) return args[0];
+      // x*0 == 0 only when x cannot fault.
+      if (IsZero(args[0]) && IsTotal(args[1])) return args[0];
+      if (IsZero(args[1]) && IsTotal(args[0])) return args[1];
+      break;
+    case Op::kDiv:
+      if (IsOne(args[1])) return args[0];
+      break;
+    case Op::kNeg:
+      if (args[0]->op == Op::kNeg) return args[0]->args[0];
+      break;
+    case Op::kMin:
+    case Op::kMax:
+      if (args[0]->Equals(*args[1])) return args[0];
+      break;
+    case Op::kIte:
+      if (IsConst(args[0])) {
+        return args[0]->value.IsZero() ? args[2] : args[1];
+      }
+      if (args[1]->Equals(*args[2])) return args[1];
+      break;
+    default:
+      break;
+  }
+  return rebuilt();
+}
+
+}  // namespace powerlog::smt

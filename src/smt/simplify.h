@@ -1,0 +1,16 @@
+// Structural simplification: constant folding and identity elimination.
+// Keeps checker inputs small and printer output readable; never changes
+// semantics (division by a symbolic zero is left untouched).
+#pragma once
+
+#include "smt/term.h"
+
+namespace powerlog::smt {
+
+/// Returns an equivalent, usually smaller, term:
+///  * folds constant subterms with exact rational arithmetic,
+///  * removes +0, *1, *0 (only when the other operand is total), neg(neg x),
+///  * collapses min(x,x)/max(x,x), relu(c) for constants.
+TermPtr Simplify(const TermPtr& t);
+
+}  // namespace powerlog::smt

@@ -1,0 +1,97 @@
+#include "smt/solver.h"
+
+namespace powerlog::smt {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kValid:
+      return "valid";
+    case Verdict::kInvalid:
+      return "invalid";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+CheckReport Solver::CheckEqualValid(const TermPtr& lhs, const TermPtr& rhs) const {
+  CheckReport report;
+
+  // 1. Polynomial normal forms.
+  auto pl = Polynomial::FromTerm(lhs);
+  auto pr = Polynomial::FromTerm(rhs);
+  if (pl.ok() && pr.ok() && !pl->overflowed() && !pr->overflowed()) {
+    if (*pl == *pr) {
+      report.verdict = Verdict::kValid;
+      report.method = "polynomial";
+      report.explanation = "identical polynomial normal form: " + pl->ToString();
+      return report;
+    }
+    // Normal forms differ. With reciprocal pseudo-variables this may be a
+    // false negative, so confirm by witness; without them the difference is a
+    // genuinely nonzero polynomial.
+    auto cx = FindCounterexample(lhs, rhs, constraints_, search_);
+    if (cx) {
+      report.verdict = Verdict::kInvalid;
+      report.method = "polynomial+counterexample";
+      report.explanation = "counterexample: " + cx->ToString();
+      report.counterexample = cx;
+      return report;
+    }
+    if (!pl->HasReciprocal() && !pr->HasReciprocal()) {
+      report.verdict = Verdict::kInvalid;
+      report.method = "polynomial";
+      report.explanation = "differing polynomial normal forms: " + pl->ToString() +
+                           "  vs  " + pr->ToString();
+      return report;
+    }
+    report.verdict = Verdict::kUnknown;
+    report.method = "polynomial";
+    report.explanation =
+        "normal forms differ but involve reciprocals and no witness was found";
+    return report;
+  }
+
+  // 2. Min/max lattice normal forms.
+  auto ml = NormalizeMinMax(lhs, constraints_);
+  auto mr = NormalizeMinMax(rhs, constraints_);
+  if (ml.ok() && mr.ok()) {
+    if (*ml == *mr) {
+      report.verdict = Verdict::kValid;
+      report.method = "minmax";
+      report.explanation = "identical lattice normal form: " + ml->ToString();
+      return report;
+    }
+    auto cx = FindCounterexample(lhs, rhs, constraints_, search_);
+    if (cx) {
+      report.verdict = Verdict::kInvalid;
+      report.method = "minmax+counterexample";
+      report.explanation = "counterexample: " + cx->ToString();
+      report.counterexample = cx;
+      return report;
+    }
+    // Differing lattice forms without a witness can arise from ordered
+    // elements (min{x, x+1} == min{x}); stay conservative.
+    report.verdict = Verdict::kUnknown;
+    report.method = "minmax";
+    report.explanation = "lattice forms differ (" + ml->ToString() + " vs " +
+                         mr->ToString() + ") but no witness was found";
+    return report;
+  }
+
+  // 3. Pure refutation search.
+  auto cx = FindCounterexample(lhs, rhs, constraints_, search_);
+  if (cx) {
+    report.verdict = Verdict::kInvalid;
+    report.method = "counterexample";
+    report.explanation = "counterexample: " + cx->ToString();
+    report.counterexample = cx;
+    return report;
+  }
+  report.verdict = Verdict::kUnknown;
+  report.method = "exhausted";
+  report.explanation = "no normal form applies and no counterexample was found";
+  return report;
+}
+
+}  // namespace powerlog::smt

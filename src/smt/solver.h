@@ -1,0 +1,49 @@
+// Validity checker façade: the Z3 stand-in.
+//
+// Decides "∀ vars. lhs == rhs" over the term fragment, mirroring the paper's
+// double-negation Z3 encoding ("NOT (forall ... =)" is unsat  ⇔  valid):
+//   1. polynomial normal forms (complete for {+,-,*,/const} / sum-like G),
+//   2. min/max lattice normal forms (complete for monotone-pushed min/max),
+//   3. counterexample search (the refutation half).
+// Verdicts are sound: kValid only from a normal-form proof; kInvalid only
+// with a concrete witness or a reciprocal-free polynomial disagreement.
+#pragma once
+
+#include <string>
+
+#include "smt/counterexample.h"
+#include "smt/minmax_form.h"
+#include "smt/monotone.h"
+#include "smt/term.h"
+
+namespace powerlog::smt {
+
+enum class Verdict { kValid, kInvalid, kUnknown };
+
+const char* VerdictName(Verdict v);
+
+/// \brief Outcome of a validity check with provenance.
+struct CheckReport {
+  Verdict verdict = Verdict::kUnknown;
+  std::string method;       ///< "polynomial", "minmax", "counterexample", ...
+  std::string explanation;  ///< human-readable proof sketch / witness
+  std::optional<Counterexample> counterexample;
+};
+
+/// \brief Checker for universally quantified equalities under sign constraints.
+class Solver {
+ public:
+  explicit Solver(ConstraintSet constraints = {}, SearchOptions search = {})
+      : constraints_(std::move(constraints)), search_(search) {}
+
+  /// Is `lhs == rhs` valid (true for all assignments satisfying constraints)?
+  CheckReport CheckEqualValid(const TermPtr& lhs, const TermPtr& rhs) const;
+
+  const ConstraintSet& constraints() const { return constraints_; }
+
+ private:
+  ConstraintSet constraints_;
+  SearchOptions search_;
+};
+
+}  // namespace powerlog::smt

@@ -1,0 +1,176 @@
+#include "smt/term.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace powerlog::smt {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kVar: return "var";
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kNeg: return "neg";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kRelu: return "relu";
+    case Op::kAbs: return "abs";
+    case Op::kIte: return "ite";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kEq: return "=";
+  }
+  return "?";
+}
+
+bool Term::Equals(const Term& other) const {
+  if (op != other.op) return false;
+  if (op == Op::kConst) return value == other.value;
+  if (op == Op::kVar) return var == other.var;
+  if (args.size() != other.args.size()) return false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!args[i]->Equals(*other.args[i])) return false;
+  }
+  return true;
+}
+
+size_t Term::Size() const {
+  size_t n = 1;
+  for (const auto& a : args) n += a->Size();
+  return n;
+}
+
+namespace {
+TermPtr Make(Op op, std::vector<TermPtr> args) {
+  auto t = std::make_shared<Term>();
+  t->op = op;
+  t->args = std::move(args);
+  return t;
+}
+}  // namespace
+
+TermPtr Const(const Rational& value) {
+  auto t = std::make_shared<Term>();
+  t->op = Op::kConst;
+  t->value = value;
+  return t;
+}
+
+TermPtr ConstInt(int64_t v) { return Const(Rational::FromInt(v)); }
+TermPtr ConstDouble(double v) { return Const(Rational::FromDouble(v)); }
+
+TermPtr Var(const std::string& name) {
+  auto t = std::make_shared<Term>();
+  t->op = Op::kVar;
+  t->var = name;
+  return t;
+}
+
+TermPtr Add(TermPtr a, TermPtr b) { return Make(Op::kAdd, {std::move(a), std::move(b)}); }
+TermPtr Sub(TermPtr a, TermPtr b) { return Make(Op::kSub, {std::move(a), std::move(b)}); }
+TermPtr Mul(TermPtr a, TermPtr b) { return Make(Op::kMul, {std::move(a), std::move(b)}); }
+TermPtr Div(TermPtr a, TermPtr b) { return Make(Op::kDiv, {std::move(a), std::move(b)}); }
+TermPtr Neg(TermPtr a) { return Make(Op::kNeg, {std::move(a)}); }
+TermPtr Min(TermPtr a, TermPtr b) { return Make(Op::kMin, {std::move(a), std::move(b)}); }
+TermPtr Max(TermPtr a, TermPtr b) { return Make(Op::kMax, {std::move(a), std::move(b)}); }
+TermPtr Relu(TermPtr a) { return Make(Op::kRelu, {std::move(a)}); }
+TermPtr Abs(TermPtr a) { return Make(Op::kAbs, {std::move(a)}); }
+TermPtr Ite(TermPtr cond, TermPtr t, TermPtr f) {
+  return Make(Op::kIte, {std::move(cond), std::move(t), std::move(f)});
+}
+TermPtr Lt(TermPtr a, TermPtr b) { return Make(Op::kLt, {std::move(a), std::move(b)}); }
+TermPtr Le(TermPtr a, TermPtr b) { return Make(Op::kLe, {std::move(a), std::move(b)}); }
+TermPtr EqTerm(TermPtr a, TermPtr b) { return Make(Op::kEq, {std::move(a), std::move(b)}); }
+
+namespace {
+void CollectVarsInto(const TermPtr& t, std::set<std::string>& out) {
+  if (t->op == Op::kVar) {
+    out.insert(t->var);
+    return;
+  }
+  for (const auto& a : t->args) CollectVarsInto(a, out);
+}
+}  // namespace
+
+std::vector<std::string> CollectVars(const TermPtr& t) {
+  std::set<std::string> vars;
+  CollectVarsInto(t, vars);
+  return {vars.begin(), vars.end()};
+}
+
+TermPtr Substitute(const TermPtr& t, const std::map<std::string, TermPtr>& subst) {
+  if (t->op == Op::kVar) {
+    auto it = subst.find(t->var);
+    return it == subst.end() ? t : it->second;
+  }
+  if (t->args.empty()) return t;
+  std::vector<TermPtr> args;
+  args.reserve(t->args.size());
+  bool changed = false;
+  for (const auto& a : t->args) {
+    TermPtr na = Substitute(a, subst);
+    changed = changed || na.get() != a.get();
+    args.push_back(std::move(na));
+  }
+  if (!changed) return t;
+  auto nt = std::make_shared<Term>();
+  nt->op = t->op;
+  nt->value = t->value;
+  nt->var = t->var;
+  nt->args = std::move(args);
+  return nt;
+}
+
+Result<double> Evaluate(const TermPtr& t, const std::map<std::string, double>& env) {
+  switch (t->op) {
+    case Op::kConst:
+      if (t->value.overflow()) return Status::Internal("overflowed constant");
+      return t->value.ToDouble();
+    case Op::kVar: {
+      auto it = env.find(t->var);
+      if (it == env.end()) return Status::NotFound("unbound variable: " + t->var);
+      return it->second;
+    }
+    default:
+      break;
+  }
+  std::vector<double> vals;
+  vals.reserve(t->args.size());
+  // kIte evaluates lazily below; others evaluate all operands.
+  if (t->op != Op::kIte) {
+    for (const auto& a : t->args) {
+      auto v = Evaluate(a, env);
+      if (!v.ok()) return v;
+      vals.push_back(*v);
+    }
+  }
+  switch (t->op) {
+    case Op::kAdd: return vals[0] + vals[1];
+    case Op::kSub: return vals[0] - vals[1];
+    case Op::kMul: return vals[0] * vals[1];
+    case Op::kDiv:
+      if (std::abs(vals[1]) < 1e-12) return Status::InvalidArgument("division by ~0");
+      return vals[0] / vals[1];
+    case Op::kNeg: return -vals[0];
+    case Op::kMin: return std::min(vals[0], vals[1]);
+    case Op::kMax: return std::max(vals[0], vals[1]);
+    case Op::kRelu: return vals[0] > 0 ? vals[0] : 0.0;
+    case Op::kAbs: return std::abs(vals[0]);
+    case Op::kLt: return vals[0] < vals[1] ? 1.0 : 0.0;
+    case Op::kLe: return vals[0] <= vals[1] ? 1.0 : 0.0;
+    case Op::kEq: return vals[0] == vals[1] ? 1.0 : 0.0;
+    case Op::kIte: {
+      auto c = Evaluate(t->args[0], env);
+      if (!c.ok()) return c;
+      return Evaluate(*c != 0.0 ? t->args[1] : t->args[2], env);
+    }
+    default:
+      return Status::Internal("unexpected op in Evaluate");
+  }
+}
+
+}  // namespace powerlog::smt

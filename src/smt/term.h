@@ -1,0 +1,83 @@
+// Term DAG for the mini-SMT validity checker.
+//
+// The fragment is exactly what recursive aggregate Datalog bodies produce:
+// real arithmetic {+,-,*,/,neg}, the aggregate combiners {min,max}, the
+// piecewise primitives {relu, abs, ite} and comparisons for ite guards.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smt/rational.h"
+
+namespace powerlog::smt {
+
+enum class Op {
+  kConst,  // rational constant
+  kVar,    // named real variable
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kMin,
+  kMax,
+  kRelu,  // max(x, 0)
+  kAbs,
+  kIte,  // ite(cond, then, else) — cond is a comparison term
+  kLt,
+  kLe,
+  kEq,  // comparison; evaluates to a boolean (1/0 numerically)
+};
+
+const char* OpName(Op op);
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+/// \brief Immutable term node. Construct via the factory functions below.
+struct Term {
+  Op op;
+  Rational value;              ///< kConst only.
+  std::string var;             ///< kVar only.
+  std::vector<TermPtr> args;   ///< operands
+
+  /// Structural equality.
+  bool Equals(const Term& other) const;
+
+  /// Number of nodes in the tree (diagnostics / complexity guards).
+  size_t Size() const;
+};
+
+// -- Factories ---------------------------------------------------------------
+TermPtr Const(const Rational& value);
+TermPtr ConstInt(int64_t v);
+TermPtr ConstDouble(double v);
+TermPtr Var(const std::string& name);
+TermPtr Add(TermPtr a, TermPtr b);
+TermPtr Sub(TermPtr a, TermPtr b);
+TermPtr Mul(TermPtr a, TermPtr b);
+TermPtr Div(TermPtr a, TermPtr b);
+TermPtr Neg(TermPtr a);
+TermPtr Min(TermPtr a, TermPtr b);
+TermPtr Max(TermPtr a, TermPtr b);
+TermPtr Relu(TermPtr a);
+TermPtr Abs(TermPtr a);
+TermPtr Ite(TermPtr cond, TermPtr t, TermPtr f);
+TermPtr Lt(TermPtr a, TermPtr b);
+TermPtr Le(TermPtr a, TermPtr b);
+TermPtr EqTerm(TermPtr a, TermPtr b);
+
+/// Collects the distinct variable names in `t`, sorted.
+std::vector<std::string> CollectVars(const TermPtr& t);
+
+/// Substitutes vars by terms (simultaneous). Missing vars stay symbolic.
+TermPtr Substitute(const TermPtr& t, const std::map<std::string, TermPtr>& subst);
+
+/// Numeric evaluation under `env`; comparison terms yield 1.0/0.0.
+/// Returns an error if a variable is unbound or a division by ~0 occurs.
+Result<double> Evaluate(const TermPtr& t, const std::map<std::string, double>& env);
+
+}  // namespace powerlog::smt

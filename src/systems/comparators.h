@@ -1,0 +1,75 @@
+// Simulated comparator systems (§6.2–§6.4).
+//
+// The paper compares PowerLog against external systems. Those systems are
+// JVM/Spark stacks we cannot run offline, so each is encoded as a
+// configuration of our own runtime that reproduces its published
+// *evaluation strategy* and *execution mode* — the two variables the paper's
+// comparison isolates — plus cost knobs for its documented constant factors:
+//
+//   SociaLite  — sync BSP; semi-naive for monotonic programs, naive
+//                evaluation (full per-iteration join) for non-monotonic;
+//                Δ-stepping for SSSP; interpreted-Java join costs.
+//   Myria      — async; semi-naive for monotonic, naive for non-monotonic;
+//                eager per-update message passing.
+//   BigDatalog — sync Spark dataflow; semi-naive for monotonic with heavy
+//                per-superstep RDD materialisation; PageRank et al. run as
+//                GraphX-style sync dataflow (the paper substitutes GraphX).
+//   PowerGraph — incremental vertex engine, best of sync/async (Fig. 10).
+//   Maiter     — delta-based accumulative async engine (Fig. 10).
+//   Prom       — prioritised async engine (Fig. 10).
+//   PowerLog   — MRA evaluation on the unified sync-async engine.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "core/kernel.h"
+#include "graph/graph.h"
+#include "systems/vertex_engines.h"
+
+namespace powerlog::systems {
+
+enum class SystemId {
+  kPowerLog,
+  kSociaLite,
+  kMyria,
+  kBigDatalog,
+  kPowerGraph,
+  kMaiter,
+  kProm,
+};
+
+const char* SystemName(SystemId id);
+
+/// \brief Shared run parameters for a comparison.
+struct RunConfig {
+  uint32_t num_workers = 4;
+  runtime::NetworkConfig network;
+  double max_wall_seconds = 60.0;
+  int64_t max_supersteps = 100000;
+  double epsilon_override = -1.0;
+  /// Environment-noise stalls (see EngineOptions); 0 disables.
+  int64_t stall_every_us = 0;
+  int64_t stall_mean_us = 2000;
+};
+
+/// \brief One comparator execution.
+struct SystemRunResult {
+  SystemId system;
+  std::string strategy;  ///< e.g. "naive+sync", "MRA+async"
+  EngineResult result;
+};
+
+/// Runs `kernel` the way `system` would. `program_is_monotonic` selects the
+/// comparator's strategy (semi-naive vs naive fallback) exactly as §6.3
+/// describes; PowerLog instead consults the MRA check outcome
+/// (`mra_satisfied`).
+Result<SystemRunResult> RunSystem(SystemId system, const Graph& graph,
+                                  const Kernel& kernel, const RunConfig& config,
+                                  bool mra_satisfied);
+
+/// True for programs whose value sequences are monotonic without conversion
+/// (min/max aggregates) — the scope comparators support incrementally.
+bool IsMonotonicProgram(const Kernel& kernel);
+
+}  // namespace powerlog::systems

@@ -1,0 +1,37 @@
+// Naive-evaluation BSP engine and incremental vertex-centric baseline
+// configurations.
+//
+// NaiveSyncEngine executes Eq. 2 on the distributed runtime substrate:
+// every superstep, *every* vertex holding a fact re-derives and re-sends all
+// of its contributions, and receivers rebuild X_{k+1} from scratch — the
+// per-iteration full join that makes naive evaluation expensive (§1). This
+// is what SociaLite/Myria fall back to for non-monotonic programs.
+#pragma once
+
+#include "common/result.h"
+#include "core/kernel.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "runtime/engine.h"
+
+namespace powerlog::systems {
+
+using runtime::EngineOptions;
+using runtime::EngineResult;
+
+/// \brief Extra cost knobs that differentiate the simulated comparator
+/// engines (documented per system in comparators.cpp).
+struct NaiveEngineCosts {
+  /// Per-superstep dataflow overhead (job scheduling, table materialisation).
+  int64_t superstep_overhead_us = 0;
+  /// Per-edge compute inflation factor (interpreted join machinery); 1.0 is
+  /// our native speed.
+  double compute_factor = 1.0;
+};
+
+/// Runs naive evaluation (Eq. 2) on the BSP substrate.
+Result<EngineResult> NaiveSyncRun(const Graph& graph, const Kernel& kernel,
+                                  const EngineOptions& options,
+                                  const NaiveEngineCosts& costs = {});
+
+}  // namespace powerlog::systems

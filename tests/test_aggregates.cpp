@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/random.h"
+#include "core/aggregates.h"
+
+namespace powerlog {
+namespace {
+
+class FoldableAggregateTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(FoldableAggregateTest, IdentityIsNeutral) {
+  Aggregator agg(GetParam());
+  auto id = agg.Identity();
+  ASSERT_TRUE(id.ok());
+  for (double v : {-3.0, 0.0, 2.5, 1e9}) {
+    EXPECT_DOUBLE_EQ(*agg.Combine(*id, v), v);
+    EXPECT_DOUBLE_EQ(*agg.Combine(v, *id), v);
+  }
+  EXPECT_TRUE(agg.IsIdentity(*id));
+  EXPECT_FALSE(agg.IsIdentity(1.0));
+}
+
+TEST_P(FoldableAggregateTest, CommutativeAssociativeSweep) {
+  Aggregator agg(GetParam());
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.NextDouble(-10, 10);
+    const double b = rng.NextDouble(-10, 10);
+    const double c = rng.NextDouble(-10, 10);
+    EXPECT_DOUBLE_EQ(*agg.Combine(a, b), *agg.Combine(b, a));
+    EXPECT_NEAR(*agg.Combine(*agg.Combine(a, b), c),
+                *agg.Combine(a, *agg.Combine(b, c)), 1e-12);
+  }
+}
+
+TEST_P(FoldableAggregateTest, InverseDerivesDelta) {
+  // G(X⁰ ∪ ΔX¹) == X¹ where ΔX¹ = G⁻(X¹, X⁰) (§3.3).
+  Aggregator agg(GetParam());
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.NextDouble(-5, 5);
+    double x1 = rng.NextDouble(-5, 5);
+    if (GetParam() == AggKind::kMin) x1 = std::min(x1, x0);
+    if (GetParam() == AggKind::kMax) x1 = std::max(x1, x0);
+    const double delta = *agg.Inverse(x1, x0);
+    EXPECT_NEAR(*agg.Combine(x0, delta), x1, 1e-12);
+  }
+}
+
+TEST_P(FoldableAggregateTest, AtomicCombineMatchesSequential) {
+  const AggKind kind = GetParam();
+  Aggregator agg(kind);
+  Rng rng(31);
+  std::vector<double> values(5000);
+  for (double& v : values) v = rng.NextDouble(-100, 100);
+
+  double sequential = *agg.Identity();
+  for (double v : values) sequential = *agg.Combine(sequential, v);
+
+  std::atomic<double> slot{*agg.Identity()};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < values.size(); i += kThreads) {
+        AtomicCombine(&slot, values[i], kind);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(slot.load(), sequential, 1e-7 * (1 + std::abs(sequential)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFoldable, FoldableAggregateTest,
+                         ::testing::Values(AggKind::kMin, AggKind::kMax,
+                                           AggKind::kSum, AggKind::kCount),
+                         [](const ::testing::TestParamInfo<AggKind>& info) {
+                           return AggKindName(info.param);
+                         });
+
+TEST(Aggregates, MeanHasNoIncrementalInterface) {
+  Aggregator agg(AggKind::kMean);
+  EXPECT_TRUE(agg.Identity().status().IsNotSupported());
+  EXPECT_TRUE(agg.Combine(1, 2).status().IsNotSupported());
+  EXPECT_TRUE(agg.Inverse(1, 2).status().IsNotSupported());
+}
+
+TEST(Aggregates, MultisetSemantics) {
+  EXPECT_DOUBLE_EQ(*AggregateMultiset(AggKind::kMin, {3, 1, 2}), 1);
+  EXPECT_DOUBLE_EQ(*AggregateMultiset(AggKind::kMax, {3, 1, 2}), 3);
+  EXPECT_DOUBLE_EQ(*AggregateMultiset(AggKind::kSum, {3, 1, 2}), 6);
+  EXPECT_DOUBLE_EQ(*AggregateMultiset(AggKind::kCount, {3, 1, 2}), 6);
+  EXPECT_DOUBLE_EQ(*AggregateMultiset(AggKind::kMean, {3, 1, 2}), 2);
+  EXPECT_TRUE(AggregateMultiset(AggKind::kSum, {}).status().IsInvalidArgument());
+}
+
+TEST(Aggregates, MeanViolatesPairwiseFolding) {
+  // The reason mean fails Table 1: folding pairwise gives a different answer
+  // than the true multiset mean.
+  const std::vector<double> values{1, 2, 9};
+  const double true_mean = *AggregateMultiset(AggKind::kMean, values);
+  const double folded = ((1.0 + 2.0) / 2 + 9.0) / 2;
+  EXPECT_NE(true_mean, folded);
+}
+
+TEST(Aggregates, ImprovesSemantics) {
+  Aggregator mn(AggKind::kMin);
+  EXPECT_TRUE(mn.Improves(5, 3));
+  EXPECT_FALSE(mn.Improves(3, 5));
+  EXPECT_FALSE(mn.Improves(3, 3));
+  Aggregator mx(AggKind::kMax);
+  EXPECT_TRUE(mx.Improves(3, 5));
+  EXPECT_FALSE(mx.Improves(5, 3));
+  Aggregator sm(AggKind::kSum);
+  EXPECT_TRUE(sm.Improves(0, 0.1));
+  EXPECT_TRUE(sm.Improves(0, -0.1));
+  EXPECT_FALSE(sm.Improves(7, 0));
+}
+
+TEST(Aggregates, AtomicExchangeReturnsPrevious) {
+  std::atomic<double> slot{2.5};
+  EXPECT_DOUBLE_EQ(AtomicExchange(&slot, 7.0), 2.5);
+  EXPECT_DOUBLE_EQ(slot.load(), 7.0);
+}
+
+TEST(Aggregates, MinAtomicCombineEarlyOut) {
+  std::atomic<double> slot{1.0};
+  AtomicCombine(&slot, 5.0, AggKind::kMin);  // no-op
+  EXPECT_DOUBLE_EQ(slot.load(), 1.0);
+  AtomicCombine(&slot, 0.5, AggKind::kMin);
+  EXPECT_DOUBLE_EQ(slot.load(), 0.5);
+}
+
+}  // namespace
+}  // namespace powerlog

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "datalog/analyzer.h"
+#include "datalog/catalog.h"
+#include "datalog/parser.h"
+#include "smt/printer.h"
+
+namespace powerlog::datalog {
+namespace {
+
+AnalyzedProgram MustAnalyze(const std::string& src) {
+  auto p = Parse(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  auto a = Analyze(*p);
+  EXPECT_TRUE(a.ok()) << a.status().ToString();
+  return std::move(a).ValueOrDie();
+}
+
+TEST(Analyzer, SsspExtraction) {
+  auto entry = GetCatalogEntry("sssp");
+  ASSERT_TRUE(entry.ok());
+  auto a = MustAnalyze(entry->source);
+  EXPECT_EQ(a.name, "sssp");
+  EXPECT_EQ(a.head_predicate, "sssp");
+  EXPECT_EQ(a.aggregate, AggKind::kMin);
+  EXPECT_EQ(a.edge_fn.input_var, "dx");
+  EXPECT_EQ(a.edge_fn.weight_var, "dxy");
+  EXPECT_EQ(a.edge_fn.degree_var, "");
+  EXPECT_EQ(a.init.kind, InitKind::kSingleSource);
+  EXPECT_EQ(a.init.source, 0u);
+  EXPECT_DOUBLE_EQ(a.init.value, 0.0);
+  EXPECT_FALSE(a.init.iteration_indexed);
+  EXPECT_EQ(a.constant.kind, ConstKind::kNone);
+  EXPECT_EQ(smt::ToInfix(a.f_term), "x + dxy");
+}
+
+TEST(Analyzer, CcExtraction) {
+  auto entry = GetCatalogEntry("cc");
+  ASSERT_TRUE(entry.ok());
+  auto a = MustAnalyze(entry->source);
+  EXPECT_EQ(a.aggregate, AggKind::kMin);
+  EXPECT_EQ(a.init.kind, InitKind::kAllVerticesOwnId);
+  // F' is the identity on the recursive value.
+  EXPECT_EQ(smt::ToInfix(a.f_term), "x");
+  EXPECT_FALSE(a.uses_in_edges);
+}
+
+TEST(Analyzer, PageRankExtraction) {
+  auto entry = GetCatalogEntry("pagerank");
+  ASSERT_TRUE(entry.ok());
+  auto a = MustAnalyze(entry->source);
+  EXPECT_EQ(a.aggregate, AggKind::kSum);
+  EXPECT_EQ(a.edge_fn.degree_var, "d");
+  EXPECT_EQ(a.constant.kind, ConstKind::kAllVertices);
+  EXPECT_DOUBLE_EQ(a.constant.value, 0.15);
+  EXPECT_EQ(a.init.kind, InitKind::kAllVerticesConst);
+  EXPECT_DOUBLE_EQ(a.init.value, 0.0);
+  EXPECT_TRUE(a.init.iteration_indexed);
+  EXPECT_TRUE(a.termination.has_epsilon);
+  EXPECT_DOUBLE_EQ(a.termination.epsilon, 0.0001);
+  EXPECT_EQ(a.termination.max_iterations, 200);
+  // The auto d > 0 constraint for the checker.
+  EXPECT_EQ(a.constraints.SignOf("d"), smt::Sign::kPositive);
+}
+
+TEST(Analyzer, KatzConstantIsSingleKey) {
+  auto entry = GetCatalogEntry("katz");
+  ASSERT_TRUE(entry.ok());
+  auto a = MustAnalyze(entry->source);
+  EXPECT_EQ(a.constant.kind, ConstKind::kSingleKey);
+  EXPECT_EQ(a.constant.key, 0u);
+  EXPECT_DOUBLE_EQ(a.constant.value, 10000.0);
+  EXPECT_EQ(a.init.kind, InitKind::kNone);
+}
+
+TEST(Analyzer, AdsorptionAuxTablesBecomeBindings) {
+  auto entry = GetCatalogEntry("adsorption");
+  ASSERT_TRUE(entry.ok());
+  auto a = MustAnalyze(entry->source);
+  EXPECT_EQ(a.edges_predicate, "A");
+  EXPECT_EQ(a.edge_fn.weight_var, "w");
+  ASSERT_TRUE(a.edge_fn.const_bindings.count("p"));
+  EXPECT_DOUBLE_EQ(a.edge_fn.const_bindings.at("p"), 0.9);
+  EXPECT_EQ(a.constant.kind, ConstKind::kAllVertices);
+  EXPECT_NEAR(a.constant.value, 0.2, 1e-12);  // i * p2 = 1 * 0.2
+}
+
+TEST(Analyzer, ViterbiWeightConstraint) {
+  auto entry = GetCatalogEntry("viterbi");
+  ASSERT_TRUE(entry.ok());
+  auto a = MustAnalyze(entry->source);
+  EXPECT_EQ(a.aggregate, AggKind::kMax);
+  EXPECT_EQ(a.edge_fn.weight_var, "p");
+  EXPECT_EQ(a.constraints.SignOf("p"), smt::Sign::kPositive);
+}
+
+TEST(Analyzer, GcnKeepsReluInFTerm) {
+  auto entry = GetCatalogEntry("gcn_forward");
+  ASSERT_TRUE(entry.ok());
+  auto a = MustAnalyze(entry->source);
+  EXPECT_EQ(smt::ToInfix(a.f_term), "relu(x*p)*w");
+}
+
+TEST(Analyzer, InEdgePropagationDetected) {
+  auto a = MustAnalyze(
+      "p(Y,min[v1]) :- p(X,v), edge(Y,X), v1 = v + 1.\n"
+      "p(X,d) :- X = 0, d = 0.");
+  EXPECT_TRUE(a.uses_in_edges);
+}
+
+TEST(Analyzer, ErrorNoRecursiveRule) {
+  auto p = Parse("f(X,v) :- X = 0, v = 1.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Analyze(*p).status().IsInvalidArgument());
+}
+
+TEST(Analyzer, ErrorNoAggregate) {
+  // Two plain head variables and no aggregate: rejected (either as a
+  // missing aggregate or as multi-key group-by — both outside the fragment).
+  auto p = Parse("f(Y,v) :- f(X,v), edge(X,Y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(Analyze(*p).ok());
+  // Single head variable, still no aggregate: specifically InvalidArgument.
+  auto p2 = Parse("f(Y) :- f(Y), edge(Y,_).");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(Analyze(*p2).status().IsInvalidArgument());
+}
+
+TEST(Analyzer, ErrorMultipleRecursiveRules) {
+  auto p = Parse(
+      "f(Y,sum[v]) :- f(X,v), edge(X,Y).\n"
+      "g(Y,sum[v]) :- g(X,v), edge(X,Y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Analyze(*p).status().IsNotSupported());
+}
+
+TEST(Analyzer, ErrorMutualRecursion) {
+  auto p = Parse(
+      "f(Y,sum[v]) :- f(X,v), edge(X,Y).\n"
+      "h(Y,v) :- f(Y,v).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Analyze(*p).status().IsNotSupported());
+}
+
+TEST(Analyzer, ErrorNonLinearRecursion) {
+  auto p = Parse(
+      "f(Y,sum[v]) :- f(X,v), edge(X,Y);"
+      "            :- f(Z,v), edge(Z,Y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Analyze(*p).status().IsNotSupported());
+}
+
+TEST(Analyzer, ErrorMultiKeyGroupBy) {
+  auto p = Parse("f(A,B,sum[v]) :- f(A,X,v), edge(X,B).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Analyze(*p).status().IsNotSupported());
+}
+
+TEST(Analyzer, ErrorUnassignedAggregateInput) {
+  auto p = Parse("f(Y,sum[q]) :- f(X,v), edge(X,Y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(Analyze(*p).ok());
+}
+
+TEST(Analyzer, ErrorUnknownAnnotation) {
+  auto p = Parse("@frobnicate yes.\nf(Y,sum[v]) :- f(X,v), edge(X,Y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Analyze(*p).status().IsInvalidArgument());
+}
+
+TEST(Analyzer, ErrorMalformedAssume) {
+  auto p = Parse("@assume d.\nf(Y,sum[v]) :- f(X,v), edge(X,Y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Analyze(*p).status().IsInvalidArgument());
+}
+
+TEST(Analyzer, SourceAnnotationOverridesInitKey) {
+  auto a = MustAnalyze(
+      "@source 5.\n"
+      "p(X,d) :- X = 0, d = 0.\n"
+      "p(Y,min[v1]) :- p(X,v), edge(X,Y), v1 = v + 1.");
+  EXPECT_EQ(a.init.source, 5u);
+}
+
+TEST(Analyzer, ChainedAssignmentsSubstitute) {
+  auto a = MustAnalyze(
+      "p(X,d) :- X = 0, d = 0.\n"
+      "p(Y,min[v2]) :- p(X,v), edge(X,Y,w), v1 = v + w, v2 = v1 + 1.");
+  EXPECT_EQ(smt::ToInfix(a.f_term), "x + w + 1");
+}
+
+TEST(Analyzer, CyclicAssignmentRejected) {
+  auto p = Parse("p(Y,min[a]) :- p(X,v), edge(X,Y), a = b + 1, b = a + 1.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(Analyze(*p).ok());
+}
+
+TEST(Analyzer, AllSatisfiableCatalogProgramsAnalyze) {
+  for (const auto& entry : ProgramCatalog()) {
+    auto p = Parse(entry.source);
+    ASSERT_TRUE(p.ok()) << entry.name;
+    auto a = Analyze(*p);
+    EXPECT_TRUE(a.ok()) << entry.name << ": " << a.status().ToString();
+    if (a.ok()) {
+      EXPECT_EQ(a->aggregate, entry.aggregate) << entry.name;
+      EXPECT_EQ(a->name, entry.name);
+      EXPECT_FALSE(a->summary.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerlog::datalog

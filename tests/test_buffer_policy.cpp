@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "runtime/buffer_policy.h"
+#include "runtime/message.h"
+
+namespace powerlog::runtime {
+namespace {
+
+BufferPolicy::Params ParamsFor(FlushPolicyKind kind) {
+  BufferPolicy::Params p;
+  p.kind = kind;
+  p.beta = 100;
+  p.tau_us = 1000000;  // large: size-triggered flushes only
+  return p;
+}
+
+TEST(BufferPolicy, EagerAlwaysFlushesNonEmpty) {
+  BufferPolicy policy(ParamsFor(FlushPolicyKind::kEager));
+  EXPECT_FALSE(policy.ShouldFlush(0, NowMicros()));
+  EXPECT_TRUE(policy.ShouldFlush(1, NowMicros()));
+}
+
+TEST(BufferPolicy, FixedFlushesAtBeta) {
+  BufferPolicy policy(ParamsFor(FlushPolicyKind::kFixed));
+  const int64_t now = NowMicros();
+  EXPECT_FALSE(policy.ShouldFlush(50, now));
+  EXPECT_TRUE(policy.ShouldFlush(100, now));
+  EXPECT_TRUE(policy.ShouldFlush(150, now));
+}
+
+TEST(BufferPolicy, IntervalTriggersFlush) {
+  auto params = ParamsFor(FlushPolicyKind::kFixed);
+  params.tau_us = 10;
+  BufferPolicy policy(params);
+  const int64_t later = NowMicros() + 1000;
+  EXPECT_TRUE(policy.ShouldFlush(1, later));
+}
+
+TEST(BufferPolicy, FixedNeverAdapts) {
+  BufferPolicy policy(ParamsFor(FlushPolicyKind::kFixed));
+  const double before = policy.beta();
+  policy.OnFlush(100000, NowMicros());
+  EXPECT_DOUBLE_EQ(policy.beta(), before);
+}
+
+TEST(BufferPolicy, AdaptiveGrowsUnderFastAccumulation) {
+  auto params = ParamsFor(FlushPolicyKind::kAdaptive);
+  params.tau_us = 1000;
+  BufferPolicy policy(params);
+  // Rate = 10000 updates over ~1ms >> r·β/τ.
+  const int64_t start = NowMicros();
+  policy.OnFlush(10000, start + 1000);
+  EXPECT_GT(policy.beta(), 100.0);
+}
+
+TEST(BufferPolicy, AdaptiveShrinksUnderSlowAccumulation) {
+  auto params = ParamsFor(FlushPolicyKind::kAdaptive);
+  params.tau_us = 1000;
+  params.beta = 10000;
+  BufferPolicy policy(params);
+  const int64_t start = NowMicros();
+  policy.OnFlush(10, start + 1000000);  // 10 updates over 1s: very slow
+  EXPECT_LT(policy.beta(), 10000.0);
+}
+
+TEST(BufferPolicy, AdaptiveStableInsideDeadband) {
+  // Rate exactly β/τ: within the r-band, no adjustment (paper's rule fires
+  // only outside [β/(rτ), rβ/τ]).
+  auto params = ParamsFor(FlushPolicyKind::kAdaptive);
+  params.tau_us = 1000;
+  params.beta = 100;
+  BufferPolicy policy(params);
+  const int64_t start = NowMicros();
+  policy.OnFlush(100, start + 1000);
+  EXPECT_DOUBLE_EQ(policy.beta(), 100.0);
+}
+
+TEST(BufferPolicy, BetaClamped) {
+  auto params = ParamsFor(FlushPolicyKind::kAdaptive);
+  params.tau_us = 1000;
+  params.beta_min = 8;
+  params.beta_max = 1000;
+  BufferPolicy policy(params);
+  policy.OnFlush(100000000, NowMicros() + 1);
+  EXPECT_LE(policy.beta(), 1000.0);
+  BufferPolicy slow(params);
+  slow.OnFlush(1, NowMicros() + 100000000);
+  EXPECT_GE(slow.beta(), 8.0);
+}
+
+TEST(CombiningBuffer, CombinesPerKeyMin) {
+  CombiningBuffer buffer(AggKind::kMin);
+  buffer.Add(7, 5.0);
+  buffer.Add(7, 3.0);
+  buffer.Add(7, 9.0);
+  buffer.Add(8, 1.0);
+  EXPECT_EQ(buffer.size(), 2u);
+  auto batch = buffer.Drain();
+  EXPECT_TRUE(buffer.empty());
+  double v7 = -1;
+  for (const Update& u : batch) {
+    if (u.key == 7) v7 = u.value;
+  }
+  EXPECT_DOUBLE_EQ(v7, 3.0);
+}
+
+TEST(CombiningBuffer, CombinesPerKeySum) {
+  CombiningBuffer buffer(AggKind::kSum);
+  buffer.Add(1, 0.5);
+  buffer.Add(1, 0.25);
+  auto batch = buffer.Drain();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch[0].value, 0.75);
+}
+
+TEST(CombiningBuffer, MaxKeepsLargest) {
+  CombiningBuffer buffer(AggKind::kMax);
+  buffer.Add(1, 0.5);
+  buffer.Add(1, 2.0);
+  buffer.Add(1, 1.0);
+  auto batch = buffer.Drain();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch[0].value, 2.0);
+}
+
+TEST(SerializeUpdates, RoundTrip) {
+  UpdateBatch batch{{1, 0.5}, {42, -3.25}, {7, 1e9}};
+  std::vector<uint8_t> buf;
+  SerializeUpdates(batch, &buf);
+  auto parsed = DeserializeUpdates(buf.data(), buf.size());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1].key, 42u);
+  EXPECT_DOUBLE_EQ((*parsed)[1].value, -3.25);
+}
+
+TEST(SerializeUpdates, TruncationDetected) {
+  UpdateBatch batch{{1, 0.5}};
+  std::vector<uint8_t> buf;
+  SerializeUpdates(batch, &buf);
+  EXPECT_FALSE(DeserializeUpdates(buf.data(), 4).ok());
+  EXPECT_FALSE(DeserializeUpdates(buf.data(), buf.size() - 1).ok());
+}
+
+}  // namespace
+}  // namespace powerlog::runtime

@@ -1,0 +1,94 @@
+// Table 1 reproduction: the automatic condition checker's verdict for all
+// fourteen catalog programs, plus provenance checks on the reports.
+#include <gtest/gtest.h>
+
+#include "checker/mra_checker.h"
+#include "datalog/catalog.h"
+
+namespace powerlog::checker {
+namespace {
+
+using datalog::CatalogEntry;
+using datalog::ProgramCatalog;
+
+class CatalogCheckerTest : public ::testing::TestWithParam<CatalogEntry> {};
+
+TEST_P(CatalogCheckerTest, VerdictMatchesTable1) {
+  const CatalogEntry& entry = GetParam();
+  auto result = CheckMraConditionsFromSource(entry.source);
+  ASSERT_TRUE(result.ok()) << entry.name << ": " << result.status().ToString();
+  EXPECT_EQ(result->satisfied, entry.expected_mra_sat) << result->report;
+  // Verdicts must be decisive for the catalog (no "unknown" hedging).
+  EXPECT_FALSE(result->inconclusive) << result->report;
+}
+
+TEST_P(CatalogCheckerTest, ReportMentionsBothProperties) {
+  const CatalogEntry& entry = GetParam();
+  auto result = CheckMraConditionsFromSource(entry.source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->report.find("Property 1"), std::string::npos);
+  EXPECT_NE(result->report.find("Property 2"), std::string::npos);
+  EXPECT_NE(result->report.find(entry.name), std::string::npos);
+}
+
+TEST_P(CatalogCheckerTest, SmtLibScriptIsEmitted) {
+  const CatalogEntry& entry = GetParam();
+  auto result = CheckMraConditionsFromSource(entry.source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->smtlib_script.find("(check-sat)"), std::string::npos);
+  EXPECT_NE(result->smtlib_script.find("(assert (not (forall"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CatalogCheckerTest,
+                         ::testing::ValuesIn(ProgramCatalog()),
+                         [](const ::testing::TestParamInfo<CatalogEntry>& info) {
+                           return info.param.name;
+                         });
+
+TEST(CatalogChecker, TwelvePassTwoFail) {
+  int pass = 0, fail = 0;
+  for (const auto& entry : ProgramCatalog()) {
+    auto result = CheckMraConditionsFromSource(entry.source);
+    ASSERT_TRUE(result.ok()) << entry.name;
+    (result->satisfied ? pass : fail)++;
+  }
+  EXPECT_EQ(pass, 12);
+  EXPECT_EQ(fail, 2);
+}
+
+TEST(CatalogChecker, FailuresCarryWitnesses) {
+  // GCN-Forward must fail Property 2 with a concrete relu counterexample.
+  auto gcn = datalog::GetCatalogEntry("gcn_forward");
+  ASSERT_TRUE(gcn.ok());
+  auto result = CheckMraConditionsFromSource(gcn->source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->property1.holds());
+  EXPECT_EQ(result->property2.verdict, smt::Verdict::kInvalid);
+  EXPECT_TRUE(result->property2.counterexample.has_value());
+
+  // CommNet must fail Property 1 (mean is not associative).
+  auto commnet = datalog::GetCatalogEntry("commnet");
+  ASSERT_TRUE(commnet.ok());
+  auto result2 = CheckMraConditionsFromSource(commnet->source);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_FALSE(result2->property1.holds());
+  EXPECT_EQ(result2->property1.associativity.verdict, smt::Verdict::kInvalid);
+  EXPECT_EQ(result2->property1.commutativity.verdict, smt::Verdict::kValid);
+}
+
+TEST(CatalogChecker, Property1PerAggregate) {
+  using datalog::AggKind;
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum, AggKind::kCount}) {
+    auto p1 = CheckProperty1(kind);
+    EXPECT_TRUE(p1.holds()) << datalog::AggKindName(kind);
+  }
+  EXPECT_FALSE(CheckProperty1(AggKind::kMean).holds());
+}
+
+TEST(CatalogChecker, CheckerErrorsOnBadSource) {
+  EXPECT_FALSE(CheckMraConditionsFromSource("not datalog").ok());
+  EXPECT_FALSE(CheckMraConditionsFromSource("f(X,v) :- X = 0, v = 1.").ok());
+}
+
+}  // namespace
+}  // namespace powerlog::checker

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "smt/counterexample.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(Counterexample, NoneForValidIdentity) {
+  // x + y == y + x
+  auto cx = FindCounterexample(Add(Var("x"), Var("y")), Add(Var("y"), Var("x")), {});
+  EXPECT_FALSE(cx.has_value());
+}
+
+TEST(Counterexample, FindsReluViolation) {
+  // relu(x + y) != relu(x) + relu(y)   (the GCN-Forward failure, §6.1)
+  auto lhs = Relu(Add(Var("x"), Var("y")));
+  auto rhs = Add(Relu(Var("x")), Relu(Var("y")));
+  auto cx = FindCounterexample(lhs, rhs, {});
+  ASSERT_TRUE(cx.has_value());
+  // The witness must actually violate the identity.
+  EXPECT_GT(std::abs(cx->lhs_value - cx->rhs_value), 1e-9);
+}
+
+TEST(Counterexample, FindsMeanAssociativityViolation) {
+  // mean(mean(a,b),c) != mean(a,mean(b,c))
+  auto mean = [](TermPtr a, TermPtr b) {
+    return Div(Add(std::move(a), std::move(b)), ConstInt(2));
+  };
+  auto lhs = mean(mean(Var("a"), Var("b")), Var("c"));
+  auto rhs = mean(Var("a"), mean(Var("b"), Var("c")));
+  auto cx = FindCounterexample(lhs, rhs, {});
+  ASSERT_TRUE(cx.has_value());
+}
+
+TEST(Counterexample, RespectsSignConstraints) {
+  // Under p > 0: p*x vs |p|*x are equal, so no counterexample may use p <= 0.
+  ConstraintSet cs;
+  cs.Assume("p", Sign::kPositive);
+  auto cx = FindCounterexample(Mul(Var("p"), Var("x")),
+                               Mul(Abs(Var("p")), Var("x")), cs);
+  EXPECT_FALSE(cx.has_value());
+  // Without the constraint the identity still holds; use min instead:
+  // min(p*a, p*b) == p*min(a,b) holds iff p >= 0.
+  auto lhs = Min(Mul(Var("p"), Var("a")), Mul(Var("p"), Var("b")));
+  auto rhs = Mul(Var("p"), Min(Var("a"), Var("b")));
+  EXPECT_TRUE(FindCounterexample(lhs, rhs, {}).has_value());
+  EXPECT_FALSE(FindCounterexample(lhs, rhs, cs).has_value());
+}
+
+TEST(Counterexample, ConstantFormulas) {
+  EXPECT_FALSE(FindCounterexample(ConstInt(2), ConstInt(2), {}).has_value());
+  auto cx = FindCounterexample(ConstInt(2), ConstInt(3), {});
+  ASSERT_TRUE(cx.has_value());
+  EXPECT_DOUBLE_EQ(cx->lhs_value, 2.0);
+  EXPECT_DOUBLE_EQ(cx->rhs_value, 3.0);
+}
+
+TEST(Counterexample, SkipsUndefinedPoints) {
+  // 1/x == 1/x is valid wherever defined; x=0 must not produce a spurious hit.
+  auto t = Div(ConstInt(1), Var("x"));
+  EXPECT_FALSE(FindCounterexample(t, t, {}).has_value());
+}
+
+TEST(Counterexample, WitnessIsReproducible) {
+  auto lhs = Mul(Var("x"), Var("x"));
+  auto rhs = Mul(ConstInt(2), Var("x"));
+  auto cx = FindCounterexample(lhs, rhs, {});
+  ASSERT_TRUE(cx.has_value());
+  auto lv = Evaluate(lhs, cx->assignment);
+  auto rv = Evaluate(rhs, cx->assignment);
+  ASSERT_TRUE(lv.ok());
+  ASSERT_TRUE(rv.ok());
+  EXPECT_DOUBLE_EQ(*lv, cx->lhs_value);
+  EXPECT_DOUBLE_EQ(*rv, cx->rhs_value);
+}
+
+TEST(Counterexample, ToStringMentionsAssignment) {
+  auto cx = FindCounterexample(Var("x"), Add(Var("x"), ConstInt(1)), {});
+  ASSERT_TRUE(cx.has_value());
+  EXPECT_NE(cx->ToString().find("x="), std::string::npos);
+}
+
+TEST(Counterexample, ManyVariablesFallBackToRandomSearch) {
+  // 7 variables exceeds the grid limit; random phase must still refute.
+  TermPtr lhs = ConstInt(0);
+  TermPtr rhs = ConstInt(0);
+  for (const char* v : {"a", "b", "c", "d", "e", "f", "g"}) {
+    lhs = Add(lhs, Var(v));
+    rhs = Add(rhs, Mul(Var(v), Var(v)));
+  }
+  EXPECT_TRUE(FindCounterexample(lhs, rhs, {}).has_value());
+}
+
+}  // namespace
+}  // namespace powerlog::smt

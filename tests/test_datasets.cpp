@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace powerlog {
+namespace {
+
+TEST(Datasets, SixEntriesInPaperOrder) {
+  const auto& names = DatasetNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "flickr");
+  EXPECT_EQ(names[1], "livej");
+  EXPECT_EQ(names[2], "orkut");
+  EXPECT_EQ(names[3], "web");
+  EXPECT_EQ(names[4], "wiki");
+  EXPECT_EQ(names[5], "arabic");
+}
+
+TEST(Datasets, MetadataMatchesTable2) {
+  auto livej = GetDatasetInfo("livej");
+  ASSERT_TRUE(livej.ok());
+  EXPECT_EQ(livej->paper_name, "LiveJournal");
+  EXPECT_EQ(livej->paper_vertices, 4847571u);
+  EXPECT_EQ(livej->paper_edges, 68475391u);
+  auto arabic = GetDatasetInfo("arabic");
+  ASSERT_TRUE(arabic.ok());
+  EXPECT_EQ(arabic->paper_edges, 639999458u);
+}
+
+TEST(Datasets, UnknownNameFails) {
+  EXPECT_TRUE(GetDatasetInfo("twitter").status().IsNotFound());
+  EXPECT_TRUE(GetDataset("twitter").status().IsNotFound());
+}
+
+TEST(Datasets, GraphsAreCachedAndWeighted) {
+  auto a = GetDataset("flickr");
+  ASSERT_TRUE(a.ok());
+  auto b = GetDataset("flickr");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // same cached pointer
+  const Graph& g = **a;
+  EXPECT_GT(g.num_vertices(), 10000u);
+  EXPECT_GT(g.num_edges(), g.num_vertices());
+  bool weighted = false;
+  for (const Edge& e : g.OutEdges(0)) {
+    if (e.weight != 1.0) weighted = true;
+  }
+  for (VertexId v = 0; v < 100 && !weighted; ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      if (e.weight != 1.0) weighted = true;
+    }
+  }
+  EXPECT_TRUE(weighted);
+}
+
+TEST(Datasets, RelativeSizesFollowTable2Ordering) {
+  auto orkut = GetDataset("orkut");
+  auto flickr = GetDataset("flickr");
+  ASSERT_TRUE(orkut.ok());
+  ASSERT_TRUE(flickr.ok());
+  // Orkut is the densest social network in Table 2.
+  EXPECT_GT((*orkut)->AverageDegree(), (*flickr)->AverageDegree());
+}
+
+TEST(Datasets, WebGraphsAreMoreSkewedThanWiki) {
+  auto web = GetDataset("web");
+  auto wiki = GetDataset("wiki");
+  ASSERT_TRUE(web.ok());
+  ASSERT_TRUE(wiki.ok());
+  const double web_skew = (*web)->MaxOutDegree() / (*web)->AverageDegree();
+  const double wiki_skew = (*wiki)->MaxOutDegree() / (*wiki)->AverageDegree();
+  EXPECT_GT(web_skew, wiki_skew);
+}
+
+TEST(Datasets, StochasticViewIsRowNormalised) {
+  auto g = GetDataset("flickr", /*stochastic=*/true);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < 200; ++v) {
+    double total = 0.0;
+    for (const Edge& e : (*g)->OutEdges(v)) {
+      EXPECT_GT(e.weight, 0.0);
+      EXPECT_LE(e.weight, 1.0);
+      total += e.weight;
+    }
+    if ((*g)->OutDegree(v) > 0) {
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Datasets, StochasticViewCachedSeparately) {
+  auto plain = GetDataset("flickr", false);
+  auto stochastic = GetDataset("flickr", true);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(stochastic.ok());
+  EXPECT_NE(*plain, *stochastic);
+  EXPECT_EQ((*plain)->num_edges(), (*stochastic)->num_edges());
+}
+
+TEST(Datasets, WikiHasTheLongDiameterAppendix) {
+  auto wiki = GetDataset("wiki");
+  ASSERT_TRUE(wiki.ok());
+  // The chain: last 1500 vertices form a path with out-degree <= 1.
+  const VertexId n = (*wiki)->num_vertices();
+  EXPECT_EQ(n, (1u << 16) + 1500u);
+  for (VertexId v = n - 1400; v + 1 < n; ++v) {
+    ASSERT_EQ((*wiki)->OutDegree(v), 1u);
+    EXPECT_EQ((*wiki)->OutBegin(v)[0].dst, v + 1);
+  }
+}
+
+TEST(Datasets, ClearCacheRegenerates) {
+  auto a = GetDataset("flickr");
+  ASSERT_TRUE(a.ok());
+  const auto edges = (*a)->num_edges();
+  ClearDatasetCache();
+  auto b = GetDataset("flickr");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->num_edges(), edges);  // deterministic regeneration
+}
+
+}  // namespace
+}  // namespace powerlog

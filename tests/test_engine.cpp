@@ -1,0 +1,379 @@
+// Theorem 3 property tests: every execution mode of the unified engine must
+// reach the same fixpoint as the single-node naive reference, for every
+// MRA-satisfying program, under real thread interleavings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/eval_common.h"
+#include "eval/naive.h"
+#include "runtime/engine.h"
+#include "test_util.h"
+
+namespace powerlog::runtime {
+namespace {
+
+using eval::MaxAbsDiff;
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallDag;
+using powerlog::testing::SmallWeightedGraph;
+
+struct EngineCase {
+  std::string program;
+  std::string graph;
+  ExecMode mode;
+  uint32_t workers;
+  double tolerance;
+};
+
+Graph GraphByName(const std::string& name) {
+  if (name == "dag") return SmallDag();
+  if (name == "grid") return GenerateGrid(8, /*weighted=*/true, 9);
+  if (name == "star") return GenerateStar(64);
+  return SmallWeightedGraph();
+}
+
+class EngineModesTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineModesTest, MatchesNaiveReference) {
+  const auto& param = GetParam();
+  Kernel k = MustCompile(param.program);
+  Graph g = GraphByName(param.graph);
+
+  eval::EvalOptions ref_options;
+  ref_options.max_iterations = 2000;
+  if (k.agg == AggKind::kSum || k.agg == AggKind::kCount) {
+    ref_options.epsilon_override = 1e-9;  // run the reference close to X*
+  }
+  auto reference = eval::NaiveEvaluate(k, g, ref_options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  EngineOptions options;
+  options.mode = param.mode;
+  options.num_workers = param.workers;
+  options.network.instant = true;  // correctness tests: no simulated latency
+  options.max_wall_seconds = 30.0;
+  if (k.agg == AggKind::kSum || k.agg == AggKind::kCount) {
+    options.epsilon_override = 1e-7;
+  }
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), param.tolerance)
+      << ExecModeName(param.mode) << " stats: " << run->stats.Summary();
+  EXPECT_TRUE(run->stats.converged) << run->stats.Summary();
+}
+
+std::vector<EngineCase> AllModeCases() {
+  std::vector<EngineCase> cases;
+  const struct {
+    const char* program;
+    const char* graph;
+    double tol;
+  } programs[] = {
+      {"sssp", "rand", 1e-12}, {"sssp", "grid", 1e-12}, {"cc", "rand", 1e-12},
+      {"cc", "star", 1e-12},   {"pagerank", "rand", 2e-2}, {"adsorption", "rand", 1e-2},
+      {"bp", "rand", 1e-2},    {"viterbi", "dag", 1e-12},  {"paths_dag", "dag", 1e-9},
+      {"katz", "dag", 1e-4},
+  };
+  for (const auto& p : programs) {
+    for (ExecMode mode :
+         {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap, ExecMode::kSyncAsync}) {
+      for (uint32_t workers : {1u, 4u}) {
+        cases.push_back(EngineCase{p.program, p.graph, mode, workers, p.tol});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, EngineModesTest, ::testing::ValuesIn(AllModeCases()),
+                         [](const ::testing::TestParamInfo<EngineCase>& info) {
+                           std::string name = info.param.program + "_" +
+                                              info.param.graph + "_" +
+                                              ExecModeName(info.param.mode) + "_w" +
+                                              std::to_string(info.param.workers);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Engine, SyncIsDeterministicForMinPrograms) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(11);
+  EngineOptions options;
+  options.mode = ExecMode::kSync;
+  options.num_workers = 4;
+  options.network.instant = true;
+  Engine engine(g, k, options);
+  auto a = engine.Run();
+  auto b = engine.Run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->values, b->values);
+}
+
+TEST(Engine, RejectsMeanPrograms) {
+  Kernel k = MustCompile("commnet");
+  auto g = GeneratePath(4);
+  EngineOptions options;
+  Engine engine(g, k, options);
+  EXPECT_TRUE(engine.Run().status().IsConditionViolated());
+}
+
+TEST(Engine, RejectsEmptyGraphAndZeroWorkers) {
+  Kernel k = MustCompile("sssp");
+  Graph empty;
+  EngineOptions options;
+  EXPECT_FALSE(Engine(empty, k, options).Run().ok());
+  auto g = GeneratePath(3);
+  options.num_workers = 0;
+  EXPECT_FALSE(Engine(g, k, options).Run().ok());
+}
+
+TEST(Engine, WallClockCapStopsNonConvergentProgram) {
+  // A unit-gain circulating sum on a cycle: the delta mass is conserved
+  // forever (no decay, no underflow), there is no epsilon clause, so only
+  // the wall-clock cap can stop the async engine.
+  auto kernel = BuildKernelFromSource(
+      "seed(X,c) :- X = 0, c = 1.\n"
+      "loop(Y,sum[c1]) :- seed(Y,c2), c1 = c2;\n"
+      "              :- loop(X,c), edge(X,Y), c1 = c.");
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  auto g = GenerateCycle(16);
+  EngineOptions options;
+  options.mode = ExecMode::kSyncAsync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.max_wall_seconds = 0.3;
+  Engine engine(g, *kernel, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->stats.converged);
+  EXPECT_GE(run->stats.wall_seconds, 0.3);
+  EXPECT_LT(run->stats.wall_seconds, 5.0);
+}
+
+TEST(Engine, SuperstepCapStopsSyncMode) {
+  // Unit-gain circulating sum: never converges, so only the cap stops it.
+  auto kernel = BuildKernelFromSource(
+      "seed(X,c) :- X = 0, c = 1.\n"
+      "loop(Y,sum[c1]) :- seed(Y,c2), c1 = c2;\n"
+      "              :- loop(X,c), edge(X,Y), c1 = c.");
+  ASSERT_TRUE(kernel.ok());
+  Kernel k = std::move(kernel).ValueOrDie();
+  auto g = GenerateCycle(12);
+  EngineOptions options;
+  options.mode = ExecMode::kSync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.max_supersteps = 7;
+  options.barrier_overhead_us = 0;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.supersteps, 7);
+  EXPECT_FALSE(run->stats.converged);
+}
+
+TEST(Engine, StatsAreConsistent) {
+  Kernel k = MustCompile("cc");
+  auto g = SmallWeightedGraph(3);
+  EngineOptions options;
+  options.mode = ExecMode::kSyncAsync;
+  options.num_workers = 3;
+  options.network.instant = true;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->stats.harvests, 0);
+  EXPECT_GT(run->stats.edge_applications, 0);
+  EXPECT_GE(run->stats.updates_sent, 0);
+  EXPECT_GT(run->stats.wall_seconds, 0.0);
+  EXPECT_NE(run->stats.Summary().find("harvests="), std::string::npos);
+}
+
+TEST(Engine, TraceRecordsConvergence) {
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(101);
+  EngineOptions options;
+  options.mode = ExecMode::kSync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  options.record_trace = true;
+  options.epsilon_override = 1e-7;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  ASSERT_GT(run->trace.size(), 3u);
+  // Time is monotone and the pending mass shrinks overall.
+  for (size_t i = 1; i < run->trace.size(); ++i) {
+    EXPECT_GE(run->trace[i].seconds, run->trace[i - 1].seconds);
+  }
+  EXPECT_LT(run->trace.back().pending_mass, run->trace.front().pending_mass);
+  // Off by default.
+  options.record_trace = false;
+  Engine engine2(g, k, options);
+  auto run2 = engine2.Run();
+  ASSERT_TRUE(run2.ok());
+  EXPECT_TRUE(run2->trace.empty());
+}
+
+TEST(Engine, SingleWorkerNeedsNoMessages) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(5);
+  EngineOptions options;
+  options.mode = ExecMode::kSyncAsync;
+  options.num_workers = 1;
+  options.network.instant = true;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.messages, 0);
+}
+
+TEST(Engine, DeltaSteppingMatchesExactSssp) {
+  Kernel k = MustCompile("sssp");
+  auto g = GenerateGrid(9, /*weighted=*/true, 21);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  EngineOptions options;
+  options.mode = ExecMode::kSync;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.delta_stepping = 4.0;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-12)
+      << run->stats.Summary();
+  EXPECT_TRUE(run->stats.converged);
+}
+
+TEST(Engine, AdaptivePriorityStillConverges) {
+  // §5.4 adaptive priority must not change the fixpoint.
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(83);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  EngineOptions options;
+  options.mode = ExecMode::kSyncAsync;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.adaptive_priority = true;
+  options.epsilon_override = 1e-7;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 5e-2)
+      << run->stats.Summary();
+}
+
+TEST(Engine, StallNoiseDoesNotChangeResults) {
+  // Environment stalls slow execution but never affect the fixpoint.
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(89);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  for (ExecMode mode : {ExecMode::kSync, ExecMode::kSyncAsync}) {
+    EngineOptions options;
+    options.mode = mode;
+    options.num_workers = 3;
+    options.network.instant = true;
+    options.stall_every_us = 500;
+    options.stall_mean_us = 200;
+    Engine engine(g, k, options);
+    auto run = engine.Run();
+    ASSERT_TRUE(run.ok()) << ExecModeName(mode);
+    EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-12)
+        << ExecModeName(mode);
+  }
+}
+
+TEST(Engine, ComputeInflationSlowsButStaysCorrect) {
+  Kernel k = MustCompile("cc");
+  auto g = SmallWeightedGraph(97);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  EngineOptions options;
+  options.mode = ExecMode::kSync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  Engine fast_engine(g, k, options);
+  auto fast = fast_engine.Run();
+  ASSERT_TRUE(fast.ok());
+  options.compute_inflation_ns_per_edge = 5000.0;  // 5us/edge: very slow
+  Engine slow_engine(g, k, options);
+  auto slow = slow_engine.Run();
+  ASSERT_TRUE(slow.ok());
+  EXPECT_LE(MaxAbsDiff(reference->values, slow->values), 1e-12);
+  // The inflated run must burn at least half its nominal sleep debt
+  // (deterministic lower bound — comparing against the fast run's wall time
+  // is flaky on loaded single-core hosts).
+  const double debt_seconds =
+      static_cast<double>(slow->stats.edge_applications) * 5000.0 * 1e-9 /
+      options.num_workers;
+  EXPECT_GT(slow->stats.wall_seconds, 0.5 * debt_seconds)
+      << slow->stats.Summary();
+}
+
+TEST(Engine, PriorityThresholdStillConverges) {
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(13);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  EngineOptions options;
+  options.mode = ExecMode::kSyncAsync;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.priority_threshold = 1e-3;
+  options.epsilon_override = 1e-6;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 5e-2)
+      << run->stats.Summary();
+}
+
+TEST(Engine, RangePartitionAlsoCorrect) {
+  Kernel k = MustCompile("cc");
+  auto g = SmallWeightedGraph(17);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  EngineOptions options;
+  options.mode = ExecMode::kAsync;
+  options.num_workers = 4;
+  options.network.instant = true;
+  options.partition = Partitioner::Kind::kRange;
+  Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-12);
+}
+
+TEST(Engine, SimulatedLatencyStillCorrect) {
+  // With real (non-instant) delivery delays the fixpoint must not change.
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(19);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  for (ExecMode mode : {ExecMode::kSync, ExecMode::kAsync, ExecMode::kSyncAsync}) {
+    EngineOptions options;
+    options.mode = mode;
+    options.num_workers = 4;
+    options.network.latency_us = 300;
+    options.network.per_update_us = 0.1;
+    options.barrier_overhead_us = 100;
+    Engine engine(g, k, options);
+    auto run = engine.Run();
+    ASSERT_TRUE(run.ok()) << ExecModeName(mode);
+    EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-12)
+        << ExecModeName(mode);
+  }
+}
+
+}  // namespace
+}  // namespace powerlog::runtime

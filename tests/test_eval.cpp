@@ -1,0 +1,218 @@
+// Theorem 1 property tests: MRA evaluation must produce the same result as
+// naive evaluation for every catalog program that passes the condition
+// check, across graph shapes; semi-naive agrees on monotonic programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/mra.h"
+#include "eval/naive.h"
+#include "eval/semi_naive.h"
+#include "test_util.h"
+
+namespace powerlog::eval {
+namespace {
+
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallDag;
+using powerlog::testing::SmallWeightedGraph;
+
+Graph GraphByName(const std::string& name) {
+  if (name == "dag") return SmallDag();
+  if (name == "path") return GeneratePath(30, 1.0);
+  if (name == "cycle") return GenerateCycle(24, 1.0);
+  if (name == "grid") return GenerateGrid(7, /*weighted=*/false);
+  if (name == "star") return GenerateStar(40);
+  return SmallWeightedGraph();
+}
+
+struct EvalCase {
+  std::string program;
+  std::string graph;
+  double tolerance;
+};
+
+class MraVsNaiveTest : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(MraVsNaiveTest, SameFixpoint) {
+  const auto& param = GetParam();
+  Kernel k = MustCompile(param.program);
+  Graph g = GraphByName(param.graph);
+  EvalOptions options;
+  options.max_iterations = 2000;
+  auto naive = NaiveEvaluate(k, g, options);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  auto mra = MraEvaluate(k, g, options);
+  ASSERT_TRUE(mra.ok()) << mra.status().ToString();
+  EXPECT_LE(MaxAbsDiff(naive->values, mra->values), param.tolerance)
+      << "naive " << naive->Summary() << " vs mra " << mra->Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, MraVsNaiveTest,
+    ::testing::Values(
+        EvalCase{"sssp", "rand", 0.0}, EvalCase{"sssp", "grid", 0.0},
+        EvalCase{"sssp", "path", 0.0}, EvalCase{"sssp", "dag", 0.0},
+        EvalCase{"cc", "rand", 0.0}, EvalCase{"cc", "cycle", 0.0},
+        EvalCase{"cc", "star", 0.0}, EvalCase{"pagerank", "rand", 1e-2},
+        EvalCase{"pagerank", "grid", 1e-3}, EvalCase{"adsorption", "rand", 1e-2},
+        EvalCase{"katz", "dag", 1e-6}, EvalCase{"bp", "rand", 1e-2},
+        EvalCase{"paths_dag", "dag", 0.0}, EvalCase{"cost", "dag", 1e-9},
+        EvalCase{"viterbi", "dag", 0.0}, EvalCase{"viterbi", "rand", 1e-12},
+        EvalCase{"lca", "dag", 0.0}, EvalCase{"apsp", "rand", 0.0},
+        EvalCase{"simrank", "rand", 1e-2}),
+    [](const ::testing::TestParamInfo<EvalCase>& info) {
+      return info.param.program + "_" + info.param.graph;
+    });
+
+class SemiNaiveTest : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(SemiNaiveTest, AgreesWithNaiveOnMonotonic) {
+  const auto& param = GetParam();
+  Kernel k = MustCompile(param.program);
+  Graph g = GraphByName(param.graph);
+  auto naive = NaiveEvaluate(k, g);
+  ASSERT_TRUE(naive.ok());
+  auto semi = SemiNaiveEvaluate(k, g);
+  ASSERT_TRUE(semi.ok()) << semi.status().ToString();
+  EXPECT_LE(MaxAbsDiff(naive->values, semi->values), param.tolerance);
+  // Semi-naive must do no more edge work than naive on these graphs.
+  EXPECT_LE(semi->edge_applications, naive->edge_applications);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Monotonic, SemiNaiveTest,
+    ::testing::Values(EvalCase{"sssp", "rand", 0.0}, EvalCase{"sssp", "grid", 0.0},
+                      EvalCase{"cc", "rand", 0.0}, EvalCase{"cc", "star", 0.0},
+                      EvalCase{"viterbi", "dag", 0.0}),
+    [](const ::testing::TestParamInfo<EvalCase>& info) {
+      return info.param.program + "_" + info.param.graph;
+    });
+
+TEST(SemiNaive, RejectsNonMonotonic) {
+  Kernel k = MustCompile("pagerank");
+  auto g = GeneratePath(5);
+  EXPECT_TRUE(SemiNaiveEvaluate(k, g).status().IsConditionViolated());
+}
+
+TEST(Mra, RejectsMean) {
+  Kernel k = MustCompile("commnet");
+  auto g = GeneratePath(5);
+  EXPECT_TRUE(MraEvaluate(k, g).status().IsConditionViolated());
+}
+
+TEST(Naive, HandlesMeanPrograms) {
+  Kernel k = MustCompile("commnet");
+  auto g = GeneratePath(4);  // 0 -> 1 -> 2 -> 3
+  auto r = NaiveEvaluate(k, g);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // mean over a single in-neighbor halves the value each step; with
+  // @maxiters 20 everything attenuates from the all-ones init.
+  EXPECT_EQ(r->values.size(), 4u);
+}
+
+TEST(Naive, SsspExactDistancesOnPath) {
+  Kernel k = MustCompile("sssp");
+  auto g = GeneratePath(6, 2.0);
+  auto r = NaiveEvaluate(k, g);
+  ASSERT_TRUE(r.ok());
+  for (VertexId v = 0; v < 6; ++v) EXPECT_DOUBLE_EQ(r->values[v], 2.0 * v);
+  EXPECT_TRUE(r->converged);
+}
+
+TEST(Naive, SsspUnreachableStaysInfinite) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 1.0);
+  b.EnsureVertices(3);  // vertex 2 unreachable
+  auto g = std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+  Kernel k = MustCompile("sssp");
+  auto r = NaiveEvaluate(k, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isinf(r->values[2]));
+}
+
+TEST(Naive, CcLabelsEqualMinReachableAncestor) {
+  // Star: hub 0 propagates its id to every spoke.
+  auto g = GenerateStar(10);
+  Kernel k = MustCompile("cc");
+  auto r = NaiveEvaluate(k, g);
+  ASSERT_TRUE(r.ok());
+  for (VertexId v = 0; v < 10; ++v) EXPECT_DOUBLE_EQ(r->values[v], 0.0);
+}
+
+TEST(Naive, PageRankMassIsConserved) {
+  // On a cycle every vertex has in-degree 1 = out-degree 1, so the fixpoint
+  // is exactly 1 per vertex (0.15 / (1 - 0.85)).
+  auto g = GenerateCycle(10);
+  Kernel k = MustCompile("pagerank");
+  EvalOptions options;
+  options.epsilon_override = 1e-12;
+  auto r = NaiveEvaluate(k, g, options);
+  ASSERT_TRUE(r.ok());
+  for (VertexId v = 0; v < 10; ++v) EXPECT_NEAR(r->values[v], 1.0, 1e-9);
+}
+
+TEST(Mra, PageRankMatchesClosedFormOnCycle) {
+  auto g = GenerateCycle(8);
+  Kernel k = MustCompile("pagerank");
+  EvalOptions options;
+  options.epsilon_override = 1e-12;
+  auto r = MraEvaluate(k, g, options);
+  ASSERT_TRUE(r.ok());
+  for (VertexId v = 0; v < 8; ++v) EXPECT_NEAR(r->values[v], 1.0, 1e-9);
+}
+
+TEST(Mra, PathsDagCountsBinomials) {
+  // Diamond ladder: 0->1, 0->2, 1->3, 2->3: 2 paths into 3.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  auto g = std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+  Kernel k = MustCompile("paths_dag");
+  auto r = MraEvaluate(k, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->values[0], 1.0);
+  EXPECT_DOUBLE_EQ(r->values[1], 1.0);
+  EXPECT_DOUBLE_EQ(r->values[2], 1.0);
+  EXPECT_DOUBLE_EQ(r->values[3], 2.0);
+}
+
+TEST(Mra, DoesLessWorkThanNaiveOnSssp) {
+  auto g = SmallWeightedGraph();
+  Kernel k = MustCompile("sssp");
+  auto naive = NaiveEvaluate(k, g);
+  auto mra = MraEvaluate(k, g);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(mra.ok());
+  EXPECT_LT(mra->edge_applications, naive->edge_applications);
+}
+
+TEST(Eval, IterationCapStopsDivergentProgram) {
+  // A Katz-style program whose damping exceeds 1/λmax diverges on a dense
+  // graph; the iteration cap must stop it.
+  auto kernel = BuildKernelFromSource(
+      "I(X,k) :- X = 0, k = 1.\n"
+      "K(i+1,y,sum[k1]) :- I(y,j), k1 = j;\n"
+      "                 :- K(i,x,k), edge(x,y), k1 = 0.5*k.");
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  auto g = GenerateComplete(12);
+  EvalOptions options;
+  options.max_iterations = 25;
+  auto r = MraEvaluate(*kernel, g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->converged);
+  EXPECT_EQ(r->iterations, 25);
+}
+
+TEST(Eval, MaxAbsDiffHelpers) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(MaxAbsDiff({1, 2}, {1, 2.5}), 0.5);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff({inf}, {inf}), 0.0);
+  EXPECT_DOUBLE_EQ(SumAbsDiff({1, 2}, {0, 4}), 3.0);
+  EXPECT_TRUE(std::isinf(SumAbsDiff({1}, {1, 2})));
+}
+
+}  // namespace
+}  // namespace powerlog::eval

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datalog/expr_compiler.h"
+#include "datalog/parser.h"
+
+namespace powerlog::datalog {
+namespace {
+
+ExprPtr ParseExprVia(const std::string& expr_text) {
+  // Reuse the rule parser: wrap the expression in an assignment literal.
+  auto p = Parse("f(Y,sum[r]) :- f(X,x), edge(X,Y,w), r = " + expr_text + ".");
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p->rules[0].bodies[0].literals[2].rhs;
+}
+
+CompileEnv BasicEnv() {
+  CompileEnv env;
+  env.input_var = "x";
+  env.weight_var = "w";
+  env.degree_var = "deg";
+  env.const_bindings["p"] = 0.5;
+  return env;
+}
+
+TEST(CompiledExpr, Arithmetic) {
+  auto c = CompileExpr(ParseExprVia("0.85*x/deg + w"), BasicEnv());
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_DOUBLE_EQ(c->Eval(2.0, 3.0, 4.0), 0.85 * 2.0 / 4.0 + 3.0);
+}
+
+TEST(CompiledExpr, ConstantsFolded) {
+  auto c = CompileExpr(ParseExprVia("x*p"), BasicEnv());
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->Eval(4.0, 0.0, 0.0), 2.0);
+}
+
+TEST(CompiledExpr, ReluAbsMinMax) {
+  auto env = BasicEnv();
+  auto relu = CompileExpr(ParseExprVia("relu(x - w)"), env);
+  ASSERT_TRUE(relu.ok());
+  EXPECT_DOUBLE_EQ(relu->Eval(5.0, 2.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(relu->Eval(1.0, 2.0, 0.0), 0.0);
+  auto abs = CompileExpr(ParseExprVia("abs(x)"), env);
+  ASSERT_TRUE(abs.ok());
+  EXPECT_DOUBLE_EQ(abs->Eval(-2.5, 0, 0), 2.5);
+  auto mn = CompileExpr(ParseExprVia("min(x, w)"), env);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_DOUBLE_EQ(mn->Eval(1.0, 7.0, 0), 1.0);
+  auto mx = CompileExpr(ParseExprVia("max(x, w)"), env);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_DOUBLE_EQ(mx->Eval(1.0, 7.0, 0), 7.0);
+}
+
+TEST(CompiledExpr, UnaryMinus) {
+  auto c = CompileExpr(ParseExprVia("-x"), BasicEnv());
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->Eval(3.0, 0, 0), -3.0);
+}
+
+TEST(CompiledExpr, UnboundVariableFails) {
+  auto c = CompileExpr(ParseExprVia("x * unknown_symbol"), BasicEnv());
+  EXPECT_TRUE(c.status().IsInvalidArgument());
+}
+
+TEST(CompiledExpr, UnknownFunctionFails) {
+  auto c = CompileExpr(ParseExprVia("sigmoid(x)"), BasicEnv());
+  EXPECT_TRUE(c.status().IsNotSupported());
+}
+
+TEST(CompiledExpr, DisassembleListsInstructions) {
+  auto c = CompileExpr(ParseExprVia("x + w"), BasicEnv());
+  ASSERT_TRUE(c.ok());
+  const std::string dis = c->Disassemble();
+  EXPECT_NE(dis.find("push x"), std::string::npos);
+  EXPECT_NE(dis.find("push w"), std::string::npos);
+  EXPECT_NE(dis.find("add"), std::string::npos);
+}
+
+TEST(ExprToTerm, RenamesVariables) {
+  auto t = ExprToTerm(ParseExprVia("0.85*x/deg"), {{"x", "v"}});
+  ASSERT_TRUE(t.ok());
+  auto vars = smt::CollectVars(*t);
+  EXPECT_EQ(vars, (std::vector<std::string>{"deg", "v"}));
+}
+
+TEST(ExprToTerm, ExactRationalConstants) {
+  auto t = ExprToTerm(ParseExprVia("0.85*x"), {});
+  ASSERT_TRUE(t.ok());
+  // 0.85 must be exactly 17/20, not a float approximation.
+  const smt::Term& mul = **t;
+  ASSERT_EQ(mul.op, smt::Op::kMul);
+  EXPECT_EQ(mul.args[0]->value, smt::Rational(17, 20));
+}
+
+TEST(ExprToTerm, CallsMapToTermOps) {
+  auto t = ExprToTerm(ParseExprVia("relu(min(x, w))"), {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->op, smt::Op::kRelu);
+  EXPECT_EQ((*t)->args[0]->op, smt::Op::kMin);
+}
+
+TEST(EvalConstExpr, FoldsWithBindings) {
+  auto v = EvalConstExpr(ParseExprVia("2*p + 1"), {{"p", 0.25}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 1.5);
+}
+
+TEST(EvalConstExpr, ErrorsOnUnbound) {
+  EXPECT_TRUE(EvalConstExpr(ParseExprVia("q + 1"), {}).status().IsNotFound());
+}
+
+TEST(EvalConstExpr, DivisionByZero) {
+  EXPECT_FALSE(EvalConstExpr(ParseExprVia("1/0"), {}).ok());
+}
+
+TEST(CompiledExpr, CompiledMatchesTermEvaluation) {
+  // Property: for a family of expressions, the VM and the SMT-term
+  // evaluation agree on random inputs.
+  const char* exprs[] = {"x + w", "0.85*x/deg", "relu(x - 1)*w", "min(x, w) + deg",
+                         "x*p + w*p"};
+  Rng rng(55);
+  for (const char* text : exprs) {
+    auto expr = ParseExprVia(text);
+    auto compiled = CompileExpr(expr, BasicEnv());
+    ASSERT_TRUE(compiled.ok()) << text;
+    auto term = ExprToTerm(expr, {});
+    ASSERT_TRUE(term.ok()) << text;
+    for (int i = 0; i < 25; ++i) {
+      const double x = rng.NextDouble(-4, 4);
+      const double w = rng.NextDouble(0.1, 4);
+      const double deg = rng.NextDouble(1, 8);
+      std::map<std::string, double> env{
+          {"x", x}, {"w", w}, {"deg", deg}, {"p", 0.5}};
+      auto ref = smt::Evaluate(*term, env);
+      ASSERT_TRUE(ref.ok()) << text;
+      EXPECT_NEAR(compiled->Eval(x, w, deg), *ref, 1e-12) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerlog::datalog

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/partition.h"
+
+namespace powerlog {
+namespace {
+
+TEST(GraphBuilder, BuildsCsr) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(0, 2, 3.0);
+  b.AddEdge(2, 1, 1.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->OutDegree(1), 0u);
+  EXPECT_EQ(g->OutDegree(2), 1u);
+  EXPECT_EQ(g->OutBegin(0)[0].dst, 1u);
+  EXPECT_DOUBLE_EQ(g->OutBegin(0)[0].weight, 2.0);
+}
+
+TEST(GraphBuilder, EdgesSortedByDst) {
+  GraphBuilder b;
+  b.AddEdge(0, 5);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 9);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->OutBegin(0)[0].dst, 2u);
+  EXPECT_EQ(g->OutBegin(0)[1].dst, 5u);
+  EXPECT_EQ(g->OutBegin(0)[2].dst, 9u);
+}
+
+TEST(GraphBuilder, DedupKeepsMinWeight) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 5.0);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(0, 1, 9.0);
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  auto g = std::move(b).Build(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g->OutBegin(0)[0].weight, 2.0);
+}
+
+TEST(GraphBuilder, RemoveSelfLoops) {
+  GraphBuilder b;
+  b.AddEdge(1, 1);
+  b.AddEdge(1, 2);
+  GraphBuilder::Options opts;
+  opts.remove_self_loops = true;
+  auto g = std::move(b).Build(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphBuilder, Symmetrize) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 4.0);
+  GraphBuilder::Options opts;
+  opts.symmetrize = true;
+  auto g = std::move(b).Build(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->OutDegree(1), 1u);
+  EXPECT_EQ(g->OutBegin(1)[0].dst, 0u);
+}
+
+TEST(GraphBuilder, EnsureVerticesAddsIsolated) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureVertices(10);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 10u);
+  EXPECT_EQ(g->OutDegree(9), 0u);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(Graph, ReverseInvertsEdges) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.5);
+  b.AddEdge(0, 2, 1.5);
+  b.AddEdge(1, 2, 3.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  const Graph& r = g->Reverse();
+  EXPECT_EQ(r.num_edges(), 3u);
+  EXPECT_EQ(r.OutDegree(2), 2u);
+  EXPECT_EQ(r.OutDegree(0), 0u);
+  // Weight preserved through transposition.
+  bool found = false;
+  for (const Edge& e : r.OutEdges(1)) {
+    if (e.dst == 0) {
+      EXPECT_DOUBLE_EQ(e.weight, 2.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Graph, ReverseIsCached) {
+  auto g = GeneratePath(10);
+  const Graph* first = &g.Reverse();
+  EXPECT_TRUE(g.HasReverse());
+  EXPECT_EQ(first, &g.Reverse());
+}
+
+TEST(Graph, DoubleReverseRestoresEdgeCount) {
+  auto rmat = GenerateRmat({10, 4.0, 0.57, 0.19, 0.19, 0.05, false, 1, 64, 5});
+  ASSERT_TRUE(rmat.ok());
+  const Graph& rr = rmat->Reverse().Reverse();
+  EXPECT_EQ(rr.num_edges(), rmat->num_edges());
+  EXPECT_EQ(rr.num_vertices(), rmat->num_vertices());
+}
+
+TEST(Generators, PathShape) {
+  auto g = GeneratePath(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(4), 0u);
+}
+
+TEST(Generators, CycleShape) {
+  auto g = GenerateCycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.OutDegree(v), 1u);
+}
+
+TEST(Generators, GridShape) {
+  auto g = GenerateGrid(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 2u * 4 * 3);  // 12 right + 12 down
+}
+
+TEST(Generators, StarShape) {
+  auto g = GenerateStar(8);
+  EXPECT_EQ(g.OutDegree(0), 7u);
+  EXPECT_EQ(g.MaxOutDegree(), 7u);
+}
+
+TEST(Generators, CompleteShape) {
+  auto g = GenerateComplete(5);
+  EXPECT_EQ(g.num_edges(), 20u);
+}
+
+TEST(Generators, RandomTreeIsConnectedDag) {
+  auto g = GenerateRandomTree(50, 3);
+  EXPECT_EQ(g.num_edges(), 49u);
+  // Every vertex except the root has exactly one in-edge.
+  const Graph& r = g.Reverse();
+  EXPECT_EQ(r.OutDegree(0), 0u);
+  for (VertexId v = 1; v < 50; ++v) EXPECT_EQ(r.OutDegree(v), 1u);
+}
+
+TEST(Generators, RandomDagIsAcyclicByConstruction) {
+  auto g = GenerateRandomDag(30, 2.0, 5);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (const Edge& e : g->OutEdges(v)) EXPECT_GT(e.dst, v);
+  }
+}
+
+TEST(Generators, RmatDeterministicForSeed) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 4;
+  p.seed = 99;
+  auto a = GenerateRmat(p);
+  auto b = GenerateRmat(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+  EXPECT_EQ(a->offsets(), b->offsets());
+}
+
+TEST(Generators, RmatValidatesProbabilities) {
+  RmatParams p;
+  p.a = 0.9;
+  p.b = 0.9;
+  p.c = 0.0;
+  p.d = 0.0;
+  EXPECT_FALSE(GenerateRmat(p).ok());
+}
+
+TEST(Generators, RmatIsSkewed) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  p.seed = 4;
+  auto g = GenerateRmat(p);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->MaxOutDegree(), 4 * g->AverageDegree());
+}
+
+TEST(Generators, ErdosRenyiBasics) {
+  auto g = GenerateErdosRenyi(100, 500, 17);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 100u);
+  EXPECT_LE(g->num_edges(), 500u);  // dedup may drop a few
+  EXPECT_GT(g->num_edges(), 400u);
+  EXPECT_FALSE(GenerateErdosRenyi(1, 5, 2).ok());
+}
+
+TEST(Partitioner, HashCoversAllWorkersAndIsStable) {
+  Partitioner p(Partitioner::Kind::kHash, 1000, 4);
+  std::vector<int> counts(4, 0);
+  for (VertexId v = 0; v < 1000; ++v) {
+    const uint32_t w = p.WorkerOf(v);
+    ASSERT_LT(w, 4u);
+    ++counts[w];
+    EXPECT_EQ(p.WorkerOf(v), w);
+  }
+  for (int c : counts) EXPECT_GT(c, 150);  // roughly balanced
+}
+
+TEST(Partitioner, RangeIsContiguous) {
+  Partitioner p(Partitioner::Kind::kRange, 100, 4);
+  EXPECT_EQ(p.WorkerOf(0), 0u);
+  EXPECT_EQ(p.WorkerOf(99), 3u);
+  for (VertexId v = 1; v < 100; ++v) {
+    EXPECT_GE(p.WorkerOf(v), p.WorkerOf(v - 1));
+  }
+}
+
+TEST(Partitioner, OwnedVerticesPartitionTheSpace) {
+  Partitioner p(Partitioner::Kind::kHash, 200, 3);
+  size_t total = 0;
+  for (uint32_t w = 0; w < 3; ++w) {
+    auto owned = p.OwnedVertices(w);
+    EXPECT_EQ(owned.size(), p.OwnedCount(w));
+    total += owned.size();
+    for (VertexId v : owned) EXPECT_EQ(p.WorkerOf(v), w);
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(GraphIo, ParseEdgeListWithCommentsAndWeights) {
+  auto g = ParseEdgeList(
+      "# comment\n"
+      "% another\n"
+      "0 1 2.5\n"
+      "1 2\n"
+      "\n"
+      "2 0 1.0\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g->OutBegin(0)[0].weight, 2.5);
+  EXPECT_DOUBLE_EQ(g->OutBegin(1)[0].weight, 1.0);
+}
+
+TEST(GraphIo, ParseErrors) {
+  EXPECT_FALSE(ParseEdgeList("0\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 2 3\n").ok());
+  EXPECT_FALSE(ParseEdgeList("-1 2\n").ok());
+  EXPECT_FALSE(ParseEdgeList("a b\n").ok());
+}
+
+TEST(GraphIo, SaveLoadRoundTrip) {
+  auto g = GenerateGrid(3, /*weighted=*/true, 5);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "powerlog_io_test.el").string();
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadEdgeList("/nonexistent/powerlog.el").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace powerlog

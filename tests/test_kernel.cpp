@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "checker/initial_delta.h"
+#include "core/kernel.h"
+#include "datalog/catalog.h"
+#include "test_util.h"
+
+namespace powerlog {
+namespace {
+
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallDag;
+using powerlog::testing::SmallWeightedGraph;
+
+TEST(Kernel, BuildFromCatalogSssp) {
+  Kernel k = MustCompile("sssp");
+  EXPECT_EQ(k.agg, AggKind::kMin);
+  EXPECT_TRUE(k.uses_weights);
+  EXPECT_FALSE(k.uses_degree);
+  EXPECT_DOUBLE_EQ(k.EvalEdge(3.0, 2.0, 1.0), 5.0);
+}
+
+TEST(Kernel, BuildFromCatalogPageRank) {
+  Kernel k = MustCompile("pagerank");
+  EXPECT_EQ(k.agg, AggKind::kSum);
+  EXPECT_TRUE(k.uses_degree);
+  EXPECT_DOUBLE_EQ(k.EvalEdge(1.0, 0.0, 4.0), 0.85 / 4.0);
+}
+
+TEST(Kernel, BuildRejectsGarbage) {
+  EXPECT_FALSE(BuildKernelFromSource("nonsense !").ok());
+  EXPECT_FALSE(BuildKernelFromSource("f(X,v) :- X = 0, v = 1.").ok());
+}
+
+TEST(Kernel, ComputeX0SingleSource) {
+  Kernel k = MustCompile("sssp");
+  auto x0 = ComputeX0(k, 5);
+  ASSERT_TRUE(x0.ok());
+  EXPECT_DOUBLE_EQ((*x0)[0], 0.0);
+  for (int v = 1; v < 5; ++v) EXPECT_TRUE(std::isinf((*x0)[v]));
+}
+
+TEST(Kernel, ComputeX0OwnId) {
+  Kernel k = MustCompile("cc");
+  auto x0 = ComputeX0(k, 4);
+  ASSERT_TRUE(x0.ok());
+  for (int v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ((*x0)[v], v);
+}
+
+TEST(Kernel, ComputeX0SourceOutOfRange) {
+  Kernel k = MustCompile("sssp");
+  k.init.source = 100;
+  EXPECT_TRUE(ComputeX0(k, 5).status().IsOutOfRange());
+}
+
+TEST(Kernel, InitialStateSsspDeltaIsX1) {
+  // ΔX¹ = X¹ for min programs (§3.3): the source keeps distance 0 and its
+  // direct successors hold their edge weights.
+  Kernel k = MustCompile("sssp");
+  auto g = GeneratePath(4, 2.5);
+  auto init = ComputeInitialState(k, g);
+  ASSERT_TRUE(init.ok());
+  EXPECT_DOUBLE_EQ(init->delta0[0], 0.0);
+  EXPECT_DOUBLE_EQ(init->delta0[1], 2.5);
+  EXPECT_TRUE(std::isinf(init->delta0[2]));
+  EXPECT_TRUE(std::isinf(init->delta0[3]));
+}
+
+TEST(Kernel, InitialStatePageRankDeltaIsConstant) {
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph();
+  auto init = ComputeInitialState(k, g);
+  ASSERT_TRUE(init.ok());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(init->x0[v], 0.0);
+    EXPECT_DOUBLE_EQ(init->delta0[v], 0.15);
+  }
+}
+
+TEST(Kernel, InitialStateKatzSingleSeed) {
+  Kernel k = MustCompile("katz");
+  auto g = SmallWeightedGraph();
+  auto init = ComputeInitialState(k, g);
+  ASSERT_TRUE(init.ok());
+  EXPECT_DOUBLE_EQ(init->delta0[0], 10000.0);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(init->delta0[v], 0.0);
+  }
+}
+
+TEST(Kernel, InitialStateNonZeroX0Propagates) {
+  // A sum program whose init rule is iteration-indexed with nonzero value:
+  // ΔX¹ must equal F'(X⁰) + C − X⁰.
+  auto kernel = BuildKernelFromSource(
+      "@maxiters 50.\n"
+      "r(0,X,v) :- node(X), v = 2.\n"
+      "r(i+1,Y,sum[v1]) :- node(Y), v1 = 0.5;"
+      "                 :- r(i,X,v), edge(X,Y), v1 = 0.25*v.");
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  auto g = GeneratePath(3);  // 0 -> 1 -> 2
+  auto init = ComputeInitialState(*kernel, g);
+  ASSERT_TRUE(init.ok());
+  // Vertex 0: no in-edges: Δ = 0.5 - 2 = -1.5. Vertices 1,2: 0.25*2 + 0.5 - 2.
+  EXPECT_DOUBLE_EQ(init->delta0[0], -1.5);
+  EXPECT_DOUBLE_EQ(init->delta0[1], 0.5 + 0.5 - 2.0);
+  EXPECT_DOUBLE_EQ(init->delta0[2], 0.5 + 0.5 - 2.0);
+}
+
+TEST(Kernel, InitialStateNonIndexedSumInit) {
+  // A sum program whose init rule has no iteration index: the init facts are
+  // re-derived every iteration (part of C), so ΔX¹ = F'(X⁰) + C with no -X⁰
+  // term. Regression for a bug found by the checker-soundness fuzzer.
+  auto kernel = BuildKernelFromSource(
+      "p(X,v0) :- X = 0, v0 = 2.\n"
+      "p(Y,sum[v1]) :- p(X,v), edge(X,Y), v1 = 0.25*v; {sum[Δv] < 0.000001}.");
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  EXPECT_FALSE(kernel->init.iteration_indexed);
+  auto g = GeneratePath(3);  // 0 -> 1 -> 2
+  auto init = ComputeInitialState(*kernel, g);
+  ASSERT_TRUE(init.ok());
+  EXPECT_DOUBLE_EQ(init->delta0[0], 0.0);        // no in-edges, no C
+  EXPECT_DOUBLE_EQ(init->delta0[1], 0.25 * 2.0);  // F'(x0[0])
+  EXPECT_DOUBLE_EQ(init->delta0[2], 0.0);
+  auto report = checker::VerifyInitialDelta(*kernel, g);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent) << report->detail;
+}
+
+// ---------------------------------------------------------------------------
+// §3.3 invariant: X¹ == G(ΔX¹ ∪ X⁰) for every runnable catalog program, on
+// several graph shapes.
+// ---------------------------------------------------------------------------
+
+struct InitCase {
+  std::string program;
+  std::string graph;
+};
+
+class InitialDeltaTest : public ::testing::TestWithParam<InitCase> {};
+
+TEST_P(InitialDeltaTest, X1ConsistentWithDerivedDelta) {
+  const auto& param = GetParam();
+  Kernel k = MustCompile(param.program);
+  Graph g = param.graph == "dag" ? SmallDag() : SmallWeightedGraph();
+  auto report = checker::VerifyInitialDelta(k, g, 1e-9);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->consistent) << report->detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, InitialDeltaTest,
+    ::testing::Values(InitCase{"sssp", "rand"}, InitCase{"sssp", "dag"},
+                      InitCase{"cc", "rand"}, InitCase{"pagerank", "rand"},
+                      InitCase{"adsorption", "rand"}, InitCase{"katz", "dag"},
+                      InitCase{"bp", "rand"}, InitCase{"paths_dag", "dag"},
+                      InitCase{"cost", "dag"}, InitCase{"viterbi", "dag"},
+                      InitCase{"lca", "dag"}, InitCase{"apsp", "rand"},
+                      InitCase{"simrank", "rand"}),
+    [](const ::testing::TestParamInfo<InitCase>& info) {
+      return info.param.program + "_" + info.param.graph;
+    });
+
+}  // namespace
+}  // namespace powerlog

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "datalog/lexer.h"
+
+namespace powerlog::datalog {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  auto toks = Tokenize(src);
+  EXPECT_TRUE(toks.ok()) << toks.status().ToString();
+  std::vector<TokenKind> out;
+  for (const auto& t : *toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, RuleTokens) {
+  auto kinds = Kinds("sssp(X,d) :- X=1,d=0.");
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kIdent,
+                TokenKind::kComma, TokenKind::kIdent, TokenKind::kRParen,
+                TokenKind::kImplies, TokenKind::kIdent, TokenKind::kEquals,
+                TokenKind::kNumber, TokenKind::kComma, TokenKind::kIdent,
+                TokenKind::kEquals, TokenKind::kNumber, TokenKind::kDot,
+                TokenKind::kEof}));
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = Tokenize("0.85 1e-3 10000 0.0001");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "0.85");
+  EXPECT_EQ((*toks)[1].text, "1e-3");
+  EXPECT_EQ((*toks)[2].text, "10000");
+  EXPECT_EQ((*toks)[3].text, "0.0001");
+}
+
+TEST(Lexer, MiddleDotIsMultiplication) {
+  auto toks = Tokenize("0.85 · rx");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kStar);
+}
+
+TEST(Lexer, GreekDeltaInIdentifiers) {
+  auto toks = Tokenize("{sum[Δa] < 0.001}");
+  ASSERT_TRUE(toks.ok());
+  // tokens: { sum [ Δa ] < 0.001 }
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[3].text, "Δa");
+}
+
+TEST(Lexer, Comments) {
+  auto toks = Tokenize("a // comment here\n% also comment\nb");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);  // a, b, EOF
+  EXPECT_EQ((*toks)[0].text, "a");
+  EXPECT_EQ((*toks)[1].text, "b");
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto kinds = Kinds("< <= > >=");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kLess, TokenKind::kLessEq,
+                                           TokenKind::kGreater,
+                                           TokenKind::kGreaterEq, TokenKind::kEof}));
+}
+
+TEST(Lexer, UnderscoreIsWildcard) {
+  auto toks = Tokenize("edge(X,_)");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[4].kind, TokenKind::kUnderscore);
+}
+
+TEST(Lexer, UnderscorePrefixedIdentIsIdent) {
+  auto toks = Tokenize("_x1");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[0].text, "_x1");
+}
+
+TEST(Lexer, LineColumnTracking) {
+  auto toks = Tokenize("a\n  b");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[1].column, 3);
+}
+
+TEST(Lexer, RejectsLoneColon) {
+  auto r = Tokenize("a : b");
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(Lexer, RejectsUnknownPunct) {
+  EXPECT_TRUE(Tokenize("a ? b").status().IsParseError());
+}
+
+TEST(Lexer, AnnotationTokens) {
+  auto kinds = Kinds("@assume d > 0.");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kAt, TokenKind::kIdent,
+                                           TokenKind::kIdent, TokenKind::kGreater,
+                                           TokenKind::kNumber, TokenKind::kDot,
+                                           TokenKind::kEof}));
+}
+
+TEST(Lexer, EmptyInputJustEof) {
+  auto toks = Tokenize("");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 1u);
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace powerlog::datalog

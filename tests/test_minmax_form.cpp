@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "smt/minmax_form.h"
+
+namespace powerlog::smt {
+namespace {
+
+using Kind = MinMaxForm::Kind;
+
+TEST(MinMaxForm, AtomsNormaliseToPolynomials) {
+  ConstraintSet cs;
+  auto f = NormalizeMinMax(Add(Var("x"), ConstInt(1)), cs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind, Kind::kAtom);
+  EXPECT_EQ(f->elems.size(), 1u);
+}
+
+TEST(MinMaxForm, MinFlattens) {
+  ConstraintSet cs;
+  auto f = NormalizeMinMax(Min(Min(Var("a"), Var("b")), Var("c")), cs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind, Kind::kMin);
+  EXPECT_EQ(f->elems.size(), 3u);
+}
+
+TEST(MinMaxForm, MinOfEqualCollapsesToAtom) {
+  ConstraintSet cs;
+  auto f = NormalizeMinMax(Min(Var("a"), Var("a")), cs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind, Kind::kAtom);
+  auto atom = NormalizeMinMax(Var("a"), cs);
+  EXPECT_TRUE(*f == *atom);
+}
+
+TEST(MinMaxForm, AdditionDistributesOverMin) {
+  // min(a,b) + c == min(a+c, b+c)
+  ConstraintSet cs;
+  auto lhs = NormalizeMinMax(Add(Min(Var("a"), Var("b")), Var("c")), cs);
+  auto rhs = NormalizeMinMax(
+      Min(Add(Var("a"), Var("c")), Add(Var("b"), Var("c"))), cs);
+  ASSERT_TRUE(lhs.ok());
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(*lhs == *rhs);
+}
+
+TEST(MinMaxForm, MinPlusMinCrossProduct) {
+  // min(a,b) + min(c,d) has 4 elements.
+  ConstraintSet cs;
+  auto f = NormalizeMinMax(
+      Add(Min(Var("a"), Var("b")), Min(Var("c"), Var("d"))), cs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind, Kind::kMin);
+  EXPECT_EQ(f->elems.size(), 4u);
+}
+
+TEST(MinMaxForm, NegFlipsMinToMax) {
+  ConstraintSet cs;
+  auto lhs = NormalizeMinMax(Neg(Min(Var("a"), Var("b"))), cs);
+  auto rhs = NormalizeMinMax(Max(Neg(Var("a")), Neg(Var("b"))), cs);
+  ASSERT_TRUE(lhs.ok());
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(*lhs == *rhs);
+}
+
+TEST(MinMaxForm, PositiveScalePreservesKind) {
+  ConstraintSet cs;
+  cs.Assume("p", Sign::kPositive);
+  auto lhs = NormalizeMinMax(Mul(Min(Var("a"), Var("b")), Var("p")), cs);
+  auto rhs = NormalizeMinMax(
+      Min(Mul(Var("a"), Var("p")), Mul(Var("b"), Var("p"))), cs);
+  ASSERT_TRUE(lhs.ok()) << lhs.status().ToString();
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(*lhs == *rhs);
+  EXPECT_EQ(lhs->kind, Kind::kMin);
+}
+
+TEST(MinMaxForm, NegativeScaleFlipsKind) {
+  ConstraintSet cs;
+  auto f = NormalizeMinMax(Mul(Min(Var("a"), Var("b")), ConstInt(-2)), cs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind, Kind::kMax);
+}
+
+TEST(MinMaxForm, UnknownSignScaleFails) {
+  ConstraintSet cs;  // u unconstrained
+  auto f = NormalizeMinMax(Mul(Min(Var("a"), Var("b")), Var("u")), cs);
+  EXPECT_TRUE(f.status().IsNotSupported());
+}
+
+TEST(MinMaxForm, DivisionByPositiveSymbol) {
+  ConstraintSet cs;
+  cs.Assume("d", Sign::kPositive);
+  auto f = NormalizeMinMax(Div(Min(Var("a"), Var("b")), Var("d")), cs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind, Kind::kMin);
+  EXPECT_EQ(f->elems.size(), 2u);
+}
+
+TEST(MinMaxForm, MixedMinMaxNestingFails) {
+  ConstraintSet cs;
+  auto f = NormalizeMinMax(Min(Max(Var("a"), Var("b")), Var("c")), cs);
+  EXPECT_TRUE(f.status().IsNotSupported());
+}
+
+TEST(MinMaxForm, ReluDistributesOverMin) {
+  // relu is monotone nondecreasing, so relu(min(a,b)) == min(relu(a), relu(b)).
+  ConstraintSet cs;
+  auto lhs = NormalizeMinMax(Relu(Min(Var("a"), Var("b"))), cs);
+  auto rhs = NormalizeMinMax(Min(Relu(Var("a")), Relu(Var("b"))), cs);
+  ASSERT_TRUE(lhs.ok()) << lhs.status().ToString();
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(*lhs == *rhs);
+  EXPECT_EQ(lhs->kind, Kind::kMin);
+}
+
+TEST(MinMaxForm, ReluIsIdempotent) {
+  ConstraintSet cs;
+  auto once = NormalizeMinMax(Relu(Var("x")), cs);
+  auto twice = NormalizeMinMax(Relu(Relu(Var("x"))), cs);
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_TRUE(*once == *twice);
+}
+
+TEST(MinMaxForm, ReluCommutesWithPositiveScaling) {
+  // c >= 0: c * relu(p) == relu(c * p).
+  ConstraintSet cs;
+  cs.Assume("c", Sign::kNonNegative);
+  auto lhs = NormalizeMinMax(Mul(Relu(Var("x")), Var("c")), cs);
+  auto rhs = NormalizeMinMax(Relu(Mul(Var("x"), Var("c"))), cs);
+  ASSERT_TRUE(lhs.ok()) << lhs.status().ToString();
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(*lhs == *rhs);
+}
+
+TEST(MinMaxForm, ArithmeticOnReluElementsFails) {
+  ConstraintSet cs;
+  EXPECT_TRUE(NormalizeMinMax(Add(Relu(Var("x")), Var("y")), cs)
+                  .status()
+                  .IsNotSupported());
+  EXPECT_TRUE(NormalizeMinMax(Neg(Relu(Var("x"))), cs).status().IsNotSupported());
+}
+
+TEST(MinMaxForm, AbsOfSignedElements) {
+  ConstraintSet cs;
+  cs.Assume("p", Sign::kNonNegative);
+  cs.Assume("n", Sign::kNonPositive);
+  // |p| == p.
+  auto pos = NormalizeMinMax(Abs(Var("p")), cs);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_TRUE(*pos == *NormalizeMinMax(Var("p"), cs));
+  // |min(n1, n2)| == max(-n1, -n2): kind flips on the nonpositive branch.
+  cs.Assume("m", Sign::kNonPositive);
+  auto flipped = NormalizeMinMax(Abs(Min(Var("n"), Var("m"))), cs);
+  ASSERT_TRUE(flipped.ok()) << flipped.status().ToString();
+  EXPECT_EQ(flipped->kind, Kind::kMax);
+  // Unknown sign: refused.
+  EXPECT_TRUE(NormalizeMinMax(Abs(Var("u")), cs).status().IsNotSupported());
+}
+
+TEST(MinMaxForm, ReluOfNonNegativeIsIdentity) {
+  ConstraintSet cs;
+  cs.Assume("p", Sign::kNonNegative);
+  auto lhs = NormalizeMinMax(Relu(Var("p")), cs);
+  auto rhs = NormalizeMinMax(Var("p"), cs);
+  ASSERT_TRUE(lhs.ok());
+  EXPECT_TRUE(*lhs == *rhs);
+}
+
+TEST(MinMaxForm, ReluWrapsUnknownSignAtoms) {
+  ConstraintSet cs;
+  auto f = NormalizeMinMax(Relu(Var("x")), cs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind, Kind::kAtom);
+  ASSERT_EQ(f->elems.size(), 1u);
+  EXPECT_EQ(f->elems[0].relu_wraps, 1);
+}
+
+TEST(MinMaxForm, SsspProperty2Shape) {
+  // f(x) = x + w:  min(f(min(x1,y1)), f(min(x2,y2)))
+  //             == min(min(min(f(x1),f(y1)),f(x2)),f(y2))
+  ConstraintSet cs;
+  auto f = [](TermPtr t) { return Add(std::move(t), Var("w")); };
+  auto lhs = NormalizeMinMax(
+      Min(f(Min(Var("x1"), Var("y1"))), f(Min(Var("x2"), Var("y2")))), cs);
+  auto rhs = NormalizeMinMax(
+      Min(Min(Min(f(Var("x1")), f(Var("y1"))), f(Var("x2"))), f(Var("y2"))), cs);
+  ASSERT_TRUE(lhs.ok());
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(*lhs == *rhs);
+}
+
+TEST(MinMaxForm, ToStringIsStable) {
+  ConstraintSet cs;
+  auto a = NormalizeMinMax(Min(Var("b"), Var("a")), cs);
+  auto b = NormalizeMinMax(Min(Var("a"), Var("b")), cs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+}  // namespace
+}  // namespace powerlog::smt

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/random.h"
+#include "core/mono_table.h"
+
+namespace powerlog {
+namespace {
+
+TEST(MonoTable, CreateInitialisesToIdentity) {
+  auto table = MonoTable::Create(AggKind::kMin, 5);
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(std::isinf(table->accumulation(i)));
+    EXPECT_TRUE(std::isinf(table->intermediate(i)));
+  }
+  EXPECT_EQ(table->num_rows(), 5u);
+  EXPECT_EQ(table->agg_kind(), AggKind::kMin);
+}
+
+TEST(MonoTable, MeanIsRejected) {
+  EXPECT_TRUE(MonoTable::Create(AggKind::kMean, 3).status().IsNotSupported());
+}
+
+TEST(MonoTable, InitializeValidatesSizes) {
+  auto table = MonoTable::Create(AggKind::kSum, 3);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->Initialize({1, 2}, {0, 0, 0}).ok());
+  EXPECT_TRUE(table->Initialize({1, 2, 3}, {0.5, 0, 0}).ok());
+  EXPECT_DOUBLE_EQ(table->accumulation(0), 1.0);
+  EXPECT_DOUBLE_EQ(table->intermediate(0), 0.5);
+}
+
+TEST(MonoTable, ThreeStepProtocolSum) {
+  auto table = MonoTable::Create(AggKind::kSum, 2);
+  ASSERT_TRUE(table.ok());
+  table->CombineDelta(0, 1.5);
+  table->CombineDelta(0, 2.5);
+  EXPECT_DOUBLE_EQ(table->intermediate(0), 4.0);
+  // Step 1+2: harvest folds into accumulation and clears the intermediate.
+  const double tmp = table->HarvestDelta(0);
+  EXPECT_DOUBLE_EQ(tmp, 4.0);
+  EXPECT_DOUBLE_EQ(table->accumulation(0), 4.0);
+  EXPECT_DOUBLE_EQ(table->intermediate(0), 0.0);
+  // Harvesting again is a no-op (no double counting).
+  EXPECT_DOUBLE_EQ(table->HarvestDelta(0), 0.0);
+  EXPECT_DOUBLE_EQ(table->accumulation(0), 4.0);
+}
+
+TEST(MonoTable, ThreeStepProtocolMin) {
+  auto table = MonoTable::Create(AggKind::kMin, 1);
+  ASSERT_TRUE(table.ok());
+  table->CombineDelta(0, 5.0);
+  table->CombineDelta(0, 3.0);
+  table->CombineDelta(0, 7.0);
+  EXPECT_DOUBLE_EQ(table->HarvestDelta(0), 3.0);
+  EXPECT_DOUBLE_EQ(table->accumulation(0), 3.0);
+  // A worse delta later leaves the accumulation unchanged after harvest.
+  table->CombineDelta(0, 4.0);
+  EXPECT_TRUE(table->HasUsefulDelta(0) == false);
+  table->HarvestDelta(0);
+  EXPECT_DOUBLE_EQ(table->accumulation(0), 3.0);
+}
+
+TEST(MonoTable, HasUsefulDelta) {
+  auto table = MonoTable::Create(AggKind::kMin, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->HasUsefulDelta(0));
+  table->CombineDelta(0, 9.0);
+  EXPECT_TRUE(table->HasUsefulDelta(0));
+  table->HarvestDelta(0);
+  table->CombineDelta(0, 12.0);  // worse than accumulated 9
+  EXPECT_FALSE(table->HasUsefulDelta(0));
+}
+
+TEST(MonoTable, PendingDeltaMassSum) {
+  auto table = MonoTable::Create(AggKind::kSum, 3);
+  ASSERT_TRUE(table.ok());
+  table->CombineDelta(0, 0.5);
+  table->CombineDelta(1, -0.25);
+  EXPECT_DOUBLE_EQ(table->PendingDeltaMass(), 0.75);
+  table->HarvestDelta(0);
+  table->HarvestDelta(1);
+  EXPECT_DOUBLE_EQ(table->PendingDeltaMass(), 0.0);
+}
+
+TEST(MonoTable, PendingDeltaMassMinCountsImprovements) {
+  auto table = MonoTable::Create(AggKind::kMin, 3);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Initialize({5.0, 5.0, 5.0}, {/*deltas*/
+                                std::numeric_limits<double>::infinity(),
+                                std::numeric_limits<double>::infinity(),
+                                std::numeric_limits<double>::infinity()})
+                  .ok());
+  table->CombineDelta(0, 3.0);  // improving
+  table->CombineDelta(1, 9.0);  // stale
+  EXPECT_DOUBLE_EQ(table->PendingDeltaMass(), 1.0);
+}
+
+TEST(MonoTable, SnapshotAndRestoreRoundTrip) {
+  auto table = MonoTable::Create(AggKind::kMax, 4);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Initialize({1, 2, 3, 4}, {0, -1, 5, 2}).ok());
+  auto x = table->SnapshotAccumulation();
+  auto d = table->SnapshotIntermediate();
+  auto other = MonoTable::Create(AggKind::kMax, 4);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(other->Restore(x, d).ok());
+  EXPECT_EQ(other->SnapshotAccumulation(), x);
+  EXPECT_EQ(other->SnapshotIntermediate(), d);
+}
+
+TEST(MonoTable, ConcurrentHarvestNeverDoubleCounts) {
+  // Invariant (Fig. 7): with concurrent producers adding K deltas of value 1
+  // and concurrent harvesters, the final accumulation equals exactly K.
+  auto table = MonoTable::Create(AggKind::kSum, 1);
+  ASSERT_TRUE(table.ok());
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) table->CombineDelta(0, 1.0);
+    });
+  }
+  std::vector<std::thread> harvesters;
+  for (int h = 0; h < 3; ++h) {
+    harvesters.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) table->HarvestDelta(0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : harvesters) t.join();
+  table->HarvestDelta(0);  // fold any remainder
+  EXPECT_DOUBLE_EQ(table->accumulation(0),
+                   static_cast<double>(kProducers) * kPerProducer);
+}
+
+TEST(MonoTable, ConcurrentMinHarvestKeepsMinimum) {
+  auto table = MonoTable::Create(AggKind::kMin, 1);
+  ASSERT_TRUE(table.ok());
+  Rng seed_rng(5);
+  std::vector<std::thread> threads;
+  std::atomic<bool> done{false};
+  double true_min = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> feeds(4);
+  for (int t = 0; t < 4; ++t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < 5000; ++i) {
+      feeds[t].push_back(rng.NextDouble(0, 1000));
+      true_min = std::min(true_min, feeds[t].back());
+    }
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (double v : feeds[t]) table->CombineDelta(0, v);
+    });
+  }
+  std::thread harvester([&] {
+    while (!done.load()) table->HarvestDelta(0);
+  });
+  for (auto& t : threads) t.join();
+  done.store(true);
+  harvester.join();
+  table->HarvestDelta(0);
+  EXPECT_DOUBLE_EQ(table->accumulation(0), true_min);
+}
+
+}  // namespace
+}  // namespace powerlog

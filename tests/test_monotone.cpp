@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "smt/monotone.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(SignAlgebra, Negate) {
+  EXPECT_EQ(SignNegate(Sign::kPositive), Sign::kNegative);
+  EXPECT_EQ(SignNegate(Sign::kNonNegative), Sign::kNonPositive);
+  EXPECT_EQ(SignNegate(Sign::kZero), Sign::kZero);
+  EXPECT_EQ(SignNegate(Sign::kUnknown), Sign::kUnknown);
+}
+
+TEST(SignAlgebra, Add) {
+  EXPECT_EQ(SignAdd(Sign::kPositive, Sign::kPositive), Sign::kPositive);
+  EXPECT_EQ(SignAdd(Sign::kPositive, Sign::kNonNegative), Sign::kPositive);
+  EXPECT_EQ(SignAdd(Sign::kNonNegative, Sign::kNonNegative), Sign::kNonNegative);
+  EXPECT_EQ(SignAdd(Sign::kPositive, Sign::kNegative), Sign::kUnknown);
+  EXPECT_EQ(SignAdd(Sign::kZero, Sign::kNegative), Sign::kNegative);
+}
+
+TEST(SignAlgebra, Mul) {
+  EXPECT_EQ(SignMul(Sign::kPositive, Sign::kPositive), Sign::kPositive);
+  EXPECT_EQ(SignMul(Sign::kPositive, Sign::kNegative), Sign::kNegative);
+  EXPECT_EQ(SignMul(Sign::kNegative, Sign::kNegative), Sign::kPositive);
+  EXPECT_EQ(SignMul(Sign::kZero, Sign::kUnknown), Sign::kZero);
+  EXPECT_EQ(SignMul(Sign::kNonNegative, Sign::kNonPositive), Sign::kNonPositive);
+  EXPECT_EQ(SignMul(Sign::kUnknown, Sign::kPositive), Sign::kUnknown);
+}
+
+TEST(TermSign, ConstantsAndVars) {
+  ConstraintSet cs;
+  cs.Assume("d", Sign::kPositive);
+  EXPECT_EQ(TermSign(ConstInt(3), cs), Sign::kPositive);
+  EXPECT_EQ(TermSign(ConstInt(-2), cs), Sign::kNegative);
+  EXPECT_EQ(TermSign(ConstInt(0), cs), Sign::kZero);
+  EXPECT_EQ(TermSign(Var("d"), cs), Sign::kPositive);
+  EXPECT_EQ(TermSign(Var("free"), cs), Sign::kUnknown);
+}
+
+TEST(TermSign, CompositeExpressions) {
+  ConstraintSet cs;
+  cs.Assume("w", Sign::kNonNegative);
+  cs.Assume("d", Sign::kPositive);
+  // 0.85 * w is >= 0; 0.85 * w / d likewise.
+  EXPECT_EQ(TermSign(Mul(ConstDouble(0.85), Var("w")), cs), Sign::kNonNegative);
+  EXPECT_EQ(TermSign(Div(Mul(ConstDouble(0.85), Var("w")), Var("d")), cs),
+            Sign::kNonNegative);
+  EXPECT_EQ(TermSign(Neg(Var("d")), cs), Sign::kNegative);
+  EXPECT_EQ(TermSign(Add(Var("d"), ConstInt(1)), cs), Sign::kPositive);
+}
+
+TEST(TermSign, LatticeOps) {
+  ConstraintSet cs;
+  cs.Assume("p", Sign::kPositive);
+  cs.Assume("q", Sign::kPositive);
+  cs.Assume("n", Sign::kNegative);
+  EXPECT_EQ(TermSign(Min(Var("p"), Var("q")), cs), Sign::kPositive);
+  EXPECT_EQ(TermSign(Min(Var("p"), Var("n")), cs), Sign::kNegative);
+  EXPECT_EQ(TermSign(Max(Var("p"), Var("n")), cs), Sign::kPositive);
+  EXPECT_EQ(TermSign(Relu(Var("n")), cs), Sign::kNonNegative);
+  EXPECT_EQ(TermSign(Relu(Var("p")), cs), Sign::kPositive);
+  EXPECT_EQ(TermSign(Abs(Var("n")), cs), Sign::kPositive);
+}
+
+TEST(MonotoneIn, AffinePositiveSlope) {
+  ConstraintSet cs;
+  // f(x) = x + c
+  EXPECT_EQ(MonotoneIn(Add(Var("x"), Var("c")), "x", cs),
+            Monotonicity::kNondecreasing);
+  // f(x) = c (no dependence)
+  EXPECT_EQ(MonotoneIn(Var("c"), "x", cs), Monotonicity::kConstant);
+}
+
+TEST(MonotoneIn, ScaledByKnownSigns) {
+  ConstraintSet cs;
+  cs.Assume("p", Sign::kPositive);
+  cs.Assume("n", Sign::kNegative);
+  EXPECT_EQ(MonotoneIn(Mul(Var("p"), Var("x")), "x", cs),
+            Monotonicity::kNondecreasing);
+  EXPECT_EQ(MonotoneIn(Mul(Var("n"), Var("x")), "x", cs),
+            Monotonicity::kNonincreasing);
+  EXPECT_EQ(MonotoneIn(Mul(Var("u"), Var("x")), "x", cs), Monotonicity::kUnknown);
+}
+
+TEST(MonotoneIn, DivisionByConstrainedSymbol) {
+  ConstraintSet cs;
+  cs.Assume("d", Sign::kPositive);
+  EXPECT_EQ(MonotoneIn(Div(Var("x"), Var("d")), "x", cs),
+            Monotonicity::kNondecreasing);
+  // Dividing BY x is not handled (correctly unknown).
+  EXPECT_EQ(MonotoneIn(Div(Var("d"), Var("x")), "x", cs), Monotonicity::kUnknown);
+}
+
+TEST(MonotoneIn, SubtractionFlips) {
+  ConstraintSet cs;
+  EXPECT_EQ(MonotoneIn(Sub(Var("c"), Var("x")), "x", cs),
+            Monotonicity::kNonincreasing);
+  EXPECT_EQ(MonotoneIn(Neg(Var("x")), "x", cs), Monotonicity::kNonincreasing);
+}
+
+TEST(MonotoneIn, MinMaxPreserveMonotonicity) {
+  ConstraintSet cs;
+  EXPECT_EQ(MonotoneIn(Min(Var("x"), Add(Var("x"), ConstInt(1))), "x", cs),
+            Monotonicity::kNondecreasing);
+  EXPECT_EQ(MonotoneIn(Min(Var("x"), Neg(Var("x"))), "x", cs),
+            Monotonicity::kUnknown);
+}
+
+TEST(MonotoneIn, ReluComposition) {
+  ConstraintSet cs;
+  EXPECT_EQ(MonotoneIn(Relu(Var("x")), "x", cs), Monotonicity::kNondecreasing);
+  EXPECT_EQ(MonotoneIn(Relu(Neg(Var("x"))), "x", cs), Monotonicity::kNonincreasing);
+}
+
+TEST(MonotoneIn, ProductOfNonNegNondecreasing) {
+  ConstraintSet cs;
+  cs.Assume("x", Sign::kNonNegative);
+  EXPECT_EQ(MonotoneIn(Mul(Var("x"), Var("x")), "x", cs),
+            Monotonicity::kNondecreasing);
+  ConstraintSet unconstrained;
+  EXPECT_EQ(MonotoneIn(Mul(Var("x"), Var("x")), "x", unconstrained),
+            Monotonicity::kUnknown);
+}
+
+}  // namespace
+}  // namespace powerlog::smt

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/network.h"
+
+namespace powerlog::runtime {
+namespace {
+
+TEST(MessageBus, InstantDelivery) {
+  NetworkConfig config;
+  config.instant = true;
+  MessageBus bus(2, config);
+  bus.Send(0, 1, {{5, 1.5}});
+  UpdateBatch out;
+  EXPECT_EQ(bus.Receive(1, &out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, 5u);
+  EXPECT_DOUBLE_EQ(out[0].value, 1.5);
+}
+
+TEST(MessageBus, EmptyBatchesDropped) {
+  NetworkConfig config;
+  config.instant = true;
+  MessageBus bus(2, config);
+  bus.Send(0, 1, {});
+  EXPECT_EQ(bus.stats().messages, 0);
+  EXPECT_FALSE(bus.HasPending(1));
+}
+
+TEST(MessageBus, LatencyDelaysDelivery) {
+  NetworkConfig config;
+  config.latency_us = 20000;  // 20 ms
+  MessageBus bus(2, config);
+  bus.Send(0, 1, {{1, 1.0}});
+  UpdateBatch out;
+  EXPECT_EQ(bus.Receive(1, &out), 0u);  // not yet deliverable
+  EXPECT_TRUE(bus.HasPending(1));
+  EXPECT_EQ(bus.InFlightUpdates(), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(bus.Receive(1, &out), 1u);
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+  EXPECT_FALSE(bus.HasPending(1));
+}
+
+TEST(MessageBus, PerUpdateCostScalesDelay) {
+  NetworkConfig config;
+  config.latency_us = 0;
+  config.per_update_us = 10000;  // absurd: 10ms per update
+  MessageBus bus(2, config);
+  bus.Send(0, 1, {{1, 1.0}, {2, 2.0}});
+  UpdateBatch out;
+  EXPECT_EQ(bus.Receive(1, &out), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(bus.Receive(1, &out), 2u);
+}
+
+TEST(MessageBus, StatsCountMessagesAndUpdates) {
+  NetworkConfig config;
+  config.instant = true;
+  MessageBus bus(3, config);
+  bus.Send(0, 1, {{1, 1.0}, {2, 2.0}});
+  bus.Send(0, 2, {{3, 3.0}});
+  const NetworkStats stats = bus.stats();
+  EXPECT_EQ(stats.messages, 2);
+  EXPECT_EQ(stats.updates, 3);
+}
+
+TEST(MessageBus, InFlightAccountingAcrossWorkers) {
+  NetworkConfig config;
+  config.instant = true;
+  MessageBus bus(3, config);
+  bus.Send(0, 1, {{1, 1.0}});
+  bus.Send(2, 1, {{2, 2.0}});
+  bus.Send(1, 0, {{3, 3.0}});
+  EXPECT_EQ(bus.InFlightUpdates(), 3);
+  UpdateBatch out;
+  bus.Receive(1, &out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(bus.InFlightUpdates(), 1);
+  out.clear();
+  bus.Receive(0, &out);
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+}
+
+TEST(MessageBus, ReceiveAppends) {
+  NetworkConfig config;
+  config.instant = true;
+  MessageBus bus(2, config);
+  bus.Send(0, 1, {{1, 1.0}});
+  UpdateBatch out{{99, 0.0}};
+  bus.Receive(1, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].key, 99u);
+}
+
+TEST(MessageBus, ConcurrentSendersAreSafe) {
+  NetworkConfig config;
+  config.instant = true;
+  MessageBus bus(4, config);
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 3; ++t) {
+    senders.emplace_back([&bus, t] {
+      for (int i = 0; i < 1000; ++i) {
+        bus.Send(static_cast<uint32_t>(t), 3,
+                 {{static_cast<VertexId>(i), static_cast<double>(t)}});
+      }
+    });
+  }
+  size_t received = 0;
+  std::thread receiver([&] {
+    UpdateBatch out;
+    while (received < 3000) {
+      out.clear();
+      received += bus.Receive(3, &out);
+    }
+  });
+  for (auto& t : senders) t.join();
+  receiver.join();
+  EXPECT_EQ(received, 3000u);
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+}
+
+}  // namespace
+}  // namespace powerlog::runtime

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "datalog/catalog.h"
+#include "datalog/parser.h"
+
+namespace powerlog::datalog {
+namespace {
+
+TEST(Parser, SimpleRule) {
+  auto p = Parse("sssp(X,d) :- X=1, d=0.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->rules.size(), 1u);
+  const Rule& r = p->rules[0];
+  EXPECT_EQ(r.head.predicate, "sssp");
+  ASSERT_EQ(r.head.args.size(), 2u);
+  EXPECT_FALSE(r.head.args[0].aggregate.has_value());
+  ASSERT_EQ(r.bodies.size(), 1u);
+  EXPECT_EQ(r.bodies[0].literals.size(), 2u);
+  EXPECT_EQ(r.bodies[0].literals[0].kind, BodyLiteral::Kind::kComparison);
+}
+
+TEST(Parser, AggregateHead) {
+  auto p = Parse("sssp(Y,min[dy]) :- sssp(X,dx), edge(X,Y,dxy), dy = dx + dxy.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Rule& r = p->rules[0];
+  ASSERT_EQ(r.head.args.size(), 2u);
+  ASSERT_TRUE(r.head.args[1].aggregate.has_value());
+  EXPECT_EQ(*r.head.args[1].aggregate, AggKind::kMin);
+  EXPECT_EQ(r.head.args[1].agg_input->var, "dy");
+  ASSERT_EQ(r.bodies[0].literals.size(), 3u);
+  EXPECT_EQ(r.bodies[0].literals[0].predicate, "sssp");
+  EXPECT_EQ(r.bodies[0].literals[1].predicate, "edge");
+}
+
+TEST(Parser, MultipleBodies) {
+  auto p = Parse(
+      "rank(i+1,Y,sum[ry]) :- node(Y), ry = 0.15;"
+      "                    :- rank(i,X,rx), edge(X,Y), ry = 0.85*rx.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules[0].bodies.size(), 2u);
+}
+
+TEST(Parser, TerminationClause) {
+  auto p = Parse(
+      "L(j+1,y,sum[a]) :- L(j,x,b), edge(x,y), a = 0.7*b;"
+      "                {sum[Δa] < 0.001}.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Rule& r = p->rules[0];
+  ASSERT_TRUE(r.termination.has_value());
+  EXPECT_EQ(r.termination->agg, AggKind::kSum);
+  EXPECT_EQ(r.termination->delta_var, "Δa");
+  EXPECT_DOUBLE_EQ(r.termination->epsilon, 0.001);
+  EXPECT_EQ(r.bodies.size(), 1u);
+}
+
+TEST(Parser, IterationSuccessorHead) {
+  auto p = Parse("rank(i+1,Y,sum[r]) :- rank(i,X,s), edge(X,Y), r = s.");
+  ASSERT_TRUE(p.ok());
+  const auto& arg0 = p->rules[0].head.args[0];
+  EXPECT_EQ(arg0.expr->kind, ExprKind::kBinary);
+}
+
+TEST(Parser, Annotations) {
+  auto p = Parse("@name sssp.\n@assume d > 0.\n@bind p = 0.5.\nfoo(X,v) :- X=0, v=1.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->annotations.count("name"), 1u);
+  EXPECT_EQ(p->annotations.count("assume"), 1u);
+  auto it = p->annotations.find("assume");
+  EXPECT_EQ(it->second, (std::vector<std::string>{"d", ">", "0"}));
+}
+
+TEST(Parser, WildcardInPredicate) {
+  auto p = Parse("cc(X,X) :- edge(X,_).");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const auto& lit = p->rules[0].bodies[0].literals[0];
+  EXPECT_EQ(lit.args[1]->kind, ExprKind::kWildcard);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto p = Parse("f(Y,sum[r]) :- f(X,s), edge(X,Y), r = 1 + 2*s - 4/2.");
+  ASSERT_TRUE(p.ok());
+  const auto& lits = p->rules[0].bodies[0].literals;
+  const ExprPtr& e = lits[2].rhs;
+  // (1 + 2*s) - (4/2): top is kSub.
+  EXPECT_EQ(e->bin_op, BinOp::kSub);
+  EXPECT_EQ(e->lhs->bin_op, BinOp::kAdd);
+}
+
+TEST(Parser, FunctionCalls) {
+  auto p = Parse("g(Y,sum[r]) :- g(X,s), edge(X,Y,w), r = relu(s*p)*w.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const ExprPtr& e = p->rules[0].bodies[0].literals[2].rhs;
+  EXPECT_EQ(e->bin_op, BinOp::kMul);
+  EXPECT_EQ(e->lhs->kind, ExprKind::kCall);
+  EXPECT_EQ(e->lhs->callee, "relu");
+}
+
+TEST(Parser, UnaryMinus) {
+  auto p = Parse("f(X,v) :- X = 0, v = -2.5.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+}
+
+TEST(Parser, ErrorMissingDot) {
+  auto p = Parse("f(X,v) :- X = 0, v = 1");
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(p.status().IsParseError());
+}
+
+TEST(Parser, ErrorMissingBody) {
+  EXPECT_FALSE(Parse("f(X,v).").ok());
+}
+
+TEST(Parser, ErrorBadAggregate) {
+  // median is not a known aggregate name -> parsed as plain expr, then the
+  // '[' is a syntax error.
+  EXPECT_FALSE(Parse("f(X,median[v]) :- g(X,v).").ok());
+}
+
+TEST(Parser, ErrorGarbageLiteral) {
+  EXPECT_FALSE(Parse("f(X,v) :- 3 4.").ok());
+}
+
+TEST(Parser, ErrorReportsLineColumn) {
+  auto p = Parse("f(X,v) :-\n  X == 0.");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("2:"), std::string::npos);
+}
+
+TEST(Parser, RoundTripToString) {
+  auto p = Parse("sssp(Y,min[dy]) :- sssp(X,dx), edge(X,Y,dxy), dy = dx + dxy.");
+  ASSERT_TRUE(p.ok());
+  const std::string text = p->rules[0].ToString();
+  auto p2 = Parse(text);
+  ASSERT_TRUE(p2.ok()) << text << " -> " << p2.status().ToString();
+  EXPECT_EQ(p2->rules[0].ToString(), text);
+}
+
+TEST(Parser, AllCatalogProgramsParse) {
+  for (const auto& entry : ProgramCatalog()) {
+    auto p = Parse(entry.source);
+    EXPECT_TRUE(p.ok()) << entry.name << ": " << p.status().ToString();
+    EXPECT_FALSE(p->rules.empty()) << entry.name;
+  }
+}
+
+TEST(Parser, ProgramToStringReparses) {
+  for (const auto& entry : ProgramCatalog()) {
+    auto p = Parse(entry.source);
+    ASSERT_TRUE(p.ok()) << entry.name;
+    auto p2 = Parse(p->ToString());
+    EXPECT_TRUE(p2.ok()) << entry.name << ": " << p2.status().ToString() << "\n"
+                         << p->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace powerlog::datalog

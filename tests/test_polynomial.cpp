@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "smt/polynomial.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(Polynomial, ConstantsAndVariables) {
+  auto c = Polynomial::Constant(Rational(3, 2));
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_EQ(c.ConstantValue(), Rational(3, 2));
+  auto x = Polynomial::Variable("x");
+  EXPECT_FALSE(x.IsConstant());
+}
+
+TEST(Polynomial, ZeroIsEmpty) {
+  Polynomial zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.ToString(), "0");
+  auto x = Polynomial::Variable("x");
+  EXPECT_TRUE((x - x).IsZero());
+}
+
+TEST(Polynomial, AdditionMergesMonomials) {
+  auto x = Polynomial::Variable("x");
+  auto p = x + x;
+  ASSERT_EQ(p.terms().size(), 1u);
+  EXPECT_EQ(p.terms().begin()->second, Rational(2, 1));
+}
+
+TEST(Polynomial, MultiplicationExpands) {
+  auto x = Polynomial::Variable("x");
+  auto y = Polynomial::Variable("y");
+  auto one = Polynomial::Constant(Rational(1, 1));
+  // (x+1)(y+1) = xy + x + y + 1
+  auto p = (x + one) * (y + one);
+  EXPECT_EQ(p.terms().size(), 4u);
+}
+
+TEST(Polynomial, CommutativeRing) {
+  auto x = Polynomial::Variable("x");
+  auto y = Polynomial::Variable("y");
+  EXPECT_EQ(x * y, y * x);
+  EXPECT_EQ(x + y, y + x);
+  EXPECT_EQ((x + y) * x, x * x + y * x);
+}
+
+TEST(PolynomialFromTerm, LinearExpression) {
+  // 0.85 * x / d with d symbolic -> (17/20) * x * recip[...]
+  auto t = Div(Mul(ConstDouble(0.85), Var("x")), Var("d"));
+  auto p = Polynomial::FromTerm(t);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->HasReciprocal());
+  EXPECT_EQ(p->terms().size(), 1u);
+  EXPECT_EQ(p->terms().begin()->second, Rational(17, 20));
+}
+
+TEST(PolynomialFromTerm, ConstantDivision) {
+  auto t = Div(Var("x"), ConstInt(4));
+  auto p = Polynomial::FromTerm(t);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->HasReciprocal());
+  EXPECT_EQ(p->terms().begin()->second, Rational(1, 4));
+}
+
+TEST(PolynomialFromTerm, DivisionByZeroConstant) {
+  EXPECT_FALSE(Polynomial::FromTerm(Div(Var("x"), ConstInt(0))).ok());
+}
+
+TEST(PolynomialFromTerm, RejectsLatticeOps) {
+  EXPECT_TRUE(
+      Polynomial::FromTerm(Min(Var("x"), Var("y"))).status().IsNotSupported());
+  EXPECT_TRUE(Polynomial::FromTerm(Relu(Var("x"))).status().IsNotSupported());
+  EXPECT_TRUE(Polynomial::FromTerm(Abs(Var("x"))).status().IsNotSupported());
+}
+
+TEST(PolynomialFromTerm, SameDenominatorSameReciprocalVar) {
+  auto a = Polynomial::FromTerm(Div(Var("x"), Var("d")));
+  auto b = Polynomial::FromTerm(Div(Var("y"), Var("d")));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // x/d + y/d - (x+y)/d == 0 must hold with shared reciprocal naming.
+  auto sum = *a + *b;
+  auto combined = Polynomial::FromTerm(Div(Add(Var("x"), Var("y")), Var("d")));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(sum, *combined);
+}
+
+TEST(PolynomialFromTerm, NormalFormDecidesIdentities) {
+  // (x + y)^2 == x^2 + 2xy + y^2
+  auto lhs = Mul(Add(Var("x"), Var("y")), Add(Var("x"), Var("y")));
+  auto rhs = Add(Add(Mul(Var("x"), Var("x")), Mul(ConstInt(2), Mul(Var("x"), Var("y")))),
+                 Mul(Var("y"), Var("y")));
+  auto pl = Polynomial::FromTerm(lhs);
+  auto pr = Polynomial::FromTerm(rhs);
+  ASSERT_TRUE(pl.ok());
+  ASSERT_TRUE(pr.ok());
+  EXPECT_EQ(*pl, *pr);
+}
+
+TEST(PolynomialFromTerm, DetectsNonIdentities) {
+  auto pl = Polynomial::FromTerm(Mul(Var("x"), Var("x")));
+  auto pr = Polynomial::FromTerm(Mul(ConstInt(2), Var("x")));
+  ASSERT_TRUE(pl.ok());
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NE(*pl, *pr);
+}
+
+TEST(Polynomial, ScaleAndNegate) {
+  auto x = Polynomial::Variable("x");
+  auto p = x.Scale(Rational(3, 1));
+  EXPECT_EQ(p.terms().begin()->second, Rational(3, 1));
+  EXPECT_TRUE((p + (-p)).IsZero());
+}
+
+TEST(Polynomial, ToStringDeterministic) {
+  auto x = Polynomial::Variable("x");
+  auto y = Polynomial::Variable("y");
+  EXPECT_EQ((x + y).ToString(), (y + x).ToString());
+}
+
+}  // namespace
+}  // namespace powerlog::smt

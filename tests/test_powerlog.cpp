@@ -1,0 +1,164 @@
+// End-to-end façade tests: Fig. 2's pipeline routing, across the catalog.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datalog/catalog.h"
+#include "eval/eval_common.h"
+#include "eval/naive.h"
+#include "powerlog/powerlog.h"
+#include "test_util.h"
+
+namespace powerlog {
+namespace {
+
+using eval::MaxAbsDiff;
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallDag;
+using powerlog::testing::SmallWeightedGraph;
+
+RunOptions FastOptions() {
+  RunOptions options;
+  options.num_workers = 2;
+  options.network.instant = true;
+  return options;
+}
+
+TEST(PowerLog, CheckOnly) {
+  auto sssp = datalog::GetCatalogEntry("sssp");
+  ASSERT_TRUE(sssp.ok());
+  auto check = PowerLog::Check(sssp->source);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->satisfied);
+  auto gcn = datalog::GetCatalogEntry("gcn_forward");
+  ASSERT_TRUE(gcn.ok());
+  auto check2 = PowerLog::Check(gcn->source);
+  ASSERT_TRUE(check2.ok());
+  EXPECT_FALSE(check2->satisfied);
+}
+
+TEST(PowerLog, SatisfiedProgramTakesMraPath) {
+  auto sssp = datalog::GetCatalogEntry("sssp");
+  ASSERT_TRUE(sssp.ok());
+  auto g = SmallWeightedGraph(61);
+  auto run = PowerLog::Run(sssp->source, g, FastOptions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->evaluation, "MRA");
+  EXPECT_EQ(run->execution, "sync-async");
+  Kernel k = MustCompile("sssp");
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-12);
+}
+
+TEST(PowerLog, UnsatisfiedProgramFallsBackToNaive) {
+  auto gcn = datalog::GetCatalogEntry("gcn_forward");
+  ASSERT_TRUE(gcn.ok());
+  auto g = SmallDag(5);
+  auto run = PowerLog::Run(gcn->source, g, FastOptions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->evaluation, "naive");
+  EXPECT_EQ(run->execution, "sync");
+  // The naive fallback must still compute GCN-Forward's real semantics.
+  Kernel k = MustCompile("gcn_forward");
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-9);
+}
+
+TEST(PowerLog, MeanProgramUsesMultisetNaive) {
+  auto commnet = datalog::GetCatalogEntry("commnet");
+  ASSERT_TRUE(commnet.ok());
+  auto g = GeneratePath(5);
+  auto run = PowerLog::Run(commnet->source, g, FastOptions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->evaluation, "naive");
+  EXPECT_FALSE(run->check.satisfied);
+}
+
+TEST(PowerLog, ModeOverride) {
+  auto cc = datalog::GetCatalogEntry("cc");
+  ASSERT_TRUE(cc.ok());
+  auto g = SmallWeightedGraph(67);
+  RunOptions options = FastOptions();
+  options.mode = runtime::ExecMode::kSync;
+  auto run = PowerLog::Run(cc->source, g, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->execution, "sync");
+}
+
+TEST(PowerLog, SourceOverride) {
+  auto sssp = datalog::GetCatalogEntry("sssp");
+  ASSERT_TRUE(sssp.ok());
+  auto g = GeneratePath(6, 1.0);
+  RunOptions options = FastOptions();
+  options.source = 3;
+  auto run = PowerLog::Run(sssp->source, g, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->values[3], 0.0);
+  EXPECT_DOUBLE_EQ(run->values[5], 2.0);
+  EXPECT_TRUE(std::isinf(run->values[0]));  // behind the source
+}
+
+TEST(PowerLog, SourceOverrideRequiresSingleSourceProgram) {
+  auto cc = datalog::GetCatalogEntry("cc");
+  ASSERT_TRUE(cc.ok());
+  auto g = GeneratePath(4);
+  RunOptions options = FastOptions();
+  options.source = 1;
+  EXPECT_TRUE(PowerLog::Run(cc->source, g, options).status().IsInvalidArgument());
+}
+
+TEST(PowerLog, ParseErrorsPropagate) {
+  auto g = GeneratePath(3);
+  EXPECT_TRUE(PowerLog::Run("这 is not datalog", g, {}).status().IsParseError());
+  EXPECT_FALSE(PowerLog::Run("f(X,v) :- X = 0, v = 1.", g, {}).ok());
+}
+
+TEST(PowerLog, CompileExposesKernel) {
+  auto viterbi = datalog::GetCatalogEntry("viterbi");
+  ASSERT_TRUE(viterbi.ok());
+  auto k = PowerLog::Compile(viterbi->source);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k->agg, AggKind::kMax);
+}
+
+TEST(PowerLog, CheckOutcomeIsAttachedToRun) {
+  auto pagerank = datalog::GetCatalogEntry("pagerank");
+  ASSERT_TRUE(pagerank.ok());
+  auto g = GenerateCycle(8);
+  RunOptions options = FastOptions();
+  options.epsilon_override = 1e-10;
+  auto run = PowerLog::Run(pagerank->source, g, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->check.satisfied);
+  EXPECT_NE(run->check.report.find("Property 2"), std::string::npos);
+  // Cycle fixpoint: exactly 1.0 per vertex.
+  for (double v : run->values) EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+class CatalogEndToEndTest
+    : public ::testing::TestWithParam<datalog::CatalogEntry> {};
+
+TEST_P(CatalogEndToEndTest, RunsWithoutError) {
+  const auto& entry = GetParam();
+  // LCA/APSP/paths/viterbi/cost want DAG-shaped inputs; others any graph.
+  Graph g = entry.aggregate == AggKind::kMin || entry.aggregate == AggKind::kMax ||
+                    entry.name == "paths_dag" || entry.name == "cost"
+                ? SmallDag(71)
+                : SmallWeightedGraph(71);
+  RunOptions options = FastOptions();
+  options.max_wall_seconds = 20.0;
+  auto run = PowerLog::Run(entry.source, g, options);
+  ASSERT_TRUE(run.ok()) << entry.name << ": " << run.status().ToString();
+  EXPECT_EQ(run->values.size(), g.num_vertices());
+  EXPECT_EQ(run->evaluation, entry.expected_mra_sat ? "MRA" : "naive");
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CatalogEndToEndTest,
+                         ::testing::ValuesIn(datalog::ProgramCatalog()),
+                         [](const ::testing::TestParamInfo<datalog::CatalogEntry>&
+                                info) { return info.param.name; });
+
+}  // namespace
+}  // namespace powerlog

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "smt/printer.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(Printer, SmtLibBasics) {
+  EXPECT_EQ(ToSmtLib(Var("x")), "x");
+  EXPECT_EQ(ToSmtLib(ConstInt(3)), "3");
+  EXPECT_EQ(ToSmtLib(ConstInt(-3)), "(- 3)");
+  EXPECT_EQ(ToSmtLib(ConstDouble(0.85)), "(/ 17 20)");
+  EXPECT_EQ(ToSmtLib(Add(Var("x"), Var("y"))), "(+ x y)");
+  EXPECT_EQ(ToSmtLib(Div(Mul(Var("a"), ConstDouble(0.85)), Var("d"))),
+            "(/ (* a (/ 17 20)) d)");
+}
+
+TEST(Printer, ReluLowersToIte) {
+  EXPECT_EQ(ToSmtLib(Relu(Var("x"))), "(ite (> x 0) x 0)");
+}
+
+TEST(Printer, InfixPrecedence) {
+  EXPECT_EQ(ToInfix(Add(Var("x"), Mul(Var("y"), Var("z")))), "x + y*z");
+  EXPECT_EQ(ToInfix(Mul(Add(Var("x"), Var("y")), Var("z"))), "(x + y)*z");
+  EXPECT_EQ(ToInfix(Min(Var("a"), Var("b"))), "min(a, b)");
+}
+
+TEST(Printer, ScriptMirrorsFig4) {
+  // PageRank's Property-2 query: declare d with d > 0, universally quantify
+  // the aggregation inputs, assert the negated equality, check-sat.
+  ConstraintSet cs;
+  cs.Assume("d", Sign::kPositive);
+  auto f = [](TermPtr v) {
+    return Div(Mul(std::move(v), ConstDouble(0.85)), Var("d"));
+  };
+  auto lhs = Add(f(Add(Var("x1"), Var("y1"))), f(Add(Var("x2"), Var("y2"))));
+  auto rhs = Add(Add(Add(f(Var("x1")), f(Var("y1"))), f(Var("x2"))), f(Var("y2")));
+  const std::string script = ToSmtLibScript(lhs, rhs, cs);
+  EXPECT_NE(script.find("(declare-const d Real)"), std::string::npos);
+  EXPECT_NE(script.find("(assert (> d 0))"), std::string::npos);
+  EXPECT_NE(script.find("(assert (not (forall ("), std::string::npos);
+  EXPECT_NE(script.find("(x1 Real)"), std::string::npos);
+  EXPECT_NE(script.find("(check-sat)"), std::string::npos);
+  // Constrained symbols must not be re-quantified.
+  EXPECT_EQ(script.find("(d Real))"), std::string::npos);
+}
+
+TEST(Printer, ScriptEmitsAllSignKinds) {
+  ConstraintSet cs;
+  cs.Assume("a", Sign::kNonNegative);
+  cs.Assume("b", Sign::kNegative);
+  cs.Assume("c", Sign::kNonPositive);
+  cs.Assume("z", Sign::kZero);
+  const std::string script = ToSmtLibScript(Var("a"), Var("a"), cs);
+  EXPECT_NE(script.find("(assert (>= a 0))"), std::string::npos);
+  EXPECT_NE(script.find("(assert (< b 0))"), std::string::npos);
+  EXPECT_NE(script.find("(assert (<= c 0))"), std::string::npos);
+  EXPECT_NE(script.find("(assert (= z 0))"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace powerlog::smt

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/product.h"
+#include "test_util.h"
+
+namespace powerlog {
+namespace {
+
+using powerlog::testing::SmallWeightedGraph;
+
+/// Floyd–Warshall reference for APSP.
+ApspResult FloydWarshall(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  ApspResult r;
+  r.num_vertices = n;
+  r.distances.assign(static_cast<size_t>(n) * n,
+                     std::numeric_limits<double>::infinity());
+  for (VertexId v = 0; v < n; ++v) r.distances[static_cast<size_t>(v) * n + v] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      auto& cell = r.distances[static_cast<size_t>(v) * n + e.dst];
+      cell = std::min(cell, e.weight);
+    }
+  }
+  for (VertexId k = 0; k < n; ++k) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = 0; j < n; ++j) {
+        const double via = r.At(i, k) + r.At(k, j);
+        if (via < r.At(i, j)) r.distances[static_cast<size_t>(i) * n + j] = via;
+      }
+    }
+  }
+  return r;
+}
+
+TEST(Apsp, MatchesFloydWarshall) {
+  auto g = SmallWeightedGraph(7);
+  auto apsp = SolveApsp(g);
+  ASSERT_TRUE(apsp.ok()) << apsp.status().ToString();
+  auto reference = FloydWarshall(g);
+  for (VertexId i = 0; i < g.num_vertices(); ++i) {
+    for (VertexId j = 0; j < g.num_vertices(); ++j) {
+      if (std::isinf(reference.At(i, j))) {
+        EXPECT_TRUE(std::isinf(apsp->At(i, j))) << i << "->" << j;
+      } else {
+        EXPECT_NEAR(apsp->At(i, j), reference.At(i, j), 1e-9) << i << "->" << j;
+      }
+    }
+  }
+}
+
+TEST(Apsp, DiagonalIsZero) {
+  auto g = GenerateGrid(4, true, 3);
+  auto apsp = SolveApsp(g);
+  ASSERT_TRUE(apsp.ok());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(apsp->At(v, v), 0.0);
+  }
+}
+
+TEST(Apsp, RejectsEmptyAndHuge) {
+  Graph empty;
+  EXPECT_FALSE(SolveApsp(empty).ok());
+}
+
+TEST(AncestorProduct, RejectsNonForest) {
+  GraphBuilder b;
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);  // vertex 2 has two parents
+  auto g = std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+  EXPECT_TRUE(AncestorProductGraph::Build(g).status().IsInvalidArgument());
+}
+
+TEST(Lca, KnownTree) {
+  // Tree: 0 -> {1, 2}; 1 -> {3, 4}; 2 -> {5}; 3 -> {6}.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(1, 4);
+  b.AddEdge(2, 5);
+  b.AddEdge(3, 6);
+  auto tree = std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+
+  auto r = SolveLca(tree, 3, 4);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->ancestor, 1u);
+  EXPECT_DOUBLE_EQ(r->distance, 2.0);
+
+  auto r2 = SolveLca(tree, 6, 5);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->ancestor, 0u);
+  EXPECT_DOUBLE_EQ(r2->distance, 5.0);  // 3 up-moves from 6, 2 from 5
+
+  auto r3 = SolveLca(tree, 6, 1);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->ancestor, 1u);  // ancestor of itself
+  EXPECT_DOUBLE_EQ(r3->distance, 2.0);
+
+  auto r4 = SolveLca(tree, 2, 2);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->ancestor, 2u);
+  EXPECT_DOUBLE_EQ(r4->distance, 0.0);
+}
+
+TEST(Lca, RandomTreeAgainstBruteForce) {
+  auto tree = GenerateRandomTree(24, 9);
+  const Graph& reversed = tree.Reverse();
+  auto parent = [&](VertexId v) -> int64_t {
+    const auto in_edges = reversed.OutEdges(v);
+    return in_edges.size() == 1 ? static_cast<int64_t>(in_edges.begin()->dst) : -1;
+  };
+  auto ancestors_of = [&](VertexId v) {
+    std::vector<VertexId> chain{v};
+    int64_t p = parent(v);
+    while (p >= 0) {
+      chain.push_back(static_cast<VertexId>(p));
+      p = parent(static_cast<VertexId>(p));
+    }
+    return chain;
+  };
+  Rng rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(24));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(24));
+    // Brute force: deepest shared element of the two ancestor chains.
+    auto cu = ancestors_of(u);
+    auto cv = ancestors_of(v);
+    VertexId expected = 0;
+    bool found = false;
+    for (VertexId a : cu) {
+      for (VertexId b : cv) {
+        if (a == b) {
+          expected = a;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    ASSERT_TRUE(found);  // rooted tree: always share the root
+    auto r = SolveLca(tree, u, v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ancestor, expected) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(Lca, DisjointForestFails) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);  // second tree
+  auto forest = std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+  EXPECT_TRUE(SolveLca(forest, 1, 3).status().IsNotFound());
+}
+
+TEST(Lca, OutOfRangeQuery) {
+  auto tree = GenerateRandomTree(5, 2);
+  EXPECT_TRUE(SolveLca(tree, 0, 9).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace powerlog

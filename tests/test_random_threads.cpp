@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace powerlog {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, StateRoundTrip) {
+  Rng a(77);
+  a.Next();
+  uint64_t saved[4];
+  for (int i = 0; i < 4; ++i) saved[i] = a.state()[i];
+  const uint64_t expected = a.Next();
+  Rng b;
+  b.set_state(saved);
+  EXPECT_EQ(b.Next(), expected);
+}
+
+TEST(Rng, NextDoubleRange) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.NextDouble(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Mix64, AvalanchesAdjacentInputs) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(0), Mix64(1));
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> v{0};
+  pool.Submit([&v] { v = 7; });
+  pool.Wait();
+  EXPECT_EQ(v.load(), 7);
+}
+
+TEST(Barrier, SynchronisesParticipants) {
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase_counts[2] = {{0}, {0}};
+  std::atomic<int> serial_hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      phase_counts[0].fetch_add(1);
+      if (barrier.ArriveAndWait()) serial_hits.fetch_add(1);
+      // After the barrier every thread must observe all phase-0 arrivals.
+      EXPECT_EQ(phase_counts[0].load(), kThreads);
+      phase_counts[1].fetch_add(1);
+      if (barrier.ArriveAndWait()) serial_hits.fetch_add(1);
+      EXPECT_EQ(phase_counts[1].load(), kThreads);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial_hits.load(), 2);  // exactly one serial thread per generation
+}
+
+TEST(Barrier, ReusableManyGenerations) {
+  Barrier barrier(2);
+  std::atomic<int> serial{0};
+  std::thread other([&] {
+    for (int i = 0; i < 50; ++i) {
+      if (barrier.ArriveAndWait()) serial.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    if (barrier.ArriveAndWait()) serial.fetch_add(1);
+  }
+  other.join();
+  EXPECT_EQ(serial.load(), 50);
+}
+
+}  // namespace
+}  // namespace powerlog

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "smt/rational.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(Rational, NormalisesOnConstruction) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorPoisons) {
+  Rational r(1, 0);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ((a + b), Rational(5, 6));
+  EXPECT_EQ((a - b), Rational(1, 6));
+  EXPECT_EQ((a * b), Rational(1, 6));
+  EXPECT_EQ((a / b), Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroPoisons) {
+  Rational a(1, 2);
+  EXPECT_TRUE((a / Rational(0, 1)).overflow());
+}
+
+TEST(Rational, PoisonPropagates) {
+  Rational bad(1, 0);
+  EXPECT_TRUE((bad + Rational(1, 1)).overflow());
+  EXPECT_TRUE((Rational(1, 1) * bad).overflow());
+  EXPECT_FALSE(bad == bad);  // NaN-like semantics
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_TRUE(Rational(1, 3) < Rational(1, 2));
+  EXPECT_TRUE(Rational(-1, 2) < Rational(0, 1));
+  EXPECT_FALSE(Rational(2, 4) < Rational(1, 2));
+}
+
+TEST(Rational, FromDoubleExactDecimals) {
+  EXPECT_EQ(Rational::FromDouble(0.85), Rational(17, 20));
+  EXPECT_EQ(Rational::FromDouble(0.15), Rational(3, 20));
+  EXPECT_EQ(Rational::FromDouble(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::FromDouble(-2.0), Rational(-2, 1));
+  EXPECT_EQ(Rational::FromDouble(0.0), Rational(0, 1));
+}
+
+TEST(Rational, FromDoubleNonFinitePoisons) {
+  EXPECT_TRUE(Rational::FromDouble(std::numeric_limits<double>::infinity()).overflow());
+  EXPECT_TRUE(Rational::FromDouble(std::nan("")).overflow());
+}
+
+TEST(Rational, FromDecimalString) {
+  auto r = Rational::FromDecimalString("0.85");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Rational(17, 20));
+  EXPECT_EQ(*Rational::FromDecimalString("-3"), Rational(-3, 1));
+  EXPECT_EQ(*Rational::FromDecimalString("10000"), Rational(10000, 1));
+  EXPECT_EQ(*Rational::FromDecimalString("0.0001"), Rational(1, 10000));
+}
+
+TEST(Rational, FromDecimalStringErrors) {
+  EXPECT_FALSE(Rational::FromDecimalString("").ok());
+  EXPECT_FALSE(Rational::FromDecimalString("1.2.3").ok());
+  EXPECT_FALSE(Rational::FromDecimalString("abc").ok());
+  EXPECT_FALSE(Rational::FromDecimalString(".").ok());
+}
+
+TEST(Rational, Predicates) {
+  EXPECT_TRUE(Rational(0, 5).IsZero());
+  EXPECT_TRUE(Rational(3, 3).IsOne());
+  EXPECT_TRUE(Rational(-1, 7).IsNegative());
+  EXPECT_FALSE(Rational(1, 7).IsNegative());
+}
+
+TEST(Rational, ToStringAndToDouble) {
+  EXPECT_EQ(Rational(17, 20).ToString(), "17/20");
+  EXPECT_EQ(Rational(5, 1).ToString(), "5");
+  EXPECT_DOUBLE_EQ(Rational(17, 20).ToDouble(), 0.85);
+}
+
+TEST(Rational, OverflowDetectedOnHugeProducts) {
+  Rational huge(INT64_MAX, 1);
+  EXPECT_TRUE((huge * huge).overflow());
+  EXPECT_TRUE((huge + huge).overflow());
+  // Half-max sums still fit.
+  Rational half(INT64_MAX / 2, 1);
+  EXPECT_FALSE((half + half).overflow());
+}
+
+TEST(Rational, AssociativityPropertySweep) {
+  // Exactness sanity: (a+b)+c == a+(b+c) for a grid of small rationals.
+  for (int an = -3; an <= 3; ++an) {
+    for (int bn = -2; bn <= 2; ++bn) {
+      for (int cn = 1; cn <= 3; ++cn) {
+        Rational a(an, 4), b(bn, 3), c(cn, 5);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ((a * b) * c, a * (b * c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerlog::smt

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "checker/rewrite.h"
+#include "datalog/catalog.h"
+#include "datalog/parser.h"
+
+namespace powerlog::checker {
+namespace {
+
+datalog::AnalyzedProgram MustAnalyze(const std::string& name) {
+  auto entry = datalog::GetCatalogEntry(name);
+  EXPECT_TRUE(entry.ok());
+  auto parsed = datalog::Parse(entry->source);
+  EXPECT_TRUE(parsed.ok());
+  auto analyzed = datalog::Analyze(*parsed);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  return std::move(analyzed).ValueOrDie();
+}
+
+TEST(Rewrite, PageRankBecomesProgram2b) {
+  auto text = EmitIncrementalEquivalent(MustAnalyze("pagerank"));
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Program 2.b structure: iteration-0 facts carry the constant 0.15, the
+  // recursive rule has the accumulating self body and no constant body.
+  EXPECT_NE(text->find("rank(0,Y,r0) :- node(Y), r0 = 0.15"), std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("rank(i,Y,rprev)"), std::string::npos) << *text;
+  EXPECT_NE(text->find("degree(X,count[N])"), std::string::npos) << *text;
+  EXPECT_EQ(text->find("ry = 0.15;"), std::string::npos) << *text;  // no C body
+  // The emitted text must parse.
+  auto parsed = datalog::Parse(*text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << *text;
+}
+
+TEST(Rewrite, KatzSeedsTheSingleKeyConstant) {
+  auto text = EmitIncrementalEquivalent(MustAnalyze("katz"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("K(0,Y,r0) :- Y = 0, r0 = 10000"), std::string::npos)
+      << *text;
+  EXPECT_TRUE(datalog::Parse(*text).ok()) << *text;
+}
+
+TEST(Rewrite, OrderedProgramsRoundTripThroughTheAnalyzer) {
+  for (const char* name : {"sssp", "cc", "viterbi"}) {
+    auto text = EmitIncrementalEquivalent(MustAnalyze(name));
+    ASSERT_TRUE(text.ok()) << name << ": " << text.status().ToString();
+    auto parsed = datalog::Parse(*text);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().ToString();
+    // min/max emissions stay inside the analyzable fragment.
+    auto analyzed = datalog::Analyze(*parsed);
+    EXPECT_TRUE(analyzed.ok()) << name << ": " << analyzed.status().ToString();
+    if (analyzed.ok()) {
+      EXPECT_EQ(analyzed->aggregate, MustAnalyze(name).aggregate);
+    }
+  }
+}
+
+TEST(Rewrite, SumEmissionsParseForWholeCatalog) {
+  for (const auto& entry : datalog::ProgramCatalog()) {
+    if (!entry.expected_mra_sat) continue;
+    auto parsed = datalog::Parse(entry.source);
+    ASSERT_TRUE(parsed.ok());
+    auto analyzed = datalog::Analyze(*parsed);
+    ASSERT_TRUE(analyzed.ok()) << entry.name;
+    auto text = EmitIncrementalEquivalent(*analyzed);
+    ASSERT_TRUE(text.ok()) << entry.name << ": " << text.status().ToString();
+    EXPECT_TRUE(datalog::Parse(*text).ok())
+        << entry.name << ":\n" << *text;
+  }
+}
+
+TEST(Rewrite, MeanIsRejected) {
+  auto entry = datalog::GetCatalogEntry("commnet");
+  auto parsed = datalog::Parse(entry->source);
+  auto analyzed = datalog::Analyze(*parsed);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_TRUE(EmitIncrementalEquivalent(*analyzed).status().IsConditionViolated());
+}
+
+}  // namespace
+}  // namespace powerlog::checker

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "smt/simplify.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(Simplify, ConstantFolding) {
+  auto t = Simplify(Add(ConstInt(2), Mul(ConstInt(3), ConstInt(4))));
+  ASSERT_EQ(t->op, Op::kConst);
+  EXPECT_EQ(t->value, Rational(14, 1));
+}
+
+TEST(Simplify, IdentityElimination) {
+  EXPECT_TRUE(Simplify(Add(Var("x"), ConstInt(0)))->Equals(*Var("x")));
+  EXPECT_TRUE(Simplify(Add(ConstInt(0), Var("x")))->Equals(*Var("x")));
+  EXPECT_TRUE(Simplify(Mul(Var("x"), ConstInt(1)))->Equals(*Var("x")));
+  EXPECT_TRUE(Simplify(Sub(Var("x"), ConstInt(0)))->Equals(*Var("x")));
+  EXPECT_TRUE(Simplify(Div(Var("x"), ConstInt(1)))->Equals(*Var("x")));
+}
+
+TEST(Simplify, MulByZeroOnlyWhenTotal) {
+  // x*0 -> 0 is safe, (1/y)*0 is not (y might be 0).
+  auto zeroed = Simplify(Mul(Var("x"), ConstInt(0)));
+  ASSERT_EQ(zeroed->op, Op::kConst);
+  EXPECT_TRUE(zeroed->value.IsZero());
+  auto guarded = Simplify(Mul(Div(ConstInt(1), Var("y")), ConstInt(0)));
+  EXPECT_EQ(guarded->op, Op::kMul);  // preserved
+}
+
+TEST(Simplify, DoubleNegation) {
+  EXPECT_TRUE(Simplify(Neg(Neg(Var("x"))))->Equals(*Var("x")));
+}
+
+TEST(Simplify, MinMaxIdempotent) {
+  EXPECT_TRUE(Simplify(Min(Var("x"), Var("x")))->Equals(*Var("x")));
+  EXPECT_TRUE(Simplify(Max(Var("x"), Var("x")))->Equals(*Var("x")));
+}
+
+TEST(Simplify, ConstantLattice) {
+  EXPECT_EQ(Simplify(Min(ConstInt(2), ConstInt(5)))->value, Rational(2, 1));
+  EXPECT_EQ(Simplify(Max(ConstInt(2), ConstInt(5)))->value, Rational(5, 1));
+  EXPECT_EQ(Simplify(Relu(ConstInt(-3)))->value, Rational(0, 1));
+  EXPECT_EQ(Simplify(Relu(ConstInt(3)))->value, Rational(3, 1));
+  EXPECT_EQ(Simplify(Abs(ConstInt(-3)))->value, Rational(3, 1));
+}
+
+TEST(Simplify, ComparisonFolding) {
+  EXPECT_EQ(Simplify(Lt(ConstInt(1), ConstInt(2)))->value, Rational(1, 1));
+  EXPECT_EQ(Simplify(Le(ConstInt(2), ConstInt(2)))->value, Rational(1, 1));
+  EXPECT_EQ(Simplify(EqTerm(ConstInt(1), ConstInt(2)))->value, Rational(0, 1));
+}
+
+TEST(Simplify, IteResolution) {
+  auto taken = Simplify(Ite(ConstInt(1), Var("a"), Var("b")));
+  EXPECT_TRUE(taken->Equals(*Var("a")));
+  auto untaken = Simplify(Ite(ConstInt(0), Var("a"), Var("b")));
+  EXPECT_TRUE(untaken->Equals(*Var("b")));
+  auto same = Simplify(Ite(Var("c"), Var("a"), Var("a")));
+  EXPECT_TRUE(same->Equals(*Var("a")));
+}
+
+TEST(Simplify, KeepsDivisionByZeroVisible) {
+  auto t = Simplify(Div(ConstInt(1), ConstInt(0)));
+  EXPECT_EQ(t->op, Op::kDiv);
+}
+
+TEST(Simplify, PreservesSemantics) {
+  // Random-ish compound; simplified form must evaluate identically.
+  auto t = Add(Mul(Add(Var("x"), ConstInt(0)), ConstInt(1)),
+               Min(Neg(Neg(Var("y"))), Var("y")));
+  auto s = Simplify(t);
+  std::map<std::string, double> env{{"x", 2.5}, {"y", -1.25}};
+  EXPECT_DOUBLE_EQ(*Evaluate(t, env), *Evaluate(s, env));
+  EXPECT_LE(s->Size(), t->Size());
+}
+
+}  // namespace
+}  // namespace powerlog::smt

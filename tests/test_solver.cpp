@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "smt/solver.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(Solver, PolynomialValid) {
+  Solver solver;
+  // (x+1)^2 == x^2 + 2x + 1
+  auto lhs = Mul(Add(Var("x"), ConstInt(1)), Add(Var("x"), ConstInt(1)));
+  auto rhs = Add(Add(Mul(Var("x"), Var("x")), Mul(ConstInt(2), Var("x"))),
+                 ConstInt(1));
+  auto report = solver.CheckEqualValid(lhs, rhs);
+  EXPECT_EQ(report.verdict, Verdict::kValid);
+  EXPECT_EQ(report.method, "polynomial");
+}
+
+TEST(Solver, PolynomialInvalidWithWitness) {
+  Solver solver;
+  auto report = solver.CheckEqualValid(Mul(Var("x"), Var("x")),
+                                       Mul(ConstInt(2), Var("x")));
+  EXPECT_EQ(report.verdict, Verdict::kInvalid);
+  ASSERT_TRUE(report.counterexample.has_value());
+}
+
+TEST(Solver, SumProperty2PageRankShape) {
+  // Fig. 4: g = +, f(v) = 0.85*v/d with d > 0.
+  ConstraintSet cs;
+  cs.Assume("d", Sign::kPositive);
+  Solver solver(cs);
+  auto f = [](TermPtr v) {
+    return Div(Mul(std::move(v), ConstDouble(0.85)), Var("d"));
+  };
+  auto g = [](TermPtr a, TermPtr b) { return Add(std::move(a), std::move(b)); };
+  auto lhs = g(f(g(Var("x1"), Var("y1"))), f(g(Var("x2"), Var("y2"))));
+  auto rhs = g(g(g(f(Var("x1")), f(Var("y1"))), f(Var("x2"))), f(Var("y2")));
+  auto report = solver.CheckEqualValid(lhs, rhs);
+  EXPECT_EQ(report.verdict, Verdict::kValid) << report.explanation;
+}
+
+TEST(Solver, MinMaxValidIdentity) {
+  Solver solver;
+  // min(a+c, b+c) == min(a,b) + c
+  auto lhs = Min(Add(Var("a"), Var("c")), Add(Var("b"), Var("c")));
+  auto rhs = Add(Min(Var("a"), Var("b")), Var("c"));
+  auto report = solver.CheckEqualValid(lhs, rhs);
+  EXPECT_EQ(report.verdict, Verdict::kValid);
+  EXPECT_EQ(report.method, "minmax");
+}
+
+TEST(Solver, MinMaxInvalid) {
+  Solver solver;
+  // min(a, b) != max(a, b)
+  auto report = solver.CheckEqualValid(Min(Var("a"), Var("b")),
+                                       Max(Var("a"), Var("b")));
+  EXPECT_EQ(report.verdict, Verdict::kInvalid);
+  EXPECT_TRUE(report.counterexample.has_value());
+}
+
+TEST(Solver, ReluIdentityInvalid) {
+  Solver solver;
+  auto report = solver.CheckEqualValid(Relu(Add(Var("x"), Var("y"))),
+                                       Add(Relu(Var("x")), Relu(Var("y"))));
+  EXPECT_EQ(report.verdict, Verdict::kInvalid);
+  ASSERT_TRUE(report.counterexample.has_value());
+}
+
+TEST(Solver, MeanAssociativityInvalid) {
+  Solver solver;
+  auto mean = [](TermPtr a, TermPtr b) {
+    return Div(Add(std::move(a), std::move(b)), ConstInt(2));
+  };
+  auto report = solver.CheckEqualValid(mean(mean(Var("a"), Var("b")), Var("c")),
+                                       mean(Var("a"), mean(Var("b"), Var("c"))));
+  EXPECT_EQ(report.verdict, Verdict::kInvalid);
+}
+
+TEST(Solver, MeanCommutativityValid) {
+  Solver solver;
+  auto mean = [](TermPtr a, TermPtr b) {
+    return Div(Add(std::move(a), std::move(b)), ConstInt(2));
+  };
+  auto report =
+      solver.CheckEqualValid(mean(Var("a"), Var("b")), mean(Var("b"), Var("a")));
+  EXPECT_EQ(report.verdict, Verdict::kValid);
+}
+
+TEST(Solver, ReciprocalAwareSoundness) {
+  // x/d + x/d == 2x/d: reciprocal pseudo-variables still line up.
+  ConstraintSet cs;
+  cs.Assume("d", Sign::kPositive);
+  Solver solver(cs);
+  auto lhs = Add(Div(Var("x"), Var("d")), Div(Var("x"), Var("d")));
+  auto rhs = Div(Mul(ConstInt(2), Var("x")), Var("d"));
+  EXPECT_EQ(solver.CheckEqualValid(lhs, rhs).verdict, Verdict::kValid);
+}
+
+TEST(Solver, ReciprocalCancellationIsUnknownNotInvalid) {
+  // d * (1/d) == 1 holds, but the reciprocal-variable normal form cannot see
+  // the cancellation. The solver must NOT claim invalid (soundness), and no
+  // counterexample exists.
+  ConstraintSet cs;
+  cs.Assume("d", Sign::kPositive);
+  Solver solver(cs);
+  auto lhs = Mul(Var("d"), Div(ConstInt(1), Var("d")));
+  auto report = solver.CheckEqualValid(lhs, ConstInt(1));
+  EXPECT_NE(report.verdict, Verdict::kInvalid);
+}
+
+TEST(Solver, ViterbiMaxShapeNeedsPositivity) {
+  // g = max, f(v) = p*v: Property 2 holds only under p > 0.
+  auto f = [](TermPtr v) { return Mul(Var("p"), std::move(v)); };
+  auto g = [](TermPtr a, TermPtr b) { return Max(std::move(a), std::move(b)); };
+  auto lhs = g(f(g(Var("x1"), Var("y1"))), f(g(Var("x2"), Var("y2"))));
+  auto rhs = g(g(g(f(Var("x1")), f(Var("y1"))), f(Var("x2"))), f(Var("y2")));
+
+  ConstraintSet pos;
+  pos.Assume("p", Sign::kPositive);
+  EXPECT_EQ(Solver(pos).CheckEqualValid(lhs, rhs).verdict, Verdict::kValid);
+  EXPECT_EQ(Solver().CheckEqualValid(lhs, rhs).verdict, Verdict::kInvalid);
+}
+
+TEST(Solver, VerdictNames) {
+  EXPECT_STREQ(VerdictName(Verdict::kValid), "valid");
+  EXPECT_STREQ(VerdictName(Verdict::kInvalid), "invalid");
+  EXPECT_STREQ(VerdictName(Verdict::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace powerlog::smt

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace powerlog {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(Status, AllFactoriesMapToPredicates) {
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ConditionViolated("x").IsConditionViolated());
+}
+
+TEST(Status, CopyIsCheapAndShared) {
+  Status a = Status::IOError("disk");
+  Status b = a;
+  EXPECT_TRUE(b.IsIOError());
+  EXPECT_EQ(b.message(), "disk");
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConditionViolated),
+               "Condition violated");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(Result, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailingHelper() { return Status::Timeout("slow"); }
+
+Status PropagationDemo() {
+  POWERLOG_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("should not reach");
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  Status s = PropagationDemo();
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+}
+
+Result<int> ProducerOk() { return 5; }
+
+Status AssignOrReturnDemo(int* out) {
+  POWERLOG_ASSIGN_OR_RETURN(int v, ProducerOk());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(Status, AssignOrReturnMacroBinds) {
+  int out = 0;
+  ASSERT_TRUE(AssignOrReturnDemo(&out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+}  // namespace
+}  // namespace powerlog

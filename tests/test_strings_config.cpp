@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/string_util.h"
+
+namespace powerlog {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("recip[d]", "recip["));
+  EXPECT_FALSE(StartsWith("re", "recip["));
+  EXPECT_TRUE(EndsWith("file.cpp", ".cpp"));
+  EXPECT_FALSE(EndsWith("cpp", "file.cpp"));
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(ToLower("MiN[X]"), "min[x]"); }
+
+TEST(ParseInt64, Valid) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -7 "), -7);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+}
+
+TEST(ParseInt64, Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseDouble, Valid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.85"), 0.85);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 0.001);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2.5"), -2.5);
+}
+
+TEST(ParseDouble, Invalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringFormat, Formats) {
+  EXPECT_EQ(StringFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StringFormat("%.2f", 1.239), "1.24");
+}
+
+TEST(Config, ParseRoundTrip) {
+  auto cfg = Config::FromString("a=1, b = 2.5 ,name=powerlog");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a", -1), 1);
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("b", -1), 2.5);
+  EXPECT_EQ(cfg->GetString("name", ""), "powerlog");
+  EXPECT_EQ(cfg->GetInt("missing", 9), 9);
+}
+
+TEST(Config, EmptyAndErrors) {
+  EXPECT_TRUE(Config::FromString("").ok());
+  EXPECT_TRUE(Config::FromString("  ").ok());
+  EXPECT_FALSE(Config::FromString("novalue").ok());
+  EXPECT_FALSE(Config::FromString("=5").ok());
+}
+
+TEST(Config, BoolParsing) {
+  auto cfg = Config::FromString("t=true,f=off,y=1,n=no,junk=maybe");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->GetBool("t", false));
+  EXPECT_FALSE(cfg->GetBool("f", true));
+  EXPECT_TRUE(cfg->GetBool("y", false));
+  EXPECT_FALSE(cfg->GetBool("n", true));
+  EXPECT_TRUE(cfg->GetBool("junk", true));  // unparsable -> default
+}
+
+TEST(Config, SettersAndToString) {
+  Config cfg;
+  cfg.SetInt("workers", 4);
+  cfg.SetBool("sync", false);
+  cfg.SetDouble("eps", 0.5);
+  EXPECT_TRUE(cfg.Has("workers"));
+  EXPECT_EQ(cfg.GetInt("workers", 0), 4);
+  EXPECT_FALSE(cfg.GetBool("sync", true));
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("eps", 0), 0.5);
+  auto round = Config::FromString(cfg.ToString());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->GetInt("workers", 0), 4);
+}
+
+}  // namespace
+}  // namespace powerlog

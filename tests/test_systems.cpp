@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "eval/eval_common.h"
+#include "eval/naive.h"
+#include "systems/comparators.h"
+#include "test_util.h"
+
+namespace powerlog::systems {
+namespace {
+
+using eval::MaxAbsDiff;
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallWeightedGraph;
+
+RunConfig FastConfig() {
+  RunConfig config;
+  config.num_workers = 2;
+  config.network.instant = true;
+  config.max_wall_seconds = 20.0;
+  return config;
+}
+
+TEST(NaiveSyncEngine, MatchesReferenceSssp) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(41);
+  auto reference = eval::NaiveEvaluate(k, g);
+  ASSERT_TRUE(reference.ok());
+  runtime::EngineOptions options;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  auto run = NaiveSyncRun(g, k, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-12);
+  EXPECT_TRUE(run->stats.converged);
+}
+
+TEST(NaiveSyncEngine, MatchesReferencePageRank) {
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(43);
+  eval::EvalOptions ref_options;
+  ref_options.epsilon_override = 1e-8;
+  auto reference = eval::NaiveEvaluate(k, g, ref_options);
+  ASSERT_TRUE(reference.ok());
+  runtime::EngineOptions options;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  options.epsilon_override = 1e-8;
+  auto run = NaiveSyncRun(g, k, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(MaxAbsDiff(reference->values, run->values), 1e-4);
+}
+
+TEST(NaiveSyncEngine, DoesMoreWorkThanIncremental) {
+  // The whole point of MRA: naive re-derives everything per iteration.
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(47);
+  runtime::EngineOptions options;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  auto naive = NaiveSyncRun(g, k, options);
+  ASSERT_TRUE(naive.ok());
+  options.mode = runtime::ExecMode::kSync;
+  runtime::Engine engine(g, k, options);
+  auto incremental = engine.Run();
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_GT(naive->stats.edge_applications, incremental->stats.edge_applications);
+}
+
+TEST(NaiveSyncEngine, RejectsMean) {
+  Kernel k = MustCompile("commnet");
+  auto g = GeneratePath(4);
+  runtime::EngineOptions options;
+  EXPECT_TRUE(NaiveSyncRun(g, k, options).status().IsNotSupported());
+}
+
+TEST(Systems, Names) {
+  EXPECT_STREQ(SystemName(SystemId::kPowerLog), "PowerLog");
+  EXPECT_STREQ(SystemName(SystemId::kSociaLite), "SociaLite");
+  EXPECT_STREQ(SystemName(SystemId::kMyria), "Myria");
+  EXPECT_STREQ(SystemName(SystemId::kBigDatalog), "BigDatalog");
+}
+
+TEST(Systems, MonotonicClassification) {
+  EXPECT_TRUE(IsMonotonicProgram(MustCompile("sssp")));
+  EXPECT_TRUE(IsMonotonicProgram(MustCompile("viterbi")));
+  EXPECT_FALSE(IsMonotonicProgram(MustCompile("pagerank")));
+  EXPECT_FALSE(IsMonotonicProgram(MustCompile("katz")));
+}
+
+struct SystemCase {
+  SystemId system;
+  std::string program;
+  double tolerance;
+};
+
+class ComparatorCorrectnessTest : public ::testing::TestWithParam<SystemCase> {};
+
+TEST_P(ComparatorCorrectnessTest, ReachesTheReferenceFixpoint) {
+  const auto& param = GetParam();
+  Kernel k = MustCompile(param.program);
+  auto g = SmallWeightedGraph(53);
+  eval::EvalOptions ref_options;
+  if (!IsMonotonicProgram(k)) ref_options.epsilon_override = 1e-8;
+  auto reference = eval::NaiveEvaluate(k, g, ref_options);
+  ASSERT_TRUE(reference.ok());
+  RunConfig config = FastConfig();
+  if (!IsMonotonicProgram(k)) config.epsilon_override = 1e-7;
+  auto run = RunSystem(param.system, g, k, config, /*mra_satisfied=*/true);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_LE(MaxAbsDiff(reference->values, run->result.values), param.tolerance)
+      << SystemName(param.system) << " via " << run->strategy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, ComparatorCorrectnessTest,
+    ::testing::Values(
+        SystemCase{SystemId::kPowerLog, "sssp", 1e-12},
+        SystemCase{SystemId::kPowerLog, "pagerank", 2e-2},
+        SystemCase{SystemId::kSociaLite, "sssp", 1e-12},
+        SystemCase{SystemId::kSociaLite, "pagerank", 1e-3},
+        SystemCase{SystemId::kMyria, "sssp", 1e-12},
+        SystemCase{SystemId::kMyria, "pagerank", 1e-3},
+        SystemCase{SystemId::kBigDatalog, "sssp", 1e-12},
+        SystemCase{SystemId::kBigDatalog, "cc", 1e-12},
+        SystemCase{SystemId::kPowerGraph, "sssp", 1e-12},
+        SystemCase{SystemId::kPowerGraph, "cc", 1e-12},
+        SystemCase{SystemId::kMaiter, "pagerank", 2e-2},
+        SystemCase{SystemId::kProm, "pagerank", 5e-2}),
+    [](const ::testing::TestParamInfo<SystemCase>& info) {
+      return std::string(SystemName(info.param.system)) + "_" + info.param.program;
+    });
+
+TEST(Systems, StrategiesMatchThePaper) {
+  // Δ-stepping engages only on graphs with large weight variance (the
+  // comparator tunes the bucket width to the weight scale).
+  GraphBuilder heavy;
+  heavy.AddEdge(0, 1, 1.0);
+  heavy.AddEdge(1, 2, 200.0);
+  heavy.AddEdge(0, 2, 150.0);
+  auto g = std::move(heavy).Build(GraphBuilder::Options{}).ValueOrDie();
+  RunConfig config = FastConfig();
+  config.max_supersteps = 5;  // strategy check only, don't run long
+
+  Kernel sssp = MustCompile("sssp");
+  auto socialite = RunSystem(SystemId::kSociaLite, g, sssp, config, true);
+  ASSERT_TRUE(socialite.ok());
+  EXPECT_NE(socialite->strategy.find("Δ-stepping"), std::string::npos);
+  // Low-variance weights: plain semi-naive sync.
+  auto flat = GenerateGrid(4, true, 3);
+  auto socialite_flat = RunSystem(SystemId::kSociaLite, flat, sssp, config, true);
+  ASSERT_TRUE(socialite_flat.ok());
+  EXPECT_EQ(socialite_flat->strategy.find("Δ-stepping"), std::string::npos);
+
+  Kernel pagerank = MustCompile("pagerank");
+  auto socialite_pr = RunSystem(SystemId::kSociaLite, flat, pagerank, config, true);
+  ASSERT_TRUE(socialite_pr.ok());
+  EXPECT_NE(socialite_pr->strategy.find("naive"), std::string::npos);
+
+  auto myria_sssp = RunSystem(SystemId::kMyria, flat, sssp, config, true);
+  ASSERT_TRUE(myria_sssp.ok());
+  EXPECT_NE(myria_sssp->strategy.find("async"), std::string::npos);
+
+  auto powerlog_pr = RunSystem(SystemId::kPowerLog, flat, pagerank, config, true);
+  ASSERT_TRUE(powerlog_pr.ok());
+  EXPECT_EQ(powerlog_pr->strategy, "MRA+sync-async");
+
+  // A program failing the check drops PowerLog to naive evaluation.
+  auto powerlog_naive = RunSystem(SystemId::kPowerLog, flat, pagerank, config, false);
+  ASSERT_TRUE(powerlog_naive.ok());
+  EXPECT_EQ(powerlog_naive->strategy, "naive+sync");
+}
+
+}  // namespace
+}  // namespace powerlog::systems

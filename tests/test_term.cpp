@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "smt/term.h"
+
+namespace powerlog::smt {
+namespace {
+
+TEST(Term, ConstAndVar) {
+  auto c = ConstDouble(0.85);
+  EXPECT_EQ(c->op, Op::kConst);
+  EXPECT_EQ(c->value, Rational(17, 20));
+  auto v = Var("x");
+  EXPECT_EQ(v->op, Op::kVar);
+  EXPECT_EQ(v->var, "x");
+}
+
+TEST(Term, StructuralEquality) {
+  auto a = Add(Var("x"), ConstInt(1));
+  auto b = Add(Var("x"), ConstInt(1));
+  auto c = Add(Var("y"), ConstInt(1));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(a->Equals(*Var("x")));
+}
+
+TEST(Term, SizeCountsNodes) {
+  auto t = Mul(Add(Var("x"), Var("y")), ConstInt(2));
+  EXPECT_EQ(t->Size(), 5u);
+}
+
+TEST(Term, CollectVarsSortedDistinct) {
+  auto t = Add(Mul(Var("b"), Var("a")), Var("b"));
+  EXPECT_EQ(CollectVars(t), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Term, SubstituteReplacesVars) {
+  auto t = Add(Var("x"), Mul(Var("y"), Var("x")));
+  auto s = Substitute(t, {{"x", ConstInt(3)}});
+  std::map<std::string, double> env{{"y", 2.0}};
+  EXPECT_DOUBLE_EQ(*Evaluate(s, env), 3 + 2 * 3);
+}
+
+TEST(Term, SubstituteIsSimultaneous) {
+  // x -> y while y -> x must not cascade.
+  auto t = Add(Var("x"), Var("y"));
+  auto s = Substitute(t, {{"x", Var("y")}, {"y", Var("x")}});
+  std::map<std::string, double> env{{"x", 10.0}, {"y", 1.0}};
+  EXPECT_DOUBLE_EQ(*Evaluate(s, env), 11.0);
+}
+
+TEST(Term, SubstituteSharesUnchangedSubtrees) {
+  auto unchanged = Mul(Var("a"), Var("b"));
+  auto t = Add(unchanged, Var("x"));
+  auto s = Substitute(t, {{"x", ConstInt(0)}});
+  EXPECT_EQ(s->args[0].get(), unchanged.get());
+}
+
+TEST(TermEvaluate, Arithmetic) {
+  std::map<std::string, double> env{{"x", 4.0}};
+  EXPECT_DOUBLE_EQ(*Evaluate(Add(Var("x"), ConstInt(2)), env), 6.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Sub(Var("x"), ConstInt(2)), env), 2.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Mul(Var("x"), ConstInt(2)), env), 8.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Div(Var("x"), ConstInt(2)), env), 2.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Neg(Var("x")), env), -4.0);
+}
+
+TEST(TermEvaluate, LatticeAndPiecewise) {
+  std::map<std::string, double> env{{"x", -3.0}, {"y", 5.0}};
+  EXPECT_DOUBLE_EQ(*Evaluate(Min(Var("x"), Var("y")), env), -3.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Max(Var("x"), Var("y")), env), 5.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Relu(Var("x")), env), 0.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Relu(Var("y")), env), 5.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Abs(Var("x")), env), 3.0);
+}
+
+TEST(TermEvaluate, ComparisonsAndIte) {
+  std::map<std::string, double> env{{"x", 2.0}};
+  EXPECT_DOUBLE_EQ(*Evaluate(Lt(Var("x"), ConstInt(3)), env), 1.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(Le(Var("x"), ConstInt(2)), env), 1.0);
+  EXPECT_DOUBLE_EQ(*Evaluate(EqTerm(Var("x"), ConstInt(2)), env), 1.0);
+  auto ite = Ite(Lt(Var("x"), ConstInt(0)), ConstInt(-1), ConstInt(1));
+  EXPECT_DOUBLE_EQ(*Evaluate(ite, env), 1.0);
+}
+
+TEST(TermEvaluate, IteIsLazy) {
+  // The untaken branch divides by zero; laziness must avoid evaluating it.
+  std::map<std::string, double> env{{"x", 1.0}};
+  auto ite = Ite(Lt(ConstInt(0), Var("x")), Var("x"),
+                 Div(ConstInt(1), ConstInt(0)));
+  auto r = Evaluate(ite, env);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(TermEvaluate, Errors) {
+  EXPECT_FALSE(Evaluate(Var("missing"), {}).ok());
+  std::map<std::string, double> env{{"x", 1.0}};
+  EXPECT_FALSE(Evaluate(Div(Var("x"), ConstInt(0)), env).ok());
+}
+
+TEST(Term, OpNames) {
+  EXPECT_STREQ(OpName(Op::kAdd), "+");
+  EXPECT_STREQ(OpName(Op::kMin), "min");
+  EXPECT_STREQ(OpName(Op::kRelu), "relu");
+}
+
+}  // namespace
+}  // namespace powerlog::smt

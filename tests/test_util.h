@@ -1,0 +1,64 @@
+// Shared fixtures and helpers for the PowerLog test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "core/kernel.h"
+#include "datalog/catalog.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace powerlog::testing {
+
+/// Compiles a catalog program or fails the test.
+inline Kernel MustCompile(const std::string& name) {
+  auto entry = datalog::GetCatalogEntry(name);
+  EXPECT_TRUE(entry.ok()) << entry.status().ToString();
+  auto kernel = BuildKernelFromSource(entry->source);
+  EXPECT_TRUE(kernel.ok()) << kernel.status().ToString();
+  return std::move(kernel).ValueOrDie();
+}
+
+/// Small graph zoo shared by correctness tests. Weights in (0, 1] so that
+/// max-product (viterbi) and attenuated-sum programs converge.
+inline Graph SmallWeightedGraph(uint64_t seed = 42) {
+  Rng rng(seed);
+  GraphBuilder b;
+  const VertexId n = 40;
+  b.EnsureVertices(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const int degree = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int k = 0; k < degree; ++k) {
+      VertexId d = static_cast<VertexId>(rng.NextBounded(n));
+      if (d == v) d = (d + 1) % n;
+      // Weights in (0, 0.5]: keeps the attenuated sum programs (BP,
+      // Adsorption) contractive on this degree distribution.
+      b.AddEdge(v, d, 0.05 + 0.45 * rng.NextDouble());
+    }
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  return std::move(b).Build(opts).ValueOrDie();
+}
+
+/// Deterministic DAG with probability-like weights.
+inline Graph SmallDag(uint64_t seed = 7) {
+  auto g = GenerateRandomDag(48, 2.5, seed, /*weighted=*/false);
+  EXPECT_TRUE(g.ok());
+  // Re-weight into (0, 1].
+  GraphBuilder b;
+  Rng rng(seed * 31 + 1);
+  b.EnsureVertices(g->num_vertices());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (const Edge& e : g->OutEdges(v)) {
+      b.AddEdge(v, e.dst, 0.2 + 0.8 * rng.NextDouble());
+    }
+  }
+  return std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+}
+
+}  // namespace powerlog::testing
