@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_aap.dir/bench_fig11_aap.cpp.o"
+  "CMakeFiles/bench_fig11_aap.dir/bench_fig11_aap.cpp.o.d"
+  "bench_fig11_aap"
+  "bench_fig11_aap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_aap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_checker_tool.dir/condition_checker_tool.cpp.o"
+  "CMakeFiles/condition_checker_tool.dir/condition_checker_tool.cpp.o.d"
+  "condition_checker_tool"
+  "condition_checker_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_checker_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlog_cli.dir/powerlog_cli.cpp.o"
+  "CMakeFiles/powerlog_cli.dir/powerlog_cli.cpp.o.d"
+  "powerlog_cli"
+  "powerlog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/aggregate_props.cpp" "src/CMakeFiles/powerlog.dir/checker/aggregate_props.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/checker/aggregate_props.cpp.o.d"
+  "/root/repo/src/checker/initial_delta.cpp" "src/CMakeFiles/powerlog.dir/checker/initial_delta.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/checker/initial_delta.cpp.o.d"
+  "/root/repo/src/checker/mra_checker.cpp" "src/CMakeFiles/powerlog.dir/checker/mra_checker.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/checker/mra_checker.cpp.o.d"
+  "/root/repo/src/checker/rewrite.cpp" "src/CMakeFiles/powerlog.dir/checker/rewrite.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/checker/rewrite.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/powerlog.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/powerlog.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/powerlog.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/powerlog.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/powerlog.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/string_util.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/powerlog.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/aggregates.cpp" "src/CMakeFiles/powerlog.dir/core/aggregates.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/core/aggregates.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/CMakeFiles/powerlog.dir/core/kernel.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/core/kernel.cpp.o.d"
+  "/root/repo/src/core/mono_table.cpp" "src/CMakeFiles/powerlog.dir/core/mono_table.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/core/mono_table.cpp.o.d"
+  "/root/repo/src/datalog/analyzer.cpp" "src/CMakeFiles/powerlog.dir/datalog/analyzer.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/datalog/analyzer.cpp.o.d"
+  "/root/repo/src/datalog/ast.cpp" "src/CMakeFiles/powerlog.dir/datalog/ast.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/datalog/ast.cpp.o.d"
+  "/root/repo/src/datalog/catalog.cpp" "src/CMakeFiles/powerlog.dir/datalog/catalog.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/datalog/catalog.cpp.o.d"
+  "/root/repo/src/datalog/expr_compiler.cpp" "src/CMakeFiles/powerlog.dir/datalog/expr_compiler.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/datalog/expr_compiler.cpp.o.d"
+  "/root/repo/src/datalog/lexer.cpp" "src/CMakeFiles/powerlog.dir/datalog/lexer.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/datalog/lexer.cpp.o.d"
+  "/root/repo/src/datalog/parser.cpp" "src/CMakeFiles/powerlog.dir/datalog/parser.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/datalog/parser.cpp.o.d"
+  "/root/repo/src/eval/eval_common.cpp" "src/CMakeFiles/powerlog.dir/eval/eval_common.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/eval/eval_common.cpp.o.d"
+  "/root/repo/src/eval/mra.cpp" "src/CMakeFiles/powerlog.dir/eval/mra.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/eval/mra.cpp.o.d"
+  "/root/repo/src/eval/naive.cpp" "src/CMakeFiles/powerlog.dir/eval/naive.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/eval/naive.cpp.o.d"
+  "/root/repo/src/eval/semi_naive.cpp" "src/CMakeFiles/powerlog.dir/eval/semi_naive.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/eval/semi_naive.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/powerlog.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/powerlog.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/powerlog.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/powerlog.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/powerlog.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/CMakeFiles/powerlog.dir/graph/partition.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/graph/partition.cpp.o.d"
+  "/root/repo/src/graph/product.cpp" "src/CMakeFiles/powerlog.dir/graph/product.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/graph/product.cpp.o.d"
+  "/root/repo/src/powerlog/powerlog.cpp" "src/CMakeFiles/powerlog.dir/powerlog/powerlog.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/powerlog/powerlog.cpp.o.d"
+  "/root/repo/src/relational/rel_eval.cpp" "src/CMakeFiles/powerlog.dir/relational/rel_eval.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/relational/rel_eval.cpp.o.d"
+  "/root/repo/src/relational/relation.cpp" "src/CMakeFiles/powerlog.dir/relational/relation.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/relational/relation.cpp.o.d"
+  "/root/repo/src/runtime/buffer_policy.cpp" "src/CMakeFiles/powerlog.dir/runtime/buffer_policy.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/runtime/buffer_policy.cpp.o.d"
+  "/root/repo/src/runtime/checkpoint.cpp" "src/CMakeFiles/powerlog.dir/runtime/checkpoint.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/runtime/checkpoint.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/CMakeFiles/powerlog.dir/runtime/engine.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/runtime/engine.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/CMakeFiles/powerlog.dir/runtime/message.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/runtime/message.cpp.o.d"
+  "/root/repo/src/runtime/network.cpp" "src/CMakeFiles/powerlog.dir/runtime/network.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/runtime/network.cpp.o.d"
+  "/root/repo/src/runtime/termination.cpp" "src/CMakeFiles/powerlog.dir/runtime/termination.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/runtime/termination.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/CMakeFiles/powerlog.dir/runtime/worker.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/runtime/worker.cpp.o.d"
+  "/root/repo/src/smt/counterexample.cpp" "src/CMakeFiles/powerlog.dir/smt/counterexample.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/counterexample.cpp.o.d"
+  "/root/repo/src/smt/minmax_form.cpp" "src/CMakeFiles/powerlog.dir/smt/minmax_form.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/minmax_form.cpp.o.d"
+  "/root/repo/src/smt/monotone.cpp" "src/CMakeFiles/powerlog.dir/smt/monotone.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/monotone.cpp.o.d"
+  "/root/repo/src/smt/polynomial.cpp" "src/CMakeFiles/powerlog.dir/smt/polynomial.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/polynomial.cpp.o.d"
+  "/root/repo/src/smt/printer.cpp" "src/CMakeFiles/powerlog.dir/smt/printer.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/printer.cpp.o.d"
+  "/root/repo/src/smt/rational.cpp" "src/CMakeFiles/powerlog.dir/smt/rational.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/rational.cpp.o.d"
+  "/root/repo/src/smt/simplify.cpp" "src/CMakeFiles/powerlog.dir/smt/simplify.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/simplify.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/CMakeFiles/powerlog.dir/smt/solver.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/solver.cpp.o.d"
+  "/root/repo/src/smt/term.cpp" "src/CMakeFiles/powerlog.dir/smt/term.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/smt/term.cpp.o.d"
+  "/root/repo/src/systems/comparators.cpp" "src/CMakeFiles/powerlog.dir/systems/comparators.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/systems/comparators.cpp.o.d"
+  "/root/repo/src/systems/vertex_engines.cpp" "src/CMakeFiles/powerlog.dir/systems/vertex_engines.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/systems/vertex_engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_policy.dir/test_buffer_policy.cpp.o"
+  "CMakeFiles/test_buffer_policy.dir/test_buffer_policy.cpp.o.d"
+  "test_buffer_policy"
+  "test_buffer_policy.pdb"
+  "test_buffer_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_checker.dir/test_catalog_checker.cpp.o"
+  "CMakeFiles/test_catalog_checker.dir/test_catalog_checker.cpp.o.d"
+  "test_catalog_checker"
+  "test_catalog_checker.pdb"
+  "test_catalog_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_soundness.dir/test_checker_soundness.cpp.o"
+  "CMakeFiles/test_checker_soundness.dir/test_checker_soundness.cpp.o.d"
+  "test_checker_soundness"
+  "test_checker_soundness.pdb"
+  "test_checker_soundness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minmax_form.dir/test_minmax_form.cpp.o"
+  "CMakeFiles/test_minmax_form.dir/test_minmax_form.cpp.o.d"
+  "test_minmax_form"
+  "test_minmax_form.pdb"
+  "test_minmax_form[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minmax_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_minmax_form.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mono_table.dir/test_mono_table.cpp.o"
+  "CMakeFiles/test_mono_table.dir/test_mono_table.cpp.o.d"
+  "test_mono_table"
+  "test_mono_table.pdb"
+  "test_mono_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mono_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

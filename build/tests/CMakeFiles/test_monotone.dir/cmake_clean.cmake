@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monotone.dir/test_monotone.cpp.o"
+  "CMakeFiles/test_monotone.dir/test_monotone.cpp.o.d"
+  "test_monotone"
+  "test_monotone.pdb"
+  "test_monotone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monotone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

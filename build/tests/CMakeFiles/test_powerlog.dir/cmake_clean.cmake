@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerlog.dir/test_powerlog.cpp.o"
+  "CMakeFiles/test_powerlog.dir/test_powerlog.cpp.o.d"
+  "test_powerlog"
+  "test_powerlog.pdb"
+  "test_powerlog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

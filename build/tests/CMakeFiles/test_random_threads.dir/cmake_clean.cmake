@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_threads.dir/test_random_threads.cpp.o"
+  "CMakeFiles/test_random_threads.dir/test_random_threads.cpp.o.d"
+  "test_random_threads"
+  "test_random_threads.pdb"
+  "test_random_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

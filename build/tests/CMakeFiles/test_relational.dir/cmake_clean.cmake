@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relational.dir/test_relational.cpp.o"
+  "CMakeFiles/test_relational.dir/test_relational.cpp.o.d"
+  "test_relational"
+  "test_relational.pdb"
+  "test_relational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strings_config.dir/test_strings_config.cpp.o"
+  "CMakeFiles/test_strings_config.dir/test_strings_config.cpp.o.d"
+  "test_strings_config"
+  "test_strings_config.pdb"
+  "test_strings_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strings_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
