@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/metrics.h"
+
 namespace powerlog::bench {
 
 uint32_t BenchWorkers() {
@@ -14,6 +16,33 @@ uint32_t BenchWorkers() {
 }
 
 bool FastMode() { return std::getenv("POWERLOG_BENCH_FAST") != nullptr; }
+
+bool MetricsDumpEnabled() {
+  const char* path = std::getenv("POWERLOG_BENCH_METRICS");
+  return path != nullptr && path[0] != '\0';
+}
+
+void DumpRunMetrics(const std::string& program, const std::string& dataset,
+                    const std::string& mode, const runtime::EngineResult& result) {
+  const char* path = std::getenv("POWERLOG_BENCH_METRICS");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  (cannot append metrics to %s)\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"program\":\"%s\",\"dataset\":\"%s\",\"mode\":\"%s\","
+               "\"workers\":%u,\"wall_seconds\":%.6f,\"converged\":%s,"
+               "\"metrics\":%s}\n",
+               metrics::JsonEscape(program).c_str(),
+               metrics::JsonEscape(dataset).c_str(),
+               metrics::JsonEscape(mode).c_str(), BenchWorkers(),
+               result.stats.wall_seconds,
+               result.stats.converged ? "true" : "false",
+               result.metrics.ToJson().c_str());
+  std::fclose(f);
+}
 
 runtime::NetworkConfig BenchNetwork() {
   runtime::NetworkConfig network;
@@ -103,6 +132,7 @@ double RunModeSeconds(runtime::ExecMode mode, const std::string& program,
   // and a longer adaptation window for the buffer policy.
   options.adaptive_priority = mode == runtime::ExecMode::kSyncAsync;
   if (mode == runtime::ExecMode::kSyncAsync) options.buffer.tau_us = 1500;
+  options.collect_metrics = MetricsDumpEnabled();
   runtime::Engine engine(graph, kernel, options);
   auto run = engine.Run();
   if (!run.ok()) {
@@ -111,6 +141,7 @@ double RunModeSeconds(runtime::ExecMode mode, const std::string& program,
                  run.status().ToString().c_str());
     return -1.0;
   }
+  DumpRunMetrics(program, dataset, runtime::ExecModeName(mode), *run);
   return run->stats.wall_seconds;
 }
 

@@ -55,6 +55,18 @@ double RunSystemSeconds(systems::SystemId system, const std::string& program,
 double RunModeSeconds(runtime::ExecMode mode, const std::string& program,
                       const std::string& dataset, double delta_stepping = 0.0);
 
+/// True when POWERLOG_BENCH_METRICS is set to a file path. Engine runs made
+/// through RunModeSeconds then collect full metrics and append one JSON
+/// record per run (JSONL) to that file — the machine-readable perf
+/// trajectory future sessions diff against.
+bool MetricsDumpEnabled();
+
+/// Appends one JSON line {"program","dataset","mode","workers",
+/// "wall_seconds","converged","metrics":{...}} to the POWERLOG_BENCH_METRICS
+/// file. No-op when the variable is unset.
+void DumpRunMetrics(const std::string& program, const std::string& dataset,
+                    const std::string& mode, const runtime::EngineResult& result);
+
 /// Runs naive evaluation on the sync substrate; returns seconds.
 double RunNaiveSeconds(const std::string& program, const std::string& dataset);
 

@@ -214,16 +214,17 @@ bench/CMakeFiles/bench_table1_checker.dir/bench_table1_checker.cpp.o: \
  /root/repo/src/smt/term.h /root/repo/src/smt/rational.h \
  /root/repo/src/smt/monotone.h /root/repo/src/graph/graph.h \
  /root/repo/src/datalog/catalog.h /root/repo/src/graph/datasets.h \
- /root/repo/src/runtime/engine.h /root/repo/src/core/mono_table.h \
- /root/repo/src/graph/partition.h /root/repo/src/runtime/buffer_policy.h \
- /usr/include/c++/12/cstddef /root/repo/src/runtime/network.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/runtime/engine.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/mono_table.h /root/repo/src/graph/partition.h \
+ /root/repo/src/runtime/buffer_policy.h /usr/include/c++/12/cstddef \
+ /root/repo/src/runtime/network.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/runtime/message.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

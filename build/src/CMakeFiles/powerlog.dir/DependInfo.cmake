@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/checker/rewrite.cpp" "src/CMakeFiles/powerlog.dir/checker/rewrite.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/checker/rewrite.cpp.o.d"
   "/root/repo/src/common/config.cpp" "src/CMakeFiles/powerlog.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/config.cpp.o.d"
   "/root/repo/src/common/logging.cpp" "src/CMakeFiles/powerlog.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/CMakeFiles/powerlog.dir/common/metrics.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/metrics.cpp.o.d"
   "/root/repo/src/common/random.cpp" "src/CMakeFiles/powerlog.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/random.cpp.o.d"
   "/root/repo/src/common/status.cpp" "src/CMakeFiles/powerlog.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/status.cpp.o.d"
   "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/powerlog.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/powerlog.dir/common/string_util.cpp.o.d"

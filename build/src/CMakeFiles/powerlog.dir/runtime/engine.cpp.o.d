@@ -197,33 +197,33 @@ src/CMakeFiles/powerlog.dir/runtime/engine.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h /root/repo/src/core/kernel.h \
- /root/repo/src/core/aggregates.h /usr/include/c++/12/atomic \
- /root/repo/src/datalog/ast.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/datalog/analyzer.h /root/repo/src/datalog/expr_compiler.h \
- /root/repo/src/smt/term.h /root/repo/src/smt/rational.h \
- /root/repo/src/smt/monotone.h /root/repo/src/graph/graph.h \
- /root/repo/src/core/mono_table.h /root/repo/src/graph/partition.h \
- /root/repo/src/runtime/buffer_policy.h /usr/include/c++/12/cstddef \
- /root/repo/src/runtime/network.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/status.h /root/repo/src/core/kernel.h \
+ /root/repo/src/core/aggregates.h /root/repo/src/datalog/ast.h \
+ /usr/include/c++/12/variant /root/repo/src/datalog/analyzer.h \
+ /root/repo/src/datalog/expr_compiler.h /root/repo/src/smt/term.h \
+ /root/repo/src/smt/rational.h /root/repo/src/smt/monotone.h \
+ /root/repo/src/graph/graph.h /root/repo/src/core/mono_table.h \
+ /root/repo/src/graph/partition.h /root/repo/src/runtime/buffer_policy.h \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/network.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/runtime/message.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

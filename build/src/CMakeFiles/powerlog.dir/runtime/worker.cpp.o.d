@@ -159,11 +159,11 @@ src/CMakeFiles/powerlog.dir/runtime/worker.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/stdio.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/mutex \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/limits \
+ /usr/include/c++/12/mutex /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -237,9 +237,10 @@ src/CMakeFiles/powerlog.dir/runtime/worker.cpp.o: \
  /root/repo/src/smt/monotone.h /root/repo/src/graph/graph.h \
  /root/repo/src/core/mono_table.h /root/repo/src/graph/partition.h \
  /root/repo/src/runtime/buffer_policy.h /root/repo/src/runtime/engine.h \
- /root/repo/src/runtime/network.h /root/repo/src/common/timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/metrics.h /root/repo/src/runtime/network.h \
+ /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/runtime/message.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -265,4 +266,5 @@ src/CMakeFiles/powerlog.dir/runtime/worker.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/logging.h \
- /root/repo/src/runtime/checkpoint.h
+ /root/repo/src/common/string_util.h /root/repo/src/runtime/checkpoint.h \
+ /root/repo/src/runtime/termination.h

@@ -301,13 +301,13 @@ tests/CMakeFiles/test_systems.dir/test_systems.cpp.o: \
  /root/repo/src/smt/monotone.h /root/repo/src/graph/graph.h \
  /root/repo/src/eval/naive.h /root/repo/src/systems/comparators.h \
  /root/repo/src/systems/vertex_engines.h /root/repo/src/graph/partition.h \
- /root/repo/src/runtime/engine.h /root/repo/src/core/mono_table.h \
- /root/repo/src/runtime/buffer_policy.h /root/repo/src/runtime/network.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
- /usr/include/c++/12/chrono /root/repo/src/runtime/message.h \
- /root/repo/tests/test_util.h /root/repo/src/common/random.h \
- /root/repo/src/datalog/catalog.h /root/repo/src/graph/builder.h \
- /root/repo/src/graph/generators.h
+ /root/repo/src/runtime/engine.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/mono_table.h /root/repo/src/runtime/buffer_policy.h \
+ /root/repo/src/runtime/network.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
+ /root/repo/src/runtime/message.h /root/repo/tests/test_util.h \
+ /root/repo/src/common/random.h /root/repo/src/datalog/catalog.h \
+ /root/repo/src/graph/builder.h /root/repo/src/graph/generators.h

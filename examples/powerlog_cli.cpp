@@ -15,6 +15,9 @@
 //   --epsilon <e>           termination epsilon override
 //   --top <k>               print the k best keys (default 10)
 //   --check-only            run the condition checker and exit
+//   --metrics-json <path>   collect engine metrics and write them as JSON
+//                           (per-worker counters, latency/flush histograms,
+//                           β trajectories; see DESIGN.md "Observability")
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -35,7 +38,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --program <name|file> (--dataset <name> | --graph "
                "<file>) [--mode m] [--workers n] [--source v] [--epsilon e] "
-               "[--top k] [--check-only] | --list\n",
+               "[--top k] [--check-only] [--metrics-json path] | --list\n",
                argv0);
   return 2;
 }
@@ -57,6 +60,7 @@ Result<std::string> LoadProgram(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::string program_spec, dataset, graph_file, mode_name = "sync-async";
+  std::string metrics_path;
   RunOptions options;
   int top = 10;
   bool check_only = false;
@@ -101,6 +105,9 @@ int main(int argc, char** argv) {
       top = std::atoi(value);
     } else if (arg == "--check-only") {
       check_only = true;
+    } else if (arg == "--metrics-json" && (value = next())) {
+      metrics_path = value;
+      options.collect_metrics = true;
     } else {
       return Usage(argv[0]);
     }
@@ -167,6 +174,18 @@ int main(int argc, char** argv) {
               run->check.satisfied ? "satisfied" : "NOT satisfied",
               run->evaluation.c_str(), run->execution.c_str());
   std::printf("stats: %s\n", run->stats.Summary().c_str());
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n", metrics_path.c_str());
+      return 1;
+    }
+    out << run->metrics.ToJson() << '\n';
+    std::printf("metrics: wrote %s (%zu counters, %zu histograms, %zu series)\n",
+                metrics_path.c_str(), run->metrics.counters.size(),
+                run->metrics.histograms.size(), run->metrics.series.size());
+  }
 
   std::vector<std::pair<double, VertexId>> ranked;
   for (VertexId v = 0; v < graph->num_vertices(); ++v) {

@@ -1,0 +1,446 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace powerlog::metrics {
+namespace {
+
+// libstdc++ does not ship the C++20 std::atomic<double>::fetch_add on every
+// toolchain we target; a CAS loop is portable and the paths using it are not
+// hot enough to care.
+void AtomicAdd(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN literals
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+void AppendKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  out->append(JsonEscape(name));
+  out->append("\":");
+}
+
+/// Appends {"name":value,...} with keys sorted; Emit writes one value.
+template <typename T, typename Emit>
+void AppendSection(std::string* out, const char* section,
+                   std::vector<std::pair<std::string, T>> entries, Emit emit,
+                   bool* first_section) {
+  if (!*first_section) out->push_back(',');
+  *first_section = false;
+  out->push_back('"');
+  out->append(section);
+  out->append("\":{");
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  bool first = true;
+  for (const auto& [name, value] : entries) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendKey(out, name);
+    emit(out, value);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(count, 0)));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+void MetricsSnapshot::AddCounter(const std::string& name, int64_t value) {
+  counters.emplace_back(name, value);
+}
+
+void MetricsSnapshot::AddGauge(const std::string& name, double value) {
+  gauges.emplace_back(name, value);
+}
+
+void MetricsSnapshot::AddHistogram(const std::string& name,
+                                   HistogramSnapshot snapshot) {
+  histograms.emplace_back(name, std::move(snapshot));
+}
+
+void MetricsSnapshot::AddSeries(const std::string& name, Series points) {
+  series.emplace_back(name, std::move(points));
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.push_back('{');
+  bool first_section = true;
+  AppendSection(
+      &out, "counters", counters,
+      [](std::string* o, int64_t v) { AppendInt(o, v); }, &first_section);
+  AppendSection(
+      &out, "gauges", gauges,
+      [](std::string* o, double v) { AppendDouble(o, v); }, &first_section);
+  AppendSection(
+      &out, "histograms", histograms,
+      [](std::string* o, const HistogramSnapshot& h) {
+        o->append("{\"bounds\":[");
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) o->push_back(',');
+          AppendDouble(o, h.bounds[i]);
+        }
+        o->append("],\"counts\":[");
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+          if (i > 0) o->push_back(',');
+          AppendInt(o, h.counts[i]);
+        }
+        o->append("],\"count\":");
+        AppendInt(o, h.count);
+        o->append(",\"sum\":");
+        AppendDouble(o, h.sum);
+        o->append(",\"min\":");
+        AppendDouble(o, h.min);
+        o->append(",\"max\":");
+        AppendDouble(o, h.max);
+        o->push_back('}');
+      },
+      &first_section);
+  AppendSection(
+      &out, "series", series,
+      [](std::string* o, const Series& s) {
+        o->push_back('[');
+        for (size_t i = 0; i < s.size(); ++i) {
+          if (i > 0) o->push_back(',');
+          o->push_back('[');
+          AppendDouble(o, s[i].first);
+          o->push_back(',');
+          AppendDouble(o, s[i].second);
+          o->push_back(']');
+        }
+        o->push_back(']');
+      },
+      &first_section);
+  out.push_back('}');
+  return out;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.AddCounter(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.AddGauge(name, gauge->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.AddHistogram(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing.
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto value = ParseValue();
+    if (!value.ok()) return value.status();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    JsonValue v;
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        auto s = ParseString();
+        if (!s.ok()) return s.status();
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = std::move(*s);
+        return v;
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        v.kind_ = JsonValue::Kind::kNull;
+        return v;
+      default: return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return Error("expected a value");
+    pos_ += static_cast<size_t>(end - begin);
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // Our serialiser only emits \u00xx control escapes; decode the
+          // low byte and let anything else pass through as UTF-8 bytes.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    if (Consume(']')) return v;
+    while (true) {
+      auto item = ParseValue();
+      if (!item.ok()) return item.status();
+      v.array_.push_back(std::move(*item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':'");
+      auto value = ParseValue();
+      if (!value.ok()) return value.status();
+      v.object_.emplace_back(std::move(*key), std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace powerlog::metrics

@@ -1,0 +1,172 @@
+// Lightweight metrics registry for the runtime's observability layer.
+//
+// Hot-path instruments are wait-free: counters and gauges are single relaxed
+// atomics, histograms are fixed-bucket arrays of relaxed atomics (no locking,
+// no allocation on Observe). Registration hands out stable pointers, so a
+// worker resolves each instrument by name once and then increments through
+// the pointer. Snapshots are taken after (or concurrently with) a run and
+// serialise to JSON for the CLI (`--metrics-json`) and the bench harness
+// (`POWERLOG_BENCH_METRICS`); a matching minimal JSON parser supports
+// round-trip tests and downstream tooling.
+//
+// Concurrent snapshot caveat: counts/sums are read individually with relaxed
+// loads, so a snapshot taken mid-run is not a linearisable cut — fine for
+// run-level statistics, which are harvested after the worker threads join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace powerlog::metrics {
+
+/// \brief Monotonically increasing relaxed-atomic counter.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Point-in-time copy of a histogram's state.
+struct HistogramSnapshot {
+  std::vector<double> bounds;   ///< ascending upper bounds (inclusive)
+  std::vector<int64_t> counts;  ///< bounds.size()+1 entries; last = overflow
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< valid iff count > 0
+  double max = 0.0;  ///< valid iff count > 0
+};
+
+/// \brief Fixed-bucket histogram. Bucket i counts observations
+/// `v <= bounds[i]` (first match); one extra overflow bucket catches the
+/// rest. Observe is lock-free (bucket search + relaxed atomic updates).
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;  ///< bounds_.size()+1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// `count` ascending bucket bounds: start, start·factor, start·factor², …
+/// Requires start > 0, factor > 1, count >= 1.
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// \brief Everything a registry (plus ad-hoc additions) knows, as plain
+/// data. Serialises to one JSON object with four sections:
+///   {"counters":{name:int,...}, "gauges":{name:double,...},
+///    "histograms":{name:{"bounds":[...],"counts":[...],"count":n,
+///                        "sum":s,"min":m,"max":M},...},
+///    "series":{name:[[x,y],...],...}}
+/// Keys are emitted in sorted order so output is stable across runs.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  using Series = std::vector<std::pair<double, double>>;
+  std::vector<std::pair<std::string, Series>> series;
+
+  void AddCounter(const std::string& name, int64_t value);
+  void AddGauge(const std::string& name, double value);
+  void AddHistogram(const std::string& name, HistogramSnapshot snapshot);
+  void AddSeries(const std::string& name, Series points);
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           series.empty();
+  }
+
+  std::string ToJson() const;
+};
+
+/// \brief Named instrument registry. Get* registers on first use and returns
+/// a stable pointer; subsequent calls with the same name return the same
+/// instrument (histogram bounds are fixed by the first registration).
+/// Registration takes a mutex; instrument updates do not.
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Copies every instrument's current state.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+/// \brief Minimal immutable JSON document — just enough to round-trip
+/// MetricsSnapshot::ToJson() in tests and tooling.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  static Result<JsonValue> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr if not an object or key absent.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace powerlog::metrics

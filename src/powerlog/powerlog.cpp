@@ -46,13 +46,15 @@ Result<RunOutcome> PowerLog::Run(const std::string& source, const Graph& graph,
     engine_options.max_supersteps = options.max_supersteps;
     engine_options.epsilon_override = options.epsilon_override;
     engine_options.priority_threshold = options.priority_threshold;
+    engine_options.collect_metrics = options.collect_metrics;
     runtime::Engine engine(graph, *kernel, engine_options);
     auto run = engine.Run();
     if (!run.ok()) return run.status();
     outcome.evaluation = "MRA";
     outcome.execution = runtime::ExecModeName(engine_options.mode);
     outcome.values = std::move(run->values);
-    outcome.stats = run->stats;
+    outcome.stats = std::move(run->stats);
+    outcome.metrics = std::move(run->metrics);
     return outcome;
   }
 

@@ -36,6 +36,9 @@ struct RunOptions {
   double priority_threshold = 0.0;
   /// Overrides the @source annotation (single-source programs).
   std::optional<uint32_t> source;
+  /// Collect the engine's observability payload (per-worker breakdown,
+  /// latency/flush histograms, β trajectories) into RunOutcome::metrics.
+  bool collect_metrics = false;
 };
 
 /// \brief Everything a run produces.
@@ -45,6 +48,9 @@ struct RunOutcome {
   std::string execution;               ///< engine mode used
   std::vector<double> values;          ///< final per-key results
   runtime::EngineStats stats;
+  /// Observability snapshot (options.collect_metrics); empty for naive-eval
+  /// fallbacks, which bypass the instrumented engine.
+  metrics::MetricsSnapshot metrics;
 };
 
 /// \brief The system façade.

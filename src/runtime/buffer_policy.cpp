@@ -5,6 +5,11 @@
 #include "common/timer.h"
 
 namespace powerlog::runtime {
+namespace {
+
+constexpr size_t kMaxTrajectorySamples = 4096;
+
+}  // namespace
 
 BufferPolicy::BufferPolicy(const Params& params)
     : params_(params), beta_(params.beta), last_flush_us_(NowMicros()) {}
@@ -31,9 +36,21 @@ void BufferPolicy::OnFlush(size_t flushed, int64_t now_us) {
   const double target_rate = beta_ / static_cast<double>(params_.tau_us);
   if (rate > params_.r * target_rate || rate < target_rate / params_.r) {
     // β = α · τ · |B|/ΔT — re-centre the buffer size on the observed rate.
+    const double previous = beta_;
     beta_ = params_.alpha * static_cast<double>(params_.tau_us) * rate;
     beta_ = std::clamp(beta_, params_.beta_min, params_.beta_max);
+    if (record_trajectory_ && beta_ != previous &&
+        trajectory_.size() < kMaxTrajectorySamples) {
+      trajectory_.emplace_back(now_us - trajectory_origin_us_, beta_);
+    }
   }
+}
+
+void BufferPolicy::EnableTrajectory(int64_t origin_us) {
+  record_trajectory_ = true;
+  trajectory_origin_us_ = origin_us;
+  trajectory_.clear();
+  trajectory_.emplace_back(0, beta_);
 }
 
 }  // namespace powerlog::runtime

@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace powerlog::runtime {
 
@@ -41,10 +43,23 @@ class BufferPolicy {
 
   double beta() const { return beta_; }
 
+  /// One recorded β value: (microseconds since `origin_us`, β).
+  using BetaSample = std::pair<int64_t, double>;
+
+  /// Starts recording the β trajectory (observability): the initial β plus
+  /// every adaptation, timestamped relative to `origin_us`. Bounded to a few
+  /// thousand samples so pathological runs cannot balloon memory.
+  void EnableTrajectory(int64_t origin_us);
+
+  const std::vector<BetaSample>& trajectory() const { return trajectory_; }
+
  private:
   Params params_;
   double beta_;
   int64_t last_flush_us_ = 0;
+  bool record_trajectory_ = false;
+  int64_t trajectory_origin_us_ = 0;
+  std::vector<BetaSample> trajectory_;
 };
 
 }  // namespace powerlog::runtime

@@ -4,6 +4,7 @@
 #include <limits>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "runtime/termination.h"
@@ -30,6 +31,45 @@ std::string EngineStats::Summary() const {
       static_cast<long long>(messages), static_cast<long long>(updates_sent),
       converged ? "true" : "false");
 }
+
+namespace {
+
+/// Flattens the per-worker breakdown, bus pair counts, and run totals into
+/// `snap` under stable dotted names (see DESIGN.md "Observability").
+void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
+                      uint32_t num_workers, metrics::MetricsSnapshot* snap) {
+  snap->AddCounter("engine.supersteps", stats.supersteps);
+  snap->AddCounter("engine.harvests", stats.harvests);
+  snap->AddCounter("engine.edge_applications", stats.edge_applications);
+  snap->AddCounter("engine.messages", stats.messages);
+  snap->AddCounter("engine.updates_sent", stats.updates_sent);
+  snap->AddGauge("engine.wall_seconds", stats.wall_seconds);
+  snap->AddGauge("engine.converged", stats.converged ? 1.0 : 0.0);
+  for (const WorkerStats& w : stats.workers) {
+    const std::string prefix = StringFormat("worker.%u.", w.worker_id);
+    snap->AddCounter(prefix + "harvests", w.harvests);
+    snap->AddCounter(prefix + "edge_applications", w.edge_applications);
+    snap->AddCounter(prefix + "flushes", w.flushes);
+    snap->AddCounter(prefix + "flushed_updates", w.flushed_updates);
+    snap->AddCounter(prefix + "inbox_updates", w.inbox_updates);
+    snap->AddCounter(prefix + "idle_scans", w.idle_scans);
+    snap->AddCounter(prefix + "barrier_wait_us", w.barrier_wait_us);
+    snap->AddCounter(prefix + "stall_us", w.stall_us);
+    snap->AddCounter(prefix + "inbox_drain_us", w.inbox_drain_us);
+  }
+  for (uint32_t from = 0; from < num_workers; ++from) {
+    for (uint32_t to = 0; to < num_workers; ++to) {
+      const int64_t messages = bus.PairMessages(from, to);
+      if (messages == 0) continue;
+      snap->AddCounter(StringFormat("bus.messages.w%u_to_w%u", from, to),
+                       messages);
+      snap->AddCounter(StringFormat("bus.updates.w%u_to_w%u", from, to),
+                       bus.PairUpdates(from, to));
+    }
+  }
+}
+
+}  // namespace
 
 Engine::Engine(const Graph& graph, Kernel kernel, EngineOptions options)
     : graph_(graph), kernel_(std::move(kernel)), options_(std::move(options)) {}
@@ -68,6 +108,16 @@ Result<EngineResult> Engine::Run() {
   shared.options = &options_;
   shared.barrier = &barrier;
   shared.idle_flags = &idle_flags;
+  metrics::Registry registry;
+  if (options_.collect_metrics) {
+    // 1us .. ~2s in powers of two: spans instant-delivery scheduling noise
+    // up to heavily batched high-latency links.
+    bus.SetLatencyHistogram(registry.GetHistogram(
+        "bus.delivery_latency_us", metrics::ExponentialBuckets(1.0, 2.0, 22)));
+    // 1 .. 128k updates per flush (beta_max is 256k).
+    shared.flush_size_hist = registry.GetHistogram(
+        "worker.flush_size", metrics::ExponentialBuckets(1.0, 2.0, 18));
+  }
   if (options_.delta_stepping > 0.0 && kernel_.agg == AggKind::kMin) {
     double init_min = std::numeric_limits<double>::infinity();
     for (double d : init->delta0) init_min = std::min(init_min, d);
@@ -104,6 +154,17 @@ Result<EngineResult> Engine::Run() {
   result.stats.messages = net.messages;
   result.stats.updates_sent = net.updates;
   result.stats.converged = shared.converged.load();
+  result.stats.workers.reserve(workers.size());
+  for (const Worker& worker : workers) {
+    result.stats.workers.push_back(worker.stats());
+  }
+  if (options_.collect_metrics) {
+    result.metrics = registry.Snapshot();
+    ExportRunMetrics(result.stats, bus, options_.num_workers, &result.metrics);
+    for (const Worker& worker : workers) {
+      worker.ExportMetrics(&result.metrics);
+    }
+  }
   result.values = table->SnapshotAccumulation();
   result.trace = std::move(shared.trace);
   return result;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "core/kernel.h"
 #include "core/mono_table.h"
@@ -57,7 +58,12 @@ struct EngineOptions {
   /// the current bucket are expanded; the bucket advances when exhausted.
   double delta_stepping = 0.0;
 
-  /// Termination.
+  /// Termination. ε-termination (sum/count programs) follows the paper's
+  /// criterion in *every* mode: the difference between two consecutive
+  /// global aggregation results G_k = Σ accumulation must stay below ε for
+  /// two samples in a row (supersteps in sync mode, periodic checks in the
+  /// async family). A NaN/±inf global aggregate marks a diverging sum
+  /// program and never satisfies the criterion.
   double epsilon_override = -1.0;     ///< <0: use the kernel's epsilon
   int64_t max_supersteps = 100000;    ///< sync-mode cap
   double max_wall_seconds = 60.0;     ///< async-mode hard cap
@@ -93,6 +99,30 @@ struct EngineOptions {
   /// delta mass) sample per termination check (async modes) or superstep
   /// (sync mode).
   bool record_trace = false;
+
+  /// Collect the full observability payload: per-worker timing breakdowns
+  /// (barrier wait, stall, inbox drain), the bus delivery-latency histogram,
+  /// flush-size histogram, per-pair traffic counts, and β trajectories —
+  /// exported as EngineResult::metrics. Adds a few clock reads per loop
+  /// iteration; off by default so correctness tests and tight benches run
+  /// at full speed. Per-worker event *counters* are collected regardless.
+  bool collect_metrics = false;
+};
+
+/// \brief Per-worker execution breakdown (EngineStats::workers). Counters
+/// are always collected; the *_us timings require
+/// EngineOptions::collect_metrics and are zero otherwise.
+struct WorkerStats {
+  uint32_t worker_id = 0;
+  int64_t harvests = 0;          ///< MonoTable deltas this worker processed
+  int64_t edge_applications = 0; ///< F' applications
+  int64_t flushes = 0;           ///< buffer flushes sent to the bus
+  int64_t flushed_updates = 0;   ///< updates across those flushes
+  int64_t inbox_updates = 0;     ///< updates drained from the inbox
+  int64_t idle_scans = 0;        ///< async: full scans that found no work
+  int64_t barrier_wait_us = 0;   ///< sync: time parked at barriers
+  int64_t stall_us = 0;          ///< injected environment-noise pauses
+  int64_t inbox_drain_us = 0;    ///< time spent in DrainInbox
 };
 
 struct EngineStats {
@@ -103,6 +133,7 @@ struct EngineStats {
   int64_t messages = 0;
   int64_t updates_sent = 0;
   bool converged = false;
+  std::vector<WorkerStats> workers;  ///< per-worker breakdown
 
   std::string Summary() const;
 };
@@ -118,6 +149,9 @@ struct EngineResult {
   std::vector<double> values;
   EngineStats stats;
   std::vector<TraceSample> trace;  ///< non-empty iff options.record_trace
+  /// Full observability payload (counters, histograms, β-trajectory series);
+  /// empty unless options.collect_metrics. Serialise with metrics.ToJson().
+  metrics::MetricsSnapshot metrics;
 };
 
 /// \brief One evaluation run of a kernel on a graph under the chosen mode.

@@ -3,13 +3,17 @@
 #include <chrono>
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace powerlog::runtime {
 
 MessageBus::MessageBus(uint32_t num_workers, NetworkConfig config)
-    : config_(config), inboxes_(num_workers) {}
+    : config_(config),
+      inboxes_(num_workers),
+      pair_messages_(static_cast<size_t>(num_workers) * num_workers),
+      pair_updates_(static_cast<size_t>(num_workers) * num_workers) {}
 
 void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
-  (void)from;
   if (batch.empty()) return;
   const int64_t now = NowMicros();
   const int64_t deliver_at =
@@ -21,9 +25,13 @@ void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
   inflight_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_acq_rel);
   messages_.fetch_add(1, std::memory_order_relaxed);
   updates_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_relaxed);
+  const size_t pair = PairIndex(from, to);
+  pair_messages_[pair].fetch_add(1, std::memory_order_relaxed);
+  pair_updates_[pair].fetch_add(static_cast<int64_t>(batch.size()),
+                                std::memory_order_relaxed);
   Inbox& inbox = inboxes_[to];
   std::lock_guard<std::mutex> lock(inbox.mutex);
-  inbox.queue.push_back(Envelope{deliver_at, std::move(batch)});
+  inbox.queue.push_back(Envelope{now, deliver_at, std::move(batch)});
 }
 
 size_t MessageBus::Receive(uint32_t worker, UpdateBatch* out) {
@@ -44,6 +52,9 @@ size_t MessageBus::Receive(uint32_t worker, UpdateBatch* out) {
       }
       received += it->batch.size();
       ++messages;
+      if (latency_hist_ != nullptr) {
+        latency_hist_->Observe(static_cast<double>(now - it->sent_at_us));
+      }
       inflight_.fetch_sub(static_cast<int64_t>(it->batch.size()),
                           std::memory_order_acq_rel);
       out->insert(out->end(), it->batch.begin(), it->batch.end());

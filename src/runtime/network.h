@@ -17,6 +17,10 @@
 #include "common/timer.h"
 #include "runtime/message.h"
 
+namespace powerlog::metrics {
+class Histogram;
+}  // namespace powerlog::metrics
+
 namespace powerlog::runtime {
 
 /// \brief Simulated transport parameters.
@@ -66,8 +70,25 @@ class MessageBus {
 
   NetworkStats stats() const;
 
+  /// Observability: when set, every consumed message records its send→receive
+  /// latency (simulated delivery delay + scheduling) into `histogram`, in
+  /// microseconds. The histogram must outlive the bus.
+  void SetLatencyHistogram(metrics::Histogram* histogram) {
+    latency_hist_ = histogram;
+  }
+
+  /// Per-(sender, receiver) traffic counts, always collected (one relaxed
+  /// increment per Send into a cell only the sender writes).
+  int64_t PairMessages(uint32_t from, uint32_t to) const {
+    return pair_messages_[PairIndex(from, to)].load(std::memory_order_relaxed);
+  }
+  int64_t PairUpdates(uint32_t from, uint32_t to) const {
+    return pair_updates_[PairIndex(from, to)].load(std::memory_order_relaxed);
+  }
+
  private:
   struct Envelope {
+    int64_t sent_at_us;
     int64_t deliver_at_us;
     UpdateBatch batch;
   };
@@ -79,11 +100,18 @@ class MessageBus {
     int64_t cpu_debt_ns = 0;
   };
 
+  size_t PairIndex(uint32_t from, uint32_t to) const {
+    return static_cast<size_t>(from) * inboxes_.size() + to;
+  }
+
   NetworkConfig config_;
   std::vector<Inbox> inboxes_;
   std::atomic<int64_t> inflight_{0};
   std::atomic<int64_t> messages_{0};
   std::atomic<int64_t> updates_{0};
+  std::vector<std::atomic<int64_t>> pair_messages_;  ///< num_workers² cells
+  std::vector<std::atomic<int64_t>> pair_updates_;
+  metrics::Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace powerlog::runtime

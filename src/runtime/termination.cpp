@@ -7,12 +7,7 @@
 #include "common/timer.h"
 
 namespace powerlog::runtime {
-namespace {
 
-/// Global aggregation over the accumulation column (the per-worker local
-/// results the master merges, §5.4). Identity infinities (unreached min/max
-/// keys) are skipped, but an overflowed *sum* value means the program is
-/// diverging — report NaN so the epsilon criterion can never fire on it.
 double GlobalAggregate(const MonoTable& table) {
   const bool ordered =
       table.agg_kind() == AggKind::kMin || table.agg_kind() == AggKind::kMax;
@@ -28,8 +23,6 @@ double GlobalAggregate(const MonoTable& table) {
   }
   return total;
 }
-
-}  // namespace
 
 bool TerminationController::Quiescent() const {
   for (const auto& flag : *shared_->idle_flags) {

@@ -8,6 +8,15 @@
 
 namespace powerlog::runtime {
 
+/// Global aggregation over the accumulation column (the per-worker local
+/// results the master merges, §5.4) — the G_k of the paper's ε-termination
+/// criterion |G_k − G_{k−1}| < ε. Identity infinities (unreached min/max
+/// keys) are skipped, but an overflowed *sum* value means the program is
+/// diverging — reports NaN so the epsilon criterion can never fire on it.
+/// Shared by the async termination controller and sync-mode supersteps so
+/// both paths terminate on the same criterion.
+double GlobalAggregate(const MonoTable& table);
+
 /// \brief The master's termination loop. Runs on its own thread until it
 /// sets shared->stop.
 class TerminationController {

@@ -7,8 +7,11 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "runtime/checkpoint.h"
+#include "runtime/termination.h"
 
 namespace powerlog::runtime {
 namespace {
@@ -34,6 +37,7 @@ void Worker::MaybeStall() {
   const int64_t pause = static_cast<int64_t>(
       -static_cast<double>(options.stall_mean_us) *
       std::log(1.0 - stall_rng_.NextDouble()));
+  stats_.stall_us += pause;
   SpinSleep(pause);
   next_stall_us_ =
       NowMicros() + static_cast<int64_t>(-static_cast<double>(options.stall_every_us) *
@@ -57,9 +61,13 @@ void RecordTraceSample(SharedState* shared) {
 Worker::Worker(uint32_t id, SharedState* shared) : id_(id), shared_(shared) {
   owned_ = shared_->partition->OwnedVertices(id);
   stall_rng_.Seed(shared_->options->stall_seed * 0x9E3779B9ULL + id * 1297 + 1);
+  stats_.worker_id = id;
+  collect_metrics_ = shared_->options->collect_metrics;
+  // §5.4 adaptive priority applies to the async family only: sync supersteps
+  // never consume the EMA, so feeding it there would leave garbage behind.
+  adaptive_priority_ = shared_->options->adaptive_priority &&
+                       shared_->options->mode != ExecMode::kSync;
   const uint32_t n = shared_->options->num_workers;
-  out_buffers_.reserve(n);
-  policies_.reserve(n);
   BufferPolicy::Params params = shared_->options->buffer;
   switch (shared_->options->mode) {
     case ExecMode::kAsync:
@@ -79,9 +87,31 @@ Worker::Worker(uint32_t id, SharedState* shared) : id_(id), shared_(shared) {
       // override models Maiter/Prom-style engines without β/τ adaptation.
       break;
   }
+  // One buffer per *peer* — contributions to self-owned keys go straight
+  // into the MonoTable, so a self slot would only be dead weight.
+  peers_.reserve(n - 1);
+  out_buffers_.reserve(n - 1);
+  policies_.reserve(n - 1);
   for (uint32_t w = 0; w < n; ++w) {
+    if (w == id_) continue;
+    peers_.push_back(w);
     out_buffers_.emplace_back(shared_->kernel->agg);
     policies_.emplace_back(params);
+    if (collect_metrics_) policies_.back().EnableTrajectory(shared_->start_us);
+  }
+}
+
+void Worker::ExportMetrics(metrics::MetricsSnapshot* snap) const {
+  for (size_t slot = 0; slot < policies_.size(); ++slot) {
+    const auto& trajectory = policies_[slot].trajectory();
+    if (trajectory.empty()) continue;
+    metrics::MetricsSnapshot::Series series;
+    series.reserve(trajectory.size());
+    for (const auto& [t_us, beta] : trajectory) {
+      series.emplace_back(static_cast<double>(t_us), beta);
+    }
+    snap->AddSeries(StringFormat("buffer.beta.w%u_to_w%u", id_, peers_[slot]),
+                    std::move(series));
   }
 }
 
@@ -94,11 +124,14 @@ void Worker::Run() {
 }
 
 size_t Worker::DrainInbox() {
+  const int64_t t0 = collect_metrics_ ? NowMicros() : 0;
   inbox_scratch_.clear();
   const size_t received = shared_->bus->Receive(id_, &inbox_scratch_);
   for (const Update& u : inbox_scratch_) {
     shared_->table->CombineDelta(u.key, u.value);
   }
+  stats_.inbox_updates += static_cast<int64_t>(received);
+  if (collect_metrics_) stats_.inbox_drain_us += NowMicros() - t0;
   return received;
 }
 
@@ -129,7 +162,7 @@ bool Worker::ProcessVertex(VertexId v) {
   }
   // §5.4 adaptive priority: defer deltas well below this worker's moving
   // average pending magnitude so they accumulate before propagation.
-  if (!ordered && shared_->options->adaptive_priority) {
+  if (!ordered && adaptive_priority_) {
     scan_abs_sum_ += std::abs(pending);
     ++scan_count_;
     if (idle_scans_ < 3 && priority_ema_ > 0.0 &&
@@ -148,6 +181,7 @@ bool Worker::ProcessVertex(VertexId v) {
   if (tmp == identity) return false;  // raced with another harvest
   if (ordered && !agg.Improves(x_before, tmp)) return false;
   shared_->harvests.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.harvests;
 
   // Step 3 of Fig. 7: apply F' and route contributions.
   const double deg = static_cast<double>(shared_->graph->OutDegree(v));
@@ -159,10 +193,11 @@ bool Worker::ProcessVertex(VertexId v) {
     if (owner == id_) {
       shared_->table->CombineDelta(e.dst, contribution);
     } else {
-      out_buffers_[owner].Add(e.dst, contribution);
+      out_buffers_[owner < id_ ? owner : owner - 1].Add(e.dst, contribution);
     }
   }
   shared_->edge_applications.fetch_add(apps, std::memory_order_relaxed);
+  stats_.edge_applications += apps;
   // Comparator configurations inflate per-edge compute (JVM/Spark engines);
   // sleep the debt off in >=200us chunks to dodge the OS sleep quantum.
   if (shared_->options->compute_inflation_ns_per_edge > 0.0) {
@@ -178,15 +213,27 @@ bool Worker::ProcessVertex(VertexId v) {
 
 void Worker::FlushBuffers(bool force) {
   const int64_t now = NowMicros();
-  for (uint32_t w = 0; w < out_buffers_.size(); ++w) {
-    if (w == id_) continue;
-    CombiningBuffer& buffer = out_buffers_[w];
+  for (size_t slot = 0; slot < out_buffers_.size(); ++slot) {
+    CombiningBuffer& buffer = out_buffers_[slot];
     if (buffer.empty()) continue;
-    if (!force && !policies_[w].ShouldFlush(buffer.size(), now)) continue;
+    if (!force && !policies_[slot].ShouldFlush(buffer.size(), now)) continue;
     const size_t flushed = buffer.size();
-    shared_->bus->Send(id_, w, buffer.Drain());
-    policies_[w].OnFlush(flushed, now);
+    shared_->bus->Send(id_, peers_[slot], buffer.Drain());
+    policies_[slot].OnFlush(flushed, now);
+    ++stats_.flushes;
+    stats_.flushed_updates += static_cast<int64_t>(flushed);
+    if (shared_->flush_size_hist != nullptr) {
+      shared_->flush_size_hist->Observe(static_cast<double>(flushed));
+    }
   }
+}
+
+bool Worker::ArriveAndWaitTimed() {
+  if (!collect_metrics_) return shared_->barrier->ArriveAndWait();
+  const int64_t t0 = NowMicros();
+  const bool serial = shared_->barrier->ArriveAndWait();
+  stats_.barrier_wait_us += NowMicros() - t0;
+  return serial;
 }
 
 void Worker::RunSync() {
@@ -203,14 +250,14 @@ void Worker::RunSync() {
     FlushBuffers(/*force=*/true);
     // Model the distributed barrier's coordination cost.
     SpinSleep(options.barrier_overhead_us);
-    shared_->barrier->ArriveAndWait();  // all sends complete
+    ArriveAndWaitTimed();  // all sends complete
 
     // --- communication phase: wait until our inbox is fully delivered ---
     while (shared_->bus->HasPending(id_)) {
       DrainInbox();
       SpinSleep(20);
     }
-    const bool serial = shared_->barrier->ArriveAndWait();  // all receives done
+    const bool serial = ArriveAndWaitTimed();  // all receives done
 
     // --- termination decision (one worker per superstep) ---
     if (serial) {
@@ -225,7 +272,22 @@ void Worker::RunSync() {
                                   : 0.0);
       bool done = false;
       if (work == 0 && mass == 0.0) done = true;  // fixpoint
-      if (epsilon > 0.0 && mass < epsilon) done = true;
+      if (epsilon > 0.0) {
+        // Paper criterion, same as the async path (termination.cpp): the
+        // difference between two *consecutive* global aggregation results
+        // must stay below ε for two supersteps in a row. The old
+        // `PendingDeltaMass() < ε` shortcut measured one superstep's
+        // unapplied delta mass and could stop at a different fixpoint than
+        // the async modes. A NaN aggregate (diverging sum) never matches.
+        const double global = GlobalAggregate(*shared_->table);
+        if (!std::isnan(global) && !std::isnan(shared_->sync_prev_global) &&
+            std::abs(global - shared_->sync_prev_global) < epsilon) {
+          if (++shared_->sync_eps_streak >= 2) done = true;
+        } else {
+          shared_->sync_eps_streak = 0;
+        }
+        shared_->sync_prev_global = global;
+      }
       if (work == 0 && mass > 0.0 && options.delta_stepping > 0.0 &&
           kernel.agg == AggKind::kMin) {
         // Δ-stepping: current bucket exhausted, advance to the smallest
@@ -264,7 +326,7 @@ void Worker::RunSync() {
         }
       }
     }
-    shared_->barrier->ArriveAndWait();  // decision visible to all
+    ArriveAndWaitTimed();  // decision visible to all
   }
 }
 
@@ -310,6 +372,7 @@ void Worker::RunAsyncLike() {
     auto& idle = (*shared_->idle_flags)[id_];
     if (!any) {
       ++idle_scans_;
+      ++stats_.idle_scans;
       // Nothing useful locally: push out whatever is buffered so other
       // workers can progress, then declare idleness.
       FlushBuffers(/*force=*/true);

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <vector>
 
@@ -41,8 +42,19 @@ struct SharedState {
   std::atomic<int64_t> superstep_work{0};  ///< useful harvests this superstep
   std::atomic<double> bucket_limit{0.0};   ///< Δ-stepping current bucket bound
 
+  // Sync-mode ε-termination state: the global aggregate across supersteps
+  // (|G_k − G_{k−1}| < ε, two consecutive). Touched only inside the serial
+  // decision section between the second and third barriers, so plain fields
+  // are safe — the barrier's mutex hands them off across supersteps.
+  double sync_prev_global = std::numeric_limits<double>::quiet_NaN();
+  int sync_eps_streak = 0;
+
   // Async modes: per-worker idle flags for quiescence detection.
   std::vector<std::atomic<uint8_t>>* idle_flags = nullptr;
+
+  // Observability (options->collect_metrics): shared histograms the workers
+  // and bus feed; null when collection is off.
+  metrics::Histogram* flush_size_hist = nullptr;
 
   // Convergence trace (options->record_trace): guarded by trace_mutex.
   std::mutex trace_mutex;
@@ -62,6 +74,13 @@ class Worker {
   /// Entry point; dispatches on the engine mode.
   void Run();
 
+  /// Per-worker execution breakdown; read after the worker thread joins.
+  const WorkerStats& stats() const { return stats_; }
+
+  /// Appends this worker's β-trajectory series ("buffer.beta.w<i>_to_w<j>")
+  /// to `snap`. Call after the worker thread joins.
+  void ExportMetrics(metrics::MetricsSnapshot* snap) const;
+
  private:
   void RunSync();
   void RunAsyncLike();  // kAsync / kAap / kSyncAsync
@@ -76,12 +95,23 @@ class Worker {
   /// Sends buffers per policy; `force` flushes everything (barrier).
   void FlushBuffers(bool force);
 
+  /// Barrier arrival, accounting the straggler wait when metrics are on.
+  bool ArriveAndWaitTimed();
+
   uint32_t id_;
   SharedState* shared_;
   std::vector<VertexId> owned_;
-  std::vector<CombiningBuffer> out_buffers_;  ///< one per destination worker
+  // Outgoing buffers/policies are indexed by *peer slot*, not worker id: a
+  // worker never messages itself (local contributions go straight into the
+  // MonoTable), so there are num_workers-1 buffers and peers_[slot] maps a
+  // slot back to the destination worker id.
+  std::vector<uint32_t> peers_;
+  std::vector<CombiningBuffer> out_buffers_;  ///< one per peer
   std::vector<BufferPolicy> policies_;
   UpdateBatch inbox_scratch_;
+  WorkerStats stats_;
+  bool collect_metrics_ = false;
+  bool adaptive_priority_ = false;  ///< §5.4 EMA priority (async family only)
   int64_t idle_scans_ = 0;  ///< consecutive no-work scans (threshold decay)
   int64_t compute_debt_ns_ = 0;  ///< accumulated inflation cost to sleep off
   // Adaptive priority (§5.4): moving average of pending |delta| magnitudes.

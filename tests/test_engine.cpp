@@ -252,6 +252,63 @@ TEST(Engine, DeltaSteppingMatchesExactSssp) {
   EXPECT_TRUE(run->stats.converged);
 }
 
+TEST(Engine, SyncEpsilonTerminationMatchesAsyncFamily) {
+  // Regression for the sync-mode ε-termination bug: sync used to stop as
+  // soon as one superstep's *pending delta mass* dropped below ε, while the
+  // async family requires two consecutive global-aggregate differences
+  // below ε — so the same sum kernel + ε could settle at visibly different
+  // fixpoints depending on ExecMode. Both paths now implement the paper's
+  // criterion; identical kernel + ε must land element-wise within 10·ε.
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(101);
+  const double epsilon = 1e-7;
+  std::vector<std::vector<double>> results;
+  for (ExecMode mode : {ExecMode::kSync, ExecMode::kSyncAsync}) {
+    EngineOptions options;
+    options.mode = mode;
+    options.num_workers = 4;
+    options.network.instant = true;
+    options.barrier_overhead_us = 0;
+    options.epsilon_override = epsilon;
+    Engine engine(g, k, options);
+    auto run = engine.Run();
+    ASSERT_TRUE(run.ok()) << ExecModeName(mode) << ": "
+                          << run.status().ToString();
+    EXPECT_TRUE(run->stats.converged)
+        << ExecModeName(mode) << " " << run->stats.Summary();
+    results.push_back(std::move(run->values));
+  }
+  EXPECT_LE(MaxAbsDiff(results[0], results[1]), 10.0 * epsilon);
+}
+
+TEST(Engine, SyncEpsilonNeverFiresOnDivergingSum) {
+  // The hoisted GlobalAggregate NaN/divergence guard: a unit-gain
+  // circulating sum keeps G_k constant (mass is conserved), but ε must not
+  // declare convergence — G_k − G_{k−1} = 0 only because the program ping-
+  // pongs the same mass around the cycle... except a *constant* aggregate
+  // with real work is exactly the plateau the criterion measures, so what
+  // pins the guard is the overflow case: once the sum overflows to ±inf,
+  // GlobalAggregate reports NaN and termination must fall to the cap.
+  auto kernel = BuildKernelFromSource(
+      "seed(X,c) :- X = 0, c = 1.\n"
+      "grow(Y,sum[c1]) :- seed(Y,c2), c1 = c2;\n"
+      "              :- grow(X,c), edge(X,Y), c1 = c * 3;\n"
+      "              {sum[Δc] < 0.0001}.");
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  auto g = GenerateCycle(8);
+  EngineOptions options;
+  options.mode = ExecMode::kSync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  options.max_supersteps = 3000;  // enough for the gain-3 sum to overflow
+  Engine engine(g, *kernel, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->stats.converged) << run->stats.Summary();
+  EXPECT_EQ(run->stats.supersteps, 3000);
+}
+
 TEST(Engine, AdaptivePriorityStillConverges) {
   // §5.4 adaptive priority must not change the fixpoint.
   Kernel k = MustCompile("pagerank");

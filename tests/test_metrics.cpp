@@ -1,0 +1,272 @@
+// Observability layer: registry semantics, histogram bucketing, JSON
+// round-trips, concurrent updates, bus-level instrumentation, and the
+// engine's end-to-end metrics export.
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/network.h"
+#include "test_util.h"
+
+namespace powerlog::metrics {
+namespace {
+
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallWeightedGraph;
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Metrics, RegistryReturnsStableInstruments) {
+  Registry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("y"));
+  a->Increment(7);
+  EXPECT_EQ(registry.GetCounter("x")->value(), 7);
+
+  Histogram* h = registry.GetHistogram("h", {1.0, 2.0});
+  EXPECT_EQ(h, registry.GetHistogram("h", {99.0}));  // bounds fixed by first
+  EXPECT_EQ(h->bounds().size(), 2u);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+}
+
+TEST(Metrics, HistogramBucketing) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 4.0, 5.0}) h.Observe(v);
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2);      // 0.5, 1.0 (inclusive upper bound)
+  EXPECT_EQ(snap.counts[1], 1);      // 1.5
+  EXPECT_EQ(snap.counts[2], 1);      // 4.0
+  EXPECT_EQ(snap.counts[3], 1);      // 5.0 overflows
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0);
+}
+
+TEST(Metrics, ExponentialBuckets) {
+  const auto bounds = ExponentialBuckets(1.0, 2.0, 5);
+  EXPECT_EQ(bounds, (std::vector<double>{1, 2, 4, 8, 16}));
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("hits");
+  Histogram* hist = registry.GetHistogram("obs", ExponentialBuckets(1, 2, 10));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(static_cast<double>((t * kPerThread + i) % 600));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 599.0);
+}
+
+TEST(Json, ParsesScalarsAndStructures) {
+  auto v = JsonValue::Parse(R"({"a":[1,2.5,-3e2],"b":{"t":true,"n":null},"s":"x\ny"})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->array()[2].number(), -300.0);
+  const JsonValue* t = v->Find("b")->Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->bool_value());
+  EXPECT_EQ(v->Find("b")->Find("n")->kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(v->Find("s")->string_value(), "x\ny");
+  EXPECT_EQ(v->Find("zzz"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} extra").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("truthy").ok());
+}
+
+TEST(Json, EscapeRoundTrips) {
+  const std::string nasty = "quote\" backslash\\ tab\t newline\n ctrl\x01";
+  auto parsed = JsonValue::Parse("\"" + JsonEscape(nasty) + "\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value(), nasty);
+}
+
+TEST(Metrics, SnapshotJsonRoundTrip) {
+  MetricsSnapshot snap;
+  snap.AddCounter("engine.harvests", 1234);
+  snap.AddCounter("weird \"name\"\\path", -5);
+  snap.AddGauge("engine.wall_seconds", 0.125);
+  HistogramSnapshot h;
+  h.bounds = {1.0, 10.0};
+  h.counts = {3, 2, 1};
+  h.count = 6;
+  h.sum = 40.5;
+  h.min = 0.5;
+  h.max = 100.0;
+  snap.AddHistogram("bus.delivery_latency_us", h);
+  snap.AddSeries("buffer.beta.w0_to_w1", {{0.0, 256.0}, {1500.0, 512.0}});
+
+  const std::string json = snap.ToJson();
+  auto parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("engine.harvests")->number(), 1234.0);
+  EXPECT_DOUBLE_EQ(counters->Find("weird \"name\"\\path")->number(), -5.0);
+
+  EXPECT_DOUBLE_EQ(parsed->Find("gauges")->Find("engine.wall_seconds")->number(),
+                   0.125);
+
+  const JsonValue* hist = parsed->Find("histograms")->Find("bus.delivery_latency_us");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->Find("bounds")->array().size(), 2u);
+  ASSERT_EQ(hist->Find("counts")->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(hist->Find("counts")->array()[0].number(), 3.0);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number(), 6.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->number(), 40.5);
+
+  const JsonValue* series = parsed->Find("series")->Find("buffer.beta.w0_to_w1");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(series->array()[1].array()[0].number(), 1500.0);
+  EXPECT_DOUBLE_EQ(series->array()[1].array()[1].number(), 512.0);
+}
+
+TEST(Metrics, BusRecordsLatencyAndPairTraffic) {
+  runtime::NetworkConfig config;
+  config.instant = true;
+  runtime::MessageBus bus(3, config);
+  Histogram latency(ExponentialBuckets(1, 2, 20));
+  bus.SetLatencyHistogram(&latency);
+
+  bus.Send(0, 1, {{1, 1.0}, {2, 2.0}});
+  bus.Send(0, 1, {{3, 3.0}});
+  bus.Send(2, 1, {{4, 4.0}});
+  runtime::UpdateBatch out;
+  EXPECT_EQ(bus.Receive(1, &out), 4u);
+
+  EXPECT_EQ(latency.count(), 3);  // one observation per message
+  EXPECT_EQ(bus.PairMessages(0, 1), 2);
+  EXPECT_EQ(bus.PairUpdates(0, 1), 3);
+  EXPECT_EQ(bus.PairMessages(2, 1), 1);
+  EXPECT_EQ(bus.PairMessages(1, 0), 0);
+}
+
+// End-to-end: a real engine run exports per-worker counters, the bus
+// latency histogram, flush sizes, and β trajectories — and the JSON the CLI
+// writes parses back with all of them present (acceptance criterion).
+TEST(Metrics, EngineExportsFullSnapshot) {
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(31);
+  runtime::EngineOptions options;
+  options.mode = runtime::ExecMode::kSyncAsync;
+  options.num_workers = 3;
+  options.network.latency_us = 30.0;  // real (tiny) delivery delay
+  options.network.per_update_us = 0.0;
+  options.epsilon_override = 1e-7;
+  options.collect_metrics = true;
+  runtime::Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_FALSE(run->metrics.empty());
+
+  // Per-worker breakdown is consistent with the global stats.
+  ASSERT_EQ(run->stats.workers.size(), 3u);
+  int64_t harvests = 0, edges = 0, flushed = 0;
+  for (const auto& w : run->stats.workers) {
+    harvests += w.harvests;
+    edges += w.edge_applications;
+    flushed += w.flushed_updates;
+  }
+  EXPECT_EQ(harvests, run->stats.harvests);
+  EXPECT_EQ(edges, run->stats.edge_applications);
+  EXPECT_EQ(flushed, run->stats.updates_sent);
+
+  auto parsed = JsonValue::Parse(run->metrics.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* key : {"engine.harvests", "worker.0.harvests",
+                          "worker.1.edge_applications", "worker.2.flushes",
+                          "bus.messages.w0_to_w1"}) {
+    EXPECT_NE(counters->Find(key), nullptr) << key;
+  }
+  const JsonValue* latency =
+      parsed->Find("histograms")->Find("bus.delivery_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->Find("count")->number(), 0.0);
+  const JsonValue* flush_hist = parsed->Find("histograms")->Find("worker.flush_size");
+  ASSERT_NE(flush_hist, nullptr);
+  EXPECT_GT(flush_hist->Find("count")->number(), 0.0);
+
+  // β trajectory: one series per (worker, peer) pair, each starting at the
+  // configured initial β.
+  const JsonValue* series = parsed->Find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->object().size(), 6u);  // 3 workers × 2 peers
+  const JsonValue* beta = series->Find("buffer.beta.w0_to_w1");
+  ASSERT_NE(beta, nullptr);
+  ASSERT_GE(beta->array().size(), 1u);
+  EXPECT_DOUBLE_EQ(beta->array()[0].array()[1].number(), options.buffer.beta);
+}
+
+TEST(Metrics, CollectionIsOffByDefault) {
+  Kernel k = MustCompile("cc");
+  auto g = SmallWeightedGraph(32);
+  runtime::EngineOptions options;
+  options.mode = runtime::ExecMode::kSync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  runtime::Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->metrics.empty());
+  // The cheap per-worker counters are still there.
+  ASSERT_EQ(run->stats.workers.size(), 2u);
+  EXPECT_GT(run->stats.workers[0].harvests + run->stats.workers[1].harvests, 0);
+}
+
+}  // namespace
+}  // namespace powerlog::metrics
