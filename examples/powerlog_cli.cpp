@@ -18,6 +18,16 @@
 //   --metrics-json <path>   collect engine metrics and write them as JSON
 //                           (per-worker counters, latency/flush histograms,
 //                           β trajectories; see DESIGN.md "Observability")
+//   --fault-plan <spec>     chaos injection, e.g. "crash=1@200,drop=0.02,
+//                           maxbus=50,seed=7" (see DESIGN.md "Fault
+//                           tolerance" for the grammar)
+//   --checkpoint <base>     checkpoint store base path (<base>.0/.1 +
+//                           <base>.manifest)
+//   --checkpoint-us <n>     async-family snapshot interval in microseconds
+//                           (sync mode snapshots every 16 supersteps)
+//   --heartbeat-us <n>      hang-detection timeout: a worker whose beat is
+//                           this stale (and not legitimately waiting) is
+//                           fenced and recovered; 0 (default) disables
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -38,7 +48,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --program <name|file> (--dataset <name> | --graph "
                "<file>) [--mode m] [--workers n] [--source v] [--epsilon e] "
-               "[--top k] [--check-only] [--metrics-json path] | --list\n",
+               "[--top k] [--check-only] [--metrics-json path] "
+               "[--fault-plan spec] [--checkpoint base] [--checkpoint-us n] "
+               "[--heartbeat-us n] | --list\n",
                argv0);
   return 2;
 }
@@ -96,18 +108,37 @@ int main(int argc, char** argv) {
     } else if (arg == "--mode" && (value = next())) {
       mode_name = value;
     } else if (arg == "--workers" && (value = next())) {
-      options.num_workers = static_cast<uint32_t>(std::atoi(value));
+      options.engine.num_workers = static_cast<uint32_t>(std::atoi(value));
     } else if (arg == "--source" && (value = next())) {
       options.source = static_cast<uint32_t>(std::atol(value));
     } else if (arg == "--epsilon" && (value = next())) {
-      options.epsilon_override = std::atof(value);
+      options.engine.epsilon_override = std::atof(value);
     } else if (arg == "--top" && (value = next())) {
       top = std::atoi(value);
     } else if (arg == "--check-only") {
       check_only = true;
     } else if (arg == "--metrics-json" && (value = next())) {
       metrics_path = value;
-      options.collect_metrics = true;
+      options.engine.collect_metrics = true;
+    } else if (arg == "--fault-plan" && (value = next())) {
+      auto plan = runtime::ParseFaultPlan(value);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 2;
+      }
+      options.engine.fault = *plan;
+    } else if (arg == "--checkpoint" && (value = next())) {
+      options.engine.checkpoint_path = value;
+      if (options.engine.checkpoint_every == 0) {
+        options.engine.checkpoint_every = 16;  // sync-mode superstep cadence
+      }
+      if (options.engine.checkpoint_interval_us == 0) {
+        options.engine.checkpoint_interval_us = 100000;
+      }
+    } else if (arg == "--checkpoint-us" && (value = next())) {
+      options.engine.checkpoint_interval_us = std::atol(value);
+    } else if (arg == "--heartbeat-us" && (value = next())) {
+      options.engine.heartbeat_timeout_us = std::atol(value);
     } else {
       return Usage(argv[0]);
     }
@@ -154,13 +185,13 @@ int main(int argc, char** argv) {
   std::printf("graph: %s\n", graph->Summary().c_str());
 
   if (mode_name == "sync") {
-    options.mode = runtime::ExecMode::kSync;
+    options.engine.mode = runtime::ExecMode::kSync;
   } else if (mode_name == "async") {
-    options.mode = runtime::ExecMode::kAsync;
+    options.engine.mode = runtime::ExecMode::kAsync;
   } else if (mode_name == "aap") {
-    options.mode = runtime::ExecMode::kAap;
+    options.engine.mode = runtime::ExecMode::kAap;
   } else if (mode_name == "sync-async") {
-    options.mode = runtime::ExecMode::kSyncAsync;
+    options.engine.mode = runtime::ExecMode::kSyncAsync;
   } else {
     return Usage(argv[0]);
   }

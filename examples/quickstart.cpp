@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   // 3. Run: parse -> automatic MRA condition check -> MRA evaluation on the
   //    unified sync-async engine (or naive fallback if the check fails).
   RunOptions options;
-  options.num_workers = 4;
+  options.engine.num_workers = 4;
   auto run = PowerLog::Run(program, graph, options);
   if (!run.ok()) {
     std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());

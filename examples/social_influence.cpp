@@ -57,7 +57,7 @@ int main() {
   std::printf("social graph: %s\n\n", graph.Summary().c_str());
 
   RunOptions options;
-  options.num_workers = 4;
+  options.engine.num_workers = 4;
 
   // --- 1. Communities --------------------------------------------------
   auto cc = RunCatalog("cc", graph, options);

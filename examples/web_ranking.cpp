@@ -40,9 +40,9 @@ int main() {
   for (auto mode : {runtime::ExecMode::kSync, runtime::ExecMode::kAsync,
                     runtime::ExecMode::kSyncAsync}) {
     RunOptions options;
-    options.num_workers = 4;
-    options.mode = mode;
-    options.epsilon_override = 1e-6;
+    options.engine.num_workers = 4;
+    options.engine.mode = mode;
+    options.engine.epsilon_override = 1e-6;
     auto run = PowerLog::Run(entry->source, graph, options);
     if (!run.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", runtime::ExecModeName(mode),
@@ -61,7 +61,7 @@ int main() {
 
   // Report the top pages under the unified engine.
   RunOptions options;
-  options.num_workers = 4;
+  options.engine.num_workers = 4;
   auto run = PowerLog::Run(entry->source, graph, options);
   if (!run.ok()) return 1;
   std::vector<std::pair<double, VertexId>> ranked;

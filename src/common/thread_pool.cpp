@@ -74,6 +74,7 @@ void ThreadPool::WorkerLoop() {
 
 bool Barrier::ArriveAndWait() {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (broken_) return false;
   size_t gen = generation_;
   if (--count_ == 0) {
     ++generation_;
@@ -81,8 +82,33 @@ bool Barrier::ArriveAndWait() {
     cv_.notify_all();
     return true;
   }
-  cv_.wait(lock, [this, gen] { return gen != generation_; });
+  cv_.wait(lock, [this, gen] { return gen != generation_ || broken_; });
   return false;
+}
+
+void Barrier::Break() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    broken_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Barrier::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  broken_ = false;
+  count_ = threshold_;
+  // The generation bump flips every pending waiter's predicate, so they
+  // must be woken here: Reset on a barrier that still has waiters would
+  // otherwise leave them asleep forever (no notify, no spurious-wakeup
+  // guarantee).
+  ++generation_;
+  cv_.notify_all();
+}
+
+bool Barrier::broken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return broken_;
 }
 
 }  // namespace powerlog

@@ -47,21 +47,39 @@ class ThreadPool {
 };
 
 /// \brief Reusable barrier for N participants (the BSP superstep boundary).
+///
+/// Supports fault-tolerant interruption: Break() wakes every waiter and
+/// makes all subsequent arrivals return immediately (never serial) until
+/// Reset() restores normal operation — the runtime's supervisor uses this to
+/// unwedge sync-mode workers parked on a crashed peer.
 class Barrier {
  public:
   explicit Barrier(size_t count) : threshold_(count), count_(count) {}
 
   /// Blocks until all participants arrive. Returns true for exactly one
   /// participant per generation (the "serial" thread, mirroring
-  /// std::barrier's completion step).
+  /// std::barrier's completion step). While broken, returns false
+  /// immediately without waiting.
   bool ArriveAndWait();
 
+  /// Wakes all current waiters and disables the barrier (arrivals fall
+  /// through). Safe to call from a non-participant thread.
+  void Break();
+
+  /// Re-arms a broken barrier for a full complement of participants. Only
+  /// call once every participant has stopped arriving (e.g. all parked at a
+  /// recovery rendezvous).
+  void Reset();
+
+  bool broken() const;
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   size_t threshold_;
   size_t count_;
   size_t generation_ = 0;
+  bool broken_ = false;
 };
 
 }  // namespace powerlog

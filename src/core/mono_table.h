@@ -68,6 +68,16 @@ class MonoTable {
   /// Restores both columns (checkpoint recovery).
   Status Restore(const std::vector<double>& x, const std::vector<double>& delta);
 
+  /// Overwrites one row's columns (partial recovery of a worker's shard).
+  void SetRow(size_t row, double x, double delta) {
+    accumulation_[row].store(x, std::memory_order_relaxed);
+    intermediate_[row].store(delta, std::memory_order_relaxed);
+  }
+
+  /// Fault injection: resets one row to the identity in both columns,
+  /// emulating the loss of a crashed worker's in-memory shard.
+  void WipeRow(size_t row) { SetRow(row, identity_, identity_); }
+
  private:
   MonoTable(AggKind kind, size_t num_rows, double identity);
 

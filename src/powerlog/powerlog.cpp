@@ -14,6 +14,21 @@ Result<Kernel> PowerLog::Compile(const std::string& source) {
   return BuildKernelFromSource(source);
 }
 
+namespace {
+
+/// Applies the façade-level source override to a compiled kernel.
+Status ApplySourceOverride(Kernel* kernel, const RunOptions& options) {
+  if (!options.source) return Status::OK();
+  if (kernel->init.kind != datalog::InitKind::kSingleSource) {
+    return Status::InvalidArgument(
+        "source override requires a single-source program");
+  }
+  kernel->init.source = *options.source;
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<RunOutcome> PowerLog::Run(const std::string& source, const Graph& graph,
                                  const RunOptions& options) {
   auto parsed = datalog::Parse(source);
@@ -26,32 +41,17 @@ Result<RunOutcome> PowerLog::Run(const std::string& source, const Graph& graph,
 
   auto kernel = BuildKernel(*analyzed);
   if (!kernel.ok()) return kernel.status();
-  if (options.source) {
-    if (kernel->init.kind != datalog::InitKind::kSingleSource) {
-      return Status::InvalidArgument(
-          "source override requires a single-source program");
-    }
-    kernel->init.source = *options.source;
-  }
+  POWERLOG_RETURN_NOT_OK(ApplySourceOverride(&*kernel, options));
 
   RunOutcome outcome;
   outcome.check = std::move(check).ValueOrDie();
 
   if (outcome.check.satisfied) {
-    runtime::EngineOptions engine_options;
-    engine_options.num_workers = options.num_workers;
-    engine_options.network = options.network;
-    engine_options.mode = options.mode.value_or(runtime::ExecMode::kSyncAsync);
-    engine_options.max_wall_seconds = options.max_wall_seconds;
-    engine_options.max_supersteps = options.max_supersteps;
-    engine_options.epsilon_override = options.epsilon_override;
-    engine_options.priority_threshold = options.priority_threshold;
-    engine_options.collect_metrics = options.collect_metrics;
-    runtime::Engine engine(graph, *kernel, engine_options);
+    runtime::Engine engine(graph, *kernel, options.engine);
     auto run = engine.Run();
     if (!run.ok()) return run.status();
     outcome.evaluation = "MRA";
-    outcome.execution = runtime::ExecModeName(engine_options.mode);
+    outcome.execution = runtime::ExecModeName(options.engine.mode);
     outcome.values = std::move(run->values);
     outcome.stats = std::move(run->stats);
     outcome.metrics = std::move(run->metrics);
@@ -64,7 +64,7 @@ Result<RunOutcome> PowerLog::Run(const std::string& source, const Graph& graph,
   outcome.execution = "sync";
   if (kernel->agg == AggKind::kMean) {
     eval::EvalOptions eval_options;
-    eval_options.epsilon_override = options.epsilon_override;
+    eval_options.epsilon_override = options.engine.epsilon_override;
     auto run = eval::NaiveEvaluate(*kernel, graph, eval_options);
     if (!run.ok()) return run.status();
     outcome.values = std::move(run->values);
@@ -73,17 +73,37 @@ Result<RunOutcome> PowerLog::Run(const std::string& source, const Graph& graph,
     outcome.stats.converged = run->converged;
     return outcome;
   }
-  runtime::EngineOptions engine_options;
-  engine_options.num_workers = options.num_workers;
-  engine_options.network = options.network;
+  runtime::EngineOptions engine_options = options.engine;
   engine_options.mode = runtime::ExecMode::kSync;
-  engine_options.max_wall_seconds = options.max_wall_seconds;
-  engine_options.max_supersteps = options.max_supersteps;
-  engine_options.epsilon_override = options.epsilon_override;
   auto run = systems::NaiveSyncRun(graph, *kernel, engine_options);
   if (!run.ok()) return run.status();
   outcome.values = std::move(run->values);
   outcome.stats = run->stats;
+  return outcome;
+}
+
+Result<RunOutcome> PowerLog::Run(const Kernel& kernel, const Graph& graph,
+                                 const RunOptions& options) {
+  Kernel prepared = kernel;
+  POWERLOG_RETURN_NOT_OK(ApplySourceOverride(&prepared, options));
+
+  RunOutcome outcome;
+  // No source text, no check stage: record the provenance honestly instead
+  // of fabricating a verdict. Compile() only emits kernels for programs
+  // that parse and analyze; the engine itself rejects non-MRA aggregates
+  // (mean), so nothing unsound slips through the skip.
+  outcome.check.satisfied = true;
+  outcome.check.report =
+      "condition check skipped: precompiled kernel (serving path)";
+
+  runtime::Engine engine(graph, prepared, options.engine);
+  auto run = engine.Run();
+  if (!run.ok()) return run.status();
+  outcome.evaluation = "MRA";
+  outcome.execution = runtime::ExecModeName(options.engine.mode);
+  outcome.values = std::move(run->values);
+  outcome.stats = std::move(run->stats);
+  outcome.metrics = std::move(run->metrics);
   return outcome;
 }
 

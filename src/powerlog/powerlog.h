@@ -12,6 +12,7 @@
 //   if (run.ok()) { use run->values ... }
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,22 +24,18 @@
 
 namespace powerlog {
 
-/// \brief End-to-end run options.
+/// \brief End-to-end run options: the full engine configuration plus the
+/// few knobs that only make sense at the façade layer. Every engine
+/// parameter (mode, workers, network, termination caps, checkpointing,
+/// fault plan, metrics, ...) lives in `engine` — exactly once, so a field
+/// added to EngineOptions is immediately reachable here without a mirror.
+/// Programs that fail the MRA check fall back to the naive sync engine;
+/// the relevant engine fields (workers, network, caps) still apply there,
+/// while the mode is forced to sync.
 struct RunOptions {
-  uint32_t num_workers = 4;
-  runtime::NetworkConfig network;
-  /// Force an execution mode instead of the default sync-async engine
-  /// (experiments/ablations). Ignored for programs failing the MRA check.
-  std::optional<runtime::ExecMode> mode;
-  double max_wall_seconds = 60.0;
-  int64_t max_supersteps = 100000;
-  double epsilon_override = -1.0;
-  double priority_threshold = 0.0;
+  runtime::EngineOptions engine;
   /// Overrides the @source annotation (single-source programs).
   std::optional<uint32_t> source;
-  /// Collect the engine's observability payload (per-worker breakdown,
-  /// latency/flush histograms, β trajectories) into RunOutcome::metrics.
-  bool collect_metrics = false;
 };
 
 /// \brief Everything a run produces.
@@ -58,6 +55,15 @@ class PowerLog {
  public:
   /// Parses, checks, and executes `source` against `graph`.
   static Result<RunOutcome> Run(const std::string& source, const Graph& graph,
+                                const RunOptions& options = {});
+
+  /// Serving path: executes an already-compiled kernel (from Compile),
+  /// skipping the parse and condition-check stages — the shape of a
+  /// deployment that verifies a program once and then evaluates it against
+  /// many graphs. The kernel must satisfy the MRA conditions (Compile on a
+  /// checked program guarantees it); mean programs are rejected by the
+  /// engine. `outcome.check` reports the skip in its provenance.
+  static Result<RunOutcome> Run(const Kernel& kernel, const Graph& graph,
                                 const RunOptions& options = {});
 
   /// Condition check only (the standalone verification tool).

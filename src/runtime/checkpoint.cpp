@@ -1,8 +1,11 @@
 #include "runtime/checkpoint.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
+
+#include "common/string_util.h"
 
 namespace powerlog::runtime {
 namespace {
@@ -24,28 +27,30 @@ void Append(std::vector<uint8_t>* buf, const void* data, size_t size) {
   std::memcpy(buf->data() + offset, data, size);
 }
 
-}  // namespace
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open checkpoint " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat " + path);
+  }
+  out->resize(static_cast<size_t>(size));
+  const size_t read = std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) return Status::IOError("short read from " + path);
+  return Status::OK();
+}
 
-Status WriteCheckpoint(const MonoTable& table, const std::string& path) {
-  std::vector<uint8_t> buf;
-  const uint64_t kind = static_cast<uint64_t>(table.agg_kind());
-  const uint64_t rows = table.num_rows();
-  Append(&buf, &kMagic, sizeof(kMagic));
-  Append(&buf, &kind, sizeof(kind));
-  Append(&buf, &rows, sizeof(rows));
-  const std::vector<double> x = table.SnapshotAccumulation();
-  const std::vector<double> delta = table.SnapshotIntermediate();
-  Append(&buf, x.data(), x.size() * sizeof(double));
-  Append(&buf, delta.data(), delta.size() * sizeof(double));
-  const uint64_t checksum = Fnv1a(buf.data(), buf.size());
-  Append(&buf, &checksum, sizeof(checksum));
-
+Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + tmp + " for writing");
-  const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  const size_t written = std::fwrite(data, 1, size, f);
   const int close_rc = std::fclose(f);
-  if (written != buf.size() || close_rc != 0) {
+  if (written != size || close_rc != 0) {
     std::remove(tmp.c_str());
     return Status::IOError("short write to " + tmp);
   }
@@ -56,21 +61,12 @@ Status WriteCheckpoint(const MonoTable& table, const std::string& path) {
   return Status::OK();
 }
 
-Status RestoreCheckpoint(MonoTable* table, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open checkpoint " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < static_cast<long>(4 * sizeof(uint64_t))) {
-    std::fclose(f);
+Result<CheckpointData> ParseCheckpoint(AggKind want_kind, size_t want_rows,
+                                       const std::vector<uint8_t>& buf,
+                                       const std::string& path) {
+  if (buf.size() < 4 * sizeof(uint64_t)) {
     return Status::IOError("checkpoint too small: " + path);
   }
-  std::vector<uint8_t> buf(static_cast<size_t>(size));
-  const size_t read = std::fread(buf.data(), 1, buf.size(), f);
-  std::fclose(f);
-  if (read != buf.size()) return Status::IOError("short read from " + path);
-
   const size_t body = buf.size() - sizeof(uint64_t);
   uint64_t checksum = 0;
   std::memcpy(&checksum, buf.data() + body, sizeof(checksum));
@@ -87,21 +83,139 @@ Status RestoreCheckpoint(MonoTable* table, const std::string& path) {
   std::memcpy(&rows, p, sizeof(rows));
   p += sizeof(rows);
   if (magic != kMagic) return Status::IOError("bad checkpoint magic: " + path);
-  if (kind != static_cast<uint64_t>(table->agg_kind())) {
+  if (kind != static_cast<uint64_t>(want_kind)) {
     return Status::InvalidArgument("checkpoint aggregate kind mismatch");
   }
-  if (rows != table->num_rows()) {
+  if (rows != want_rows) {
     return Status::InvalidArgument("checkpoint row count mismatch");
   }
   const size_t expect = 3 * sizeof(uint64_t) + 2 * rows * sizeof(double);
   if (body != expect) return Status::IOError("checkpoint size mismatch: " + path);
 
-  std::vector<double> x(rows);
-  std::vector<double> delta(rows);
-  std::memcpy(x.data(), p, rows * sizeof(double));
+  CheckpointData data;
+  data.x.resize(rows);
+  data.delta.resize(rows);
+  std::memcpy(data.x.data(), p, rows * sizeof(double));
   p += rows * sizeof(double);
-  std::memcpy(delta.data(), p, rows * sizeof(double));
-  return table->Restore(x, delta);
+  std::memcpy(data.delta.data(), p, rows * sizeof(double));
+  return data;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const MonoTable& table, const std::string& path) {
+  std::vector<uint8_t> buf;
+  const uint64_t kind = static_cast<uint64_t>(table.agg_kind());
+  const uint64_t rows = table.num_rows();
+  Append(&buf, &kMagic, sizeof(kMagic));
+  Append(&buf, &kind, sizeof(kind));
+  Append(&buf, &rows, sizeof(rows));
+  const std::vector<double> x = table.SnapshotAccumulation();
+  const std::vector<double> delta = table.SnapshotIntermediate();
+  Append(&buf, x.data(), x.size() * sizeof(double));
+  Append(&buf, delta.data(), delta.size() * sizeof(double));
+  const uint64_t checksum = Fnv1a(buf.data(), buf.size());
+  Append(&buf, &checksum, sizeof(checksum));
+  return WriteFileAtomic(path, buf.data(), buf.size());
+}
+
+Status RestoreCheckpoint(MonoTable* table, const std::string& path) {
+  auto data = ReadCheckpoint(table->agg_kind(), table->num_rows(), path);
+  if (!data.ok()) return data.status();
+  return table->Restore(data->x, data->delta);
+}
+
+Result<CheckpointData> ReadCheckpoint(AggKind kind, size_t rows,
+                                      const std::string& path) {
+  std::vector<uint8_t> buf;
+  POWERLOG_RETURN_NOT_OK(ReadFile(path, &buf));
+  return ParseCheckpoint(kind, rows, buf, path);
+}
+
+std::string CheckpointStore::SlotPath(int slot) const {
+  return base_ + "." + std::to_string(slot);
+}
+
+std::string CheckpointStore::ManifestPath() const { return base_ + ".manifest"; }
+
+Status CheckpointStore::Write(const MonoTable& table) {
+  const int slot = next_slot_;
+  const std::string slot_path = SlotPath(slot);
+  POWERLOG_RETURN_NOT_OK(WriteCheckpoint(table, slot_path));
+
+  // Hash the slot file as written so the manifest can vouch for it byte-wise
+  // (catches truncation the in-file checksum would also catch, plus a
+  // manifest pointing at a stale slot from an older run).
+  std::vector<uint8_t> buf;
+  POWERLOG_RETURN_NOT_OK(ReadFile(slot_path, &buf));
+  const uint64_t digest = Fnv1a(buf.data(), buf.size());
+
+  const std::string manifest = "powerlog-checkpoint v1\nslot " +
+                               std::to_string(slot) + "\ncrc " +
+                               std::to_string(digest) + "\n";
+  POWERLOG_RETURN_NOT_OK(
+      WriteFileAtomic(ManifestPath(), manifest.data(), manifest.size()));
+  next_slot_ = 1 - slot;
+  ++writes_;
+  return Status::OK();
+}
+
+Result<CheckpointData> CheckpointStore::ReadLatest(AggKind kind,
+                                                   size_t rows) const {
+  if (!HasCheckpoint()) {
+    return Status::NotFound("no checkpoint manifest at " + ManifestPath());
+  }
+  std::vector<uint8_t> mbuf;
+  POWERLOG_RETURN_NOT_OK(ReadFile(ManifestPath(), &mbuf));
+  const std::string text(mbuf.begin(), mbuf.end());
+  int slot = -1;
+  uint64_t crc = 0;
+  bool have_crc = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    const std::vector<std::string> parts = Split(Trim(raw), ' ');
+    if (parts.size() != 2) continue;
+    if (parts[0] == "slot") {
+      auto v = ParseInt64(parts[1]);
+      if (v.ok()) slot = static_cast<int>(*v);
+    } else if (parts[0] == "crc") {
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(parts[1].c_str(), &end, 10);
+      if (end != nullptr && *end == '\0') {
+        crc = v;
+        have_crc = true;
+      }
+    }
+  }
+  if (slot != 0 && slot != 1) {
+    return Status::IOError("malformed checkpoint manifest: " + ManifestPath());
+  }
+
+  // Preferred slot first, then the other as fallback: a torn slot write (the
+  // manifest still names the previous slot) or a corrupted preferred slot
+  // must not lose the older good snapshot.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int s = attempt == 0 ? slot : 1 - slot;
+    const std::string path = SlotPath(s);
+    std::vector<uint8_t> buf;
+    if (!ReadFile(path, &buf).ok()) continue;
+    if (attempt == 0 && have_crc && Fnv1a(buf.data(), buf.size()) != crc) {
+      continue;  // manifest disagrees with the bytes on disk
+    }
+    auto data = ParseCheckpoint(kind, rows, buf, path);
+    if (data.ok()) return data;
+  }
+  return Status::IOError("no verifiable checkpoint slot under " + base_);
+}
+
+bool CheckpointStore::HasCheckpoint() const {
+  return FileExists(ManifestPath());
 }
 
 }  // namespace powerlog::runtime

@@ -20,4 +20,54 @@ Status WriteCheckpoint(const MonoTable& table, const std::string& path);
 /// and checksum.
 Status RestoreCheckpoint(MonoTable* table, const std::string& path);
 
+/// A restored checkpoint as raw columns (for partial / row-wise recovery
+/// where the live table must not be fully overwritten).
+struct CheckpointData {
+  std::vector<double> x;      ///< accumulation column
+  std::vector<double> delta;  ///< intermediate column
+};
+
+/// Reads `path` into columns without touching a table; validates magic,
+/// kind, row count, and checksum like RestoreCheckpoint.
+Result<CheckpointData> ReadCheckpoint(AggKind kind, size_t rows,
+                                      const std::string& path);
+
+/// \brief Ping-pong checkpoint store with a CRC-carrying manifest.
+///
+/// Snapshots alternate between `<base>.0` and `<base>.1`; after each slot
+/// write succeeds, `<base>.manifest` (a small text file, itself written via
+/// temp+rename) is updated to point at the newest slot and to record the
+/// slot file's FNV-1a digest. Recovery reads the manifest, re-hashes the
+/// named slot, and falls back to the other slot if the digest does not
+/// match — so a crash at any point (mid-slot-write, mid-manifest-write)
+/// leaves at least one readable, verified snapshot behind.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string base) : base_(std::move(base)) {}
+
+  const std::string& base() const { return base_; }
+
+  /// Writes the next snapshot slot and publishes it in the manifest.
+  Status Write(const MonoTable& table);
+
+  /// Reads the newest verified snapshot. Fails if no manifest exists or
+  /// neither slot verifies.
+  Result<CheckpointData> ReadLatest(AggKind kind, size_t rows) const;
+
+  /// True if a manifest exists on disk (cheap existence probe; does not
+  /// verify slot integrity).
+  bool HasCheckpoint() const;
+
+  /// Snapshots published since construction.
+  int64_t writes() const { return writes_; }
+
+ private:
+  std::string SlotPath(int slot) const;
+  std::string ManifestPath() const;
+
+  std::string base_;
+  int next_slot_ = 0;
+  int64_t writes_ = 0;
+};
+
 }  // namespace powerlog::runtime

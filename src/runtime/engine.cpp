@@ -1,12 +1,17 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
+#include <memory>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "runtime/checkpoint.h"
 #include "runtime/termination.h"
 #include "runtime/worker.h"
 
@@ -25,11 +30,12 @@ const char* ExecModeName(ExecMode mode) {
 std::string EngineStats::Summary() const {
   return StringFormat(
       "wall=%.3fs supersteps=%lld harvests=%lld edge_apps=%lld messages=%lld "
-      "updates=%lld converged=%s",
+      "updates=%lld converged=%s recoveries=%lld checkpoints=%lld",
       wall_seconds, static_cast<long long>(supersteps),
       static_cast<long long>(harvests), static_cast<long long>(edge_applications),
       static_cast<long long>(messages), static_cast<long long>(updates_sent),
-      converged ? "true" : "false");
+      converged ? "true" : "false", static_cast<long long>(recoveries),
+      static_cast<long long>(checkpoints_written));
 }
 
 namespace {
@@ -45,6 +51,14 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
   snap->AddCounter("engine.updates_sent", stats.updates_sent);
   snap->AddGauge("engine.wall_seconds", stats.wall_seconds);
   snap->AddGauge("engine.converged", stats.converged ? 1.0 : 0.0);
+  snap->AddCounter("engine.recoveries", stats.recoveries);
+  snap->AddCounter("engine.checkpoints_written", stats.checkpoints_written);
+  snap->AddCounter("engine.checkpoint_us", stats.checkpoint_us);
+  snap->AddCounter("fault.crashes", stats.faults.crashes);
+  snap->AddCounter("fault.hangs", stats.faults.hangs);
+  snap->AddCounter("fault.messages_dropped", stats.faults.messages_dropped);
+  snap->AddCounter("fault.messages_duplicated", stats.faults.messages_duplicated);
+  snap->AddCounter("fault.messages_reordered", stats.faults.messages_reordered);
   for (const WorkerStats& w : stats.workers) {
     const std::string prefix = StringFormat("worker.%u.", w.worker_id);
     snap->AddCounter(prefix + "harvests", w.harvests);
@@ -68,6 +82,290 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
     }
   }
 }
+
+bool SumLike(AggKind kind) {
+  return kind == AggKind::kSum || kind == AggKind::kCount;
+}
+
+/// Idempotent re-derivation sweep (min/max recovery): re-applies F' to every
+/// settled accumulation and combines the contributions straight into the
+/// table. Re-combining an already-applied contribution is a no-op under
+/// min/max, so one sweep heals a wiped shard, discarded wire messages, and
+/// lost outgoing buffers alike — without bookkeeping about *which*
+/// contribution went missing. Only safe while all workers are parked.
+void RepropagateAll(SharedState* shared) {
+  const Kernel& kernel = *shared->kernel;
+  MonoTable& table = *shared->table;
+  int64_t apps = 0;
+  const VertexId n = shared->graph->num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const double x = table.accumulation(v);
+    if (x == table.identity() || !std::isfinite(x)) continue;
+    const double deg = static_cast<double>(shared->graph->OutDegree(v));
+    for (const Edge& e : shared->prop->OutEdges(v)) {
+      table.CombineDelta(e.dst, kernel.EvalEdge(x, e.weight, deg));
+      ++apps;
+    }
+  }
+  shared->edge_applications.fetch_add(apps, std::memory_order_relaxed);
+}
+
+/// \brief The supervisor: detects dead / hung workers via their control
+/// blocks, runs the pause-restore-respawn recovery protocol, and publishes
+/// periodic async-mode checkpoints. Runs on its own thread until stop.
+class Supervisor {
+ public:
+  Supervisor(SharedState* shared, CheckpointStore* store,
+             const std::vector<double>* x0, const std::vector<double>* delta0,
+             std::mutex* spawn_mutex,
+             std::vector<std::unique_ptr<Worker>>* workers,
+             std::vector<std::thread>* threads)
+      : shared_(shared),
+        store_(store),
+        x0_(x0),
+        delta0_(delta0),
+        spawn_mutex_(spawn_mutex),
+        workers_(workers),
+        threads_(threads) {}
+
+  void Run() {
+    const EngineOptions& options = *shared_->options;
+    const uint32_t n = options.num_workers;
+    last_beat_.assign(n, -1);
+    last_change_us_.assign(n, NowMicros());
+    int64_t last_ckpt_us = NowMicros();
+    int64_t tick_us = 2000;
+    if (options.heartbeat_timeout_us > 0) {
+      tick_us = std::min(tick_us, options.heartbeat_timeout_us / 4);
+    }
+    tick_us = std::max<int64_t>(tick_us, 100);
+
+    while (!shared_->stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(tick_us));
+      const int64_t now = NowMicros();
+      std::vector<uint32_t> victims;
+      for (uint32_t w = 0; w < n; ++w) {
+        auto& ctl = (*shared_->control)[w];
+        if (ctl.dead.load(std::memory_order_acquire) != 0) {
+          victims.push_back(w);
+          continue;
+        }
+        const int64_t beat = ctl.heartbeat.load(std::memory_order_acquire);
+        if (beat != last_beat_[w]) {
+          last_beat_[w] = beat;
+          last_change_us_[w] = now;
+          continue;
+        }
+        if (options.heartbeat_timeout_us > 0 &&
+            ctl.waiting.load(std::memory_order_acquire) == 0 &&
+            now - last_change_us_[w] > options.heartbeat_timeout_us) {
+          // Hung (a beat this stale with no legitimate wait in progress):
+          // mark it dead so recovery treats it like a crash. State 3 =
+          // supervisor-marked: the zombie never touches shared state again
+          // (fencing makes its wake-up a silent exit), so recovery need not
+          // wait for it the way it waits for a self-wiping crash victim.
+          ctl.dead.store(3, std::memory_order_release);
+          victims.push_back(w);
+        }
+      }
+      if (!victims.empty()) {
+        Recover(victims);
+        // Fresh grace period: nobody beats while parked.
+        const int64_t after = NowMicros();
+        for (uint32_t w = 0; w < n; ++w) last_change_us_[w] = after;
+        continue;
+      }
+      if (store_ != nullptr && options.checkpoint_interval_us > 0 &&
+          options.mode != ExecMode::kSync &&
+          now - last_ckpt_us >= options.checkpoint_interval_us) {
+        PeriodicCheckpoint();
+        last_ckpt_us = NowMicros();
+      }
+    }
+    // Never exit with workers parked. If a dead peer left the sync barrier
+    // short-handed, break it for good before releasing anyone: survivors
+    // then fall straight through every barrier phase and exit at the loop
+    // top, whereas re-arming would strand them waiting for an arrival that
+    // can never come.
+    bool any_dead = false;
+    for (uint32_t w = 0; w < n; ++w) {
+      any_dead |=
+          (*shared_->control)[w].dead.load(std::memory_order_acquire) != 0;
+    }
+    if (any_dead && options.mode == ExecMode::kSync) {
+      shared_->barrier->Break();
+    }
+    Resume(/*rearm=*/!any_dead);
+  }
+
+ private:
+  /// See PauseWorkers / ResumeWorkers (worker.cpp) for the rendezvous and
+  /// barrier-rearm rules; the supervisor shares them with the termination
+  /// controller's ε consistent-cut confirmation via pause_mutex.
+  bool PauseAll(std::vector<uint32_t>* victims) {
+    return PauseWorkers(shared_, victims);
+  }
+
+  void Resume(bool rearm = true) { ResumeWorkers(shared_, rearm); }
+
+  void Recover(std::vector<uint32_t>& victims) {
+    const EngineOptions& options = *shared_->options;
+    std::lock_guard<std::mutex> pause_lock(shared_->pause_mutex);
+    shared_->recovering.store(true, std::memory_order_release);
+    // Fence every victim first: even an incarnation still technically
+    // running (hung in a sleep) must find itself superseded the moment it
+    // wakes, before it can flush a single stale update.
+    for (uint32_t w : victims) {
+      (*shared_->control)[w].incarnation.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (!PauseAll(&victims)) {
+      // Stop arrived mid-pause; the run is over. Leave the barrier broken
+      // (victims are dead, re-arming would strand survivors) and un-park.
+      Resume(/*rearm=*/false);
+      shared_->recovering.store(false, std::memory_order_release);
+      return;
+    }
+
+    // A crash victim raises dead=1 before wiping its shard and promotes it
+    // to 2 once the wipe (and buffer drain) is done. If it was preempted
+    // mid-wipe, restoring now would hand rows back to a zombie that is
+    // about to clear them — wait for the handshake. Hung workers are
+    // marked 3 by us and never write again, so there is nothing to await.
+    for (uint32_t w : victims) {
+      auto& ctl = (*shared_->control)[w];
+      while (ctl.dead.load(std::memory_order_acquire) == 1 &&
+             !shared_->stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+
+    // All survivors are parked with flushed buffers, so the only state
+    // outside the table is on the wire — and the wire is past the cut.
+    shared_->bus->Clear();
+
+    const AggKind agg = shared_->kernel->agg;
+    Result<CheckpointData> cp = Status::NotFound("no checkpoint store");
+    if (store_ != nullptr && store_->HasCheckpoint()) {
+      cp = store_->ReadLatest(agg, shared_->table->num_rows());
+      if (!cp.ok()) {
+        POWERLOG_WARN << "recovery: checkpoint unusable, falling back to "
+                         "initial state: "
+                      << cp.status().ToString();
+      }
+    }
+    if (SumLike(agg)) {
+      // Mass conservation makes a partial patch impossible: a sum row mixes
+      // contributions from every shard, so surgically rebuilding only the
+      // victim's rows would double-count everything the survivors already
+      // absorbed. Roll the whole table back to the latest verified cut.
+      if (cp.ok()) {
+        (void)shared_->table->Restore(cp->x, cp->delta);
+      } else {
+        (void)shared_->table->Initialize(*x0_, *delta0_);
+      }
+    } else {
+      // Idempotent aggregates: restore only the victims' shards, then let
+      // one re-derivation sweep heal every lost contribution in place.
+      for (uint32_t w : victims) {
+        for (VertexId v : shared_->partition->OwnedVertices(w)) {
+          if (cp.ok()) {
+            shared_->table->SetRow(v, cp->x[v], cp->delta[v]);
+          } else {
+            shared_->table->SetRow(v, (*x0_)[v], (*delta0_)[v]);
+          }
+        }
+      }
+      RepropagateAll(shared_);
+    }
+
+    // Convergence state derived from the pre-rollback table is now junk.
+    shared_->sync_prev_global = std::numeric_limits<double>::quiet_NaN();
+    shared_->sync_eps_streak = 0;
+    shared_->superstep_work.store(0, std::memory_order_relaxed);
+    for (auto& flag : *shared_->idle_flags) {
+      flag.store(0, std::memory_order_release);
+    }
+    shared_->recovery_generation.fetch_add(1, std::memory_order_acq_rel);
+
+    // Respawn a fresh incarnation per victim, carrying the bumped fencing
+    // token so it is the shard's sole legitimate owner.
+    for (uint32_t w : victims) {
+      auto& ctl = (*shared_->control)[w];
+      ctl.dead.store(0, std::memory_order_release);
+      const int64_t incarnation =
+          ctl.incarnation.load(std::memory_order_acquire);
+      std::lock_guard<std::mutex> lock(*spawn_mutex_);
+      workers_->push_back(
+          std::make_unique<Worker>(w, shared_, incarnation));
+      Worker* worker = workers_->back().get();
+      threads_->emplace_back([worker] { worker->Run(); });
+    }
+    shared_->recoveries.fetch_add(static_cast<int64_t>(victims.size()),
+                                  std::memory_order_relaxed);
+    POWERLOG_WARN << "supervisor: recovered " << victims.size()
+                  << " worker(s)"
+                  << (options.mode == ExecMode::kSync ? " (sync barrier reset)"
+                                                      : "");
+    Resume();
+    shared_->recovering.store(false, std::memory_order_release);
+  }
+
+  void PeriodicCheckpoint() {
+    const int64_t t0 = NowMicros();
+    std::lock_guard<std::mutex> pause_lock(shared_->pause_mutex);
+    Status st;
+    if (!SumLike(shared_->kernel->agg)) {
+      // Quiesce-free live snapshot: min/max restore is idempotent plus a
+      // re-derivation sweep, so a cut torn across concurrent combines is
+      // still a valid recovery point. Workers never notice.
+      st = store_->Write(*shared_->table);
+    } else {
+      // Sum/count demands mass conservation: every update must land in
+      // exactly one snapshot. Park everyone (their buffers force-flush on
+      // the way in), absorb what is on the wire into the table, snapshot,
+      // resume — a brief stop-the-world cut.
+      std::vector<uint32_t> victims;
+      if (!PauseAll(&victims)) {
+        Resume();
+        return;
+      }
+      if (!victims.empty()) {
+        // Someone died while we paused: skip the snapshot, resume, and let
+        // the next tick run recovery with priority. (PauseAll already
+        // fenced them; Recover's extra bump is harmless.)
+        Resume();
+        return;
+      }
+      UpdateBatch scratch;
+      for (uint32_t w = 0; w < shared_->options->num_workers; ++w) {
+        scratch.clear();
+        shared_->bus->ReceiveNow(w, &scratch);
+        for (const Update& u : scratch) {
+          shared_->table->CombineDelta(u.key, u.value);
+        }
+      }
+      st = store_->Write(*shared_->table);
+      Resume();
+    }
+    shared_->checkpoint_us.fetch_add(NowMicros() - t0,
+                                     std::memory_order_relaxed);
+    if (st.ok()) {
+      shared_->checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      POWERLOG_WARN << "checkpoint failed: " << st.ToString();
+    }
+  }
+
+  SharedState* shared_;
+  CheckpointStore* store_;
+  const std::vector<double>* x0_;
+  const std::vector<double>* delta0_;
+  std::mutex* spawn_mutex_;
+  std::vector<std::unique_ptr<Worker>>* workers_;
+  std::vector<std::thread>* threads_;
+  std::vector<int64_t> last_beat_;
+  std::vector<int64_t> last_change_us_;
+};
 
 }  // namespace
 
@@ -108,6 +406,29 @@ Result<EngineResult> Engine::Run() {
   shared.options = &options_;
   shared.barrier = &barrier;
   shared.idle_flags = &idle_flags;
+
+  // Fault tolerance wiring. Control blocks are always present (a heartbeat
+  // store per control iteration is noise); the injector, checkpoint store,
+  // and supervisor thread only exist when configured.
+  std::vector<WorkerControl> control(options_.num_workers);
+  shared.control = &control;
+  std::unique_ptr<FaultInjector> injector;
+  if (options_.fault.enabled()) {
+    injector =
+        std::make_unique<FaultInjector>(options_.fault, options_.num_workers);
+    if (options_.fault.bus_chaos()) bus.SetFaultInjector(injector.get());
+    shared.injector = injector.get();
+  }
+  std::unique_ptr<CheckpointStore> store;
+  if (!options_.checkpoint_path.empty()) {
+    store = std::make_unique<CheckpointStore>(options_.checkpoint_path);
+    shared.ckpt = store.get();
+  }
+  const bool supervise =
+      options_.fault.enabled() || options_.heartbeat_timeout_us > 0 ||
+      (store != nullptr && options_.checkpoint_interval_us > 0 &&
+       options_.mode != ExecMode::kSync);
+
   metrics::Registry registry;
   if (options_.collect_metrics) {
     // 1us .. ~2s in powers of two: spans instant-delivery scheduling noise
@@ -128,22 +449,38 @@ Result<EngineResult> Engine::Run() {
 
   Timer timer;
   shared.start_us = NowMicros();
-  std::vector<std::thread> threads;
-  threads.reserve(options_.num_workers + 1);
-  std::vector<Worker> workers;
-  workers.reserve(options_.num_workers);
+  // Workers live behind unique_ptr so the supervisor can append respawned
+  // incarnations without invalidating the ones already running; the spawn
+  // mutex serialises those appends against nothing else (the main thread
+  // only touches the vectors again after the supervisor has joined).
+  std::mutex spawn_mutex;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> worker_threads;
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
-    workers.emplace_back(w, &shared);
+    workers.push_back(std::make_unique<Worker>(w, &shared));
   }
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
-    threads.emplace_back([&workers, w] { workers[w].Run(); });
+    Worker* worker = workers[w].get();
+    worker_threads.emplace_back([worker] { worker->Run(); });
   }
 
   TerminationController controller(&shared);
+  std::thread controller_thread;
   if (options_.mode != ExecMode::kSync) {
-    threads.emplace_back([&controller] { controller.Run(); });
+    controller_thread = std::thread([&controller] { controller.Run(); });
   }
-  for (auto& t : threads) t.join();
+  Supervisor supervisor(&shared, store.get(), &init->x0, &init->delta0,
+                        &spawn_mutex, &workers, &worker_threads);
+  std::thread supervisor_thread;
+  if (supervise) {
+    supervisor_thread = std::thread([&supervisor] { supervisor.Run(); });
+  }
+
+  if (controller_thread.joinable()) controller_thread.join();
+  if (supervisor_thread.joinable()) supervisor_thread.join();
+  // After the supervisor joins no new incarnations can appear, so the
+  // thread vector is stable from here on.
+  for (auto& t : worker_threads) t.join();
 
   EngineResult result;
   result.stats.wall_seconds = timer.ElapsedSeconds();
@@ -154,15 +491,34 @@ Result<EngineResult> Engine::Run() {
   result.stats.messages = net.messages;
   result.stats.updates_sent = net.updates;
   result.stats.converged = shared.converged.load();
-  result.stats.workers.reserve(workers.size());
-  for (const Worker& worker : workers) {
-    result.stats.workers.push_back(worker.stats());
+  result.stats.recoveries = shared.recoveries.load();
+  result.stats.checkpoints_written = shared.checkpoints_written.load();
+  result.stats.checkpoint_us = shared.checkpoint_us.load();
+  if (injector != nullptr) result.stats.faults = injector->stats();
+  // Merge per-incarnation counters into one row per worker id: a respawned
+  // worker continues its predecessor's line in the breakdown.
+  result.stats.workers.resize(options_.num_workers);
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    result.stats.workers[w].worker_id = w;
+  }
+  for (const auto& worker : workers) {
+    const WorkerStats& s = worker->stats();
+    WorkerStats& m = result.stats.workers[s.worker_id];
+    m.harvests += s.harvests;
+    m.edge_applications += s.edge_applications;
+    m.flushes += s.flushes;
+    m.flushed_updates += s.flushed_updates;
+    m.inbox_updates += s.inbox_updates;
+    m.idle_scans += s.idle_scans;
+    m.barrier_wait_us += s.barrier_wait_us;
+    m.stall_us += s.stall_us;
+    m.inbox_drain_us += s.inbox_drain_us;
   }
   if (options_.collect_metrics) {
     result.metrics = registry.Snapshot();
     ExportRunMetrics(result.stats, bus, options_.num_workers, &result.metrics);
-    for (const Worker& worker : workers) {
-      worker.ExportMetrics(&result.metrics);
+    for (const auto& worker : workers) {
+      worker->ExportMetrics(&result.metrics);
     }
   }
   result.values = table->SnapshotAccumulation();

@@ -25,6 +25,7 @@
 #include "graph/graph.h"
 #include "graph/partition.h"
 #include "runtime/buffer_policy.h"
+#include "runtime/fault.h"
 #include "runtime/network.h"
 
 namespace powerlog::runtime {
@@ -90,10 +91,32 @@ struct EngineOptions {
 
   Partitioner::Kind partition = Partitioner::Kind::kHash;
 
-  /// Checkpointing (sync mode): write state every k supersteps to `path`.
-  /// 0 disables.
+  /// Checkpointing. `checkpoint_path` is the base name of a ping-pong
+  /// CheckpointStore (`<base>.0` / `<base>.1` / `<base>.manifest`); empty
+  /// disables snapshots entirely. Sync mode snapshots every
+  /// `checkpoint_every` supersteps inside the serial decision section
+  /// (naturally quiescent). The async family snapshots every
+  /// `checkpoint_interval_us` of wall time from the supervisor thread:
+  /// quiesce-free live snapshots for min/max (idempotent restore makes a
+  /// torn cut harmless), a brief pause-and-absorb cut for sum/count (mass
+  /// conservation requires in-flight updates to land in exactly one
+  /// snapshot). 0 disables the respective trigger.
   int64_t checkpoint_every = 0;
+  int64_t checkpoint_interval_us = 0;
   std::string checkpoint_path;
+
+  /// Chaos injection: worker crash/hang triggers and bus-level
+  /// drop/duplicate/reorder probabilities (see fault.h). Disabled by
+  /// default; `fault.enabled()` also turns the supervisor on.
+  FaultPlan fault;
+
+  /// Supervisor hang detection: a worker whose heartbeat has not advanced
+  /// for this long — while not parked at a barrier or pause point — is
+  /// fenced off and respawned from the latest checkpoint. 0 disables hang
+  /// detection (explicit crash faults are still detected via the dead
+  /// flag). Keep this well above the longest legitimate scan gap or the
+  /// supervisor will shoot healthy stragglers.
+  int64_t heartbeat_timeout_us = 0;
 
   /// Record a convergence trace: one (seconds, global aggregate, pending
   /// delta mass) sample per termination check (async modes) or superstep
@@ -133,7 +156,16 @@ struct EngineStats {
   int64_t messages = 0;
   int64_t updates_sent = 0;
   bool converged = false;
-  std::vector<WorkerStats> workers;  ///< per-worker breakdown
+
+  // Fault tolerance.
+  int64_t recoveries = 0;           ///< workers fenced + respawned
+  int64_t checkpoints_written = 0;  ///< snapshots published to the store
+  int64_t checkpoint_us = 0;        ///< wall time spent writing snapshots
+  FaultStats faults;                ///< chaos actually injected
+
+  /// Per-worker breakdown; counters are merged across incarnations of the
+  /// same worker id (a respawned worker continues its predecessor's row).
+  std::vector<WorkerStats> workers;
 
   std::string Summary() const;
 };

@@ -1,0 +1,185 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace powerlog::runtime {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint32_t num_workers)
+    : plan_(plan) {
+  send_rngs_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    send_rngs_.emplace_back(plan.seed * 0x9E3779B97F4A7C15ULL + w + 1);
+  }
+}
+
+FaultInjector::WorkerFault FaultInjector::OnHeartbeat(uint32_t worker,
+                                                      int64_t beats) {
+  if (plan_.crash_worker == static_cast<int32_t>(worker) &&
+      beats >= plan_.crash_at_beats) {
+    bool expected = false;
+    if (crash_fired_.compare_exchange_strong(expected, true)) {
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      return WorkerFault::kCrash;
+    }
+  }
+  if (plan_.hang_worker == static_cast<int32_t>(worker) &&
+      beats >= plan_.hang_at_beats) {
+    bool expected = false;
+    if (hang_fired_.compare_exchange_strong(expected, true)) {
+      hangs_.fetch_add(1, std::memory_order_relaxed);
+      return WorkerFault::kHang;
+    }
+  }
+  return WorkerFault::kNone;
+}
+
+bool FaultInjector::TakeBusBudget() {
+  if (bus_faults_.fetch_add(1, std::memory_order_relaxed) <
+      plan_.max_bus_faults) {
+    return true;
+  }
+  bus_faults_.fetch_sub(1, std::memory_order_relaxed);
+  return false;
+}
+
+FaultInjector::BusFault FaultInjector::OnSend(uint32_t from) {
+  if (!plan_.bus_chaos()) return BusFault::kNone;
+  Rng& rng = send_rngs_[from];
+  // One draw decides the fault class so the per-sender stream stays aligned
+  // regardless of which probabilities are enabled.
+  const double roll = rng.NextDouble();
+  if (roll < plan_.drop_prob) {
+    if (TakeBusBudget()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return BusFault::kDrop;
+    }
+    return BusFault::kNone;
+  }
+  if (roll < plan_.drop_prob + plan_.duplicate_prob) {
+    if (TakeBusBudget()) {
+      duplicated_.fetch_add(1, std::memory_order_relaxed);
+      return BusFault::kDuplicate;
+    }
+    return BusFault::kNone;
+  }
+  if (roll < plan_.drop_prob + plan_.duplicate_prob + plan_.reorder_prob) {
+    if (TakeBusBudget()) {
+      reordered_.fetch_add(1, std::memory_order_relaxed);
+      return BusFault::kReorder;
+    }
+  }
+  return BusFault::kNone;
+}
+
+int64_t FaultInjector::ReorderDelayUs(uint32_t from) {
+  const int64_t cap = std::max<int64_t>(plan_.reorder_delay_us, 1);
+  return 1 + static_cast<int64_t>(send_rngs_[from].NextBounded(
+                 static_cast<uint64_t>(cap)));
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  s.hangs = hangs_.load(std::memory_order_relaxed);
+  s.messages_dropped = dropped_.load(std::memory_order_relaxed);
+  s.messages_duplicated = duplicated_.load(std::memory_order_relaxed);
+  s.messages_reordered = reordered_.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+// "<worker>@<beat>" (crash) or "<worker>@<beat>x<usec>" (hang).
+Status ParseTrigger(std::string_view value, bool want_duration, int32_t* worker,
+                    int64_t* beats, int64_t* duration_us) {
+  const auto at = Split(value, '@');
+  if (at.size() != 2) {
+    return Status::InvalidArgument("fault trigger needs <worker>@<beat>: " +
+                                   std::string(value));
+  }
+  auto w = ParseInt64(at[0]);
+  if (!w.ok() || *w < 0) {
+    return Status::InvalidArgument("bad fault worker id: " + at[0]);
+  }
+  std::string beat_part = at[1];
+  if (want_duration) {
+    const auto x = Split(at[1], 'x');
+    if (x.size() != 2) {
+      return Status::InvalidArgument("hang needs <worker>@<beat>x<usec>: " +
+                                     std::string(value));
+    }
+    beat_part = x[0];
+    auto dur = ParseInt64(x[1]);
+    if (!dur.ok() || *dur <= 0) {
+      return Status::InvalidArgument("bad hang duration: " + x[1]);
+    }
+    *duration_us = *dur;
+  }
+  auto beat = ParseInt64(beat_part);
+  if (!beat.ok() || *beat <= 0) {
+    return Status::InvalidArgument("bad fault beat count: " + beat_part);
+  }
+  *worker = static_cast<int32_t>(*w);
+  *beats = *beat;
+  return Status::OK();
+}
+
+Status ParseProb(const std::string& value, double* out) {
+  auto p = ParseDouble(value);
+  if (!p.ok() || *p < 0.0 || *p > 1.0) {
+    return Status::InvalidArgument("fault probability must be in [0,1]: " +
+                                   value);
+  }
+  *out = *p;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& item : Split(spec, ',')) {
+    const std::string_view trimmed = Trim(item);
+    if (trimmed.empty()) continue;
+    const auto kv = Split(trimmed, '=');
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("fault plan items are key=value: " +
+                                     std::string(trimmed));
+    }
+    const std::string key = ToLower(kv[0]);
+    const std::string& value = kv[1];
+    if (key == "crash") {
+      POWERLOG_RETURN_NOT_OK(ParseTrigger(value, /*want_duration=*/false,
+                                          &plan.crash_worker,
+                                          &plan.crash_at_beats, nullptr));
+    } else if (key == "hang") {
+      POWERLOG_RETURN_NOT_OK(ParseTrigger(value, /*want_duration=*/true,
+                                          &plan.hang_worker,
+                                          &plan.hang_at_beats,
+                                          &plan.hang_duration_us));
+    } else if (key == "drop") {
+      POWERLOG_RETURN_NOT_OK(ParseProb(value, &plan.drop_prob));
+    } else if (key == "dup") {
+      POWERLOG_RETURN_NOT_OK(ParseProb(value, &plan.duplicate_prob));
+    } else if (key == "reorder") {
+      POWERLOG_RETURN_NOT_OK(ParseProb(value, &plan.reorder_prob));
+    } else if (key == "maxbus") {
+      auto n = ParseInt64(value);
+      if (!n.ok() || *n < 0) {
+        return Status::InvalidArgument("bad maxbus: " + value);
+      }
+      plan.max_bus_faults = *n;
+    } else if (key == "seed") {
+      auto n = ParseInt64(value);
+      if (!n.ok()) return Status::InvalidArgument("bad seed: " + value);
+      plan.seed = static_cast<uint64_t>(*n);
+    } else {
+      return Status::InvalidArgument("unknown fault plan key: " + key);
+    }
+  }
+  return plan;
+}
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,114 @@
+// Deterministic chaos injection for the runtime — the stand-in for the
+// worker crashes, GC hangs, and lossy links a 17-node cluster produces for
+// free. A FaultPlan describes *what* to break; a FaultInjector is the
+// per-run state machine the workers and the message bus consult, so the
+// same plan + seed reproduces the same faults (chaos tests are replayable).
+//
+// Worker faults are one-shot and fire at a worker's Nth control-loop
+// heartbeat; bus faults are Bernoulli per Send with a per-sender RNG stream
+// (sender threads never contend on shared randomness) and a global cap so a
+// bounded chaos window can be followed by verified recovery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace powerlog::runtime {
+
+/// \brief Declarative description of the faults to inject into one run.
+struct FaultPlan {
+  // One-shot worker faults, triggered when the victim's heartbeat counter
+  // (one beat per worker control-loop iteration) reaches the given count.
+  int32_t crash_worker = -1;       ///< worker id to kill; -1 disables
+  int64_t crash_at_beats = 50;     ///< victim heartbeat count that triggers it
+  int32_t hang_worker = -1;        ///< worker id to hang; -1 disables
+  int64_t hang_at_beats = 50;
+  int64_t hang_duration_us = 20000;
+
+  // Bus-level chaos, rolled per Send from a per-sender deterministic stream.
+  double drop_prob = 0.0;         ///< message silently discarded
+  double duplicate_prob = 0.0;    ///< message delivered twice
+  double reorder_prob = 0.0;      ///< message delayed so later sends overtake
+  int64_t reorder_delay_us = 500; ///< max extra delay for a reordered message
+  int64_t max_bus_faults = INT64_MAX;  ///< total cap across drop/dup/reorder
+
+  uint64_t seed = 0xFA17;
+
+  bool enabled() const {
+    return crash_worker >= 0 || hang_worker >= 0 || drop_prob > 0.0 ||
+           duplicate_prob > 0.0 || reorder_prob > 0.0;
+  }
+  bool bus_chaos() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || reorder_prob > 0.0;
+  }
+};
+
+/// Parses a comma-separated plan spec (the CLI's --fault-plan):
+///   crash=<worker>@<beat>            kill worker at its Nth heartbeat
+///   hang=<worker>@<beat>x<usec>      pause worker for usec at beat N
+///   drop=<p> dup=<p> reorder=<p>     per-send probabilities in [0,1]
+///   maxbus=<n>                       cap on total injected bus faults
+///   seed=<n>                         RNG seed
+/// Example: "crash=1@200,drop=0.02,maxbus=50,seed=7".
+Result<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+/// \brief Counters of faults actually injected (all relaxed atomic reads).
+struct FaultStats {
+  int64_t crashes = 0;
+  int64_t hangs = 0;
+  int64_t messages_dropped = 0;
+  int64_t messages_duplicated = 0;
+  int64_t messages_reordered = 0;
+
+  int64_t total() const {
+    return crashes + hangs + messages_dropped + messages_duplicated +
+           messages_reordered;
+  }
+};
+
+/// \brief Per-run fault state machine. Thread-safe: worker faults use
+/// one-shot atomics; bus faults draw from per-sender RNG streams that only
+/// that sender's thread touches.
+class FaultInjector {
+ public:
+  enum class WorkerFault { kNone, kCrash, kHang };
+  enum class BusFault { kNone, kDrop, kDuplicate, kReorder };
+
+  FaultInjector(const FaultPlan& plan, uint32_t num_workers);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Called by worker `worker` once per control-loop iteration with its
+  /// monotone heartbeat count; returns the fault to act on (one-shot).
+  WorkerFault OnHeartbeat(uint32_t worker, int64_t beats);
+
+  /// Called by the bus for every Send from `from`. Rolls the chaos dice.
+  BusFault OnSend(uint32_t from);
+
+  /// Extra delivery delay for a message selected for reordering, in [1,
+  /// reorder_delay_us], from the sender's stream.
+  int64_t ReorderDelayUs(uint32_t from);
+
+  FaultStats stats() const;
+
+ private:
+  bool TakeBusBudget();
+
+  FaultPlan plan_;
+  std::vector<Rng> send_rngs_;  ///< one stream per sender, untouched by peers
+  std::atomic<bool> crash_fired_{false};
+  std::atomic<bool> hang_fired_{false};
+  std::atomic<int64_t> bus_faults_{0};
+  std::atomic<int64_t> crashes_{0};
+  std::atomic<int64_t> hangs_{0};
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<int64_t> duplicated_{0};
+  std::atomic<int64_t> reordered_{0};
+};
+
+}  // namespace powerlog::runtime

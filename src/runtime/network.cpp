@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "runtime/fault.h"
 
 namespace powerlog::runtime {
 
@@ -16,22 +17,70 @@ MessageBus::MessageBus(uint32_t num_workers, NetworkConfig config)
 void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
   if (batch.empty()) return;
   const int64_t now = NowMicros();
-  const int64_t deliver_at =
+  int64_t deliver_at =
       config_.instant
           ? now
           : now + static_cast<int64_t>(config_.latency_us +
                                        config_.per_update_us *
                                            static_cast<double>(batch.size()));
-  inflight_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_acq_rel);
-  messages_.fetch_add(1, std::memory_order_relaxed);
-  updates_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_relaxed);
+  bool duplicate = false;
+  if (injector_ != nullptr) {
+    switch (injector_->OnSend(from)) {
+      case FaultInjector::BusFault::kDrop:
+        return;  // lost on the wire; sender-side counters never saw it land
+      case FaultInjector::BusFault::kDuplicate:
+        duplicate = true;
+        break;
+      case FaultInjector::BusFault::kReorder:
+        // Delay this message past its natural slot so later sends overtake.
+        deliver_at += injector_->ReorderDelayUs(from);
+        break;
+      case FaultInjector::BusFault::kNone:
+        break;
+    }
+  }
+  const int64_t copies = duplicate ? 2 : 1;
+  inflight_.fetch_add(copies * static_cast<int64_t>(batch.size()),
+                      std::memory_order_acq_rel);
+  messages_.fetch_add(copies, std::memory_order_relaxed);
+  updates_.fetch_add(copies * static_cast<int64_t>(batch.size()),
+                     std::memory_order_relaxed);
   const size_t pair = PairIndex(from, to);
-  pair_messages_[pair].fetch_add(1, std::memory_order_relaxed);
-  pair_updates_[pair].fetch_add(static_cast<int64_t>(batch.size()),
+  pair_messages_[pair].fetch_add(copies, std::memory_order_relaxed);
+  pair_updates_[pair].fetch_add(copies * static_cast<int64_t>(batch.size()),
                                 std::memory_order_relaxed);
   Inbox& inbox = inboxes_[to];
   std::lock_guard<std::mutex> lock(inbox.mutex);
+  if (duplicate) {
+    inbox.queue.push_back(Envelope{now, deliver_at, batch});
+  }
   inbox.queue.push_back(Envelope{now, deliver_at, std::move(batch)});
+}
+
+size_t MessageBus::ReceiveNow(uint32_t worker, UpdateBatch* out) {
+  Inbox& inbox = inboxes_[worker];
+  std::lock_guard<std::mutex> lock(inbox.mutex);
+  size_t received = 0;
+  for (Envelope& envelope : inbox.queue) {
+    received += envelope.batch.size();
+    inflight_.fetch_sub(static_cast<int64_t>(envelope.batch.size()),
+                        std::memory_order_acq_rel);
+    out->insert(out->end(), envelope.batch.begin(), envelope.batch.end());
+  }
+  inbox.queue.clear();
+  return received;
+}
+
+void MessageBus::Clear() {
+  for (Inbox& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    for (const Envelope& envelope : inbox.queue) {
+      inflight_.fetch_sub(static_cast<int64_t>(envelope.batch.size()),
+                          std::memory_order_acq_rel);
+    }
+    inbox.queue.clear();
+    inbox.cpu_debt_ns = 0;
+  }
 }
 
 size_t MessageBus::Receive(uint32_t worker, UpdateBatch* out) {

@@ -23,6 +23,8 @@ class Histogram;
 
 namespace powerlog::runtime {
 
+class FaultInjector;
+
 /// \brief Simulated transport parameters.
 struct NetworkConfig {
   double latency_us = 150.0;     ///< fixed per-message delivery latency
@@ -58,6 +60,20 @@ class MessageBus {
   /// Delivers every message for `worker` that has reached its delivery time.
   /// Appends into `out`; returns number of updates received.
   size_t Receive(uint32_t worker, UpdateBatch* out);
+
+  /// Drains `worker`'s whole inbox regardless of delivery times — the
+  /// supervisor's consistent-cut helper (only safe while workers are
+  /// quiesced, since it collapses the simulated delivery delay).
+  size_t ReceiveNow(uint32_t worker, UpdateBatch* out);
+
+  /// Discards every queued message everywhere (recovery rollback: anything
+  /// on the wire is past the restored cut). Only safe while workers are
+  /// parked.
+  void Clear();
+
+  /// Chaos injection: when set, every Send consults the injector for
+  /// drop/duplicate/reorder decisions. The injector must outlive the bus.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   /// Updates shipped (Send) but not yet consumed via Receive.
   int64_t InFlightUpdates() const {
@@ -112,6 +128,7 @@ class MessageBus {
   std::vector<std::atomic<int64_t>> pair_messages_;  ///< num_workers² cells
   std::vector<std::atomic<int64_t>> pair_updates_;
   metrics::Histogram* latency_hist_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace powerlog::runtime

@@ -25,6 +25,14 @@ double GlobalAggregate(const MonoTable& table) {
 }
 
 bool TerminationController::Quiescent() const {
+  // A crashed worker that the supervisor has not recovered yet leaves its
+  // shard wiped and its peers idle — the picture of quiescence, at the
+  // wrong fixpoint. Never call that converged.
+  if (shared_->control != nullptr) {
+    for (const auto& ctl : *shared_->control) {
+      if (ctl.dead.load(std::memory_order_acquire) != 0) return false;
+    }
+  }
   for (const auto& flag : *shared_->idle_flags) {
     if (flag.load(std::memory_order_acquire) == 0) return false;
   }
@@ -44,6 +52,7 @@ void TerminationController::Run() {
   double prev_global = std::nan("");
   int64_t prev_harvests = -1;
   int below_eps_streak = 0;
+  int64_t seen_generation = shared_->recovery_generation.load();
 
   while (!shared_->stop.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(
@@ -53,9 +62,31 @@ void TerminationController::Run() {
     RecordTraceSample(shared_);
 
     // Hard wall-clock cap (divergent programs, e.g. Katz with β too large).
+    // Stays armed even through recovery so a wedged rollback cannot hang
+    // the run forever.
     if (timer.ElapsedSeconds() > options.max_wall_seconds) {
       shared_->stop.store(true, std::memory_order_release);
+      shared_->ctl_cv.notify_all();  // release any pause-parked workers
       return;
+    }
+
+    // While the supervisor holds the workers paused (checkpoint cut or
+    // recovery), the table is mid-surgery: a cleared bus plus parked
+    // workers looks exactly like quiescence, and the global aggregate may
+    // be rolled back. Skip the sample entirely.
+    if (shared_->pause_pending.load(std::memory_order_acquire) ||
+        shared_->recovering.load(std::memory_order_acquire)) {
+      continue;
+    }
+    // After a rollback the ε-streak compares a pre-recovery aggregate with
+    // a post-recovery one — discard it and start fresh.
+    const int64_t generation = shared_->recovery_generation.load();
+    if (generation != seen_generation) {
+      seen_generation = generation;
+      prev_global = std::nan("");
+      prev_harvests = -1;
+      below_eps_streak = 0;
+      continue;
     }
 
     // Fixpoint quiescence, double-checked to close in-flight windows.
@@ -70,20 +101,28 @@ void TerminationController::Run() {
 
     // Epsilon criterion: the difference between two consecutive global
     // aggregation results must stay below epsilon (two checks in a row).
-    // Guard against scheduler stalls: a static aggregate with no harvests in
-    // between means the workers were preempted, not that the computation
-    // converged — skip the sample entirely (real pending-work exhaustion is
-    // caught by the quiescence check above).
+    // The paper compares per-*iteration* aggregates; this sampler is
+    // time-based, so it must not compare two wall-clock samples unless at
+    // least one sweep's worth of harvests landed in between — under heavy
+    // scheduler pressure (TSan, oversubscription) a starved run moves the
+    // aggregate by less than ε per tick while still far from convergence.
+    // Real pending-work exhaustion is caught by the quiescence check above.
     const int64_t harvests = shared_->harvests.load(std::memory_order_relaxed);
-    if (epsilon > 0.0 && harvests > 0 && harvests != prev_harvests) {
+    const int64_t sweep = static_cast<int64_t>(shared_->table->num_rows());
+    if (epsilon > 0.0 && harvests > 0 &&
+        (prev_harvests < 0 || harvests - prev_harvests >= sweep)) {
       prev_harvests = harvests;
       const double global = GlobalAggregate(*shared_->table);
       if (!std::isnan(global) && !std::isnan(prev_global) &&
           std::abs(global - prev_global) < epsilon) {
         if (++below_eps_streak >= 2) {
-          shared_->converged.store(true, std::memory_order_release);
-          shared_->stop.store(true, std::memory_order_release);
-          return;
+          if (ConfirmEpsilonAtCut(epsilon)) {
+            shared_->converged.store(true, std::memory_order_release);
+            shared_->stop.store(true, std::memory_order_release);
+            shared_->ctl_cv.notify_all();
+            return;
+          }
+          below_eps_streak = 0;  // disproved or unavailable: back off
         }
       } else {
         below_eps_streak = 0;
@@ -91,6 +130,38 @@ void TerminationController::Run() {
       prev_global = global;
     }
   }
+}
+
+bool TerminationController::ConfirmEpsilonAtCut(double epsilon) {
+  // A flat live-sampled aggregate is necessary but not sufficient: the
+  // remaining error can hide where no counter sees it — a starved worker's
+  // unflushed combining buffers, or updates queued on the bus — while a hot
+  // peer re-harvests near-zero changes, keeping |ΔG| < ε spuriously. The
+  // only trustworthy reading is at a consistent cut, so confirm the way the
+  // sum-mode checkpoint does: park everyone (buffers force-flush on the way
+  // in), absorb the wire into the table, and require the now-visible
+  // unapplied mass to itself be below ε.
+  std::unique_lock<std::mutex> pause_lock(shared_->pause_mutex,
+                                          std::try_to_lock);
+  if (!pause_lock.owns_lock()) return false;  // supervisor mid-surgery
+  std::vector<uint32_t> victims;
+  if (!PauseWorkers(shared_, &victims) || !victims.empty()) {
+    // Stopped, or someone died during the rendezvous: resume and let the
+    // supervisor run recovery; the ε streak restarts on the new generation.
+    ResumeWorkers(shared_);
+    return false;
+  }
+  UpdateBatch scratch;
+  for (uint32_t w = 0; w < shared_->options->num_workers; ++w) {
+    scratch.clear();
+    shared_->bus->ReceiveNow(w, &scratch);
+    for (const Update& u : scratch) {
+      shared_->table->CombineDelta(u.key, u.value);
+    }
+  }
+  const bool confirmed = shared_->table->PendingDeltaMass() < epsilon;
+  ResumeWorkers(shared_);
+  return confirmed;
 }
 
 }  // namespace powerlog::runtime

@@ -33,6 +33,13 @@ class TerminationController {
   /// twice to close the harvest->buffer->send window.
   bool Quiescent() const;
 
+  /// Confirms a live-sampled ε streak at a consistent cut (pause, absorb
+  /// the wire, check unapplied mass < ε). Live samples alone can be fooled
+  /// by error hiding in unflushed buffers or on the bus. Returns false —
+  /// without stopping — when the cut is unavailable (supervisor busy,
+  /// death mid-rendezvous) or the mass disproves convergence.
+  bool ConfirmEpsilonAtCut(double epsilon);
+
   SharedState* shared_;
   int64_t checks_ = 0;
 };

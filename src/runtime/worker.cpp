@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "runtime/checkpoint.h"
+#include "runtime/fault.h"
 #include "runtime/termination.h"
 
 namespace powerlog::runtime {
@@ -58,7 +59,48 @@ void RecordTraceSample(SharedState* shared) {
   shared->trace.push_back(sample);
 }
 
-Worker::Worker(uint32_t id, SharedState* shared) : id_(id), shared_(shared) {
+bool PauseWorkers(SharedState* shared, std::vector<uint32_t>* victims) {
+  {
+    std::lock_guard<std::mutex> lock(shared->ctl_mutex);
+    ++shared->pause_epoch;
+  }
+  shared->pause_pending.store(true, std::memory_order_release);
+  if (shared->options->mode == ExecMode::kSync) shared->barrier->Break();
+  shared->ctl_cv.notify_all();
+
+  std::unique_lock<std::mutex> lock(shared->ctl_mutex);
+  while (true) {
+    if (shared->stop.load(std::memory_order_acquire)) return false;
+    for (uint32_t w = 0; w < shared->options->num_workers; ++w) {
+      auto& ctl = (*shared->control)[w];
+      if (ctl.dead.load(std::memory_order_acquire) != 0 &&
+          std::find(victims->begin(), victims->end(), w) == victims->end()) {
+        ctl.incarnation.fetch_add(1, std::memory_order_acq_rel);
+        victims->push_back(w);
+      }
+    }
+    const int64_t live = static_cast<int64_t>(shared->options->num_workers) -
+                         static_cast<int64_t>(victims->size());
+    if (shared->parked >= live) return true;
+    shared->ctl_cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ResumeWorkers(SharedState* shared, bool rearm) {
+  if (rearm && shared->options->mode == ExecMode::kSync &&
+      shared->barrier->broken()) {
+    shared->barrier->Reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared->ctl_mutex);
+    shared->resume_epoch = shared->pause_epoch;
+  }
+  shared->pause_pending.store(false, std::memory_order_release);
+  shared->ctl_cv.notify_all();
+}
+
+Worker::Worker(uint32_t id, SharedState* shared, int64_t incarnation)
+    : id_(id), shared_(shared), incarnation_(incarnation) {
   owned_ = shared_->partition->OwnedVertices(id);
   stall_rng_.Seed(shared_->options->stall_seed * 0x9E3779B9ULL + id * 1297 + 1);
   stats_.worker_id = id;
@@ -110,8 +152,12 @@ void Worker::ExportMetrics(metrics::MetricsSnapshot* snap) const {
     for (const auto& [t_us, beta] : trajectory) {
       series.emplace_back(static_cast<double>(t_us), beta);
     }
-    snap->AddSeries(StringFormat("buffer.beta.w%u_to_w%u", id_, peers_[slot]),
-                    std::move(series));
+    std::string name =
+        StringFormat("buffer.beta.w%u_to_w%u", id_, peers_[slot]);
+    if (incarnation_ > 0) {
+      name += StringFormat(".r%lld", static_cast<long long>(incarnation_));
+    }
+    snap->AddSeries(std::move(name), std::move(series));
   }
 }
 
@@ -121,6 +167,76 @@ void Worker::Run() {
   } else {
     RunAsyncLike();
   }
+}
+
+void Worker::Beat() {
+  if (shared_->control == nullptr) return;
+  ++beats_;
+  (*shared_->control)[id_].heartbeat.store(beats_, std::memory_order_release);
+}
+
+void Worker::MaybePark() {
+  if (!shared_->pause_pending.load(std::memory_order_acquire)) return;
+  // Hand everything buffered to the bus first so the supervisor's cut sees
+  // it (absorbed for sum/count checkpoints, discarded on rollback — either
+  // way nothing stays hidden in a private buffer across the pause).
+  FlushBuffers(/*force=*/true);
+  std::unique_lock<std::mutex> lock(shared_->ctl_mutex);
+  if (shared_->resume_epoch >= shared_->pause_epoch) return;
+  const int64_t epoch = shared_->pause_epoch;
+  auto& ctl = (*shared_->control)[id_];
+  ctl.waiting.store(1, std::memory_order_release);
+  ++shared_->parked;
+  shared_->ctl_cv.notify_all();
+  shared_->ctl_cv.wait(lock, [&] {
+    return shared_->resume_epoch >= epoch ||
+           shared_->stop.load(std::memory_order_acquire);
+  });
+  --shared_->parked;
+  ctl.waiting.store(0, std::memory_order_release);
+}
+
+bool Worker::CheckControl() {
+  if (shared_->control == nullptr) return true;
+  auto& ctl = (*shared_->control)[id_];
+  if (ctl.incarnation.load(std::memory_order_acquire) != incarnation_) {
+    // Fenced: the supervisor declared this incarnation dead and a
+    // replacement owns the shard. Vanish without touching shared state.
+    dead_ = true;
+    return false;
+  }
+  ++beats_;
+  ctl.heartbeat.store(beats_, std::memory_order_release);
+  if (shared_->injector != nullptr) {
+    switch (shared_->injector->OnHeartbeat(id_, beats_)) {
+      case FaultInjector::WorkerFault::kCrash:
+        // Emulate losing this node: its table shard and every contribution
+        // still sitting in its outgoing buffers are gone. The dead flag is
+        // raised *before* the wipe (state 1 = dying) so the termination
+        // controller (which refuses quiescence while a dead worker awaits
+        // recovery) closes the converged-on-a-half-wiped-table window, and
+        // promoted to 2 (= wipe complete) afterwards so the supervisor never
+        // restores rows this thread is still about to clobber.
+        ctl.dead.store(1, std::memory_order_release);
+        for (VertexId v : owned_) shared_->table->WipeRow(v);
+        for (CombiningBuffer& buffer : out_buffers_) buffer.Drain();
+        ctl.dead.store(2, std::memory_order_release);
+        dead_ = true;
+        return false;
+      case FaultInjector::WorkerFault::kHang:
+        SpinSleep(shared_->injector->plan().hang_duration_us);
+        // The supervisor may have fenced us off while we slept.
+        if (ctl.incarnation.load(std::memory_order_acquire) != incarnation_) {
+          dead_ = true;
+          return false;
+        }
+        break;
+      case FaultInjector::WorkerFault::kNone:
+        break;
+    }
+  }
+  MaybePark();
+  return true;
 }
 
 size_t Worker::DrainInbox() {
@@ -229,22 +345,30 @@ void Worker::FlushBuffers(bool force) {
 }
 
 bool Worker::ArriveAndWaitTimed() {
-  if (!collect_metrics_) return shared_->barrier->ArriveAndWait();
-  const int64_t t0 = NowMicros();
+  // Mark the wait so the supervisor's hang detector never mistakes a
+  // barrier park (arbitrarily long behind a straggler) for a hung worker.
+  auto* ctl = shared_->control != nullptr ? &(*shared_->control)[id_] : nullptr;
+  if (ctl != nullptr) ctl->waiting.store(1, std::memory_order_release);
+  const int64_t t0 = collect_metrics_ ? NowMicros() : 0;
   const bool serial = shared_->barrier->ArriveAndWait();
-  stats_.barrier_wait_us += NowMicros() - t0;
+  if (collect_metrics_) stats_.barrier_wait_us += NowMicros() - t0;
+  if (ctl != nullptr) ctl->waiting.store(0, std::memory_order_release);
   return serial;
 }
 
 void Worker::RunSync() {
   const EngineOptions& options = *shared_->options;
   while (!shared_->stop.load(std::memory_order_acquire)) {
+    if (!CheckControl()) return;
     // --- compute phase ---
     MaybeStall();
     int64_t useful = 0;
     for (VertexId v : owned_) {
       if (ProcessVertex(v)) ++useful;
-      if ((v & 0xFF) == 0) MaybeStall();
+      if ((v & 0xFF) == 0) {
+        MaybeStall();
+        if (!CheckControl()) return;
+      }
     }
     shared_->superstep_work.fetch_add(useful, std::memory_order_relaxed);
     FlushBuffers(/*force=*/true);
@@ -254,6 +378,7 @@ void Worker::RunSync() {
 
     // --- communication phase: wait until our inbox is fully delivered ---
     while (shared_->bus->HasPending(id_)) {
+      Beat();
       DrainInbox();
       SpinSleep(20);
     }
@@ -319,9 +444,14 @@ void Worker::RunSync() {
       // Consistent checkpoint: every worker is parked at the next barrier,
       // all messages are drained, so the table snapshot is quiescent.
       if (!done && options.checkpoint_every > 0 &&
-          step % options.checkpoint_every == 0 && !options.checkpoint_path.empty()) {
-        Status st = WriteCheckpoint(*shared_->table, options.checkpoint_path);
-        if (!st.ok()) {
+          step % options.checkpoint_every == 0 && shared_->ckpt != nullptr) {
+        const int64_t t0 = NowMicros();
+        Status st = shared_->ckpt->Write(*shared_->table);
+        shared_->checkpoint_us.fetch_add(NowMicros() - t0,
+                                         std::memory_order_relaxed);
+        if (st.ok()) {
+          shared_->checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+        } else {
           POWERLOG_WARN << "checkpoint failed: " << st.ToString();
         }
       }
@@ -337,6 +467,7 @@ void Worker::RunAsyncLike() {
   size_t received_since_process = 0;
 
   while (!shared_->stop.load(std::memory_order_acquire)) {
+    if (!CheckControl()) return;
     MaybeStall();
     received_since_process += DrainInbox();
 
@@ -360,6 +491,7 @@ void Worker::RunAsyncLike() {
       // Interleave communication with compute (a dedicated communication
       // thread in the paper; cooperative here).
       if ((v & 0x3F) == 0) FlushBuffers(/*force=*/false);
+      if ((v & 0xFF) == 0 && !CheckControl()) return;
     }
     FlushBuffers(/*force=*/false);
     if (scan_count_ > 0) {
@@ -383,7 +515,9 @@ void Worker::RunAsyncLike() {
       idle.store(0, std::memory_order_release);
     }
   }
-  FlushBuffers(/*force=*/true);
+  // A crashed/fenced incarnation lost its buffers with the "node"; only a
+  // clean shutdown flushes the tail.
+  if (!dead_) FlushBuffers(/*force=*/true);
 }
 
 }  // namespace powerlog::runtime

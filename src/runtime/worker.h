@@ -3,6 +3,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <mutex>
@@ -18,6 +19,25 @@
 #include "runtime/network.h"
 
 namespace powerlog::runtime {
+
+class CheckpointStore;
+
+/// \brief Supervisor-facing control block, one per worker id. The liveness
+/// contract: a healthy worker bumps `heartbeat` at least once per control
+/// iteration; a crash fault sets `dead`; `incarnation` is the fencing token
+/// — the supervisor bumps it before respawning, and any older incarnation
+/// that wakes up (a hung zombie) compares its own token, finds itself
+/// fenced, and exits without flushing a single buffered update.
+struct WorkerControl {
+  std::atomic<int64_t> heartbeat{0};
+  std::atomic<uint8_t> waiting{0};  ///< parked at a barrier / pause point
+  /// Death ledger: 0 = alive; 1 = crash in progress (victim still wiping
+  /// its shard — recovery must wait); 2 = crash complete (safe to restore);
+  /// 3 = hung, marked by the supervisor (the zombie never writes again).
+  /// Readers other than Recover only care about zero vs non-zero.
+  std::atomic<uint8_t> dead{0};
+  std::atomic<int64_t> incarnation{0};
+};
 
 /// \brief State shared by all workers and the master for one run.
 struct SharedState {
@@ -52,6 +72,35 @@ struct SharedState {
   // Async modes: per-worker idle flags for quiescence detection.
   std::vector<std::atomic<uint8_t>>* idle_flags = nullptr;
 
+  // Fault tolerance (null / inert when the supervisor is off).
+  FaultInjector* injector = nullptr;
+  std::vector<WorkerControl>* control = nullptr;
+  CheckpointStore* ckpt = nullptr;
+
+  // Pause rendezvous: the supervisor bumps pause_epoch and sets
+  // pause_pending; workers force-flush their buffers and park at the next
+  // control point until resume_epoch catches up. parked counts how many are
+  // in the pen. The epochs and parked are guarded by ctl_mutex.
+  std::mutex ctl_mutex;
+  std::condition_variable ctl_cv;
+  int64_t pause_epoch = 0;
+  int64_t resume_epoch = 0;
+  int64_t parked = 0;
+  std::atomic<bool> pause_pending{false};
+  std::atomic<bool> recovering{false};
+  /// Serialises pause orchestrators: the supervisor (recovery, sum-mode
+  /// checkpoints) and the termination controller (ε consistent-cut
+  /// confirmation) must never interleave pause/resume epochs.
+  std::mutex pause_mutex;
+  /// Bumped once per completed recovery so the termination controller can
+  /// discard ε-streak state derived from the pre-rollback table.
+  std::atomic<int64_t> recovery_generation{0};
+
+  // Fault-tolerance statistics.
+  std::atomic<int64_t> recoveries{0};
+  std::atomic<int64_t> checkpoints_written{0};
+  std::atomic<int64_t> checkpoint_us{0};
+
   // Observability (options->collect_metrics): shared histograms the workers
   // and bus feed; null when collection is off.
   metrics::Histogram* flush_size_hist = nullptr;
@@ -65,14 +114,34 @@ struct SharedState {
 /// Appends a trace sample (no-op unless recording). Thread-safe.
 void RecordTraceSample(SharedState* shared);
 
+/// Requests a pause and blocks until every live (non-victim) worker is
+/// parked with force-flushed buffers. Workers found dead while waiting are
+/// fenced (incarnation bump) and appended to `victims` so a crash cannot
+/// deadlock the rendezvous. Caller must hold SharedState::pause_mutex.
+/// Returns false if the run stopped while waiting.
+bool PauseWorkers(SharedState* shared, std::vector<uint32_t>* victims);
+
+/// Releases pause-parked workers. `rearm` re-arms a broken sync barrier for
+/// a full complement; pass false when shutting down with a dead participant
+/// (survivors must fall through broken barriers and exit at the loop top —
+/// a re-armed barrier missing one arrival would strand them). Reset on a
+/// *live* barrier is never legal: the generation bump loses wakeups and the
+/// count rewind corrupts in-flight arrivals, so rearm only acts on a barrier
+/// an earlier PauseWorkers actually broke.
+void ResumeWorkers(SharedState* shared, bool rearm = true);
+
 /// \brief One worker: owns a shard of the key space, processes deltas, and
 /// routes remote contributions through per-destination combining buffers.
 class Worker {
  public:
-  Worker(uint32_t id, SharedState* shared);
+  /// `incarnation` is this worker's fencing token: 0 for the initial spawn,
+  /// the bumped WorkerControl::incarnation value for supervisor respawns.
+  Worker(uint32_t id, SharedState* shared, int64_t incarnation = 0);
 
   /// Entry point; dispatches on the engine mode.
   void Run();
+
+  int64_t incarnation() const { return incarnation_; }
 
   /// Per-worker execution breakdown; read after the worker thread joins.
   const WorkerStats& stats() const { return stats_; }
@@ -98,8 +167,22 @@ class Worker {
   /// Barrier arrival, accounting the straggler wait when metrics are on.
   bool ArriveAndWaitTimed();
 
+  /// Control point: heartbeat, fence check, fault triggers, pause parking.
+  /// Returns false when this incarnation must exit immediately (crashed or
+  /// fenced); the caller unwinds without flushing buffers.
+  bool CheckControl();
+
+  /// Heartbeat-only bump for long non-control loops (inbox drains).
+  void Beat();
+
+  /// Parks at the pause rendezvous if the supervisor requested one.
+  void MaybePark();
+
   uint32_t id_;
   SharedState* shared_;
+  int64_t incarnation_ = 0;
+  int64_t beats_ = 0;    ///< local heartbeat counter, mirrored to control
+  bool dead_ = false;    ///< crashed or fenced: suppress all further sends
   std::vector<VertexId> owned_;
   // Outgoing buffers/policies are indexed by *peer slot*, not worker id: a
   // worker never messages itself (local contributions go straight into the

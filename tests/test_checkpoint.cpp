@@ -75,11 +75,64 @@ TEST(Checkpoint, MissingFileFails) {
   EXPECT_TRUE(RestoreCheckpoint(&*table, "/nonexistent/ckpt.bin").IsIOError());
 }
 
+void RemoveStoreFiles(const std::string& base) {
+  std::filesystem::remove(base + ".0");
+  std::filesystem::remove(base + ".1");
+  std::filesystem::remove(base + ".manifest");
+}
+
+TEST(CheckpointStore, PingPongAlternatesSlotsAndReadsNewest) {
+  const std::string base = TempPath("powerlog_store_pingpong");
+  RemoveStoreFiles(base);
+  CheckpointStore store(base);
+  EXPECT_FALSE(store.HasCheckpoint());
+  EXPECT_TRUE(store.ReadLatest(AggKind::kSum, 4).status().IsNotFound());
+
+  auto table = MonoTable::Create(AggKind::kSum, 4);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Initialize({1, 2, 3, 4}, {0, 0, 0, 0}).ok());
+  ASSERT_TRUE(store.Write(*table).ok());
+  EXPECT_TRUE(std::filesystem::exists(base + ".0"));
+  ASSERT_TRUE(table->Initialize({5, 6, 7, 8}, {1, 0, 0, 0}).ok());
+  ASSERT_TRUE(store.Write(*table).ok());
+  EXPECT_TRUE(std::filesystem::exists(base + ".1"));
+  EXPECT_EQ(store.writes(), 2);
+
+  ASSERT_TRUE(store.HasCheckpoint());
+  auto cp = store.ReadLatest(AggKind::kSum, 4);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_EQ(cp->x, (std::vector<double>{5, 6, 7, 8}));
+  EXPECT_EQ(cp->delta, (std::vector<double>{1, 0, 0, 0}));
+  RemoveStoreFiles(base);
+}
+
+TEST(CheckpointStore, FallsBackToOlderSlotWhenNewestIsCorrupt) {
+  const std::string base = TempPath("powerlog_store_fallback");
+  RemoveStoreFiles(base);
+  CheckpointStore store(base);
+  auto table = MonoTable::Create(AggKind::kMin, 3);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Initialize({0, 1, 2}, {0, 0, 0}).ok());
+  ASSERT_TRUE(store.Write(*table).ok());  // slot 0: the survivor
+  ASSERT_TRUE(table->Initialize({0, 0.5, 1}, {0, 0, 0}).ok());
+  ASSERT_TRUE(store.Write(*table).ok());  // slot 1: about to be torn
+  {
+    std::fstream f(base + ".1", std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(32);
+    char byte = 0x5A;
+    f.write(&byte, 1);
+  }
+  auto cp = store.ReadLatest(AggKind::kMin, 3);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_EQ(cp->x, (std::vector<double>{0, 1, 2}));
+  RemoveStoreFiles(base);
+}
+
 TEST(Checkpoint, SyncEngineWritesPeriodicCheckpoints) {
   Kernel k = MustCompile("pagerank");
   auto g = SmallWeightedGraph(31);
   const std::string path = TempPath("powerlog_ckpt_engine.bin");
-  std::filesystem::remove(path);
+  RemoveStoreFiles(path);
   EngineOptions options;
   options.mode = ExecMode::kSync;
   options.num_workers = 2;
@@ -90,12 +143,13 @@ TEST(Checkpoint, SyncEngineWritesPeriodicCheckpoints) {
   Engine engine(g, k, options);
   auto run = engine.Run();
   ASSERT_TRUE(run.ok());
-  EXPECT_TRUE(std::filesystem::exists(path));
-  // The checkpoint must be loadable.
-  auto table = MonoTable::Create(AggKind::kSum, g.num_vertices());
-  ASSERT_TRUE(table.ok());
-  EXPECT_TRUE(RestoreCheckpoint(&*table, path).ok());
-  std::filesystem::remove(path);
+  EXPECT_GT(run->stats.checkpoints_written, 0);
+  // The store must have published a loadable, CRC-verified snapshot.
+  CheckpointStore store(path);
+  ASSERT_TRUE(store.HasCheckpoint());
+  auto cp = store.ReadLatest(AggKind::kSum, g.num_vertices());
+  EXPECT_TRUE(cp.ok()) << cp.status().ToString();
+  RemoveStoreFiles(path);
 }
 
 TEST(Checkpoint, CrashRestartResumesToSameFixpoint) {
@@ -116,21 +170,22 @@ TEST(Checkpoint, CrashRestartResumesToSameFixpoint) {
   ASSERT_TRUE(complete.ok());
 
   const std::string path = TempPath("powerlog_ckpt_crash.bin");
-  std::filesystem::remove(path);
+  RemoveStoreFiles(path);
   EngineOptions crashed = full;
   crashed.max_supersteps = 3;
   crashed.checkpoint_every = 1;
   crashed.checkpoint_path = path;
   auto partial = Engine(g, k, crashed).Run();
   ASSERT_TRUE(partial.ok());
-  ASSERT_TRUE(std::filesystem::exists(path));
 
-  // Recover: load the checkpoint and run the MRA recursion to convergence.
-  auto table = MonoTable::Create(AggKind::kSum, g.num_vertices());
-  ASSERT_TRUE(table.ok());
-  ASSERT_TRUE(RestoreCheckpoint(&*table, path).ok());
-  std::vector<double> x = table->SnapshotAccumulation();
-  std::vector<double> delta = table->SnapshotIntermediate();
+  // Recover: load the newest snapshot and run the MRA recursion to
+  // convergence.
+  CheckpointStore store(path);
+  ASSERT_TRUE(store.HasCheckpoint());
+  auto cp = store.ReadLatest(AggKind::kSum, g.num_vertices());
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  std::vector<double> x = cp->x;
+  std::vector<double> delta = cp->delta;
   for (int iter = 0; iter < 500; ++iter) {
     // Harvest semantics: fold pending deltas into x, then propagate them.
     std::vector<double> next(g.num_vertices(), 0.0);
@@ -148,7 +203,7 @@ TEST(Checkpoint, CrashRestartResumesToSameFixpoint) {
     delta = std::move(next);
   }
   EXPECT_LE(eval::MaxAbsDiff(complete->values, x), 1e-4);
-  std::filesystem::remove(path);
+  RemoveStoreFiles(path);
 }
 
 }  // namespace

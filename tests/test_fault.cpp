@@ -1,0 +1,311 @@
+// Chaos-injection and recovery tests: deterministic fault plans, the
+// supervisor's fence-restore-respawn protocol, and the per-aggregate
+// consistent-cut rules — across all four execution modes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/eval_common.h"
+#include "runtime/engine.h"
+#include "runtime/fault.h"
+#include "test_util.h"
+
+namespace powerlog::runtime {
+namespace {
+
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallDag;
+using powerlog::testing::SmallWeightedGraph;
+
+std::string TempBase(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void RemoveStoreFiles(const std::string& base) {
+  std::filesystem::remove(base + ".0");
+  std::filesystem::remove(base + ".1");
+  std::filesystem::remove(base + ".manifest");
+}
+
+/// Chaos runs keep the termination controller deliberately sluggish
+/// (50 ms checks) so a fault scheduled by beat count always fires before
+/// the run can quiesce — also under TSan's ~20x slowdown, where worker
+/// beats stretch but sleeps stay real-time.
+EngineOptions ChaosBase(ExecMode mode) {
+  EngineOptions options;
+  options.mode = mode;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.barrier_overhead_us = 0;
+  options.term_check_interval_us = 50000;
+  return options;
+}
+
+/// Sync workers beat once per superstep plus once per drain pass, so a
+/// 2-beat trigger fires within the first two supersteps; async-family
+/// workers beat every scan, microseconds apart.
+int64_t EarlyBeat(ExecMode mode) { return mode == ExecMode::kSync ? 2 : 20; }
+
+// ---------------------------------------------------------------------------
+// FaultPlan parsing.
+
+TEST(FaultPlan, ParsesFullSpec) {
+  auto plan = ParseFaultPlan(
+      "crash=1@200,hang=2@50x1000,drop=0.1,dup=0.05,reorder=0.2,maxbus=50,"
+      "seed=7");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->crash_worker, 1);
+  EXPECT_EQ(plan->crash_at_beats, 200);
+  EXPECT_EQ(plan->hang_worker, 2);
+  EXPECT_EQ(plan->hang_at_beats, 50);
+  EXPECT_EQ(plan->hang_duration_us, 1000);
+  EXPECT_DOUBLE_EQ(plan->drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan->duplicate_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan->reorder_prob, 0.2);
+  EXPECT_EQ(plan->max_bus_faults, 50);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_TRUE(plan->enabled());
+  EXPECT_TRUE(plan->bus_chaos());
+}
+
+TEST(FaultPlan, EmptySpecDisablesEverything) {
+  auto plan = ParseFaultPlan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->enabled());
+  EXPECT_FALSE(plan->bus_chaos());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_TRUE(ParseFaultPlan("crash=1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultPlan("crash=1@0").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultPlan("hang=1@5").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultPlan("drop=1.5").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultPlan("drop=-0.1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultPlan("maxbus=-1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultPlan("bogus=3").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultPlan("justakey").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector semantics.
+
+TEST(FaultInjector, BusStreamsAreDeterministicAndBudgetCapped) {
+  FaultPlan plan;
+  plan.drop_prob = 0.5;
+  plan.duplicate_prob = 0.5;  // every draw lands on some fault class
+  plan.max_bus_faults = 3;
+  plan.seed = 9;
+  FaultInjector a(plan, 2);
+  FaultInjector b(plan, 2);
+  std::vector<FaultInjector::BusFault> seq_a, seq_b;
+  for (int i = 0; i < 10; ++i) {
+    seq_a.push_back(a.OnSend(0));
+    seq_b.push_back(b.OnSend(0));
+  }
+  EXPECT_EQ(seq_a, seq_b);  // same plan + seed => identical chaos
+  EXPECT_EQ(a.stats().total(), 3);
+  EXPECT_EQ(a.stats().crashes, 0);
+}
+
+TEST(FaultInjector, WorkerFaultsAreOneShot) {
+  FaultPlan plan;
+  plan.crash_worker = 0;
+  plan.crash_at_beats = 5;
+  plan.hang_worker = 1;
+  plan.hang_at_beats = 2;
+  FaultInjector injector(plan, 2);
+  EXPECT_EQ(injector.OnHeartbeat(0, 4), FaultInjector::WorkerFault::kNone);
+  EXPECT_EQ(injector.OnHeartbeat(1, 1), FaultInjector::WorkerFault::kNone);
+  EXPECT_EQ(injector.OnHeartbeat(0, 5), FaultInjector::WorkerFault::kCrash);
+  EXPECT_EQ(injector.OnHeartbeat(0, 6), FaultInjector::WorkerFault::kNone);
+  EXPECT_EQ(injector.OnHeartbeat(1, 2), FaultInjector::WorkerFault::kHang);
+  EXPECT_EQ(injector.OnHeartbeat(1, 3), FaultInjector::WorkerFault::kNone);
+  EXPECT_EQ(injector.stats().crashes, 1);
+  EXPECT_EQ(injector.stats().hangs, 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end recovery, one instantiation per execution mode.
+
+class ChaosModeTest : public ::testing::TestWithParam<ExecMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ChaosModeTest,
+    ::testing::Values(ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
+                      ExecMode::kSyncAsync),
+    [](const ::testing::TestParamInfo<ExecMode>& info) {
+      switch (info.param) {
+        case ExecMode::kSync: return std::string("sync");
+        case ExecMode::kAsync: return std::string("async");
+        case ExecMode::kAap: return std::string("aap");
+        case ExecMode::kSyncAsync: return std::string("sync_async");
+      }
+      return std::string("unknown");
+    });
+
+TEST_P(ChaosModeTest, CrashRecoveryIsDeterministicAndExact) {
+  const ExecMode mode = GetParam();
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(61);
+  const EngineOptions base = ChaosBase(mode);
+  auto clean = Engine(g, k, base).Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  EngineOptions chaos = base;
+  chaos.fault.crash_worker = 1;
+  chaos.fault.crash_at_beats = EarlyBeat(mode);
+  chaos.fault.seed = 0xC0FFEE;
+  auto r1 = Engine(g, k, chaos).Run();
+  auto r2 = Engine(g, k, chaos).Run();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  EXPECT_EQ(r1->stats.faults.crashes, 1);
+  EXPECT_GE(r1->stats.recoveries, 1);
+  // Same seed => same recovery count and bit-identical results.
+  EXPECT_EQ(r1->stats.recoveries, r2->stats.recoveries);
+  EXPECT_EQ(r1->values, r2->values);
+  // min is order-independent: the healed run lands on the exact fault-free
+  // fixpoint, not an approximation of it.
+  EXPECT_EQ(r1->values, clean->values);
+}
+
+TEST_P(ChaosModeTest, SumRecoveryConservesMassExactly) {
+  const ExecMode mode = GetParam();
+  Kernel k = MustCompile("paths_dag");
+  auto g = SmallDag(71);
+  const EngineOptions base = ChaosBase(mode);
+  auto clean = Engine(g, k, base).Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(clean->stats.converged);
+
+  EngineOptions chaos = base;
+  const std::string store =
+      TempBase("powerlog_fault_sum_" +
+               std::to_string(static_cast<int>(mode)) + ".ckpt");
+  RemoveStoreFiles(store);
+  chaos.checkpoint_path = store;
+  chaos.checkpoint_every = 2;          // sync: every 2 supersteps
+  chaos.checkpoint_interval_us = 3000; // async family: supervisor cadence
+  chaos.fault.crash_worker = 2;
+  chaos.fault.crash_at_beats = EarlyBeat(mode);
+  auto r = Engine(g, k, chaos).Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_GE(r->stats.recoveries, 1);
+  // Path counts are integers and the rollback restores a mass-conserving
+  // cut, so the healed run must reproduce every count exactly — any drift
+  // means an update was double-counted or lost.
+  EXPECT_EQ(r->values, clean->values);
+  RemoveStoreFiles(store);
+}
+
+TEST_P(ChaosModeTest, EpsilonProgramRecoversWithinTolerance) {
+  const ExecMode mode = GetParam();
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(61);
+  EngineOptions base = ChaosBase(mode);
+  const double eps = 1e-6;
+  base.epsilon_override = eps;
+  auto clean = Engine(g, k, base).Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  EngineOptions chaos = base;
+  const std::string store =
+      TempBase("powerlog_fault_eps_" +
+               std::to_string(static_cast<int>(mode)) + ".ckpt");
+  RemoveStoreFiles(store);
+  chaos.checkpoint_path = store;
+  chaos.checkpoint_every = 2;
+  chaos.checkpoint_interval_us = 3000;
+  chaos.fault.crash_worker = 1;
+  chaos.fault.crash_at_beats = EarlyBeat(mode);
+  auto r = Engine(g, k, chaos).Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_GE(r->stats.recoveries, 1);
+  EXPECT_TRUE(r->stats.converged);
+  EXPECT_LE(eval::MaxAbsDiff(clean->values, r->values), 10 * eps);
+  RemoveStoreFiles(store);
+}
+
+TEST(EngineFault, HungWorkerIsFencedAndRecovered) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(61);
+  const EngineOptions base = ChaosBase(ExecMode::kAsync);
+  auto clean = Engine(g, k, base).Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  EngineOptions chaos = base;
+  chaos.heartbeat_timeout_us = 20000;
+  chaos.fault.hang_worker = 1;
+  chaos.fault.hang_at_beats = 1;  // freeze before the first scan
+  chaos.fault.hang_duration_us = 200000;  // outlasts detection by ~8x
+  auto r = Engine(g, k, chaos).Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_EQ(r->stats.faults.hangs, 1);
+  EXPECT_GE(r->stats.recoveries, 1);
+  EXPECT_EQ(r->values, clean->values);
+}
+
+TEST(EngineFault, DroppedMessageIsHealedByRecovery) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(61);
+  for (ExecMode mode : {ExecMode::kAsync, ExecMode::kSyncAsync}) {
+    SCOPED_TRACE(ExecModeName(mode));
+    const EngineOptions base = ChaosBase(mode);
+    auto clean = Engine(g, k, base).Run();
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+    // drop=1.0 with a budget of one discards exactly the first message on
+    // the bus — long before the crash fires — so the recovery sweep is
+    // guaranteed to run after all the damage is done and must heal it.
+    EngineOptions chaos = base;
+    chaos.fault.drop_prob = 1.0;
+    chaos.fault.max_bus_faults = 1;
+    chaos.fault.crash_worker = 1;
+    chaos.fault.crash_at_beats = 200;
+    auto r = Engine(g, k, chaos).Run();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+    EXPECT_EQ(r->stats.faults.messages_dropped, 1);
+    EXPECT_GE(r->stats.recoveries, 1);
+    EXPECT_EQ(r->values, clean->values);
+  }
+}
+
+TEST(EngineFault, DuplicatesAndReorderingAreHarmlessForMin) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(61);
+  for (ExecMode mode :
+       {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
+        ExecMode::kSyncAsync}) {
+    SCOPED_TRACE(ExecModeName(mode));
+    const EngineOptions base = ChaosBase(mode);
+    auto clean = Engine(g, k, base).Run();
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+    // Idempotent + order-independent aggregation: double delivery and
+    // delayed delivery may not change the fixpoint, and the termination
+    // detector's in-flight accounting must stay sound under both.
+    EngineOptions chaos = base;
+    chaos.fault.duplicate_prob = 0.3;
+    chaos.fault.reorder_prob = 0.3;
+    chaos.fault.reorder_delay_us = 200;
+    chaos.fault.seed = 0xD0D0;
+    auto r = Engine(g, k, chaos).Run();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+    EXPECT_GT(r->stats.faults.messages_duplicated +
+                  r->stats.faults.messages_reordered,
+              0);
+    EXPECT_EQ(r->stats.recoveries, 0);
+    EXPECT_EQ(r->values, clean->values);
+  }
+}
+
+}  // namespace
+}  // namespace powerlog::runtime

@@ -19,8 +19,8 @@ using powerlog::testing::SmallWeightedGraph;
 
 RunOptions FastOptions() {
   RunOptions options;
-  options.num_workers = 2;
-  options.network.instant = true;
+  options.engine.num_workers = 2;
+  options.engine.network.instant = true;
   return options;
 }
 
@@ -81,7 +81,7 @@ TEST(PowerLog, ModeOverride) {
   ASSERT_TRUE(cc.ok());
   auto g = SmallWeightedGraph(67);
   RunOptions options = FastOptions();
-  options.mode = runtime::ExecMode::kSync;
+  options.engine.mode = runtime::ExecMode::kSync;
   auto run = PowerLog::Run(cc->source, g, options);
   ASSERT_TRUE(run.ok());
   EXPECT_EQ(run->execution, "sync");
@@ -109,6 +109,39 @@ TEST(PowerLog, SourceOverrideRequiresSingleSourceProgram) {
   EXPECT_TRUE(PowerLog::Run(cc->source, g, options).status().IsInvalidArgument());
 }
 
+TEST(PowerLog, PrecompiledKernelServingPath) {
+  auto sssp = datalog::GetCatalogEntry("sssp");
+  ASSERT_TRUE(sssp.ok());
+  auto kernel = PowerLog::Compile(sssp->source);
+  ASSERT_TRUE(kernel.ok());
+  auto g = SmallWeightedGraph(61);
+  auto run = PowerLog::Run(*kernel, g, FastOptions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->evaluation, "MRA");
+  EXPECT_NE(run->check.report.find("skipped"), std::string::npos);
+  // Bit-identical to the full parse+check+run pipeline (min is exact).
+  auto full = PowerLog::Run(sssp->source, g, FastOptions());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->values, run->values);
+  // The façade-level source override applies on the serving path too.
+  RunOptions options = FastOptions();
+  options.source = 3;
+  auto moved = PowerLog::Run(*kernel, g, options);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_DOUBLE_EQ(moved->values[3], 0.0);
+}
+
+TEST(PowerLog, PrecompiledMeanKernelIsRejected) {
+  // The serving path skips the condition check; the engine's own aggregate
+  // gate is the backstop that keeps unsound programs out.
+  auto commnet = datalog::GetCatalogEntry("commnet");
+  ASSERT_TRUE(commnet.ok());
+  auto kernel = PowerLog::Compile(commnet->source);
+  ASSERT_TRUE(kernel.ok());
+  auto g = GeneratePath(5);
+  EXPECT_FALSE(PowerLog::Run(*kernel, g, FastOptions()).ok());
+}
+
 TEST(PowerLog, ParseErrorsPropagate) {
   auto g = GeneratePath(3);
   EXPECT_TRUE(PowerLog::Run("这 is not datalog", g, {}).status().IsParseError());
@@ -128,7 +161,7 @@ TEST(PowerLog, CheckOutcomeIsAttachedToRun) {
   ASSERT_TRUE(pagerank.ok());
   auto g = GenerateCycle(8);
   RunOptions options = FastOptions();
-  options.epsilon_override = 1e-10;
+  options.engine.epsilon_override = 1e-10;
   auto run = PowerLog::Run(pagerank->source, g, options);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->check.satisfied);
@@ -148,7 +181,7 @@ TEST_P(CatalogEndToEndTest, RunsWithoutError) {
                 ? SmallDag(71)
                 : SmallWeightedGraph(71);
   RunOptions options = FastOptions();
-  options.max_wall_seconds = 20.0;
+  options.engine.max_wall_seconds = 20.0;
   auto run = PowerLog::Run(entry.source, g, options);
   ASSERT_TRUE(run.ok()) << entry.name << ": " << run.status().ToString();
   EXPECT_EQ(run->values.size(), g.num_vertices());
