@@ -111,6 +111,7 @@ double RunSystemSeconds(systems::SystemId system, const std::string& program,
                  run.status().ToString().c_str());
     return -1.0;
   }
+  DumpRunMetrics(program, dataset, systems::SystemName(system), run->result);
   return run->result.stats.wall_seconds;
 }
 

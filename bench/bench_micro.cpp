@@ -1,16 +1,71 @@
 // Microbenchmarks (google-benchmark) for the hot primitives: the expression
-// VM, MonoTable protocol, combining buffers, aggregates, and the condition
-// checker itself.
+// VM, MonoTable protocol, combining buffers, aggregates, the condition
+// checker, and the message fabric (SPSC ring data plane vs the historical
+// mutex+deque bus — the ISSUE 3 acceptance ratio comes from this file).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <new>
+#include <thread>
+
 #include "checker/mra_checker.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "core/mono_table.h"
 #include "datalog/catalog.h"
 #include "eval/mra.h"
 #include "eval/semi_naive.h"
 #include "graph/generators.h"
 #include "runtime/message.h"
+#include "runtime/network.h"
 #include "core/kernel.h"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting hook: every global operator new bumps a relaxed
+// counter, so a benchmark can report allocations per million processed
+// updates (the harness tracks this in BENCH_*.json as `allocs_per_M`).
+// Aligned variants matter: the ring fabric's cache-line-padded structures
+// allocate through the align_val_t overloads.
+
+static std::atomic<int64_t> g_allocations{0};
+
+// GCC pairs the malloc in our operator new with the free in operator delete
+// at every call site and flags it; routing through malloc/free is exactly how
+// a counting global allocator works, so silence the false positive.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace powerlog {
 namespace {
@@ -57,6 +112,194 @@ void BM_CombiningBufferAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CombiningBufferAdd);
+
+// ---------------------------------------------------------------------------
+// Message fabric: the acceptance ratio for the SPSC data plane.
+//
+// `MutexDequeBus` replicates the pre-ISSUE-3 hot path faithfully: one mutex +
+// std::deque per inbox, a heap-allocated envelope batch per send, in-flight
+// counters taken under the same fetch_adds the old implementation used. Both
+// fabrics are driven by the identical workload: one thread plays all 4
+// workers in round-robin (each worker sends a small combining-buffer-sized
+// batch to its successor, whose inbox is then drained + acked), with instant
+// delivery. The batch is kept small (8 updates, a typical incremental-delta
+// flush) so the measurement is fabric overhead, not std::vector::push_back.
+//
+// Single-threaded on purpose: this host runs every benchmark on one core, so
+// a 4-thread variant measures scheduler quantum effects — a descheduled
+// consumer's queue grows without bound while its producer spins — not fabric
+// overhead. The round-robin driver keeps queues at their steady-state depth
+// (≤1 per pair, the engine's own self-paced regime) and makes the measured
+// difference purely data-plane cost: mutex traffic + a heap allocation per
+// message vs lock-free rings + pooled batches.
+
+constexpr int kFabricBatch = 8;
+constexpr uint32_t kFabricWorkers = 4;
+
+struct MutexDequeBus {
+  struct OldEnvelope {
+    int64_t sent_at_us = 0;
+    int64_t deliver_at_us = 0;
+    runtime::UpdateBatch batch;
+  };
+  struct OldInbox {
+    std::mutex mutex;
+    std::deque<OldEnvelope> queue;
+  };
+
+  explicit MutexDequeBus(uint32_t workers)
+      : inboxes(workers),
+        pair_messages(static_cast<size_t>(workers) * workers),
+        pair_updates(static_cast<size_t>(workers) * workers) {}
+
+  // Transcribed from the pre-refactor MessageBus::Send (instant mode, no
+  // injector): clock read, five counter RMWs, inbox mutex, deque push.
+  void Send(uint32_t from, uint32_t to, runtime::UpdateBatch batch) {
+    if (batch.empty()) return;
+    const int64_t now = NowMicros();  // instant: deliver_at = now
+    inflight.fetch_add(static_cast<int64_t>(batch.size()),
+                       std::memory_order_acq_rel);
+    messages.fetch_add(1, std::memory_order_relaxed);
+    updates.fetch_add(static_cast<int64_t>(batch.size()),
+                      std::memory_order_relaxed);
+    const size_t pair = static_cast<size_t>(from) * inboxes.size() + to;
+    pair_messages[pair].fetch_add(1, std::memory_order_relaxed);
+    pair_updates[pair].fetch_add(static_cast<int64_t>(batch.size()),
+                                 std::memory_order_relaxed);
+    OldInbox& inbox = inboxes[to];
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.queue.push_back(OldEnvelope{now, now, std::move(batch)});
+  }
+
+  // Transcribed from the pre-refactor MessageBus::Receive: clock read,
+  // deliver_at scan under the inbox mutex, per-envelope in-flight decrement.
+  size_t Receive(uint32_t worker, runtime::UpdateBatch* out) {
+    OldInbox& inbox = inboxes[worker];
+    const int64_t now = NowMicros();
+    size_t received = 0;
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    for (auto it = inbox.queue.begin(); it != inbox.queue.end();) {
+      if (it->deliver_at_us > now) {
+        ++it;
+        continue;
+      }
+      received += it->batch.size();
+      inflight.fetch_sub(static_cast<int64_t>(it->batch.size()),
+                         std::memory_order_acq_rel);
+      out->insert(out->end(), it->batch.begin(), it->batch.end());
+      it = inbox.queue.erase(it);
+    }
+    return received;
+  }
+
+  std::deque<OldInbox> inboxes;  // deque: OldInbox is not movable
+  std::atomic<int64_t> inflight{0};
+  std::atomic<int64_t> messages{0};
+  std::atomic<int64_t> updates{0};
+  std::vector<std::atomic<int64_t>> pair_messages;
+  std::vector<std::atomic<int64_t>> pair_updates;
+};
+
+void FillBatch(runtime::UpdateBatch* batch, uint32_t worker) {
+  for (int i = 0; i < kFabricBatch; ++i) {
+    batch->push_back({static_cast<VertexId>(worker * kFabricBatch + i), 1.0});
+  }
+}
+
+// Drives one send→receive→ack lap per worker through an SPSC MessageBus;
+// shared by the throughput variant (no histogram → clock-free fast path)
+// and the latency variant (histogram attached → timestamped path).
+void RunSpscFabricLaps(benchmark::State& state, runtime::MessageBus& bus) {
+  runtime::UpdateBatch in;
+  // Warm the pool so the timed region is the steady state, then count
+  // allocations from here on.
+  for (uint32_t w = 0; w < kFabricWorkers; ++w) {
+    runtime::UpdateBatch out = bus.AcquireBatch();
+    FillBatch(&out, w);
+    bus.Send(w, (w + 1) % kFabricWorkers, std::move(out));
+  }
+  for (uint32_t w = 0; w < kFabricWorkers; ++w) {
+    in.clear();
+    bus.AckDelivered(w, bus.Receive(w, &in));
+  }
+  const int64_t allocs_at_start = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    for (uint32_t w = 0; w < kFabricWorkers; ++w) {
+      runtime::UpdateBatch out = bus.AcquireBatch();
+      FillBatch(&out, w);
+      bus.Send(w, (w + 1) % kFabricWorkers, std::move(out));
+      const uint32_t receiver = (w + 1) % kFabricWorkers;
+      in.clear();
+      bus.AckDelivered(receiver, bus.Receive(receiver, &in));
+    }
+  }
+  const double total_updates =
+      static_cast<double>(state.iterations()) * kFabricBatch * kFabricWorkers;
+  state.SetItemsProcessed(state.iterations() * kFabricBatch * kFabricWorkers);
+  state.counters["allocs_per_M_updates"] =
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          allocs_at_start) *
+      1e6 / total_updates;
+  state.counters["overflow_sends"] =
+      static_cast<double>(bus.stats().overflow_sends);
+}
+
+void BM_BusFabric_SPSC(benchmark::State& state) {
+  runtime::NetworkConfig config;
+  config.instant = true;
+  runtime::MessageBus bus(kFabricWorkers, config);
+  RunSpscFabricLaps(state, bus);
+}
+BENCHMARK(BM_BusFabric_SPSC);
+
+// Same workload with the delivery-latency histogram attached, which forces
+// the timestamped path (two clock reads per message). Reported p50/p99 are
+// the fabric's in-process delivery latency, not simulated network latency.
+void BM_BusFabric_SPSC_Latency(benchmark::State& state) {
+  runtime::NetworkConfig config;
+  config.instant = true;
+  metrics::Histogram hist(metrics::ExponentialBuckets(1.0, 2.0, 22));
+  runtime::MessageBus bus(kFabricWorkers, config);
+  bus.SetLatencyHistogram(&hist);
+  RunSpscFabricLaps(state, bus);
+  const auto snap = hist.Snapshot();
+  state.counters["p50_latency_us"] = snap.Percentile(0.5);
+  state.counters["p99_latency_us"] = snap.Percentile(0.99);
+}
+BENCHMARK(BM_BusFabric_SPSC_Latency);
+
+void BM_BusFabric_MutexDeque(benchmark::State& state) {
+  MutexDequeBus bus(kFabricWorkers);
+  runtime::UpdateBatch in;
+  for (uint32_t w = 0; w < kFabricWorkers; ++w) {
+    runtime::UpdateBatch out;
+    FillBatch(&out, w);
+    bus.Send(w, (w + 1) % kFabricWorkers, std::move(out));
+  }
+  for (uint32_t w = 0; w < kFabricWorkers; ++w) {
+    in.clear();
+    bus.Receive(w, &in);
+  }
+  const int64_t allocs_at_start = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    for (uint32_t w = 0; w < kFabricWorkers; ++w) {
+      runtime::UpdateBatch out;  // old data plane: fresh heap batch per send
+      FillBatch(&out, w);
+      bus.Send(w, (w + 1) % kFabricWorkers, std::move(out));
+      const uint32_t receiver = (w + 1) % kFabricWorkers;
+      in.clear();
+      bus.Receive(receiver, &in);
+    }
+  }
+  const double total_updates =
+      static_cast<double>(state.iterations()) * kFabricBatch * kFabricWorkers;
+  state.SetItemsProcessed(state.iterations() * kFabricBatch * kFabricWorkers);
+  state.counters["allocs_per_M_updates"] =
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          allocs_at_start) *
+      1e6 / total_updates;
+}
+BENCHMARK(BM_BusFabric_MutexDeque);
 
 void BM_ConditionCheck(benchmark::State& state) {
   const auto entry = datalog::GetCatalogEntry(

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Perf-regression harness: runs the pinned benchmark set and writes
+# BENCH_<rev>.json at the repo root — the machine-readable baseline that
+# scripts/bench_compare.py diffs against (see ARCHITECTURE.md, "Perf
+# harness").
+#
+# Usage: scripts/bench.sh [--quick] [--out FILE]
+#
+#   --quick   shorter google-benchmark repetitions and the FAST dataset
+#             subsample for fig9 — for the check.sh gate, where only the
+#             deterministic metrics (fabric speedup, allocation counts)
+#             are compared, not absolute wall times.
+#   --out     output path (default BENCH_<git short rev>.json).
+#
+# Pinned environment: 4 workers, fixed generator seeds (compiled into the
+# benches), one benchmark process at a time. Wall-clock metrics still move
+# with host load; bench_compare.py therefore gates only on relative and
+# counting metrics by default and treats wall times as informational.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+done
+
+REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+[[ -n "$OUT" ]] || OUT="BENCH_${REV}.json"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> build (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_micro bench_fig9_overall >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Pinned harness environment: every metric in BENCH_*.json is produced with
+# exactly these knobs, so files from different revisions are comparable.
+export POWERLOG_BENCH_WORKERS=4
+
+MIN_TIME=0.5
+[[ "$QUICK" -eq 1 ]] && MIN_TIME=0.1
+
+echo "==> bench_micro (message fabric + hot primitives)"
+./build/bench/bench_micro \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$TMP/micro.json"
+
+echo "==> bench_fig9_overall (end-to-end engine vs comparators)"
+FIG9_ENV=()
+[[ "$QUICK" -eq 1 ]] && FIG9_ENV+=(POWERLOG_BENCH_FAST=1)
+env "${FIG9_ENV[@]}" POWERLOG_BENCH_METRICS="$TMP/fig9_metrics.jsonl" \
+  ./build/bench/bench_fig9_overall > "$TMP/fig9.txt"
+
+echo "==> merge -> $OUT"
+python3 scripts/bench_compare.py collect \
+  --rev "$REV" \
+  --quick "$QUICK" \
+  --micro-json "$TMP/micro.json" \
+  --fig9-metrics "$TMP/fig9_metrics.jsonl" \
+  --out "$OUT"
+
+python3 scripts/bench_compare.py show "$OUT"

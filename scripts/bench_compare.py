@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Perf-baseline collector and regression gate for BENCH_<rev>.json files.
+
+Three modes:
+
+  collect   Merge one bench_micro --benchmark_format=json dump and one
+            bench_fig9_overall POWERLOG_BENCH_METRICS JSONL trace into a
+            single BENCH_*.json (called by scripts/bench.sh).
+  compare   Diff a current BENCH file against a committed baseline. Exits
+            non-zero when a *tracked* metric regresses beyond its threshold.
+  show      Pretty-print one BENCH file.
+
+Tracked (gating) metrics are the relative / counting ones, which are stable
+on a loaded host:
+
+  fabric_speedup            SPSC vs mutex+deque updates/s ratio; must stay
+                            >= FABRIC_SPEEDUP_FLOOR (2.0) *and* within 10%%
+                            of the baseline.
+  fabric_spsc_allocs_per_M  allocations per million updates through the SPSC
+                            plane; near zero, gated with a small absolute
+                            slack on top of the 10%%.
+  fabric_overflow_sends     full-ring slow-path sends in the fabric bench;
+                            must not exceed baseline + slack.
+  fabric_p50/p99_latency_us in-process delivery latency percentiles.
+  fig9 convergence          every engine run recorded in the baseline must
+                            still converge.
+
+Absolute wall-clock metrics (updates/s, per-benchmark cpu_time, fig9 wall
+seconds) are reported as informational deltas only — this harness runs on
+shared single-core hosts where they swing with load.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+FABRIC_SPEEDUP_FLOOR = 2.0
+REGRESSION_PCT = 10.0  # tracked-metric tolerance vs baseline
+ALLOC_SLACK = 1.0      # absolute allocs/M slack on top of the percentage
+OVERFLOW_SLACK = 0     # overflow sends allowed above baseline
+
+SCHEMA = 1
+
+
+# --------------------------------------------------------------------------
+# collect
+
+def _micro_entries(micro):
+    """google-benchmark JSON -> {name: {metric: value}}."""
+    out = {}
+    for b in micro.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "cpu_time_ns": b.get("cpu_time"),
+            "real_time_ns": b.get("real_time"),
+        }
+        for key in ("items_per_second", "allocs_per_M_updates",
+                    "overflow_sends", "p50_latency_us", "p99_latency_us"):
+            if key in b:
+                entry[key] = b[key]
+        out[b["name"]] = entry
+    return out
+
+
+def _counter(rec, name):
+    counters = rec.get("metrics", {}).get("counters", {})
+    return counters.get(name)
+
+
+def collect(args):
+    with open(args.micro_json) as f:
+        micro = _micro_entries(json.load(f))
+
+    fig9 = {}
+    try:
+        with open(args.fig9_metrics) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                key = "{}/{}/{}".format(rec.get("program"), rec.get("dataset"),
+                                        rec.get("mode"))
+                fig9[key] = {
+                    "wall_seconds": rec.get("wall_seconds"),
+                    "converged": rec.get("converged"),
+                    "pool_hits": _counter(rec, "bus.pool.hits"),
+                    "pool_misses": _counter(rec, "bus.pool.misses"),
+                    "overflow_sends": _counter(rec, "bus.overflow_sends"),
+                }
+    except FileNotFoundError:
+        pass
+
+    spsc = micro.get("BM_BusFabric_SPSC", {})
+    mutex = micro.get("BM_BusFabric_MutexDeque", {})
+    latency = micro.get("BM_BusFabric_SPSC_Latency", {})
+    spsc_rate = spsc.get("items_per_second")
+    mutex_rate = mutex.get("items_per_second")
+    speedup = None
+    if spsc_rate and mutex_rate:
+        speedup = spsc_rate / mutex_rate
+
+    doc = {
+        "schema": SCHEMA,
+        "rev": args.rev,
+        "quick": bool(int(args.quick)),
+        "metrics": {
+            "fabric_spsc_updates_per_sec": spsc_rate,
+            "fabric_mutex_updates_per_sec": mutex_rate,
+            "fabric_speedup": speedup,
+            "fabric_spsc_allocs_per_M": spsc.get("allocs_per_M_updates"),
+            "fabric_mutex_allocs_per_M": mutex.get("allocs_per_M_updates"),
+            "fabric_overflow_sends": spsc.get("overflow_sends"),
+            "fabric_p50_latency_us": latency.get("p50_latency_us"),
+            "fabric_p99_latency_us": latency.get("p99_latency_us"),
+        },
+        "micro": micro,
+        "fig9": fig9,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote {}".format(args.out))
+    return 0
+
+
+# --------------------------------------------------------------------------
+# compare
+
+def _load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit("{}: unsupported schema {!r}".format(path, doc.get("schema")))
+    return doc
+
+
+def _fmt(v):
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return "{:.4g}".format(v)
+    return str(v)
+
+
+def compare(args):
+    base = _load(args.baseline)
+    cur = _load(args.current)
+    bm, cm = base["metrics"], cur["metrics"]
+    failures = []
+    notes = []
+
+    def tracked(name, worse_is, threshold_pct=REGRESSION_PCT, slack=0.0):
+        b, c = bm.get(name), cm.get(name)
+        if b is None or c is None:
+            notes.append("{}: missing ({} -> {})".format(name, _fmt(b), _fmt(c)))
+            return
+        if worse_is == "lower":
+            limit = b * (1 - threshold_pct / 100.0) - slack
+            ok = c >= limit
+        else:
+            limit = b * (1 + threshold_pct / 100.0) + slack
+            ok = c <= limit
+        line = "{}: {} -> {} (limit {})".format(name, _fmt(b), _fmt(c), _fmt(limit))
+        (notes if ok else failures).append(line)
+
+    # Hard floor first: the ISSUE-3 acceptance ratio.
+    speedup = cm.get("fabric_speedup")
+    if speedup is None or math.isnan(speedup):
+        failures.append("fabric_speedup: missing from current run")
+    elif speedup < FABRIC_SPEEDUP_FLOOR:
+        failures.append("fabric_speedup: {:.2f} < floor {:.1f}".format(
+            speedup, FABRIC_SPEEDUP_FLOOR))
+
+    tracked("fabric_speedup", worse_is="lower")
+    tracked("fabric_spsc_allocs_per_M", worse_is="higher", slack=ALLOC_SLACK)
+    tracked("fabric_overflow_sends", worse_is="higher", slack=OVERFLOW_SLACK)
+    tracked("fabric_p50_latency_us", worse_is="higher")
+    tracked("fabric_p99_latency_us", worse_is="higher")
+
+    # Every engine run the baseline saw converge must still converge.
+    for key, brec in sorted(base.get("fig9", {}).items()):
+        crec = cur.get("fig9", {}).get(key)
+        if crec is None:
+            notes.append("fig9 {}: not present in current run".format(key))
+            continue
+        if brec.get("converged") and not crec.get("converged"):
+            failures.append("fig9 {}: converged in baseline, diverged now".format(key))
+
+    # Informational wall-clock deltas.
+    for name in ("fabric_spsc_updates_per_sec", "fabric_mutex_updates_per_sec"):
+        b, c = bm.get(name), cm.get(name)
+        if b and c:
+            notes.append("{} (info): {} -> {} ({:+.1f}%)".format(
+                name, _fmt(b), _fmt(c), 100.0 * (c - b) / b))
+
+    print("baseline {} ({}) vs current {} ({})".format(
+        base.get("rev"), args.baseline, cur.get("rev"), args.current))
+    for line in notes:
+        print("  ok   " + line)
+    for line in failures:
+        print("  FAIL " + line)
+    if failures:
+        print("bench_compare: {} tracked metric(s) regressed".format(len(failures)))
+        return 1
+    print("bench_compare: all tracked metrics within tolerance")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# show
+
+def show(args):
+    doc = _load(args.file)
+    print("BENCH rev={} quick={}".format(doc.get("rev"), doc.get("quick")))
+    for name, value in sorted(doc["metrics"].items()):
+        print("  {:32s} {}".format(name, _fmt(value)))
+    fig9 = doc.get("fig9", {})
+    if fig9:
+        print("  fig9 runs: {} ({} converged)".format(
+            len(fig9), sum(1 for r in fig9.values() if r.get("converged"))))
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="mode", required=True)
+
+    c = sub.add_parser("collect")
+    c.add_argument("--rev", required=True)
+    c.add_argument("--quick", default="0")
+    c.add_argument("--micro-json", required=True)
+    c.add_argument("--fig9-metrics", required=True)
+    c.add_argument("--out", required=True)
+    c.set_defaults(func=collect)
+
+    d = sub.add_parser("compare")
+    d.add_argument("baseline")
+    d.add_argument("current")
+    d.set_defaults(func=compare)
+
+    s = sub.add_parser("show")
+    s.add_argument("file")
+    s.set_defaults(func=show)
+
+    args = p.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

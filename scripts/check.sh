@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 suite plus one ThreadSanitizer pass over the
-# race-prone suites (ctest labels `fault` and `concurrency`).
+# Repo verification: the tier-1 suite, one ThreadSanitizer pass over the
+# race-prone suites (ctest labels `fault` and `concurrency`), one
+# AddressSanitizer pass over the data-plane suite (label `network`), and a
+# perf-regression gate against the committed BENCH_*.json baseline.
 #
-# Usage: scripts/check.sh [--skip-tsan]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 #
-# Build trees: build/ (plain) and build-tsan/ (POWERLOG_SANITIZE=thread);
-# both are created if missing and reused if present.
+# Build trees: build/ (plain), build-tsan/ (POWERLOG_SANITIZE=thread) and
+# build-asan/ (POWERLOG_SANITIZE=address); all are created if missing and
+# reused if present.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+SKIP_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    --skip-bench) SKIP_BENCH=1 ;;
+    *) echo "unknown arg: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> tier-1: configure + build (build/)"
 cmake -B build -S . >/dev/null
@@ -22,20 +34,50 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> TSan pass skipped (--skip-tsan)"
-  exit 0
+else
+  echo "==> TSan: configure + build (build-tsan/)"
+  cmake -B build-tsan -S . -DPOWERLOG_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  # Low parallelism + retry on purpose: TSan slows every worker thread ~20x,
+  # which can starve async workers long enough for the epsilon-termination
+  # criterion (two static global-aggregate samples) to fire before convergence
+  # in the epsilon engine tests — a known timing artifact of the paper's
+  # criterion under extreme slowdown, not a race (TSan reports stay fatal).
+  echo "==> TSan: ctest -L 'fault|concurrency'"
+  ctest --test-dir build-tsan -L 'fault|concurrency' --output-on-failure -j 2 \
+        --repeat until-pass:3
 fi
 
-echo "==> TSan: configure + build (build-tsan/)"
-cmake -B build-tsan -S . -DPOWERLOG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS"
+if [[ "$SKIP_ASAN" -eq 1 ]]; then
+  echo "==> ASan pass skipped (--skip-asan)"
+else
+  # The data plane recycles UpdateBatch capacity through a lock-free pool and
+  # hands ring slots between threads; ASan over the `network` label catches
+  # use-after-move / use-after-free bugs TSan does not look for.
+  echo "==> ASan: configure + build (build-asan/)"
+  cmake -B build-asan -S . -DPOWERLOG_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
 
-# Low parallelism + retry on purpose: TSan slows every worker thread ~20x,
-# which can starve async workers long enough for the epsilon-termination
-# criterion (two static global-aggregate samples) to fire before convergence
-# in the epsilon engine tests — a known timing artifact of the paper's
-# criterion under extreme slowdown, not a race (TSan reports stay fatal).
-echo "==> TSan: ctest -L 'fault|concurrency'"
-ctest --test-dir build-tsan -L 'fault|concurrency' --output-on-failure -j 2 \
-      --repeat until-pass:3
+  echo "==> ASan: ctest -L network"
+  ctest --test-dir build-asan -L network --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_BENCH" -eq 1 ]]; then
+  echo "==> bench gate skipped (--skip-bench)"
+else
+  # Newest committed baseline wins; the quick run only feeds the relative /
+  # counting metrics bench_compare gates on, so it is comparable to a full
+  # baseline (wall-clock metrics are informational either way).
+  BASELINE="$(git ls-files 'BENCH_*.json' | tail -n 1)"
+  if [[ -z "$BASELINE" ]]; then
+    echo "==> bench gate skipped (no committed BENCH_*.json baseline)"
+  else
+    echo "==> bench: scripts/bench.sh --quick vs $BASELINE"
+    scripts/bench.sh --quick --out /tmp/powerlog_bench_check.json
+    python3 scripts/bench_compare.py compare "$BASELINE" \
+            /tmp/powerlog_bench_check.json
+  fi
+fi
 
 echo "==> all checks passed"

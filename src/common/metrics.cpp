@@ -110,6 +110,32 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snap;
 }
 
+double HistogramSnapshot::Percentile(double q) const {
+  if (count <= 0 || counts.empty()) return std::nan("");
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) return max;  // overflow bucket: clamp
+    // Interpolate the target rank's position within [lo, hi], clamped to
+    // the observed extrema so tiny histograms don't extrapolate.
+    const double lo = i == 0 ? std::min(min, bounds[0]) : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac =
+        (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    const double v = lo + (hi - lo) * frac;
+    return std::max(min, std::min(v, max));
+  }
+  return max;
+}
+
 std::vector<double> ExponentialBuckets(double start, double factor, int count) {
   std::vector<double> bounds;
   bounds.reserve(static_cast<size_t>(std::max(count, 0)));

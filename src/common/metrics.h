@@ -55,6 +55,12 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  ///< valid iff count > 0
   double max = 0.0;  ///< valid iff count > 0
+
+  /// Estimated value at quantile `q` in [0, 1] (e.g. 0.5 = p50, 0.99 = p99),
+  /// by linear interpolation inside the bucket containing the target rank.
+  /// Bucket-resolution accuracy only; observations in the overflow bucket
+  /// clamp to `max`. NaN if the histogram is empty.
+  double Percentile(double q) const;
 };
 
 /// \brief Fixed-bucket histogram. Bucket i counts observations

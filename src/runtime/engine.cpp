@@ -71,6 +71,11 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
     snap->AddCounter(prefix + "stall_us", w.stall_us);
     snap->AddCounter(prefix + "inbox_drain_us", w.inbox_drain_us);
   }
+  const BatchPool::Stats pool = bus.pool_stats();
+  snap->AddCounter("bus.pool.hits", pool.hits);
+  snap->AddCounter("bus.pool.misses", pool.misses);
+  snap->AddCounter("bus.pool.discards", pool.discards);
+  snap->AddCounter("bus.overflow_sends", bus.stats().overflow_sends);
   for (uint32_t from = 0; from < num_workers; ++from) {
     for (uint32_t to = 0; to < num_workers; ++to) {
       const int64_t messages = bus.PairMessages(from, to);

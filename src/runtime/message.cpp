@@ -23,11 +23,16 @@ void CombiningBuffer::Add(VertexId key, double value) {
   }
 }
 
+void CombiningBuffer::Drain(UpdateBatch* out) {
+  out->clear();
+  out->reserve(pending_.size());
+  for (const auto& [key, value] : pending_) out->push_back(Update{key, value});
+  pending_.clear();
+}
+
 UpdateBatch CombiningBuffer::Drain() {
   UpdateBatch batch;
-  batch.reserve(pending_.size());
-  for (const auto& [key, value] : pending_) batch.push_back(Update{key, value});
-  pending_.clear();
+  Drain(&batch);
   return batch;
 }
 

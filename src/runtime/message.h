@@ -33,8 +33,17 @@ class CombiningBuffer {
   size_t size() const { return pending_.size(); }
   bool empty() const { return pending_.empty(); }
 
-  /// Moves the buffered updates out as a batch (buffer becomes empty).
+  /// Drains the buffered updates into `out` (cleared first, capacity
+  /// retained — pass a pooled batch for an allocation-free flush). The
+  /// buffer becomes empty.
+  void Drain(UpdateBatch* out);
+
+  /// Moves the buffered updates out as a fresh batch (buffer becomes empty).
   UpdateBatch Drain();
+
+  /// Discards the buffered updates (crash simulation: un-flushed buffers die
+  /// with the worker).
+  void Clear() { pending_.clear(); }
 
  private:
   AggKind kind_;

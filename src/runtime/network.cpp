@@ -2,21 +2,174 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "common/metrics.h"
 #include "runtime/fault.h"
 
 namespace powerlog::runtime {
+namespace {
+
+uint32_t RoundUpPow2(uint32_t v) {
+  if (v < 2) return 2;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  return v + 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BatchPool
+
+BatchPool::BatchPool(uint32_t capacity, size_t max_pooled_updates)
+    // Vyukov's seq protocol needs >= 2 cells: with one cell, "readable at
+    // position p" and "writable at position p+1" would both encode as
+    // seq == p + 1.
+    : nodes_(RoundUpPow2(capacity < 2 ? 2 : capacity)),
+      mask_(nodes_.size() - 1),
+      max_pooled_updates_(max_pooled_updates) {
+  // Vyukov init: cell i is empty-and-writable for lap 0 when seq == i.
+  for (uint64_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+UpdateBatch BatchPool::Acquire() {
+  uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Node& cell = nodes_[pos & mask_];
+    // Acquire pairs with Release's seq store-release: observing
+    // seq == pos + 1 makes the released batch's contents visible.
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+    if (dif == 0) {
+      // Cell is full for this lap; claim it. Relaxed suffices: the cell's
+      // own seq handshake carries all data ordering.
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        UpdateBatch batch = std::move(cell.batch);
+        // Mark the cell empty-and-writable for the next lap.
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return batch;
+      }
+    } else if (dif < 0) {
+      // Cell not yet filled for this lap: the pool is empty.
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return UpdateBatch{};
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void BatchPool::Release(UpdateBatch batch) {
+  batch.clear();
+  if (batch.capacity() == 0 || batch.capacity() > max_pooled_updates_) {
+    // Nothing worth caching (or too big to cache: pooling unbounded
+    // capacities would pin the high-water memory mark forever).
+    if (batch.capacity() != 0) discards_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Node& cell = nodes_[pos & mask_];
+    // Acquire pairs with Acquire's store-release: observing seq == pos
+    // proves the previous lap's reader is done with the cell.
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.batch = std::move(batch);
+        // Release publishes the batch to the acquiring reader.
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return;
+      }
+    } else if (dif < 0) {
+      // Cell still holds an unclaimed batch from this lap: the pool is full.
+      discards_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+BatchPool::Stats BatchPool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.discards = discards_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// MessageBus::Ring
+
+void MessageBus::Ring::Init(uint32_t min_slots) {
+  slots.resize(RoundUpPow2(min_slots));
+  mask = slots.size() - 1;
+}
+
+bool MessageBus::Ring::TryPush(Envelope&& e) {
+  const uint64_t t = tail.load(std::memory_order_relaxed);  // producer-owned
+  // Acquire on head: the consumer's store-release after draining slot
+  // (t - size) proves that slot's contents are dead and safe to overwrite.
+  if (t - head.load(std::memory_order_acquire) >= slots.size()) return false;
+  slots[t & mask] = std::move(e);
+  tail.store(t + 1, std::memory_order_release);  // publish the filled slot
+  return true;
+}
+
+bool MessageBus::Ring::TryPop(Envelope* out) {
+  const uint64_t h = head.load(std::memory_order_relaxed);  // consumer-owned
+  // Acquire on tail pairs with the producer's store-release: observing
+  // tail > h makes slot h's contents visible.
+  if (h == tail.load(std::memory_order_acquire)) return false;
+  *out = std::move(slots[h & mask]);
+  head.store(h + 1, std::memory_order_release);  // hand the slot back
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MessageBus
 
 MessageBus::MessageBus(uint32_t num_workers, NetworkConfig config)
     : config_(config),
+      rings_(static_cast<size_t>(num_workers) * num_workers),
       inboxes_(num_workers),
+      pool_(config.pool_batches != 0 ? config.pool_batches
+                                     : 4 * num_workers * num_workers + 64),
       pair_messages_(static_cast<size_t>(num_workers) * num_workers),
-      pair_updates_(static_cast<size_t>(num_workers) * num_workers) {}
+      pair_updates_(static_cast<size_t>(num_workers) * num_workers) {
+  for (Ring& ring : rings_) ring.Init(config_.ring_slots);
+}
+
+void MessageBus::Enqueue(uint32_t from, uint32_t to, Envelope envelope) {
+  if (rings_[PairIndex(from, to)].TryPush(std::move(envelope))) return;
+  // Ring full. Never spin: the consumer might be pause-parked (quiesce
+  // rendezvous), and a sender spinning here could then never park itself.
+  overflow_sends_.fetch_add(1, std::memory_order_relaxed);
+  Inbox& inbox = inboxes_[to];
+  std::lock_guard<std::mutex> lock(inbox.mutex);
+  inbox.overflow.push_back(std::move(envelope));
+  inbox.overflow_nonempty.store(true, std::memory_order_release);
+}
 
 void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
   if (batch.empty()) return;
-  const int64_t now = NowMicros();
+  // Clock-free fast path: with instant delivery, no latency histogram, and
+  // no fault injector, timestamps are unobservable — stamp the envelope 0
+  // ("deliverable immediately") and skip the clock read entirely.
+  const bool needs_clock =
+      !config_.instant || latency_hist_ != nullptr || injector_ != nullptr;
+  const int64_t now = needs_clock ? NowMicros() : 0;
   int64_t deliver_at =
       config_.instant
           ? now
@@ -40,104 +193,212 @@ void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
     }
   }
   const int64_t copies = duplicate ? 2 : 1;
-  inflight_.fetch_add(copies * static_cast<int64_t>(batch.size()),
-                      std::memory_order_acq_rel);
-  messages_.fetch_add(copies, std::memory_order_relaxed);
-  updates_.fetch_add(copies * static_cast<int64_t>(batch.size()),
-                     std::memory_order_relaxed);
+  const int64_t mass = copies * static_cast<int64_t>(batch.size());
+  // Count before publishing: a sampler that observes the envelope's effects
+  // necessarily observes the increment too (the increment is sequenced
+  // before the ring's store-release), so in-flight mass only ever
+  // over-reports transiently, never under-reports.
+  inboxes_[to].pending.fetch_add(mass, std::memory_order_relaxed);
+  // Pair cells are single-writer (sender's thread only, or the supervisor
+  // under quiesce), so a plain load+store avoids a lock-prefixed RMW.
   const size_t pair = PairIndex(from, to);
-  pair_messages_[pair].fetch_add(copies, std::memory_order_relaxed);
-  pair_updates_[pair].fetch_add(copies * static_cast<int64_t>(batch.size()),
-                                std::memory_order_relaxed);
-  Inbox& inbox = inboxes_[to];
-  std::lock_guard<std::mutex> lock(inbox.mutex);
+  pair_messages_[pair].store(
+      pair_messages_[pair].load(std::memory_order_relaxed) + copies,
+      std::memory_order_relaxed);
+  pair_updates_[pair].store(
+      pair_updates_[pair].load(std::memory_order_relaxed) + mass,
+      std::memory_order_relaxed);
   if (duplicate) {
-    inbox.queue.push_back(Envelope{now, deliver_at, batch});
+    Envelope copy;
+    copy.sent_at_us = now;
+    copy.deliver_at_us = deliver_at;
+    copy.batch = pool_.Acquire();
+    copy.batch = batch;  // copy into recycled capacity
+    Enqueue(from, to, std::move(copy));
   }
-  inbox.queue.push_back(Envelope{now, deliver_at, std::move(batch)});
+  Enqueue(from, to, Envelope{now, deliver_at, std::move(batch)});
 }
 
-size_t MessageBus::ReceiveNow(uint32_t worker, UpdateBatch* out) {
-  Inbox& inbox = inboxes_[worker];
-  std::lock_guard<std::mutex> lock(inbox.mutex);
-  size_t received = 0;
-  for (Envelope& envelope : inbox.queue) {
-    received += envelope.batch.size();
-    inflight_.fetch_sub(static_cast<int64_t>(envelope.batch.size()),
-                        std::memory_order_acq_rel);
-    out->insert(out->end(), envelope.batch.begin(), envelope.batch.end());
+size_t MessageBus::Deliver(Envelope* envelope, int64_t now, UpdateBatch* out) {
+  const size_t received = envelope->batch.size();
+  if (latency_hist_ != nullptr) {
+    latency_hist_->Observe(static_cast<double>(now - envelope->sent_at_us));
   }
-  inbox.queue.clear();
+  out->insert(out->end(), envelope->batch.begin(), envelope->batch.end());
+  pool_.Release(std::move(envelope->batch));
   return received;
-}
-
-void MessageBus::Clear() {
-  for (Inbox& inbox : inboxes_) {
-    std::lock_guard<std::mutex> lock(inbox.mutex);
-    for (const Envelope& envelope : inbox.queue) {
-      inflight_.fetch_sub(static_cast<int64_t>(envelope.batch.size()),
-                          std::memory_order_acq_rel);
-    }
-    inbox.queue.clear();
-    inbox.cpu_debt_ns = 0;
-  }
 }
 
 size_t MessageBus::Receive(uint32_t worker, UpdateBatch* out) {
   Inbox& inbox = inboxes_[worker];
-  const int64_t now = NowMicros();
+  // Mirror of Send's clock-free fast path: an envelope stamped
+  // deliver_at == 0 is deliverable unconditionally, so a pure-instant run
+  // never reads the clock here either. The clock is read lazily on the
+  // first timestamped envelope (and eagerly when a histogram needs `now`
+  // for the latency observation in Deliver).
+  int64_t now = latency_hist_ != nullptr ? NowMicros() : -1;
   size_t received = 0;
   size_t messages = 0;
-  int64_t sleep_us = 0;
-  {
-    std::lock_guard<std::mutex> lock(inbox.mutex);
-    // Envelopes are queued in send order; delivery times are monotone per
-    // sender but interleaved across senders, so scan the whole ready prefix
-    // conservatively: pop any envelope whose time has come.
-    for (auto it = inbox.queue.begin(); it != inbox.queue.end();) {
-      if (it->deliver_at_us > now) {
-        ++it;
-        continue;
+  // Pass 1 — leftovers staged by earlier calls (their delivery time had not
+  // come yet). Staged envelopes are in arrival order; delivery times are
+  // monotone per sender but interleaved across senders (and reorder faults
+  // push individual envelopes past their natural slot), so scan the whole
+  // staging area conservatively: deliver any envelope whose time has come,
+  // compact the rest in place.
+  if (!inbox.staging.empty()) {
+    size_t keep = 0;
+    for (size_t i = 0; i < inbox.staging.size(); ++i) {
+      Envelope& envelope = inbox.staging[i];
+      if (envelope.deliver_at_us > 0) {
+        if (now < 0) now = NowMicros();
+        if (envelope.deliver_at_us > now) {
+          if (keep != i) inbox.staging[keep] = std::move(envelope);
+          ++keep;
+          continue;
+        }
       }
-      received += it->batch.size();
+      received += Deliver(&envelope, now, out);
       ++messages;
-      if (latency_hist_ != nullptr) {
-        latency_hist_->Observe(static_cast<double>(now - it->sent_at_us));
+    }
+    inbox.staging.resize(keep);
+  }
+  // Pass 2 — fresh arrivals, popped straight off each sender's ring and
+  // delivered in place; only envelopes whose time has not come are staged
+  // (so the staging detour is paid exactly by delayed traffic, never by the
+  // instant-delivery fast path).
+  const uint32_t n = num_workers();
+  Envelope envelope;
+  for (uint32_t from = 0; from < n; ++from) {
+    Ring& ring = rings_[PairIndex(from, worker)];
+    while (ring.TryPop(&envelope)) {
+      if (envelope.deliver_at_us > 0) {
+        if (now < 0) now = NowMicros();
+        if (envelope.deliver_at_us > now) {
+          inbox.staging.push_back(std::move(envelope));
+          continue;
+        }
       }
-      inflight_.fetch_sub(static_cast<int64_t>(it->batch.size()),
-                          std::memory_order_acq_rel);
-      out->insert(out->end(), it->batch.begin(), it->batch.end());
-      it = inbox.queue.erase(it);
-    }
-    // Burn the receiver-CPU cost, amortised through a debt accumulator so
-    // sub-quantum costs still add up correctly.
-    if (messages > 0 &&
-        (config_.cpu_us_per_message > 0 || config_.cpu_us_per_update > 0)) {
-      inbox.cpu_debt_ns += static_cast<int64_t>(
-          1000.0 * (config_.cpu_us_per_message * static_cast<double>(messages) +
-                    config_.cpu_us_per_update * static_cast<double>(received)));
-    }
-    if (inbox.cpu_debt_ns > 200000) {  // sleep off >= 200us chunks
-      sleep_us = inbox.cpu_debt_ns / 1000;
-      inbox.cpu_debt_ns = 0;
+      received += Deliver(&envelope, now, out);
+      ++messages;
     }
   }
-  if (sleep_us > 0) {
+  // Pass 3 — overflow spill (full-ring sends), same deliver-or-stage rule.
+  if (inbox.overflow_nonempty.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    for (Envelope& e : inbox.overflow) {
+      if (e.deliver_at_us > 0) {
+        if (now < 0) now = NowMicros();
+        if (e.deliver_at_us > now) {
+          inbox.staging.push_back(std::move(e));
+          continue;
+        }
+      }
+      received += Deliver(&e, now, out);
+      ++messages;
+    }
+    inbox.overflow.clear();
+    inbox.overflow_nonempty.store(false, std::memory_order_release);
+  }
+  // Burn the receiver-CPU cost, amortised through a debt accumulator so
+  // sub-quantum costs still add up correctly.
+  if (messages > 0 &&
+      (config_.cpu_us_per_message > 0 || config_.cpu_us_per_update > 0)) {
+    inbox.cpu_debt_ns += static_cast<int64_t>(
+        1000.0 * (config_.cpu_us_per_message * static_cast<double>(messages) +
+                  config_.cpu_us_per_update * static_cast<double>(received)));
+  }
+  if (inbox.cpu_debt_ns > 200000) {  // sleep off >= 200us chunks
+    const int64_t sleep_us = inbox.cpu_debt_ns / 1000;
+    inbox.cpu_debt_ns = 0;
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
   }
   return received;
 }
 
-bool MessageBus::HasPending(uint32_t worker) const {
-  const Inbox& inbox = inboxes_[worker];
+void MessageBus::AckDelivered(uint32_t worker, size_t updates) {
+  if (updates == 0) return;
+  const int64_t mass = static_cast<int64_t>(updates);
+  // Release: the caller's table combines are sequenced before these stores,
+  // so a sampler whose acquire load observes the decrement also observes
+  // the applied mass in the table — the edge that makes
+  // InFlightUpdates() + PendingDeltaMass() a sound conservation check.
+  inboxes_[worker].pending.fetch_sub(mass, std::memory_order_release);
+}
+
+size_t MessageBus::ReceiveNow(uint32_t worker, UpdateBatch* out) {
+  Inbox& inbox = inboxes_[worker];
+  // Serialises supervisor-side helpers against each other; exclusivity
+  // against the worker's own lock-free Receive comes from quiesce (every
+  // worker is parked), not from this mutex.
   std::lock_guard<std::mutex> lock(inbox.mutex);
-  return !inbox.queue.empty();
+  const uint32_t n = num_workers();
+  size_t received = 0;
+  Envelope envelope;
+  for (Envelope& staged : inbox.staging) {
+    received += staged.batch.size();
+    out->insert(out->end(), staged.batch.begin(), staged.batch.end());
+    pool_.Release(std::move(staged.batch));
+  }
+  inbox.staging.clear();
+  for (uint32_t from = 0; from < n; ++from) {
+    Ring& ring = rings_[PairIndex(from, worker)];
+    while (ring.TryPop(&envelope)) {
+      received += envelope.batch.size();
+      out->insert(out->end(), envelope.batch.begin(), envelope.batch.end());
+      pool_.Release(std::move(envelope.batch));
+    }
+  }
+  for (Envelope& e : inbox.overflow) {
+    received += e.batch.size();
+    out->insert(out->end(), e.batch.begin(), e.batch.end());
+    pool_.Release(std::move(e.batch));
+  }
+  inbox.overflow.clear();
+  inbox.overflow_nonempty.store(false, std::memory_order_release);
+  inbox.pending.fetch_sub(static_cast<int64_t>(received),
+                          std::memory_order_release);
+  return received;
+}
+
+void MessageBus::Clear() {
+  const uint32_t n = num_workers();
+  for (uint32_t worker = 0; worker < n; ++worker) {
+    Inbox& inbox = inboxes_[worker];
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    int64_t discarded = 0;
+    for (Envelope& e : inbox.staging) {
+      discarded += static_cast<int64_t>(e.batch.size());
+      pool_.Release(std::move(e.batch));
+    }
+    inbox.staging.clear();
+    Envelope envelope;
+    for (uint32_t from = 0; from < n; ++from) {
+      Ring& ring = rings_[PairIndex(from, worker)];
+      while (ring.TryPop(&envelope)) {
+        discarded += static_cast<int64_t>(envelope.batch.size());
+        pool_.Release(std::move(envelope.batch));
+      }
+    }
+    for (Envelope& e : inbox.overflow) {
+      discarded += static_cast<int64_t>(e.batch.size());
+      pool_.Release(std::move(e.batch));
+    }
+    inbox.overflow.clear();
+    inbox.overflow_nonempty.store(false, std::memory_order_release);
+    inbox.cpu_debt_ns = 0;
+    inbox.pending.fetch_sub(discarded, std::memory_order_release);
+  }
 }
 
 NetworkStats MessageBus::stats() const {
   NetworkStats s;
-  s.messages = messages_.load(std::memory_order_relaxed);
-  s.updates = updates_.load(std::memory_order_relaxed);
+  for (const auto& cell : pair_messages_) {
+    s.messages += cell.load(std::memory_order_relaxed);
+  }
+  for (const auto& cell : pair_updates_) {
+    s.updates += cell.load(std::memory_order_relaxed);
+  }
+  s.overflow_sends = overflow_sends_.load(std::memory_order_relaxed);
   return s;
 }
 

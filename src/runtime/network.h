@@ -6,6 +6,21 @@
 // trade-off real in a single process: many small messages pay latency per
 // message (penalising naive async), big batches delay data (penalising
 // over-buffered execution), and barrier-based sync pays the straggler wait.
+//
+// Data plane (see ARCHITECTURE.md for the full memory-ordering contract):
+// the fabric is a matrix of bounded single-producer/single-consumer ring
+// queues, one per ordered (sender, receiver) pair. The sender thread is the
+// ring's only producer and the receiving worker its only consumer, so a
+// steady-state Send/Receive never takes a lock and never allocates (batches
+// come from a lock-free BatchPool and are returned on delivery). Two slow
+// paths keep the design honest:
+//   * a per-inbox mutex + overflow deque absorbs sends that hit a full ring
+//     (backpressure must never block: a sender spinning on a full ring
+//     while its receiver is pause-parked would deadlock the quiesce
+//     rendezvous), and
+//   * ReceiveNow/Clear — the supervisor's consistent-cut helpers — take the
+//     same mutex, but their real safety argument is quiescence: they run
+//     only while every worker is parked, so no ring has a live consumer.
 #pragma once
 
 #include <atomic>
@@ -39,31 +54,129 @@ struct NetworkConfig {
   /// values.
   double cpu_us_per_message = 0.0;
   double cpu_us_per_update = 0.0;
+
+  /// Envelope slots per (sender, receiver) SPSC ring; rounded up to a power
+  /// of two, minimum 2. A full ring spills to the per-inbox mutex+deque
+  /// overflow path (counted in NetworkStats::overflow_sends), so undersizing
+  /// costs throughput, never correctness.
+  uint32_t ring_slots = 1024;
+
+  /// Pooled UpdateBatch objects shared by all senders; 0 = auto
+  /// (4·workers² + 64). When the pool runs dry, Acquire falls back to a
+  /// fresh heap vector (counted as a pool miss — the bench harness tracks
+  /// misses as allocations per million updates).
+  uint32_t pool_batches = 0;
 };
 
 /// \brief Aggregate transport statistics.
 struct NetworkStats {
   int64_t messages = 0;
   int64_t updates = 0;
+  int64_t overflow_sends = 0;  ///< sends that hit a full ring (slow path)
+};
+
+/// \brief Lock-free recycling pool of UpdateBatch vectors.
+///
+/// Batches flow pool → CombiningBuffer drain → ring envelope → receiver →
+/// back to the pool, retaining their heap capacity across laps, so the
+/// steady-state data plane performs no allocation. Implemented as a bounded
+/// MPMC ring of cells in the style of Vyukov's queue: each cell carries a
+/// sequence number that encodes both its occupancy and the lap it belongs
+/// to, so Acquire and Release each cost exactly one CAS on their position
+/// counter (no ABA tags, no per-node free list).
+/// Multi-producer/multi-consumer: any thread may Acquire or Release.
+class BatchPool {
+ public:
+  /// `capacity` = pooled batch slots, rounded up to a power of two
+  /// (minimum 2 — the seq protocol needs it; see capacity()). Batches whose
+  /// capacity exceeds `max_pooled_updates` are dropped on Release instead of
+  /// cached, bounding pool memory at
+  /// capacity × max_pooled_updates × sizeof(Update).
+  explicit BatchPool(uint32_t capacity, size_t max_pooled_updates = 16384);
+
+  BatchPool(const BatchPool&) = delete;
+  BatchPool& operator=(const BatchPool&) = delete;
+
+  /// An empty batch, recycled (capacity retained) when available, freshly
+  /// allocated otherwise.
+  UpdateBatch Acquire();
+
+  /// Returns a spent batch to the pool (cleared, capacity kept). Oversized
+  /// or surplus batches are simply freed (counted as discards).
+  void Release(UpdateBatch batch);
+
+  struct Stats {
+    int64_t hits = 0;      ///< Acquire served from the pool
+    int64_t misses = 0;    ///< Acquire fell back to heap allocation
+    int64_t discards = 0;  ///< Release dropped a batch (full / oversized)
+  };
+  Stats stats() const;
+
+  uint32_t capacity() const { return static_cast<uint32_t>(nodes_.size()); }
+
+ private:
+  /// One pooled slot. `seq` follows the Vyukov protocol: a cell at ring
+  /// index i is empty-and-writable for lap k when seq == enqueue position
+  /// (i + k·capacity), and full-and-readable when seq == that position + 1.
+  /// Writers publish `batch` with the seq store-release; readers make it
+  /// visible with their seq load-acquire.
+  struct Node {
+    UpdateBatch batch;
+    std::atomic<uint64_t> seq{0};
+  };
+
+  std::vector<Node> nodes_;  ///< power-of-two cells
+  uint64_t mask_ = 0;
+  size_t max_pooled_updates_;
+  /// Next cell to Release into (claimed by CAS; relaxed — the cell's own
+  /// seq carries the ordering).
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  /// Next cell to Acquire from (same protocol).
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+  alignas(64) std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> discards_{0};
 };
 
 /// \brief N-worker mailbox fabric with delivery-time simulation.
+///
+/// In-flight accounting protocol (the happens-before contract the
+/// termination controller's sampler relies on — see ARCHITECTURE.md):
+/// `Send` adds a batch's updates to the in-flight counters *before*
+/// publishing the envelope; `Receive` hands updates to the caller but does
+/// NOT decrement — the caller applies them to the MonoTable and only then
+/// calls `AckDelivered`. The ack's release store paired with the sampler's
+/// acquire load guarantees that whenever the sampler observes the
+/// decrement, the table rows those updates touched are already visible, so
+/// `InFlightUpdates() + PendingDeltaMass()` never transiently under-reports
+/// unapplied mass.
 class MessageBus {
  public:
   MessageBus(uint32_t num_workers, NetworkConfig config);
 
   uint32_t num_workers() const { return static_cast<uint32_t>(inboxes_.size()); }
 
-  /// Ships a batch from `from` to `to`. Empty batches are dropped.
+  /// Ships a batch from `from` to `to`. Empty batches are dropped. Must only
+  /// be called from `from`'s worker thread (SPSC producer contract).
   void Send(uint32_t from, uint32_t to, UpdateBatch batch);
 
   /// Delivers every message for `worker` that has reached its delivery time.
-  /// Appends into `out`; returns number of updates received.
+  /// Appends into `out`; returns number of updates received. Must only be
+  /// called from `worker`'s thread (SPSC consumer contract). The delivered
+  /// updates stay counted as in flight until AckDelivered.
   size_t Receive(uint32_t worker, UpdateBatch* out);
+
+  /// Acknowledges that `updates` updates previously returned by Receive have
+  /// been applied to the table. Decrements the in-flight counters with
+  /// release ordering — the other half of the sampler's acquire edge.
+  void AckDelivered(uint32_t worker, size_t updates);
 
   /// Drains `worker`'s whole inbox regardless of delivery times — the
   /// supervisor's consistent-cut helper (only safe while workers are
-  /// quiesced, since it collapses the simulated delivery delay).
+  /// quiesced, since it collapses the simulated delivery delay and violates
+  /// the SPSC consumer contract otherwise). Decrements in-flight counters
+  /// immediately: its callers apply the updates synchronously while every
+  /// sampler skips the paused window.
   size_t ReceiveNow(uint32_t worker, UpdateBatch* out);
 
   /// Discards every queued message everywhere (recovery rollback: anything
@@ -75,16 +188,31 @@ class MessageBus {
   /// drop/duplicate/reorder decisions. The injector must outlive the bus.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
-  /// Updates shipped (Send) but not yet consumed via Receive.
+  /// Updates shipped (Send) but not yet applied-and-acked via AckDelivered.
+  /// Sums the per-inbox pending counters (there is deliberately no global
+  /// in-flight atomic: one RMW per Send/Ack, not two). Each term individually
+  /// never under-reports, so neither does the sum.
   int64_t InFlightUpdates() const {
-    return inflight_.load(std::memory_order_acquire);
+    int64_t total = 0;
+    for (const Inbox& inbox : inboxes_) {
+      total += inbox.pending.load(std::memory_order_acquire);
+    }
+    return total;
   }
 
-  /// True if a Receive for `worker` right now would deliver something, or
-  /// messages are still in flight to it (even if not yet deliverable).
-  bool HasPending(uint32_t worker) const;
+  /// True if messages are still in flight to `worker`: queued, staged,
+  /// delivered-but-unacked, or not yet deliverable.
+  bool HasPending(uint32_t worker) const {
+    return inboxes_[worker].pending.load(std::memory_order_acquire) > 0;
+  }
 
   NetworkStats stats() const;
+
+  /// Recycled-batch source for senders: drain combining buffers into a
+  /// pooled batch so the flush→send→deliver lap is allocation-free.
+  UpdateBatch AcquireBatch() { return pool_.Acquire(); }
+
+  BatchPool::Stats pool_stats() const { return pool_.stats(); }
 
   /// Observability: when set, every consumed message records its send→receive
   /// latency (simulated delivery delay + scheduling) into `histogram`, in
@@ -93,8 +221,12 @@ class MessageBus {
     latency_hist_ = histogram;
   }
 
-  /// Per-(sender, receiver) traffic counts, always collected (one relaxed
-  /// increment per Send into a cell only the sender writes).
+  /// Per-(sender, receiver) traffic counts, always collected. Each cell is
+  /// single-writer (only `from`'s thread sends on that pair; supervisor-side
+  /// sends happen only under quiesce), so the writer uses a relaxed
+  /// load+store instead of a lock-prefixed fetch_add — readers may see a
+  /// slightly stale value mid-run, never a torn one. Bus-wide message and
+  /// update totals (stats()) are sums over these cells.
   int64_t PairMessages(uint32_t from, uint32_t to) const {
     return pair_messages_[PairIndex(from, to)].load(std::memory_order_relaxed);
   }
@@ -104,28 +236,58 @@ class MessageBus {
 
  private:
   struct Envelope {
-    int64_t sent_at_us;
-    int64_t deliver_at_us;
+    int64_t sent_at_us = 0;
+    int64_t deliver_at_us = 0;
     UpdateBatch batch;
   };
+
+  /// Bounded SPSC ring. `tail` is producer-owned (store-release publishes a
+  /// filled slot; the consumer's load-acquire makes its contents visible);
+  /// `head` is consumer-owned (store-release returns a drained slot; the
+  /// producer's load-acquire proves the slot safe to overwrite). Monotone
+  /// uint64 positions never wrap in practice; `slots.size()` is a power of
+  /// two so `pos & mask` indexes.
+  struct Ring {
+    std::vector<Envelope> slots;
+    size_t mask = 0;
+    alignas(64) std::atomic<uint64_t> head{0};  ///< consumer position
+    alignas(64) std::atomic<uint64_t> tail{0};  ///< producer position
+
+    void Init(uint32_t min_slots);
+    bool TryPush(Envelope&& e);
+    bool TryPop(Envelope* out);
+  };
+
+  /// Receiver-side state. `staging`, `cpu_debt_ns` are consumer-owned (no
+  /// locking; the supervisor may touch them in ReceiveNow/Clear only under
+  /// quiesce). `mutex` guards the overflow deque (full-ring sends) and
+  /// serialises the supervisor-side helpers against each other.
   struct Inbox {
-    mutable std::mutex mutex;
-    std::deque<Envelope> queue;
-    /// Accumulated receive-CPU debt in nanoseconds; slept off in chunks so
-    /// sub-microsecond costs are not rounded up to the OS sleep quantum.
+    std::vector<Envelope> staging;  ///< popped but not yet deliverable
     int64_t cpu_debt_ns = 0;
+    mutable std::mutex mutex;
+    std::deque<Envelope> overflow;
+    std::atomic<bool> overflow_nonempty{false};
+    /// Updates sent to this inbox and not yet acked (HasPending).
+    alignas(64) std::atomic<int64_t> pending{0};
   };
 
   size_t PairIndex(uint32_t from, uint32_t to) const {
     return static_cast<size_t>(from) * inboxes_.size() + to;
   }
 
+  void Enqueue(uint32_t from, uint32_t to, Envelope envelope);
+  /// Appends an envelope's updates to `out`, observes latency, recycles the
+  /// batch. Returns the update count.
+  size_t Deliver(Envelope* envelope, int64_t now, UpdateBatch* out);
+
   NetworkConfig config_;
+  std::vector<Ring> rings_;  ///< num_workers² rings, indexed by PairIndex
   std::vector<Inbox> inboxes_;
-  std::atomic<int64_t> inflight_{0};
-  std::atomic<int64_t> messages_{0};
-  std::atomic<int64_t> updates_{0};
-  std::vector<std::atomic<int64_t>> pair_messages_;  ///< num_workers² cells
+  BatchPool pool_;
+  std::atomic<int64_t> overflow_sends_{0};
+  /// num_workers² cells; single-writer striped counters (see PairMessages).
+  std::vector<std::atomic<int64_t>> pair_messages_;
   std::vector<std::atomic<int64_t>> pair_updates_;
   metrics::Histogram* latency_hist_ = nullptr;
   FaultInjector* injector_ = nullptr;

@@ -36,6 +36,13 @@ bool TerminationController::Quiescent() const {
   for (const auto& flag : *shared_->idle_flags) {
     if (flag.load(std::memory_order_acquire) == 0) return false;
   }
+  // Counter protocol (see ARCHITECTURE.md): Send increments in-flight
+  // *before* publishing an envelope, and workers decrement via AckDelivered
+  // only *after* applying the delivered updates to the table. So reading 0
+  // here (acquire, pairing with the ack's release) proves every shipped
+  // update's table effect is visible to the PendingDeltaMass scan below —
+  // mass can transiently double-count (in flight *and* in the table) but
+  // never vanish from both.
   if (shared_->bus->InFlightUpdates() != 0) return false;
   if (shared_->table->PendingDeltaMass() != 0.0) return false;
   return true;

@@ -219,7 +219,7 @@ bool Worker::CheckControl() {
         // restores rows this thread is still about to clobber.
         ctl.dead.store(1, std::memory_order_release);
         for (VertexId v : owned_) shared_->table->WipeRow(v);
-        for (CombiningBuffer& buffer : out_buffers_) buffer.Drain();
+        for (CombiningBuffer& buffer : out_buffers_) buffer.Clear();
         ctl.dead.store(2, std::memory_order_release);
         dead_ = true;
         return false;
@@ -246,6 +246,9 @@ size_t Worker::DrainInbox() {
   for (const Update& u : inbox_scratch_) {
     shared_->table->CombineDelta(u.key, u.value);
   }
+  // Ack only after the combines above: the termination sampler's acquire
+  // load of the in-flight counter must imply the table mass is visible.
+  shared_->bus->AckDelivered(id_, received);
   stats_.inbox_updates += static_cast<int64_t>(received);
   if (collect_metrics_) stats_.inbox_drain_us += NowMicros() - t0;
   return received;
@@ -334,7 +337,9 @@ void Worker::FlushBuffers(bool force) {
     if (buffer.empty()) continue;
     if (!force && !policies_[slot].ShouldFlush(buffer.size(), now)) continue;
     const size_t flushed = buffer.size();
-    shared_->bus->Send(id_, peers_[slot], buffer.Drain());
+    UpdateBatch batch = shared_->bus->AcquireBatch();
+    buffer.Drain(&batch);
+    shared_->bus->Send(id_, peers_[slot], std::move(batch));
     policies_[slot].OnFlush(flushed, now);
     ++stats_.flushes;
     stats_.flushed_updates += static_cast<int64_t>(flushed);

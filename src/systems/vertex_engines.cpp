@@ -126,7 +126,9 @@ Result<EngineResult> NaiveSyncRun(const Graph& graph, const Kernel& kernel,
       superstep_edges.fetch_add(local_edges, std::memory_order_relaxed);
       for (uint32_t w = 0; w < num_workers; ++w) {
         if (w == id || buffers[w].empty()) continue;
-        bus.Send(id, w, buffers[w].Drain());
+        UpdateBatch batch = bus.AcquireBatch();
+        buffers[w].Drain(&batch);
+        bus.Send(id, w, std::move(batch));
       }
       SpinSleep(options.barrier_overhead_us);
       barrier.ArriveAndWait();
@@ -134,8 +136,9 @@ Result<EngineResult> NaiveSyncRun(const Graph& graph, const Kernel& kernel,
       // --- communication phase ---
       while (bus.HasPending(id)) {
         scratch.clear();
-        bus.Receive(id, &scratch);
+        const size_t received = bus.Receive(id, &scratch);
         for (const Update& u : scratch) AtomicCombine(&next[u.key], u.value, kernel.agg);
+        bus.AckDelivered(id, received);
         SpinSleep(20);
       }
       const bool serial = barrier.ArriveAndWait();

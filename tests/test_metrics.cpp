@@ -66,6 +66,28 @@ TEST(Metrics, HistogramBucketing) {
   EXPECT_DOUBLE_EQ(snap.max, 5.0);
 }
 
+TEST(Metrics, HistogramPercentiles) {
+  Histogram h(ExponentialBuckets(1.0, 2.0, 10));  // 1, 2, 4, ..., 512
+  HistogramSnapshot empty = h.Snapshot();
+  EXPECT_TRUE(std::isnan(empty.Percentile(0.5)));
+  // 100 observations uniform in (0, 100].
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  HistogramSnapshot snap = h.Snapshot();
+  // Bucket resolution is coarse (powers of two); the estimate must land in
+  // the right bucket, never outside the observed range.
+  const double p50 = snap.Percentile(0.5);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  const double p99 = snap.Percentile(0.99);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), snap.min);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), snap.max);  // clamped to observed max
+  // Overflow observations clamp to the recorded max.
+  h.Observe(1e9);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(1.0), 1e9);
+}
+
 TEST(Metrics, ExponentialBuckets) {
   const auto bounds = ExponentialBuckets(1.0, 2.0, 5);
   EXPECT_EQ(bounds, (std::vector<double>{1, 2, 4, 8, 16}));

@@ -1,12 +1,25 @@
+// Data-plane tests: SPSC ring fabric, batch pool, delivery simulation, and
+// the Send → Receive → AckDelivered in-flight accounting protocol.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "common/random.h"
+#include "eval/eval_common.h"
+#include "eval/naive.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "runtime/engine.h"
 #include "runtime/network.h"
+#include "test_util.h"
 
 namespace powerlog::runtime {
 namespace {
+
+using eval::MaxAbsDiff;
+using powerlog::testing::MustCompile;
 
 TEST(MessageBus, InstantDelivery) {
   NetworkConfig config;
@@ -18,6 +31,7 @@ TEST(MessageBus, InstantDelivery) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].key, 5u);
   EXPECT_DOUBLE_EQ(out[0].value, 1.5);
+  bus.AckDelivered(1, 1);
 }
 
 TEST(MessageBus, EmptyBatchesDropped) {
@@ -40,6 +54,10 @@ TEST(MessageBus, LatencyDelaysDelivery) {
   EXPECT_EQ(bus.InFlightUpdates(), 1);
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_EQ(bus.Receive(1, &out), 1u);
+  // Delivered but not applied: still counted in flight until the ack.
+  EXPECT_EQ(bus.InFlightUpdates(), 1);
+  EXPECT_TRUE(bus.HasPending(1));
+  bus.AckDelivered(1, 1);
   EXPECT_EQ(bus.InFlightUpdates(), 0);
   EXPECT_FALSE(bus.HasPending(1));
 }
@@ -67,7 +85,7 @@ TEST(MessageBus, StatsCountMessagesAndUpdates) {
   EXPECT_EQ(stats.updates, 3);
 }
 
-TEST(MessageBus, InFlightAccountingAcrossWorkers) {
+TEST(MessageBus, InFlightAccountingRequiresAck) {
   NetworkConfig config;
   config.instant = true;
   MessageBus bus(3, config);
@@ -76,12 +94,44 @@ TEST(MessageBus, InFlightAccountingAcrossWorkers) {
   bus.Send(1, 0, {{3, 3.0}});
   EXPECT_EQ(bus.InFlightUpdates(), 3);
   UpdateBatch out;
-  bus.Receive(1, &out);
+  EXPECT_EQ(bus.Receive(1, &out), 2u);
   EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(bus.InFlightUpdates(), 3);  // delivered, not yet acked
+  EXPECT_TRUE(bus.HasPending(1));
+  bus.AckDelivered(1, 2);
   EXPECT_EQ(bus.InFlightUpdates(), 1);
+  EXPECT_FALSE(bus.HasPending(1));
   out.clear();
-  bus.Receive(0, &out);
+  bus.AckDelivered(0, bus.Receive(0, &out));
   EXPECT_EQ(bus.InFlightUpdates(), 0);
+}
+
+TEST(MessageBus, ReceiveNowDecrementsImmediately) {
+  NetworkConfig config;
+  config.latency_us = 60'000'000;  // would never deliver on its own
+  MessageBus bus(2, config);
+  bus.Send(0, 1, {{1, 1.0}, {2, 2.0}});
+  UpdateBatch out;
+  EXPECT_EQ(bus.ReceiveNow(1, &out), 2u);  // cut helper ignores delivery time
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(bus.InFlightUpdates(), 0);  // no separate ack for the cut path
+  EXPECT_FALSE(bus.HasPending(1));
+}
+
+TEST(MessageBus, ClearDiscardsEverything) {
+  NetworkConfig config;
+  config.latency_us = 60'000'000;
+  MessageBus bus(3, config);
+  bus.Send(0, 1, {{1, 1.0}});
+  bus.Send(0, 2, {{2, 2.0}, {3, 3.0}});
+  EXPECT_EQ(bus.InFlightUpdates(), 3);
+  bus.Clear();
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+  EXPECT_FALSE(bus.HasPending(1));
+  EXPECT_FALSE(bus.HasPending(2));
+  UpdateBatch out;
+  EXPECT_EQ(bus.ReceiveNow(1, &out), 0u);
+  EXPECT_EQ(bus.ReceiveNow(2, &out), 0u);
 }
 
 TEST(MessageBus, ReceiveAppends) {
@@ -93,6 +143,93 @@ TEST(MessageBus, ReceiveAppends) {
   bus.Receive(1, &out);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].key, 99u);
+}
+
+// A ring with a 8-slot capacity must survive many laps of its index space
+// without corrupting or reordering a single sender's FIFO stream.
+TEST(MessageBus, RingWraparoundPreservesFifoOrder) {
+  NetworkConfig config;
+  config.instant = true;
+  config.ring_slots = 8;
+  MessageBus bus(2, config);
+  UpdateBatch out;
+  VertexId next_expected = 0;
+  for (int round = 0; round < 40; ++round) {  // 40 × 4 = 20 laps of the ring
+    for (int i = 0; i < 4; ++i) {
+      const VertexId key = static_cast<VertexId>(round * 4 + i);
+      bus.Send(0, 1, {{key, 1.0}});
+    }
+    out.clear();
+    const size_t got = bus.Receive(1, &out);
+    EXPECT_EQ(got, 4u);
+    for (const Update& u : out) {
+      EXPECT_EQ(u.key, next_expected);
+      ++next_expected;
+    }
+    bus.AckDelivered(1, got);
+  }
+  EXPECT_EQ(next_expected, 160u);
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+  EXPECT_EQ(bus.stats().overflow_sends, 0);  // never outran the consumer
+}
+
+// Filling a ring past capacity must spill to the overflow slow path — never
+// block, never drop — and deliver everything once the consumer catches up.
+TEST(MessageBus, FullRingSpillsToOverflow) {
+  NetworkConfig config;
+  config.instant = true;
+  config.ring_slots = 2;
+  MessageBus bus(2, config);
+  const int kMessages = 100;
+  for (int i = 0; i < kMessages; ++i) {
+    bus.Send(0, 1, {{static_cast<VertexId>(i), 1.0}});
+  }
+  EXPECT_GT(bus.stats().overflow_sends, 0);
+  EXPECT_EQ(bus.InFlightUpdates(), kMessages);
+  UpdateBatch out;
+  const size_t got = bus.Receive(1, &out);
+  EXPECT_EQ(got, static_cast<size_t>(kMessages));
+  bus.AckDelivered(1, got);
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+  // Every key exactly once (ring + overflow merged losslessly).
+  std::vector<bool> seen(kMessages, false);
+  for (const Update& u : out) {
+    ASSERT_LT(u.key, static_cast<VertexId>(kMessages));
+    EXPECT_FALSE(seen[u.key]);
+    seen[u.key] = true;
+  }
+}
+
+// One producer, one consumer, a tiny ring: hammers the lock-free fast path,
+// the wraparound arithmetic, and the overflow spill under real concurrency.
+// Run under TSan via the `concurrency` label.
+TEST(MessageBus, TwoThreadHammer) {
+  NetworkConfig config;
+  config.instant = true;
+  config.ring_slots = 4;
+  MessageBus bus(2, config);
+  const int kMessages = 20000;
+  std::thread producer([&bus] {
+    for (int i = 0; i < kMessages; ++i) {
+      bus.Send(0, 1, {{static_cast<VertexId>(i), static_cast<double>(i)}});
+    }
+  });
+  int64_t received = 0;
+  double value_sum = 0.0;
+  UpdateBatch out;
+  while (received < kMessages) {
+    out.clear();
+    const size_t got = bus.Receive(1, &out);
+    for (const Update& u : out) value_sum += u.value;
+    bus.AckDelivered(1, got);
+    received += static_cast<int64_t>(got);
+  }
+  producer.join();
+  EXPECT_EQ(received, kMessages);
+  EXPECT_DOUBLE_EQ(value_sum,
+                   static_cast<double>(kMessages) * (kMessages - 1) / 2.0);
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+  EXPECT_FALSE(bus.HasPending(1));
 }
 
 TEST(MessageBus, ConcurrentSendersAreSafe) {
@@ -113,13 +250,227 @@ TEST(MessageBus, ConcurrentSendersAreSafe) {
     UpdateBatch out;
     while (received < 3000) {
       out.clear();
-      received += bus.Receive(3, &out);
+      const size_t got = bus.Receive(3, &out);
+      bus.AckDelivered(3, got);
+      received += got;
     }
   });
   for (auto& t : senders) t.join();
   receiver.join();
   EXPECT_EQ(received, 3000u);
   EXPECT_EQ(bus.InFlightUpdates(), 0);
+}
+
+TEST(BatchPool, ReusesCapacityAndCountsHitsMisses) {
+  BatchPool pool(2);
+  // Fresh pool: nothing to recycle.
+  UpdateBatch a = pool.Acquire();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(pool.stats().misses, 1);
+  a.reserve(128);
+  const size_t cap = a.capacity();
+  a.push_back({1, 1.0});
+  pool.Release(std::move(a));
+  // The recycled batch comes back empty but with its capacity intact.
+  UpdateBatch b = pool.Acquire();
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), cap);
+  EXPECT_EQ(pool.stats().hits, 1);
+}
+
+TEST(BatchPool, DiscardsOversizedAndSurplusBatches) {
+  BatchPool pool(2, /*max_pooled_updates=*/16);
+  ASSERT_EQ(pool.capacity(), 2u);  // capacity rounds up to a power of two
+  UpdateBatch big;
+  big.reserve(1024);  // over the cap: must not be retained
+  pool.Release(std::move(big));
+  EXPECT_EQ(pool.stats().discards, 1);
+  for (int i = 0; i < 3; ++i) {
+    UpdateBatch small;
+    small.reserve(8);
+    pool.Release(std::move(small));  // first two fill the pool; third is surplus
+  }
+  EXPECT_EQ(pool.stats().discards, 2);
+  EXPECT_GE(pool.Acquire().capacity(), 8u);
+  EXPECT_EQ(pool.stats().hits, 1);
+}
+
+TEST(BatchPool, ConcurrentAcquireReleaseIsLossless) {
+  BatchPool pool(8);
+  constexpr int kThreads = 4;
+  constexpr int kLaps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < kLaps; ++i) {
+        UpdateBatch batch = pool.Acquire();
+        batch.push_back({static_cast<VertexId>(i), 1.0});
+        pool.Release(std::move(batch));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const BatchPool::Stats stats = pool.stats();
+  // Every Acquire was either a hit or a miss — none lost, none duplicated.
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kLaps);
+  EXPECT_GT(stats.hits, 0);
+}
+
+// After a warm-up, the send → deliver → release lap recycles batches through
+// the pool and the steady state stops allocating (misses stop growing).
+TEST(MessageBus, SteadyStateLapsAreAllocationFree) {
+  NetworkConfig config;
+  config.instant = true;
+  MessageBus bus(2, config);
+  UpdateBatch out;
+  auto lap = [&] {
+    UpdateBatch batch = bus.AcquireBatch();
+    for (int i = 0; i < 64; ++i) batch.push_back({static_cast<VertexId>(i), 1.0});
+    bus.Send(0, 1, std::move(batch));
+    out.clear();
+    bus.AckDelivered(1, bus.Receive(1, &out));
+  };
+  for (int i = 0; i < 10; ++i) lap();
+  const int64_t warm_misses = bus.pool_stats().misses;
+  for (int i = 0; i < 200; ++i) lap();
+  EXPECT_EQ(bus.pool_stats().misses, warm_misses);
+  EXPECT_GT(bus.pool_stats().hits, 0);
+}
+
+// Stress for the counter protocol the termination sampler depends on
+// (ISSUE 3 bugfix): sampled in the same order as Quiescent() — sent S, then
+// in-flight F, then applied A — the invariant F + A >= S must never be
+// violated. Before the ack-after-apply protocol, Receive decremented
+// in-flight *before* the updates were applied, so a sampler could observe
+// F + A < S: mass transiently vanished from both counters.
+TEST(MessageBus, InFlightNeverUnderReportsUnderSampling) {
+  NetworkConfig config;
+  config.instant = true;
+  config.ring_slots = 8;  // exercise overflow too
+  MessageBus bus(3, config);
+  constexpr int kBatches = 4000;
+  constexpr int kBatchSize = 3;
+  std::atomic<int64_t> sent{0};
+  std::atomic<int64_t> applied{0};
+  std::atomic<bool> done{false};
+
+  auto sender = [&](uint32_t id) {
+    for (int i = 0; i < kBatches; ++i) {
+      UpdateBatch batch;
+      for (int k = 0; k < kBatchSize; ++k) {
+        batch.push_back({static_cast<VertexId>(i), 1.0});
+      }
+      bus.Send(id, 2, std::move(batch));
+      // Published: the in-flight increment is sequenced before this add, so
+      // any sampler that reads `sent` sees the increment too.
+      sent.fetch_add(kBatchSize, std::memory_order_release);
+    }
+  };
+  std::thread s0(sender, 0);
+  std::thread s1(sender, 1);
+  std::thread consumer([&] {
+    UpdateBatch out;
+    int64_t received = 0;
+    while (received < 2 * kBatches * kBatchSize) {
+      out.clear();
+      const size_t got = bus.Receive(2, &out);
+      // "Apply to the table", then ack — the protocol under test.
+      applied.fetch_add(static_cast<int64_t>(got), std::memory_order_release);
+      bus.AckDelivered(2, got);
+      received += static_cast<int64_t>(got);
+    }
+  });
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t s = sent.load(std::memory_order_acquire);
+      const int64_t f = bus.InFlightUpdates();
+      const int64_t a = applied.load(std::memory_order_acquire);
+      // Reading order matters (S, then F, then A): an acked update's
+      // applied-increment happens-before the ack's release decrement, so if
+      // F misses it, A must include it.
+      ASSERT_GE(f + a, s);
+    }
+  });
+  s0.join();
+  s1.join();
+  consumer.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_EQ(bus.InFlightUpdates(), 0);
+  EXPECT_EQ(applied.load(), 2 * kBatches * kBatchSize);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the data-plane swap must not move any engine result.
+// Social-influence workload mix (examples/social_influence) shrunk to test
+// size: CC + SSSP (min: the fixpoint is engine-invariant, so results must
+// be *exactly* equal to the single-node reference) and Adsorption (sum: FP
+// addition order varies across data planes, so assert run-to-run
+// determinism + reference agreement instead).
+
+Graph SocialGraph() {
+  RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 8;
+  params.a = 0.55;
+  params.b = params.c = 0.17;
+  params.d = 0.11;
+  params.weighted = true;
+  auto raw = GenerateRmat(params).ValueOrDie();
+  // Row-substochastic re-weighting, as in the example: keeps Adsorption
+  // contractive.
+  GraphBuilder builder;
+  builder.EnsureVertices(raw.num_vertices());
+  Rng rng(99);
+  for (VertexId v = 0; v < raw.num_vertices(); ++v) {
+    const double deg = static_cast<double>(raw.OutDegree(v));
+    for (const Edge& e : raw.OutEdges(v)) {
+      builder.AddEdge(v, e.dst, (0.5 + 0.5 * rng.NextDouble()) / deg);
+    }
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(DataPlaneBitExactness, SyncMinProgramsMatchReferenceExactly) {
+  const Graph g = SocialGraph();
+  for (const char* program : {"cc", "sssp"}) {
+    SCOPED_TRACE(program);
+    Kernel k = MustCompile(program);
+    auto reference = eval::NaiveEvaluate(k, g, {});
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EngineOptions options;
+    options.mode = ExecMode::kSync;
+    options.num_workers = 4;
+    options.network.instant = true;
+    Engine engine(g, k, options);
+    auto run = engine.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    // Bitwise equality, not a tolerance: min-path values are the same
+    // edge-weight sums in both engines, so any drift means the data plane
+    // corrupted or double-delivered an update.
+    EXPECT_EQ(run->values, reference->values);
+  }
+}
+
+TEST(DataPlaneBitExactness, SyncSumProgramIsDeterministicAndAccurate) {
+  const Graph g = SocialGraph();
+  Kernel k = MustCompile("adsorption");
+  eval::EvalOptions ref_options;
+  ref_options.epsilon_override = 1e-9;
+  auto reference = eval::NaiveEvaluate(k, g, ref_options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EngineOptions options;
+  options.mode = ExecMode::kSync;
+  options.num_workers = 4;
+  options.network.instant = true;
+  options.epsilon_override = 1e-7;
+  Engine engine(g, k, options);
+  auto a = engine.Run();
+  auto b = engine.Run();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->values, b->values);  // bit-identical across runs
+  EXPECT_LE(MaxAbsDiff(reference->values, a->values), 1e-2);
 }
 
 }  // namespace
