@@ -301,6 +301,153 @@ void BM_BusFabric_MutexDeque(benchmark::State& state) {
 }
 BENCHMARK(BM_BusFabric_MutexDeque);
 
+// ---------------------------------------------------------------------------
+// Compute plane (ISSUE 4): frontier sweeps, specialized edge kernels, and the
+// flat combining buffer's steady-state allocation count. The three
+// acceptance ratios (sweep_frontier_speedup, edge_specialized_speedup,
+// combining_flat_allocs_per_M) come from this section via
+// scripts/bench_compare.py.
+
+constexpr size_t kSweepRows = 1 << 20;
+constexpr size_t kSweepActive = 1024;  // 0.1% active: the sparse-frontier regime
+
+// xorshift-free LCG; avoids <random> to keep the loop body tiny.
+inline uint64_t NextSeed(uint64_t* s) {
+  *s = *s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return *s >> 11;
+}
+
+// Replica of the pre-frontier dense sweep: every row is peeked even when
+// only kSweepActive rows have pending deltas. Items = rows covered per
+// sweep, so the frontier variant's items/s ratio over this one is the
+// sparse-sweep speedup at equal coverage.
+void BM_SweepFullScanReplica(benchmark::State& state) {
+  auto table = MonoTable::Create(AggKind::kSum, kSweepRows);
+  const double identity = table->identity();
+  uint64_t seed = 0x5EEDu;
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kSweepActive; ++i) {
+      table->CombineDelta(NextSeed(&seed) % kSweepRows, 1.0);
+    }
+    for (size_t v = 0; v < kSweepRows; ++v) {
+      if (table->intermediate(v) != identity) sink += table->HarvestDelta(v);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSweepRows));
+}
+BENCHMARK(BM_SweepFullScanReplica);
+
+// The frontier's sparse word-scan sweep over the same workload: identical
+// seeding, identical coverage semantics (the whole shard is accounted as
+// swept — the bitmap is what lets it skip the clean 99.9%).
+void BM_SweepFrontier(benchmark::State& state) {
+  auto table = MonoTable::Create(AggKind::kSum, kSweepRows);
+  table->SetFrontierEnabled(true);
+  uint64_t seed = 0x5EEDu;
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kSweepActive; ++i) {
+      table->CombineDelta(NextSeed(&seed) % kSweepRows, 1.0);
+    }
+    const size_t words = table->num_frontier_words();
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = table->FrontierWord(w);
+      while (bits != 0) {
+        const int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const size_t v = (w << 6) | static_cast<size_t>(bit);
+        table->ClearDirty(v);
+        sink += table->HarvestDelta(v);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSweepRows));
+}
+BENCHMARK(BM_SweepFrontier);
+
+constexpr size_t kEdgeFanout = 4096;
+
+std::vector<Edge> SyntheticEdges() {
+  std::vector<Edge> edges(kEdgeFanout);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    edges[i] = Edge{static_cast<VertexId>((i * 37) & 1023),
+                    1.0 + static_cast<double>(i & 7)};
+  }
+  return edges;
+}
+
+// Per-edge F' through the stack VM — the kGeneric fallback path.
+void BM_EdgeApplyVM(benchmark::State& state) {
+  auto kernel =
+      BuildKernelFromSource(datalog::GetCatalogEntry("pagerank")->source);
+  const std::vector<Edge> edges = SyntheticEdges();
+  std::vector<double> acc(1024, 0.0);
+  const double x = 0.5, deg = 8.0;
+  for (auto _ : state) {
+    for (const Edge& e : edges) {
+      acc[e.dst] += kernel->EvalEdge(x, e.weight, deg);
+    }
+  }
+  benchmark::DoNotOptimize(acc.data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_EdgeApplyVM);
+
+// The specialized path the worker actually runs: pagerank's bytecode matches
+// kAXOverDeg, a uniform shape, so the contribution is computed once per
+// harvested delta and the loop only routes it.
+void BM_EdgeApplySpecialized(benchmark::State& state) {
+  auto kernel =
+      BuildKernelFromSource(datalog::GetCatalogEntry("pagerank")->source);
+  if (!kernel->scatter.specialized()) {
+    state.SkipWithError("pagerank failed to specialize");
+    return;
+  }
+  const EdgeKernelSpec spec = kernel->scatter;
+  const std::vector<Edge> edges = SyntheticEdges();
+  std::vector<double> acc(1024, 0.0);
+  const double x = 0.5, deg = 8.0;
+  for (auto _ : state) {
+    const double contribution = ApplyEdgeKernel(spec, x, 0.0, deg);
+    for (const Edge& e : edges) acc[e.dst] += contribution;
+  }
+  benchmark::DoNotOptimize(acc.data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_EdgeApplySpecialized);
+
+// Steady-state allocation audit of the flat combining buffer: after one
+// warm-up cycle grows the slot array and the drain batch to working size,
+// add/drain cycles must not allocate at all (acceptance: allocs/M == 0).
+void BM_CombiningFlatSteadyState(benchmark::State& state) {
+  runtime::CombiningBuffer buffer(AggKind::kSum);
+  runtime::UpdateBatch batch;
+  constexpr VertexId kKeys = 4096;
+  for (VertexId k = 0; k < kKeys; ++k) buffer.Add(k * 7, 1.0);
+  buffer.Drain(&batch);
+  const int64_t allocs_at_start = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    for (VertexId k = 0; k < kKeys; ++k) buffer.Add(k * 7, 1.0);
+    buffer.Drain(&batch);
+  }
+  benchmark::DoNotOptimize(batch.data());
+  const double total =
+      static_cast<double>(state.iterations()) * static_cast<double>(kKeys);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kKeys));
+  state.counters["allocs_per_M_updates"] =
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          allocs_at_start) *
+      1e6 / total;
+}
+BENCHMARK(BM_CombiningFlatSteadyState);
+
 void BM_ConditionCheck(benchmark::State& state) {
   const auto entry = datalog::GetCatalogEntry(
       state.range(0) == 0 ? "sssp" : (state.range(0) == 1 ? "pagerank" : "gcn_forward"));

@@ -50,7 +50,7 @@ int Usage(const char* argv0) {
                "<file>) [--mode m] [--workers n] [--source v] [--epsilon e] "
                "[--top k] [--check-only] [--metrics-json path] "
                "[--fault-plan spec] [--checkpoint base] [--checkpoint-us n] "
-               "[--heartbeat-us n] | --list\n",
+               "[--heartbeat-us n] [--no-frontier] | --list\n",
                argv0);
   return 2;
 }
@@ -139,6 +139,9 @@ int main(int argc, char** argv) {
       options.engine.checkpoint_interval_us = std::atol(value);
     } else if (arg == "--heartbeat-us" && (value = next())) {
       options.engine.heartbeat_timeout_us = std::atol(value);
+    } else if (arg == "--no-frontier") {
+      // Escape hatch: full-scan sweeps instead of the active-set bitmap.
+      options.engine.frontier = false;
     } else {
       return Usage(argv[0]);
     }

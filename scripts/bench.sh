@@ -8,8 +8,8 @@
 #
 #   --quick   shorter google-benchmark repetitions and the FAST dataset
 #             subsample for fig9 — for the check.sh gate, where only the
-#             deterministic metrics (fabric speedup, allocation counts)
-#             are compared, not absolute wall times.
+#             deterministic metrics (fabric/sweep/edge-kernel speedups,
+#             allocation counts) are compared, not absolute wall times.
 #   --out     output path (default BENCH_<git short rev>.json).
 #
 # Pinned environment: 4 workers, fixed generator seeds (compiled into the
@@ -48,7 +48,7 @@ export POWERLOG_BENCH_WORKERS=4
 MIN_TIME=0.5
 [[ "$QUICK" -eq 1 ]] && MIN_TIME=0.1
 
-echo "==> bench_micro (message fabric + hot primitives)"
+echo "==> bench_micro (message fabric + compute plane + hot primitives)"
 ./build/bench/bench_micro \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json > "$TMP/micro.json"

@@ -22,6 +22,17 @@ on a loaded host:
   fabric_overflow_sends     full-ring slow-path sends in the fabric bench;
                             must not exceed baseline + slack.
   fabric_p50/p99_latency_us in-process delivery latency percentiles.
+  sweep_frontier_speedup    frontier word-scan sweep vs full-scan replica
+                            rows-covered/s ratio on the sparse-frontier
+                            microbench; must stay >= SWEEP_SPEEDUP_FLOOR (5.0)
+                            *and* within 10%% of the baseline.
+  edge_specialized_speedup  fused KernelOp scatter vs stack-VM edges/s ratio;
+                            must stay >= EDGE_SPEEDUP_FLOOR (1.5) *and*
+                            within 10%% of the baseline.
+  combining_flat_allocs_per_M
+                            steady-state allocations per million Add/Drain
+                            updates through the flat combining buffer; must
+                            stay < 1 (i.e. zero in practice).
   fig9 convergence          every engine run recorded in the baseline must
                             still converge.
 
@@ -36,6 +47,9 @@ import math
 import sys
 
 FABRIC_SPEEDUP_FLOOR = 2.0
+SWEEP_SPEEDUP_FLOOR = 5.0   # frontier sweep vs full-scan replica (ISSUE 4)
+EDGE_SPEEDUP_FLOOR = 1.5    # specialized scatter vs stack VM (ISSUE 4)
+FLAT_ALLOCS_CEILING = 1.0   # combining-buffer steady-state allocs/M
 REGRESSION_PCT = 10.0  # tracked-metric tolerance vs baseline
 ALLOC_SLACK = 1.0      # absolute allocs/M slack on top of the percentage
 OVERFLOW_SLACK = 0     # overflow sends allowed above baseline
@@ -102,6 +116,15 @@ def collect(args):
     if spsc_rate and mutex_rate:
         speedup = spsc_rate / mutex_rate
 
+    def _ratio(num_name, den_name):
+        num = micro.get(num_name, {}).get("items_per_second")
+        den = micro.get(den_name, {}).get("items_per_second")
+        return (num / den) if num and den else None
+
+    sweep_speedup = _ratio("BM_SweepFrontier", "BM_SweepFullScanReplica")
+    edge_speedup = _ratio("BM_EdgeApplySpecialized", "BM_EdgeApplyVM")
+    flat = micro.get("BM_CombiningFlatSteadyState", {})
+
     doc = {
         "schema": SCHEMA,
         "rev": args.rev,
@@ -115,6 +138,17 @@ def collect(args):
             "fabric_overflow_sends": spsc.get("overflow_sends"),
             "fabric_p50_latency_us": latency.get("p50_latency_us"),
             "fabric_p99_latency_us": latency.get("p99_latency_us"),
+            "sweep_frontier_rows_per_sec":
+                micro.get("BM_SweepFrontier", {}).get("items_per_second"),
+            "sweep_fullscan_rows_per_sec":
+                micro.get("BM_SweepFullScanReplica", {}).get("items_per_second"),
+            "sweep_frontier_speedup": sweep_speedup,
+            "edge_vm_edges_per_sec":
+                micro.get("BM_EdgeApplyVM", {}).get("items_per_second"),
+            "edge_specialized_edges_per_sec":
+                micro.get("BM_EdgeApplySpecialized", {}).get("items_per_second"),
+            "edge_specialized_speedup": edge_speedup,
+            "combining_flat_allocs_per_M": flat.get("allocs_per_M_updates"),
         },
         "micro": micro,
         "fig9": fig9,
@@ -174,11 +208,32 @@ def compare(args):
         failures.append("fabric_speedup: {:.2f} < floor {:.1f}".format(
             speedup, FABRIC_SPEEDUP_FLOOR))
 
+    # Compute-plane hard floors (ISSUE 4). Absolute gates, no baseline needed.
+    def hard_floor(name, floor):
+        v = cm.get(name)
+        if v is None or (isinstance(v, float) and math.isnan(v)):
+            failures.append("{}: missing from current run".format(name))
+        elif v < floor:
+            failures.append("{}: {:.2f} < floor {:.1f}".format(name, v, floor))
+
+    hard_floor("sweep_frontier_speedup", SWEEP_SPEEDUP_FLOOR)
+    hard_floor("edge_specialized_speedup", EDGE_SPEEDUP_FLOOR)
+    flat_allocs = cm.get("combining_flat_allocs_per_M")
+    if flat_allocs is None:
+        failures.append("combining_flat_allocs_per_M: missing from current run")
+    elif flat_allocs >= FLAT_ALLOCS_CEILING:
+        failures.append(
+            "combining_flat_allocs_per_M: {:.2f} >= ceiling {:.1f}".format(
+                flat_allocs, FLAT_ALLOCS_CEILING))
+
     tracked("fabric_speedup", worse_is="lower")
     tracked("fabric_spsc_allocs_per_M", worse_is="higher", slack=ALLOC_SLACK)
     tracked("fabric_overflow_sends", worse_is="higher", slack=OVERFLOW_SLACK)
     tracked("fabric_p50_latency_us", worse_is="higher")
     tracked("fabric_p99_latency_us", worse_is="higher")
+    tracked("sweep_frontier_speedup", worse_is="lower")
+    tracked("edge_specialized_speedup", worse_is="lower")
+    tracked("combining_flat_allocs_per_M", worse_is="higher", slack=ALLOC_SLACK)
 
     # Every engine run the baseline saw converge must still converge.
     for key, brec in sorted(base.get("fig9", {}).items()):
@@ -190,7 +245,9 @@ def compare(args):
             failures.append("fig9 {}: converged in baseline, diverged now".format(key))
 
     # Informational wall-clock deltas.
-    for name in ("fabric_spsc_updates_per_sec", "fabric_mutex_updates_per_sec"):
+    for name in ("fabric_spsc_updates_per_sec", "fabric_mutex_updates_per_sec",
+                 "sweep_frontier_rows_per_sec", "sweep_fullscan_rows_per_sec",
+                 "edge_vm_edges_per_sec", "edge_specialized_edges_per_sec"):
         b, c = bm.get(name), cm.get(name)
         if b and c:
             notes.append("{} (info): {} -> {} ({:+.1f}%)".format(

@@ -7,6 +7,96 @@ namespace powerlog {
 using datalog::ConstKind;
 using datalog::InitKind;
 
+const char* KernelOpName(KernelOp op) {
+  switch (op) {
+    case KernelOp::kGeneric: return "generic";
+    case KernelOp::kConst: return "const";
+    case KernelOp::kX: return "x";
+    case KernelOp::kXPlusW: return "x+w";
+    case KernelOp::kXPlusA: return "x+a";
+    case KernelOp::kXTimesW: return "x*w";
+    case KernelOp::kXTimesA: return "x*a";
+    case KernelOp::kXOverDeg: return "x/deg";
+    case KernelOp::kAXOverDeg: return "(a*x)/deg";
+    case KernelOp::kXOverDegA: return "(x/deg)*a";
+    case KernelOp::kAXW: return "(a*x)*w";
+    case KernelOp::kAXWB: return "((a*x)*w)*b";
+  }
+  return "?";
+}
+
+EdgeKernelSpec SpecializeEdgeExpr(const datalog::CompiledExpr& expr) {
+  using Op = datalog::CompiledExpr::OpCode;
+  const auto& code = expr.code();
+  const size_t n = code.size();
+  EdgeKernelSpec spec;
+  auto ret = [&](KernelOp op, double a = 0.0, double b = 0.0) {
+    spec.op = op;
+    spec.a = a;
+    spec.b = b;
+    return spec;
+  };
+  // `pair` accepts both push orders for commutative operators (IEEE add/mul
+  // are commutative on values); `imm_of` extracts the constant of the pair.
+  auto pair = [&](size_t i, Op p, Op q) {
+    return (code[i].op == p && code[i + 1].op == q) ||
+           (code[i].op == q && code[i + 1].op == p);
+  };
+  auto imm_of = [&](size_t i) {
+    return code[i].op == Op::kPushConst ? code[i].imm : code[i + 1].imm;
+  };
+
+  if (n == 1) {
+    if (code[0].op == Op::kPushConst) return ret(KernelOp::kConst, code[0].imm);
+    if (code[0].op == Op::kPushX) return ret(KernelOp::kX);
+  }
+  if (n == 3) {
+    if (code[2].op == Op::kAdd) {
+      if (pair(0, Op::kPushX, Op::kPushW)) return ret(KernelOp::kXPlusW);
+      if (pair(0, Op::kPushX, Op::kPushConst)) {
+        return ret(KernelOp::kXPlusA, imm_of(0));
+      }
+    }
+    if (code[2].op == Op::kMul) {
+      if (pair(0, Op::kPushX, Op::kPushW)) return ret(KernelOp::kXTimesW);
+      if (pair(0, Op::kPushX, Op::kPushConst)) {
+        return ret(KernelOp::kXTimesA, imm_of(0));
+      }
+    }
+    if (code[2].op == Op::kDiv && code[0].op == Op::kPushX &&
+        code[1].op == Op::kPushDeg) {
+      return ret(KernelOp::kXOverDeg);
+    }
+  }
+  if (n == 5) {
+    // (a*x)/deg — damped PageRank's 0.85*rx/d.
+    if (code[2].op == Op::kMul && code[3].op == Op::kPushDeg &&
+        code[4].op == Op::kDiv && pair(0, Op::kPushConst, Op::kPushX)) {
+      return ret(KernelOp::kAXOverDeg, imm_of(0));
+    }
+    // (x/deg)*a.
+    if (code[0].op == Op::kPushX && code[1].op == Op::kPushDeg &&
+        code[2].op == Op::kDiv && code[3].op == Op::kPushConst &&
+        code[4].op == Op::kMul) {
+      return ret(KernelOp::kXOverDegA, code[3].imm);
+    }
+    // (a*x)*w.
+    if (code[2].op == Op::kMul && code[3].op == Op::kPushW &&
+        code[4].op == Op::kMul && pair(0, Op::kPushConst, Op::kPushX)) {
+      return ret(KernelOp::kAXW, imm_of(0));
+    }
+  }
+  if (n == 7) {
+    // ((a*x)*w)*b — adsorption's 0.7*a*w*p with p const-folded.
+    if (code[2].op == Op::kMul && code[3].op == Op::kPushW &&
+        code[4].op == Op::kMul && code[5].op == Op::kPushConst &&
+        code[6].op == Op::kMul && pair(0, Op::kPushConst, Op::kPushX)) {
+      return ret(KernelOp::kAXWB, imm_of(0), code[5].imm);
+    }
+  }
+  return spec;  // kGeneric
+}
+
 Result<Kernel> BuildKernel(const datalog::AnalyzedProgram& program) {
   Kernel kernel;
   kernel.name = program.name;
@@ -26,6 +116,7 @@ Result<Kernel> BuildKernel(const datalog::AnalyzedProgram& program) {
   auto compiled = datalog::CompileExpr(program.edge_fn.expr, env);
   if (!compiled.ok()) return compiled.status();
   kernel.edge_fn = std::move(compiled).ValueOrDie();
+  kernel.scatter = SpecializeEdgeExpr(kernel.edge_fn);
 
   // Ensure the aggregate is executable (mean is checker-only).
   Aggregator agg(kernel.agg);

@@ -12,11 +12,77 @@
 
 namespace powerlog {
 
+/// \brief Specialized edge-kernel shapes. BuildKernel pattern-matches the
+/// compiled F' bytecode once; the worker's scatter loop then dispatches to a
+/// fused loop per shape instead of paying the stack-VM switch per edge. The
+/// ops mirror the *exact* association of the matched bytecode (e.g.
+/// kAXOverDeg is (a*x)/deg, not a*(x/deg)), so specialized evaluation is
+/// bit-identical to CompiledExpr::Eval. kGeneric falls back to the VM.
+enum class KernelOp : uint8_t {
+  kGeneric,    ///< unmatched — evaluate via the VM
+  kConst,      ///< a
+  kX,          ///< x                      (cc-style label propagation)
+  kXPlusW,     ///< x + w                  (sssp)
+  kXPlusA,     ///< x + a
+  kXTimesW,    ///< x * w                  (viterbi-style products)
+  kXTimesA,    ///< x * a                  (katz-style attenuation)
+  kXOverDeg,   ///< x / deg
+  kAXOverDeg,  ///< (a * x) / deg          (damped pagerank)
+  kXOverDegA,  ///< (x / deg) * a
+  kAXW,        ///< (a * x) * w
+  kAXWB,       ///< ((a * x) * w) * b      (adsorption)
+};
+
+const char* KernelOpName(KernelOp op);
+
+/// \brief Matched edge-kernel shape plus its folded constants.
+struct EdgeKernelSpec {
+  KernelOp op = KernelOp::kGeneric;
+  double a = 0.0;
+  double b = 0.0;
+
+  bool specialized() const { return op != KernelOp::kGeneric; }
+  /// True when F' under this shape does not read the edge weight, so the
+  /// contribution is uniform across a vertex's whole edge range.
+  bool uniform() const {
+    return op != KernelOp::kGeneric && op != KernelOp::kXPlusW &&
+           op != KernelOp::kXTimesW && op != KernelOp::kAXW &&
+           op != KernelOp::kAXWB;
+  }
+};
+
+/// Pattern-matches a compiled edge expression. Returns kGeneric when the
+/// bytecode fits no known shape.
+EdgeKernelSpec SpecializeEdgeExpr(const datalog::CompiledExpr& expr);
+
+/// Scalar reference semantics of a specialized shape — must be bit-identical
+/// to CompiledExpr::Eval on the matched bytecode (asserted by tests). The
+/// worker inlines the same arithmetic in its fused scatter loops.
+inline double ApplyEdgeKernel(const EdgeKernelSpec& spec, double x, double w,
+                              double deg) {
+  switch (spec.op) {
+    case KernelOp::kConst: return spec.a;
+    case KernelOp::kX: return x;
+    case KernelOp::kXPlusW: return x + w;
+    case KernelOp::kXPlusA: return x + spec.a;
+    case KernelOp::kXTimesW: return x * w;
+    case KernelOp::kXTimesA: return x * spec.a;
+    case KernelOp::kXOverDeg: return x / deg;
+    case KernelOp::kAXOverDeg: return (spec.a * x) / deg;
+    case KernelOp::kXOverDegA: return (x / deg) * spec.a;
+    case KernelOp::kAXW: return (spec.a * x) * w;
+    case KernelOp::kAXWB: return ((spec.a * x) * w) * spec.b;
+    case KernelOp::kGeneric: break;
+  }
+  return 0.0;  // kGeneric: caller must use the VM
+}
+
 /// \brief Compiled recursive aggregate program.
 struct Kernel {
   std::string name;
   AggKind agg = AggKind::kSum;
   datalog::CompiledExpr edge_fn;  ///< F' over (x, w, deg)
+  EdgeKernelSpec scatter;         ///< specialized shape of edge_fn
   bool uses_weights = false;
   bool uses_degree = false;
   bool uses_in_edges = false;  ///< propagate along reversed edges

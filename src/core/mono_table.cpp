@@ -31,7 +31,37 @@ Status MonoTable::Initialize(const std::vector<double>& x0,
     accumulation_[i].store(x0[i], std::memory_order_relaxed);
     intermediate_[i].store(delta0[i], std::memory_order_relaxed);
   }
+  if (frontier_on_) RebuildFrontier();
   return Status::OK();
+}
+
+void MonoTable::SetFrontierEnabled(bool on) {
+  frontier_on_ = on;
+  if (!on) {
+    frontier_.clear();
+    return;
+  }
+  frontier_ = std::vector<std::atomic<uint64_t>>((num_rows() + 63) / 64);
+  RebuildFrontier();
+}
+
+void MonoTable::RebuildFrontier() {
+  for (auto& word : frontier_) word.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < num_rows(); ++i) {
+    if (intermediate_[i].load(std::memory_order_relaxed) != identity_) {
+      MarkDirty(i);
+    }
+  }
+}
+
+double MonoTable::FrontierOccupancy() const {
+  if (num_rows() == 0 || frontier_.empty()) return 0.0;
+  uint64_t dirty = 0;
+  for (const auto& word : frontier_) {
+    dirty += static_cast<uint64_t>(
+        __builtin_popcountll(word.load(std::memory_order_relaxed)));
+  }
+  return static_cast<double>(dirty) / static_cast<double>(num_rows());
 }
 
 double MonoTable::HarvestDelta(size_t row) {

@@ -8,6 +8,20 @@
 //   3. for each dependent row j: intermediate_j = g(intermediate_j, f(tmp))
 // Steps 1+2 use an atomic exchange so a delta is never double-counted even
 // while remote workers are concurrently combining into the same row (§5.2).
+//
+// Frontier (active set): when enabled, the table maintains a word-striped
+// atomic dirty bitmap — one bit per row, set by every non-identity
+// CombineDelta/SetRow and cleared by the owning worker's sweep — so
+// near-convergence sweeps enumerate only rows with pending deltas instead
+// of scanning the whole shard. Memory-ordering contract (see
+// ARCHITECTURE.md, "Compute plane"):
+//   * mark:  fetch_or(release) *after* the value combine, so a scanner that
+//     observes the bit (acquire) also observes the combined value;
+//   * clear: fetch_and(acq_rel) *before* the harvest exchange, so a combine
+//     that lands after the harvester's value read re-raises the bit and the
+//     row is rescanned — a set bit can be stale (row already harvested, a
+//     cheap no-op revisit) but a pending delta is never hidden behind a
+//     clear bit.
 #pragma once
 
 #include <atomic>
@@ -47,9 +61,11 @@ class MonoTable {
   double HarvestDelta(size_t row);
 
   /// Step 3 receiver side: combines a computed contribution into the row's
-  /// intermediate column. Safe from any thread.
+  /// intermediate column. Safe from any thread. Marks the row dirty when the
+  /// frontier is enabled and the contribution is not a no-op.
   void CombineDelta(size_t row, double contribution) {
     AtomicCombine(&intermediate_[row], contribution, kind_);
+    if (frontier_on_ && contribution != identity_) MarkDirty(row);
   }
 
   /// True if the row has a pending delta that would change the accumulation
@@ -69,22 +85,71 @@ class MonoTable {
   Status Restore(const std::vector<double>& x, const std::vector<double>& delta);
 
   /// Overwrites one row's columns (partial recovery of a worker's shard).
+  /// Always re-marks the row dirty when the frontier is on: the new owner's
+  /// sweep must revisit restored rows even when the restored delta happens
+  /// to be the identity (the visit lazily clears the bit again).
   void SetRow(size_t row, double x, double delta) {
     accumulation_[row].store(x, std::memory_order_relaxed);
     intermediate_[row].store(delta, std::memory_order_relaxed);
+    if (frontier_on_) MarkDirty(row);
   }
 
   /// Fault injection: resets one row to the identity in both columns,
   /// emulating the loss of a crashed worker's in-memory shard.
   void WipeRow(size_t row) { SetRow(row, identity_, identity_); }
 
+  // --- Frontier (active-set) bitmap -------------------------------------
+
+  /// Allocates (or drops) the dirty bitmap. Enabling rebuilds the bits from
+  /// the current intermediate column, so it can be called after Initialize.
+  void SetFrontierEnabled(bool on);
+  bool frontier_enabled() const { return frontier_on_; }
+
+  /// Relaxed single-bit peek — the dense sweep's cheap rejection (the word
+  /// holding 64 rows is one cache line shared by 512 of them, vs 8 bytes
+  /// per row for the intermediate column itself).
+  bool IsDirty(size_t row) const {
+    return (frontier_[row >> 6].load(std::memory_order_relaxed) >>
+            (row & 63)) & 1;
+  }
+
+  /// Marks a row dirty (fetch_or, release — pairs with FrontierWord's
+  /// acquire so the marked value is visible to the scanner).
+  void MarkDirty(size_t row) {
+    frontier_[row >> 6].fetch_or(uint64_t{1} << (row & 63),
+                                 std::memory_order_release);
+  }
+
+  /// Clears a row's dirty bit. acq_rel: the acquire half orders the clear
+  /// before the caller's subsequent harvest read, which is what makes a
+  /// concurrent combine re-raise the bit instead of being lost.
+  void ClearDirty(size_t row) {
+    frontier_[row >> 6].fetch_and(~(uint64_t{1} << (row & 63)),
+                                  std::memory_order_acq_rel);
+  }
+
+  /// One 64-row stripe of the bitmap (acquire), for sparse word scans.
+  uint64_t FrontierWord(size_t word) const {
+    return frontier_[word].load(std::memory_order_acquire);
+  }
+  size_t num_frontier_words() const { return frontier_.size(); }
+
+  /// Clears the bitmap and re-marks every row whose intermediate column is
+  /// not the identity (checkpoint restore, recovery, enable).
+  void RebuildFrontier();
+
+  /// Fraction of rows currently marked dirty (observability gauge).
+  double FrontierOccupancy() const;
+
  private:
   MonoTable(AggKind kind, size_t num_rows, double identity);
 
   AggKind kind_;
   double identity_;
+  bool frontier_on_ = false;
   std::vector<std::atomic<double>> accumulation_;
   std::vector<std::atomic<double>> intermediate_;
+  std::vector<std::atomic<uint64_t>> frontier_;  ///< 1 bit per row; empty if off
 };
 
 }  // namespace powerlog

@@ -47,6 +47,10 @@ class CompiledExpr {
     double imm;  // kPushConst only
   };
 
+  /// Raw instruction stream — read by the edge-kernel specializer
+  /// (core/kernel.h), which pattern-matches common shapes into fused loops.
+  const std::vector<Instr>& code() const { return code_; }
+
   /// Assembles a compiled expression from raw instructions (compiler only).
   static CompiledExpr FromCode(std::vector<Instr> code, size_t max_stack) {
     CompiledExpr e;

@@ -13,19 +13,25 @@ Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<Edge> edges)
 }
 
 const Graph& Graph::Reverse() const {
-  if (reverse_) return *reverse_;
-  const VertexId n = num_vertices();
-  std::vector<EdgeIndex> roffsets(n + 1, 0);
-  for (const Edge& e : edges_) ++roffsets[e.dst + 1];
-  for (VertexId v = 0; v < n; ++v) roffsets[v + 1] += roffsets[v];
-  std::vector<Edge> redges(edges_.size());
-  std::vector<EdgeIndex> cursor(roffsets.begin(), roffsets.end() - 1);
-  for (VertexId src = 0; src < n; ++src) {
-    for (const Edge* e = OutBegin(src); e != OutEnd(src); ++e) {
-      redges[cursor[e->dst]++] = Edge{src, e->weight};
+  // call_once makes concurrent first calls safe (the old bare check-then-
+  // build raced when worker threads pulled the transpose lazily). A copy of
+  // a graph gets a fresh flag but may share an already-built reverse_, hence
+  // the inner null check.
+  std::call_once(*reverse_once_, [this] {
+    if (reverse_) return;
+    const VertexId n = num_vertices();
+    std::vector<EdgeIndex> roffsets(n + 1, 0);
+    for (const Edge& e : edges_) ++roffsets[e.dst + 1];
+    for (VertexId v = 0; v < n; ++v) roffsets[v + 1] += roffsets[v];
+    std::vector<Edge> redges(edges_.size());
+    std::vector<EdgeIndex> cursor(roffsets.begin(), roffsets.end() - 1);
+    for (VertexId src = 0; src < n; ++src) {
+      for (const Edge* e = OutBegin(src); e != OutEnd(src); ++e) {
+        redges[cursor[e->dst]++] = Edge{src, e->weight};
+      }
     }
-  }
-  reverse_ = std::make_shared<Graph>(std::move(roffsets), std::move(redges));
+    reverse_ = std::make_shared<Graph>(std::move(roffsets), std::move(redges));
+  });
   return *reverse_;
 }
 

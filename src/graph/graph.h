@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,36 @@ class Graph {
  public:
   Graph() = default;
   Graph(std::vector<EdgeIndex> offsets, std::vector<Edge> edges);
+
+  // std::once_flag is neither copyable nor movable (and a consumed flag must
+  // not survive an assignment that swaps the edge data out from under it),
+  // so copies, moves, and assignments all get a fresh flag. A copy may carry
+  // an already-built reverse_ — shared is fine, Reverse()'s builder
+  // re-checks for it under the fresh flag.
+  Graph(const Graph& other)
+      : offsets_(other.offsets_), edges_(other.edges_), reverse_(other.reverse_) {}
+  Graph(Graph&& other) noexcept
+      : offsets_(std::move(other.offsets_)),
+        edges_(std::move(other.edges_)),
+        reverse_(std::move(other.reverse_)) {}
+  Graph& operator=(const Graph& other) {
+    if (this != &other) {
+      offsets_ = other.offsets_;
+      edges_ = other.edges_;
+      reverse_ = other.reverse_;
+      reverse_once_ = std::make_unique<std::once_flag>();
+    }
+    return *this;
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) {
+      offsets_ = std::move(other.offsets_);
+      edges_ = std::move(other.edges_);
+      reverse_ = std::move(other.reverse_);
+      reverse_once_ = std::make_unique<std::once_flag>();
+    }
+    return *this;
+  }
 
   VertexId num_vertices() const {
     return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
@@ -73,6 +104,10 @@ class Graph {
   std::vector<EdgeIndex> offsets_;  // size num_vertices()+1
   std::vector<Edge> edges_;
   mutable std::shared_ptr<Graph> reverse_;
+  /// Guards the lazy transpose build; behind unique_ptr so assignments can
+  /// re-arm it (see the copy/move members above).
+  mutable std::unique_ptr<std::once_flag> reverse_once_ =
+      std::make_unique<std::once_flag>();
 };
 
 }  // namespace powerlog

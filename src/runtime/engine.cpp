@@ -51,6 +51,11 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
   snap->AddCounter("engine.updates_sent", stats.updates_sent);
   snap->AddGauge("engine.wall_seconds", stats.wall_seconds);
   snap->AddGauge("engine.converged", stats.converged ? 1.0 : 0.0);
+  snap->AddCounter("engine.dense_sweeps", stats.dense_sweeps);
+  snap->AddCounter("engine.sparse_sweeps", stats.sparse_sweeps);
+  snap->AddCounter("engine.frontier_skipped", stats.frontier_skipped);
+  snap->AddCounter("engine.specialized_edges", stats.specialized_edges);
+  snap->AddCounter("engine.vm_edges", stats.vm_edges);
   snap->AddCounter("engine.recoveries", stats.recoveries);
   snap->AddCounter("engine.checkpoints_written", stats.checkpoints_written);
   snap->AddCounter("engine.checkpoint_us", stats.checkpoint_us);
@@ -67,6 +72,11 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
     snap->AddCounter(prefix + "flushed_updates", w.flushed_updates);
     snap->AddCounter(prefix + "inbox_updates", w.inbox_updates);
     snap->AddCounter(prefix + "idle_scans", w.idle_scans);
+    snap->AddCounter(prefix + "dense_sweeps", w.dense_sweeps);
+    snap->AddCounter(prefix + "sparse_sweeps", w.sparse_sweeps);
+    snap->AddCounter(prefix + "frontier_skipped", w.frontier_skipped);
+    snap->AddCounter(prefix + "specialized_edges", w.specialized_edges);
+    snap->AddCounter(prefix + "vm_edges", w.vm_edges);
     snap->AddCounter(prefix + "barrier_wait_us", w.barrier_wait_us);
     snap->AddCounter(prefix + "stall_us", w.stall_us);
     snap->AddCounter(prefix + "inbox_drain_us", w.inbox_drain_us);
@@ -394,6 +404,9 @@ Result<EngineResult> Engine::Run() {
   auto init = ComputeInitialState(kernel_, graph_);
   if (!init.ok()) return init.status();
   POWERLOG_RETURN_NOT_OK(table->Initialize(init->x0, init->delta0));
+  // Frontier compute plane: allocate the dirty bitmap and seed it from ΔX¹
+  // before any worker thread exists (enable is not thread-safe).
+  table->SetFrontierEnabled(options_.frontier);
 
   Partitioner partition(options_.partition, n, options_.num_workers);
   MessageBus bus(options_.num_workers, options_.network);
@@ -403,6 +416,8 @@ Result<EngineResult> Engine::Run() {
 
   SharedState shared;
   shared.graph = &graph_;
+  // Pre-materialises the transpose on this thread before workers spawn;
+  // Graph::Reverse is also call_once-guarded for callers that race it.
   shared.prop = kernel_.uses_in_edges ? &graph_.Reverse() : &graph_;
   shared.kernel = &kernel_;
   shared.table = &*table;
@@ -515,13 +530,27 @@ Result<EngineResult> Engine::Run() {
     m.flushed_updates += s.flushed_updates;
     m.inbox_updates += s.inbox_updates;
     m.idle_scans += s.idle_scans;
+    m.dense_sweeps += s.dense_sweeps;
+    m.sparse_sweeps += s.sparse_sweeps;
+    m.frontier_skipped += s.frontier_skipped;
+    m.specialized_edges += s.specialized_edges;
+    m.vm_edges += s.vm_edges;
     m.barrier_wait_us += s.barrier_wait_us;
     m.stall_us += s.stall_us;
     m.inbox_drain_us += s.inbox_drain_us;
   }
+  for (const WorkerStats& w : result.stats.workers) {
+    result.stats.dense_sweeps += w.dense_sweeps;
+    result.stats.sparse_sweeps += w.sparse_sweeps;
+    result.stats.frontier_skipped += w.frontier_skipped;
+    result.stats.specialized_edges += w.specialized_edges;
+    result.stats.vm_edges += w.vm_edges;
+  }
   if (options_.collect_metrics) {
     result.metrics = registry.Snapshot();
     ExportRunMetrics(result.stats, bus, options_.num_workers, &result.metrics);
+    // End-of-run active-set occupancy (≈0 for converged fixpoint runs).
+    result.metrics.AddGauge("frontier.occupancy", table->FrontierOccupancy());
     for (const auto& worker : workers) {
       worker->ExportMetrics(&result.metrics);
     }

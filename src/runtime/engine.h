@@ -89,6 +89,15 @@ struct EngineOptions {
   int64_t stall_mean_us = 2000;
   uint64_t stall_seed = 0x57A11;
 
+  /// Frontier-driven compute plane: maintain MonoTable's dirty bitmap and
+  /// sweep only the active set (dense bit-peek scans near the start,
+  /// word-scan sparse worklists once the active fraction drops below 1/16).
+  /// On by default; disable as the escape hatch to get the pre-frontier
+  /// full-scan sweeps (`--no-frontier` in the CLI). Results are bit-identical
+  /// either way — the frontier only skips rows whose pending delta is the
+  /// identity, which a full scan would reject anyway.
+  bool frontier = true;
+
   Partitioner::Kind partition = Partitioner::Kind::kHash;
 
   /// Checkpointing. `checkpoint_path` is the base name of a ping-pong
@@ -143,6 +152,11 @@ struct WorkerStats {
   int64_t flushed_updates = 0;   ///< updates across those flushes
   int64_t inbox_updates = 0;     ///< updates drained from the inbox
   int64_t idle_scans = 0;        ///< async: full scans that found no work
+  int64_t dense_sweeps = 0;      ///< frontier: bit-peek scans over the shard
+  int64_t sparse_sweeps = 0;     ///< frontier: word-scan worklist sweeps
+  int64_t frontier_skipped = 0;  ///< rows skipped by a clean frontier bit
+  int64_t specialized_edges = 0; ///< F' via fused KernelOp loops
+  int64_t vm_edges = 0;          ///< F' via the stack-VM fallback
   int64_t barrier_wait_us = 0;   ///< sync: time parked at barriers
   int64_t stall_us = 0;          ///< injected environment-noise pauses
   int64_t inbox_drain_us = 0;    ///< time spent in DrainInbox
@@ -156,6 +170,14 @@ struct EngineStats {
   int64_t messages = 0;
   int64_t updates_sent = 0;
   bool converged = false;
+
+  // Compute plane (totals of the per-worker frontier/specialization
+  // counters; see WorkerStats).
+  int64_t dense_sweeps = 0;
+  int64_t sparse_sweeps = 0;
+  int64_t frontier_skipped = 0;
+  int64_t specialized_edges = 0;
+  int64_t vm_edges = 0;
 
   // Fault tolerance.
   int64_t recoveries = 0;           ///< workers fenced + respawned

@@ -4,19 +4,57 @@
 
 namespace powerlog::runtime {
 
+size_t CombiningBuffer::Probe(VertexId key) const {
+  // Fibonacci hash + xor-fold: ids are dense and often sequential per sweep,
+  // so the multiply spreads runs of neighbouring keys across the table.
+  uint32_t h = key * 0x9E3779B9u;
+  h ^= h >> 16;
+  const size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (slots_[i].key != kEmptyKey && slots_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void CombiningBuffer::Rehash(size_t new_capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot{});
+  std::vector<uint32_t> old_filled = std::move(filled_);
+  filled_.clear();
+  filled_.reserve(new_capacity / 2);
+  // Re-insert in insertion order so Drain order survives the grow.
+  for (uint32_t idx : old_filled) {
+    const size_t i = Probe(old[idx].key);
+    slots_[i] = old[idx];
+    filled_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
 void CombiningBuffer::Add(VertexId key, double value) {
-  auto [it, inserted] = pending_.emplace(key, value);
-  if (inserted) return;
+  size_t i = Probe(key);
+  if (slots_[i].key == kEmptyKey) {
+    // Grow at load factor 1/2 to keep probe chains short.
+    if (filled_.size() + 1 > slots_.size() / 2) {
+      Rehash(slots_.size() * 2);
+      i = Probe(key);
+    }
+    slots_[i].key = key;
+    slots_[i].value = value;
+    filled_.push_back(static_cast<uint32_t>(i));
+    return;
+  }
+  double& pending = slots_[i].value;
   switch (kind_) {
     case AggKind::kMin:
-      if (value < it->second) it->second = value;
+      if (value < pending) pending = value;
       break;
     case AggKind::kMax:
-      if (value > it->second) it->second = value;
+      if (value > pending) pending = value;
       break;
     case AggKind::kSum:
     case AggKind::kCount:
-      it->second += value;
+      pending += value;
       break;
     case AggKind::kMean:
       break;  // mean programs never reach the incremental runtime
@@ -25,15 +63,23 @@ void CombiningBuffer::Add(VertexId key, double value) {
 
 void CombiningBuffer::Drain(UpdateBatch* out) {
   out->clear();
-  out->reserve(pending_.size());
-  for (const auto& [key, value] : pending_) out->push_back(Update{key, value});
-  pending_.clear();
+  out->reserve(filled_.size());
+  for (uint32_t idx : filled_) {
+    out->push_back(Update{slots_[idx].key, slots_[idx].value});
+    slots_[idx].key = kEmptyKey;
+  }
+  filled_.clear();
 }
 
 UpdateBatch CombiningBuffer::Drain() {
   UpdateBatch batch;
   Drain(&batch);
   return batch;
+}
+
+void CombiningBuffer::Clear() {
+  for (uint32_t idx : filled_) slots_[idx].key = kEmptyKey;
+  filled_.clear();
 }
 
 void SerializeUpdates(const UpdateBatch& batch, std::vector<uint8_t>* out) {

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/aggregates.h"
@@ -23,31 +22,60 @@ using UpdateBatch = std::vector<Update>;
 /// pair. Contributions to the same key are combined *before* shipping —
 /// lower message volume at higher batching levels is exactly the lever the
 /// unified sync-async engine turns (§5.3).
+///
+/// Implemented as an open-addressing hash table (power-of-two capacity,
+/// linear probing) rather than std::unordered_map: the remote-contribution
+/// path runs once per cut edge per delta, and node-based maps pay an
+/// allocation plus a pointer chase per insert. Slots and the insertion-order
+/// index are retained across Drain/Clear, so the steady-state path is
+/// allocation-free once the table has grown to its working size (gated by
+/// bench_micro's allocs_per_M_updates counter).
 class CombiningBuffer {
  public:
-  explicit CombiningBuffer(AggKind kind) : kind_(kind) {}
+  /// Sentinel for an empty slot. Vertex ids are dense [0, n), so the max
+  /// uint32 value never appears as a real key.
+  static constexpr VertexId kEmptyKey = 0xFFFFFFFFu;
+
+  explicit CombiningBuffer(AggKind kind) : kind_(kind) { Rehash(kMinCapacity); }
 
   /// Combines `value` into the pending update for `key`.
   void Add(VertexId key, double value);
 
-  size_t size() const { return pending_.size(); }
-  bool empty() const { return pending_.empty(); }
+  size_t size() const { return filled_.size(); }
+  bool empty() const { return filled_.empty(); }
+
+  /// Slot-array capacity (tests assert it is retained across drains).
+  size_t capacity() const { return slots_.size(); }
 
   /// Drains the buffered updates into `out` (cleared first, capacity
-  /// retained — pass a pooled batch for an allocation-free flush). The
-  /// buffer becomes empty.
+  /// retained — pass a pooled batch for an allocation-free flush). Updates
+  /// come out in first-insertion order: within one batch every key appears
+  /// once and distinct keys land on distinct rows, so the receiver's combine
+  /// order — and with it the engine's determinism — is unaffected by the
+  /// switch away from map iteration order. The buffer becomes empty.
   void Drain(UpdateBatch* out);
 
   /// Moves the buffered updates out as a fresh batch (buffer becomes empty).
   UpdateBatch Drain();
 
   /// Discards the buffered updates (crash simulation: un-flushed buffers die
-  /// with the worker).
-  void Clear() { pending_.clear(); }
+  /// with the worker). Capacity is retained.
+  void Clear();
 
  private:
+  struct Slot {
+    VertexId key = kEmptyKey;
+    double value = 0.0;
+  };
+
+  static constexpr size_t kMinCapacity = 256;  // power of two
+
+  size_t Probe(VertexId key) const;  ///< slot holding `key`, or its free slot
+  void Rehash(size_t new_capacity);
+
   AggKind kind_;
-  std::unordered_map<VertexId, double> pending_;
+  std::vector<Slot> slots_;          ///< open-addressing table, pow2 size
+  std::vector<uint32_t> filled_;     ///< occupied slot indices, insert order
 };
 
 /// Binary serialisation (checkpoints; stands in for the paper's ProtoStuff).

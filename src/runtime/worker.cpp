@@ -102,6 +102,18 @@ void ResumeWorkers(SharedState* shared, bool rearm) {
 Worker::Worker(uint32_t id, SharedState* shared, int64_t incarnation)
     : id_(id), shared_(shared), incarnation_(incarnation) {
   owned_ = shared_->partition->OwnedVertices(id);
+  frontier_ = shared_->options->frontier;
+  if (frontier_) {
+    // owned_ is ascending, so each bitmap word's owned rows are contiguous.
+    for (VertexId v : owned_) {
+      const size_t word = static_cast<size_t>(v) >> 6;
+      if (owned_words_.empty() || owned_words_.back().first != word) {
+        owned_words_.emplace_back(word, 0);
+      }
+      owned_words_.back().second |= uint64_t{1} << (v & 63);
+    }
+    worklist_.reserve(owned_.size());
+  }
   stall_rng_.Seed(shared_->options->stall_seed * 0x9E3779B9ULL + id * 1297 + 1);
   stats_.worker_id = id;
   collect_metrics_ = shared_->options->collect_metrics;
@@ -273,10 +285,14 @@ bool Worker::ProcessVertex(VertexId v) {
     table.HarvestDelta(v);
     return false;
   }
+  // Every defer branch below leaves the delta in the table, so it must
+  // re-mark the row dirty — the sweep cleared the bit before calling us, and
+  // a deferred row with a clear bit would never be revisited.
   // §5.4 priority threshold for sum programs: small deltas stay cached.
   if (!ordered && shared_->options->priority_threshold > 0.0 &&
       std::abs(pending) < shared_->options->priority_threshold &&
       idle_scans_ < 3) {
+    if (frontier_) table.MarkDirty(v);
     return false;
   }
   // §5.4 adaptive priority: defer deltas well below this worker's moving
@@ -286,6 +302,7 @@ bool Worker::ProcessVertex(VertexId v) {
     ++scan_count_;
     if (idle_scans_ < 3 && priority_ema_ > 0.0 &&
         std::abs(pending) < 0.3 * priority_ema_) {
+      if (frontier_) table.MarkDirty(v);
       return false;
     }
   }
@@ -293,6 +310,7 @@ bool Worker::ProcessVertex(VertexId v) {
   if (kernel.agg == AggKind::kMin && shared_->options->delta_stepping > 0.0 &&
       shared_->options->mode == ExecMode::kSync &&
       pending > shared_->bucket_limit.load(std::memory_order_relaxed)) {
+    if (frontier_) table.MarkDirty(v);
     return false;
   }
 
@@ -303,18 +321,7 @@ bool Worker::ProcessVertex(VertexId v) {
   ++stats_.harvests;
 
   // Step 3 of Fig. 7: apply F' and route contributions.
-  const double deg = static_cast<double>(shared_->graph->OutDegree(v));
-  int64_t apps = 0;
-  for (const Edge& e : shared_->prop->OutEdges(v)) {
-    const double contribution = kernel.EvalEdge(tmp, e.weight, deg);
-    ++apps;
-    const uint32_t owner = shared_->partition->WorkerOf(e.dst);
-    if (owner == id_) {
-      shared_->table->CombineDelta(e.dst, contribution);
-    } else {
-      out_buffers_[owner < id_ ? owner : owner - 1].Add(e.dst, contribution);
-    }
-  }
+  const int64_t apps = ScatterDelta(v, tmp);
   shared_->edge_applications.fetch_add(apps, std::memory_order_relaxed);
   stats_.edge_applications += apps;
   // Comparator configurations inflate per-edge compute (JVM/Spark engines);
@@ -328,6 +335,59 @@ bool Worker::ProcessVertex(VertexId v) {
     }
   }
   return true;
+}
+
+int64_t Worker::ScatterDelta(VertexId v, double tmp) {
+  const Kernel& kernel = *shared_->kernel;
+  const EdgeKernelSpec& spec = kernel.scatter;
+  const Graph::EdgeRange edges = shared_->prop->OutEdges(v);
+  const double deg = static_cast<double>(shared_->graph->OutDegree(v));
+  const int64_t apps = static_cast<int64_t>(edges.size());
+  auto route = [&](VertexId dst, double contribution) {
+    const uint32_t owner = shared_->partition->WorkerOf(dst);
+    if (owner == id_) {
+      shared_->table->CombineDelta(dst, contribution);
+    } else {
+      out_buffers_[owner < id_ ? owner : owner - 1].Add(dst, contribution);
+    }
+  };
+  if (spec.uniform()) {
+    // F' ignores w under this shape: evaluate once, the loop only routes.
+    const double contribution = ApplyEdgeKernel(spec, tmp, 0.0, deg);
+    for (const Edge& e : edges) route(e.dst, contribution);
+    stats_.specialized_edges += apps;
+    return apps;
+  }
+  switch (spec.op) {
+    case KernelOp::kXPlusW:
+      for (const Edge& e : edges) route(e.dst, tmp + e.weight);
+      stats_.specialized_edges += apps;
+      break;
+    case KernelOp::kXTimesW:
+      for (const Edge& e : edges) route(e.dst, tmp * e.weight);
+      stats_.specialized_edges += apps;
+      break;
+    case KernelOp::kAXW: {
+      // (a*x) is loop-invariant; hoisting it preserves the association.
+      const double ax = spec.a * tmp;
+      for (const Edge& e : edges) route(e.dst, ax * e.weight);
+      stats_.specialized_edges += apps;
+      break;
+    }
+    case KernelOp::kAXWB: {
+      const double ax = spec.a * tmp;
+      for (const Edge& e : edges) route(e.dst, (ax * e.weight) * spec.b);
+      stats_.specialized_edges += apps;
+      break;
+    }
+    default:  // kGeneric — per-edge stack-VM fallback
+      for (const Edge& e : edges) {
+        route(e.dst, kernel.EvalEdge(tmp, e.weight, deg));
+      }
+      stats_.vm_edges += apps;
+      break;
+  }
+  return apps;
 }
 
 void Worker::FlushBuffers(bool force) {
@@ -361,20 +421,98 @@ bool Worker::ArriveAndWaitTimed() {
   return serial;
 }
 
+int64_t Worker::SweepOwned(bool* exited) {
+  *exited = false;
+  const bool sync = shared_->options->mode == ExecMode::kSync;
+  MonoTable& table = *shared_->table;
+  int64_t useful = 0;
+  // Mid-sweep cadence, keyed off the loop index. The old code keyed off the
+  // vertex id (`(v & 0xFF) == 0`): under hash partitioning a worker owning
+  // no ids ≡ 0 (mod 256) never hit a control point mid-sweep, starving the
+  // heartbeat/pause/flush machinery for the whole shard scan.
+  auto control_point = [&](size_t idx) {
+    if (!sync && (idx & 0x3F) == 0x3F) FlushBuffers(/*force=*/false);
+    if ((idx & 0xFF) == 0xFF) {
+      if (sync) MaybeStall();
+      if (!CheckControl()) return false;
+    }
+    return true;
+  };
+
+  if (!frontier_) {
+    // Escape hatch: the pre-frontier full scan.
+    for (size_t idx = 0; idx < owned_.size(); ++idx) {
+      if (ProcessVertex(owned_[idx])) ++useful;
+      if (!control_point(idx)) {
+        *exited = true;
+        return useful;
+      }
+    }
+    return useful;
+  }
+
+  size_t active = 0;
+  if (!sparse_sweep_) {
+    // Dense sweep: walk the shard, peeking the bitmap (relaxed, 64 rows per
+    // word) and paying the clearing RMW only for dirty rows.
+    ++stats_.dense_sweeps;
+    for (size_t idx = 0; idx < owned_.size(); ++idx) {
+      const VertexId v = owned_[idx];
+      if (table.IsDirty(v)) {
+        table.ClearDirty(v);  // before the harvest read — see mono_table.h
+        ++active;
+        if (ProcessVertex(v)) ++useful;
+      } else {
+        ++stats_.frontier_skipped;
+      }
+      if (!control_point(idx)) {
+        *exited = true;
+        return useful;
+      }
+    }
+  } else {
+    // Sparse sweep: scan only the bitmap words this shard touches, collect
+    // the set rows into the reusable worklist, then process. Collection is
+    // a read-only pass; bits are cleared at processing time.
+    ++stats_.sparse_sweeps;
+    worklist_.clear();
+    for (const auto& [word, mask] : owned_words_) {
+      uint64_t bits = table.FrontierWord(word) & mask;
+      while (bits != 0) {
+        const int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        worklist_.push_back(static_cast<VertexId>((word << 6) | bit));
+      }
+    }
+    active = worklist_.size();
+    stats_.frontier_skipped += static_cast<int64_t>(owned_.size() - active);
+    for (size_t idx = 0; idx < worklist_.size(); ++idx) {
+      const VertexId v = worklist_[idx];
+      table.ClearDirty(v);
+      if (ProcessVertex(v)) ++useful;
+      if (!control_point(idx)) {
+        *exited = true;
+        return useful;
+      }
+    }
+  }
+  active_fraction_ = owned_.empty()
+                         ? 0.0
+                         : static_cast<double>(active) /
+                               static_cast<double>(owned_.size());
+  sparse_sweep_ = active_fraction_ < kSparseThreshold;
+  return useful;
+}
+
 void Worker::RunSync() {
   const EngineOptions& options = *shared_->options;
   while (!shared_->stop.load(std::memory_order_acquire)) {
     if (!CheckControl()) return;
     // --- compute phase ---
     MaybeStall();
-    int64_t useful = 0;
-    for (VertexId v : owned_) {
-      if (ProcessVertex(v)) ++useful;
-      if ((v & 0xFF) == 0) {
-        MaybeStall();
-        if (!CheckControl()) return;
-      }
-    }
+    bool exited = false;
+    const int64_t useful = SweepOwned(&exited);
+    if (exited) return;
     shared_->superstep_work.fetch_add(useful, std::memory_order_relaxed);
     FlushBuffers(/*force=*/true);
     // Model the distributed barrier's coordination cost.
@@ -488,16 +626,13 @@ void Worker::RunAsyncLike() {
       }
     }
 
-    bool any = false;
     scan_abs_sum_ = 0.0;
     scan_count_ = 0;
-    for (VertexId v : owned_) {
-      if (ProcessVertex(v)) any = true;
-      // Interleave communication with compute (a dedicated communication
-      // thread in the paper; cooperative here).
-      if ((v & 0x3F) == 0) FlushBuffers(/*force=*/false);
-      if ((v & 0xFF) == 0 && !CheckControl()) return;
-    }
+    // SweepOwned interleaves communication with compute (a dedicated
+    // communication thread in the paper; cooperative flush points here).
+    bool exited = false;
+    const bool any = SweepOwned(&exited) > 0;
+    if (exited) return;
     FlushBuffers(/*force=*/false);
     if (scan_count_ > 0) {
       const double mean = scan_abs_sum_ / static_cast<double>(scan_count_);

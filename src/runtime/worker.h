@@ -151,8 +151,21 @@ class Worker {
   void ExportMetrics(metrics::MetricsSnapshot* snap) const;
 
  private:
+  /// Below this active fraction the sweep switches from the dense bit-peek
+  /// scan to the sparse word-scan worklist (and back above it).
+  static constexpr double kSparseThreshold = 1.0 / 16.0;
+
   void RunSync();
   void RunAsyncLike();  // kAsync / kAap / kSyncAsync
+
+  /// One pass over this worker's shard: full scan when the frontier is off,
+  /// dense bit-peek or sparse word-scan sweep when it is on (automatic
+  /// switching on the last sweep's active fraction). Owns the mid-sweep
+  /// control cadence — keyed off the *loop index*, not the vertex id, so
+  /// every worker hits control/flush points regardless of which ids the
+  /// partition dealt it. Returns useful harvests; sets `*exited` when
+  /// CheckControl demanded an immediate exit (caller unwinds).
+  int64_t SweepOwned(bool* exited);
 
   /// Drains the inbox into the MonoTable. Returns updates applied.
   size_t DrainInbox();
@@ -178,12 +191,26 @@ class Worker {
   /// Parks at the pause rendezvous if the supervisor requested one.
   void MaybePark();
 
+  /// Applies F' to one harvested delta and routes the contributions,
+  /// dispatching on the kernel's specialized scatter shape. Returns the
+  /// number of edge applications.
+  int64_t ScatterDelta(VertexId v, double tmp);
+
   uint32_t id_;
   SharedState* shared_;
   int64_t incarnation_ = 0;
   int64_t beats_ = 0;    ///< local heartbeat counter, mirrored to control
   bool dead_ = false;    ///< crashed or fenced: suppress all further sends
   std::vector<VertexId> owned_;
+  // Frontier sweep state. owned_words_ precomputes, per 64-row bitmap word
+  // touched by this shard, the mask of bits this worker owns — the sparse
+  // sweep is then one masked load per word. worklist_ is the reusable
+  // collection scratch (no steady-state allocation).
+  bool frontier_ = false;
+  bool sparse_sweep_ = false;       ///< current sweep strategy
+  double active_fraction_ = 1.0;    ///< measured by the last sweep
+  std::vector<std::pair<size_t, uint64_t>> owned_words_;
+  std::vector<VertexId> worklist_;
   // Outgoing buffers/policies are indexed by *peer slot*, not worker id: a
   // worker never messages itself (local contributions go straight into the
   // MonoTable), so there are num_workers-1 buffers and peers_[slot] maps a

@@ -1,0 +1,474 @@
+// Frontier compute-plane tests (ISSUE 4): the MonoTable dirty bitmap,
+// edge-kernel specialization (bit-identical to the stack VM), the flat
+// combining buffer vs an unordered_map reference, frontier-on vs frontier-off
+// bit-exactness across every execution mode, chaos determinism with the
+// frontier enabled, and Graph::Reverse thread safety.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/kernel.h"
+#include "core/mono_table.h"
+#include "datalog/catalog.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "runtime/engine.h"
+#include "runtime/message.h"
+#include "test_util.h"
+
+namespace powerlog::runtime {
+namespace {
+
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallDag;
+using powerlog::testing::SmallWeightedGraph;
+
+// ---------------------------------------------------------------------------
+// MonoTable frontier bitmap.
+
+TEST(MonoTableFrontier, EnableSeedsFromIntermediateColumn) {
+  auto table = MonoTable::Create(AggKind::kSum, 130);
+  ASSERT_TRUE(table.ok());
+  std::vector<double> x0(130, 0.0), delta0(130, 0.0);
+  delta0[0] = 1.0;
+  delta0[64] = -2.5;
+  delta0[129] = 0.25;
+  ASSERT_TRUE(table->Initialize(x0, delta0).ok());
+  EXPECT_FALSE(table->frontier_enabled());
+
+  table->SetFrontierEnabled(true);
+  EXPECT_TRUE(table->frontier_enabled());
+  EXPECT_EQ(table->num_frontier_words(), 3u);
+  for (size_t row = 0; row < 130; ++row) {
+    EXPECT_EQ(table->IsDirty(row), row == 0 || row == 64 || row == 129)
+        << "row " << row;
+  }
+  EXPECT_NEAR(table->FrontierOccupancy(), 3.0 / 130.0, 1e-12);
+
+  table->SetFrontierEnabled(false);
+  EXPECT_FALSE(table->frontier_enabled());
+  EXPECT_EQ(table->num_frontier_words(), 0u);
+}
+
+TEST(MonoTableFrontier, CombineMarksOnlyNonIdentity) {
+  auto table = MonoTable::Create(AggKind::kMin, 64);
+  ASSERT_TRUE(table.ok());
+  table->SetFrontierEnabled(true);
+  EXPECT_FALSE(table->IsDirty(7));
+  table->CombineDelta(7, table->identity());  // no-op contribution
+  EXPECT_FALSE(table->IsDirty(7));
+  table->CombineDelta(7, 3.0);
+  EXPECT_TRUE(table->IsDirty(7));
+  table->ClearDirty(7);
+  EXPECT_FALSE(table->IsDirty(7));
+  // The delta itself is untouched by bitmap traffic.
+  EXPECT_EQ(table->intermediate(7), 3.0);
+  table->MarkDirty(7);
+  EXPECT_TRUE(table->IsDirty(7));
+}
+
+TEST(MonoTableFrontier, SetRowAndWipeAlwaysMark) {
+  auto table = MonoTable::Create(AggKind::kSum, 64);
+  ASSERT_TRUE(table.ok());
+  table->SetFrontierEnabled(true);
+  // SetRow marks even when the restored delta is the identity: the new
+  // owner's sweep must revisit the row (and lazily clear the bit).
+  table->SetRow(9, 5.0, table->identity());
+  EXPECT_TRUE(table->IsDirty(9));
+  table->ClearDirty(9);
+  table->WipeRow(9);
+  EXPECT_TRUE(table->IsDirty(9));
+}
+
+TEST(MonoTableFrontier, RestoreRebuildsBitmap) {
+  auto table = MonoTable::Create(AggKind::kSum, 70);
+  ASSERT_TRUE(table.ok());
+  table->SetFrontierEnabled(true);
+  table->MarkDirty(3);  // stale bit that Restore must wipe
+  std::vector<double> x(70, 1.0), delta(70, 0.0);
+  delta[42] = 0.5;
+  ASSERT_TRUE(table->Restore(x, delta).ok());
+  for (size_t row = 0; row < 70; ++row) {
+    EXPECT_EQ(table->IsDirty(row), row == 42) << "row " << row;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-kernel specialization.
+
+TEST(KernelSpecialization, CatalogShapes) {
+  EXPECT_EQ(MustCompile("sssp").scatter.op, KernelOp::kXPlusW);
+  EXPECT_EQ(MustCompile("cc").scatter.op, KernelOp::kX);
+  const Kernel pagerank = MustCompile("pagerank");
+  EXPECT_EQ(pagerank.scatter.op, KernelOp::kAXOverDeg);
+  EXPECT_DOUBLE_EQ(pagerank.scatter.a, 0.85);
+  EXPECT_TRUE(pagerank.scatter.uniform());
+  const Kernel viterbi = MustCompile("viterbi");
+  EXPECT_EQ(viterbi.scatter.op, KernelOp::kXTimesW);
+  EXPECT_FALSE(viterbi.scatter.uniform());
+}
+
+TEST(KernelSpecialization, OpNamesAreDistinct) {
+  EXPECT_STREQ(KernelOpName(KernelOp::kGeneric), "generic");
+  EXPECT_STREQ(KernelOpName(KernelOp::kXPlusW), "x+w");
+  EXPECT_STREQ(KernelOpName(KernelOp::kAXOverDeg), "(a*x)/deg");
+}
+
+// Bit-identical contract: on every catalog program whose edge function
+// specializes, ApplyEdgeKernel must reproduce the stack VM exactly — same
+// association, same rounding — across randomized inputs.
+TEST(KernelSpecialization, SpecializedMatchesVmBitExactly) {
+  Rng rng(0xF0F0);
+  size_t specialized_programs = 0;
+  for (const auto& entry : datalog::ProgramCatalog()) {
+    auto kernel = BuildKernelFromSource(entry.source);
+    if (!kernel.ok()) continue;  // mean programs etc.
+    if (!kernel->scatter.specialized()) continue;
+    ++specialized_programs;
+    for (int trial = 0; trial < 2000; ++trial) {
+      const double x = -5.0 + 10.0 * rng.NextDouble();
+      const double w = 0.01 + rng.NextDouble();
+      const double deg = static_cast<double>(1 + rng.NextBounded(16));
+      const double vm = kernel->EvalEdge(x, w, deg);
+      const double fused = ApplyEdgeKernel(kernel->scatter, x, w, deg);
+      // EXPECT_EQ, not NEAR: the contract is bitwise equality.
+      EXPECT_EQ(vm, fused) << entry.name << " x=" << x << " w=" << w
+                           << " deg=" << deg;
+    }
+  }
+  // The catalog must keep exercising the specializer (sssp, cc, pagerank,
+  // viterbi, adsorption at minimum).
+  EXPECT_GE(specialized_programs, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Flat combining buffer.
+
+void CheckAgainstReference(AggKind kind, uint64_t seed) {
+  CombiningBuffer buffer(kind);
+  std::unordered_map<VertexId, double> reference;
+  Rng rng(seed);
+  for (int round = 0; round < 5; ++round) {
+    reference.clear();
+    const int adds = 1000 + static_cast<int>(rng.NextBounded(2000));
+    for (int i = 0; i < adds; ++i) {
+      const VertexId key = static_cast<VertexId>(rng.NextBounded(300));
+      const double value = -1.0 + 2.0 * rng.NextDouble();
+      buffer.Add(key, value);
+      auto [it, inserted] = reference.emplace(key, value);
+      if (!inserted) {
+        switch (kind) {
+          case AggKind::kMin: it->second = std::min(it->second, value); break;
+          case AggKind::kMax: it->second = std::max(it->second, value); break;
+          case AggKind::kSum:
+          case AggKind::kCount: it->second += value; break;
+          case AggKind::kMean: break;
+        }
+      }
+    }
+    EXPECT_EQ(buffer.size(), reference.size());
+    UpdateBatch batch = buffer.Drain();
+    EXPECT_TRUE(buffer.empty());
+    ASSERT_EQ(batch.size(), reference.size());
+    for (const Update& u : batch) {
+      auto it = reference.find(u.key);
+      ASSERT_NE(it, reference.end()) << "unexpected key " << u.key;
+      EXPECT_EQ(it->second, u.value) << "key " << u.key;
+    }
+  }
+}
+
+TEST(FlatCombiningBuffer, MatchesUnorderedMapReference) {
+  CheckAgainstReference(AggKind::kMin, 11);
+  CheckAgainstReference(AggKind::kMax, 22);
+  CheckAgainstReference(AggKind::kSum, 33);
+  CheckAgainstReference(AggKind::kCount, 44);
+}
+
+TEST(FlatCombiningBuffer, DrainsInFirstInsertionOrder) {
+  CombiningBuffer buffer(AggKind::kSum);
+  for (VertexId key : {5u, 3u, 5u, 9u, 3u, 1u}) buffer.Add(key, 1.0);
+  const UpdateBatch batch = buffer.Drain();
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].key, 5u);
+  EXPECT_EQ(batch[0].value, 2.0);
+  EXPECT_EQ(batch[1].key, 3u);
+  EXPECT_EQ(batch[1].value, 2.0);
+  EXPECT_EQ(batch[2].key, 9u);
+  EXPECT_EQ(batch[3].key, 1u);
+}
+
+TEST(FlatCombiningBuffer, CapacityIsRetainedAcrossDrains) {
+  CombiningBuffer buffer(AggKind::kSum);
+  UpdateBatch batch;
+  auto fill = [&] {
+    for (VertexId k = 0; k < 3000; ++k) buffer.Add(k * 13, 1.0);
+  };
+  fill();
+  buffer.Drain(&batch);
+  const size_t warm_capacity = buffer.capacity();
+  EXPECT_GE(warm_capacity, 2 * 3000u);  // load factor <= 0.5
+  for (int round = 0; round < 10; ++round) {
+    fill();
+    EXPECT_EQ(buffer.size(), 3000u);
+    buffer.Drain(&batch);
+    EXPECT_EQ(batch.size(), 3000u);
+    EXPECT_EQ(buffer.capacity(), warm_capacity);
+  }
+  fill();
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.capacity(), warm_capacity);
+  // The table really is empty after Clear, not just size-masked.
+  buffer.Add(7, 4.0);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.Drain()[0].value, 4.0);
+}
+
+TEST(FlatCombiningBuffer, GrowPreservesCombinedValues) {
+  CombiningBuffer buffer(AggKind::kSum);
+  // Interleave re-hits with fresh keys so growth happens mid-stream.
+  for (VertexId k = 0; k < 5000; ++k) {
+    buffer.Add(k, 1.0);
+    buffer.Add(k / 2, 0.5);
+  }
+  const UpdateBatch batch = buffer.Drain();
+  std::unordered_map<VertexId, double> got;
+  for (const Update& u : batch) got[u.key] = u.value;
+  ASSERT_EQ(got.size(), 5000u);
+  // Key k receives 1.0 plus 0.5 for every j in [0,5000) with j/2 == k.
+  for (VertexId k = 0; k < 5000; ++k) {
+    double expected = 1.0;
+    const VertexId j0 = 2 * k, j1 = 2 * k + 1;
+    if (j0 < 5000) expected += 0.5;
+    if (j1 < 5000) expected += 0.5;
+    EXPECT_EQ(got[k], expected) << "key " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frontier on vs off: bit-exact across modes and aggregate kinds.
+//
+// The matrix uses programs with exact arithmetic only (min/max/count, and a
+// dyadic-rational sum), because async-family sum programs with rounding are
+// not bit-reproducible run-to-run in the first place — arrival order changes
+// the rounding. For exact programs the frontier must change *nothing*.
+
+constexpr const char* kDagSumSource = R"(
+@name dagsum.
+seed(X,v) :- X = 0, v = 1.
+dagsum(Y,sum[v1]) :- seed(Y,v2), v1 = v2;
+                  :- dagsum(X,v), edge(X,Y,w), v1 = v*w.
+)";
+
+/// DAG with power-of-two weights: every path mass is a dyadic rational, so
+/// sums are exact in binary floating point and the fixpoint is reached
+/// exactly (termination by zero pending mass, no epsilon involved).
+Graph DyadicDag() {
+  GraphBuilder b;
+  const VertexId n = 48;
+  b.EnsureVertices(n);
+  Rng rng(0xDA6);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    b.AddEdge(v, v + 1, 0.5);
+    for (VertexId step = 2; step <= 3; ++step) {
+      if (v + step < n && rng.NextBounded(2) == 0) {
+        b.AddEdge(v, v + step, 0.25);
+      }
+    }
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  return std::move(b).Build(opts).ValueOrDie();
+}
+
+struct ExactCase {
+  const char* label;
+  Kernel kernel;
+  Graph graph;
+};
+
+std::vector<ExactCase> ExactPrograms() {
+  std::vector<ExactCase> cases;
+  cases.push_back({"sssp/min", MustCompile("sssp"), SmallWeightedGraph(17)});
+  cases.push_back({"viterbi/max", MustCompile("viterbi"), SmallDag(19)});
+  cases.push_back({"paths_dag/count", MustCompile("paths_dag"), SmallDag(23)});
+  auto dagsum = BuildKernelFromSource(kDagSumSource);
+  EXPECT_TRUE(dagsum.ok()) << dagsum.status().ToString();
+  cases.push_back({"dagsum/sum", std::move(dagsum).ValueOrDie(), DyadicDag()});
+  return cases;
+}
+
+TEST(FrontierEquivalence, OnVsOffIsBitExactInEveryMode) {
+  for (ExactCase& c : ExactPrograms()) {
+    for (ExecMode mode : {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
+                          ExecMode::kSyncAsync}) {
+      EngineOptions options;
+      options.mode = mode;
+      options.num_workers = 3;
+      options.network.instant = true;
+      options.max_wall_seconds = 30.0;
+      options.frontier = true;
+      auto on = Engine(c.graph, c.kernel, options).Run();
+      options.frontier = false;  // the escape hatch
+      auto off = Engine(c.graph, c.kernel, options).Run();
+      ASSERT_TRUE(on.ok()) << c.label << ": " << on.status().ToString();
+      ASSERT_TRUE(off.ok()) << c.label << ": " << off.status().ToString();
+      EXPECT_TRUE(on->stats.converged) << c.label << " " << ExecModeName(mode);
+      EXPECT_TRUE(off->stats.converged) << c.label << " " << ExecModeName(mode);
+      // operator== on the vectors: element-wise bitwise-equal doubles.
+      EXPECT_EQ(on->values, off->values)
+          << c.label << " diverged under " << ExecModeName(mode);
+      // The frontier runs actually used the bitmap sweeps...
+      int64_t sweeps = on->stats.dense_sweeps + on->stats.sparse_sweeps;
+      EXPECT_GT(sweeps, 0) << c.label << " " << ExecModeName(mode);
+      // ...and the escape hatch really disabled them.
+      EXPECT_EQ(off->stats.dense_sweeps + off->stats.sparse_sweeps, 0)
+          << c.label << " " << ExecModeName(mode);
+    }
+  }
+}
+
+TEST(FrontierEquivalence, SparseSweepsEngageNearConvergence) {
+  // Single async worker on a path-heavy graph: after the initial wave the
+  // active fraction collapses below 1/16, so the worker must switch to
+  // sparse word-scan sweeps before the termination controller fires.
+  Kernel k = MustCompile("sssp");
+  Graph g = GenerateGrid(16, /*weighted=*/true, 5);
+  EngineOptions options;
+  options.mode = ExecMode::kAsync;
+  options.num_workers = 1;
+  options.network.instant = true;
+  options.max_wall_seconds = 30.0;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->stats.converged);
+  EXPECT_GT(run->stats.sparse_sweeps, 0) << run->stats.Summary();
+  EXPECT_GT(run->stats.frontier_skipped, 0);
+}
+
+TEST(FrontierEquivalence, StatsSeparateSpecializedFromVmEdges) {
+  Kernel k = MustCompile("sssp");  // kXPlusW: fully specialized
+  Graph g = SmallWeightedGraph(29);
+  EngineOptions options;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.max_wall_seconds = 30.0;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->stats.specialized_edges, 0);
+  EXPECT_EQ(run->stats.vm_edges, 0);
+  EXPECT_EQ(run->stats.specialized_edges, run->stats.edge_applications);
+}
+
+TEST(FrontierEquivalence, MetricsExportIncludesComputePlane) {
+  Kernel k = MustCompile("sssp");
+  Graph g = SmallWeightedGraph(31);
+  EngineOptions options;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.max_wall_seconds = 30.0;
+  options.collect_metrics = true;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok());
+  auto has_counter = [&](const std::string& name) {
+    for (const auto& [n, v] : run->metrics.counters) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_counter("engine.dense_sweeps"));
+  EXPECT_TRUE(has_counter("engine.sparse_sweeps"));
+  EXPECT_TRUE(has_counter("engine.frontier_skipped"));
+  EXPECT_TRUE(has_counter("engine.specialized_edges"));
+  EXPECT_TRUE(has_counter("engine.vm_edges"));
+  EXPECT_TRUE(has_counter("worker.0.frontier_skipped"));
+  bool has_occupancy = false;
+  for (const auto& [n, v] : run->metrics.gauges) {
+    if (n == "frontier.occupancy") has_occupancy = true;
+  }
+  EXPECT_TRUE(has_occupancy);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos determinism with the frontier enabled (recovery paths re-mark
+// restored rows through SetRow/Restore, so healed runs must stay exact).
+
+TEST(FrontierChaos, CrashRecoveryStaysDeterministicAndExact) {
+  Kernel k = MustCompile("sssp");
+  Graph g = SmallWeightedGraph(61);
+  for (ExecMode mode : {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
+                        ExecMode::kSyncAsync}) {
+    EngineOptions base;
+    base.mode = mode;
+    base.num_workers = 3;
+    base.network.instant = true;
+    base.barrier_overhead_us = 0;
+    base.term_check_interval_us = 50000;
+    auto clean = Engine(g, k, base).Run();
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+    EngineOptions chaos = base;
+    chaos.fault.crash_worker = 1;
+    chaos.fault.crash_at_beats = mode == ExecMode::kSync ? 2 : 20;
+    chaos.fault.seed = 0xF40;
+    auto r1 = Engine(g, k, chaos).Run();
+    auto r2 = Engine(g, k, chaos).Run();
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    EXPECT_EQ(r1->stats.faults.crashes, 1) << ExecModeName(mode);
+    EXPECT_GE(r1->stats.recoveries, 1) << ExecModeName(mode);
+    // Same seed: bit-identical healed results. And min-exactness: the healed
+    // fixpoint is the clean fixpoint, frontier or not.
+    EXPECT_EQ(r1->values, r2->values) << ExecModeName(mode);
+    EXPECT_EQ(r1->values, clean->values) << ExecModeName(mode);
+
+    chaos.frontier = false;
+    auto off = Engine(g, k, chaos).Run();
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    EXPECT_EQ(off->values, clean->values) << ExecModeName(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graph::Reverse thread safety.
+
+TEST(GraphReverse, ConcurrentFirstCallIsSafe) {
+  for (int round = 0; round < 8; ++round) {
+    Graph g = SmallWeightedGraph(100 + round);
+    constexpr int kThreads = 8;
+    std::vector<const Graph*> results(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { results[t] = &g.Reverse(); });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[t], results[0]);
+    EXPECT_EQ(g.Reverse().num_edges(), g.num_edges());
+    EXPECT_TRUE(g.HasReverse());
+  }
+}
+
+TEST(GraphReverse, CopiesAndReassignmentRebuildSafely) {
+  Graph g = SmallDag(5);
+  const Graph* r1 = &g.Reverse();
+  Graph copy = g;  // shares the built transpose, gets a fresh once-flag
+  EXPECT_EQ(&copy.Reverse(), r1);
+
+  Graph fresh = SmallDag(6);
+  g = fresh;  // overwrites a graph whose flag was already consumed
+  EXPECT_FALSE(g.HasReverse());
+  EXPECT_EQ(g.Reverse().num_edges(), fresh.num_edges());
+
+  Graph moved = std::move(copy);
+  EXPECT_EQ(&moved.Reverse(), r1);
+}
+
+}  // namespace
+}  // namespace powerlog::runtime
