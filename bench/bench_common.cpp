@@ -34,12 +34,21 @@ void DumpRunMetrics(const std::string& program, const std::string& dataset,
   std::fprintf(f,
                "{\"program\":\"%s\",\"dataset\":\"%s\",\"mode\":\"%s\","
                "\"workers\":%u,\"wall_seconds\":%.6f,\"converged\":%s,"
+               "\"dense_sweeps\":%lld,\"sparse_sweeps\":%lld,"
+               "\"frontier_skipped\":%lld,\"specialized_edges\":%lld,"
+               "\"vm_edges\":%lld,\"recoveries\":%lld,"
                "\"metrics\":%s}\n",
                metrics::JsonEscape(program).c_str(),
                metrics::JsonEscape(dataset).c_str(),
                metrics::JsonEscape(mode).c_str(), BenchWorkers(),
                result.stats.wall_seconds,
                result.stats.converged ? "true" : "false",
+               static_cast<long long>(result.stats.dense_sweeps),
+               static_cast<long long>(result.stats.sparse_sweeps),
+               static_cast<long long>(result.stats.frontier_skipped),
+               static_cast<long long>(result.stats.specialized_edges),
+               static_cast<long long>(result.stats.vm_edges),
+               static_cast<long long>(result.stats.recoveries),
                result.metrics.ToJson().c_str());
   std::fclose(f);
 }

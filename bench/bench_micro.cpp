@@ -14,6 +14,7 @@
 #include "checker/mra_checker.h"
 #include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/mono_table.h"
 #include "datalog/catalog.h"
 #include "eval/mra.h"
@@ -447,6 +448,34 @@ void BM_CombiningFlatSteadyState(benchmark::State& state) {
       1e6 / total;
 }
 BENCHMARK(BM_CombiningFlatSteadyState);
+
+// ---------------------------------------------------------------------------
+// Tracing overhead. The disabled path is the one every production run pays
+// with tracing compiled in: it must stay within a few ns (one null-pointer
+// branch per SpanGuard side, no clock read). bench_compare gates on it.
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  const trace::Tracer* tracer = nullptr;
+  for (auto _ : state) {
+    trace::SpanGuard span(tracer, "bench");
+    benchmark::DoNotOptimize(tracer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+// Enabled-path cost (two ring emissions + two clock reads); informational.
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  trace::Tracer tracer(1u << 12);
+  tracer.RegisterCurrentThread("bench");
+  for (auto _ : state) {
+    trace::SpanGuard span(&tracer, "bench");
+    benchmark::DoNotOptimize(&tracer);
+  }
+  trace::Tracer::UnregisterCurrentThread();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
 
 void BM_ConditionCheck(benchmark::State& state) {
   const auto entry = datalog::GetCatalogEntry(

@@ -28,6 +28,15 @@
 //   --heartbeat-us <n>      hang-detection timeout: a worker whose beat is
 //                           this stale (and not legitimately waiting) is
 //                           fenced and recovered; 0 (default) disables
+//   --trace-out <path>      record per-thread event rings and write the run
+//                           as Chrome trace-event JSON (open in Perfetto or
+//                           chrome://tracing)
+//   --serve-metrics <port>  embedded HTTP exposition server on
+//                           127.0.0.1:<port> for the duration of the run:
+//                           /metrics (Prometheus text), /metrics.json,
+//                           /healthz, /trace
+//
+// Both "--flag value" and "--flag=value" spellings are accepted.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -39,6 +48,7 @@
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "powerlog/powerlog.h"
+#include "runtime/exposition.h"
 
 using namespace powerlog;
 
@@ -50,7 +60,8 @@ int Usage(const char* argv0) {
                "<file>) [--mode m] [--workers n] [--source v] [--epsilon e] "
                "[--top k] [--check-only] [--metrics-json path] "
                "[--fault-plan spec] [--checkpoint base] [--checkpoint-us n] "
-               "[--heartbeat-us n] [--no-frontier] | --list\n",
+               "[--heartbeat-us n] [--no-frontier] [--trace-out path] "
+               "[--serve-metrics port] | --list\n",
                argv0);
   return 2;
 }
@@ -72,14 +83,27 @@ Result<std::string> LoadProgram(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::string program_spec, dataset, graph_file, mode_name = "sync-async";
-  std::string metrics_path;
+  std::string metrics_path, trace_path;
+  int serve_port = -1;
   RunOptions options;
   int top = 10;
   bool check_only = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept "--flag=value" alongside "--flag value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--list") {
@@ -142,6 +166,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-frontier") {
       // Escape hatch: full-scan sweeps instead of the active-set bitmap.
       options.engine.frontier = false;
+    } else if (arg == "--trace-out" && (value = next())) {
+      trace_path = value;
+      options.engine.trace = true;
+      // A traced run also records the convergence timeline, so --metrics-json
+      // carries the timeline.* series alongside the counter tracks in the
+      // trace itself.
+      options.engine.record_trace = true;
+    } else if (arg == "--serve-metrics" && (value = next())) {
+      serve_port = std::atoi(value);
     } else {
       return Usage(argv[0]);
     }
@@ -199,11 +232,27 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
+  // The server outlives the run: it answers /healthz immediately and serves
+  // live /metrics snapshots while the engine executes (the engine attaches
+  // its sources for the duration of Run via ExpositionAttachment).
+  ExpositionServer server;
+  if (serve_port >= 0) {
+    auto bound = server.Start(serve_port);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "cannot start exposition server: %s\n",
+                   bound.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("serving metrics on http://127.0.0.1:%d/metrics\n", *bound);
+    options.engine.exposition = &server;
+  }
+
   auto run = PowerLog::Run(*program, *graph, options);
   if (!run.ok()) {
     std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
     return 1;
   }
+  server.Stop();
   std::printf("condition check: %s | evaluation: %s on %s engine\n",
               run->check.satisfied ? "satisfied" : "NOT satisfied",
               run->evaluation.c_str(), run->execution.c_str());
@@ -219,6 +268,17 @@ int main(int argc, char** argv) {
     std::printf("metrics: wrote %s (%zu counters, %zu histograms, %zu series)\n",
                 metrics_path.c_str(), run->metrics.counters.size(),
                 run->metrics.histograms.size(), run->metrics.series.size());
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    out << run->chrome_trace << '\n';
+    std::printf("trace: wrote %s (%zu bytes)\n", trace_path.c_str(),
+                run->chrome_trace.size());
   }
 
   std::vector<std::pair<double, VertexId>> ranked;

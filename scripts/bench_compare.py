@@ -33,8 +33,16 @@ on a loaded host:
                             steady-state allocations per million Add/Drain
                             updates through the flat combining buffer; must
                             stay < 1 (i.e. zero in practice).
+  trace_disabled_span_ns    cost of one SpanGuard with tracing disabled (the
+                            path every production run pays with the tracer
+                            compiled in); hard ceiling 10 ns — a couple of
+                            predictable branches, never a clock read.
   fig9 convergence          every engine run recorded in the baseline must
                             still converge.
+
+Since ISSUE 5 the fabric/sweep/edge floors double as the tracer-off overhead
+gate: bench_micro is built with the tracing plane compiled in (disabled), so
+a floor regression is how instrumented hot paths getting slower shows up.
 
 Absolute wall-clock metrics (updates/s, per-benchmark cpu_time, fig9 wall
 seconds) are reported as informational deltas only — this harness runs on
@@ -50,6 +58,7 @@ FABRIC_SPEEDUP_FLOOR = 2.0
 SWEEP_SPEEDUP_FLOOR = 5.0   # frontier sweep vs full-scan replica (ISSUE 4)
 EDGE_SPEEDUP_FLOOR = 1.5    # specialized scatter vs stack VM (ISSUE 4)
 FLAT_ALLOCS_CEILING = 1.0   # combining-buffer steady-state allocs/M
+TRACE_DISABLED_CEILING_NS = 10.0  # disabled SpanGuard cost (ISSUE 5)
 REGRESSION_PCT = 10.0  # tracked-metric tolerance vs baseline
 ALLOC_SLACK = 1.0      # absolute allocs/M slack on top of the percentage
 OVERFLOW_SLACK = 0     # overflow sends allowed above baseline
@@ -103,6 +112,13 @@ def collect(args):
                     "pool_hits": _counter(rec, "bus.pool.hits"),
                     "pool_misses": _counter(rec, "bus.pool.misses"),
                     "overflow_sends": _counter(rec, "bus.overflow_sends"),
+                    # Compute-plane counters (ISSUE 4), top-level since ISSUE 5.
+                    "dense_sweeps": rec.get("dense_sweeps"),
+                    "sparse_sweeps": rec.get("sparse_sweeps"),
+                    "frontier_skipped": rec.get("frontier_skipped"),
+                    "specialized_edges": rec.get("specialized_edges"),
+                    "vm_edges": rec.get("vm_edges"),
+                    "recoveries": rec.get("recoveries"),
                 }
     except FileNotFoundError:
         pass
@@ -149,6 +165,10 @@ def collect(args):
                 micro.get("BM_EdgeApplySpecialized", {}).get("items_per_second"),
             "edge_specialized_speedup": edge_speedup,
             "combining_flat_allocs_per_M": flat.get("allocs_per_M_updates"),
+            "trace_disabled_span_ns":
+                micro.get("BM_TraceSpanDisabled", {}).get("cpu_time_ns"),
+            "trace_enabled_span_ns":
+                micro.get("BM_TraceSpanEnabled", {}).get("cpu_time_ns"),
         },
         "micro": micro,
         "fig9": fig9,
@@ -226,6 +246,20 @@ def compare(args):
             "combining_flat_allocs_per_M: {:.2f} >= ceiling {:.1f}".format(
                 flat_allocs, FLAT_ALLOCS_CEILING))
 
+    # Tracer-off overhead (ISSUE 5): absolute ceiling, not baseline-relative
+    # — single-digit-ns timings jitter too much for a percentage gate, but a
+    # clock read sneaking into the disabled path blows straight past 10 ns.
+    span_ns = cm.get("trace_disabled_span_ns")
+    if span_ns is None:
+        notes.append("trace_disabled_span_ns: missing (pre-ISSUE-5 run)")
+    elif span_ns >= TRACE_DISABLED_CEILING_NS:
+        failures.append(
+            "trace_disabled_span_ns: {:.2f} >= ceiling {:.1f}".format(
+                span_ns, TRACE_DISABLED_CEILING_NS))
+    else:
+        notes.append("trace_disabled_span_ns: {:.2f} (ceiling {:.1f})".format(
+            span_ns, TRACE_DISABLED_CEILING_NS))
+
     tracked("fabric_speedup", worse_is="lower")
     tracked("fabric_spsc_allocs_per_M", worse_is="higher", slack=ALLOC_SLACK)
     tracked("fabric_overflow_sends", worse_is="higher", slack=OVERFLOW_SLACK)
@@ -247,7 +281,8 @@ def compare(args):
     # Informational wall-clock deltas.
     for name in ("fabric_spsc_updates_per_sec", "fabric_mutex_updates_per_sec",
                  "sweep_frontier_rows_per_sec", "sweep_fullscan_rows_per_sec",
-                 "edge_vm_edges_per_sec", "edge_specialized_edges_per_sec"):
+                 "edge_vm_edges_per_sec", "edge_specialized_edges_per_sec",
+                 "trace_enabled_span_ns"):
         b, c = bm.get(name), cm.get(name)
         if b and c:
             notes.append("{} (info): {} -> {} ({:+.1f}%)".format(

@@ -5,6 +5,7 @@
 # perf-regression gate against the committed BENCH_*.json baseline.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
+#                         [--skip-trace]
 #
 # Build trees: build/ (plain), build-tsan/ (POWERLOG_SANITIZE=thread) and
 # build-asan/ (POWERLOG_SANITIZE=address); all are created if missing and
@@ -16,11 +17,13 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_BENCH=0
+SKIP_TRACE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-bench) SKIP_BENCH=1 ;;
+    --skip-trace) SKIP_TRACE=1 ;;
     *) echo "unknown arg: $arg" >&2; exit 2 ;;
   esac
 done
@@ -63,13 +66,47 @@ else
   ctest --test-dir build-asan -L network --output-on-failure -j "$JOBS"
 fi
 
+if [[ "$SKIP_TRACE" -eq 1 ]]; then
+  echo "==> trace stage skipped (--skip-trace)"
+else
+  # Observability acceptance (ISSUE 5): a traced async chaos run — crash,
+  # rollback recovery, periodic checkpoint cuts — must export Chrome trace
+  # JSON that validates end to end: well-nested spans for every layer plus
+  # at least one matched Send→Receive flow arrow. pagerank is sum-mode, so
+  # the async supervisor writes periodic checkpoint.cut snapshots.
+  echo "==> trace: chaos run (pagerank/flickr, async, crash + checkpoint)"
+  TRACE_TMP="$(mktemp -d)"
+  trap 'rm -rf "$TRACE_TMP"' EXIT
+  build/examples/powerlog_cli --program pagerank --dataset flickr \
+      --mode async --workers 4 --epsilon 1e-4 \
+      --fault-plan "crash=1@200,seed=7" \
+      --checkpoint "$TRACE_TMP/ckpt" --checkpoint-us 3000 \
+      --trace-out "$TRACE_TMP/trace.json" >/dev/null
+
+  echo "==> trace: scripts/check_trace.py"
+  python3 scripts/check_trace.py "$TRACE_TMP/trace.json" \
+      --require superstep --require sweep --require flush \
+      --require checkpoint.cut --require recovery
+  rm -rf "$TRACE_TMP"
+fi
+
 if [[ "$SKIP_BENCH" -eq 1 ]]; then
   echo "==> bench gate skipped (--skip-bench)"
 else
-  # Newest committed baseline wins; the quick run only feeds the relative /
-  # counting metrics bench_compare gates on, so it is comparable to a full
-  # baseline (wall-clock metrics are informational either way).
-  BASELINE="$(git ls-files 'BENCH_*.json' | tail -n 1)"
+  # Newest committed baseline wins — by commit time, not filename order
+  # (BENCH_<rev>.json names sort lexicographically by revision hash). The
+  # quick run only feeds the relative / counting metrics bench_compare gates
+  # on, so it is comparable to a full baseline (wall-clock metrics are
+  # informational either way).
+  BASELINE=""
+  BASELINE_TS=0
+  while IFS= read -r f; do
+    ts="$(git log -1 --format=%ct -- "$f")"
+    if [[ -n "$ts" && "$ts" -gt "$BASELINE_TS" ]]; then
+      BASELINE="$f"
+      BASELINE_TS="$ts"
+    fi
+  done < <(git ls-files 'BENCH_*.json')
   if [[ -z "$BASELINE" ]]; then
     echo "==> bench gate skipped (no committed BENCH_*.json baseline)"
   else

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by `powerlog_cli
+--trace-out` (or the /trace HTTP endpoint).
+
+Checks:
+  * the file parses as one JSON object with a traceEvents array;
+  * every B/E duration pair is well nested per (pid, tid) — the exporter
+    promises it repairs wraparound-beheaded spans, so any violation here is
+    an exporter bug, not a data artifact;
+  * every thread row has a thread_name metadata record;
+  * at least one flow arrow is complete: an "s" (send) and an "f" (receive)
+    event sharing an id;
+  * every span name passed via --require appears at least once.
+
+Usage:
+  check_trace.py TRACE.json [--require superstep --require sweep ...]
+                            [--no-flows]
+
+Exits non-zero (with a reason on stderr) when any check fails; prints a
+one-line summary on success. check.sh runs this against a traced chaos run.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(msg):
+    sys.stderr.write("check_trace: FAIL: {}\n".format(msg))
+    sys.exit(1)
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("trace")
+    p.add_argument("--require", action="append", default=[],
+                   help="span name that must appear at least once (repeatable)")
+    p.add_argument("--no-flows", action="store_true",
+                   help="skip the matched send/receive flow check")
+    args = p.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("{}: {}".format(args.trace, e))
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array")
+
+    depth = collections.Counter()       # (pid, tid) -> open span depth
+    span_names = collections.Counter()  # B-event names
+    named_tids = set()                  # tids with a thread_name row
+    event_tids = set()                  # tids that emitted any non-M event
+    flow_sends, flow_recvs = set(), set()
+    ts_beyond_depth = {}
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        tid = (e.get("pid"), e.get("tid"))
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                named_tids.add(tid)
+            continue
+        event_tids.add(tid)
+        if ph == "B":
+            depth[tid] += 1
+            span_names[e.get("name")] += 1
+        elif ph == "E":
+            if depth[tid] <= 0:
+                fail("event {}: unmatched E on tid {}".format(i, tid))
+            depth[tid] -= 1
+        elif ph == "s":
+            flow_sends.add(e.get("id"))
+        elif ph == "f":
+            flow_recvs.add(e.get("id"))
+        ts = e.get("ts")
+        if ts is None:
+            fail("event {}: missing ts".format(i))
+        ts_beyond_depth[tid] = ts
+
+    unclosed = {tid: d for tid, d in depth.items() if d != 0}
+    if unclosed:
+        fail("unclosed spans at end of trace: {}".format(unclosed))
+
+    unnamed = event_tids - named_tids
+    if unnamed:
+        fail("threads without a thread_name metadata row: {}".format(
+            sorted(unnamed)))
+
+    if not args.no_flows:
+        matched = flow_sends & flow_recvs
+        if not matched:
+            fail("no matched send/receive flow pair "
+                 "({} sends, {} receives)".format(
+                     len(flow_sends), len(flow_recvs)))
+
+    missing = [name for name in args.require if span_names.get(name, 0) == 0]
+    if missing:
+        fail("required span(s) absent: {} (present: {})".format(
+            missing, sorted(span_names)))
+
+    print("check_trace: ok — {} events, {} threads, {} span names, "
+          "{} matched flows".format(
+              len(events), len(event_tids), len(span_names),
+              len(flow_sends & flow_recvs)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

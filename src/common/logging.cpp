@@ -1,14 +1,19 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <cstring>
+
+#include "common/timer.h"
 
 namespace powerlog {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mutex;
+
+thread_local char t_tag[16] = {'-', '\0'};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,11 +31,22 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Monotonic epoch anchored at the first log call, so timestamps read as
+// seconds into the run and match trace timestamps (both use NowMicros).
+int64_t EpochMicros() {
+  static const int64_t epoch = NowMicros();
+  return epoch;
+}
+
 }  // namespace
 
 void Logger::SetLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logger::SetThreadTag(const char* tag) {
+  std::snprintf(t_tag, sizeof(t_tag), "%s", tag != nullptr ? tag : "-");
+}
 
 void Logger::Log(LogLevel level, const char* file, int line, const std::string& msg) {
   if (level < Logger::level()) return;
@@ -39,8 +55,23 @@ void Logger::Log(LogLevel level, const char* file, int line, const std::string& 
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+  const int64_t us = NowMicros() - EpochMicros();
+
+  // One buffer, one write(2): concurrent workers' records cannot interleave
+  // mid-line. Oversized messages are truncated (snprintf) rather than split
+  // across writes; PIPE_BUF (>= 4096) bounds the atomicity guarantee anyway.
+  char buf[1024];
+  int n = std::snprintf(buf, sizeof(buf), "[%s %lld.%06lld %s %s:%d] %s\n",
+                        LevelName(level), static_cast<long long>(us / 1000000),
+                        static_cast<long long>(us % 1000000), t_tag, base, line,
+                        msg.c_str());
+  if (n < 0) return;
+  if (n >= static_cast<int>(sizeof(buf))) {
+    n = static_cast<int>(sizeof(buf));
+    buf[n - 1] = '\n';
+  }
+  ssize_t written = ::write(2, buf, static_cast<size_t>(n));
+  (void)written;
 }
 
 }  // namespace powerlog

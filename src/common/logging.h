@@ -1,4 +1,13 @@
 // Minimal leveled logger with compile-time-cheap macros.
+//
+// Each record is emitted with a single `write(2)` of the fully formatted
+// line, so records from concurrent workers never interleave mid-line (POSIX
+// guarantees atomicity of a single write to the same open file description
+// for pipe-sized payloads, and stderr is unbuffered by construction here).
+// Lines carry a monotonic timestamp (seconds since the first log call) and
+// the calling thread's tag:
+//
+//   [INFO 1.024531 w2 worker.cpp:310] recovered incarnation 2
 #pragma once
 
 #include <sstream>
@@ -13,13 +22,22 @@ class Logger {
  public:
   static void SetLevel(LogLevel level);
   static LogLevel level();
-  /// Emits one formatted line to stderr if `level` is enabled.
+
+  /// Tags the calling thread's log lines (e.g. "w3", "sup", "ctl"). Copied
+  /// into thread-local storage; truncated to 15 characters. Untagged threads
+  /// log as "-".
+  static void SetThreadTag(const char* tag);
+
+  /// Emits one formatted line to stderr with a single atomic write if
+  /// `level` is enabled.
   static void Log(LogLevel level, const char* file, int line, const std::string& msg);
 };
 
 namespace internal {
 
-/// Stream-style collector used by the POWERLOG_LOG macro.
+/// Stream-style collector used by the POWERLOG_LOG macro. The stream only
+/// assembles the message body; Logger::Log formats the complete line
+/// (prefix + body) into one buffer and writes it with one syscall.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line)

@@ -1,0 +1,228 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/metrics.h"  // JsonEscape
+#include "common/timer.h"
+
+namespace powerlog::trace {
+
+namespace {
+
+thread_local EventRing* t_current_ring = nullptr;
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t cap = 64;
+  while (cap < v) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+EventRing::EventRing(uint32_t capacity)
+    : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {}
+
+void EventRing::Emit(EventType type, const char* name, double value) {
+  const uint64_t h = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[h & mask_];
+  slot.ts_us.store(NowMicros(), std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  // Release-publish: a reader that acquire-loads head >= h+1 sees the slot
+  // stores above.
+  head_.store(h + 1, std::memory_order_release);
+}
+
+EventRing::Snapshot EventRing::TakeSnapshot() const {
+  const uint64_t cap = slots_.size();
+  const uint64_t h1 = head_.load(std::memory_order_acquire);
+  const uint64_t begin1 = h1 > cap ? h1 - cap : 0;
+
+  std::vector<Event> copied;
+  copied.reserve(h1 - begin1);
+  for (uint64_t i = begin1; i < h1; ++i) {
+    const Slot& slot = slots_[i & mask_];
+    Event ev;
+    ev.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    ev.name = slot.name.load(std::memory_order_relaxed);
+    ev.value = slot.value.load(std::memory_order_relaxed);
+    ev.type = static_cast<EventType>(slot.type.load(std::memory_order_relaxed));
+    copied.push_back(ev);
+  }
+
+  // Seqlock validation: the writer overwrites slot `j & mask` *before*
+  // publishing head `j + 1`, so after re-reading the head, index `h2 - cap`
+  // (and anything older) may hold a torn mixture of old and new fields.
+  // Keep only indices >= h2 + 1 - cap — those slots cannot have been touched
+  // while we copied.
+  const uint64_t h2 = head_.load(std::memory_order_acquire);
+  const uint64_t begin2 = h2 + 1 > cap ? h2 + 1 - cap : 0;
+
+  Snapshot snap;
+  if (begin2 > begin1) {
+    const uint64_t discard = std::min(begin2 - begin1, h1 - begin1);
+    snap.events.assign(copied.begin() + static_cast<ptrdiff_t>(discard),
+                       copied.end());
+  } else {
+    snap.events = std::move(copied);
+  }
+  snap.dropped = h2 > static_cast<uint64_t>(snap.events.size())
+                     ? static_cast<int64_t>(h2 - snap.events.size())
+                     : 0;
+  return snap;
+}
+
+Tracer::Tracer(uint32_t ring_capacity)
+    : start_us_(NowMicros()), ring_capacity_(ring_capacity) {}
+
+Tracer::~Tracer() { t_current_ring = nullptr; }
+
+EventRing* Tracer::RegisterCurrentThread(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [ring_name, ring] : rings_) {
+    if (ring_name == name) {
+      t_current_ring = ring.get();
+      return ring.get();
+    }
+  }
+  rings_.emplace_back(name, std::make_unique<EventRing>(ring_capacity_));
+  t_current_ring = rings_.back().second.get();
+  return t_current_ring;
+}
+
+void Tracer::UnregisterCurrentThread() { t_current_ring = nullptr; }
+
+EventRing* Tracer::Current() { return t_current_ring; }
+
+std::vector<Tracer::NamedRing> Tracer::rings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<NamedRing> out;
+  out.reserve(rings_.size());
+  for (const auto& [name, ring] : rings_) {
+    out.push_back(NamedRing{name, ring.get()});
+  }
+  return out;
+}
+
+int64_t Tracer::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [name, ring] : rings_) {
+    (void)name;
+    total += ring->dropped();
+  }
+  return total;
+}
+
+namespace {
+
+void AppendEvent(std::string& out, bool& first, const char* ph, int tid,
+                 int64_t ts_us, const char* name, const char* extra) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "%s{\"ph\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%" PRId64
+                        ",\"name\":\"%s\"%s}",
+                        first ? "" : ",\n", ph, tid, ts_us, name,
+                        extra != nullptr ? extra : "");
+  if (n > 0 && n < static_cast<int>(sizeof(buf))) out.append(buf, n);
+  first = false;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  const int64_t epoch = tracer.start_us();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+
+  const auto rings = tracer.rings();
+  for (size_t tid = 0; tid < rings.size(); ++tid) {
+    char meta[160];
+    std::snprintf(meta, sizeof(meta),
+                  "%s{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"ts\":0,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",\n", tid,
+                  metrics::JsonEscape(rings[tid].name).c_str());
+    out += meta;
+    first = false;
+  }
+  // One process row so Perfetto shows a sensible group title.
+  out += first ? "" : ",\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,"
+      "\"name\":\"process_name\",\"args\":{\"name\":\"powerlog\"}}";
+  first = false;
+
+  for (size_t tid = 0; tid < rings.size(); ++tid) {
+    const auto snap = rings[tid].ring->TakeSnapshot();
+    const int64_t last_ts =
+        snap.events.empty() ? 0 : snap.events.back().ts_us - epoch;
+
+    // Wraparound can behead a span (drop its "B" but keep its "E") or
+    // truncate one (keep its "B", the "E" never recorded). Track open-span
+    // depth per ring: an "E" with no open "B" is skipped, and every "B" left
+    // open at the end is closed at the ring's final timestamp, so the
+    // exported stream always nests.
+    std::vector<const char*> open;
+    for (const Event& ev : snap.events) {
+      const int64_t ts = ev.ts_us - epoch;
+      char extra[96];
+      switch (ev.type) {
+        case EventType::kSpanBegin:
+          open.push_back(ev.name);
+          AppendEvent(out, first, "B", static_cast<int>(tid), ts, ev.name,
+                      nullptr);
+          break;
+        case EventType::kSpanEnd:
+          if (open.empty()) break;  // beheaded by wraparound
+          open.pop_back();
+          AppendEvent(out, first, "E", static_cast<int>(tid), ts, ev.name,
+                      nullptr);
+          break;
+        case EventType::kInstant:
+          AppendEvent(out, first, "i", static_cast<int>(tid), ts, ev.name,
+                      ",\"s\":\"t\"");
+          break;
+        case EventType::kCounter:
+          std::snprintf(extra, sizeof(extra), ",\"args\":{\"value\":%.17g}",
+                        ev.value);
+          AppendEvent(out, first, "C", static_cast<int>(tid), ts, ev.name,
+                      extra);
+          break;
+        case EventType::kFlowSend:
+          std::snprintf(extra, sizeof(extra),
+                        ",\"cat\":\"flow\",\"id\":%" PRIu64,
+                        static_cast<uint64_t>(ev.value));
+          AppendEvent(out, first, "s", static_cast<int>(tid), ts, ev.name,
+                      extra);
+          break;
+        case EventType::kFlowRecv:
+          std::snprintf(extra, sizeof(extra),
+                        ",\"cat\":\"flow\",\"id\":%" PRIu64 ",\"bp\":\"e\"",
+                        static_cast<uint64_t>(ev.value));
+          AppendEvent(out, first, "f", static_cast<int>(tid), ts, ev.name,
+                      extra);
+          break;
+      }
+    }
+    while (!open.empty()) {
+      AppendEvent(out, first, "E", static_cast<int>(tid), last_ts, open.back(),
+                  nullptr);
+      open.pop_back();
+    }
+  }
+
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "\n],\"displayTimeUnit\":\"ms\",\"powerlog\":{\"dropped\":%" PRId64
+                "}}\n",
+                tracer.TotalDropped());
+  out += tail;
+  return out;
+}
+
+}  // namespace powerlog::trace

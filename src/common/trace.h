@@ -1,0 +1,221 @@
+// The tracing plane: per-thread bounded event rings and a Chrome
+// trace-event exporter.
+//
+// Design (mirrors the data plane's lock-free discipline, ARCHITECTURE.md §5):
+//  * One EventRing per instrumented thread (workers, supervisor, termination
+//    controller). The owning thread is the ring's only writer; emission is a
+//    pair of relaxed field stores plus one release store of the head — no
+//    locks, no allocation, no CAS.
+//  * Events are fixed-size PODs referencing *static-storage* name strings
+//    (string literals), so recording never copies or allocates.
+//  * The ring is bounded and drops the *oldest* events on wrap: the writer
+//    always overwrites, and `dropped()` reports how many events fell off the
+//    back. A trace therefore always holds the most recent window of a run —
+//    the tail where convergence, recovery, and termination live.
+//  * Snapshots may be taken concurrently with the writer (the `/trace` HTTP
+//    endpoint does): TakeSnapshot copies the newest events and then re-reads
+//    the head, discarding any entry the writer could have overwritten
+//    mid-copy (a seqlock-style validation; slot fields are relaxed atomics so
+//    the racing reads are defined, and every possibly-torn event is
+//    discarded before it escapes).
+//  * When tracing is off (EngineOptions::trace = false, the default), every
+//    instrumentation site is guarded by a null Tracer pointer: a SpanGuard
+//    costs one predictable branch in its constructor and one in its
+//    destructor, and — crucially — no clock read ever happens (the PR-3
+//    lazy-clock discipline: the clock-free bus fast path survives with
+//    tracing compiled in).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace powerlog::trace {
+
+enum class EventType : uint8_t {
+  kSpanBegin = 0,  ///< start of a nested duration ("B" in Chrome format)
+  kSpanEnd = 1,    ///< end of the innermost open span ("E")
+  kInstant = 2,    ///< point event ("i")
+  kCounter = 3,    ///< sampled counter value ("C"); value = the sample
+  kFlowSend = 4,   ///< flow start ("s"); value = flow id
+  kFlowRecv = 5,   ///< flow finish ("f"); value = flow id
+};
+
+/// \brief One recorded event, as plain data. `name` must point to a string
+/// with static storage duration (a literal): the ring stores the pointer.
+struct Event {
+  int64_t ts_us = 0;
+  const char* name = nullptr;
+  double value = 0.0;
+  EventType type = EventType::kInstant;
+};
+
+/// \brief Bounded single-writer event ring with drop-oldest semantics.
+///
+/// Memory-ordering contract: the writer stores the slot fields with relaxed
+/// ordering and then publishes with a release store of `head_`; a reader's
+/// acquire load of `head_` makes every slot with index < head visible. A
+/// slot the writer may be concurrently overwriting is detected by re-reading
+/// the head after the copy (any copied index older than `head2 + 1 - cap`
+/// is discarded — the writer mutates slot `j & mask` before publishing
+/// `j + 1`, so index `head2 - cap` is the oldest possibly-torn entry).
+class EventRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 64.
+  explicit EventRing(uint32_t capacity);
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Records one event, timestamping it now. Single writer only.
+  void Emit(EventType type, const char* name, double value);
+
+  /// Events overwritten so far (head past capacity).
+  int64_t dropped() const {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    return h > slots_.size() ? static_cast<int64_t>(h - slots_.size()) : 0;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+  struct Snapshot {
+    std::vector<Event> events;  ///< oldest to newest
+    int64_t dropped = 0;        ///< events lost to wraparound
+  };
+
+  /// Copies the newest events. Safe concurrently with the writer; events the
+  /// writer might have been overwriting mid-copy are discarded (they count
+  /// as dropped). Once the ring has wrapped this discards one extra event
+  /// unconditionally — the oldest copied slot aliases the writer's next
+  /// write target, and without a per-slot sequence there is no way to prove
+  /// it was not mid-overwrite — so a post-wrap snapshot holds capacity-1
+  /// events even from a quiescent ring.
+  Snapshot TakeSnapshot() const;
+
+ private:
+  /// Relaxed-atomic mirror of Event so the seqlock-style concurrent snapshot
+  /// read is defined behaviour (possibly-torn entries are discarded, never
+  /// surfaced).
+  struct Slot {
+    std::atomic<int64_t> ts_us{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<double> value{0.0};
+    std::atomic<uint8_t> type{0};
+  };
+
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< next write index
+};
+
+/// \brief One run's tracing context: a registry of named per-thread rings,
+/// the flow-id source linking a message's Send span to its Receive span, and
+/// the run's epoch for relative timestamps.
+///
+/// Threads register themselves (RegisterCurrentThread installs a
+/// thread-local current-ring pointer so deeply nested code — the message
+/// bus, the checkpoint store — can emit without plumbing a ring through
+/// every call). Rings live as long as the Tracer; registered threads must
+/// unregister (or exit) before it is destroyed.
+class Tracer {
+ public:
+  /// `ring_capacity` = events retained per registered thread.
+  explicit Tracer(uint32_t ring_capacity = 1u << 16);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Creates (or reuses, by name) this thread's ring and installs it as the
+  /// thread-local current ring. Thread-safe.
+  EventRing* RegisterCurrentThread(const std::string& name);
+
+  /// Clears the calling thread's current-ring pointer. The ring itself stays
+  /// in the registry for export.
+  static void UnregisterCurrentThread();
+
+  /// The calling thread's ring, or nullptr if it never registered.
+  static EventRing* Current();
+
+  /// Fresh nonzero flow id (Send→Receive linkage).
+  uint64_t NextFlowId() {
+    return next_flow_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  int64_t start_us() const { return start_us_; }
+
+  struct NamedRing {
+    std::string name;
+    const EventRing* ring;
+  };
+  /// Registered rings, in registration order. Pointers are stable.
+  std::vector<NamedRing> rings() const;
+
+  /// Total events lost to wraparound across all rings.
+  int64_t TotalDropped() const;
+
+ private:
+  int64_t start_us_;
+  uint32_t ring_capacity_;
+  std::atomic<uint64_t> next_flow_{0};
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<EventRing>>> rings_;
+};
+
+/// \brief RAII span: Begin on construction, End on destruction, emitted to
+/// the calling thread's ring. With `tracer == nullptr` (tracing disabled)
+/// both sides reduce to a single branch and no clock read.
+class SpanGuard {
+ public:
+  SpanGuard(const Tracer* tracer, const char* name) {
+    if (tracer != nullptr) Begin(name);
+  }
+  ~SpanGuard() {
+    if (ring_ != nullptr) ring_->Emit(EventType::kSpanEnd, name_, 0.0);
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  void Begin(const char* name) {
+    ring_ = Tracer::Current();
+    if (ring_ == nullptr) return;
+    name_ = name;
+    ring_->Emit(EventType::kSpanBegin, name, 0.0);
+  }
+
+  EventRing* ring_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+/// Point event on the calling thread's ring; single branch when disabled.
+inline void Instant(const Tracer* tracer, const char* name, double value = 0.0) {
+  if (tracer == nullptr) return;
+  if (EventRing* ring = Tracer::Current()) {
+    ring->Emit(EventType::kInstant, name, value);
+  }
+}
+
+/// Counter sample on the calling thread's ring.
+inline void CounterSample(const Tracer* tracer, const char* name, double value) {
+  if (tracer == nullptr) return;
+  if (EventRing* ring = Tracer::Current()) {
+    ring->Emit(EventType::kCounter, name, value);
+  }
+}
+
+/// \brief Serialises every ring into Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`), loadable in Perfetto / chrome://tracing.
+/// Each ring becomes one thread row (pid 0, tid = registration order) with a
+/// thread_name metadata record; timestamps are microseconds relative to the
+/// tracer's start. Span begin/end pairs export as "B"/"E"; wraparound can
+/// behead a span, so unmatched "E" events are dropped and unclosed "B"
+/// events are closed at the ring's final timestamp — the exported stream is
+/// always well nested. Flow events export as "s"/"f" with the flow id.
+std::string ExportChromeTrace(const Tracer& tracer);
+
+}  // namespace powerlog::trace

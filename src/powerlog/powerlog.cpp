@@ -55,6 +55,7 @@ Result<RunOutcome> PowerLog::Run(const std::string& source, const Graph& graph,
     outcome.values = std::move(run->values);
     outcome.stats = std::move(run->stats);
     outcome.metrics = std::move(run->metrics);
+    outcome.chrome_trace = std::move(run->chrome_trace);
     return outcome;
   }
 
@@ -104,6 +105,7 @@ Result<RunOutcome> PowerLog::Run(const Kernel& kernel, const Graph& graph,
   outcome.values = std::move(run->values);
   outcome.stats = std::move(run->stats);
   outcome.metrics = std::move(run->metrics);
+  outcome.chrome_trace = std::move(run->chrome_trace);
   return outcome;
 }
 

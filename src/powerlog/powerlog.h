@@ -48,6 +48,9 @@ struct RunOutcome {
   /// Observability snapshot (options.collect_metrics); empty for naive-eval
   /// fallbacks, which bypass the instrumented engine.
   metrics::MetricsSnapshot metrics;
+  /// Chrome trace-event JSON (options.engine.trace); empty otherwise and for
+  /// naive-eval fallbacks. Written by `powerlog_cli --trace-out`.
+  std::string chrome_trace;
 };
 
 /// \brief The system façade.

@@ -11,7 +11,9 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "runtime/checkpoint.h"
+#include "runtime/exposition.h"
 #include "runtime/termination.h"
 #include "runtime/worker.h"
 
@@ -146,6 +148,10 @@ class Supervisor {
   void Run() {
     const EngineOptions& options = *shared_->options;
     const uint32_t n = options.num_workers;
+    Logger::SetThreadTag("sup");
+    if (shared_->tracer != nullptr) {
+      shared_->tracer->RegisterCurrentThread("supervisor");
+    }
     last_beat_.assign(n, -1);
     last_change_us_.assign(n, NowMicros());
     int64_t last_ckpt_us = NowMicros();
@@ -211,6 +217,7 @@ class Supervisor {
       shared_->barrier->Break();
     }
     Resume(/*rearm=*/!any_dead);
+    trace::Tracer::UnregisterCurrentThread();
   }
 
  private:
@@ -225,6 +232,7 @@ class Supervisor {
 
   void Recover(std::vector<uint32_t>& victims) {
     const EngineOptions& options = *shared_->options;
+    trace::SpanGuard recovery_span(shared_->tracer, "recovery");
     std::lock_guard<std::mutex> pause_lock(shared_->pause_mutex);
     shared_->recovering.store(true, std::memory_order_release);
     // Fence every victim first: even an incarnation still technically
@@ -326,6 +334,7 @@ class Supervisor {
   }
 
   void PeriodicCheckpoint() {
+    trace::SpanGuard ckpt_span(shared_->tracer, "checkpoint.cut");
     const int64_t t0 = NowMicros();
     std::lock_guard<std::mutex> pause_lock(shared_->pause_mutex);
     Status st;
@@ -449,6 +458,27 @@ Result<EngineResult> Engine::Run() {
       (store != nullptr && options_.checkpoint_interval_us > 0 &&
        options_.mode != ExecMode::kSync);
 
+  // Event tracing: one Tracer for the run; workers, supervisor, and
+  // controller register their rings as their threads start. Null (the
+  // default) keeps every instrumentation site at one branch, no clock reads.
+  std::unique_ptr<trace::Tracer> tracer;
+  if (options_.trace) {
+    tracer = std::make_unique<trace::Tracer>(options_.trace_ring_events);
+    shared.tracer = tracer.get();
+    bus.SetTracer(tracer.get());
+  }
+  // Per-worker mean-β gauges feed the convergence timeline and the live
+  // exposition endpoint; skip the (cheap) flush-time update otherwise.
+  std::vector<std::atomic<double>> worker_beta;
+  if (options_.record_trace || options_.trace ||
+      options_.exposition != nullptr) {
+    worker_beta = std::vector<std::atomic<double>>(options_.num_workers);
+    for (auto& beta : worker_beta) {
+      beta.store(options_.buffer.beta, std::memory_order_relaxed);
+    }
+    shared.worker_beta = &worker_beta;
+  }
+
   metrics::Registry registry;
   if (options_.collect_metrics) {
     // 1us .. ~2s in powers of two: spans instant-delivery scheduling noise
@@ -469,6 +499,54 @@ Result<EngineResult> Engine::Run() {
 
   Timer timer;
   shared.start_us = NowMicros();
+
+  // Live exposition: attach this run's data sources to the caller-owned
+  // server for the duration of Run(). The attachment's destructor detaches
+  // them — blocking until any in-flight scrape completes — before these
+  // locals die, so a request can never read a dangling run.
+  MonoTable* live_table = &*table;
+  SharedState* live_shared = &shared;
+  ExpositionAttachment exposition_attachment(
+      options_.exposition,
+      [live_shared, live_table, &bus, &registry, &timer] {
+        metrics::MetricsSnapshot snap = registry.Snapshot();
+        snap.AddGauge("engine.elapsed_seconds", timer.ElapsedSeconds());
+        snap.AddGauge("engine.converged",
+                      live_shared->converged.load() ? 1.0 : 0.0);
+        snap.AddCounter("engine.supersteps", live_shared->superstep.load());
+        snap.AddCounter("engine.harvests", live_shared->harvests.load());
+        snap.AddCounter("engine.edge_applications",
+                        live_shared->edge_applications.load());
+        snap.AddCounter("engine.recoveries", live_shared->recoveries.load());
+        snap.AddCounter("engine.checkpoints_written",
+                        live_shared->checkpoints_written.load());
+        const NetworkStats net = bus.stats();
+        snap.AddCounter("bus.messages", net.messages);
+        snap.AddCounter("bus.updates", net.updates);
+        snap.AddCounter("bus.overflow_sends", net.overflow_sends);
+        const BatchPool::Stats pool = bus.pool_stats();
+        snap.AddCounter("bus.pool.hits", pool.hits);
+        snap.AddCounter("bus.pool.misses", pool.misses);
+        snap.AddGauge("bus.inflight_updates",
+                      static_cast<double>(bus.InFlightUpdates()));
+        snap.AddGauge("frontier.occupancy", live_table->FrontierOccupancy());
+        if (live_shared->tracer != nullptr) {
+          snap.AddCounter("trace.dropped",
+                          live_shared->tracer->TotalDropped());
+        }
+        if (live_shared->worker_beta != nullptr) {
+          for (size_t w = 0; w < live_shared->worker_beta->size(); ++w) {
+            snap.AddGauge(StringFormat("worker.%zu.beta", w),
+                          (*live_shared->worker_beta)[w].load(
+                              std::memory_order_relaxed));
+          }
+        }
+        return snap;
+      },
+      [live_shared]() -> std::string {
+        if (live_shared->tracer == nullptr) return std::string();
+        return trace::ExportChromeTrace(*live_shared->tracer);
+      });
   // Workers live behind unique_ptr so the supervisor can append respawned
   // incarnations without invalidating the ones already running; the spawn
   // mutex serialises those appends against nothing else (the main thread
@@ -554,9 +632,48 @@ Result<EngineResult> Engine::Run() {
     for (const auto& worker : workers) {
       worker->ExportMetrics(&result.metrics);
     }
+    if (tracer != nullptr) {
+      result.metrics.AddCounter("trace.dropped", tracer->TotalDropped());
+    }
+    // Convergence timeline as series, so the bench harness's
+    // POWERLOG_BENCH_METRICS dump carries the time-resolved view.
+    if (options_.record_trace && !shared.trace.empty()) {
+      metrics::MetricsSnapshot::Series aggregate, mass, inflight, occupancy;
+      aggregate.reserve(shared.trace.size());
+      mass.reserve(shared.trace.size());
+      inflight.reserve(shared.trace.size());
+      occupancy.reserve(shared.trace.size());
+      std::vector<metrics::MetricsSnapshot::Series> beta(
+          shared.trace.front().worker_beta.size());
+      for (const TraceSample& s : shared.trace) {
+        aggregate.emplace_back(s.seconds, s.global_aggregate);
+        mass.emplace_back(s.seconds, s.pending_mass);
+        inflight.emplace_back(s.seconds, s.inflight_updates);
+        occupancy.emplace_back(s.seconds, s.frontier_occupancy);
+        for (size_t w = 0; w < beta.size() && w < s.worker_beta.size(); ++w) {
+          beta[w].emplace_back(s.seconds, s.worker_beta[w]);
+        }
+      }
+      result.metrics.AddSeries("timeline.global_aggregate",
+                               std::move(aggregate));
+      result.metrics.AddSeries("timeline.pending_mass", std::move(mass));
+      result.metrics.AddSeries("timeline.inflight_updates",
+                               std::move(inflight));
+      result.metrics.AddSeries("timeline.frontier_occupancy",
+                               std::move(occupancy));
+      for (size_t w = 0; w < beta.size(); ++w) {
+        result.metrics.AddSeries(StringFormat("timeline.beta.w%zu", w),
+                                 std::move(beta[w]));
+      }
+    }
   }
   result.values = table->SnapshotAccumulation();
   result.trace = std::move(shared.trace);
+  // Export after every instrumented thread has joined: the rings are
+  // quiescent, so the snapshot inside is complete and tear-free.
+  if (tracer != nullptr) {
+    result.chrome_trace = trace::ExportChromeTrace(*tracer);
+  }
   return result;
 }
 

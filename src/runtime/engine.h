@@ -28,6 +28,10 @@
 #include "runtime/fault.h"
 #include "runtime/network.h"
 
+namespace powerlog {
+class ExpositionServer;
+}  // namespace powerlog
+
 namespace powerlog::runtime {
 
 enum class ExecMode { kSync, kAsync, kAap, kSyncAsync };
@@ -127,10 +131,31 @@ struct EngineOptions {
   /// supervisor will shoot healthy stragglers.
   int64_t heartbeat_timeout_us = 0;
 
-  /// Record a convergence trace: one (seconds, global aggregate, pending
-  /// delta mass) sample per termination check (async modes) or superstep
-  /// (sync mode).
+  /// Record a convergence trace: one timeline sample (seconds, global
+  /// aggregate, pending delta mass, in-flight updates, frontier occupancy,
+  /// per-worker β) per termination check (async modes) or superstep (sync
+  /// mode).
   bool record_trace = false;
+
+  /// Event tracing: give every engine thread (workers, supervisor,
+  /// termination controller) a bounded lock-free event ring recording
+  /// superstep/sweep/flush/checkpoint/recovery spans and Send→Receive
+  /// message flows, exported as Chrome trace-event JSON in
+  /// EngineResult::chrome_trace (`--trace-out` in the CLI). Off by default:
+  /// every instrumentation site then reduces to one null-pointer branch and
+  /// zero clock reads, preserving the clock-free bus fast path.
+  bool trace = false;
+
+  /// Events retained per thread ring (rounded up to a power of two). Oldest
+  /// events drop on wrap — a trace always holds the newest window.
+  uint32_t trace_ring_events = 1u << 16;
+
+  /// Live HTTP exposition: when set, the engine attaches this run's metrics
+  /// (and trace, if enabled) to the server for the duration of Run(), so
+  /// `/metrics`, `/metrics.json`, and `/trace` reflect the run in flight.
+  /// The server is owned by the caller (`--serve-metrics` in the CLI) and
+  /// detached — blocking on in-flight scrapes — before Run() returns.
+  ExpositionServer* exposition = nullptr;
 
   /// Collect the full observability payload: per-worker timing breakdowns
   /// (barrier wait, stall, inbox drain), the bus delivery-latency histogram,
@@ -192,20 +217,28 @@ struct EngineStats {
   std::string Summary() const;
 };
 
-/// \brief One convergence-trace sample.
+/// \brief One convergence-timeline sample: the time-resolved view of the
+/// BSP↔async interpolation (global progress vs. staleness in flight).
 struct TraceSample {
   double seconds;
   double global_aggregate;  ///< Σ of finite accumulation entries
   double pending_mass;      ///< Σ|ΔX| (sum) or #improving deltas (min/max)
+  double inflight_updates = 0.0;     ///< bus updates sent but not yet applied
+  double frontier_occupancy = 0.0;   ///< fraction of rows with a dirty bit
+  std::vector<double> worker_beta;   ///< mean adaptive β per worker
 };
 
 struct EngineResult {
   std::vector<double> values;
   EngineStats stats;
   std::vector<TraceSample> trace;  ///< non-empty iff options.record_trace
-  /// Full observability payload (counters, histograms, β-trajectory series);
-  /// empty unless options.collect_metrics. Serialise with metrics.ToJson().
+  /// Full observability payload (counters, histograms, β-trajectory and
+  /// timeline.* series); empty unless options.collect_metrics. Serialise
+  /// with metrics.ToJson().
   metrics::MetricsSnapshot metrics;
+  /// Chrome trace-event JSON (Perfetto-loadable); empty unless
+  /// options.trace.
+  std::string chrome_trace;
 };
 
 /// \brief One evaluation run of a kernel on a graph under the chosen mode.

@@ -1,0 +1,258 @@
+#include "runtime/exposition.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace powerlog {
+
+namespace {
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = "powerlog_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const metrics::MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = SanitizeMetricName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += buf;
+    out += "\n";
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = SanitizeMetricName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " ";
+    AppendNumber(out, value);
+    out += "\n";
+  }
+
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string pname = SanitizeMetricName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    // Prometheus buckets are cumulative; the registry's are per-bucket.
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += i < hist.counts.size() ? hist.counts[i] : 0;
+      out += pname + "_bucket{le=\"";
+      AppendNumber(out, hist.bounds[i]);
+      out += "\"} ";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, cumulative);
+      out += buf;
+      out += "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, hist.count);
+    out += buf;
+    out += "\n";
+    out += pname + "_sum ";
+    AppendNumber(out, hist.sum);
+    out += "\n";
+    out += pname + "_count ";
+    std::snprintf(buf, sizeof(buf), "%" PRId64, hist.count);
+    out += buf;
+    out += "\n";
+  }
+
+  return out;
+}
+
+ExpositionServer::~ExpositionServer() {
+  ClearSources();
+  Stop();
+}
+
+Result<int> ExpositionServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Internal("exposition server already running");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen: " + err);
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname: " + err);
+  }
+  port_ = ntohs(addr.sin_port);
+
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  POWERLOG_INFO << "exposition server on 127.0.0.1:" << port_;
+  return port_;
+}
+
+void ExpositionServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  // Unblock the accept loop: shutdown makes a blocked accept on a listening
+  // socket return (EINVAL) on Linux. Close only *after* the join — closing
+  // first would race the serve thread's accept(listen_fd_) both on the fd
+  // value and on kernel-level fd reuse.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ExpositionServer::SetSources(MetricsFn metrics_fn, TraceFn trace_fn) {
+  std::lock_guard<std::mutex> lock(sources_mutex_);
+  metrics_fn_ = std::move(metrics_fn);
+  trace_fn_ = std::move(trace_fn);
+}
+
+void ExpositionServer::ClearSources() {
+  // The handler holds sources_mutex_ while reading through the callbacks, so
+  // taking it here blocks until any in-flight request has finished with them.
+  std::lock_guard<std::mutex> lock(sources_mutex_);
+  metrics_fn_ = nullptr;
+  trace_fn_ = nullptr;
+}
+
+void ExpositionServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listener closed under us
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+namespace {
+
+void WriteResponse(int fd, const char* status, const char* content_type,
+                   const std::string& body) {
+  char header[256];
+  const int n = std::snprintf(header, sizeof(header),
+                              "HTTP/1.1 %s\r\n"
+                              "Content-Type: %s\r\n"
+                              "Content-Length: %zu\r\n"
+                              "Connection: close\r\n"
+                              "\r\n",
+                              status, content_type, body.size());
+  if (n <= 0) return;
+  std::string response(header, static_cast<size_t>(n));
+  response += body;
+  size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t w = ::write(fd, response.data() + off, response.size() - off);
+    if (w <= 0) return;
+    off += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+void ExpositionServer::HandleConnection(int fd) {
+  char buf[2048];
+  const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  if (n <= 0) return;
+  buf[n] = '\0';
+
+  // "GET /path HTTP/1.1" — everything else is a 400.
+  if (std::strncmp(buf, "GET ", 4) != 0) {
+    WriteResponse(fd, "400 Bad Request", "text/plain", "GET only\n");
+    return;
+  }
+  const char* path_begin = buf + 4;
+  const char* path_end = std::strchr(path_begin, ' ');
+  if (path_end == nullptr) {
+    WriteResponse(fd, "400 Bad Request", "text/plain", "malformed request\n");
+    return;
+  }
+  const std::string path(path_begin, path_end);
+
+  if (path == "/healthz") {
+    WriteResponse(fd, "200 OK", "text/plain", "ok\n");
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(sources_mutex_);
+  if (path == "/metrics") {
+    if (!metrics_fn_) {
+      WriteResponse(fd, "503 Service Unavailable", "text/plain",
+                    "no run attached\n");
+      return;
+    }
+    WriteResponse(fd, "200 OK", "text/plain; version=0.0.4",
+                  PrometheusText(metrics_fn_()));
+  } else if (path == "/metrics.json") {
+    if (!metrics_fn_) {
+      WriteResponse(fd, "503 Service Unavailable", "text/plain",
+                    "no run attached\n");
+      return;
+    }
+    WriteResponse(fd, "200 OK", "application/json", metrics_fn_().ToJson());
+  } else if (path == "/trace") {
+    std::string trace = trace_fn_ ? trace_fn_() : std::string();
+    if (trace.empty()) {
+      WriteResponse(fd, "404 Not Found", "text/plain",
+                    "tracing not enabled\n");
+      return;
+    }
+    WriteResponse(fd, "200 OK", "application/json", trace);
+  } else {
+    WriteResponse(fd, "404 Not Found", "text/plain", "unknown path\n");
+  }
+}
+
+}  // namespace powerlog

@@ -1,0 +1,113 @@
+// Embedded HTTP exposition server: a dependency-free metrics endpoint so a
+// live PowerLog run can be scraped by Prometheus or curl'd by a human.
+//
+// Deliberately minimal (ARCHITECTURE.md §5): one listener thread, blocking
+// accept, serial request handling, HTTP/1.0-style close-after-response. The
+// engine is the hot path; the exposition plane must never contend with it —
+// every handler reads relaxed-atomic instruments or takes a concurrent ring
+// snapshot, so a scrape costs the run nothing but memory bandwidth.
+//
+// Routes:
+//   /metrics       Prometheus text exposition format
+//   /metrics.json  the existing MetricsSnapshot JSON (same shape as
+//                  `powerlog_cli --metrics-json`)
+//   /healthz       "ok" while the server is up
+//   /trace         current Chrome trace-event snapshot (tracing enabled runs)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace powerlog {
+
+/// Renders a MetricsSnapshot in the Prometheus text exposition format.
+/// Names are prefixed `powerlog_` and sanitised to [a-zA-Z0-9_:]; counters
+/// and gauges map directly, histograms emit cumulative `_bucket{le="..."}`
+/// rows (including `+Inf`) plus `_sum` and `_count`. Series are skipped —
+/// Prometheus scrapes build their own time dimension.
+std::string PrometheusText(const metrics::MetricsSnapshot& snapshot);
+
+/// \brief The exposition server. Start() binds and spawns the listener
+/// thread; SetSources wires the live run's data in; ClearSources (or the
+/// destructor) detaches them, blocking until any in-flight request drains so
+/// callbacks never outlive what they capture.
+class ExpositionServer {
+ public:
+  ExpositionServer() = default;
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Source of the current metrics snapshot (serialised both as Prometheus
+  /// text and as JSON).
+  using MetricsFn = std::function<metrics::MetricsSnapshot()>;
+  /// Source of the current Chrome trace JSON; empty string = no trace.
+  using TraceFn = std::function<std::string()>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the listener thread.
+  /// Returns the bound port.
+  Result<int> Start(int port);
+
+  /// Stops the listener and joins the thread. Idempotent.
+  void Stop();
+
+  /// Installs the live data sources. Thread-safe; may be called before or
+  /// after Start.
+  void SetSources(MetricsFn metrics_fn, TraceFn trace_fn);
+
+  /// Detaches the data sources, blocking until any request that is mid-read
+  /// completes. After this returns no callback will run again, so whatever
+  /// they captured may be destroyed.
+  void ClearSources();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+
+  std::mutex sources_mutex_;
+  MetricsFn metrics_fn_;
+  TraceFn trace_fn_;
+};
+
+/// \brief RAII source attachment: wires a live run into `server` on
+/// construction and detaches (blocking on in-flight requests) on
+/// destruction. Null server = no-op, so call sites need no branching.
+class ExpositionAttachment {
+ public:
+  ExpositionAttachment(ExpositionServer* server,
+                       ExpositionServer::MetricsFn metrics_fn,
+                       ExpositionServer::TraceFn trace_fn)
+      : server_(server) {
+    if (server_ != nullptr) {
+      server_->SetSources(std::move(metrics_fn), std::move(trace_fn));
+    }
+  }
+  ~ExpositionAttachment() {
+    if (server_ != nullptr) server_->ClearSources();
+  }
+
+  ExpositionAttachment(const ExpositionAttachment&) = delete;
+  ExpositionAttachment& operator=(const ExpositionAttachment&) = delete;
+
+ private:
+  ExpositionServer* server_;
+};
+
+}  // namespace powerlog

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "runtime/fault.h"
 
 namespace powerlog::runtime {
@@ -192,6 +193,18 @@ void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
         break;
     }
   }
+  // Flow id linking this message's Send span to its Receive span. Emitted on
+  // the sender's ring (nested in the worker's flush span); the duplicate
+  // copy ships with flow 0 so one trace arrow never fans out to two
+  // receives.
+  uint64_t flow = 0;
+  if (tracer_ != nullptr) {
+    if (trace::EventRing* ring = trace::Tracer::Current()) {
+      flow = tracer_->NextFlowId();
+      ring->Emit(trace::EventType::kFlowSend, "msg",
+                 static_cast<double>(flow));
+    }
+  }
   const int64_t copies = duplicate ? 2 : 1;
   const int64_t mass = copies * static_cast<int64_t>(batch.size());
   // Count before publishing: a sampler that observes the envelope's effects
@@ -216,13 +229,21 @@ void MessageBus::Send(uint32_t from, uint32_t to, UpdateBatch batch) {
     copy.batch = batch;  // copy into recycled capacity
     Enqueue(from, to, std::move(copy));
   }
-  Enqueue(from, to, Envelope{now, deliver_at, std::move(batch)});
+  Enqueue(from, to, Envelope{now, deliver_at, flow, std::move(batch)});
 }
 
 size_t MessageBus::Deliver(Envelope* envelope, int64_t now, UpdateBatch* out) {
   const size_t received = envelope->batch.size();
   if (latency_hist_ != nullptr) {
     latency_hist_->Observe(static_cast<double>(now - envelope->sent_at_us));
+  }
+  if (envelope->flow != 0) {
+    // Receiver's ring (Deliver runs on the consuming worker's thread): the
+    // other end of the Send→Receive arrow.
+    if (trace::EventRing* ring = trace::Tracer::Current()) {
+      ring->Emit(trace::EventType::kFlowRecv, "msg",
+                 static_cast<double>(envelope->flow));
+    }
   }
   out->insert(out->end(), envelope->batch.begin(), envelope->batch.end());
   pool_.Release(std::move(envelope->batch));

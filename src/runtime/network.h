@@ -36,6 +36,10 @@ namespace powerlog::metrics {
 class Histogram;
 }  // namespace powerlog::metrics
 
+namespace powerlog::trace {
+class Tracer;
+}  // namespace powerlog::trace
+
 namespace powerlog::runtime {
 
 class FaultInjector;
@@ -221,6 +225,13 @@ class MessageBus {
     latency_hist_ = histogram;
   }
 
+  /// Event tracing: when set, Send stamps each envelope with a fresh flow id
+  /// and emits a FlowSend event on the sender's ring; Deliver emits the
+  /// matching FlowRecv on the receiver's ring — the Send→Receive arrows in
+  /// the exported trace. Null (the default) keeps the clock-free fast path
+  /// untouched. The tracer must outlive the bus.
+  void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Per-(sender, receiver) traffic counts, always collected. Each cell is
   /// single-writer (only `from`'s thread sends on that pair; supervisor-side
   /// sends happen only under quiesce), so the writer uses a relaxed
@@ -238,6 +249,7 @@ class MessageBus {
   struct Envelope {
     int64_t sent_at_us = 0;
     int64_t deliver_at_us = 0;
+    uint64_t flow = 0;  ///< trace flow id; 0 = untraced
     UpdateBatch batch;
   };
 
@@ -291,6 +303,7 @@ class MessageBus {
   std::vector<std::atomic<int64_t>> pair_updates_;
   metrics::Histogram* latency_hist_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace powerlog::runtime

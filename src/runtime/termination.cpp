@@ -4,7 +4,9 @@
 #include <cmath>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace powerlog::runtime {
 
@@ -61,9 +63,18 @@ void TerminationController::Run() {
   int below_eps_streak = 0;
   int64_t seen_generation = shared_->recovery_generation.load();
 
+  Logger::SetThreadTag("ctl");
+  if (shared_->tracer != nullptr) {
+    shared_->tracer->RegisterCurrentThread("controller");
+  }
+
   while (!shared_->stop.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options.term_check_interval_us));
+    // In the async family a "superstep" is a termination check — the span
+    // gives the trace the same periodic backbone sync mode gets from its
+    // barrier-to-barrier spans.
+    trace::SpanGuard check_span(shared_->tracer, "superstep");
     ++checks_;
     shared_->superstep.fetch_add(1, std::memory_order_relaxed);  // check count
     RecordTraceSample(shared_);
@@ -151,6 +162,7 @@ bool TerminationController::ConfirmEpsilonAtCut(double epsilon) {
   std::unique_lock<std::mutex> pause_lock(shared_->pause_mutex,
                                           std::try_to_lock);
   if (!pause_lock.owns_lock()) return false;  // supervisor mid-surgery
+  trace::SpanGuard cut_span(shared_->tracer, "epsilon.cut");
   std::vector<uint32_t> victims;
   if (!PauseWorkers(shared_, &victims) || !victims.empty()) {
     // Stopped, or someone died during the rendezvous: resume and let the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <thread>
 
@@ -39,6 +40,7 @@ void Worker::MaybeStall() {
       -static_cast<double>(options.stall_mean_us) *
       std::log(1.0 - stall_rng_.NextDouble()));
   stats_.stall_us += pause;
+  trace::Instant(tracer_, "stall", static_cast<double>(pause));
   SpinSleep(pause);
   next_stall_us_ =
       NowMicros() + static_cast<int64_t>(-static_cast<double>(options.stall_every_us) *
@@ -46,7 +48,9 @@ void Worker::MaybeStall() {
 }
 
 void RecordTraceSample(SharedState* shared) {
-  if (!shared->options->record_trace) return;
+  const bool record = shared->options->record_trace;
+  trace::Tracer* tracer = shared->tracer;
+  if (!record && tracer == nullptr) return;
   TraceSample sample;
   sample.seconds = static_cast<double>(NowMicros() - shared->start_us) * 1e-6;
   sample.global_aggregate = 0.0;
@@ -55,8 +59,27 @@ void RecordTraceSample(SharedState* shared) {
     if (std::isfinite(v)) sample.global_aggregate += v;
   }
   sample.pending_mass = shared->table->PendingDeltaMass();
+  sample.inflight_updates = static_cast<double>(shared->bus->InFlightUpdates());
+  sample.frontier_occupancy = shared->table->FrontierOccupancy();
+  if (shared->worker_beta != nullptr) {
+    sample.worker_beta.reserve(shared->worker_beta->size());
+    for (const auto& beta : *shared->worker_beta) {
+      sample.worker_beta.push_back(beta.load(std::memory_order_relaxed));
+    }
+  }
+  // Mirror the timeline onto the sampling thread's event ring as Perfetto
+  // counter tracks, so the trace view shows convergence progress alongside
+  // the spans.
+  trace::CounterSample(tracer, "timeline.global_aggregate",
+                       sample.global_aggregate);
+  trace::CounterSample(tracer, "timeline.pending_mass", sample.pending_mass);
+  trace::CounterSample(tracer, "timeline.inflight_updates",
+                       sample.inflight_updates);
+  trace::CounterSample(tracer, "timeline.frontier_occupancy",
+                       sample.frontier_occupancy);
+  if (!record) return;
   std::lock_guard<std::mutex> lock(shared->trace_mutex);
-  shared->trace.push_back(sample);
+  shared->trace.push_back(std::move(sample));
 }
 
 bool PauseWorkers(SharedState* shared, std::vector<uint32_t>* victims) {
@@ -100,7 +123,8 @@ void ResumeWorkers(SharedState* shared, bool rearm) {
 }
 
 Worker::Worker(uint32_t id, SharedState* shared, int64_t incarnation)
-    : id_(id), shared_(shared), incarnation_(incarnation) {
+    : id_(id), shared_(shared), tracer_(shared->tracer),
+      incarnation_(incarnation) {
   owned_ = shared_->partition->OwnedVertices(id);
   frontier_ = shared_->options->frontier;
   if (frontier_) {
@@ -174,11 +198,25 @@ void Worker::ExportMetrics(metrics::MetricsSnapshot* snap) const {
 }
 
 void Worker::Run() {
+  char tag[16];
+  std::snprintf(tag, sizeof(tag), "w%u", id_);
+  Logger::SetThreadTag(tag);
+  if (shared_->tracer != nullptr) {
+    // Each incarnation gets its own ring: a fenced-but-still-unwinding
+    // zombie may emit its last span-end events while the respawn runs, and
+    // the ring is single-writer.
+    std::string ring = StringFormat("worker%u", id_);
+    if (incarnation_ > 0) {
+      ring += StringFormat(".r%lld", static_cast<long long>(incarnation_));
+    }
+    shared_->tracer->RegisterCurrentThread(ring);
+  }
   if (shared_->options->mode == ExecMode::kSync) {
     RunSync();
   } else {
     RunAsyncLike();
   }
+  trace::Tracer::UnregisterCurrentThread();
 }
 
 void Worker::Beat() {
@@ -195,6 +233,7 @@ void Worker::MaybePark() {
   FlushBuffers(/*force=*/true);
   std::unique_lock<std::mutex> lock(shared_->ctl_mutex);
   if (shared_->resume_epoch >= shared_->pause_epoch) return;
+  trace::SpanGuard pause_span(tracer_, "paused");
   const int64_t epoch = shared_->pause_epoch;
   auto& ctl = (*shared_->control)[id_];
   ctl.waiting.store(1, std::memory_order_release);
@@ -229,6 +268,7 @@ bool Worker::CheckControl() {
         // recovery) closes the converged-on-a-half-wiped-table window, and
         // promoted to 2 (= wipe complete) afterwards so the supervisor never
         // restores rows this thread is still about to clobber.
+        trace::Instant(tracer_, "fault.crash", static_cast<double>(id_));
         ctl.dead.store(1, std::memory_order_release);
         for (VertexId v : owned_) shared_->table->WipeRow(v);
         for (CombiningBuffer& buffer : out_buffers_) buffer.Clear();
@@ -236,6 +276,7 @@ bool Worker::CheckControl() {
         dead_ = true;
         return false;
       case FaultInjector::WorkerFault::kHang:
+        trace::Instant(tracer_, "fault.hang", static_cast<double>(id_));
         SpinSleep(shared_->injector->plan().hang_duration_us);
         // The supervisor may have fenced us off while we slept.
         if (ctl.incarnation.load(std::memory_order_acquire) != incarnation_) {
@@ -252,6 +293,11 @@ bool Worker::CheckControl() {
 }
 
 size_t Worker::DrainInbox() {
+  // Span only when there is something to drain: the async loop polls the
+  // inbox constantly, and an empty-drain span per poll would churn the ring.
+  trace::SpanGuard drain_span(
+      tracer_ != nullptr && shared_->bus->HasPending(id_) ? tracer_ : nullptr,
+      "drain");
   const int64_t t0 = collect_metrics_ ? NowMicros() : 0;
   inbox_scratch_.clear();
   const size_t received = shared_->bus->Receive(id_, &inbox_scratch_);
@@ -396,6 +442,9 @@ void Worker::FlushBuffers(bool force) {
     CombiningBuffer& buffer = out_buffers_[slot];
     if (buffer.empty()) continue;
     if (!force && !policies_[slot].ShouldFlush(buffer.size(), now)) continue;
+    // The Send below emits this message's FlowSend event, so it nests inside
+    // the flush span and Perfetto draws the arrow from here.
+    trace::SpanGuard flush_span(tracer_, "flush");
     const size_t flushed = buffer.size();
     UpdateBatch batch = shared_->bus->AcquireBatch();
     buffer.Drain(&batch);
@@ -407,6 +456,13 @@ void Worker::FlushBuffers(bool force) {
       shared_->flush_size_hist->Observe(static_cast<double>(flushed));
     }
   }
+  if (shared_->worker_beta != nullptr && !policies_.empty()) {
+    double sum = 0.0;
+    for (const BufferPolicy& policy : policies_) sum += policy.beta();
+    (*shared_->worker_beta)[id_].store(
+        sum / static_cast<double>(policies_.size()),
+        std::memory_order_relaxed);
+  }
 }
 
 bool Worker::ArriveAndWaitTimed() {
@@ -414,6 +470,7 @@ bool Worker::ArriveAndWaitTimed() {
   // barrier park (arbitrarily long behind a straggler) for a hung worker.
   auto* ctl = shared_->control != nullptr ? &(*shared_->control)[id_] : nullptr;
   if (ctl != nullptr) ctl->waiting.store(1, std::memory_order_release);
+  trace::SpanGuard barrier_span(tracer_, "barrier");
   const int64_t t0 = collect_metrics_ ? NowMicros() : 0;
   const bool serial = shared_->barrier->ArriveAndWait();
   if (collect_metrics_) stats_.barrier_wait_us += NowMicros() - t0;
@@ -422,6 +479,7 @@ bool Worker::ArriveAndWaitTimed() {
 }
 
 int64_t Worker::SweepOwned(bool* exited) {
+  trace::SpanGuard sweep_span(tracer_, "sweep");
   *exited = false;
   const bool sync = shared_->options->mode == ExecMode::kSync;
   MonoTable& table = *shared_->table;
@@ -507,6 +565,7 @@ int64_t Worker::SweepOwned(bool* exited) {
 void Worker::RunSync() {
   const EngineOptions& options = *shared_->options;
   while (!shared_->stop.load(std::memory_order_acquire)) {
+    trace::SpanGuard superstep_span(tracer_, "superstep");
     if (!CheckControl()) return;
     // --- compute phase ---
     MaybeStall();
@@ -588,6 +647,7 @@ void Worker::RunSync() {
       // all messages are drained, so the table snapshot is quiescent.
       if (!done && options.checkpoint_every > 0 &&
           step % options.checkpoint_every == 0 && shared_->ckpt != nullptr) {
+        trace::SpanGuard ckpt_span(tracer_, "checkpoint.cut");
         const int64_t t0 = NowMicros();
         Status st = shared_->ckpt->Write(*shared_->table);
         shared_->checkpoint_us.fetch_add(NowMicros() - t0,

@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/kernel.h"
 #include "core/mono_table.h"
 #include "graph/partition.h"
@@ -105,7 +106,17 @@ struct SharedState {
   // and bus feed; null when collection is off.
   metrics::Histogram* flush_size_hist = nullptr;
 
-  // Convergence trace (options->record_trace): guarded by trace_mutex.
+  // Event tracing (options->trace): null when tracing is off — every
+  // instrumentation site guards on this pointer, so the disabled cost is one
+  // branch and zero clock reads.
+  trace::Tracer* tracer = nullptr;
+
+  // Per-worker mean adaptive β, updated by each worker on flush; allocated
+  // when the timeline (record_trace) or live exposition needs it, null
+  // otherwise.
+  std::vector<std::atomic<double>>* worker_beta = nullptr;
+
+  // Convergence timeline (options->record_trace): guarded by trace_mutex.
   std::mutex trace_mutex;
   std::vector<TraceSample> trace;
   int64_t start_us = 0;
@@ -198,6 +209,7 @@ class Worker {
 
   uint32_t id_;
   SharedState* shared_;
+  const trace::Tracer* tracer_ = nullptr;  ///< cached SharedState::tracer
   int64_t incarnation_ = 0;
   int64_t beats_ = 0;    ///< local heartbeat counter, mirrored to control
   bool dead_ = false;    ///< crashed or fenced: suppress all further sends

@@ -1,0 +1,558 @@
+// Observability-plane tests: event-ring semantics (wraparound, drop
+// accounting, concurrent snapshots), disabled-tracer no-ops, Chrome
+// trace-export well-formedness, end-to-end engine tracing with Send→Receive
+// flows, the convergence-timeline series, the Prometheus text renderer, and
+// a live HTTP exposition smoke test against a running async engine.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "runtime/engine.h"
+#include "runtime/exposition.h"
+#include "test_util.h"
+
+namespace powerlog {
+namespace {
+
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallWeightedGraph;
+
+// ---------------------------------------------------------------------------
+// EventRing semantics.
+
+TEST(EventRing, KeepsNewestAndCountsDropped) {
+  trace::EventRing ring(64);  // minimum capacity
+  ASSERT_EQ(ring.capacity(), 64u);
+  for (int i = 0; i < 200; ++i) {
+    ring.Emit(trace::EventType::kInstant, "e", static_cast<double>(i));
+  }
+  auto snap = ring.TakeSnapshot();
+  // Post-wrap, the snapshot keeps capacity-1 events: the oldest slot aliases
+  // the writer's next write target, so it is conservatively discarded (see
+  // TakeSnapshot). The ring's own dropped() counts actual overwrites only.
+  EXPECT_EQ(snap.events.size(), 63u);
+  EXPECT_EQ(snap.dropped, 200 - 63);
+  EXPECT_EQ(ring.dropped(), 200 - 64);
+  // The surviving window is the newest 63 events, oldest-to-newest.
+  for (size_t i = 0; i < snap.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(snap.events[i].value, 137.0 + static_cast<double>(i));
+    EXPECT_STREQ(snap.events[i].name, "e");
+    if (i > 0) {
+      EXPECT_GE(snap.events[i].ts_us, snap.events[i - 1].ts_us);
+    }
+  }
+}
+
+TEST(EventRing, NoDropsBelowCapacity) {
+  trace::EventRing ring(128);
+  for (int i = 0; i < 100; ++i) {
+    ring.Emit(trace::EventType::kCounter, "c", i);
+  }
+  auto snap = ring.TakeSnapshot();
+  EXPECT_EQ(snap.events.size(), 100u);
+  EXPECT_EQ(snap.dropped, 0);
+}
+
+TEST(EventRing, RoundsCapacityToPowerOfTwo) {
+  trace::EventRing ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+  trace::EventRing tiny(1);
+  EXPECT_EQ(tiny.capacity(), 64u);
+}
+
+// The seqlock contract: a snapshot taken while the writer is mid-wrap must
+// never surface a torn event. With monotonically increasing values, any
+// tear would show up as out-of-order or duplicated values inside one
+// snapshot. TSan (POWERLOG_SANITIZE=thread, `ctest -L concurrency`) checks
+// the relaxed-atomic discipline on the same code path.
+TEST(EventRing, ConcurrentSnapshotsSeeConsistentWindow) {
+  trace::EventRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    double v = 0.0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ring.Emit(trace::EventType::kCounter, "c", v);
+      v += 1.0;
+    }
+  });
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto snap = ring.TakeSnapshot();
+    ASSERT_LE(snap.events.size(), ring.capacity());
+    for (size_t i = 1; i < snap.events.size(); ++i) {
+      // Strictly increasing by exactly 1: any torn copy breaks this.
+      ASSERT_DOUBLE_EQ(snap.events[i].value, snap.events[i - 1].value + 1.0);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
+// Two writer threads (one ring each — the ring itself is single-writer by
+// contract) hammered by a reader snapshotting through the Tracer registry,
+// the exact shape of a /trace scrape against a live run.
+TEST(EventRing, TwoWritersOneReaderHammer) {
+  trace::Tracer tracer(64);
+  std::atomic<bool> stop{false};
+  auto writer = [&](const char* ring_name) {
+    tracer.RegisterCurrentThread(ring_name);
+    trace::EventRing* ring = trace::Tracer::Current();
+    double v = 0.0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ring->Emit(trace::EventType::kCounter, "c", v);
+      v += 1.0;
+    }
+    trace::Tracer::UnregisterCurrentThread();
+  };
+  std::thread w0(writer, "w0");
+  std::thread w1(writer, "w1");
+  // Collect violations and assert only after the writers are joined — a
+  // mid-loop ASSERT would return with joinable threads live.
+  int order_violations = 0;
+  std::string bad_json;
+  for (int iter = 0; iter < 1000 && bad_json.empty(); ++iter) {
+    for (const auto& named : tracer.rings()) {
+      auto snap = named.ring->TakeSnapshot();
+      if (snap.events.size() > named.ring->capacity()) ++order_violations;
+      for (size_t i = 1; i < snap.events.size(); ++i) {
+        if (snap.events[i].value != snap.events[i - 1].value + 1.0) {
+          ++order_violations;  // a torn copy escaped the seqlock validation
+        }
+      }
+    }
+    const std::string json = trace::ExportChromeTrace(tracer);
+    if (!metrics::JsonValue::Parse(json).ok()) bad_json = json;
+  }
+  stop.store(true, std::memory_order_release);
+  w0.join();
+  w1.join();
+  EXPECT_EQ(order_violations, 0);
+  EXPECT_TRUE(bad_json.empty()) << bad_json.substr(0, 500);
+  EXPECT_GE(tracer.TotalDropped(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer registry, span guards, disabled-path no-ops.
+
+TEST(Tracer, DisabledPathIsANoOp) {
+  // No tracer, no registration: every primitive must be inert.
+  { trace::SpanGuard span(nullptr, "nope"); }
+  trace::Instant(nullptr, "nope");
+  trace::CounterSample(nullptr, "nope", 1.0);
+  EXPECT_EQ(trace::Tracer::Current(), nullptr);
+
+  // Tracer present but this thread never registered: still inert.
+  trace::Tracer tracer(64);
+  { trace::SpanGuard span(&tracer, "nope"); }
+  trace::Instant(&tracer, "nope");
+  EXPECT_TRUE(tracer.rings().empty());
+  EXPECT_EQ(tracer.TotalDropped(), 0);
+}
+
+TEST(Tracer, RegistrationReusesRingsByName) {
+  trace::Tracer tracer(64);
+  trace::EventRing* a = tracer.RegisterCurrentThread("alpha");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(trace::Tracer::Current(), a);
+  EXPECT_EQ(tracer.RegisterCurrentThread("alpha"), a);  // reuse
+  trace::EventRing* b = tracer.RegisterCurrentThread("beta");
+  EXPECT_NE(b, a);
+  ASSERT_EQ(tracer.rings().size(), 2u);
+  EXPECT_EQ(tracer.rings()[0].name, "alpha");
+  EXPECT_EQ(tracer.rings()[1].name, "beta");
+  trace::Tracer::UnregisterCurrentThread();
+  EXPECT_EQ(trace::Tracer::Current(), nullptr);
+}
+
+TEST(Tracer, FlowIdsAreFreshAndNonZero) {
+  trace::Tracer tracer(64);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = tracer.NextFlowId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome export: nesting repair and JSON well-formedness.
+
+// Walks exported traceEvents checking B/E stack discipline per (pid, tid).
+void CheckWellNested(const metrics::JsonValue& doc) {
+  const auto* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind(), metrics::JsonValue::Kind::kArray);
+  std::map<double, int> depth;
+  for (const auto& e : events->array()) {
+    const auto* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    const std::string& kind = ph->string_value();
+    const auto* tid = e.Find("tid");
+    ASSERT_NE(tid, nullptr);
+    if (kind == "B") {
+      ++depth[tid->number()];
+    } else if (kind == "E") {
+      ASSERT_GT(depth[tid->number()], 0)
+          << "unmatched E escaped the exporter";
+      --depth[tid->number()];
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST(ChromeExport, RepairsBeheadedAndUnclosedSpans) {
+  trace::Tracer tracer(64);
+  trace::EventRing* ring = tracer.RegisterCurrentThread("t0");
+  // An orphaned end (as wraparound produces when it beheads a span), a
+  // well-formed pair, and an unclosed begin.
+  ring->Emit(trace::EventType::kSpanEnd, "beheaded", 0.0);
+  ring->Emit(trace::EventType::kSpanBegin, "ok", 0.0);
+  ring->Emit(trace::EventType::kSpanEnd, "ok", 0.0);
+  ring->Emit(trace::EventType::kSpanBegin, "unclosed", 0.0);
+  const std::string json = trace::ExportChromeTrace(tracer);
+  trace::Tracer::UnregisterCurrentThread();
+
+  auto doc = metrics::JsonValue::Parse(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << json;
+  CheckWellNested(*doc);
+
+  // Both spans survive; the orphaned end does not.
+  EXPECT_NE(json.find("\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"unclosed\""), std::string::npos);
+  EXPECT_EQ(json.find("\"beheaded\""), std::string::npos);
+}
+
+TEST(ChromeExport, EmitsMetadataCountersFlowsAndInstants) {
+  trace::Tracer tracer(64);
+  trace::EventRing* ring = tracer.RegisterCurrentThread("worker0");
+  ring->Emit(trace::EventType::kCounter, "beta", 0.25);
+  ring->Emit(trace::EventType::kInstant, "stall", 3.0);
+  ring->Emit(trace::EventType::kFlowSend, "msg", 7.0);
+  ring->Emit(trace::EventType::kFlowRecv, "msg", 7.0);
+  const std::string json = trace::ExportChromeTrace(tracer);
+  trace::Tracer::UnregisterCurrentThread();
+
+  auto doc = metrics::JsonValue::Parse(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << json;
+
+  bool saw_thread_name = false, saw_counter = false;
+  bool saw_flow_s = false, saw_flow_f = false, saw_instant = false;
+  for (const auto& e : doc->Find("traceEvents")->array()) {
+    const std::string& ph = e.Find("ph")->string_value();
+    if (ph == "M") {
+      const auto* name = e.Find("name");
+      if (name != nullptr && name->string_value() == "thread_name") {
+        saw_thread_name = true;
+      }
+    } else if (ph == "C") {
+      saw_counter = true;
+      const auto* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->Find("value")->number(), 0.25);
+    } else if (ph == "s") {
+      saw_flow_s = true;
+      EXPECT_DOUBLE_EQ(e.Find("id")->number(), 7.0);
+    } else if (ph == "f") {
+      saw_flow_f = true;
+      EXPECT_DOUBLE_EQ(e.Find("id")->number(), 7.0);
+    } else if (ph == "i") {
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_flow_s);
+  EXPECT_TRUE(saw_flow_f);
+  EXPECT_TRUE(saw_instant);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a traced engine run produces a valid, populated trace.
+
+runtime::EngineResult TracedRun(runtime::ExecMode mode) {
+  Kernel k = MustCompile("sssp");
+  Graph g = SmallWeightedGraph();
+  runtime::EngineOptions options;
+  options.mode = mode;
+  options.num_workers = 4;
+  options.network.instant = true;
+  options.max_wall_seconds = 30.0;
+  options.trace = true;
+  runtime::Engine engine(g, k, options);
+  auto run = engine.Run();
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return std::move(run).ValueOrDie();
+}
+
+TEST(EngineTrace, AsyncRunExportsSpansAndFlows) {
+  auto run = TracedRun(runtime::ExecMode::kAsync);
+  ASSERT_FALSE(run.chrome_trace.empty());
+  auto doc = metrics::JsonValue::Parse(run.chrome_trace);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  CheckWellNested(*doc);
+
+  std::set<std::string> span_names;
+  std::set<double> flow_sends, flow_recvs;
+  size_t thread_rows = 0;
+  for (const auto& e : doc->Find("traceEvents")->array()) {
+    const std::string& ph = e.Find("ph")->string_value();
+    if (ph == "B") span_names.insert(e.Find("name")->string_value());
+    if (ph == "s") flow_sends.insert(e.Find("id")->number());
+    if (ph == "f") flow_recvs.insert(e.Find("id")->number());
+    if (ph == "M" && e.Find("name")->string_value() == "thread_name") {
+      ++thread_rows;
+    }
+  }
+  // 4 workers + supervisor + termination controller.
+  EXPECT_GE(thread_rows, 5u);
+  EXPECT_TRUE(span_names.count("sweep")) << run.chrome_trace.substr(0, 400);
+  EXPECT_TRUE(span_names.count("flush"));
+  EXPECT_TRUE(span_names.count("superstep"));  // async: termination checks
+  // At least one Send→Receive arrow with matching id on both sides.
+  bool matched = false;
+  for (double id : flow_sends) {
+    if (flow_recvs.count(id)) matched = true;
+  }
+  EXPECT_TRUE(matched) << "no Send flow matched a Receive flow";
+}
+
+TEST(EngineTrace, SyncRunExportsSuperstepAndBarrierSpans) {
+  auto run = TracedRun(runtime::ExecMode::kSync);
+  ASSERT_FALSE(run.chrome_trace.empty());
+  auto doc = metrics::JsonValue::Parse(run.chrome_trace);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  CheckWellNested(*doc);
+  EXPECT_NE(run.chrome_trace.find("\"superstep\""), std::string::npos);
+  EXPECT_NE(run.chrome_trace.find("\"barrier\""), std::string::npos);
+}
+
+TEST(EngineTrace, DisabledRunProducesNoTrace) {
+  Kernel k = MustCompile("sssp");
+  Graph g = SmallWeightedGraph();
+  runtime::EngineOptions options;
+  options.mode = runtime::ExecMode::kAsync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.max_wall_seconds = 30.0;
+  runtime::Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->chrome_trace.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Convergence timeline.
+
+TEST(EngineTrace, TimelineSeriesRecorded) {
+  Kernel k = MustCompile("sssp");
+  Graph g = SmallWeightedGraph();
+  runtime::EngineOptions options;
+  options.mode = runtime::ExecMode::kAsync;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.max_wall_seconds = 30.0;
+  options.record_trace = true;
+  options.collect_metrics = true;
+  runtime::Engine engine(g, k, options);
+  auto run = engine.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_FALSE(run->trace.empty());
+
+  // The extended sample fields are populated.
+  const auto& last = run->trace.back();
+  EXPECT_EQ(last.worker_beta.size(), 2u);
+  EXPECT_GE(last.frontier_occupancy, 0.0);
+  EXPECT_LE(last.frontier_occupancy, 1.0);
+
+  std::set<std::string> series_names;
+  for (const auto& [name, points] : run->metrics.series) {
+    series_names.insert(name);
+    EXPECT_FALSE(points.empty()) << name;
+  }
+  EXPECT_TRUE(series_names.count("timeline.global_aggregate"));
+  EXPECT_TRUE(series_names.count("timeline.pending_mass"));
+  EXPECT_TRUE(series_names.count("timeline.inflight_updates"));
+  EXPECT_TRUE(series_names.count("timeline.frontier_occupancy"));
+  EXPECT_TRUE(series_names.count("timeline.beta.w0"));
+  EXPECT_TRUE(series_names.count("timeline.beta.w1"));
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text renderer.
+
+TEST(Exposition, PrometheusTextFormat) {
+  metrics::MetricsSnapshot snap;
+  snap.AddCounter("engine.harvests", 42);
+  snap.AddGauge("engine.elapsed seconds", 1.5);  // space must sanitise to _
+  metrics::HistogramSnapshot hist;
+  hist.bounds = {1.0, 10.0};
+  hist.counts = {3, 2, 1};  // per-bucket, last = overflow
+  hist.count = 6;
+  hist.sum = 25.0;
+  snap.AddHistogram("bus.latency", hist);
+
+  const std::string text = PrometheusText(snap);
+  EXPECT_NE(text.find("# TYPE powerlog_engine_harvests counter\n"
+                      "powerlog_engine_harvests 42\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("powerlog_engine_elapsed_seconds 1.5\n"),
+            std::string::npos)
+      << text;
+  // Buckets are cumulative; +Inf carries the total count.
+  EXPECT_NE(text.find("powerlog_bus_latency_bucket{le=\"1\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("powerlog_bus_latency_bucket{le=\"10\"} 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("powerlog_bus_latency_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("powerlog_bus_latency_sum 25\n"), std::string::npos);
+  EXPECT_NE(text.find("powerlog_bus_latency_count 6\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP exposition server.
+
+// Minimal blocking HTTP GET against 127.0.0.1:port; returns the full
+// response (headers + body), or "" on connect failure.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t w = ::write(fd, request.data() + off, request.size() - off);
+    if (w <= 0) break;
+    off += static_cast<size_t>(w);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+TEST(Exposition, ServesHealthzAndDetachedStates) {
+  ExpositionServer server;
+  auto port = server.Start(0);  // ephemeral
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_GT(*port, 0);
+
+  EXPECT_NE(HttpGet(*port, "/healthz").find("200 OK"), std::string::npos);
+  EXPECT_EQ(Body(HttpGet(*port, "/healthz")), "ok\n");
+  // No run attached yet.
+  EXPECT_NE(HttpGet(*port, "/metrics").find("503"), std::string::npos);
+  EXPECT_NE(HttpGet(*port, "/trace").find("404"), std::string::npos);
+  EXPECT_NE(HttpGet(*port, "/nope").find("404"), std::string::npos);
+
+  metrics::MetricsSnapshot snap;
+  snap.AddCounter("demo", 1);
+  server.SetSources([snap] { return snap; }, nullptr);
+  EXPECT_NE(Body(HttpGet(*port, "/metrics")).find("powerlog_demo 1"),
+            std::string::npos);
+  auto parsed = metrics::JsonValue::Parse(Body(HttpGet(*port, "/metrics.json")));
+  EXPECT_TRUE(parsed.ok());
+  server.ClearSources();
+  EXPECT_NE(HttpGet(*port, "/metrics").find("503"), std::string::npos);
+
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_TRUE(HttpGet(*port, "/healthz").empty());
+}
+
+// End-to-end smoke: scrape a *live* async run. A hang fault keeps worker 0
+// busy long enough that the scrape window is deterministic; the run then
+// recovers and converges on its own.
+TEST(Exposition, ServesLiveRunMetrics) {
+  ExpositionServer server;
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  Kernel k = MustCompile("sssp");
+  Graph g = SmallWeightedGraph();
+  runtime::EngineOptions options;
+  options.mode = runtime::ExecMode::kAsync;
+  options.num_workers = 4;
+  options.network.instant = true;
+  options.max_wall_seconds = 30.0;
+  options.trace = true;
+  options.exposition = &server;
+  options.fault.hang_worker = 0;
+  options.fault.hang_at_beats = 5;
+  options.fault.hang_duration_us = 1500000;  // 1.5 s scrape window
+
+  std::atomic<bool> done{false};
+  Result<runtime::EngineResult> run = Status::Internal("not started");
+  std::thread runner([&] {
+    runtime::Engine engine(g, k, options);
+    run = engine.Run();
+    done.store(true, std::memory_order_release);
+  });
+
+  // Poll until a scrape sees live engine metrics or the run ends. /healthz
+  // must answer regardless.
+  bool saw_live_metrics = false, saw_trace = false;
+  while (!done.load(std::memory_order_acquire)) {
+    EXPECT_EQ(Body(HttpGet(*port, "/healthz")), "ok\n");
+    const std::string metrics_body = Body(HttpGet(*port, "/metrics"));
+    if (metrics_body.find("powerlog_engine_harvests") != std::string::npos) {
+      saw_live_metrics = true;
+      auto json = metrics::JsonValue::Parse(Body(HttpGet(*port,
+                                                         "/metrics.json")));
+      EXPECT_TRUE(json.ok());
+      const std::string trace_body = Body(HttpGet(*port, "/trace"));
+      if (!trace_body.empty() &&
+          trace_body.find("traceEvents") != std::string::npos) {
+        auto trace_json = metrics::JsonValue::Parse(trace_body);
+        EXPECT_TRUE(trace_json.ok());
+        saw_trace = true;
+      }
+      if (saw_trace) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  runner.join();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(saw_live_metrics) << "run finished before a scrape landed";
+  EXPECT_TRUE(saw_trace);
+
+  // Detached after the run: sources are cleared, server still healthy.
+  EXPECT_NE(HttpGet(*port, "/metrics").find("503"), std::string::npos);
+  EXPECT_EQ(Body(HttpGet(*port, "/healthz")), "ok\n");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace powerlog
