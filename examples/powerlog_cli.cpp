@@ -44,6 +44,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/string_util.h"
 #include "datalog/catalog.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
@@ -77,6 +78,50 @@ Result<std::string> LoadProgram(const std::string& spec) {
   std::ostringstream text;
   text << in.rdbuf();
   return text.str();
+}
+
+// Strict numeric flag parsing: "--workers 4x" or "--epsilon 1e-" is a usage
+// error, not a silently truncated value.
+bool ParseIntFlag(const char* flag, const char* value, int64_t* out) {
+  auto parsed = ParseInt64(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: expected an integer, got '%s'\n", flag, value);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* value, double* out) {
+  auto parsed = ParseDouble(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: expected a number, got '%s'\n", flag, value);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+// Writes `body` to `path`, diagnosing both open failures and write failures
+// (ENOSPC, /dev/full, a path on a read-only mount that opens via O_TRUNC...).
+// An artifact the user asked for that was not actually written is a failed
+// run and must exit nonzero.
+bool WriteArtifact(const char* what, const std::string& path,
+                   const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s output '%s' for writing\n", what,
+                 path.c_str());
+    return false;
+  }
+  out << body << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s output '%s' failed\n", what,
+                 path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -123,6 +168,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     const char* value = nullptr;
+    int64_t int_value = 0;
+    double double_value = 0.0;
     if (arg == "--program" && (value = next())) {
       program_spec = value;
     } else if (arg == "--dataset" && (value = next())) {
@@ -132,13 +179,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--mode" && (value = next())) {
       mode_name = value;
     } else if (arg == "--workers" && (value = next())) {
-      options.engine.num_workers = static_cast<uint32_t>(std::atoi(value));
+      if (!ParseIntFlag("--workers", value, &int_value)) return 2;
+      options.engine.num_workers = static_cast<uint32_t>(int_value);
     } else if (arg == "--source" && (value = next())) {
-      options.source = static_cast<uint32_t>(std::atol(value));
+      if (!ParseIntFlag("--source", value, &int_value)) return 2;
+      options.source = static_cast<uint32_t>(int_value);
     } else if (arg == "--epsilon" && (value = next())) {
-      options.engine.epsilon_override = std::atof(value);
+      if (!ParseDoubleFlag("--epsilon", value, &double_value)) return 2;
+      options.engine.epsilon_override = double_value;
     } else if (arg == "--top" && (value = next())) {
-      top = std::atoi(value);
+      if (!ParseIntFlag("--top", value, &int_value)) return 2;
+      top = static_cast<int>(int_value);
     } else if (arg == "--check-only") {
       check_only = true;
     } else if (arg == "--metrics-json" && (value = next())) {
@@ -160,9 +211,11 @@ int main(int argc, char** argv) {
         options.engine.checkpoint_interval_us = 100000;
       }
     } else if (arg == "--checkpoint-us" && (value = next())) {
-      options.engine.checkpoint_interval_us = std::atol(value);
+      if (!ParseIntFlag("--checkpoint-us", value, &int_value)) return 2;
+      options.engine.checkpoint_interval_us = int_value;
     } else if (arg == "--heartbeat-us" && (value = next())) {
-      options.engine.heartbeat_timeout_us = std::atol(value);
+      if (!ParseIntFlag("--heartbeat-us", value, &int_value)) return 2;
+      options.engine.heartbeat_timeout_us = int_value;
     } else if (arg == "--no-frontier") {
       // Escape hatch: full-scan sweeps instead of the active-set bitmap.
       options.engine.frontier = false;
@@ -174,7 +227,8 @@ int main(int argc, char** argv) {
       // trace itself.
       options.engine.record_trace = true;
     } else if (arg == "--serve-metrics" && (value = next())) {
-      serve_port = std::atoi(value);
+      if (!ParseIntFlag("--serve-metrics", value, &int_value)) return 2;
+      serve_port = static_cast<int>(int_value);
     } else {
       return Usage(argv[0]);
     }
@@ -259,24 +313,18 @@ int main(int argc, char** argv) {
   std::printf("stats: %s\n", run->stats.Summary().c_str());
 
   if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write metrics to '%s'\n", metrics_path.c_str());
+    if (!WriteArtifact("metrics", metrics_path, run->metrics.ToJson())) {
       return 1;
     }
-    out << run->metrics.ToJson() << '\n';
     std::printf("metrics: wrote %s (%zu counters, %zu histograms, %zu series)\n",
                 metrics_path.c_str(), run->metrics.counters.size(),
                 run->metrics.histograms.size(), run->metrics.series.size());
   }
 
   if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write trace to '%s'\n", trace_path.c_str());
+    if (!WriteArtifact("trace", trace_path, run->chrome_trace)) {
       return 1;
     }
-    out << run->chrome_trace << '\n';
     std::printf("trace: wrote %s (%zu bytes)\n", trace_path.c_str(),
                 run->chrome_trace.size());
   }

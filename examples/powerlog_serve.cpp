@@ -1,0 +1,199 @@
+// powerlog_serve — the resident serving plane as a long-lived process.
+//
+// Materialises each requested (program, dataset) pair once at boot — parse,
+// condition-check, converge — then keeps the converged state resident behind
+// shared immutable graph snapshots and answers queries over HTTP until told
+// to stop:
+//
+//   powerlog_serve --pair pagerank:flickr --pair sssp:flickr --port 9900
+//   curl http://127.0.0.1:9900/lookup?program=pagerank&dataset=flickr&v=42
+//   curl http://127.0.0.1:9900/topk?program=pagerank&dataset=flickr&k=5
+//   curl http://127.0.0.1:9900/run?program=sssp&dataset=flickr&source=7
+//
+// Flags:
+//   --pair <program>:<dataset>  pair to materialise; repeatable
+//   --port <n>                  listen port on 127.0.0.1 (default 0 =
+//                               ephemeral; the bound port is printed)
+//   --mode <m>                  engine mode: sync | async | aap | sync-async
+//   --workers <n>               engine worker threads (default 4)
+//   --handler-threads <n>       HTTP handler threads (default 4)
+//   --max-inflight <n>          concurrent full runs admitted (default 2)
+//   --max-queue <n>             runs allowed to wait for a slot (default 8)
+//   --deadline-ms <n>           default per-query deadline (default 30000)
+//   --cache <n>                 result-cache capacity, 0 disables (default 64)
+//
+// Routes: /catalog /lookup /topk /run plus the exposition built-ins
+// /metrics /metrics.json /healthz. The serving.* counters (cache hits,
+// admissions, graph builds) ride along on /metrics.
+//
+// SIGINT/SIGTERM shut down cleanly: stop accepting, drain in-flight
+// handlers, join every thread, exit 0. Both "--flag value" and
+// "--flag=value" spellings are accepted.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/string_util.h"
+#include "powerlog/serving.h"
+#include "runtime/exposition.h"
+
+using namespace powerlog;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --pair <program>:<dataset> [--pair ...] [--port n] "
+               "[--mode m] [--workers n] [--handler-threads n] "
+               "[--max-inflight n] [--max-queue n] [--deadline-ms n] "
+               "[--cache n]\n",
+               argv0);
+  return 2;
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnSignal(int) { g_shutdown = 1; }
+
+// Strict integer flag parsing: "--workers 4x" is an error, not 4.
+bool ParseIntFlag(const char* flag, const char* value, int64_t min_value,
+                  int64_t* out) {
+  auto parsed = ParseInt64(value);
+  if (!parsed.ok() || *parsed < min_value) {
+    std::fprintf(stderr, "%s: expected integer >= %lld, got '%s'\n", flag,
+                 static_cast<long long>(min_value), value);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  serving::ServingOptions options;
+  int64_t port = 0;
+  int64_t handler_threads = 4;
+  std::string mode_name = "sync-async";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    int64_t n = 0;
+    if (arg == "--pair" && (value = next())) {
+      auto parts = Split(value, ':');
+      if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+        std::fprintf(stderr, "--pair: expected <program>:<dataset>, got '%s'\n",
+                     value);
+        return 2;
+      }
+      pairs.emplace_back(parts[0], parts[1]);
+    } else if (arg == "--port" && (value = next())) {
+      if (!ParseIntFlag("--port", value, 0, &port)) return 2;
+    } else if (arg == "--mode" && (value = next())) {
+      mode_name = value;
+    } else if (arg == "--workers" && (value = next())) {
+      if (!ParseIntFlag("--workers", value, 1, &n)) return 2;
+      options.engine.num_workers = static_cast<uint32_t>(n);
+    } else if (arg == "--handler-threads" && (value = next())) {
+      if (!ParseIntFlag("--handler-threads", value, 1, &handler_threads))
+        return 2;
+    } else if (arg == "--max-inflight" && (value = next())) {
+      if (!ParseIntFlag("--max-inflight", value, 1, &n)) return 2;
+      options.max_inflight_runs = static_cast<int>(n);
+    } else if (arg == "--max-queue" && (value = next())) {
+      if (!ParseIntFlag("--max-queue", value, 0, &n)) return 2;
+      options.max_queued_runs = static_cast<int>(n);
+    } else if (arg == "--deadline-ms" && (value = next())) {
+      if (!ParseIntFlag("--deadline-ms", value, 1, &n)) return 2;
+      options.default_deadline_ms = n;
+    } else if (arg == "--cache" && (value = next())) {
+      if (!ParseIntFlag("--cache", value, 0, &n)) return 2;
+      options.cache_capacity = static_cast<size_t>(n);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (pairs.empty()) return Usage(argv[0]);
+
+  if (mode_name == "sync") {
+    options.engine.mode = runtime::ExecMode::kSync;
+  } else if (mode_name == "async") {
+    options.engine.mode = runtime::ExecMode::kAsync;
+  } else if (mode_name == "aap") {
+    options.engine.mode = runtime::ExecMode::kAap;
+  } else if (mode_name == "sync-async") {
+    options.engine.mode = runtime::ExecMode::kSyncAsync;
+  } else {
+    return Usage(argv[0]);
+  }
+
+  serving::ServingCatalog catalog(options);
+  for (const auto& [program, dataset] : pairs) {
+    std::printf("materializing %s over %s ...\n", program.c_str(),
+                dataset.c_str());
+    std::fflush(stdout);
+    Status status = catalog.Materialize(program, dataset);
+    if (!status.ok()) {
+      std::fprintf(stderr, "materialize %s:%s failed: %s\n", program.c_str(),
+                   dataset.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    const serving::ServingEntry* entry = catalog.Find(program, dataset);
+    std::printf("  resident: %u vertices, converged in %.3fs\n",
+                entry->graph->num_vertices(), entry->materialize_seconds);
+  }
+  std::printf("catalog: %zu entries, %lld graph builds\n", catalog.size(),
+              static_cast<long long>(catalog.graph_builds()));
+
+  ExpositionServer server;
+  server.SetHandler(serving::MakeServingHandler(&catalog));
+  server.SetSources([&catalog] { return catalog.Metrics(); },
+                    [] { return std::string(); });
+  auto bound = server.Start(static_cast<int>(port),
+                            static_cast<int>(handler_threads));
+  if (!bound.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+  // check.sh greps this exact line for the ephemeral port.
+  std::printf("serving on http://127.0.0.1:%d\n", *bound);
+  std::fflush(stdout);
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  while (g_shutdown == 0) {
+    usleep(50 * 1000);
+  }
+
+  // Clean shutdown: detach the metrics source (blocks on in-flight scrapes),
+  // then stop the server — which drains the connection queue and joins the
+  // listener plus every handler thread, so any engine run started by /run
+  // finishes before we return.
+  std::printf("shutting down\n");
+  std::fflush(stdout);
+  server.ClearSources();
+  server.Stop();
+  std::printf("clean exit: all handler threads joined\n");
+  return 0;
+}

@@ -183,11 +183,17 @@ def collect(args):
 # --------------------------------------------------------------------------
 # compare
 
-def _load(path):
+def _load(path, strict=True):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != SCHEMA:
-        sys.exit("{}: unsupported schema {!r}".format(path, doc.get("schema")))
+        # A baseline from an older/truncated file is a warning, not a crash:
+        # the comparison degrades to informational. The *current* file is
+        # produced by this very revision, so a mismatch there is a real bug.
+        msg = "{}: unsupported schema {!r}".format(path, doc.get("schema"))
+        if strict:
+            sys.exit(msg)
+        print("  warn " + msg)
     return doc
 
 
@@ -199,17 +205,37 @@ def _fmt(v):
     return str(v)
 
 
+def _num(v):
+    """Numeric or None — shields the gate from absent/NaN/garbage fields in a
+    truncated or hand-edited baseline."""
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        return None
+    if isinstance(v, float) and math.isnan(v):
+        return None
+    return v
+
+
 def compare(args):
-    base = _load(args.baseline)
+    base = _load(args.baseline, strict=False)
     cur = _load(args.current)
-    bm, cm = base["metrics"], cur["metrics"]
+    # A baseline missing whole sections (truncated file, pre-refactor schema
+    # sibling) must degrade to informational output, never crash the gate.
+    bm = base.get("metrics") or {}
+    cm = cur.get("metrics") or {}
     failures = []
     notes = []
+    warnings = []
+    if not bm:
+        warnings.append(
+            "baseline {} has no metrics section; baseline-relative gates "
+            "are informational only".format(args.baseline))
 
     def tracked(name, worse_is, threshold_pct=REGRESSION_PCT, slack=0.0):
-        b, c = bm.get(name), cm.get(name)
+        b, c = _num(bm.get(name)), _num(cm.get(name))
         if b is None or c is None:
-            notes.append("{}: missing ({} -> {})".format(name, _fmt(b), _fmt(c)))
+            warnings.append(
+                "{}: not comparable ({} -> {}); informational, not gated".format(
+                    name, _fmt(bm.get(name)), _fmt(cm.get(name))))
             return
         if worse_is == "lower":
             limit = b * (1 - threshold_pct / 100.0) - slack
@@ -283,13 +309,15 @@ def compare(args):
                  "sweep_frontier_rows_per_sec", "sweep_fullscan_rows_per_sec",
                  "edge_vm_edges_per_sec", "edge_specialized_edges_per_sec",
                  "trace_enabled_span_ns"):
-        b, c = bm.get(name), cm.get(name)
+        b, c = _num(bm.get(name)), _num(cm.get(name))
         if b and c:
             notes.append("{} (info): {} -> {} ({:+.1f}%)".format(
                 name, _fmt(b), _fmt(c), 100.0 * (c - b) / b))
 
     print("baseline {} ({}) vs current {} ({})".format(
         base.get("rev"), args.baseline, cur.get("rev"), args.current))
+    for line in warnings:
+        print("  warn " + line)
     for line in notes:
         print("  ok   " + line)
     for line in failures:
@@ -305,9 +333,9 @@ def compare(args):
 # show
 
 def show(args):
-    doc = _load(args.file)
+    doc = _load(args.file, strict=False)
     print("BENCH rev={} quick={}".format(doc.get("rev"), doc.get("quick")))
-    for name, value in sorted(doc["metrics"].items()):
+    for name, value in sorted((doc.get("metrics") or {}).items()):
         print("  {:32s} {}".format(name, _fmt(value)))
     fig9 = doc.get("fig9", {})
     if fig9:

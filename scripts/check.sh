@@ -5,7 +5,7 @@
 # perf-regression gate against the committed BENCH_*.json baseline.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
-#                         [--skip-trace]
+#                         [--skip-trace] [--skip-serve]
 #
 # Build trees: build/ (plain), build-tsan/ (POWERLOG_SANITIZE=thread) and
 # build-asan/ (POWERLOG_SANITIZE=address); all are created if missing and
@@ -18,12 +18,14 @@ SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_BENCH=0
 SKIP_TRACE=0
+SKIP_SERVE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-bench) SKIP_BENCH=1 ;;
     --skip-trace) SKIP_TRACE=1 ;;
+    --skip-serve) SKIP_SERVE=1 ;;
     *) echo "unknown arg: $arg" >&2; exit 2 ;;
   esac
 done
@@ -64,6 +66,63 @@ else
 
   echo "==> ASan: ctest -L network"
   ctest --test-dir build-asan -L network --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_SERVE" -eq 1 ]]; then
+  echo "==> serving stage skipped (--skip-serve)"
+else
+  # Serving-plane acceptance (ISSUE 6): boot the resident query server on an
+  # ephemeral port, exercise every route class from the outside, prove the
+  # result cache moves, and verify SIGTERM produces a clean joined shutdown.
+  echo "==> serving: boot powerlog_serve (pagerank/flickr, ephemeral port)"
+  SERVE_LOG="$(mktemp)"
+  build/examples/powerlog_serve --pair pagerank:flickr --port 0 \
+      --workers 4 --cache 16 >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  serve_fail() {
+    echo "serving stage failed: $1" >&2
+    cat "$SERVE_LOG" >&2
+    kill -KILL "$SERVE_PID" 2>/dev/null || true
+    rm -f "$SERVE_LOG"
+    exit 1
+  }
+  PORT=""
+  for _ in $(seq 1 600); do
+    PORT="$(sed -n 's#^serving on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$SERVE_LOG")"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || serve_fail "server exited during boot"
+    sleep 0.1
+  done
+  [[ -n "$PORT" ]] || serve_fail "no bound-port line within 60s"
+  BASE="http://127.0.0.1:$PORT"
+
+  [[ "$(curl -sf "$BASE/healthz")" == "ok" ]] || serve_fail "/healthz"
+  curl -sf "$BASE/lookup?program=pagerank&dataset=flickr&v=42" \
+      | grep -q '"value":' || serve_fail "/lookup"
+  curl -sf "$BASE/topk?program=pagerank&dataset=flickr&k=5" \
+      | grep -q '"topk":\[{' || serve_fail "/topk"
+  # First full run misses the cache, the replay hits it.
+  curl -sf "$BASE/run?program=pagerank&dataset=flickr" \
+      | grep -q '"cached":false' || serve_fail "/run (cold)"
+  curl -sf "$BASE/run?program=pagerank&dataset=flickr" \
+      | grep -q '"cached":true' || serve_fail "/run (cached replay)"
+  METRICS="$(curl -sf "$BASE/metrics")"
+  grep -q '^powerlog_serving_cache_hits [1-9]' <<<"$METRICS" \
+      || serve_fail "cache hit counter did not move"
+  grep -q '^powerlog_serving_cache_misses [1-9]' <<<"$METRICS" \
+      || serve_fail "cache miss counter did not move"
+  # Zero per-query graph rebuilds: builds == catalog size (1), not hit count.
+  grep -q '^powerlog_serving_graph_builds 1$' <<<"$METRICS" \
+      || serve_fail "graph rebuilt while serving"
+
+  echo "==> serving: SIGTERM clean shutdown"
+  kill -TERM "$SERVE_PID"
+  SERVE_RC=0
+  wait "$SERVE_PID" || SERVE_RC=$?
+  [[ "$SERVE_RC" -eq 0 ]] || serve_fail "exit code $SERVE_RC on SIGTERM"
+  grep -q "clean exit: all handler threads joined" "$SERVE_LOG" \
+      || serve_fail "shutdown did not join handler threads"
+  rm -f "$SERVE_LOG"
 fi
 
 if [[ "$SKIP_TRACE" -eq 1 ]]; then

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/bench_compare.py (ISSUE 6 satellite).
+
+The bug: a baseline BENCH_*.json missing a metric — truncated file, or one
+written before a metric existed — crashed the compare gate with KeyError /
+ZeroDivisionError instead of degrading that metric to informational output.
+These tests drive the script as a subprocess, exactly as check.sh does.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+GOOD_METRICS = {
+    "fabric_spsc_updates_per_sec": 4.0e7,
+    "fabric_mutex_updates_per_sec": 1.0e7,
+    "fabric_speedup": 4.0,
+    "fabric_spsc_allocs_per_M": 0.0,
+    "fabric_overflow_sends": 0,
+    "fabric_p50_latency_us": 1.0,
+    "fabric_p99_latency_us": 4.0,
+    "sweep_frontier_rows_per_sec": 6.0e8,
+    "sweep_fullscan_rows_per_sec": 6.0e7,
+    "sweep_frontier_speedup": 10.0,
+    "edge_vm_edges_per_sec": 1.0e8,
+    "edge_specialized_edges_per_sec": 2.0e8,
+    "edge_specialized_speedup": 2.0,
+    "combining_flat_allocs_per_M": 0.0,
+    "trace_disabled_span_ns": 1.5,
+    "trace_enabled_span_ns": 40.0,
+}
+
+
+def bench_doc(**overrides):
+    doc = {"schema": 1, "rev": "test", "quick": True,
+           "metrics": dict(GOOD_METRICS), "micro": {}, "fig9": {}}
+    doc.update(overrides)
+    return doc
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, baseline, current):
+        return subprocess.run(
+            [sys.executable, SCRIPT, "compare", baseline, current],
+            capture_output=True, text=True)
+
+    def test_identical_passes(self):
+        base = self.write("base.json", bench_doc())
+        cur = self.write("cur.json", bench_doc())
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("all tracked metrics within tolerance", proc.stdout)
+
+    def test_baseline_missing_one_metric_warns_not_crashes(self):
+        doc = bench_doc()
+        del doc["metrics"]["fabric_p99_latency_us"]
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", bench_doc())
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("fabric_p99_latency_us: not comparable", proc.stdout)
+        self.assertIn("informational, not gated", proc.stdout)
+
+    def test_baseline_missing_metrics_section_entirely(self):
+        # The original crash: base["metrics"] raised KeyError.
+        doc = bench_doc()
+        del doc["metrics"]
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", bench_doc())
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no metrics section", proc.stdout)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_baseline_zero_rate_no_zero_division(self):
+        doc = bench_doc()
+        doc["metrics"]["fabric_spsc_updates_per_sec"] = 0.0
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", bench_doc())
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_baseline_garbage_metric_value(self):
+        doc = bench_doc()
+        doc["metrics"]["fabric_speedup"] = "not-a-number"
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", bench_doc())
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("fabric_speedup: not comparable", proc.stdout)
+
+    def test_baseline_missing_schema_degrades(self):
+        doc = bench_doc()
+        del doc["schema"]
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", bench_doc())
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("unsupported schema", proc.stdout)
+
+    def test_current_regression_still_gates(self):
+        # Hardening must not weaken the gate: a real regression in the
+        # current file still fails even against a partially truncated
+        # baseline.
+        doc = bench_doc()
+        del doc["metrics"]["fabric_p99_latency_us"]
+        base = self.write("base.json", doc)
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["fabric_speedup"] = 1.0  # below the 2.0 hard floor
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("fabric_speedup", proc.stdout)
+
+    def test_current_missing_schema_is_fatal(self):
+        base = self.write("base.json", bench_doc())
+        doc = bench_doc()
+        doc["schema"] = 99
+        cur = self.write("cur.json", doc)
+        proc = self.run_compare(base, cur)
+        self.assertNotEqual(proc.returncode, 0)
+
+    def test_show_tolerates_truncated_file(self):
+        doc = bench_doc()
+        del doc["metrics"]
+        path = self.write("b.json", doc)
+        proc = subprocess.run([sys.executable, SCRIPT, "show", path],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -62,34 +62,15 @@ const std::vector<Recipe>& Recipes() {
 }
 
 std::mutex g_cache_mutex;
-std::map<std::string, std::unique_ptr<Graph>>& Cache() {
-  static std::map<std::string, std::unique_ptr<Graph>> cache;
+std::map<std::string, std::shared_ptr<Graph>>& Cache() {
+  static std::map<std::string, std::shared_ptr<Graph>> cache;
   return cache;
 }
 
-}  // namespace
-
-const std::vector<std::string>& DatasetNames() {
-  static const std::vector<std::string> kNames = [] {
-    std::vector<std::string> names;
-    for (const Recipe& r : Recipes()) names.push_back(r.info.name);
-    return names;
-  }();
-  return kNames;
-}
-
-Result<DatasetInfo> GetDatasetInfo(const std::string& name) {
-  for (const Recipe& r : Recipes()) {
-    if (r.info.name == name) return r.info;
-  }
-  return Status::NotFound("unknown dataset: " + name);
-}
-
-Result<const Graph*> GetDataset(const std::string& name, bool stochastic) {
-  std::lock_guard<std::mutex> lock(g_cache_mutex);
-  const std::string key = stochastic ? name + "#stochastic" : name;
-  auto it = Cache().find(key);
-  if (it != Cache().end()) return const_cast<const Graph*>(it->second.get());
+/// Builds the analogue for `name` (chain appendix + optional row
+/// normalisation applied). Caller holds g_cache_mutex.
+Result<std::shared_ptr<Graph>> BuildDataset(const std::string& name,
+                                            bool stochastic) {
   for (const Recipe& r : Recipes()) {
     if (r.info.name != name) continue;
     auto graph = GenerateRmat(r.params);
@@ -130,12 +111,49 @@ Result<const Graph*> GetDataset(const std::string& name, bool stochastic) {
       if (!normalised.ok()) return normalised.status();
       graph = std::move(normalised);
     }
-    auto owned = std::make_unique<Graph>(std::move(graph).ValueOrDie());
-    const Graph* ptr = owned.get();
-    Cache()[key] = std::move(owned);
-    return ptr;
+    return std::make_shared<Graph>(std::move(graph).ValueOrDie());
   }
   return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace
+
+const std::vector<std::string>& DatasetNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const Recipe& r : Recipes()) names.push_back(r.info.name);
+    return names;
+  }();
+  return kNames;
+}
+
+Result<DatasetInfo> GetDatasetInfo(const std::string& name) {
+  for (const Recipe& r : Recipes()) {
+    if (r.info.name == name) return r.info;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<const Graph*> GetDataset(const std::string& name, bool stochastic) {
+  auto shared = GetDatasetShared(name, stochastic);
+  if (!shared.ok()) return shared.status();
+  // The raw pointer stays valid because the cache retains a reference until
+  // ClearDatasetCache — exactly the pre-shared_ptr contract.
+  return shared->get();
+}
+
+Result<std::shared_ptr<const Graph>> GetDatasetShared(const std::string& name,
+                                                      bool stochastic) {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  const std::string key = stochastic ? name + "#stochastic" : name;
+  auto it = Cache().find(key);
+  if (it != Cache().end()) {
+    return std::shared_ptr<const Graph>(it->second);
+  }
+  auto built = BuildDataset(name, stochastic);
+  if (!built.ok()) return built.status();
+  Cache()[key] = *built;
+  return std::shared_ptr<const Graph>(*built);
 }
 
 void ClearDatasetCache() {

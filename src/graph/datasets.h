@@ -45,7 +45,14 @@ Result<DatasetInfo> GetDatasetInfo(const std::string& name);
 /// tables. Cached separately.
 Result<const Graph*> GetDataset(const std::string& name, bool stochastic = false);
 
-/// Clears the cache (tests use this to bound memory).
+/// Shared-ownership variant: the returned pointer keeps the graph alive even
+/// across ClearDatasetCache, so long-lived holders (the serving plane's
+/// snapshot registry) never dangle while tests bound the cache's memory.
+Result<std::shared_ptr<const Graph>> GetDatasetShared(const std::string& name,
+                                                      bool stochastic = false);
+
+/// Drops the cache's own references (tests use this to bound memory).
+/// Outstanding shared_ptrs from GetDatasetShared stay valid.
 void ClearDatasetCache();
 
 }  // namespace powerlog

@@ -1,0 +1,68 @@
+#include "graph/snapshot.h"
+
+#include "graph/datasets.h"
+#include "graph/io.h"
+
+namespace powerlog {
+
+Result<std::shared_ptr<const Graph>> GraphSnapshotRegistry::GetOrBuild(
+    const std::string& key, bool build_reverse,
+    const std::function<Result<std::shared_ptr<const Graph>>()>& build) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = snapshots_.find(key);
+  if (it == snapshots_.end()) {
+    auto built = build();
+    if (!built.ok()) return built.status();
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    it = snapshots_.emplace(key, std::move(built).ValueOrDie()).first;
+  }
+  if (build_reverse && !it->second->HasReverse()) {
+    // Materialise the transpose now, on the caller's thread, so no engine or
+    // query ever triggers the build mid-request. Reverse() is call_once
+    // guarded, so racing callers that skipped the registry stay safe too.
+    (void)it->second->Reverse();
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<const Graph>> GraphSnapshotRegistry::Dataset(
+    const std::string& name, bool stochastic, bool build_reverse) {
+  const std::string key =
+      "dataset:" + name + (stochastic ? "#stochastic" : "");
+  return GetOrBuild(key, build_reverse,
+                    [&] { return GetDatasetShared(name, stochastic); });
+}
+
+Result<std::shared_ptr<const Graph>> GraphSnapshotRegistry::FromFile(
+    const std::string& path, bool build_reverse) {
+  const std::string key = "file:" + path;
+  return GetOrBuild(key, build_reverse,
+                    [&]() -> Result<std::shared_ptr<const Graph>> {
+                      auto graph = LoadEdgeList(path);
+                      if (!graph.ok()) return graph.status();
+                      return std::shared_ptr<const Graph>(
+                          std::make_shared<Graph>(std::move(graph).ValueOrDie()));
+                    });
+}
+
+std::shared_ptr<const Graph> GraphSnapshotRegistry::Adopt(
+    const std::string& key, Graph graph, bool build_reverse) {
+  auto snapshot = std::make_shared<const Graph>(std::move(graph));
+  if (build_reverse) (void)snapshot->Reverse();
+  std::lock_guard<std::mutex> lock(mutex_);
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  snapshots_[key] = snapshot;
+  return snapshot;
+}
+
+size_t GraphSnapshotRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.size();
+}
+
+bool GraphSnapshotRegistry::Evict(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.erase(key) > 0;
+}
+
+}  // namespace powerlog

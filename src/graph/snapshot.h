@@ -1,0 +1,74 @@
+// Refcounted immutable graph snapshots: the sharing substrate of the
+// serving plane (ISSUE 6, ROADMAP item 1).
+//
+// A snapshot is a `shared_ptr<const Graph>` whose CSR arrays — and, when
+// requested, transpose — are materialised exactly once and then shared by
+// every engine, query thread, and resident catalog entry that needs them.
+// `Engine` already executes over a `const Graph&`; the registry is what
+// lets N concurrent engines point at one snapshot with zero per-run graph
+// rebuilds (the acceptance counter: builds() == number of distinct
+// snapshots, never query count). Mutating a served graph is deliberately
+// impossible — streaming mutations re-converge a *new* snapshot (ROADMAP
+// item 2), they never write into one being read (DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace powerlog {
+
+/// \brief Process-wide registry of immutable, refcounted graph snapshots.
+///
+/// Thread-safe: concurrent Get calls for the same key build once and share
+/// (the build happens under the registry mutex — serving-plane catalogs
+/// materialise at startup, so serialising builds is the simple and correct
+/// choice). Snapshots outlive the registry: dropping the registry or calling
+/// Evict only releases the registry's reference.
+class GraphSnapshotRegistry {
+ public:
+  /// Snapshot of registry dataset `name` (Table-2 analogue; `stochastic`
+  /// selects the row-normalised view). `build_reverse` pre-materialises the
+  /// transpose so pull-style kernels never pay the build on a query path.
+  Result<std::shared_ptr<const Graph>> Dataset(const std::string& name,
+                                               bool stochastic = false,
+                                               bool build_reverse = false);
+
+  /// Snapshot loaded from an edge-list file ("src dst [weight]" per line).
+  Result<std::shared_ptr<const Graph>> FromFile(const std::string& path,
+                                                bool build_reverse = false);
+
+  /// Registers an externally built graph under `key` (tests, generators).
+  /// Replaces any existing snapshot with that key.
+  std::shared_ptr<const Graph> Adopt(const std::string& key, Graph graph,
+                                     bool build_reverse = false);
+
+  /// Number of graph materialisations this registry performed. The serving
+  /// plane's zero-rebuild guarantee is `builds() == catalog size`, however
+  /// many queries have been answered.
+  int64_t builds() const { return builds_.load(std::memory_order_relaxed); }
+
+  /// Number of resident snapshots.
+  size_t size() const;
+
+  /// Releases the registry's reference to `key` (outstanding holders keep
+  /// the snapshot alive). Returns true if present.
+  bool Evict(const std::string& key);
+
+ private:
+  Result<std::shared_ptr<const Graph>> GetOrBuild(
+      const std::string& key, bool build_reverse,
+      const std::function<Result<std::shared_ptr<const Graph>>()>& build);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Graph>> snapshots_;
+  std::atomic<int64_t> builds_{0};
+};
+
+}  // namespace powerlog

@@ -1,0 +1,527 @@
+#include "powerlog/serving.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "datalog/catalog.h"
+
+namespace powerlog::serving {
+
+namespace {
+
+std::string PairKey(const std::string& program, const std::string& dataset) {
+  return program + "\x1f" + dataset;
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  out->append(StringFormat("%.17g", v));
+}
+
+}  // namespace
+
+ServingCatalog::ServingCatalog(ServingOptions options)
+    : options_(std::move(options)) {
+  // The serving plane owns exposition wiring; a per-run attachment would
+  // detach the server's sources after the first materialisation.
+  options_.engine.exposition = nullptr;
+}
+
+Status ServingCatalog::Materialize(const std::string& program,
+                                   const std::string& dataset) {
+  auto entry = datalog::GetCatalogEntry(program);
+  if (!entry.ok()) return entry.status();
+
+  // Full front door once per pair: parse + automatic condition check. The
+  // resident engine serves MRA programs only — a program that fails the
+  // check would need the naive evaluator per query, the opposite of
+  // serving from converged state.
+  auto check = PowerLog::Check(entry->source);
+  if (!check.ok()) return check.status();
+  if (!check->satisfied) {
+    return Status::ConditionViolated(
+        "'" + program + "' fails the MRA conditions; the serving plane only "
+        "materialises incremental-engine programs");
+  }
+  auto kernel = PowerLog::Compile(entry->source);
+  if (!kernel.ok()) return kernel.status();
+
+  auto graph = registry_.Dataset(dataset, entry->stochastic_weights,
+                                 kernel->uses_in_edges);
+  if (!graph.ok()) return graph.status();
+  return MaterializeEntry(program, dataset, std::move(kernel).ValueOrDie(),
+                          std::move(graph).ValueOrDie());
+}
+
+Status ServingCatalog::MaterializeSource(const std::string& program_label,
+                                         const std::string& dataset_label,
+                                         const std::string& source,
+                                         Graph graph) {
+  auto check = PowerLog::Check(source);
+  if (!check.ok()) return check.status();
+  if (!check->satisfied) {
+    return Status::ConditionViolated(
+        "'" + program_label + "' fails the MRA conditions; the serving plane "
+        "only materialises incremental-engine programs");
+  }
+  auto kernel = PowerLog::Compile(source);
+  if (!kernel.ok()) return kernel.status();
+  auto snapshot =
+      registry_.Adopt("adopted:" + dataset_label, std::move(graph),
+                      kernel->uses_in_edges);
+  return MaterializeEntry(program_label, dataset_label,
+                          std::move(kernel).ValueOrDie(), std::move(snapshot));
+}
+
+Status ServingCatalog::MaterializeEntry(const std::string& program,
+                                        const std::string& dataset,
+                                        Kernel kernel,
+                                        std::shared_ptr<const Graph> graph) {
+  {
+    std::lock_guard<std::mutex> lock(entries_mutex_);
+    if (FindLocked(program, dataset) != nullptr) return Status::OK();
+  }
+
+  // Converge outside the lock: materialisation is the expensive step and
+  // queries against already-resident entries must not stall behind it.
+  RunOptions run_options;
+  run_options.engine = options_.engine;
+  const int64_t t0 = NowMicros();
+  auto run = PowerLog::Run(kernel, *graph, run_options);
+  if (!run.ok()) return run.status();
+  if (!run->stats.converged) {
+    return Status::Timeout("'" + program + "' on '" + dataset +
+                           "' did not converge within the engine caps; "
+                           "refusing to serve a non-fixpoint");
+  }
+
+  auto entry = std::make_unique<ServingEntry>();
+  entry->program = program;
+  entry->dataset = dataset;
+  entry->kernel = std::move(kernel);
+  entry->graph = std::move(graph);
+  entry->values = std::move(run->values);
+  entry->stats = std::move(run->stats);
+  entry->materialize_seconds =
+      static_cast<double>(NowMicros() - t0) / 1e6;
+
+  std::lock_guard<std::mutex> lock(entries_mutex_);
+  if (FindLocked(program, dataset) != nullptr) return Status::OK();  // raced
+  POWERLOG_INFO << "serving: materialised " << program << "/" << dataset
+                << " (" << entry->graph->Summary() << ") in "
+                << entry->materialize_seconds << "s";
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+const ServingEntry* ServingCatalog::FindLocked(
+    const std::string& program, const std::string& dataset) const {
+  for (const auto& e : entries_) {
+    if (e->program == program && e->dataset == dataset) return e.get();
+  }
+  return nullptr;
+}
+
+const ServingEntry* ServingCatalog::Find(const std::string& program,
+                                         const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(entries_mutex_);
+  return FindLocked(program, dataset);
+}
+
+Result<double> ServingCatalog::Lookup(const std::string& program,
+                                      const std::string& dataset,
+                                      VertexId v) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const ServingEntry* entry = Find(program, dataset);
+  if (entry == nullptr) {
+    return Status::NotFound("not materialised: " + program + "/" + dataset);
+  }
+  if (v >= entry->values.size()) {
+    return Status::OutOfRange(StringFormat(
+        "vertex %u out of range (|V|=%zu)", v, entry->values.size()));
+  }
+  return entry->values[v];
+}
+
+Result<std::vector<std::pair<VertexId, double>>> ServingCatalog::TopK(
+    const std::string& program, const std::string& dataset, size_t k,
+    bool ascending) const {
+  topk_scans_.fetch_add(1, std::memory_order_relaxed);
+  const ServingEntry* entry = Find(program, dataset);
+  if (entry == nullptr) {
+    return Status::NotFound("not materialised: " + program + "/" + dataset);
+  }
+  std::vector<std::pair<double, VertexId>> ranked;
+  ranked.reserve(entry->values.size());
+  for (VertexId v = 0; v < entry->values.size(); ++v) {
+    if (!std::isfinite(entry->values[v])) continue;
+    ranked.emplace_back(entry->values[v], v);
+  }
+  k = std::min(k, ranked.size());
+  if (ascending) {
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), std::less<>());
+  } else {
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), std::greater<>());
+  }
+  std::vector<std::pair<VertexId, double>> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.emplace_back(ranked[i].second, ranked[i].first);
+  }
+  return out;
+}
+
+Status ServingCatalog::AcquireRunSlot(int64_t deadline_us) {
+  std::unique_lock<std::mutex> lock(run_mutex_);
+  if (inflight_runs_ < options_.max_inflight_runs) {
+    ++inflight_runs_;
+    return Status::OK();
+  }
+  if (queued_runs_ >= options_.max_queued_runs) {
+    return Status::OutOfRange(StringFormat(
+        "admission queue full (%d in flight, %d queued)", inflight_runs_,
+        queued_runs_));
+  }
+  ++queued_runs_;
+  const auto wait = std::chrono::microseconds(
+      std::max<int64_t>(0, deadline_us - NowMicros()));
+  const bool admitted = run_cv_.wait_for(lock, wait, [this] {
+    return inflight_runs_ < options_.max_inflight_runs;
+  });
+  --queued_runs_;
+  if (!admitted) {
+    return Status::Timeout("deadline exceeded waiting for a run slot");
+  }
+  ++inflight_runs_;
+  return Status::OK();
+}
+
+void ServingCatalog::ReleaseRunSlot() {
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    --inflight_runs_;
+  }
+  run_cv_.notify_one();
+}
+
+Result<RunSummary> ServingCatalog::Run(const std::string& program,
+                                       const std::string& dataset,
+                                       std::optional<uint32_t> source_override,
+                                       int64_t deadline_ms, bool use_cache) {
+  run_requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string cache_key =
+      PairKey(program, dataset) + "\x1f" +
+      (source_override ? std::to_string(*source_override) : std::string("-"));
+
+  use_cache = use_cache && options_.cache_capacity > 0;
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_index_.find(cache_key);
+    if (it != cache_index_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      RunSummary summary = it->second->summary;
+      summary.cached = true;
+      return summary;
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const ServingEntry* entry = Find(program, dataset);
+  if (entry == nullptr) {
+    return Status::NotFound("not materialised: " + program + "/" + dataset);
+  }
+
+  if (deadline_ms <= 0) deadline_ms = options_.default_deadline_ms;
+  const int64_t deadline_us = NowMicros() + deadline_ms * 1000;
+
+  Status admitted = AcquireRunSlot(deadline_us);
+  if (!admitted.ok()) {
+    if (admitted.code() == StatusCode::kTimeout) {
+      run_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      runs_rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return admitted;
+  }
+
+  // The engine's wall cap doubles as the in-run deadline for the async
+  // family (sync mode is bounded by max_supersteps; its deadline is
+  // enforced on queue wait and checked post-run).
+  RunOptions run_options;
+  run_options.engine = options_.engine;
+  run_options.source = source_override;
+  const double remaining_s =
+      static_cast<double>(deadline_us - NowMicros()) / 1e6;
+  run_options.engine.max_wall_seconds =
+      std::min(run_options.engine.max_wall_seconds, std::max(0.01, remaining_s));
+
+  auto run = PowerLog::Run(entry->kernel, *entry->graph, run_options);
+  ReleaseRunSlot();
+  if (!run.ok()) return run.status();
+  runs_executed_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!run->stats.converged && NowMicros() >= deadline_us) {
+    run_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Timeout(StringFormat(
+        "deadline (%lld ms) exceeded before convergence",
+        static_cast<long long>(deadline_ms)));
+  }
+
+  RunSummary summary;
+  summary.converged = run->stats.converged;
+  summary.wall_seconds = run->stats.wall_seconds;
+  summary.supersteps = run->stats.supersteps;
+  summary.edge_applications = run->stats.edge_applications;
+  summary.values = std::move(run->values);
+
+  if (use_cache && summary.converged) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_index_.find(cache_key) == cache_index_.end()) {
+      cache_lru_.push_front(CacheSlot{cache_key, summary});
+      cache_index_[cache_key] = cache_lru_.begin();
+      while (cache_lru_.size() > options_.cache_capacity) {
+        cache_index_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+        cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return summary;
+}
+
+std::vector<std::pair<std::string, std::string>> ServingCatalog::Entries()
+    const {
+  std::lock_guard<std::mutex> lock(entries_mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.emplace_back(e->program, e->dataset);
+  return out;
+}
+
+size_t ServingCatalog::size() const {
+  std::lock_guard<std::mutex> lock(entries_mutex_);
+  return entries_.size();
+}
+
+metrics::MetricsSnapshot ServingCatalog::Metrics() const {
+  metrics::MetricsSnapshot snap;
+  snap.AddCounter("serving.lookups",
+                  lookups_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.topk_scans",
+                  topk_scans_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.run.requests",
+                  run_requests_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.run.executed",
+                  runs_executed_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.run.rejected",
+                  runs_rejected_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.run.timeouts",
+                  run_timeouts_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.cache.hits",
+                  cache_hits_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.cache.misses",
+                  cache_misses_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.cache.evictions",
+                  cache_evictions_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.graph_builds", graph_builds());
+  snap.AddCounter("serving.catalog_size", static_cast<int64_t>(size()));
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    snap.AddGauge("serving.run.inflight", inflight_runs_);
+    snap.AddGauge("serving.run.queued", queued_runs_);
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP routing glue.
+
+namespace {
+
+/// Splits "/route?a=1&b=2" into the route and a flat key→value map. No
+/// percent-decoding: every parameter this plane accepts is [a-z0-9_-].
+void SplitTarget(const std::string& target, std::string* route,
+                 std::map<std::string, std::string>* params) {
+  const size_t q = target.find('?');
+  *route = target.substr(0, q);
+  if (q == std::string::npos) return;
+  for (const std::string& pair : Split(target.substr(q + 1), '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      (*params)[pair] = "";
+    } else {
+      (*params)[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+}
+
+void JsonError(const Status& status, HttpResponse* resp) {
+  switch (status.code()) {
+    case StatusCode::kNotFound: resp->status = 404; break;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError: resp->status = 400; break;
+    case StatusCode::kTimeout:
+    case StatusCode::kOutOfRange: resp->status = 503; break;  // overload/deadline
+    default: resp->status = 500; break;
+  }
+  resp->content_type = "application/json";
+  resp->body =
+      "{\"error\":\"" + metrics::JsonEscape(status.ToString()) + "\"}\n";
+}
+
+void JsonOk(std::string body, HttpResponse* resp) {
+  resp->status = 200;
+  resp->content_type = "application/json";
+  resp->body = std::move(body);
+}
+
+}  // namespace
+
+ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog) {
+  return [catalog](const std::string& target, HttpResponse* resp) -> bool {
+    std::string route;
+    std::map<std::string, std::string> params;
+    SplitTarget(target, &route, &params);
+
+    if (route == "/catalog") {
+      std::string body = "{\"entries\":[";
+      bool first = true;
+      for (const auto& [program, dataset] : catalog->Entries()) {
+        const ServingEntry* e = catalog->Find(program, dataset);
+        if (e == nullptr) continue;
+        if (!first) body += ",";
+        first = false;
+        body += "{\"program\":\"" + metrics::JsonEscape(program) +
+                "\",\"dataset\":\"" + metrics::JsonEscape(dataset) + "\"";
+        body += StringFormat(
+            ",\"vertices\":%u,\"edges\":%llu,\"converged\":%s",
+            e->graph->num_vertices(),
+            static_cast<unsigned long long>(e->graph->num_edges()),
+            e->stats.converged ? "true" : "false");
+        body += ",\"materialize_seconds\":";
+        AppendJsonNumber(&body, e->materialize_seconds);
+        body += "}";
+      }
+      body += StringFormat("],\"graph_builds\":%lld}\n",
+                           static_cast<long long>(catalog->graph_builds()));
+      JsonOk(std::move(body), resp);
+      return true;
+    }
+
+    if (route != "/lookup" && route != "/topk" && route != "/run") {
+      return false;  // not ours — fall through to 404
+    }
+
+    const std::string program = params.count("program") ? params["program"] : "";
+    const std::string dataset = params.count("dataset") ? params["dataset"] : "";
+    if (program.empty() || dataset.empty()) {
+      JsonError(Status::InvalidArgument("program= and dataset= are required"),
+                resp);
+      return true;
+    }
+
+    if (route == "/lookup") {
+      if (!params.count("v")) {
+        JsonError(Status::InvalidArgument("v= (vertex id) is required"), resp);
+        return true;
+      }
+      auto v = ParseInt64(params["v"]);
+      if (!v.ok() || *v < 0 || *v > UINT32_MAX) {
+        JsonError(Status::InvalidArgument("v= must be a vertex id"), resp);
+        return true;
+      }
+      auto value = catalog->Lookup(program, dataset,
+                                   static_cast<VertexId>(*v));
+      if (!value.ok()) {
+        JsonError(value.status(), resp);
+        return true;
+      }
+      std::string body = StringFormat("{\"vertex\":%lld,\"value\":",
+                                      static_cast<long long>(*v));
+      AppendJsonNumber(&body, *value);
+      body += "}\n";
+      JsonOk(std::move(body), resp);
+      return true;
+    }
+
+    if (route == "/topk") {
+      int64_t k = 10;
+      if (params.count("k")) {
+        auto parsed = ParseInt64(params["k"]);
+        if (!parsed.ok() || *parsed < 0) {
+          JsonError(Status::InvalidArgument("k= must be a non-negative integer"),
+                    resp);
+          return true;
+        }
+        k = *parsed;
+      }
+      const bool ascending =
+          params.count("order") && params["order"] == "asc";
+      auto top = catalog->TopK(program, dataset, static_cast<size_t>(k),
+                               ascending);
+      if (!top.ok()) {
+        JsonError(top.status(), resp);
+        return true;
+      }
+      std::string body = "{\"topk\":[";
+      for (size_t i = 0; i < top->size(); ++i) {
+        if (i > 0) body += ",";
+        body += StringFormat("{\"vertex\":%u,\"value\":", (*top)[i].first);
+        AppendJsonNumber(&body, (*top)[i].second);
+        body += "}";
+      }
+      body += "]}\n";
+      JsonOk(std::move(body), resp);
+      return true;
+    }
+
+    // /run
+    std::optional<uint32_t> source;
+    if (params.count("source")) {
+      auto parsed = ParseInt64(params["source"]);
+      if (!parsed.ok() || *parsed < 0 || *parsed > UINT32_MAX) {
+        JsonError(Status::InvalidArgument("source= must be a vertex id"), resp);
+        return true;
+      }
+      source = static_cast<uint32_t>(*parsed);
+    }
+    int64_t deadline_ms = 0;
+    if (params.count("deadline_ms")) {
+      auto parsed = ParseInt64(params["deadline_ms"]);
+      if (!parsed.ok() || *parsed <= 0) {
+        JsonError(Status::InvalidArgument("deadline_ms= must be positive"),
+                  resp);
+        return true;
+      }
+      deadline_ms = *parsed;
+    }
+    const bool use_cache = params.count("nocache") == 0;
+    auto run = catalog->Run(program, dataset, source, deadline_ms, use_cache);
+    if (!run.ok()) {
+      JsonError(run.status(), resp);
+      return true;
+    }
+    std::string body = StringFormat(
+        "{\"converged\":%s,\"cached\":%s,\"wall_seconds\":",
+        run->converged ? "true" : "false", run->cached ? "true" : "false");
+    AppendJsonNumber(&body, run->wall_seconds);
+    body += StringFormat(
+        ",\"supersteps\":%lld,\"edge_applications\":%lld}\n",
+        static_cast<long long>(run->supersteps),
+        static_cast<long long>(run->edge_applications));
+    JsonOk(std::move(body), resp);
+    return true;
+  };
+}
+
+}  // namespace powerlog::serving

@@ -1,0 +1,217 @@
+// The resident serving plane (ISSUE 6, ROADMAP item 1): converged
+// recursive-aggregate state as a long-lived, queryable asset.
+//
+// `PowerLog::Run` is the batch shape — parse, check, build a graph,
+// converge, discard. A ServingCatalog is the serving shape: it materialises
+// each (program, dataset) pair exactly once — compile + condition-check +
+// converge on a shared immutable Graph snapshot — and keeps the converged
+// accumulation column resident. Queries then cost what they should:
+//
+//   * point lookups (SSSP distance, PageRank score by vertex id) and top-k
+//     scans read straight from the resident values — no engine, no graph,
+//     no parse;
+//   * full re-runs (fresh convergence, e.g. with a different source vertex)
+//     multiplex concurrently over the *same* snapshot through the
+//     PR-2 `Run(const Kernel&, ...)` serving overload, behind admission
+//     control (bounded in-flight runs + a bounded wait queue), per-query
+//     deadlines, and a keyed LRU result cache with hit/miss/eviction
+//     counters.
+//
+// The zero-rebuild guarantee is a counter, not a promise:
+// `graph_builds() == catalog size` after any number of queries.
+//
+// Thread model: Materialize* is serialised and must complete before query
+// traffic starts (the serve binary materialises at boot). Every query entry
+// point — Lookup, TopK, Run, Metrics — is safe to call concurrently from
+// any number of threads; entries are immutable once materialised, and the
+// admission/cache state is internally synchronised.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "core/kernel.h"
+#include "graph/snapshot.h"
+#include "powerlog/powerlog.h"
+#include "runtime/engine.h"
+#include "runtime/exposition.h"
+
+namespace powerlog::serving {
+
+struct ServingOptions {
+  /// Engine configuration used both to materialise entries and as the
+  /// template for on-demand full runs. `exposition` must stay null here —
+  /// the serving plane owns the HTTP server.
+  runtime::EngineOptions engine;
+
+  /// Admission control: full runs executing concurrently. Each run spins up
+  /// `engine.num_workers` threads, so this bounds total engine threads at
+  /// `max_inflight_runs * num_workers`.
+  int max_inflight_runs = 2;
+
+  /// Runs allowed to wait for a slot; beyond this the request is rejected
+  /// immediately (HTTP 503). 0 = no waiting room, reject when saturated.
+  int max_queued_runs = 8;
+
+  /// Deadline applied when a query does not carry its own. A run that
+  /// cannot be admitted and finished inside its deadline returns
+  /// Status::Timeout (HTTP 503). Covers queue wait + execution; in the
+  /// async modes it also caps the engine's wall clock mid-run.
+  int64_t default_deadline_ms = 30000;
+
+  /// Keyed full-run result cache entries (LRU). 0 disables caching.
+  size_t cache_capacity = 64;
+};
+
+/// \brief One resident (program, dataset) pair: compiled kernel, shared
+/// graph snapshot, and the converged accumulation column. Immutable after
+/// materialisation — streaming mutation is ROADMAP item 2, and it will
+/// re-converge a *new* snapshot rather than write into a served one.
+struct ServingEntry {
+  std::string program;
+  std::string dataset;
+  Kernel kernel;
+  std::shared_ptr<const Graph> graph;
+  std::vector<double> values;   ///< converged per-vertex results
+  runtime::EngineStats stats;   ///< from the materialising convergence run
+  double materialize_seconds = 0.0;
+};
+
+/// \brief Result of one full-run query.
+struct RunSummary {
+  bool converged = false;
+  double wall_seconds = 0.0;
+  int64_t supersteps = 0;
+  int64_t edge_applications = 0;
+  bool cached = false;  ///< answered from the result cache
+  std::vector<double> values;
+};
+
+class ServingCatalog {
+ public:
+  explicit ServingCatalog(ServingOptions options);
+
+  /// Materialises catalog program `program` over registry dataset `dataset`
+  /// (row-stochastic view chosen per the program's catalog entry, exactly as
+  /// powerlog_cli does): parse + mra_checker + converge, then retain.
+  /// Programs that fail the MRA check are rejected — the serving plane runs
+  /// the incremental engine only. Idempotent per pair.
+  Status Materialize(const std::string& program, const std::string& dataset);
+
+  /// Materialises from explicit Datalog source over an adopted graph, under
+  /// the given labels (tests and custom deployments).
+  Status MaterializeSource(const std::string& program_label,
+                           const std::string& dataset_label,
+                           const std::string& source, Graph graph);
+
+  /// Resident entry, or nullptr. Entries are immutable; the pointer stays
+  /// valid for the catalog's lifetime.
+  const ServingEntry* Find(const std::string& program,
+                           const std::string& dataset) const;
+
+  /// Point lookup from resident state: the converged value of vertex `v`.
+  Result<double> Lookup(const std::string& program, const std::string& dataset,
+                        VertexId v) const;
+
+  /// Top-k scan from resident state: the k best (vertex, value) pairs,
+  /// descending by value (`ascending` flips it — the natural order for
+  /// distance-like min aggregates). Non-finite values are skipped.
+  Result<std::vector<std::pair<VertexId, double>>> TopK(
+      const std::string& program, const std::string& dataset, size_t k,
+      bool ascending = false) const;
+
+  /// Full-run multiplexing: a fresh convergence over the entry's shared
+  /// snapshot (`source_override` re-seeds single-source programs — the
+  /// query shape that actually needs a new fixpoint). Admission-controlled
+  /// and deadline-bounded; `deadline_ms <= 0` uses the default. Cached by
+  /// (program, dataset, source) unless `use_cache` is false.
+  Result<RunSummary> Run(const std::string& program, const std::string& dataset,
+                         std::optional<uint32_t> source_override = {},
+                         int64_t deadline_ms = 0, bool use_cache = true);
+
+  /// Names of resident entries, in materialisation order.
+  std::vector<std::pair<std::string, std::string>> Entries() const;
+
+  size_t size() const;
+
+  /// Graph materialisations performed — the zero-rebuild acceptance
+  /// counter: equals the number of distinct snapshots, never query count.
+  int64_t graph_builds() const { return registry_.builds(); }
+
+  /// Serving-plane counters (serving.* namespace), suitable for merging
+  /// into the exposition server's /metrics via SetSources.
+  metrics::MetricsSnapshot Metrics() const;
+
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  Status MaterializeEntry(const std::string& program,
+                          const std::string& dataset, Kernel kernel,
+                          std::shared_ptr<const Graph> graph);
+  const ServingEntry* FindLocked(const std::string& program,
+                                 const std::string& dataset) const;
+
+  /// Blocks until a run slot is free or the deadline passes. Returns OK on
+  /// admission (caller must call ReleaseRunSlot), Timeout/OutOfRange on
+  /// rejection.
+  Status AcquireRunSlot(int64_t deadline_us);
+  void ReleaseRunSlot();
+
+  ServingOptions options_;
+  GraphSnapshotRegistry registry_;
+
+  mutable std::mutex entries_mutex_;  ///< guards materialisation only
+  std::vector<std::unique_ptr<ServingEntry>> entries_;
+
+  // Admission control (mutable: Metrics() reads the gauges under the lock).
+  mutable std::mutex run_mutex_;
+  std::condition_variable run_cv_;
+  int inflight_runs_ = 0;
+  int queued_runs_ = 0;
+
+  // Keyed LRU result cache.
+  struct CacheSlot {
+    std::string key;
+    RunSummary summary;
+  };
+  mutable std::mutex cache_mutex_;
+  std::list<CacheSlot> cache_lru_;  ///< front = most recent
+  std::map<std::string, std::list<CacheSlot>::iterator> cache_index_;
+
+  // Counters (relaxed atomics; snapshot via Metrics()).
+  mutable std::atomic<int64_t> lookups_{0};
+  mutable std::atomic<int64_t> topk_scans_{0};
+  std::atomic<int64_t> run_requests_{0};
+  std::atomic<int64_t> runs_executed_{0};
+  std::atomic<int64_t> runs_rejected_{0};
+  std::atomic<int64_t> run_timeouts_{0};
+  mutable std::atomic<int64_t> cache_hits_{0};
+  mutable std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> cache_evictions_{0};
+};
+
+/// \brief Builds the HTTP route handler exposing `catalog` through an
+/// ExpositionServer (install with SetHandler before Start). Routes:
+///
+///   /catalog                         resident entries + convergence stats
+///   /lookup?program=P&dataset=D&v=N  point lookup from resident state
+///   /topk?program=P&dataset=D&k=K[&order=asc]
+///                                    top-k scan from resident state
+///   /run?program=P&dataset=D[&source=V][&deadline_ms=M][&nocache=1]
+///                                    admission-controlled full run
+///
+/// All responses are JSON. Errors map NotFound→404, InvalidArgument→400,
+/// Timeout and queue-full→503. The catalog must outlive the server.
+ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog);
+
+}  // namespace powerlog::serving

@@ -2,6 +2,7 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -15,7 +16,14 @@ namespace powerlog {
 
 namespace {
 
+/// Listener-side cap on accepted-but-unhandled connections; beyond it the
+/// listener sheds load by closing the socket immediately.
+constexpr size_t kMaxQueuedConnections = 128;
+
 std::string SanitizeMetricName(const std::string& name) {
+  // The "powerlog_" prefix doubles as the guard against identifiers starting
+  // with a digit: whatever `name` begins with, the rendered identifier
+  // starts with a letter.
   std::string out = "powerlog_";
   out.reserve(out.size() + name.size());
   for (char c : name) {
@@ -60,6 +68,11 @@ std::string PrometheusText(const metrics::MetricsSnapshot& snapshot) {
     const std::string pname = SanitizeMetricName(name);
     out += "# TYPE " + pname + " histogram\n";
     // Prometheus buckets are cumulative; the registry's are per-bucket.
+    // Every rendered value is derived from the same counts[] array so the
+    // sequence is non-decreasing by construction and `_count` equals the
+    // `+Inf` bucket, as the exposition format requires — `hist.count` is
+    // maintained as a separate atomic and can disagree transiently when the
+    // snapshot is taken concurrently with Observe calls.
     int64_t cumulative = 0;
     for (size_t i = 0; i < hist.bounds.size(); ++i) {
       cumulative += i < hist.counts.size() ? hist.counts[i] : 0;
@@ -71,16 +84,20 @@ std::string PrometheusText(const metrics::MetricsSnapshot& snapshot) {
       out += buf;
       out += "\n";
     }
-    out += pname + "_bucket{le=\"+Inf\"} ";
+    // Overflow bucket (counts has bounds.size()+1 entries, last = overflow).
+    if (hist.counts.size() > hist.bounds.size()) {
+      cumulative += hist.counts[hist.bounds.size()];
+    }
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRId64, hist.count);
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    std::snprintf(buf, sizeof(buf), "%" PRId64, cumulative);
     out += buf;
     out += "\n";
     out += pname + "_sum ";
     AppendNumber(out, hist.sum);
     out += "\n";
     out += pname + "_count ";
-    std::snprintf(buf, sizeof(buf), "%" PRId64, hist.count);
+    std::snprintf(buf, sizeof(buf), "%" PRId64, cumulative);
     out += buf;
     out += "\n";
   }
@@ -93,17 +110,27 @@ ExpositionServer::~ExpositionServer() {
   Stop();
 }
 
-Result<int> ExpositionServer::Start(int port) {
+Result<int> ExpositionServer::Start(int port, int handler_threads) {
   if (running_.load(std::memory_order_acquire)) {
     return Status::Internal("exposition server already running");
+  }
+  if (handler_threads < 1) {
+    return Status::InvalidArgument("exposition server needs >= 1 handler thread");
   }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket: " + std::string(std::strerror(errno)));
   }
+  // Before bind, always: a previous incarnation's accepted sockets linger in
+  // TIME_WAIT after Stop() (the server closes first), and without address
+  // reuse an immediate rebind of the same port fails with EADDRINUSE.
   const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("setsockopt(SO_REUSEADDR): " + err);
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -133,7 +160,12 @@ Result<int> ExpositionServer::Start(int port) {
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
-  POWERLOG_INFO << "exposition server on 127.0.0.1:" << port_;
+  handler_threads_.reserve(static_cast<size_t>(handler_threads));
+  for (int i = 0; i < handler_threads; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  POWERLOG_INFO << "exposition server on 127.0.0.1:" << port_ << " ("
+                << handler_threads << " handler thread(s))";
   return port_;
 }
 
@@ -148,6 +180,19 @@ void ExpositionServer::Stop() {
   if (thread_.joinable()) thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  // Wake the handler pool; each thread finishes its in-flight request (a
+  // custom route may be a full engine run — clean shutdown waits for it)
+  // and exits once the queue is drained.
+  queue_cv_.notify_all();
+  for (auto& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  // Whatever the pool did not get to: close, don't leak. New connections
+  // stopped arriving when the listener died.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : conn_queue_) ::close(fd);
+  conn_queue_.clear();
 }
 
 void ExpositionServer::SetSources(MetricsFn metrics_fn, TraceFn trace_fn) {
@@ -164,6 +209,14 @@ void ExpositionServer::ClearSources() {
   trace_fn_ = nullptr;
 }
 
+void ExpositionServer::SetHandler(Handler handler) {
+  if (running_.load(std::memory_order_acquire)) {
+    POWERLOG_WARN << "SetHandler ignored: server is running";
+    return;
+  }
+  handler_ = std::move(handler);
+}
+
 void ExpositionServer::Serve() {
   while (!stop_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -172,12 +225,53 @@ void ExpositionServer::Serve() {
       if (errno == EINTR) continue;
       break;  // listener closed under us
     }
+    // A client that connects and then never sends (or never reads) must not
+    // wedge a handler thread — and with it Stop() — forever.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (conn_queue_.size() >= kMaxQueuedConnections) {
+        ::close(fd);  // shed load
+        continue;
+      }
+      conn_queue_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void ExpositionServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !conn_queue_.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (conn_queue_.empty()) return;  // stop requested, queue drained
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
     HandleConnection(fd);
     ::close(fd);
   }
 }
 
 namespace {
+
+const char* StatusLine(int status) {
+  switch (status) {
+    case 200: return "200 OK";
+    case 400: return "400 Bad Request";
+    case 404: return "404 Not Found";
+    case 408: return "408 Request Timeout";
+    case 503: return "503 Service Unavailable";
+    default: return "500 Internal Server Error";
+  }
+}
 
 void WriteResponse(int fd, const char* status, const char* content_type,
                    const std::string& body) {
@@ -226,33 +320,47 @@ void ExpositionServer::HandleConnection(int fd) {
     return;
   }
 
-  std::lock_guard<std::mutex> lock(sources_mutex_);
-  if (path == "/metrics") {
-    if (!metrics_fn_) {
-      WriteResponse(fd, "503 Service Unavailable", "text/plain",
-                    "no run attached\n");
-      return;
+  if (path == "/metrics" || path == "/metrics.json" || path == "/trace") {
+    std::lock_guard<std::mutex> lock(sources_mutex_);
+    if (path == "/metrics") {
+      if (!metrics_fn_) {
+        WriteResponse(fd, "503 Service Unavailable", "text/plain",
+                      "no run attached\n");
+        return;
+      }
+      WriteResponse(fd, "200 OK", "text/plain; version=0.0.4",
+                    PrometheusText(metrics_fn_()));
+    } else if (path == "/metrics.json") {
+      if (!metrics_fn_) {
+        WriteResponse(fd, "503 Service Unavailable", "text/plain",
+                      "no run attached\n");
+        return;
+      }
+      WriteResponse(fd, "200 OK", "application/json", metrics_fn_().ToJson());
+    } else {
+      std::string trace = trace_fn_ ? trace_fn_() : std::string();
+      if (trace.empty()) {
+        WriteResponse(fd, "404 Not Found", "text/plain",
+                      "tracing not enabled\n");
+        return;
+      }
+      WriteResponse(fd, "200 OK", "application/json", trace);
     }
-    WriteResponse(fd, "200 OK", "text/plain; version=0.0.4",
-                  PrometheusText(metrics_fn_()));
-  } else if (path == "/metrics.json") {
-    if (!metrics_fn_) {
-      WriteResponse(fd, "503 Service Unavailable", "text/plain",
-                    "no run attached\n");
-      return;
-    }
-    WriteResponse(fd, "200 OK", "application/json", metrics_fn_().ToJson());
-  } else if (path == "/trace") {
-    std::string trace = trace_fn_ ? trace_fn_() : std::string();
-    if (trace.empty()) {
-      WriteResponse(fd, "404 Not Found", "text/plain",
-                    "tracing not enabled\n");
-      return;
-    }
-    WriteResponse(fd, "200 OK", "application/json", trace);
-  } else {
-    WriteResponse(fd, "404 Not Found", "text/plain", "unknown path\n");
+    return;
   }
+
+  // Custom routes run outside sources_mutex_ so a long-running handler (the
+  // serving plane's /run is a full engine execution) never blocks metric
+  // scrapes or a ClearSources detach.
+  if (handler_) {
+    HttpResponse resp;
+    if (handler_(path, &resp)) {
+      WriteResponse(fd, StatusLine(resp.status), resp.content_type.c_str(),
+                    resp.body);
+      return;
+    }
+  }
+  WriteResponse(fd, "404 Not Found", "text/plain", "unknown path\n");
 }
 
 }  // namespace powerlog

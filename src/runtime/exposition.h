@@ -1,13 +1,17 @@
-// Embedded HTTP exposition server: a dependency-free metrics endpoint so a
-// live PowerLog run can be scraped by Prometheus or curl'd by a human.
+// Embedded HTTP exposition server: a dependency-free HTTP endpoint so a
+// live PowerLog run can be scraped by Prometheus, curl'd by a human, or —
+// since the serving plane (ISSUE 6) — queried for resident results.
 //
-// Deliberately minimal (ARCHITECTURE.md §5): one listener thread, blocking
-// accept, serial request handling, HTTP/1.0-style close-after-response. The
-// engine is the hot path; the exposition plane must never contend with it —
-// every handler reads relaxed-atomic instruments or takes a concurrent ring
-// snapshot, so a scrape costs the run nothing but memory bandwidth.
+// Deliberately minimal (ARCHITECTURE.md §5): one listener thread feeding a
+// small pool of handler threads over a bounded connection queue, blocking
+// accept, HTTP/1.0-style close-after-response. The engine is the hot path;
+// the exposition plane must never contend with it — every built-in handler
+// reads relaxed-atomic instruments or takes a concurrent ring snapshot, so a
+// scrape costs the run nothing but memory bandwidth. Custom routes (the
+// serving plane's /lookup, /topk, /run) are installed via SetHandler and run
+// concurrently on the handler pool, outside the built-in sources lock.
 //
-// Routes:
+// Built-in routes:
 //   /metrics       Prometheus text exposition format
 //   /metrics.json  the existing MetricsSnapshot JSON (same shape as
 //                  `powerlog_cli --metrics-json`)
@@ -16,11 +20,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
@@ -28,16 +35,29 @@
 namespace powerlog {
 
 /// Renders a MetricsSnapshot in the Prometheus text exposition format.
-/// Names are prefixed `powerlog_` and sanitised to [a-zA-Z0-9_:]; counters
-/// and gauges map directly, histograms emit cumulative `_bucket{le="..."}`
-/// rows (including `+Inf`) plus `_sum` and `_count`. Series are skipped —
-/// Prometheus scrapes build their own time dimension.
+/// Names are prefixed `powerlog_` and sanitised to [a-zA-Z0-9_:] (so dotted
+/// series names like `timeline.beta.w0`, dashes, and leading digits all
+/// become valid identifiers); counters and gauges map directly, histograms
+/// emit strictly cumulative `_bucket{le="..."}` rows (including `+Inf`) plus
+/// `_sum` and `_count`, with `_count` equal to the `+Inf` bucket as the spec
+/// requires. Series are skipped — Prometheus scrapes build their own time
+/// dimension.
 std::string PrometheusText(const metrics::MetricsSnapshot& snapshot);
 
-/// \brief The exposition server. Start() binds and spawns the listener
-/// thread; SetSources wires the live run's data in; ClearSources (or the
-/// destructor) detaches them, blocking until any in-flight request drains so
-/// callbacks never outlive what they capture.
+/// \brief One HTTP response produced by a custom route handler.
+struct HttpResponse {
+  int status = 200;                        ///< 200, 400, 404, 503, ...
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
+/// \brief The exposition server. Start() binds and spawns the listener plus
+/// handler threads; SetSources wires the live run's data in; ClearSources
+/// (or the destructor) detaches them, blocking until any in-flight request
+/// drains so callbacks never outlive what they capture. Stop() → Start() on
+/// the same port is supported (SO_REUSEADDR is set before bind, and Stop
+/// fully resets listener/queue/thread state), so a resident server can
+/// restart its catalog in place.
 class ExpositionServer {
  public:
   ExpositionServer() = default;
@@ -51,12 +71,18 @@ class ExpositionServer {
   using MetricsFn = std::function<metrics::MetricsSnapshot()>;
   /// Source of the current Chrome trace JSON; empty string = no trace.
   using TraceFn = std::function<std::string()>;
+  /// Custom route handler, consulted for any path the built-in routes do not
+  /// claim (the request target is passed verbatim, query string included).
+  /// Returns false to fall through to the 404. Runs concurrently on up to
+  /// `handler_threads` threads — implementations must be thread-safe.
+  using Handler = std::function<bool(const std::string& path, HttpResponse*)>;
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the listener thread.
-  /// Returns the bound port.
-  Result<int> Start(int port);
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the listener thread
+  /// plus `handler_threads` request threads. Returns the bound port.
+  Result<int> Start(int port, int handler_threads = 1);
 
-  /// Stops the listener and joins the thread. Idempotent.
+  /// Stops the listener, drains the connection queue, and joins every
+  /// thread. Idempotent; the server may be Start()ed again afterwards.
   void Stop();
 
   /// Installs the live data sources. Thread-safe; may be called before or
@@ -68,11 +94,19 @@ class ExpositionServer {
   /// they captured may be destroyed.
   void ClearSources();
 
+  /// Installs the custom route handler. Must be called while the server is
+  /// stopped: the handler is read without synchronisation by the handler
+  /// threads (thread start/join provide the happens-before edges), which is
+  /// what lets custom routes — full engine runs included — run concurrently
+  /// instead of serialising on a lock.
+  void SetHandler(Handler handler);
+
   int port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
  private:
   void Serve();
+  void HandlerLoop();
   void HandleConnection(int fd);
 
   int listen_fd_ = -1;
@@ -80,10 +114,19 @@ class ExpositionServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::thread thread_;
+  std::vector<std::thread> handler_threads_;
+
+  /// Accepted connections waiting for a handler thread. Bounded: beyond
+  /// kMaxQueuedConnections the listener sheds load by closing the socket
+  /// (the client sees a reset rather than an unbounded queue).
+  std::deque<int> conn_queue_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
 
   std::mutex sources_mutex_;
   MetricsFn metrics_fn_;
   TraceFn trace_fn_;
+  Handler handler_;
 };
 
 /// \brief RAII source attachment: wires a live run into `server` on

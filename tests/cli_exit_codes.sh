@@ -1,0 +1,99 @@
+#!/bin/sh
+# Exit-code audit for powerlog_cli (ISSUE 6 satellite): every failure path
+# must exit nonzero with a diagnostic on stderr. The regression was runs
+# that "failed politely" — unwritable artifact paths, garbage numeric flags
+# — while still exiting 0, which silently greenlights broken CI pipelines.
+#
+# Usage: cli_exit_codes.sh <path-to-powerlog_cli>
+set -u
+
+CLI="${1:?usage: cli_exit_codes.sh <powerlog_cli>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+failures=0
+
+# expect <expected-exit> <description> -- <args...>
+expect() {
+    want="$1"; desc="$2"; shift 3
+    out="$TMP/stdout"; err="$TMP/stderr"
+    "$CLI" "$@" >"$out" 2>"$err"
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc: exit $got, want $want" >&2
+        sed 's/^/  stderr: /' "$err" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    # Exit 3 is check-only's documented "conditions unsatisfied" verdict —
+    # the report goes to stdout; only real errors (1, 2) owe a stderr line.
+    if [ "$want" -ne 0 ] && [ "$want" -ne 3 ] && [ ! -s "$err" ]; then
+        echo "FAIL: $desc: nonzero exit but empty stderr diagnostic" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok: $desc (exit $got)"
+}
+
+# Healthy baseline: a tiny run must still succeed.
+printf '0 1 1\n1 2 1\n' > "$TMP/edges.txt"
+expect 0 "successful run" -- \
+    --program sssp --graph "$TMP/edges.txt" --workers 2
+expect 0 "--list" -- --list
+
+# Usage errors: exit 2.
+expect 2 "no arguments" --
+expect 2 "unknown flag" -- --program sssp --bogus-flag
+expect 2 "missing graph and dataset" -- --program sssp
+expect 2 "both graph and dataset" -- \
+    --program sssp --dataset flickr --graph "$TMP/edges.txt"
+expect 2 "bad mode" -- \
+    --program sssp --graph "$TMP/edges.txt" --mode warp
+expect 2 "garbage --workers" -- \
+    --program sssp --graph "$TMP/edges.txt" --workers 4x
+expect 2 "garbage --source" -- \
+    --program sssp --graph "$TMP/edges.txt" --source abc
+expect 2 "garbage --epsilon" -- \
+    --program sssp --graph "$TMP/edges.txt" --epsilon 1e-
+expect 2 "garbage --top" -- \
+    --program sssp --graph "$TMP/edges.txt" --top ten
+expect 2 "garbage --serve-metrics" -- \
+    --program sssp --graph "$TMP/edges.txt" --serve-metrics http
+
+# Input errors: exit 1.
+expect 1 "unknown program" -- \
+    --program no_such_program --graph "$TMP/edges.txt"
+expect 1 "unknown dataset" -- --program sssp --dataset no_such_dataset
+expect 1 "unreadable graph file" -- \
+    --program sssp --graph "$TMP/does_not_exist.txt"
+printf 'this is not datalog' > "$TMP/bad.dl"
+expect 1 "datalog parse failure" -- \
+    --program "$TMP/bad.dl" --graph "$TMP/edges.txt"
+
+# Artifact-write failures: exit 1 even though the run itself succeeded.
+expect 1 "unwritable --metrics-json directory" -- \
+    --program sssp --graph "$TMP/edges.txt" --workers 2 \
+    --metrics-json "$TMP/no_such_dir/metrics.json"
+expect 1 "unwritable --trace-out directory" -- \
+    --program sssp --graph "$TMP/edges.txt" --workers 2 \
+    --trace-out "$TMP/no_such_dir/trace.json"
+if [ -w /dev/full ] 2>/dev/null; then
+    # ENOSPC at write(2) time, after a perfectly successful open(2): the
+    # original bug exited 0 here.
+    expect 1 "metrics write hits ENOSPC (/dev/full)" -- \
+        --program sssp --graph "$TMP/edges.txt" --workers 2 \
+        --metrics-json /dev/full
+    expect 1 "trace write hits ENOSPC (/dev/full)" -- \
+        --program sssp --graph "$TMP/edges.txt" --workers 2 \
+        --trace-out /dev/full
+fi
+
+# Check-only keeps its documented tri-state: 0 satisfied, 3 unsatisfied.
+expect 0 "check-only satisfied (sssp)" -- --program sssp --check-only
+expect 3 "check-only unsatisfied (gcn_forward)" -- \
+    --program gcn_forward --check-only
+
+if [ "$failures" -ne 0 ]; then
+    echo "cli_exit_codes: $failures case(s) failed" >&2
+    exit 1
+fi
+echo "cli_exit_codes: all cases passed"

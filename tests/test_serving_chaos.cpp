@@ -1,0 +1,122 @@
+// Concurrent-serving chaos test (ISSUE 6 satellite, TSan-gated): reader
+// threads hammer point lookups and top-k scans while full runs converge on
+// the *same* shared Graph snapshot. Uses sssp — a min aggregate with a
+// unique fixpoint — so every answer is bit-exact against a cold run, and any
+// torn read, lock misuse, or accidental mutation of the shared snapshot
+// shows up as either a TSan report or a value mismatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "datalog/catalog.h"
+#include "graph/builder.h"
+#include "powerlog/serving.h"
+
+namespace powerlog {
+namespace {
+
+Graph ChainGraph(VertexId n) {
+  GraphBuilder b;
+  b.EnsureVertices(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1, 1.0);
+  return std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+}
+
+TEST(ServingChaos, LookupsStayBitExactWhileRunsConverge) {
+  auto sssp = datalog::GetCatalogEntry("sssp");
+  ASSERT_TRUE(sssp.ok());
+
+  constexpr VertexId kN = 1500;  // sync sssp: one superstep per hop
+  serving::ServingOptions options;
+  options.engine.num_workers = 2;
+  options.engine.network.instant = true;
+  options.engine.mode = runtime::ExecMode::kSync;
+  options.max_inflight_runs = 2;
+  options.max_queued_runs = 4;
+  options.cache_capacity = 0;  // force every run through the engine
+  serving::ServingCatalog catalog(options);
+  ASSERT_TRUE(
+      catalog.MaterializeSource("sssp", "chain", sssp->source, ChainGraph(kN))
+          .ok());
+
+  // Cold references, computed before any concurrency starts.
+  RunOptions cold_options;
+  cold_options.engine = options.engine;
+  Graph cold_graph = ChainGraph(kN);
+  auto cold_default = PowerLog::Run(sssp->source, cold_graph, cold_options);
+  ASSERT_TRUE(cold_default.ok());
+  cold_options.source = 100;
+  auto cold_src100 = PowerLog::Run(sssp->source, cold_graph, cold_options);
+  ASSERT_TRUE(cold_src100.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+
+  // Reader fleet: point lookups + top-k scans against resident state.
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint32_t x = 0x9e3779b9u * static_cast<uint32_t>(r + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = x * 1664525u + 1013904223u;  // cheap LCG, no shared state
+        const VertexId v = x % kN;
+        auto value = catalog.Lookup("sssp", "chain", v);
+        if (!value.ok() || *value != cold_default->values[v]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (v % 16 == 0) {
+          auto top = catalog.TopK("sssp", "chain", 4, /*ascending=*/true);
+          if (!top.ok() || top->size() != 4 || (*top)[0].second != 0.0 ||
+              (*top)[3].second != 3.0) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Writer-shaped traffic: full convergences multiplexed over the same
+  // shared snapshot (they write their own private state, never the graph or
+  // the resident values). Results must be bit-exact against the cold run.
+  std::vector<std::thread> runners;
+  for (int t = 0; t < 2; ++t) {
+    runners.emplace_back([&] {
+      for (int i = 0; i < 2; ++i) {
+        auto run = catalog.Run("sssp", "chain", 100, /*deadline_ms=*/120000);
+        if (!run.ok()) {
+          // Admission pushback is legal under chaos; wrong answers are not.
+          continue;
+        }
+        if (!run->converged ||
+            run->values.size() != cold_src100->values.size()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (size_t v = 0; v < run->values.size(); ++v) {
+          if (run->values[v] != cold_src100->values[v] &&
+              !(std::isinf(run->values[v]) &&
+                std::isinf(cold_src100->values[v]))) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  for (auto& t : runners) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The whole storm shared one snapshot: no per-query graph rebuilds.
+  EXPECT_EQ(catalog.graph_builds(), 1);
+}
+
+}  // namespace
+}  // namespace powerlog
