@@ -9,6 +9,9 @@
 //   curl http://127.0.0.1:9900/lookup?program=pagerank&dataset=flickr&v=42
 //   curl http://127.0.0.1:9900/topk?program=pagerank&dataset=flickr&k=5
 //   curl http://127.0.0.1:9900/run?program=sssp&dataset=flickr&source=7
+//   curl -X POST --data '{"ops":[{"op":"insert","src":1,"dst":2,"weight":1}]}'
+//     'http://127.0.0.1:9900/mutate?program=pagerank&dataset=flickr'
+//   curl http://127.0.0.1:9900/version?program=pagerank&dataset=flickr
 //
 // Flags:
 //   --pair <program>:<dataset>  pair to materialise; repeatable
@@ -22,9 +25,9 @@
 //   --deadline-ms <n>           default per-query deadline (default 30000)
 //   --cache <n>                 result-cache capacity, 0 disables (default 64)
 //
-// Routes: /catalog /lookup /topk /run plus the exposition built-ins
-// /metrics /metrics.json /healthz. The serving.* counters (cache hits,
-// admissions, graph builds) ride along on /metrics.
+// Routes: /catalog /lookup /topk /run /version /mutate plus the exposition
+// built-ins /metrics /metrics.json /healthz. The serving.* counters (cache
+// hits, admissions, graph builds, mutation paths) ride along on /metrics.
 //
 // SIGINT/SIGTERM shut down cleanly: stop accepting, drain in-flight
 // handlers, join every thread, exit 0. Both "--flag value" and
@@ -150,15 +153,16 @@ int main(int argc, char** argv) {
     std::printf("materializing %s over %s ...\n", program.c_str(),
                 dataset.c_str());
     std::fflush(stdout);
-    Status status = catalog.Materialize(program, dataset);
-    if (!status.ok()) {
+    auto entry = catalog.Materialize(program, dataset);
+    if (!entry.ok()) {
       std::fprintf(stderr, "materialize %s:%s failed: %s\n", program.c_str(),
-                   dataset.c_str(), status.ToString().c_str());
+                   dataset.c_str(), entry.status().ToString().c_str());
       return 1;
     }
-    const serving::ServingEntry* entry = catalog.Find(program, dataset);
-    std::printf("  resident: %u vertices, converged in %.3fs\n",
-                entry->graph->num_vertices(), entry->materialize_seconds);
+    std::printf("  resident: %u vertices, converged in %.3fs (v%llu)\n",
+                (*entry)->graph()->num_vertices(),
+                (*entry)->materialize_seconds(),
+                static_cast<unsigned long long>((*entry)->Version()));
   }
   std::printf("catalog: %zu entries, %lld graph builds\n", catalog.size(),
               static_cast<long long>(catalog.graph_builds()));

@@ -36,7 +36,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> build (build/)"
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target bench_micro bench_fig9_overall >/dev/null
+cmake --build build -j "$JOBS" --target bench_micro bench_fig9_overall bench_mutation >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -59,12 +59,19 @@ FIG9_ENV=()
 env "${FIG9_ENV[@]}" POWERLOG_BENCH_METRICS="$TMP/fig9_metrics.jsonl" \
   ./build/bench/bench_fig9_overall > "$TMP/fig9.txt"
 
+echo "==> bench_mutation (incremental re-convergence vs cold recompute)"
+MUT_ENV=()
+[[ "$QUICK" -eq 1 ]] && MUT_ENV+=(POWERLOG_BENCH_FAST=1)
+env "${MUT_ENV[@]}" POWERLOG_BENCH_MUTATION="$TMP/mutation.jsonl" \
+  ./build/bench/bench_mutation > "$TMP/mutation.txt"
+
 echo "==> merge -> $OUT"
 python3 scripts/bench_compare.py collect \
   --rev "$REV" \
   --quick "$QUICK" \
   --micro-json "$TMP/micro.json" \
   --fig9-metrics "$TMP/fig9_metrics.jsonl" \
+  --mutation-metrics "$TMP/mutation.jsonl" \
   --out "$OUT"
 
 python3 scripts/bench_compare.py show "$OUT"

@@ -37,8 +37,16 @@ on a loaded host:
                             path every production run pays with the tracer
                             compiled in); hard ceiling 10 ns — a couple of
                             predictable branches, never a clock read.
+  mutation_speedup_vs_recompute
+                            worst-cell incremental-Apply vs cold-recompute
+                            wall ratio from bench_mutation (ISSUE 7); must
+                            stay >= MUTATION_SPEEDUP_FLOOR (5.0). The floor
+                            is informational on the first run (baseline
+                            predates the metric) and gated thereafter.
   fig9 convergence          every engine run recorded in the baseline must
                             still converge.
+  mutation convergence      every mutation cell recorded in the baseline must
+                            still re-converge.
 
 Since ISSUE 5 the fabric/sweep/edge floors double as the tracer-off overhead
 gate: bench_micro is built with the tracing plane compiled in (disabled), so
@@ -59,6 +67,7 @@ SWEEP_SPEEDUP_FLOOR = 5.0   # frontier sweep vs full-scan replica (ISSUE 4)
 EDGE_SPEEDUP_FLOOR = 1.5    # specialized scatter vs stack VM (ISSUE 4)
 FLAT_ALLOCS_CEILING = 1.0   # combining-buffer steady-state allocs/M
 TRACE_DISABLED_CEILING_NS = 10.0  # disabled SpanGuard cost (ISSUE 5)
+MUTATION_SPEEDUP_FLOOR = 5.0  # incremental Apply vs cold recompute (ISSUE 7)
 REGRESSION_PCT = 10.0  # tracked-metric tolerance vs baseline
 ALLOC_SLACK = 1.0      # absolute allocs/M slack on top of the percentage
 OVERFLOW_SLACK = 0     # overflow sends allowed above baseline
@@ -123,6 +132,24 @@ def collect(args):
     except FileNotFoundError:
         pass
 
+    mutation = {}
+    if getattr(args, "mutation_metrics", None):
+        try:
+            with open(args.mutation_metrics) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    rec = json.loads(line)
+                    key = "{}/{}".format(rec.get("program"), rec.get("dataset"))
+                    mutation[key] = rec
+        except FileNotFoundError:
+            pass
+    mutation_speedups = [
+        s for s in (_num(rec.get("speedup")) for rec in mutation.values())
+        if s is not None
+    ]
+
     spsc = micro.get("BM_BusFabric_SPSC", {})
     mutex = micro.get("BM_BusFabric_MutexDeque", {})
     latency = micro.get("BM_BusFabric_SPSC_Latency", {})
@@ -169,9 +196,14 @@ def collect(args):
                 micro.get("BM_TraceSpanDisabled", {}).get("cpu_time_ns"),
             "trace_enabled_span_ns":
                 micro.get("BM_TraceSpanEnabled", {}).get("cpu_time_ns"),
+            # Worst cell gates: one slow (program, dataset) pair is a
+            # regression even if the others still fly.
+            "mutation_speedup_vs_recompute":
+                min(mutation_speedups) if mutation_speedups else None,
         },
         "micro": micro,
         "fig9": fig9,
+        "mutation": mutation,
     }
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -286,6 +318,29 @@ def compare(args):
         notes.append("trace_disabled_span_ns: {:.2f} (ceiling {:.1f})".format(
             span_ns, TRACE_DISABLED_CEILING_NS))
 
+    # Mutation-plane floor (ISSUE 7). Informational on the first run — a
+    # baseline that predates the metric can't vouch for the host — and a hard
+    # absolute gate once any baseline has carried it.
+    mut = _num(cm.get("mutation_speedup_vs_recompute"))
+    base_mut = _num(bm.get("mutation_speedup_vs_recompute"))
+    if mut is None:
+        if base_mut is not None:
+            failures.append(
+                "mutation_speedup_vs_recompute: missing from current run")
+        else:
+            notes.append(
+                "mutation_speedup_vs_recompute: not present (pre-ISSUE-7 run)")
+    elif mut < MUTATION_SPEEDUP_FLOOR:
+        line = "mutation_speedup_vs_recompute: {:.2f} < floor {:.1f}".format(
+            mut, MUTATION_SPEEDUP_FLOOR)
+        if base_mut is None:
+            warnings.append(line + " (informational: baseline lacks the metric)")
+        else:
+            failures.append(line)
+    else:
+        notes.append("mutation_speedup_vs_recompute: {:.2f} (floor {:.1f})".format(
+            mut, MUTATION_SPEEDUP_FLOOR))
+
     tracked("fabric_speedup", worse_is="lower")
     tracked("fabric_spsc_allocs_per_M", worse_is="higher", slack=ALLOC_SLACK)
     tracked("fabric_overflow_sends", worse_is="higher", slack=OVERFLOW_SLACK)
@@ -303,6 +358,17 @@ def compare(args):
             continue
         if brec.get("converged") and not crec.get("converged"):
             failures.append("fig9 {}: converged in baseline, diverged now".format(key))
+
+    # Same contract for the mutation cells: a batch that re-converged in the
+    # baseline must still re-converge.
+    for key, brec in sorted(base.get("mutation", {}).items()):
+        crec = cur.get("mutation", {}).get(key)
+        if crec is None:
+            notes.append("mutation {}: not present in current run".format(key))
+            continue
+        if brec.get("converged") and not crec.get("converged"):
+            failures.append(
+                "mutation {}: re-converged in baseline, diverged now".format(key))
 
     # Informational wall-clock deltas.
     for name in ("fabric_spsc_updates_per_sec", "fabric_mutex_updates_per_sec",
@@ -341,6 +407,11 @@ def show(args):
     if fig9:
         print("  fig9 runs: {} ({} converged)".format(
             len(fig9), sum(1 for r in fig9.values() if r.get("converged"))))
+    mutation = doc.get("mutation", {})
+    if mutation:
+        print("  mutation cells: {} ({} converged)".format(
+            len(mutation),
+            sum(1 for r in mutation.values() if r.get("converged"))))
     return 0
 
 
@@ -353,6 +424,7 @@ def main():
     c.add_argument("--quick", default="0")
     c.add_argument("--micro-json", required=True)
     c.add_argument("--fig9-metrics", required=True)
+    c.add_argument("--mutation-metrics", default=None)
     c.add_argument("--out", required=True)
     c.set_defaults(func=collect)
 

@@ -115,6 +115,32 @@ else
   grep -q '^powerlog_serving_graph_builds 1$' <<<"$METRICS" \
       || serve_fail "graph rebuilt while serving"
 
+  # Mutation plane (ISSUE 7): POST a batch, assert the entry re-converged to
+  # a new version, the result cache dropped its pre-mutation entries, and the
+  # mutation counters moved.
+  echo "==> serving: POST /mutate + incremental re-convergence"
+  curl -sf "$BASE/version?program=pagerank&dataset=flickr" \
+      | grep -q '"version":1' || serve_fail "/version (pre-mutation)"
+  MUTATE="$(curl -sf -X POST \
+      --data '{"ops":[{"op":"insert","src":1,"dst":2,"weight":1.0}]}' \
+      "$BASE/mutate?program=pagerank&dataset=flickr")" \
+      || serve_fail "/mutate (POST)"
+  grep -q '"version":2' <<<"$MUTATE" || serve_fail "/mutate did not bump version"
+  grep -q '"converged":true' <<<"$MUTATE" || serve_fail "/mutate did not re-converge"
+  grep -q '"path":"' <<<"$MUTATE" || serve_fail "/mutate reported no path"
+  curl -sf "$BASE/version?program=pagerank&dataset=flickr" \
+      | grep -q '"version":2' || serve_fail "/version (post-mutation)"
+  curl -sf "$BASE/lookup?program=pagerank&dataset=flickr&v=42" \
+      | grep -q '"value":' || serve_fail "/lookup (post-mutation)"
+  # The pre-mutation cached /run must not survive the version bump.
+  curl -sf "$BASE/run?program=pagerank&dataset=flickr" \
+      | grep -q '"cached":false' || serve_fail "/run served a stale cache entry"
+  METRICS="$(curl -sf "$BASE/metrics")"
+  grep -q '^powerlog_serving_mutations_applied 1$' <<<"$METRICS" \
+      || serve_fail "mutations_applied counter did not move"
+  grep -q '^powerlog_serving_graph_builds 2$' <<<"$METRICS" \
+      || serve_fail "mutation did not advance the graph build count"
+
   echo "==> serving: SIGTERM clean shutdown"
   kill -TERM "$SERVE_PID"
   SERVE_RC=0

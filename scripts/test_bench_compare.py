@@ -137,6 +137,41 @@ class BenchCompareTest(unittest.TestCase):
         proc = self.run_compare(base, cur)
         self.assertNotEqual(proc.returncode, 0)
 
+    def test_mutation_floor_informational_without_baseline_metric(self):
+        # ISSUE 7: the mutation floor must not gate against a baseline that
+        # predates the metric — first run is informational.
+        base = self.write("base.json", bench_doc())
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["mutation_speedup_vs_recompute"] = 1.2
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("informational: baseline lacks the metric", proc.stdout)
+
+    def test_mutation_floor_gates_once_baseline_has_metric(self):
+        base_doc = bench_doc()
+        base_doc["metrics"]["mutation_speedup_vs_recompute"] = 8.0
+        base = self.write("base.json", base_doc)
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["mutation_speedup_vs_recompute"] = 1.2
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("mutation_speedup_vs_recompute", proc.stdout)
+
+    def test_mutation_cell_divergence_gates(self):
+        base_doc = bench_doc()
+        base_doc["metrics"]["mutation_speedup_vs_recompute"] = 8.0
+        base_doc["mutation"] = {"pagerank/livej": {"converged": True}}
+        base = self.write("base.json", base_doc)
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["mutation_speedup_vs_recompute"] = 8.0
+        cur_doc["mutation"] = {"pagerank/livej": {"converged": False}}
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("diverged now", proc.stdout)
+
     def test_show_tolerates_truncated_file(self):
         doc = bench_doc()
         del doc["metrics"]

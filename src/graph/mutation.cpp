@@ -1,0 +1,145 @@
+#include "graph/mutation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace powerlog {
+
+const char* MutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kInsertEdge: return "insert";
+    case MutationOp::kDeleteEdge: return "delete";
+    case MutationOp::kReweightEdge: return "reweight";
+  }
+  return "?";
+}
+
+Status MutationBatch::Validate(const Graph& graph) const {
+  const VertexId n = graph.num_vertices();
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const EdgeMutation& op = ops_[i];
+    if (op.src >= n || op.dst >= n) {
+      return Status::OutOfRange(StringFormat(
+          "op %zu (%s %u->%u): vertex out of range (|V|=%u); mutations "
+          "connect existing vertices only",
+          i, MutationOpName(op.kind), op.src, op.dst, n));
+    }
+    if (op.kind != MutationOp::kDeleteEdge && !std::isfinite(op.weight)) {
+      return Status::InvalidArgument(StringFormat(
+          "op %zu (%s %u->%u): weight must be finite", i,
+          MutationOpName(op.kind), op.src, op.dst));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<size_t>> MutationBatch::RouteByShard(
+    const Partitioner& partition) const {
+  std::vector<std::vector<size_t>> routed(partition.num_workers());
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    routed[partition.WorkerOf(ops_[i].src)].push_back(i);
+  }
+  return routed;
+}
+
+Result<MutationApplyResult> ApplyMutationBatch(const Graph& base,
+                                               const MutationBatch& batch) {
+  POWERLOG_RETURN_NOT_OK(batch.Validate(base));
+  const VertexId n = base.num_vertices();
+  MutationApplyResult out;
+  out.ops.reserve(batch.size());
+
+  // Copy-on-write at vertex granularity: only sources an op touches get
+  // their adjacency copied into a mutable scratch list.
+  std::map<VertexId, std::vector<Edge>> patched;
+  auto adjacency = [&](VertexId src) -> std::vector<Edge>& {
+    auto it = patched.find(src);
+    if (it == patched.end()) {
+      it = patched
+               .emplace(src,
+                        std::vector<Edge>(base.OutBegin(src), base.OutEnd(src)))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (const EdgeMutation& op : batch.ops()) {
+    AppliedMutation rec;
+    rec.op = op;
+    std::vector<Edge>& adj = adjacency(op.src);
+    switch (op.kind) {
+      case MutationOp::kInsertEdge:
+        adj.push_back(Edge{op.dst, op.weight});
+        rec.applied = true;
+        ++out.edges_added;
+        break;
+      case MutationOp::kDeleteEdge: {
+        int64_t removed = 0;
+        auto keep = adj.begin();
+        for (const Edge& e : adj) {
+          if (e.dst == op.dst) {
+            if (removed == 0) rec.old_weight = e.weight;
+            ++removed;
+          } else {
+            *keep++ = e;
+          }
+        }
+        adj.erase(keep, adj.end());
+        if (removed > 0) {
+          rec.applied = true;
+          out.edges_removed += removed;
+        }
+        break;
+      }
+      case MutationOp::kReweightEdge: {
+        bool found = false;
+        int64_t changed = 0;
+        for (Edge& e : adj) {
+          if (e.dst != op.dst) continue;
+          if (!found) {
+            rec.old_weight = e.weight;
+            found = true;
+          }
+          if (e.weight != op.weight) {
+            e.weight = op.weight;
+            ++changed;
+          }
+        }
+        if (changed > 0) {
+          rec.applied = true;
+          out.edges_reweighted += changed;
+        }
+        break;
+      }
+    }
+    out.ops.push_back(rec);
+  }
+
+  // Rebuild the CSR: untouched edge ranges copy straight from the base
+  // arrays, patched sources splice their scratch lists in.
+  std::vector<EdgeIndex> offsets(n + 1, 0);
+  EdgeIndex total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v] = total;
+    auto it = patched.find(v);
+    total += it != patched.end() ? it->second.size() : base.OutDegree(v);
+  }
+  offsets[n] = total;
+  std::vector<Edge> edges;
+  edges.reserve(total);
+  for (VertexId v = 0; v < n; ++v) {
+    auto it = patched.find(v);
+    if (it != patched.end()) {
+      edges.insert(edges.end(), it->second.begin(), it->second.end());
+    } else {
+      edges.insert(edges.end(), base.OutBegin(v), base.OutEnd(v));
+    }
+  }
+  out.graph = Graph(std::move(offsets), std::move(edges));
+  return out;
+}
+
+}  // namespace powerlog

@@ -1,0 +1,104 @@
+// Streaming graph mutations (ROADMAP item 2): validated batches of edge
+// operations and their application to an immutable CSR snapshot.
+//
+// Snapshots never change — `ApplyMutationBatch` materialises a *new* CSR by
+// patching the adjacency of touched source vertices copy-on-write (untouched
+// edge ranges are copied wholesale, touched ranges are rebuilt from a
+// per-source scratch list), so readers of the base snapshot are never
+// disturbed and the serving plane can keep both versions alive side by side.
+// Vertex ids are fixed for a snapshot chain: mutations add and remove edges
+// between existing vertices only (the MonoTable rows backing a converged
+// fixpoint are sized once).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace powerlog {
+
+enum class MutationOp : uint8_t {
+  kInsertEdge,    ///< add (src, dst, weight); parallel edges are allowed
+  kDeleteEdge,    ///< remove every (src, dst) edge; a miss is a no-op
+  kReweightEdge,  ///< set the weight of every (src, dst) edge
+};
+
+const char* MutationOpName(MutationOp op);
+
+/// \brief One edge operation. `weight` is ignored for kDeleteEdge.
+struct EdgeMutation {
+  MutationOp kind = MutationOp::kInsertEdge;
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 1.0;
+};
+
+/// \brief An ordered batch of edge operations, applied atomically: the whole
+/// batch becomes one new graph version (and one re-convergence), never a
+/// partially applied state. Ops within a batch see the effect of earlier ops
+/// on the same edge.
+class MutationBatch {
+ public:
+  void InsertEdge(VertexId src, VertexId dst, double weight = 1.0) {
+    ops_.push_back({MutationOp::kInsertEdge, src, dst, weight});
+  }
+  void DeleteEdge(VertexId src, VertexId dst) {
+    ops_.push_back({MutationOp::kDeleteEdge, src, dst, 0.0});
+  }
+  void ReweightEdge(VertexId src, VertexId dst, double weight) {
+    ops_.push_back({MutationOp::kReweightEdge, src, dst, weight});
+  }
+  void Add(const EdgeMutation& op) { ops_.push_back(op); }
+
+  const std::vector<EdgeMutation>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void clear() { ops_.clear(); }
+
+  /// Every op must name vertices inside `graph` and a finite weight
+  /// (insert/reweight). Reports the first offending op by index.
+  Status Validate(const Graph& graph) const;
+
+  /// Groups op indices by the shard that owns each op's source vertex — the
+  /// worker whose MonoTable rows the op's seeded deltas touch first. The
+  /// returned vector has one (possibly empty) index list per worker.
+  std::vector<std::vector<size_t>> RouteByShard(
+      const Partitioner& partition) const;
+
+ private:
+  std::vector<EdgeMutation> ops_;
+};
+
+/// \brief One op's resolution against the base graph. Deletes of absent
+/// edges and reweights that change nothing resolve to `applied == false`.
+struct AppliedMutation {
+  EdgeMutation op;
+  bool applied = false;
+  double old_weight = 0.0;  ///< first matched weight (delete/reweight)
+};
+
+/// \brief A patched CSR plus the resolved op list the re-convergence planner
+/// consumes (reconverge.h).
+struct MutationApplyResult {
+  Graph graph;
+  std::vector<AppliedMutation> ops;
+  int64_t edges_added = 0;
+  int64_t edges_removed = 0;
+  int64_t edges_reweighted = 0;
+
+  /// True if the batch changed the graph at all; false means `graph` is an
+  /// identical copy of the base and no re-convergence is needed.
+  bool changed() const {
+    return edges_added + edges_removed + edges_reweighted > 0;
+  }
+};
+
+/// Validates and applies `batch` to `base`, returning the patched graph.
+/// `base` itself is untouched.
+Result<MutationApplyResult> ApplyMutationBatch(const Graph& base,
+                                               const MutationBatch& batch);
+
+}  // namespace powerlog

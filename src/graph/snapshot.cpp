@@ -55,6 +55,32 @@ std::shared_ptr<const Graph> GraphSnapshotRegistry::Adopt(
   return snapshot;
 }
 
+VersionedSnapshot GraphSnapshotRegistry::AdvanceHead(
+    const std::string& key, std::shared_ptr<const Graph> graph) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = heads_.find(key);
+  if (it == heads_.end()) {
+    it = heads_.emplace(key, VersionedSnapshot{0, nullptr}).first;
+  } else {
+    // A version advance materialised a new CSR; the initial install reuses
+    // a snapshot some other entry point already built and counted.
+    builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++it->second.version;
+  it->second.graph = std::move(graph);
+  return it->second;
+}
+
+Result<VersionedSnapshot> GraphSnapshotRegistry::Head(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = heads_.find(key);
+  if (it == heads_.end()) {
+    return Status::NotFound("no head version for '" + key + "'");
+  }
+  return it->second;
+}
+
 size_t GraphSnapshotRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return snapshots_.size();

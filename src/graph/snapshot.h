@@ -7,9 +7,11 @@
 // `Engine` already executes over a `const Graph&`; the registry is what
 // lets N concurrent engines point at one snapshot with zero per-run graph
 // rebuilds (the acceptance counter: builds() == number of distinct
-// snapshots, never query count). Mutating a served graph is deliberately
-// impossible — streaming mutations re-converge a *new* snapshot (ROADMAP
-// item 2), they never write into one being read (DESIGN.md).
+// snapshots, never query count). Writing into a served graph is deliberately
+// impossible — streaming mutations (ROADMAP item 2, mutation.h) patch a
+// *new* snapshot copy-on-write and advance a per-key head-version chain
+// (AdvanceHead/Head below); readers of earlier versions are never disturbed
+// and drop their references at their own pace.
 #pragma once
 
 #include <atomic>
@@ -23,6 +25,15 @@
 #include "graph/graph.h"
 
 namespace powerlog {
+
+/// \brief One version of an evolving graph: what a serving-plane catalog
+/// entry holds while mutation batches advance its head (ROADMAP item 2).
+/// Versions start at 1 and increment per AdvanceHead; the graph pointer is
+/// an ordinary immutable snapshot.
+struct VersionedSnapshot {
+  uint64_t version = 0;
+  std::shared_ptr<const Graph> graph;
+};
 
 /// \brief Process-wide registry of immutable, refcounted graph snapshots.
 ///
@@ -61,6 +72,18 @@ class GraphSnapshotRegistry {
   /// the snapshot alive). Returns true if present.
   bool Evict(const std::string& key);
 
+  /// Installs `graph` as the head of `key`'s version chain. The first
+  /// install is version 1 and does not count as a build (the snapshot was
+  /// built — and counted — by Dataset/FromFile/Adopt); every later advance
+  /// installs a genuinely new CSR (a copy-on-write mutation patch) and
+  /// increments builds(). Superseded versions stay alive for as long as
+  /// their holders keep them.
+  VersionedSnapshot AdvanceHead(const std::string& key,
+                                std::shared_ptr<const Graph> graph);
+
+  /// Current head of `key`'s version chain; NotFound before any install.
+  Result<VersionedSnapshot> Head(const std::string& key) const;
+
  private:
   Result<std::shared_ptr<const Graph>> GetOrBuild(
       const std::string& key, bool build_reverse,
@@ -68,6 +91,7 @@ class GraphSnapshotRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const Graph>> snapshots_;
+  std::map<std::string, VersionedSnapshot> heads_;
   std::atomic<int64_t> builds_{0};
 };
 

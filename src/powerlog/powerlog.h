@@ -24,11 +24,15 @@
 
 namespace powerlog {
 
-/// \brief End-to-end run options: the full engine configuration plus the
-/// few knobs that only make sense at the façade layer. Every engine
-/// parameter (mode, workers, network, termination caps, checkpointing,
-/// fault plan, metrics, ...) lives in `engine` — exactly once, so a field
-/// added to EngineOptions is immediately reachable here without a mirror.
+/// \brief End-to-end run options: a thin façade over the engine
+/// configuration. `engine` is the single documented escape hatch to
+/// runtime tuning — every engine parameter (mode, workers, network,
+/// termination caps, checkpointing, fault plan, metrics, ...) lives there
+/// exactly once, so a field added to EngineOptions is immediately
+/// reachable here without a mirror, and no façade field shadows an engine
+/// field. Flag plumbing (powerlog_cli, powerlog_serve) follows the same
+/// rule: each flag writes exactly one layer — `--source` writes the
+/// façade, every tuning flag writes `engine.*` — never both.
 /// Programs that fail the MRA check fall back to the naive sync engine;
 /// the relevant engine fields (workers, network, caps) still apply there,
 /// while the mode is forced to sync.

@@ -1,13 +1,16 @@
 #include "powerlog/serving.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "datalog/catalog.h"
+#include "runtime/reconverge.h"
 
 namespace powerlog::serving {
 
@@ -15,6 +18,10 @@ namespace {
 
 std::string PairKey(const std::string& program, const std::string& dataset) {
   return program + "\x1f" + dataset;
+}
+
+std::string HeadKey(const std::string& program, const std::string& dataset) {
+  return "head:" + PairKey(program, dataset);
 }
 
 void AppendJsonNumber(std::string* out, double v) {
@@ -27,6 +34,165 @@ void AppendJsonNumber(std::string* out, double v) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Materialization handle.
+
+std::shared_ptr<const Materialization::Resident> Materialization::Current()
+    const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return resident_;
+}
+
+uint64_t Materialization::Version() const { return Current()->version; }
+
+runtime::EngineStats Materialization::Stats() const { return Current()->stats; }
+
+std::shared_ptr<const Graph> Materialization::graph() const {
+  return Current()->graph;
+}
+
+Result<double> Materialization::Lookup(VertexId v) const {
+  catalog_->lookups_.fetch_add(1, std::memory_order_relaxed);
+  auto resident = Current();
+  if (v >= resident->values.size()) {
+    return Status::OutOfRange(StringFormat(
+        "vertex %u out of range (|V|=%zu)", v, resident->values.size()));
+  }
+  return resident->values[v];
+}
+
+Result<std::vector<std::pair<VertexId, double>>> Materialization::TopK(
+    size_t k, bool ascending) const {
+  catalog_->topk_scans_.fetch_add(1, std::memory_order_relaxed);
+  auto resident = Current();
+  std::vector<std::pair<double, VertexId>> ranked;
+  ranked.reserve(resident->values.size());
+  for (VertexId v = 0; v < resident->values.size(); ++v) {
+    if (!std::isfinite(resident->values[v])) continue;
+    ranked.emplace_back(resident->values[v], v);
+  }
+  k = std::min(k, ranked.size());
+  if (ascending) {
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), std::less<>());
+  } else {
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), std::greater<>());
+  }
+  std::vector<std::pair<VertexId, double>> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.emplace_back(ranked[i].second, ranked[i].first);
+  }
+  return out;
+}
+
+Result<RunSummary> Materialization::Run(std::optional<uint32_t> source_override,
+                                        int64_t deadline_ms, bool use_cache) {
+  return catalog_->RunImpl(this, source_override, deadline_ms, use_cache);
+}
+
+Result<MutationStats> Materialization::Apply(const MutationBatch& batch) {
+  // One batch at a time per handle: the plan is computed against the version
+  // it will supersede. Queries keep flowing off the current version.
+  std::lock_guard<std::mutex> apply_lock(apply_mutex_);
+  const int64_t t0 = NowMicros();
+  auto resident = Current();
+
+  MutationStats out;
+  out.ops_requested = batch.size();
+  out.version = resident->version;
+
+  auto applied = ApplyMutationBatch(*resident->graph, batch);
+  if (!applied.ok()) return applied.status();
+  out.edges_added = applied->edges_added;
+  out.edges_removed = applied->edges_removed;
+  out.edges_reweighted = applied->edges_reweighted;
+  for (const AppliedMutation& rec : applied->ops) {
+    if (rec.applied) ++out.ops_applied;
+  }
+  if (!applied->changed()) {
+    // Deleting absent edges / reweighting to the same weight: the patched
+    // graph is identical, so neither the version nor the fixpoint moves.
+    out.path = "noop";
+    out.apply_seconds = static_cast<double>(NowMicros() - t0) / 1e6;
+    return out;
+  }
+
+  auto new_graph = std::make_shared<const Graph>(std::move(applied->graph));
+  if (kernel_.uses_in_edges) (void)new_graph->Reverse();
+
+  auto plan = runtime::PlanReconvergence(kernel_, *resident->graph, *new_graph,
+                                         applied->ops, resident->values);
+  if (!plan.ok()) return plan.status();
+  out.path = runtime::ReconvergePathName(plan->path);
+  out.affected_vertices = plan->affected_vertices;
+
+  runtime::EngineResult reconverged;
+  if (plan->path == runtime::ReconvergePath::kRecompute) {
+    // Pause-and-absorb: a cold fixpoint on the new snapshot, while the old
+    // version keeps serving until the swap below.
+    RunOptions run_options;
+    run_options.engine = catalog_->options_.engine;
+    auto cold = PowerLog::Run(kernel_, *new_graph, run_options);
+    if (!cold.ok()) return cold.status();
+    reconverged.values = std::move(cold->values);
+    reconverged.stats = std::move(cold->stats);
+  } else {
+    runtime::Engine engine(*new_graph, kernel_, catalog_->options_.engine);
+    auto warm = engine.Resume(plan->warm);
+    if (!warm.ok()) return warm.status();
+    reconverged = std::move(warm).ValueOrDie();
+  }
+  if (!reconverged.stats.converged) {
+    return Status::Timeout(StringFormat(
+        "mutation re-convergence on '%s'/'%s' missed the engine caps; "
+        "version %llu keeps serving",
+        program_.c_str(), dataset_.c_str(),
+        static_cast<unsigned long long>(resident->version)));
+  }
+
+  const VersionedSnapshot head =
+      catalog_->registry_.AdvanceHead(HeadKey(program_, dataset_), new_graph);
+  auto next = std::make_shared<Resident>();
+  next->version = head.version;
+  next->graph = std::move(new_graph);
+  next->values = std::move(reconverged.values);
+  next->stats = reconverged.stats;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    resident_ = std::move(next);
+  }
+  // Cached full-run results were computed against the superseded snapshot.
+  catalog_->InvalidateCache(PairKey(program_, dataset_));
+  catalog_->mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+  switch (plan->path) {
+    case runtime::ReconvergePath::kDelta:
+      catalog_->mutation_delta_path_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case runtime::ReconvergePath::kRederive:
+      catalog_->mutation_rederive_path_.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      break;
+    case runtime::ReconvergePath::kRecompute:
+      catalog_->mutation_fallback_path_.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      break;
+  }
+
+  out.version = head.version;
+  out.engine = reconverged.stats;
+  out.apply_seconds = static_cast<double>(NowMicros() - t0) / 1e6;
+  POWERLOG_INFO << "serving: " << program_ << "/" << dataset_ << " -> v"
+                << head.version << " via " << out.path << " ("
+                << out.ops_applied << "/" << out.ops_requested << " ops, "
+                << out.apply_seconds << "s)";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog.
+
 ServingCatalog::ServingCatalog(ServingOptions options)
     : options_(std::move(options)) {
   // The serving plane owns exposition wiring; a per-run attachment would
@@ -34,8 +200,8 @@ ServingCatalog::ServingCatalog(ServingOptions options)
   options_.engine.exposition = nullptr;
 }
 
-Status ServingCatalog::Materialize(const std::string& program,
-                                   const std::string& dataset) {
+Result<std::shared_ptr<Materialization>> ServingCatalog::Materialize(
+    const std::string& program, const std::string& dataset) {
   auto entry = datalog::GetCatalogEntry(program);
   if (!entry.ok()) return entry.status();
 
@@ -60,10 +226,9 @@ Status ServingCatalog::Materialize(const std::string& program,
                           std::move(graph).ValueOrDie());
 }
 
-Status ServingCatalog::MaterializeSource(const std::string& program_label,
-                                         const std::string& dataset_label,
-                                         const std::string& source,
-                                         Graph graph) {
+Result<std::shared_ptr<Materialization>> ServingCatalog::MaterializeSource(
+    const std::string& program_label, const std::string& dataset_label,
+    const std::string& source, Graph graph) {
   auto check = PowerLog::Check(source);
   if (!check.ok()) return check.status();
   if (!check->satisfied) {
@@ -80,13 +245,13 @@ Status ServingCatalog::MaterializeSource(const std::string& program_label,
                           std::move(kernel).ValueOrDie(), std::move(snapshot));
 }
 
-Status ServingCatalog::MaterializeEntry(const std::string& program,
-                                        const std::string& dataset,
-                                        Kernel kernel,
-                                        std::shared_ptr<const Graph> graph) {
+Result<std::shared_ptr<Materialization>> ServingCatalog::MaterializeEntry(
+    const std::string& program, const std::string& dataset, Kernel kernel,
+    std::shared_ptr<const Graph> graph) {
   {
     std::lock_guard<std::mutex> lock(entries_mutex_);
-    if (FindLocked(program, dataset) != nullptr) return Status::OK();
+    auto existing = FindLocked(program, dataset);
+    if (existing != nullptr) return existing;
   }
 
   // Converge outside the lock: materialisation is the expensive step and
@@ -102,35 +267,42 @@ Status ServingCatalog::MaterializeEntry(const std::string& program,
                            "refusing to serve a non-fixpoint");
   }
 
-  auto entry = std::make_unique<ServingEntry>();
-  entry->program = program;
-  entry->dataset = dataset;
-  entry->kernel = std::move(kernel);
-  entry->graph = std::move(graph);
-  entry->values = std::move(run->values);
-  entry->stats = std::move(run->stats);
-  entry->materialize_seconds =
-      static_cast<double>(NowMicros() - t0) / 1e6;
+  std::shared_ptr<Materialization> handle(
+      new Materialization(this, program, dataset, std::move(kernel)));
+  handle->materialize_seconds_ = static_cast<double>(NowMicros() - t0) / 1e6;
 
   std::lock_guard<std::mutex> lock(entries_mutex_);
-  if (FindLocked(program, dataset) != nullptr) return Status::OK();  // raced
+  auto raced = FindLocked(program, dataset);
+  if (raced != nullptr) return raced;
+  // Install the head chain before the handle is visible: Version() == 1
+  // from the first query on. The initial install reuses the snapshot the
+  // registry already built, so builds() stays at catalog size until the
+  // first mutation.
+  const VersionedSnapshot head =
+      registry_.AdvanceHead(HeadKey(program, dataset), graph);
+  auto resident = std::make_shared<Materialization::Resident>();
+  resident->version = head.version;
+  resident->graph = std::move(graph);
+  resident->values = std::move(run->values);
+  resident->stats = std::move(run->stats);
+  handle->resident_ = std::move(resident);
   POWERLOG_INFO << "serving: materialised " << program << "/" << dataset
-                << " (" << entry->graph->Summary() << ") in "
-                << entry->materialize_seconds << "s";
-  entries_.push_back(std::move(entry));
-  return Status::OK();
+                << " (" << handle->resident_->graph->Summary() << ") in "
+                << handle->materialize_seconds_ << "s";
+  entries_.push_back(handle);
+  return handle;
 }
 
-const ServingEntry* ServingCatalog::FindLocked(
+std::shared_ptr<Materialization> ServingCatalog::FindLocked(
     const std::string& program, const std::string& dataset) const {
   for (const auto& e : entries_) {
-    if (e->program == program && e->dataset == dataset) return e.get();
+    if (e->program_ == program && e->dataset_ == dataset) return e;
   }
   return nullptr;
 }
 
-const ServingEntry* ServingCatalog::Find(const std::string& program,
-                                         const std::string& dataset) const {
+std::shared_ptr<Materialization> ServingCatalog::Find(
+    const std::string& program, const std::string& dataset) const {
   std::lock_guard<std::mutex> lock(entries_mutex_);
   return FindLocked(program, dataset);
 }
@@ -138,46 +310,23 @@ const ServingEntry* ServingCatalog::Find(const std::string& program,
 Result<double> ServingCatalog::Lookup(const std::string& program,
                                       const std::string& dataset,
                                       VertexId v) const {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
-  const ServingEntry* entry = Find(program, dataset);
+  auto entry = Find(program, dataset);
   if (entry == nullptr) {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("not materialised: " + program + "/" + dataset);
   }
-  if (v >= entry->values.size()) {
-    return Status::OutOfRange(StringFormat(
-        "vertex %u out of range (|V|=%zu)", v, entry->values.size()));
-  }
-  return entry->values[v];
+  return entry->Lookup(v);
 }
 
 Result<std::vector<std::pair<VertexId, double>>> ServingCatalog::TopK(
     const std::string& program, const std::string& dataset, size_t k,
     bool ascending) const {
-  topk_scans_.fetch_add(1, std::memory_order_relaxed);
-  const ServingEntry* entry = Find(program, dataset);
+  auto entry = Find(program, dataset);
   if (entry == nullptr) {
+    topk_scans_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("not materialised: " + program + "/" + dataset);
   }
-  std::vector<std::pair<double, VertexId>> ranked;
-  ranked.reserve(entry->values.size());
-  for (VertexId v = 0; v < entry->values.size(); ++v) {
-    if (!std::isfinite(entry->values[v])) continue;
-    ranked.emplace_back(entry->values[v], v);
-  }
-  k = std::min(k, ranked.size());
-  if (ascending) {
-    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
-                      ranked.end(), std::less<>());
-  } else {
-    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
-                      ranked.end(), std::greater<>());
-  }
-  std::vector<std::pair<VertexId, double>> out;
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    out.emplace_back(ranked[i].second, ranked[i].first);
-  }
-  return out;
+  return entry->TopK(k, ascending);
 }
 
 Status ServingCatalog::AcquireRunSlot(int64_t deadline_us) {
@@ -217,9 +366,20 @@ Result<RunSummary> ServingCatalog::Run(const std::string& program,
                                        const std::string& dataset,
                                        std::optional<uint32_t> source_override,
                                        int64_t deadline_ms, bool use_cache) {
+  auto entry = Find(program, dataset);
+  if (entry == nullptr) {
+    run_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("not materialised: " + program + "/" + dataset);
+  }
+  return RunImpl(entry.get(), source_override, deadline_ms, use_cache);
+}
+
+Result<RunSummary> ServingCatalog::RunImpl(
+    Materialization* entry, std::optional<uint32_t> source_override,
+    int64_t deadline_ms, bool use_cache) {
   run_requests_.fetch_add(1, std::memory_order_relaxed);
   const std::string cache_key =
-      PairKey(program, dataset) + "\x1f" +
+      PairKey(entry->program_, entry->dataset_) + "\x1f" +
       (source_override ? std::to_string(*source_override) : std::string("-"));
 
   use_cache = use_cache && options_.cache_capacity > 0;
@@ -236,10 +396,9 @@ Result<RunSummary> ServingCatalog::Run(const std::string& program,
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  const ServingEntry* entry = Find(program, dataset);
-  if (entry == nullptr) {
-    return Status::NotFound("not materialised: " + program + "/" + dataset);
-  }
+  // Pin the version this run computes against; a concurrent Apply can swap
+  // the head without pulling the snapshot out from under us.
+  auto resident = entry->Current();
 
   if (deadline_ms <= 0) deadline_ms = options_.default_deadline_ms;
   const int64_t deadline_us = NowMicros() + deadline_ms * 1000;
@@ -265,7 +424,7 @@ Result<RunSummary> ServingCatalog::Run(const std::string& program,
   run_options.engine.max_wall_seconds =
       std::min(run_options.engine.max_wall_seconds, std::max(0.01, remaining_s));
 
-  auto run = PowerLog::Run(entry->kernel, *entry->graph, run_options);
+  auto run = PowerLog::Run(entry->kernel_, *resident->graph, run_options);
   ReleaseRunSlot();
   if (!run.ok()) return run.status();
   runs_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -299,12 +458,25 @@ Result<RunSummary> ServingCatalog::Run(const std::string& program,
   return summary;
 }
 
+void ServingCatalog::InvalidateCache(const std::string& pair_key) {
+  const std::string prefix = pair_key + "\x1f";
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      cache_index_.erase(it->key);
+      it = cache_lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::vector<std::pair<std::string, std::string>> ServingCatalog::Entries()
     const {
   std::lock_guard<std::mutex> lock(entries_mutex_);
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(entries_.size());
-  for (const auto& e : entries_) out.emplace_back(e->program, e->dataset);
+  for (const auto& e : entries_) out.emplace_back(e->program_, e->dataset_);
   return out;
 }
 
@@ -333,6 +505,14 @@ metrics::MetricsSnapshot ServingCatalog::Metrics() const {
                   cache_misses_.load(std::memory_order_relaxed));
   snap.AddCounter("serving.cache.evictions",
                   cache_evictions_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.mutations.applied",
+                  mutations_applied_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.mutations.delta_path",
+                  mutation_delta_path_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.mutations.rederive_path",
+                  mutation_rederive_path_.load(std::memory_order_relaxed));
+  snap.AddCounter("serving.mutations.fallback_path",
+                  mutation_fallback_path_.load(std::memory_order_relaxed));
   snap.AddCounter("serving.graph_builds", graph_builds());
   snap.AddCounter("serving.catalog_size", static_cast<int64_t>(size()));
   {
@@ -385,31 +565,167 @@ void JsonOk(std::string body, HttpResponse* resp) {
   resp->body = std::move(body);
 }
 
+// Minimal scanner for the /mutate body — the one JSON shape this plane
+// accepts: {"ops":[{"op":"insert","src":1,"dst":2,"weight":1.5}, ...]}.
+struct JsonCursor {
+  const std::string& s;
+  size_t i = 0;
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+};
+
+Status ParseJsonString(JsonCursor* c, std::string* out) {
+  c->SkipWs();
+  if (c->i >= c->s.size() || c->s[c->i] != '"') {
+    return Status::InvalidArgument("expected a JSON string");
+  }
+  ++c->i;
+  out->clear();
+  while (c->i < c->s.size() && c->s[c->i] != '"') {
+    if (c->s[c->i] == '\\') {
+      return Status::InvalidArgument(
+          "escape sequences are not accepted in mutation JSON");
+    }
+    out->push_back(c->s[c->i++]);
+  }
+  if (c->i >= c->s.size()) {
+    return Status::InvalidArgument("unterminated JSON string");
+  }
+  ++c->i;
+  return Status::OK();
+}
+
+Status ParseJsonNumber(JsonCursor* c, double* out) {
+  c->SkipWs();
+  const char* begin = c->s.c_str() + c->i;
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  if (end == begin) return Status::InvalidArgument("expected a JSON number");
+  c->i += static_cast<size_t>(end - begin);
+  return Status::OK();
+}
+
+Result<MutationBatch> ParseMutationBody(const std::string& body) {
+  MutationBatch batch;
+  JsonCursor c{body};
+  if (!c.Consume('{')) {
+    return Status::InvalidArgument(
+        "mutation body must be a JSON object: {\"ops\":[...]}");
+  }
+  std::string key;
+  POWERLOG_RETURN_NOT_OK(ParseJsonString(&c, &key));
+  if (key != "ops" || !c.Consume(':') || !c.Consume('[')) {
+    return Status::InvalidArgument("mutation body must be {\"ops\":[...]}");
+  }
+  if (!c.Consume(']')) {
+    do {
+      if (!c.Consume('{')) {
+        return Status::InvalidArgument("each op must be a JSON object");
+      }
+      std::string op_name;
+      double src = -1.0, dst = -1.0, weight = 1.0;
+      bool have_src = false, have_dst = false;
+      do {
+        std::string field;
+        POWERLOG_RETURN_NOT_OK(ParseJsonString(&c, &field));
+        if (!c.Consume(':')) {
+          return Status::InvalidArgument("expected ':' after \"" + field +
+                                         "\"");
+        }
+        if (field == "op") {
+          POWERLOG_RETURN_NOT_OK(ParseJsonString(&c, &op_name));
+        } else if (field == "src") {
+          POWERLOG_RETURN_NOT_OK(ParseJsonNumber(&c, &src));
+          have_src = true;
+        } else if (field == "dst") {
+          POWERLOG_RETURN_NOT_OK(ParseJsonNumber(&c, &dst));
+          have_dst = true;
+        } else if (field == "weight") {
+          POWERLOG_RETURN_NOT_OK(ParseJsonNumber(&c, &weight));
+        } else {
+          return Status::InvalidArgument("unknown op field \"" + field +
+                                         "\" (op, src, dst, weight)");
+        }
+      } while (c.Consume(','));
+      if (!c.Consume('}')) {
+        return Status::InvalidArgument("expected '}' closing an op");
+      }
+      EdgeMutation op;
+      if (op_name == "insert") {
+        op.kind = MutationOp::kInsertEdge;
+      } else if (op_name == "delete") {
+        op.kind = MutationOp::kDeleteEdge;
+      } else if (op_name == "reweight") {
+        op.kind = MutationOp::kReweightEdge;
+      } else {
+        return Status::InvalidArgument(
+            "\"op\" must be insert, delete, or reweight");
+      }
+      if (!have_src || !have_dst) {
+        return Status::InvalidArgument("each op needs src and dst");
+      }
+      if (src < 0.0 || src > static_cast<double>(UINT32_MAX) ||
+          src != std::floor(src) || dst < 0.0 ||
+          dst > static_cast<double>(UINT32_MAX) || dst != std::floor(dst)) {
+        return Status::InvalidArgument("src/dst must be vertex ids");
+      }
+      op.src = static_cast<VertexId>(src);
+      op.dst = static_cast<VertexId>(dst);
+      op.weight = weight;
+      batch.Add(op);
+    } while (c.Consume(','));
+    if (!c.Consume(']')) {
+      return Status::InvalidArgument("expected ']' closing \"ops\"");
+    }
+  }
+  if (!c.Consume('}')) {
+    return Status::InvalidArgument("expected '}' closing the mutation body");
+  }
+  return batch;
+}
+
 }  // namespace
 
 ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog) {
-  return [catalog](const std::string& target, HttpResponse* resp) -> bool {
+  return [catalog](const HttpRequest& req, HttpResponse* resp) -> bool {
     std::string route;
     std::map<std::string, std::string> params;
-    SplitTarget(target, &route, &params);
+    SplitTarget(req.target, &route, &params);
+
+    if (req.method == "POST" && route != "/mutate") {
+      return false;  // only /mutate accepts a POST — fall through to 404
+    }
 
     if (route == "/catalog") {
       std::string body = "{\"entries\":[";
       bool first = true;
       for (const auto& [program, dataset] : catalog->Entries()) {
-        const ServingEntry* e = catalog->Find(program, dataset);
+        auto e = catalog->Find(program, dataset);
         if (e == nullptr) continue;
         if (!first) body += ",";
         first = false;
+        const auto graph = e->graph();
         body += "{\"program\":\"" + metrics::JsonEscape(program) +
                 "\",\"dataset\":\"" + metrics::JsonEscape(dataset) + "\"";
         body += StringFormat(
-            ",\"vertices\":%u,\"edges\":%llu,\"converged\":%s",
-            e->graph->num_vertices(),
-            static_cast<unsigned long long>(e->graph->num_edges()),
-            e->stats.converged ? "true" : "false");
+            ",\"version\":%llu,\"vertices\":%u,\"edges\":%llu,"
+            "\"converged\":%s",
+            static_cast<unsigned long long>(e->Version()),
+            graph->num_vertices(),
+            static_cast<unsigned long long>(graph->num_edges()),
+            e->Stats().converged ? "true" : "false");
         body += ",\"materialize_seconds\":";
-        AppendJsonNumber(&body, e->materialize_seconds);
+        AppendJsonNumber(&body, e->materialize_seconds());
         body += "}";
       }
       body += StringFormat("],\"graph_builds\":%lld}\n",
@@ -418,7 +734,8 @@ ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog) {
       return true;
     }
 
-    if (route != "/lookup" && route != "/topk" && route != "/run") {
+    if (route != "/lookup" && route != "/topk" && route != "/run" &&
+        route != "/version" && route != "/mutate") {
       return false;  // not ours — fall through to 404
     }
 
@@ -427,6 +744,62 @@ ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog) {
     if (program.empty() || dataset.empty()) {
       JsonError(Status::InvalidArgument("program= and dataset= are required"),
                 resp);
+      return true;
+    }
+
+    if (route == "/version" || route == "/mutate") {
+      auto entry = catalog->Find(program, dataset);
+      if (entry == nullptr) {
+        JsonError(
+            Status::NotFound("not materialised: " + program + "/" + dataset),
+            resp);
+        return true;
+      }
+      if (route == "/version") {
+        JsonOk(StringFormat("{\"program\":\"%s\",\"dataset\":\"%s\","
+                            "\"version\":%llu}\n",
+                            metrics::JsonEscape(program).c_str(),
+                            metrics::JsonEscape(dataset).c_str(),
+                            static_cast<unsigned long long>(entry->Version())),
+               resp);
+        return true;
+      }
+      // /mutate
+      if (req.method != "POST") {
+        JsonError(Status::InvalidArgument("/mutate requires a POST body"),
+                  resp);
+        return true;
+      }
+      auto batch = ParseMutationBody(req.body);
+      if (!batch.ok()) {
+        JsonError(batch.status(), resp);
+        return true;
+      }
+      auto stats = entry->Apply(*batch);
+      if (!stats.ok()) {
+        JsonError(stats.status(), resp);
+        return true;
+      }
+      std::string body = StringFormat(
+          "{\"version\":%llu,\"path\":\"%s\",\"ops_requested\":%zu,"
+          "\"ops_applied\":%lld,\"edges_added\":%lld,\"edges_removed\":%lld,"
+          "\"edges_reweighted\":%lld,\"affected_vertices\":%lld,"
+          "\"converged\":%s,\"supersteps\":%lld,\"wall_seconds\":",
+          static_cast<unsigned long long>(stats->version),
+          stats->path.c_str(), stats->ops_requested,
+          static_cast<long long>(stats->ops_applied),
+          static_cast<long long>(stats->edges_added),
+          static_cast<long long>(stats->edges_removed),
+          static_cast<long long>(stats->edges_reweighted),
+          static_cast<long long>(stats->affected_vertices),
+          (stats->path == "noop" || stats->engine.converged) ? "true"
+                                                             : "false",
+          static_cast<long long>(stats->engine.supersteps));
+      AppendJsonNumber(&body, stats->engine.wall_seconds);
+      body += ",\"apply_seconds\":";
+      AppendJsonNumber(&body, stats->apply_seconds);
+      body += "}\n";
+      JsonOk(std::move(body), resp);
       return true;
     }
 

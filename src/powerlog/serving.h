@@ -1,11 +1,12 @@
-// The resident serving plane (ISSUE 6, ROADMAP item 1): converged
-// recursive-aggregate state as a long-lived, queryable asset.
+// The resident serving plane (ISSUE 6 + 7, ROADMAP items 1-2): converged
+// recursive-aggregate state as a long-lived, queryable, *mutable* asset.
 //
 // `PowerLog::Run` is the batch shape — parse, check, build a graph,
 // converge, discard. A ServingCatalog is the serving shape: it materialises
 // each (program, dataset) pair exactly once — compile + condition-check +
-// converge on a shared immutable Graph snapshot — and keeps the converged
-// accumulation column resident. Queries then cost what they should:
+// converge on a shared immutable Graph snapshot — and hands back a
+// `Materialization` handle over the resident state. Queries then cost what
+// they should:
 //
 //   * point lookups (SSSP distance, PageRank score by vertex id) and top-k
 //     scans read straight from the resident values — no engine, no graph,
@@ -15,16 +16,27 @@
 //     PR-2 `Run(const Kernel&, ...)` serving overload, behind admission
 //     control (bounded in-flight runs + a bounded wait queue), per-query
 //     deadlines, and a keyed LRU result cache with hit/miss/eviction
-//     counters.
+//     counters;
+//   * streaming mutations (`Apply`) patch a *new* snapshot copy-on-write,
+//     re-converge it incrementally (reconverge.h plans delta seeding /
+//     scoped re-derivation / recompute fallback; Engine::Resume drains it),
+//     and atomically advance the handle's head version. Snapshots are never
+//     written in place: readers of the previous version finish undisturbed,
+//     and the version only advances once the new fixpoint is certified.
 //
 // The zero-rebuild guarantee is a counter, not a promise:
-// `graph_builds() == catalog size` after any number of queries.
+// `graph_builds() == catalog size + mutation batches applied` after any
+// number of queries.
 //
 // Thread model: Materialize* is serialised and must complete before query
 // traffic starts (the serve binary materialises at boot). Every query entry
-// point — Lookup, TopK, Run, Metrics — is safe to call concurrently from
-// any number of threads; entries are immutable once materialised, and the
-// admission/cache state is internally synchronised.
+// point — Lookup, TopK, Run, Version, Stats, Metrics — is safe to call
+// concurrently from any number of threads, including concurrently with
+// Apply: queries read an immutable per-version state block behind one
+// mutex-guarded pointer swap. Apply itself is serialised per handle.
+// Handles share ownership with the catalog; they remain safe to *hold*
+// after the catalog is destroyed, but Run/Apply must not outlive it (they
+// use the catalog's admission control and registry).
 #pragma once
 
 #include <atomic>
@@ -41,6 +53,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "core/kernel.h"
+#include "graph/mutation.h"
 #include "graph/snapshot.h"
 #include "powerlog/powerlog.h"
 #include "runtime/engine.h"
@@ -49,9 +62,11 @@
 namespace powerlog::serving {
 
 struct ServingOptions {
-  /// Engine configuration used both to materialise entries and as the
-  /// template for on-demand full runs. `exposition` must stay null here —
-  /// the serving plane owns the HTTP server.
+  /// Engine configuration used to materialise entries, as the template for
+  /// on-demand full runs, and for mutation re-convergence. `exposition`
+  /// must stay null here — the serving plane owns the HTTP server. This is
+  /// the single engine-tuning escape hatch: the serving plane never writes
+  /// engine fields behind the caller's back except that one null-out.
   runtime::EngineOptions engine;
 
   /// Admission control: full runs executing concurrently. Each run spins up
@@ -73,20 +88,6 @@ struct ServingOptions {
   size_t cache_capacity = 64;
 };
 
-/// \brief One resident (program, dataset) pair: compiled kernel, shared
-/// graph snapshot, and the converged accumulation column. Immutable after
-/// materialisation — streaming mutation is ROADMAP item 2, and it will
-/// re-converge a *new* snapshot rather than write into a served one.
-struct ServingEntry {
-  std::string program;
-  std::string dataset;
-  Kernel kernel;
-  std::shared_ptr<const Graph> graph;
-  std::vector<double> values;   ///< converged per-vertex results
-  runtime::EngineStats stats;   ///< from the materialising convergence run
-  double materialize_seconds = 0.0;
-};
-
 /// \brief Result of one full-run query.
 struct RunSummary {
   bool converged = false;
@@ -97,6 +98,103 @@ struct RunSummary {
   std::vector<double> values;
 };
 
+/// \brief What one `Materialization::Apply` did: how the batch resolved,
+/// which re-convergence path ran, and the new head version.
+struct MutationStats {
+  uint64_t version = 0;        ///< head version after the batch
+  std::string path;            ///< "delta" | "rederive" | "recompute" | "noop"
+  size_t ops_requested = 0;
+  int64_t ops_applied = 0;     ///< ops that changed at least one edge
+  int64_t edges_added = 0;
+  int64_t edges_removed = 0;
+  int64_t edges_reweighted = 0;
+  int64_t affected_vertices = 0;  ///< rederive path: rows reset + re-derived
+  double apply_seconds = 0.0;     ///< patch + plan + re-convergence wall time
+  runtime::EngineStats engine;    ///< the re-convergence run ("noop": empty)
+};
+
+class ServingCatalog;
+
+/// \brief Handle over one resident (program, dataset) pair. Queries read
+/// the current version's immutable state; `Apply` advances it. Obtained
+/// from `ServingCatalog::Materialize*` / `Find`.
+class Materialization {
+ public:
+  const std::string& program() const { return program_; }
+  const std::string& dataset() const { return dataset_; }
+  const Kernel& kernel() const { return kernel_; }
+  double materialize_seconds() const { return materialize_seconds_; }
+
+  /// Point lookup from resident state: the converged value of vertex `v`.
+  Result<double> Lookup(VertexId v) const;
+
+  /// Top-k scan from resident state: the k best (vertex, value) pairs,
+  /// descending by value (`ascending` flips it — the natural order for
+  /// distance-like min aggregates). Non-finite values are skipped.
+  Result<std::vector<std::pair<VertexId, double>>> TopK(
+      size_t k, bool ascending = false) const;
+
+  /// Full-run multiplexing over the current snapshot (`source_override`
+  /// re-seeds single-source programs). Admission-controlled and
+  /// deadline-bounded via the owning catalog; `deadline_ms <= 0` uses the
+  /// catalog default. Cached by (program, dataset, source) unless
+  /// `use_cache` is false; the cache is invalidated on every version bump.
+  Result<RunSummary> Run(std::optional<uint32_t> source_override = {},
+                         int64_t deadline_ms = 0, bool use_cache = true);
+
+  /// Applies one mutation batch: patches a new snapshot copy-on-write,
+  /// plans re-convergence (reconverge.h), runs it (Engine::Resume on the
+  /// delta/rederive paths, a cold run on the recompute fallback), and —
+  /// only once the new fixpoint is certified — advances the head version
+  /// and invalidates the catalog's run cache for this pair. On any error
+  /// (including non-convergence) the current version keeps serving
+  /// untouched. Serialised per handle; concurrent queries stay safe.
+  Result<MutationStats> Apply(const MutationBatch& batch);
+
+  /// Current head version. Starts at 1; +1 per graph-changing Apply.
+  uint64_t Version() const;
+
+  /// Engine statistics of the run that produced the current version (the
+  /// materialising convergence for version 1, the last re-convergence
+  /// after mutations).
+  runtime::EngineStats Stats() const;
+
+  /// The current version's graph snapshot.
+  std::shared_ptr<const Graph> graph() const;
+
+ private:
+  friend class ServingCatalog;
+
+  /// One immutable version of the resident state. Swapped wholesale under
+  /// `state_mutex_`; readers hold a shared_ptr and never see a mix of two
+  /// versions.
+  struct Resident {
+    uint64_t version = 1;
+    std::shared_ptr<const Graph> graph;
+    std::vector<double> values;
+    runtime::EngineStats stats;
+  };
+
+  Materialization(ServingCatalog* catalog, std::string program,
+                  std::string dataset, Kernel kernel)
+      : catalog_(catalog),
+        program_(std::move(program)),
+        dataset_(std::move(dataset)),
+        kernel_(std::move(kernel)) {}
+
+  std::shared_ptr<const Resident> Current() const;
+
+  ServingCatalog* catalog_;
+  const std::string program_;
+  const std::string dataset_;
+  const Kernel kernel_;
+  double materialize_seconds_ = 0.0;
+
+  mutable std::mutex state_mutex_;          ///< guards the pointer swap only
+  std::shared_ptr<const Resident> resident_;
+  std::mutex apply_mutex_;                  ///< serialises Apply per handle
+};
+
 class ServingCatalog {
  public:
   explicit ServingCatalog(ServingOptions options);
@@ -105,36 +203,31 @@ class ServingCatalog {
   /// (row-stochastic view chosen per the program's catalog entry, exactly as
   /// powerlog_cli does): parse + mra_checker + converge, then retain.
   /// Programs that fail the MRA check are rejected — the serving plane runs
-  /// the incremental engine only. Idempotent per pair.
-  Status Materialize(const std::string& program, const std::string& dataset);
+  /// the incremental engine only. Idempotent per pair: re-materialising
+  /// returns the existing handle.
+  Result<std::shared_ptr<Materialization>> Materialize(
+      const std::string& program, const std::string& dataset);
 
   /// Materialises from explicit Datalog source over an adopted graph, under
   /// the given labels (tests and custom deployments).
-  Status MaterializeSource(const std::string& program_label,
-                           const std::string& dataset_label,
-                           const std::string& source, Graph graph);
+  Result<std::shared_ptr<Materialization>> MaterializeSource(
+      const std::string& program_label, const std::string& dataset_label,
+      const std::string& source, Graph graph);
 
-  /// Resident entry, or nullptr. Entries are immutable; the pointer stays
-  /// valid for the catalog's lifetime.
-  const ServingEntry* Find(const std::string& program,
-                           const std::string& dataset) const;
+  /// Resident handle, or nullptr. Handles share ownership with the catalog.
+  std::shared_ptr<Materialization> Find(const std::string& program,
+                                        const std::string& dataset) const;
 
-  /// Point lookup from resident state: the converged value of vertex `v`.
+  /// DEPRECATED string-keyed query wrappers — prefer holding the
+  /// Materialization handle from Materialize*/Find and querying it
+  /// directly; each of these pays a catalog lookup per call. Kept (and kept
+  /// working) for existing call sites; not marked [[deprecated]] only
+  /// because the tree builds with -Werror.
   Result<double> Lookup(const std::string& program, const std::string& dataset,
                         VertexId v) const;
-
-  /// Top-k scan from resident state: the k best (vertex, value) pairs,
-  /// descending by value (`ascending` flips it — the natural order for
-  /// distance-like min aggregates). Non-finite values are skipped.
   Result<std::vector<std::pair<VertexId, double>>> TopK(
       const std::string& program, const std::string& dataset, size_t k,
       bool ascending = false) const;
-
-  /// Full-run multiplexing: a fresh convergence over the entry's shared
-  /// snapshot (`source_override` re-seeds single-source programs — the
-  /// query shape that actually needs a new fixpoint). Admission-controlled
-  /// and deadline-bounded; `deadline_ms <= 0` uses the default. Cached by
-  /// (program, dataset, source) unless `use_cache` is false.
   Result<RunSummary> Run(const std::string& program, const std::string& dataset,
                          std::optional<uint32_t> source_override = {},
                          int64_t deadline_ms = 0, bool use_cache = true);
@@ -144,8 +237,9 @@ class ServingCatalog {
 
   size_t size() const;
 
-  /// Graph materialisations performed — the zero-rebuild acceptance
-  /// counter: equals the number of distinct snapshots, never query count.
+  /// Graph materialisations performed — the rebuild acceptance counter:
+  /// one per distinct snapshot plus one per graph-changing mutation batch,
+  /// never query count.
   int64_t graph_builds() const { return registry_.builds(); }
 
   /// Serving-plane counters (serving.* namespace), suitable for merging
@@ -155,11 +249,23 @@ class ServingCatalog {
   const ServingOptions& options() const { return options_; }
 
  private:
-  Status MaterializeEntry(const std::string& program,
-                          const std::string& dataset, Kernel kernel,
-                          std::shared_ptr<const Graph> graph);
-  const ServingEntry* FindLocked(const std::string& program,
-                                 const std::string& dataset) const;
+  friend class Materialization;
+
+  Result<std::shared_ptr<Materialization>> MaterializeEntry(
+      const std::string& program, const std::string& dataset, Kernel kernel,
+      std::shared_ptr<const Graph> graph);
+  std::shared_ptr<Materialization> FindLocked(const std::string& program,
+                                              const std::string& dataset) const;
+
+  /// The shared implementation behind Materialization::Run and the
+  /// deprecated string-keyed Run.
+  Result<RunSummary> RunImpl(Materialization* entry,
+                             std::optional<uint32_t> source_override,
+                             int64_t deadline_ms, bool use_cache);
+
+  /// Drops every cached run result for one (program, dataset) pair — called
+  /// on version advance so stale fixpoints never serve.
+  void InvalidateCache(const std::string& pair_key);
 
   /// Blocks until a run slot is free or the deadline passes. Returns OK on
   /// admission (caller must call ReleaseRunSlot), Timeout/OutOfRange on
@@ -171,7 +277,7 @@ class ServingCatalog {
   GraphSnapshotRegistry registry_;
 
   mutable std::mutex entries_mutex_;  ///< guards materialisation only
-  std::vector<std::unique_ptr<ServingEntry>> entries_;
+  std::vector<std::shared_ptr<Materialization>> entries_;
 
   // Admission control (mutable: Metrics() reads the gauges under the lock).
   mutable std::mutex run_mutex_;
@@ -198,17 +304,29 @@ class ServingCatalog {
   mutable std::atomic<int64_t> cache_hits_{0};
   mutable std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> cache_evictions_{0};
+  std::atomic<int64_t> mutations_applied_{0};
+  std::atomic<int64_t> mutation_delta_path_{0};
+  std::atomic<int64_t> mutation_rederive_path_{0};
+  std::atomic<int64_t> mutation_fallback_path_{0};
 };
 
 /// \brief Builds the HTTP route handler exposing `catalog` through an
 /// ExpositionServer (install with SetHandler before Start). Routes:
 ///
-///   /catalog                         resident entries + convergence stats
-///   /lookup?program=P&dataset=D&v=N  point lookup from resident state
-///   /topk?program=P&dataset=D&k=K[&order=asc]
+///   GET  /catalog                    resident entries + convergence stats
+///   GET  /lookup?program=P&dataset=D&v=N
+///                                    point lookup from resident state
+///   GET  /topk?program=P&dataset=D&k=K[&order=asc]
 ///                                    top-k scan from resident state
-///   /run?program=P&dataset=D[&source=V][&deadline_ms=M][&nocache=1]
+///   GET  /run?program=P&dataset=D[&source=V][&deadline_ms=M][&nocache=1]
 ///                                    admission-controlled full run
+///   GET  /version?program=P&dataset=D
+///                                    current head version of the pair
+///   POST /mutate?program=P&dataset=D
+///                                    body {"ops":[{"op":"insert","src":S,
+///                                    "dst":T,"weight":W}, ...]} with op in
+///                                    insert|delete|reweight; applies the
+///                                    batch and re-converges incrementally
 ///
 /// All responses are JSON. Errors map NotFound→404, InvalidArgument→400,
 /// Timeout and queue-full→503. The catalog must outlive the server.

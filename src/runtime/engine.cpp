@@ -396,7 +396,7 @@ class Supervisor {
 Engine::Engine(const Graph& graph, Kernel kernel, EngineOptions options)
     : graph_(graph), kernel_(std::move(kernel)), options_(std::move(options)) {}
 
-Result<EngineResult> Engine::Run() {
+Status Engine::ValidateRunnable() const {
   if (kernel_.agg == AggKind::kMean) {
     return Status::ConditionViolated(
         "mean programs fail the MRA conditions and cannot run on the incremental "
@@ -405,14 +405,33 @@ Result<EngineResult> Engine::Run() {
   if (options_.num_workers == 0) {
     return Status::InvalidArgument("engine needs at least one worker");
   }
-  const VertexId n = graph_.num_vertices();
-  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (graph_.num_vertices() == 0) return Status::InvalidArgument("empty graph");
+  return Status::OK();
+}
 
-  auto table = MonoTable::Create(kernel_.agg, n);
-  if (!table.ok()) return table.status();
+Result<EngineResult> Engine::Run() {
+  POWERLOG_RETURN_NOT_OK(ValidateRunnable());
   auto init = ComputeInitialState(kernel_, graph_);
   if (!init.ok()) return init.status();
-  POWERLOG_RETURN_NOT_OK(table->Initialize(init->x0, init->delta0));
+  return RunWithState(init->x0, init->delta0);
+}
+
+Result<EngineResult> Engine::Resume(const WarmStart& warm) {
+  POWERLOG_RETURN_NOT_OK(ValidateRunnable());
+  const size_t n = graph_.num_vertices();
+  if (warm.x.size() != n || warm.delta.size() != n) {
+    return Status::InvalidArgument(
+        "warm-start columns must have one entry per vertex");
+  }
+  return RunWithState(warm.x, warm.delta);
+}
+
+Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
+                                          const std::vector<double>& delta0) {
+  const VertexId n = graph_.num_vertices();
+  auto table = MonoTable::Create(kernel_.agg, n);
+  if (!table.ok()) return table.status();
+  POWERLOG_RETURN_NOT_OK(table->Initialize(x0, delta0));
   // Frontier compute plane: allocate the dirty bitmap and seed it from ΔX¹
   // before any worker thread exists (enable is not thread-safe).
   table->SetFrontierEnabled(options_.frontier);
@@ -491,7 +510,7 @@ Result<EngineResult> Engine::Run() {
   }
   if (options_.delta_stepping > 0.0 && kernel_.agg == AggKind::kMin) {
     double init_min = std::numeric_limits<double>::infinity();
-    for (double d : init->delta0) init_min = std::min(init_min, d);
+    for (double d : delta0) init_min = std::min(init_min, d);
     shared.bucket_limit.store(init_min + options_.delta_stepping);
   } else {
     shared.bucket_limit.store(std::numeric_limits<double>::infinity());
@@ -567,8 +586,11 @@ Result<EngineResult> Engine::Run() {
   if (options_.mode != ExecMode::kSync) {
     controller_thread = std::thread([&controller] { controller.Run(); });
   }
-  Supervisor supervisor(&shared, store.get(), &init->x0, &init->delta0,
-                        &spawn_mutex, &workers, &worker_threads);
+  // The supervisor's recovery baseline is whatever state this run started
+  // from — for Resume that is the warm-start columns, so a recovered worker
+  // resumes from the mutation-seeded state, not a cold X⁰.
+  Supervisor supervisor(&shared, store.get(), &x0, &delta0, &spawn_mutex,
+                        &workers, &worker_threads);
   std::thread supervisor_thread;
   if (supervise) {
     supervisor_thread = std::thread([&supervisor] { supervisor.Run(); });

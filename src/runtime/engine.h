@@ -241,6 +241,15 @@ struct EngineResult {
   std::string chrome_trace;
 };
 
+/// \brief Warm-start state for Engine::Resume (ROADMAP item 2): a restored
+/// accumulation column and the seeded ΔX to drain. Rows whose delta is the
+/// aggregate identity carry no work — with the frontier on they are never
+/// even swept, which is what makes small-batch re-convergence cheap.
+struct WarmStart {
+  std::vector<double> x;      ///< accumulation column to restore
+  std::vector<double> delta;  ///< seeded intermediate column (ΔX)
+};
+
 /// \brief One evaluation run of a kernel on a graph under the chosen mode.
 class Engine {
  public:
@@ -250,7 +259,18 @@ class Engine {
   /// column plus statistics. May be called repeatedly (state resets).
   Result<EngineResult> Run();
 
+  /// Re-convergence entry point: restores `warm.x` into the MonoTable,
+  /// seeds `warm.delta` through the normal combining path, and runs the
+  /// same worker/termination planes to a new fixpoint. The caller computes
+  /// the warm state (reconverge.h plans it from a mutation batch); both
+  /// vectors must have one entry per vertex of the engine's graph.
+  Result<EngineResult> Resume(const WarmStart& warm);
+
  private:
+  Status ValidateRunnable() const;
+  Result<EngineResult> RunWithState(const std::vector<double>& x0,
+                                    const std::vector<double>& delta0);
+
   const Graph& graph_;
   Kernel kernel_;
   EngineOptions options_;

@@ -5,9 +5,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
@@ -297,30 +299,78 @@ void WriteResponse(int fd, const char* status, const char* content_type,
 }  // namespace
 
 void ExpositionServer::HandleConnection(int fd) {
-  char buf[2048];
-  const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
-  if (n <= 0) return;
-  buf[n] = '\0';
+  // Read until the header terminator (the socket carries a 5s SO_RCVTIMEO,
+  // so a stalled client times the read out rather than pinning the thread).
+  constexpr size_t kMaxHeaderBytes = 16 * 1024;
+  constexpr size_t kMaxBodyBytes = 1 << 20;  // 1 MiB mutation batches
+  std::string raw;
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    char buf[2048];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return;
+    raw.append(buf, static_cast<size_t>(n));
+    header_end = raw.find("\r\n\r\n");
+    if (header_end == std::string::npos && raw.size() > kMaxHeaderBytes) {
+      WriteResponse(fd, "400 Bad Request", "text/plain", "headers too large\n");
+      return;
+    }
+  }
+  const std::string headers = raw.substr(0, header_end);
 
-  // "GET /path HTTP/1.1" — everything else is a 400.
-  if (std::strncmp(buf, "GET ", 4) != 0) {
-    WriteResponse(fd, "400 Bad Request", "text/plain", "GET only\n");
+  // "GET /path HTTP/1.1" or "POST /path HTTP/1.1" — everything else is 400.
+  HttpRequest req;
+  size_t target_begin;
+  if (headers.compare(0, 4, "GET ") == 0) {
+    req.method = "GET";
+    target_begin = 4;
+  } else if (headers.compare(0, 5, "POST ") == 0) {
+    req.method = "POST";
+    target_begin = 5;
+  } else {
+    WriteResponse(fd, "400 Bad Request", "text/plain", "GET or POST only\n");
     return;
   }
-  const char* path_begin = buf + 4;
-  const char* path_end = std::strchr(path_begin, ' ');
-  if (path_end == nullptr) {
+  const size_t target_end = headers.find(' ', target_begin);
+  if (target_end == std::string::npos) {
     WriteResponse(fd, "400 Bad Request", "text/plain", "malformed request\n");
     return;
   }
-  const std::string path(path_begin, path_end);
+  req.target = headers.substr(target_begin, target_end - target_begin);
 
-  if (path == "/healthz") {
+  // Entity body: POSTs declare Content-Length; keep reading past the header
+  // terminator until the declared bytes have arrived.
+  size_t content_length = 0;
+  {
+    // Case-insensitive header scan over lowered header text.
+    std::string lowered = headers;
+    for (char& c : lowered) c = static_cast<char>(std::tolower(c));
+    const size_t pos = lowered.find("content-length:");
+    if (pos != std::string::npos) {
+      content_length = std::strtoull(lowered.c_str() + pos + 15, nullptr, 10);
+    }
+  }
+  if (content_length > kMaxBodyBytes) {
+    WriteResponse(fd, "400 Bad Request", "text/plain", "body too large\n");
+    return;
+  }
+  const size_t body_start = header_end + 4;
+  while (raw.size() - body_start < content_length) {
+    char buf[2048];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  req.body = raw.substr(body_start, content_length);
+  const std::string& path = req.target;
+
+  if (req.method == "GET" && path == "/healthz") {
     WriteResponse(fd, "200 OK", "text/plain", "ok\n");
     return;
   }
 
-  if (path == "/metrics" || path == "/metrics.json" || path == "/trace") {
+  if (req.method == "GET" &&
+      (path == "/metrics" || path == "/metrics.json" || path == "/trace")) {
     std::lock_guard<std::mutex> lock(sources_mutex_);
     if (path == "/metrics") {
       if (!metrics_fn_) {
@@ -354,7 +404,7 @@ void ExpositionServer::HandleConnection(int fd) {
   // scrapes or a ClearSources detach.
   if (handler_) {
     HttpResponse resp;
-    if (handler_(path, &resp)) {
+    if (handler_(req, &resp)) {
       WriteResponse(fd, StatusLine(resp.status), resp.content_type.c_str(),
                     resp.body);
       return;

@@ -8,8 +8,10 @@
 // the exposition plane must never contend with it — every built-in handler
 // reads relaxed-atomic instruments or takes a concurrent ring snapshot, so a
 // scrape costs the run nothing but memory bandwidth. Custom routes (the
-// serving plane's /lookup, /topk, /run) are installed via SetHandler and run
-// concurrently on the handler pool, outside the built-in sources lock.
+// serving plane's /lookup, /topk, /run, /mutate) are installed via
+// SetHandler and run concurrently on the handler pool, outside the built-in
+// sources lock. GET and POST (with Content-Length body) are parsed; built-in
+// routes answer GET only, POSTs go straight to the custom handler.
 //
 // Built-in routes:
 //   /metrics       Prometheus text exposition format
@@ -44,6 +46,15 @@ namespace powerlog {
 /// dimension.
 std::string PrometheusText(const metrics::MetricsSnapshot& snapshot);
 
+/// \brief One parsed HTTP request as a custom route handler sees it.
+/// `target` is the request target verbatim (query string included); `body`
+/// is the entity body (POST with Content-Length; empty for GET).
+struct HttpRequest {
+  std::string method;  ///< "GET" or "POST" (others are rejected upstream)
+  std::string target;
+  std::string body;
+};
+
 /// \brief One HTTP response produced by a custom route handler.
 struct HttpResponse {
   int status = 200;                        ///< 200, 400, 404, 503, ...
@@ -71,11 +82,11 @@ class ExpositionServer {
   using MetricsFn = std::function<metrics::MetricsSnapshot()>;
   /// Source of the current Chrome trace JSON; empty string = no trace.
   using TraceFn = std::function<std::string()>;
-  /// Custom route handler, consulted for any path the built-in routes do not
-  /// claim (the request target is passed verbatim, query string included).
+  /// Custom route handler, consulted for any target the built-in routes do
+  /// not claim (built-ins are GET-only; POSTs always reach the handler).
   /// Returns false to fall through to the 404. Runs concurrently on up to
   /// `handler_threads` threads — implementations must be thread-safe.
-  using Handler = std::function<bool(const std::string& path, HttpResponse*)>;
+  using Handler = std::function<bool(const HttpRequest& req, HttpResponse*)>;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the listener thread
   /// plus `handler_threads` request threads. Returns the bound port.

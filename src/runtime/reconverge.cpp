@@ -1,0 +1,317 @@
+#include "runtime/reconverge.h"
+
+#include <cmath>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace powerlog::runtime {
+
+namespace {
+
+/// F'(0) == 0 and F' linear in x: exactly the multiplicative specialized
+/// shapes. Under these, a converged sum/count column satisfies x = A·x + c,
+/// so adjacency edits have the closed-form residual (A'−A)·x.
+bool HomogeneousInX(KernelOp op) {
+  switch (op) {
+    case KernelOp::kX:
+    case KernelOp::kXTimesW:
+    case KernelOp::kXTimesA:
+    case KernelOp::kXOverDeg:
+    case KernelOp::kAXOverDeg:
+    case KernelOp::kXOverDegA:
+    case KernelOp::kAXW:
+    case KernelOp::kAXWB:
+      return true;
+    case KernelOp::kGeneric:
+    case KernelOp::kConst:
+    case KernelOp::kXPlusW:
+    case KernelOp::kXPlusA:
+      return false;
+  }
+  return false;
+}
+
+/// One net edge change in *propagation* orientation: `s` is the vertex whose
+/// accumulated value feeds F', `t` receives the contribution.
+struct EdgeChange {
+  VertexId s = 0;
+  VertexId t = 0;
+  double weight = 0.0;
+};
+
+/// Net multiset diff of the base adjacency of every source an applied op
+/// touched. Diffing old vs. new resolves intra-batch interactions (insert
+/// then delete, repeated reweights, parallel edges) that per-op records
+/// cannot: only what actually differs between the snapshots matters.
+struct EdgeDiff {
+  std::vector<EdgeChange> removed;  ///< in old graph, not in new
+  std::vector<EdgeChange> added;    ///< in new graph, not in old
+  std::vector<VertexId> degree_changed;  ///< base out-degree differs
+};
+
+EdgeDiff DiffTouchedSources(const Graph& old_graph, const Graph& new_graph,
+                            const std::vector<AppliedMutation>& ops,
+                            bool uses_in_edges) {
+  std::set<VertexId> touched;
+  for (const AppliedMutation& rec : ops) {
+    if (rec.applied) touched.insert(rec.op.src);
+  }
+  EdgeDiff diff;
+  for (VertexId u : touched) {
+    // Multiset of (dst, weight) — positive counts are old-only edges,
+    // negative counts new-only. Bit-exact weight keys are fine: surviving
+    // edges carry the identical double through the CSR rebuild.
+    std::map<std::pair<VertexId, double>, int64_t> counts;
+    for (const Edge& e : old_graph.OutEdges(u)) ++counts[{e.dst, e.weight}];
+    for (const Edge& e : new_graph.OutEdges(u)) --counts[{e.dst, e.weight}];
+    for (const auto& [key, count] : counts) {
+      const VertexId s = uses_in_edges ? key.first : u;
+      const VertexId t = uses_in_edges ? u : key.first;
+      for (int64_t i = 0; i < count; ++i)
+        diff.removed.push_back({s, t, key.second});
+      for (int64_t i = 0; i < -count; ++i)
+        diff.added.push_back({s, t, key.second});
+    }
+    if (old_graph.OutDegree(u) != new_graph.OutDegree(u)) {
+      diff.degree_changed.push_back(u);
+    }
+  }
+  return diff;
+}
+
+/// Plans sum/count: exact residual seeding for homogeneous-linear F'.
+Result<ReconvergePlan> PlanSum(const Kernel& kernel, const Graph& old_graph,
+                               const Graph& new_graph, const EdgeDiff& diff,
+                               const std::vector<double>& x_old) {
+  ReconvergePlan plan;
+  if (!HomogeneousInX(kernel.scatter.op)) {
+    // F'(0) != 0 (or unspecialised bytecode we cannot certify): settled
+    // contributions cannot be retracted by subtraction — pause-and-absorb.
+    plan.path = ReconvergePath::kRecompute;
+    return plan;
+  }
+
+  // Prop-sources whose contribution row changed: the source end of every
+  // changed base edge, plus — when F' reads degree — every vertex whose base
+  // out-degree moved (its *entire* row renormalises, even edges it kept).
+  std::set<VertexId> changed_sources;
+  for (const EdgeChange& c : diff.removed) changed_sources.insert(c.s);
+  for (const EdgeChange& c : diff.added) changed_sources.insert(c.s);
+  if (kernel.uses_degree) {
+    for (VertexId u : diff.degree_changed) changed_sources.insert(u);
+  }
+
+  const Graph& old_prop =
+      kernel.uses_in_edges ? old_graph.Reverse() : old_graph;
+  const Graph& new_prop =
+      kernel.uses_in_edges ? new_graph.Reverse() : new_graph;
+
+  plan.path = ReconvergePath::kDelta;
+  plan.warm.x = x_old;
+  plan.warm.delta.assign(x_old.size(), 0.0);
+  for (VertexId s : changed_sources) {
+    const double x = x_old[s];
+    if (x == 0.0) continue;  // homogeneous: zero rows contribute nothing
+    if (!std::isfinite(x)) {
+      // A diverged/overflowed column has no usable residual.
+      plan.path = ReconvergePath::kRecompute;
+      plan.warm = WarmStart{};
+      return plan;
+    }
+    // ΔX[t] += (A' − A)·x restricted to row-of-s: retract the old
+    // contributions, assert the new ones. degree() always means base
+    // out-degree of the prop-source (kernel.cpp), per respective snapshot.
+    const double old_deg = static_cast<double>(old_graph.OutDegree(s));
+    for (const Edge& e : old_prop.OutEdges(s)) {
+      plan.warm.delta[e.dst] -= kernel.EvalEdge(x, e.weight, old_deg);
+    }
+    const double new_deg = static_cast<double>(new_graph.OutDegree(s));
+    for (const Edge& e : new_prop.OutEdges(s)) {
+      plan.warm.delta[e.dst] += kernel.EvalEdge(x, e.weight, new_deg);
+    }
+  }
+  return plan;
+}
+
+/// Plans min/max: delta seeding when no removed edge supports its target,
+/// scoped re-derivation of the supported closure otherwise.
+Result<ReconvergePlan> PlanOrdered(const Kernel& kernel, const Graph& old_graph,
+                                   const Graph& new_graph, EdgeDiff diff,
+                                   const std::vector<double>& x_old) {
+  ReconvergePlan plan;
+  const Aggregator agg(kernel.agg);
+  const double identity = *agg.Identity();
+  const VertexId n = old_graph.num_vertices();
+
+  if (kernel.uses_degree && !diff.degree_changed.empty()) {
+    // A moved degree shifts *every* contribution of that source, upward or
+    // downward — retraction territory with no catalog kernel to motivate a
+    // sharper rule. Conservative fallback.
+    plan.path = ReconvergePath::kRecompute;
+    return plan;
+  }
+
+  // A removed contribution only matters if it could have *supported* its
+  // target. Mask removals whose (s, t) pair still gets an equal-or-better
+  // contribution from the new graph — the common case for reweights that
+  // tighten and for deleting one of several parallel edges.
+  const Graph& new_prop =
+      kernel.uses_in_edges ? new_graph.Reverse() : new_graph;
+  auto best_new_contribution = [&](VertexId s, VertexId t) {
+    double best = identity;
+    const double deg = static_cast<double>(new_graph.OutDegree(s));
+    for (const Edge& e : new_prop.OutEdges(s)) {
+      if (e.dst != t) continue;
+      const double c = kernel.EvalEdge(x_old[s], e.weight, deg);
+      if (best == identity || agg.Improves(best, c)) best = c;
+    }
+    return best;
+  };
+
+  std::vector<EdgeChange> losses;
+  for (const EdgeChange& c : diff.removed) {
+    if (x_old[c.s] == identity) continue;  // never contributed
+    const double old_deg = static_cast<double>(old_graph.OutDegree(c.s));
+    const double c_rem = kernel.EvalEdge(x_old[c.s], c.weight, old_deg);
+    const double c_new = best_new_contribution(c.s, c.t);
+    if (c_new != identity && (c_new == c_rem || agg.Improves(c_rem, c_new))) {
+      continue;  // masked: the pair still derives at least as strong a value
+    }
+    losses.push_back(c);
+  }
+
+  // Support test: min/max fixpoint values are exact F' compositions, so a
+  // removed edge held up its target iff the bit patterns match.
+  std::vector<char> affected(n, 0);
+  std::deque<VertexId> frontier;
+  for (const EdgeChange& c : losses) {
+    const double old_deg = static_cast<double>(old_graph.OutDegree(c.s));
+    if (x_old[c.t] == kernel.EvalEdge(x_old[c.s], c.weight, old_deg) &&
+        !affected[c.t]) {
+      affected[c.t] = 1;
+      frontier.push_back(c.t);
+    }
+  }
+
+  auto fold_delta = [&](std::vector<double>& delta, VertexId v, double value) {
+    delta[v] = delta[v] == identity ? value : *agg.Combine(delta[v], value);
+  };
+
+  if (frontier.empty()) {
+    // Pure gain: every surviving change adds or strengthens derivations.
+    // Seed the new contributions and let monotone combining do the rest.
+    plan.path = ReconvergePath::kDelta;
+    plan.warm.x = x_old;
+    plan.warm.delta.assign(n, identity);
+    for (const EdgeChange& c : diff.added) {
+      if (x_old[c.s] == identity) continue;
+      const double deg = static_cast<double>(new_graph.OutDegree(c.s));
+      fold_delta(plan.warm.delta, c.t,
+                 kernel.EvalEdge(x_old[c.s], c.weight, deg));
+    }
+    return plan;
+  }
+
+  // Scoped re-derivation (PR-2's RepropagateAll, narrowed): close the
+  // affected set over the old derivation structure — anything whose value is
+  // an F' image of an affected value may have been derived through it.
+  const Graph& old_prop =
+      kernel.uses_in_edges ? old_graph.Reverse() : old_graph;
+  while (!frontier.empty()) {
+    const VertexId t = frontier.front();
+    frontier.pop_front();
+    if (x_old[t] == identity) continue;
+    const double deg = static_cast<double>(old_graph.OutDegree(t));
+    for (const Edge& e : old_prop.OutEdges(t)) {
+      if (affected[e.dst]) continue;
+      if (x_old[e.dst] == kernel.EvalEdge(x_old[t], e.weight, deg)) {
+        affected[e.dst] = 1;
+        frontier.push_back(e.dst);
+      }
+    }
+  }
+
+  POWERLOG_ASSIGN_OR_RETURN(std::vector<double> x0, ComputeX0(kernel, n));
+  plan.path = ReconvergePath::kRederive;
+  plan.warm.x = x_old;
+  plan.warm.delta.assign(n, identity);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!affected[v]) continue;
+    ++plan.affected_vertices;
+    plan.warm.x[v] = x0[v];  // X⁰ is graph-independent — safe to reuse
+    // Re-seed the non-recursive bodies of F for the reset row, exactly as
+    // cold ComputeInitialState does.
+    if (!kernel.init.iteration_indexed && x0[v] != identity) {
+      fold_delta(plan.warm.delta, v, x0[v]);
+    }
+    if (kernel.constant.kind == datalog::ConstKind::kAllVertices) {
+      fold_delta(plan.warm.delta, v, kernel.constant.value);
+    } else if (kernel.constant.kind == datalog::ConstKind::kSingleKey &&
+               kernel.constant.key == v) {
+      fold_delta(plan.warm.delta, v, kernel.constant.value);
+    }
+  }
+  // Boundary scan: every surviving in-contribution of an affected row, from
+  // the *new* graph, evaluated at the seed column. Reset sources seed their
+  // X⁰ image now and re-propagate as they re-derive.
+  for (VertexId s = 0; s < n; ++s) {
+    if (plan.warm.x[s] == identity) continue;
+    const double deg = static_cast<double>(new_graph.OutDegree(s));
+    for (const Edge& e : new_prop.OutEdges(s)) {
+      if (!affected[e.dst]) continue;
+      fold_delta(plan.warm.delta, e.dst,
+                 kernel.EvalEdge(plan.warm.x[s], e.weight, deg));
+    }
+  }
+  // Gains landing *outside* the affected set still need their seeds (the
+  // boundary scan above only feeds affected rows).
+  for (const EdgeChange& c : diff.added) {
+    if (affected[c.t] || plan.warm.x[c.s] == identity) continue;
+    const double deg = static_cast<double>(new_graph.OutDegree(c.s));
+    fold_delta(plan.warm.delta, c.t,
+               kernel.EvalEdge(plan.warm.x[c.s], c.weight, deg));
+  }
+  return plan;
+}
+
+}  // namespace
+
+const char* ReconvergePathName(ReconvergePath path) {
+  switch (path) {
+    case ReconvergePath::kDelta: return "delta";
+    case ReconvergePath::kRederive: return "rederive";
+    case ReconvergePath::kRecompute: return "recompute";
+  }
+  return "?";
+}
+
+Result<ReconvergePlan> PlanReconvergence(
+    const Kernel& kernel, const Graph& old_graph, const Graph& new_graph,
+    const std::vector<AppliedMutation>& ops,
+    const std::vector<double>& x_old) {
+  if (old_graph.num_vertices() != new_graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "snapshots in one version chain must share a vertex set");
+  }
+  if (x_old.size() != old_graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "converged column must have one entry per vertex");
+  }
+  EdgeDiff diff =
+      DiffTouchedSources(old_graph, new_graph, ops, kernel.uses_in_edges);
+  switch (kernel.agg) {
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return PlanOrdered(kernel, old_graph, new_graph, std::move(diff), x_old);
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return PlanSum(kernel, old_graph, new_graph, diff, x_old);
+    case AggKind::kMean:
+      break;
+  }
+  return Status::InvalidArgument("mean has no incremental form (§2.3)");
+}
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,67 @@
+// Re-convergence planning (ROADMAP item 2): given a converged accumulation
+// column and an applied mutation batch, choose how to reach the new graph's
+// fixpoint and build the warm-start state for Engine::Resume.
+//
+// Three paths, in decreasing order of state reuse:
+//
+//  * kDelta — seed ΔX directly through the combining path.
+//      min/max: insertions and weight-tightenings only add or strengthen
+//      derivations, so each changed edge contributes one CombineDelta seed
+//      and monotonicity does the rest (the PR-4 frontier marks exactly the
+//      seeded rows).
+//      sum/count: for edge functions homogeneous-linear in x (F'(0)=0 and
+//      F' linear in x — every multiplicative KernelOp shape), the converged
+//      column satisfies x = A·x + c, so after the adjacency changes A→A'
+//      the exact residual is ΔX = (A'−A)·x, computed by diffing the old and
+//      new contribution rows of each changed source. Handles insertions,
+//      deletions, and reweights alike, including degree-change corrections
+//      across a touched source's whole edge range.
+//
+//  * kRederive — scoped re-derivation sweep (min/max only): a deletion or
+//      loosening that currently *supports* its target invalidates every
+//      value transitively derived through it. The affected set is closed
+//      over the support test x[t] == F'(x[s], w, deg(s)) (derived min/max
+//      values are exact F' compositions, so the test is precise up to safe
+//      over-approximation); affected rows reset to X⁰ and are re-derived
+//      from boundary contributions. This is the PR-2 RepropagateAll
+//      machinery generalised from "all vertices" to "affected vertices".
+//
+//  * kRecompute — pause-and-absorb fallback: sum/count shapes whose
+//      derivations cannot be retracted (non-homogeneous or unspecialised
+//      F'), and degree-using min/max kernels under structural change. The
+//      caller runs a cold Engine::Run on the new snapshot; the old version
+//      keeps serving until the new fixpoint swaps in.
+#pragma once
+
+#include <vector>
+
+#include "core/kernel.h"
+#include "graph/graph.h"
+#include "graph/mutation.h"
+#include "runtime/engine.h"
+
+namespace powerlog::runtime {
+
+enum class ReconvergePath { kDelta, kRederive, kRecompute };
+
+const char* ReconvergePathName(ReconvergePath path);
+
+struct ReconvergePlan {
+  ReconvergePath path = ReconvergePath::kRecompute;
+  /// Warm-start state for Engine::Resume (kDelta/kRederive only; empty for
+  /// kRecompute — the caller runs Engine::Run cold on the new graph).
+  WarmStart warm;
+  /// kRederive: rows reset and re-derived by the scoped sweep.
+  int64_t affected_vertices = 0;
+};
+
+/// Plans re-convergence for `kernel` after `ops` (the resolved op list from
+/// ApplyMutationBatch) turned `old_graph` into `new_graph`. `x_old` is the
+/// converged accumulation column on `old_graph`.
+Result<ReconvergePlan> PlanReconvergence(const Kernel& kernel,
+                                         const Graph& old_graph,
+                                         const Graph& new_graph,
+                                         const std::vector<AppliedMutation>& ops,
+                                         const std::vector<double>& x_old);
+
+}  // namespace powerlog::runtime

@@ -1,0 +1,722 @@
+// Mutation-plane tests (ISSUE 7): MutationBatch validation and copy-on-write
+// application, incremental re-convergence vs cold recompute over the fig9
+// program set, randomized mutation streams, deletion-heavy adversarial cases,
+// frontier on/off parity, the POST /mutate + GET /version HTTP routes, and
+// concurrent mutations racing lookups (TSan target).
+//
+// The correctness bar throughout: after Apply, the resident values must equal
+// a cold `PowerLog::Run` on the *same* mutated snapshot — bit-exact for the
+// ordered aggregates (min/max propagate identical F' compositions along
+// identical paths), within epsilon for the sum family (both sides converge
+// the same linear system to the same tolerance from different starts).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datalog/catalog.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/mutation.h"
+#include "graph/partition.h"
+#include "graph/snapshot.h"
+#include "powerlog/powerlog.h"
+#include "powerlog/serving.h"
+#include "runtime/exposition.h"
+
+namespace powerlog {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+// A weighted path 0 -> 1 -> ... -> n-1 (unit weights): SSSP from 0 is
+// exactly v, an integer-valued unique fixpoint.
+Graph ChainGraph(VertexId n) {
+  GraphBuilder b;
+  b.EnsureVertices(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1, 1.0);
+  return std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+}
+
+// Row-normalises out-edge weights so each source's weights sum to 1 — the
+// row-stochastic view the catalog programs with stochastic_weights expect.
+Graph RowNormalized(const Graph& g) {
+  GraphBuilder b;
+  b.EnsureVertices(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    double total = 0.0;
+    for (const Edge& e : g.OutEdges(v)) total += e.weight;
+    for (const Edge& e : g.OutEdges(v)) {
+      b.AddEdge(v, e.dst, total > 0.0 ? e.weight / total : e.weight);
+    }
+  }
+  return std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+}
+
+// Random test graph sized for fast sync convergence; row-stochastic when the
+// program reads weights as probabilities (MaterializeSource adopts the graph
+// verbatim, so the normalisation the dataset registry would do is on us).
+Graph RandomGraph(const datalog::CatalogEntry& entry, VertexId n, EdgeIndex m,
+                  uint64_t seed) {
+  Graph g = GenerateErdosRenyi(n, m, seed, /*weighted=*/true,
+                               /*max_weight=*/4.0)
+                .ValueOrDie();
+  return entry.stochastic_weights ? RowNormalized(g) : g;
+}
+
+// The nth edge of the graph in CSR order, as a (src, dst) pair.
+std::pair<VertexId, VertexId> NthEdge(const Graph& g, size_t nth) {
+  size_t i = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      if (i++ == nth) return {v, e.dst};
+    }
+  }
+  ADD_FAILURE() << "graph has fewer than " << nth + 1 << " edges";
+  return {0, 0};
+}
+
+serving::ServingOptions FastMutationOptions() {
+  serving::ServingOptions options;
+  options.engine.num_workers = 2;
+  options.engine.network.instant = true;
+  options.engine.mode = runtime::ExecMode::kSync;
+  // Converge the sum family far past the programs' own epsilons so the warm
+  // and cold fixpoints agree to ~1e-8 and the comparisons below are sharp.
+  options.engine.epsilon_override = 1e-9;
+  return options;
+}
+
+std::vector<double> ResidentValues(const serving::Materialization& m) {
+  const VertexId n = m.graph()->num_vertices();
+  std::vector<double> out(n);
+  for (VertexId v = 0; v < n; ++v) out[v] = m.Lookup(v).ValueOrDie();
+  return out;
+}
+
+// Cold recompute on the handle's *current* snapshot with the same engine
+// configuration the serving plane used for the incremental path.
+std::vector<double> ColdValues(const serving::Materialization& m,
+                               const serving::ServingOptions& options) {
+  RunOptions run;
+  run.engine = options.engine;
+  auto out = PowerLog::Run(m.kernel(), *m.graph(), run);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return {};
+  EXPECT_TRUE(out->stats.converged) << "cold recompute did not converge";
+  return out->values;
+}
+
+void ExpectSameFixpoint(const std::vector<double>& incremental,
+                        const std::vector<double>& cold, bool exact,
+                        const std::string& tag) {
+  ASSERT_EQ(incremental.size(), cold.size()) << tag;
+  for (size_t v = 0; v < cold.size(); ++v) {
+    if (exact) {
+      EXPECT_EQ(incremental[v], cold[v]) << tag << ": vertex " << v;
+    } else {
+      const double tol = 1e-6 * std::max(1.0, std::abs(cold[v]));
+      EXPECT_NEAR(incremental[v], cold[v], tol) << tag << ": vertex " << v;
+    }
+  }
+}
+
+bool IsOrderedAggregate(datalog::AggKind agg) {
+  return agg == datalog::AggKind::kMin || agg == datalog::AggKind::kMax;
+}
+
+// Minimal blocking HTTP client against 127.0.0.1:port; returns the full
+// response (headers + body), or "" on connect failure.
+std::string HttpRoundTrip(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t w = ::write(fd, request.data() + off, request.size() - off);
+    if (w <= 0) break;
+    off += static_cast<size_t>(w);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return HttpRoundTrip(port, "GET " + path + " HTTP/1.1\r\n\r\n");
+}
+
+std::string HttpPost(int port, const std::string& path,
+                     const std::string& body) {
+  return HttpRoundTrip(port, "POST " + path + " HTTP/1.1\r\nContent-Length: " +
+                                 std::to_string(body.size()) + "\r\n\r\n" +
+                                 body);
+}
+
+std::string SsspSource() {
+  auto entry = datalog::GetCatalogEntry("sssp");
+  EXPECT_TRUE(entry.ok());
+  return entry->source;
+}
+
+// ---------------------------------------------------------------------------
+// MutationBatch: validation and copy-on-write application.
+
+TEST(MutationBatch, ValidateRejectsBadOps) {
+  const Graph g = ChainGraph(4);
+
+  MutationBatch empty;
+  EXPECT_TRUE(empty.Validate(g).ok());
+
+  MutationBatch out_of_range;
+  out_of_range.InsertEdge(0, 99);
+  EXPECT_FALSE(out_of_range.Validate(g).ok());
+
+  MutationBatch bad_src;
+  bad_src.DeleteEdge(9, 0);
+  EXPECT_FALSE(bad_src.Validate(g).ok());
+
+  MutationBatch non_finite;
+  non_finite.InsertEdge(0, 1, kInf);
+  EXPECT_FALSE(non_finite.Validate(g).ok());
+
+  MutationBatch nan_reweight;
+  nan_reweight.ReweightEdge(0, 1, std::nan(""));
+  EXPECT_FALSE(nan_reweight.Validate(g).ok());
+}
+
+TEST(MutationBatch, ApplyIsCopyOnWrite) {
+  const Graph base = ChainGraph(4);  // edges (0,1) (1,2) (2,3), weight 1
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 2, 5.0);
+  batch.DeleteEdge(1, 2);
+  batch.ReweightEdge(2, 3, 7.5);
+  batch.DeleteEdge(3, 0);  // miss: resolves to applied == false
+  auto result = ApplyMutationBatch(base, batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The base snapshot is untouched.
+  EXPECT_EQ(base.OutDegree(0), 1u);
+  EXPECT_EQ(base.OutDegree(1), 1u);
+  EXPECT_EQ(base.OutEdges(2).begin()->weight, 1.0);
+
+  // The patched CSR reflects the batch.
+  const Graph& patched = result->graph;
+  EXPECT_EQ(patched.num_vertices(), base.num_vertices());
+  EXPECT_EQ(patched.OutDegree(0), 2u);
+  EXPECT_EQ(patched.OutDegree(1), 0u);
+  ASSERT_EQ(patched.OutDegree(2), 1u);
+  EXPECT_EQ(patched.OutEdges(2).begin()->dst, 3u);
+  EXPECT_EQ(patched.OutEdges(2).begin()->weight, 7.5);
+
+  EXPECT_EQ(result->edges_added, 1);
+  EXPECT_EQ(result->edges_removed, 1);
+  EXPECT_EQ(result->edges_reweighted, 1);
+  EXPECT_TRUE(result->changed());
+  ASSERT_EQ(result->ops.size(), 4u);
+  EXPECT_TRUE(result->ops[0].applied);
+  EXPECT_TRUE(result->ops[1].applied);
+  EXPECT_TRUE(result->ops[2].applied);
+  EXPECT_FALSE(result->ops[3].applied);
+}
+
+TEST(MutationBatch, IntraBatchOpsSeeEarlierEffects) {
+  const Graph base = ChainGraph(3);  // (0,1) (1,2)
+
+  // Insert a parallel (1,2) edge, then delete (1,2): the delete must remove
+  // both the original and the just-inserted edge.
+  MutationBatch batch;
+  batch.InsertEdge(1, 2, 9.0);
+  batch.DeleteEdge(1, 2);
+  auto result = ApplyMutationBatch(base, batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->graph.OutDegree(1), 0u);
+}
+
+TEST(MutationBatch, NoopBatchLeavesGraphIdentical) {
+  const Graph base = ChainGraph(4);
+
+  MutationBatch batch;
+  batch.DeleteEdge(0, 3);        // no such edge
+  batch.ReweightEdge(0, 1, 1.0);  // same weight
+  auto result = ApplyMutationBatch(base, batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->changed());
+  EXPECT_FALSE(result->ops[0].applied);
+  EXPECT_FALSE(result->ops[1].applied);
+  EXPECT_EQ(result->graph.num_edges(), base.num_edges());
+}
+
+TEST(MutationBatch, RouteByShardGroupsBySourceOwner) {
+  const Graph g = ChainGraph(8);
+  const Partitioner partition(Partitioner::Kind::kHash, g.num_vertices(), 3);
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 1);
+  batch.DeleteEdge(5, 6);
+  batch.ReweightEdge(2, 3, 4.0);
+  const auto routed = batch.RouteByShard(partition);
+  ASSERT_EQ(routed.size(), 3u);
+  size_t total = 0;
+  for (uint32_t w = 0; w < 3; ++w) {
+    for (const size_t idx : routed[w]) {
+      ASSERT_LT(idx, batch.size());
+      EXPECT_EQ(partition.WorkerOf(batch.ops()[idx].src), w);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, batch.size());
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole acceptance: incremental re-convergence == cold recompute on every
+// fig9 program, through the full Materialization::Apply stack.
+
+TEST(ReconvergeFig9, IncrementalMatchesColdRecompute) {
+  const std::vector<std::string> programs = {"cc",         "sssp", "pagerank",
+                                             "adsorption", "katz", "bp"};
+  for (const std::string& name : programs) {
+    SCOPED_TRACE(name);
+    auto entry = datalog::GetCatalogEntry(name);
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+
+    const auto options = FastMutationOptions();
+    serving::ServingCatalog catalog(options);
+    auto made = catalog.MaterializeSource(name, "er", entry->source,
+                                          RandomGraph(*entry, 120, 600, 7));
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    auto handle = *made;
+    EXPECT_EQ(handle->Version(), 1u);
+
+    // Mixed batch: two inserts, one delete of an existing edge, one
+    // reweight. Insert weights stay small for the row-stochastic programs so
+    // the contraction that makes them converge survives the mutation.
+    const double w = entry->stochastic_weights ? 0.05 : 1.5;
+    const auto del = NthEdge(*handle->graph(), 0);
+    const auto rew = NthEdge(*handle->graph(), handle->graph()->num_edges() / 2);
+    MutationBatch batch;
+    batch.InsertEdge(3, 97, w);
+    batch.InsertEdge(55, 12, w);
+    batch.DeleteEdge(del.first, del.second);
+    batch.ReweightEdge(rew.first, rew.second, w * 0.9);
+
+    auto stats = handle->Apply(batch);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->version, 2u);
+    EXPECT_EQ(handle->Version(), 2u);
+    EXPECT_NE(stats->path, "noop");
+    EXPECT_GE(stats->edges_added, 2);
+    EXPECT_GE(stats->edges_removed, 1);
+
+    ExpectSameFixpoint(ResidentValues(*handle), ColdValues(*handle, options),
+                       IsOrderedAggregate(entry->aggregate), name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized mutation streams: per-batch incremental == cold over four
+// programs and two datasets each.
+
+TEST(ReconvergeStreams, RandomizedMutationStreams) {
+  const std::vector<std::string> programs = {"sssp", "pagerank", "cc",
+                                             "viterbi"};
+  const std::vector<uint64_t> seeds = {11, 23};
+  const VertexId n = 80;
+
+  for (const std::string& name : programs) {
+    auto entry = datalog::GetCatalogEntry(name);
+    ASSERT_TRUE(entry.ok());
+    const bool exact = IsOrderedAggregate(entry->aggregate);
+
+    for (const uint64_t seed : seeds) {
+      SCOPED_TRACE(name + " seed " + std::to_string(seed));
+      const auto options = FastMutationOptions();
+      serving::ServingCatalog catalog(options);
+      auto made = catalog.MaterializeSource(
+          name, "er" + std::to_string(seed), entry->source,
+          RandomGraph(*entry, n, 400, seed));
+      ASSERT_TRUE(made.ok()) << made.status().ToString();
+      auto handle = *made;
+
+      std::mt19937 rng(static_cast<uint32_t>(seed * 7919 + name.size()));
+      // Viterbi reads weights as probabilities: keep every weight in (0,1)
+      // so max-product stays contractive. The others take generic weights.
+      std::uniform_real_distribution<double> prob(0.1, 0.9);
+      std::uniform_real_distribution<double> generic(0.5, 3.5);
+      auto random_weight = [&] {
+        return entry->stochastic_weights ? prob(rng) : generic(rng);
+      };
+
+      for (int round = 0; round < 5; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        auto cur = handle->graph();
+        std::vector<std::pair<VertexId, VertexId>> edges;
+        for (VertexId v = 0; v < cur->num_vertices(); ++v) {
+          for (const Edge& e : cur->OutEdges(v)) edges.push_back({v, e.dst});
+        }
+
+        MutationBatch batch;
+        for (int op = 0; op < 6; ++op) {
+          const uint32_t pick = rng() % 10;
+          if (pick < 4 || edges.empty()) {
+            batch.InsertEdge(rng() % n, rng() % n, random_weight());
+          } else if (pick < 7) {
+            const auto [s, t] = edges[rng() % edges.size()];
+            batch.DeleteEdge(s, t);
+          } else {
+            const auto [s, t] = edges[rng() % edges.size()];
+            batch.ReweightEdge(s, t, random_weight());
+          }
+        }
+
+        const uint64_t before = handle->Version();
+        auto stats = handle->Apply(batch);
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+        EXPECT_EQ(handle->Version(),
+                  stats->path == "noop" ? before : before + 1);
+        ExpectSameFixpoint(ResidentValues(*handle),
+                           ColdValues(*handle, options), exact, name);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deletion-heavy adversarial cases: retracting load-bearing edges must run
+// the scoped re-derivation sweep and still land on the cold fixpoint.
+
+TEST(ReconvergeAdversarial, BridgeDeletionRederivesSuffix) {
+  const auto options = FastMutationOptions();
+  serving::ServingCatalog catalog(options);
+  auto made =
+      catalog.MaterializeSource("sssp", "chain", SsspSource(), ChainGraph(64));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto handle = *made;
+
+  // Severing 10 -> 11 strands every vertex past the cut: their converged
+  // distances lose support and must be re-derived back to +inf.
+  MutationBatch cut;
+  cut.DeleteEdge(10, 11);
+  auto stats = handle->Apply(cut);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->path, "rederive");
+  EXPECT_GE(stats->affected_vertices, 53);
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_EQ(handle->Lookup(v).ValueOrDie(),
+              v <= 10 ? static_cast<double>(v) : kInf)
+        << "vertex " << v;
+  }
+  ExpectSameFixpoint(ResidentValues(*handle), ColdValues(*handle, options),
+                     /*exact=*/true, "sssp after cut");
+
+  // Re-inserting the bridge is a pure gain: the delta path must restore the
+  // original distances without a sweep.
+  MutationBatch heal;
+  heal.InsertEdge(10, 11, 1.0);
+  stats = handle->Apply(heal);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->path, "delta");
+  EXPECT_EQ(stats->version, 3u);
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_EQ(handle->Lookup(v).ValueOrDie(), static_cast<double>(v));
+  }
+}
+
+TEST(ReconvergeAdversarial, ClusterBridgeDeletionSplitsLabels) {
+  // Two 4-cliques joined by a single directed bridge 3 -> 4. With the bridge,
+  // CC labels everything 0; cutting it must re-derive the second cluster's
+  // labels up to 4 — exactly what a cold run on the cut graph computes.
+  GraphBuilder b;
+  b.EnsureVertices(8);
+  for (VertexId lo : {VertexId{0}, VertexId{4}}) {
+    for (VertexId u = lo; u < lo + 4; ++u) {
+      for (VertexId v = lo; v < lo + 4; ++v) {
+        if (u != v) b.AddEdge(u, v, 1.0);
+      }
+    }
+  }
+  b.AddEdge(3, 4, 1.0);
+  Graph g = std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+
+  auto cc = datalog::GetCatalogEntry("cc");
+  ASSERT_TRUE(cc.ok());
+  const auto options = FastMutationOptions();
+  serving::ServingCatalog catalog(options);
+  auto made = catalog.MaterializeSource("cc", "bridged", cc->source, g);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto handle = *made;
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(handle->Lookup(v).ValueOrDie(), 0.0);
+  }
+
+  MutationBatch cut;
+  cut.DeleteEdge(3, 4);
+  auto stats = handle->Apply(cut);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->path, "rederive");
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(handle->Lookup(v).ValueOrDie(), v < 4 ? 0.0 : 4.0)
+        << "vertex " << v;
+  }
+  ExpectSameFixpoint(ResidentValues(*handle), ColdValues(*handle, options),
+                     /*exact=*/true, "cc after cut");
+}
+
+// ---------------------------------------------------------------------------
+// Recompute fallback: a condition-checked kernel the planner cannot retract
+// (min over an F' that reads degrees — any degree shift invalidates every
+// derivation through the shifted vertex) must pause, cold-absorb, and match.
+
+TEST(ReconvergeFallback, DegreeCoupledMinRecomputes) {
+  const std::string source = R"(
+@name mindeg.
+degree(X,count[Y]) :- edge(X,Y).
+m(X,v) :- X = 0, v = 0.
+m(Y,min[v1]) :- m(X,v), edge(X,Y), degree(X,d), v1 = v + d.
+)";
+  const auto options = FastMutationOptions();
+  serving::ServingCatalog catalog(options);
+  auto made = catalog.MaterializeSource("mindeg", "er", source,
+                                        GenerateErdosRenyi(60, 240, 3)
+                                            .ValueOrDie());
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto handle = *made;
+
+  // The insert changes its source's out-degree, so every min-derivation
+  // through that vertex changes cost: no incremental seed is sound.
+  MutationBatch batch;
+  batch.InsertEdge(0, 17, 1.0);
+  auto stats = handle->Apply(batch);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->path, "recompute");
+  EXPECT_EQ(stats->version, 2u);
+  ExpectSameFixpoint(ResidentValues(*handle), ColdValues(*handle, options),
+                     /*exact=*/true, "mindeg");
+}
+
+// ---------------------------------------------------------------------------
+// Frontier on/off parity: the frontier only skips identity-delta rows, so
+// the re-converged fixpoint must be bit-identical with it disabled.
+
+TEST(ReconvergeParity, FrontierOnOffBitIdentical) {
+  auto entry = datalog::GetCatalogEntry("sssp");
+  ASSERT_TRUE(entry.ok());
+  const Graph g = RandomGraph(*entry, 120, 600, 13);
+
+  auto run_stream = [&](bool frontier) {
+    auto options = FastMutationOptions();
+    options.engine.frontier = frontier;
+    serving::ServingCatalog catalog(options);
+    auto made = catalog.MaterializeSource("sssp", "er", entry->source, g);
+    EXPECT_TRUE(made.ok()) << made.status().ToString();
+    auto handle = *made;
+
+    MutationBatch tighten;
+    const auto rew = NthEdge(*handle->graph(), 5);
+    tighten.ReweightEdge(rew.first, rew.second, 0.1);
+    tighten.InsertEdge(2, 71, 0.5);
+    EXPECT_TRUE(handle->Apply(tighten).ok());
+
+    MutationBatch loosen;
+    const auto del = NthEdge(*handle->graph(), 0);
+    loosen.DeleteEdge(del.first, del.second);
+    EXPECT_TRUE(handle->Apply(loosen).ok());
+    return ResidentValues(*handle);
+  };
+
+  const auto with_frontier = run_stream(true);
+  const auto without_frontier = run_stream(false);
+  ExpectSameFixpoint(with_frontier, without_frontier, /*exact=*/true,
+                     "frontier parity");
+}
+
+// ---------------------------------------------------------------------------
+// Handle plumbing: version bumps invalidate the run cache.
+
+TEST(ServingMutation, RunCacheInvalidatedOnVersionBump) {
+  const auto options = FastMutationOptions();
+  serving::ServingCatalog catalog(options);
+  auto made =
+      catalog.MaterializeSource("sssp", "chain", SsspSource(), ChainGraph(16));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto handle = *made;
+
+  auto cold = handle->Run();
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cached);
+  auto warm = handle->Run();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cached);
+  EXPECT_EQ(warm->values[15], 15.0);
+
+  MutationBatch batch;
+  batch.ReweightEdge(0, 1, 3.0);
+  ASSERT_TRUE(handle->Apply(batch).ok());
+
+  // The stale fixpoint must not serve: same key, fresh run, new values.
+  auto fresh = handle->Run();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh->cached);
+  EXPECT_EQ(fresh->values[15], 17.0);
+}
+
+TEST(ServingMutation, MutationCountersRideTheMetricsPlane) {
+  const auto options = FastMutationOptions();
+  serving::ServingCatalog catalog(options);
+  auto made =
+      catalog.MaterializeSource("sssp", "chain", SsspSource(), ChainGraph(8));
+  ASSERT_TRUE(made.ok());
+  auto handle = *made;
+  ASSERT_EQ(catalog.graph_builds(), 1);
+
+  MutationBatch tighten;  // 2.0 -> delta path is impossible; 0.5 tightens
+  tighten.ReweightEdge(0, 1, 0.5);
+  auto stats = handle->Apply(tighten);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(catalog.graph_builds(), 2);
+
+  int64_t applied = -1, delta = -1, rederive = -1, fallback = -1;
+  for (const auto& [name, value] : catalog.Metrics().counters) {
+    if (name == "serving.mutations.applied") applied = value;
+    if (name == "serving.mutations.delta_path") delta = value;
+    if (name == "serving.mutations.rederive_path") rederive = value;
+    if (name == "serving.mutations.fallback_path") fallback = value;
+  }
+  EXPECT_EQ(applied, 1);
+  EXPECT_EQ(delta + rederive + fallback, 1);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP routes: POST /mutate re-converges and bumps /version; malformed and
+// misrouted requests map to 4xx.
+
+TEST(ServingMutationHttp, MutateAndVersionRoutes) {
+  const auto options = FastMutationOptions();
+  serving::ServingCatalog catalog(options);
+  ASSERT_TRUE(
+      catalog.MaterializeSource("sssp", "chain", SsspSource(), ChainGraph(8))
+          .ok());
+
+  ExpositionServer server;
+  server.SetHandler(serving::MakeServingHandler(&catalog));
+  server.SetSources([&catalog] { return catalog.Metrics(); },
+                    [] { return std::string(); });
+  auto port = server.Start(0, /*handler_threads=*/2);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  const std::string pair = "?program=sssp&dataset=chain";
+  EXPECT_NE(HttpGet(*port, "/version" + pair).find("\"version\":1"),
+            std::string::npos);
+
+  const std::string mutate_body =
+      R"({"ops":[{"op":"reweight","src":0,"dst":1,"weight":3.0}]})";
+  const std::string mutated = HttpPost(*port, "/mutate" + pair, mutate_body);
+  EXPECT_NE(mutated.find("200 OK"), std::string::npos) << mutated;
+  EXPECT_NE(mutated.find("\"version\":2"), std::string::npos) << mutated;
+  EXPECT_NE(mutated.find("\"converged\":true"), std::string::npos) << mutated;
+  EXPECT_NE(mutated.find("\"path\":\""), std::string::npos) << mutated;
+
+  // The re-converged state serves immediately: d(7) = 3 + 6.
+  EXPECT_NE(HttpGet(*port, "/lookup" + pair + "&v=7").find("\"value\":9"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(*port, "/version" + pair).find("\"version\":2"),
+            std::string::npos);
+
+  const std::string metrics = HttpGet(*port, "/metrics");
+  EXPECT_NE(metrics.find("powerlog_serving_mutations_applied 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("powerlog_serving_graph_builds 2"),
+            std::string::npos);
+
+  // Error mapping: GET on /mutate, malformed JSON, unknown pair, and POST on
+  // a read-only route.
+  EXPECT_NE(HttpGet(*port, "/mutate" + pair).find("400"), std::string::npos);
+  EXPECT_NE(HttpPost(*port, "/mutate" + pair, "{not json").find("400"),
+            std::string::npos);
+  EXPECT_NE(
+      HttpPost(*port, "/mutate?program=nope&dataset=chain", mutate_body)
+          .find("404"),
+      std::string::npos);
+  EXPECT_NE(HttpPost(*port, "/lookup" + pair + "&v=1", "").find("404"),
+            std::string::npos);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (TSan target): mutations racing lookups must only ever expose
+// certified fixpoints — a reader sees version k's values or version k+1's,
+// never a mid-re-convergence mix.
+
+TEST(MutationConcurrency, ConcurrentMutationsAndLookups) {
+  const auto options = FastMutationOptions();
+  serving::ServingCatalog catalog(options);
+  auto made =
+      catalog.MaterializeSource("sssp", "chain", SsspSource(), ChainGraph(32));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto handle = *made;
+
+  // Every version has edge (0,1) at weight 1.0 or 2.0, so d(31) is exactly
+  // 31 or 32 in every certified fixpoint — anything else is a torn read.
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_version = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const double d = handle->Lookup(31).ValueOrDie();
+        EXPECT_TRUE(d == 31.0 || d == 32.0) << "torn value " << d;
+        const uint64_t version = handle->Version();
+        EXPECT_GE(version, last_version) << "version went backwards";
+        last_version = version;
+        auto top = handle->TopK(4, /*ascending=*/true);
+        EXPECT_TRUE(top.ok());
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    MutationBatch batch;
+    batch.ReweightEdge(0, 1, i % 2 == 0 ? 2.0 : 1.0);
+    auto stats = handle->Apply(batch);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->version, static_cast<uint64_t>(i) + 2);
+  }
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(handle->Version(), 9u);
+  EXPECT_EQ(handle->Lookup(31).ValueOrDie(), 31.0);  // last reweight was 1.0
+  EXPECT_GT(reads.load(), 0);
+}
+
+}  // namespace
+}  // namespace powerlog

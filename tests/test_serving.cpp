@@ -130,11 +130,11 @@ TEST(ExpositionRestart, SurvivesRepeatedCycles) {
 TEST(ExpositionRestart, CustomHandlerServesAcrossRestart) {
   ExpositionServer server;
   std::atomic<int> calls{0};
-  server.SetHandler([&calls](const std::string& path, HttpResponse* resp) {
-    if (path.rfind("/echo", 0) != 0) return false;
+  server.SetHandler([&calls](const HttpRequest& req, HttpResponse* resp) {
+    if (req.target.rfind("/echo", 0) != 0) return false;
     calls.fetch_add(1);
     resp->status = 200;
-    resp->body = "echo:" + path;
+    resp->body = "echo:" + req.target;
     return true;
   });
   auto port = server.Start(0, /*handler_threads=*/2);
@@ -355,9 +355,9 @@ TEST(ServingCatalog, MaterializeIsIdempotentAndChecked) {
   // A program failing the MRA conditions is refused residency.
   auto gcn = datalog::GetCatalogEntry("gcn_forward");
   ASSERT_TRUE(gcn.ok());
-  Status status =
+  auto refused =
       catalog.MaterializeSource("gcn", "chain2", gcn->source, ChainGraph(8));
-  EXPECT_EQ(status.code(), StatusCode::kConditionViolated);
+  EXPECT_EQ(refused.status().code(), StatusCode::kConditionViolated);
   EXPECT_EQ(catalog.size(), 1u);
 }
 
