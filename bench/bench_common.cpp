@@ -142,6 +142,9 @@ double RunModeSeconds(runtime::ExecMode mode, const std::string& program,
   // and a longer adaptation window for the buffer policy.
   options.adaptive_priority = mode == runtime::ExecMode::kSyncAsync;
   if (mode == runtime::ExecMode::kSyncAsync) options.buffer.tau_us = 1500;
+  // Stale-sync benches run the shipped configuration: the bound self-tunes
+  // from timeline signals rather than relying on a hand-picked s.
+  if (mode == runtime::ExecMode::kStaleSync) options.staleness_auto = true;
   options.collect_metrics = MetricsDumpEnabled();
   runtime::Engine engine(graph, kernel, options);
   auto run = engine.Run();

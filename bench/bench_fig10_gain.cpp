@@ -18,24 +18,28 @@ void RunPanel(const std::string& title, const std::string& program,
               SystemId graph_system) {
   bench::PrintHeader(title);
   bench::PrintColumns("dataset", {"Naive+Sync", "MRA+Sync", "MRA+Async",
-                                  "MRA+SyAsy", systems::SystemName(graph_system)});
+                                  "MRA+SyAsy", "MRA+Stale",
+                                  systems::SystemName(graph_system)});
   std::vector<std::string> datasets = {"wiki", "web", "arabic"};
   if (bench::FastMode()) datasets = {"wiki"};
   std::vector<double> ours;
-  std::vector<std::vector<double>> others(4);
+  std::vector<std::vector<double>> others(5);
   for (const auto& dataset : datasets) {
     const double naive = bench::RunNaiveSeconds(program, dataset);
     const double sync = bench::RunModeSeconds(ExecMode::kSync, program, dataset);
     const double async = bench::RunModeSeconds(ExecMode::kAsync, program, dataset);
     const double unified =
         bench::RunModeSeconds(ExecMode::kSyncAsync, program, dataset);
+    const double stale =
+        bench::RunModeSeconds(ExecMode::kStaleSync, program, dataset);
     const double baseline = bench::RunSystemSeconds(graph_system, program, dataset);
-    bench::PrintRow(dataset, {naive, sync, async, unified, baseline});
+    bench::PrintRow(dataset, {naive, sync, async, unified, stale, baseline});
     ours.push_back(unified);
     others[0].push_back(naive);
     others[1].push_back(sync);
     others[2].push_back(async);
-    others[3].push_back(baseline);
+    others[3].push_back(stale);
+    others[4].push_back(baseline);
   }
   bench::PrintSpeedupSummary("MRA+Sync-Async", ours, {others[0]});
 }

@@ -1,0 +1,57 @@
+// Stale-synchronous frontier: can a bounded superstep lead beat both pure
+// disciplines at once?
+//
+// The simulated substrate injects cloud-VM noise (stall_every_us in
+// bench_common's RunModeSeconds), and the power-law datasets hash into
+// uneven shards — exactly the environment SSP targets: sync pays a full
+// barrier wait for every straggler pause, async lets unapplied error pile
+// up unpaced. Stale-sync (with --staleness=auto) should land at or below
+// min(sync, async) on at least one skewed cell; bench_compare.py tracks the
+// ratio as `stalesync_vs_best_pure` (informational until a baseline
+// carries it).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace powerlog;
+using runtime::ExecMode;
+
+namespace {
+
+void RunPanel(const std::string& program) {
+  bench::PrintHeader("Stale-sync frontier: " + program);
+  bench::PrintColumns(
+      "dataset", {"MRA+Sync", "MRA+Async", "MRA+Stale", "best/stale"});
+  std::vector<std::string> datasets = {"wiki", "web"};
+  if (bench::FastMode()) datasets = {"wiki"};
+  for (const auto& dataset : datasets) {
+    const double sync = bench::RunModeSeconds(ExecMode::kSync, program, dataset);
+    const double async =
+        bench::RunModeSeconds(ExecMode::kAsync, program, dataset);
+    const double stale =
+        bench::RunModeSeconds(ExecMode::kStaleSync, program, dataset);
+    double ratio = -1.0;  // >1 means stale-sync beat both pure modes
+    if (sync > 0.0 && async > 0.0 && stale > 0.0) {
+      ratio = std::min(sync, async) / stale;
+    }
+    // PrintRow suffixes every cell with "s"; the ratio is dimensionless,
+    // so format this row by hand.
+    std::printf("%-22s%11.3fs%11.3fs%11.3fs", dataset.c_str(), sync, async,
+                stale);
+    if (ratio > 0.0) {
+      std::printf("%11.3fx\n", ratio);
+    } else {
+      std::printf("%12s\n", "-");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunPanel("pagerank");
+  RunPanel("sssp");
+  RunPanel("cc");
+  return 0;
+}

@@ -9,7 +9,11 @@
 //   --program <name|file>   catalog program name or Datalog source file
 //   --dataset <name>        Table-2 registry dataset (see --list)
 //   --graph <file>          edge-list file ("src dst [weight]" per line)
-//   --mode <m>              sync | async | aap | sync-async (default)
+//   --mode <m>              sync | async | aap | sync-async (default) |
+//                           stale-sync (alias: stalesync)
+//   --staleness <s|auto>    stale-sync only: max supersteps a worker may run
+//                           ahead of the slowest (default 4); "auto" lets the
+//                           termination controller tune the bound online
 //   --workers <n>           worker threads (default 4)
 //   --source <v>            source vertex override (single-source programs)
 //   --epsilon <e>           termination epsilon override
@@ -58,7 +62,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --program <name|file> (--dataset <name> | --graph "
-               "<file>) [--mode m] [--workers n] [--source v] [--epsilon e] "
+               "<file>) [--mode m] [--staleness s|auto] [--workers n] "
+               "[--source v] [--epsilon e] "
                "[--top k] [--check-only] [--metrics-json path] "
                "[--fault-plan spec] [--checkpoint base] [--checkpoint-us n] "
                "[--heartbeat-us n] [--no-frontier] [--trace-out path] "
@@ -178,6 +183,13 @@ int main(int argc, char** argv) {
       graph_file = value;
     } else if (arg == "--mode" && (value = next())) {
       mode_name = value;
+    } else if (arg == "--staleness" && (value = next())) {
+      if (std::strcmp(value, "auto") == 0) {
+        options.engine.staleness_auto = true;
+      } else {
+        if (!ParseIntFlag("--staleness", value, &int_value)) return 2;
+        options.engine.staleness = int_value;
+      }
     } else if (arg == "--workers" && (value = next())) {
       if (!ParseIntFlag("--workers", value, &int_value)) return 2;
       options.engine.num_workers = static_cast<uint32_t>(int_value);
@@ -282,6 +294,8 @@ int main(int argc, char** argv) {
     options.engine.mode = runtime::ExecMode::kAap;
   } else if (mode_name == "sync-async") {
     options.engine.mode = runtime::ExecMode::kSyncAsync;
+  } else if (mode_name == "stale-sync" || mode_name == "stalesync") {
+    options.engine.mode = runtime::ExecMode::kStaleSync;
   } else {
     return Usage(argv[0]);
   }

@@ -18,6 +18,9 @@
 //   --port <n>                  listen port on 127.0.0.1 (default 0 =
 //                               ephemeral; the bound port is printed)
 //   --mode <m>                  engine mode: sync | async | aap | sync-async
+//                               | stale-sync (alias: stalesync)
+//   --staleness <s|auto>        stale-sync only: superstep-lead bound, or
+//                               "auto" for the online tuner
 //   --workers <n>               engine worker threads (default 4)
 //   --handler-threads <n>       HTTP handler threads (default 4)
 //   --max-inflight <n>          concurrent full runs admitted (default 2)
@@ -49,7 +52,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --pair <program>:<dataset> [--pair ...] [--port n] "
-               "[--mode m] [--workers n] [--handler-threads n] "
+               "[--mode m] [--staleness s|auto] [--workers n] "
+               "[--handler-threads n] "
                "[--max-inflight n] [--max-queue n] [--deadline-ms n] "
                "[--cache n]\n",
                argv0);
@@ -112,6 +116,13 @@ int main(int argc, char** argv) {
       if (!ParseIntFlag("--port", value, 0, &port)) return 2;
     } else if (arg == "--mode" && (value = next())) {
       mode_name = value;
+    } else if (arg == "--staleness" && (value = next())) {
+      if (std::string(value) == "auto") {
+        options.engine.staleness_auto = true;
+      } else {
+        if (!ParseIntFlag("--staleness", value, 0, &n)) return 2;
+        options.engine.staleness = n;
+      }
     } else if (arg == "--workers" && (value = next())) {
       if (!ParseIntFlag("--workers", value, 1, &n)) return 2;
       options.engine.num_workers = static_cast<uint32_t>(n);
@@ -144,6 +155,8 @@ int main(int argc, char** argv) {
     options.engine.mode = runtime::ExecMode::kAap;
   } else if (mode_name == "sync-async") {
     options.engine.mode = runtime::ExecMode::kSyncAsync;
+  } else if (mode_name == "stale-sync" || mode_name == "stalesync") {
+    options.engine.mode = runtime::ExecMode::kStaleSync;
   } else {
     return Usage(argv[0]);
   }

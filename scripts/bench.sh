@@ -36,7 +36,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> build (build/)"
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target bench_micro bench_fig9_overall bench_mutation >/dev/null
+cmake --build build -j "$JOBS" --target bench_micro bench_fig9_overall bench_mutation bench_stalesync >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -58,6 +58,14 @@ FIG9_ENV=()
 [[ "$QUICK" -eq 1 ]] && FIG9_ENV+=(POWERLOG_BENCH_FAST=1)
 env "${FIG9_ENV[@]}" POWERLOG_BENCH_METRICS="$TMP/fig9_metrics.jsonl" \
   ./build/bench/bench_fig9_overall > "$TMP/fig9.txt"
+
+echo "==> bench_stalesync (bounded-lead mode vs both pure disciplines)"
+# Appends to the same fig9 JSONL: collect derives stalesync_vs_best_pure
+# from the (program, dataset) cells that carry all three modes.
+STALE_ENV=()
+[[ "$QUICK" -eq 1 ]] && STALE_ENV+=(POWERLOG_BENCH_FAST=1)
+env "${STALE_ENV[@]}" POWERLOG_BENCH_METRICS="$TMP/fig9_metrics.jsonl" \
+  ./build/bench/bench_stalesync > "$TMP/stalesync.txt"
 
 echo "==> bench_mutation (incremental re-convergence vs cold recompute)"
 MUT_ENV=()

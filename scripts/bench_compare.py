@@ -43,6 +43,13 @@ on a loaded host:
                             stay >= MUTATION_SPEEDUP_FLOOR (5.0). The floor
                             is informational on the first run (baseline
                             predates the metric) and gated thereafter.
+  stalesync_vs_best_pure    best-cell min(sync, async) / stale-sync wall
+                            ratio over the (program, dataset) cells that ran
+                            all three modes (ISSUE 8); >= 1 means the
+                            bounded-lead mode beat both pure disciplines on
+                            at least one skewed cell. Informational on the
+                            first run and gated thereafter, like the
+                            mutation floor.
   fig9 convergence          every engine run recorded in the baseline must
                             still converge.
   mutation convergence      every mutation cell recorded in the baseline must
@@ -68,6 +75,7 @@ EDGE_SPEEDUP_FLOOR = 1.5    # specialized scatter vs stack VM (ISSUE 4)
 FLAT_ALLOCS_CEILING = 1.0   # combining-buffer steady-state allocs/M
 TRACE_DISABLED_CEILING_NS = 10.0  # disabled SpanGuard cost (ISSUE 5)
 MUTATION_SPEEDUP_FLOOR = 5.0  # incremental Apply vs cold recompute (ISSUE 7)
+STALESYNC_SPEEDUP_FLOOR = 1.0  # best-cell min(sync,async)/stale-sync (ISSUE 8)
 REGRESSION_PCT = 10.0  # tracked-metric tolerance vs baseline
 ALLOC_SLACK = 1.0      # absolute allocs/M slack on top of the percentage
 OVERFLOW_SLACK = 0     # overflow sends allowed above baseline
@@ -150,6 +158,25 @@ def collect(args):
         if s is not None
     ]
 
+    # Stale-sync frontier (ISSUE 8): over every (program, dataset) cell the
+    # JSONL carries in all three of sync / async / stale-sync, the ratio of
+    # the best pure mode's wall time to stale-sync's. The *best* cell is the
+    # reported metric — the acceptance claim is "beats both pure modes on at
+    # least one skewed cell", not "everywhere".
+    stalesync_ratios = []
+    for key, rec in fig9.items():
+        cell, _, mode = key.rpartition("/")
+        if mode != "stale-sync" or not rec.get("converged"):
+            continue
+        stale_wall = _num(rec.get("wall_seconds"))
+        pure_walls = [
+            _num(fig9.get("{}/{}".format(cell, m), {}).get("wall_seconds"))
+            for m in ("sync", "async")
+        ]
+        pure_walls = [w for w in pure_walls if w is not None and w > 0]
+        if stale_wall and stale_wall > 0 and len(pure_walls) == 2:
+            stalesync_ratios.append(min(pure_walls) / stale_wall)
+
     spsc = micro.get("BM_BusFabric_SPSC", {})
     mutex = micro.get("BM_BusFabric_MutexDeque", {})
     latency = micro.get("BM_BusFabric_SPSC_Latency", {})
@@ -200,6 +227,8 @@ def collect(args):
             # regression even if the others still fly.
             "mutation_speedup_vs_recompute":
                 min(mutation_speedups) if mutation_speedups else None,
+            "stalesync_vs_best_pure":
+                max(stalesync_ratios) if stalesync_ratios else None,
         },
         "micro": micro,
         "fig9": fig9,
@@ -340,6 +369,27 @@ def compare(args):
     else:
         notes.append("mutation_speedup_vs_recompute: {:.2f} (floor {:.1f})".format(
             mut, MUTATION_SPEEDUP_FLOOR))
+
+    # Stale-sync frontier (ISSUE 8): same informational-until-carried
+    # contract as the mutation floor.
+    stale = _num(cm.get("stalesync_vs_best_pure"))
+    base_stale = _num(bm.get("stalesync_vs_best_pure"))
+    if stale is None:
+        if base_stale is not None:
+            failures.append("stalesync_vs_best_pure: missing from current run")
+        else:
+            notes.append(
+                "stalesync_vs_best_pure: not present (pre-ISSUE-8 run)")
+    elif stale < STALESYNC_SPEEDUP_FLOOR:
+        line = "stalesync_vs_best_pure: {:.2f} < floor {:.1f}".format(
+            stale, STALESYNC_SPEEDUP_FLOOR)
+        if base_stale is None:
+            warnings.append(line + " (informational: baseline lacks the metric)")
+        else:
+            failures.append(line)
+    else:
+        notes.append("stalesync_vs_best_pure: {:.2f} (floor {:.1f})".format(
+            stale, STALESYNC_SPEEDUP_FLOOR))
 
     tracked("fabric_speedup", worse_is="lower")
     tracked("fabric_spsc_allocs_per_M", worse_is="higher", slack=ALLOC_SLACK)

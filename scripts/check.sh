@@ -5,7 +5,7 @@
 # perf-regression gate against the committed BENCH_*.json baseline.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
-#                         [--skip-trace] [--skip-serve]
+#                         [--skip-trace] [--skip-serve] [--skip-stalesync]
 #
 # Build trees: build/ (plain), build-tsan/ (POWERLOG_SANITIZE=thread) and
 # build-asan/ (POWERLOG_SANITIZE=address); all are created if missing and
@@ -19,6 +19,7 @@ SKIP_ASAN=0
 SKIP_BENCH=0
 SKIP_TRACE=0
 SKIP_SERVE=0
+SKIP_STALESYNC=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -26,6 +27,7 @@ for arg in "$@"; do
     --skip-bench) SKIP_BENCH=1 ;;
     --skip-trace) SKIP_TRACE=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
+    --skip-stalesync) SKIP_STALESYNC=1 ;;
     *) echo "unknown arg: $arg" >&2; exit 2 ;;
   esac
 done
@@ -149,6 +151,33 @@ else
   grep -q "clean exit: all handler threads joined" "$SERVE_LOG" \
       || serve_fail "shutdown did not join handler threads"
   rm -f "$SERVE_LOG"
+fi
+
+if [[ "$SKIP_STALESYNC" -eq 1 ]]; then
+  echo "==> stale-sync stage skipped (--skip-stalesync)"
+else
+  # Stale-sync acceptance (ISSUE 8): the fig9 smoke set must converge under
+  # --mode=stalesync --staleness=auto, and a traced run with the tightest
+  # bound (s=0, where any superstep lead gates) must emit stale.park spans —
+  # proof the clock gate actually parks fast workers rather than being
+  # compiled in but never taken.
+  echo "==> stale-sync: fig9 smoke set (--mode=stalesync --staleness=auto)"
+  for prog in sssp cc pagerank; do
+    build/examples/powerlog_cli --program "$prog" --dataset flickr \
+        --mode stalesync --staleness auto --workers 4 --epsilon 1e-4 \
+        >/dev/null \
+        || { echo "stale-sync smoke failed: $prog" >&2; exit 1; }
+  done
+
+  echo "==> stale-sync: traced skewed run + stale.park spans"
+  STALE_TMP="$(mktemp -d)"
+  build/examples/powerlog_cli --program pagerank --dataset flickr \
+      --mode stalesync --staleness 0 --workers 4 --epsilon 1e-4 \
+      --trace-out "$STALE_TMP/trace.json" >/dev/null \
+      || { rm -rf "$STALE_TMP"; echo "stale-sync traced run failed" >&2; exit 1; }
+  python3 scripts/check_trace.py "$STALE_TMP/trace.json" \
+      --require superstep --require sweep --require stale.park
+  rm -rf "$STALE_TMP"
 fi
 
 if [[ "$SKIP_TRACE" -eq 1 ]]; then

@@ -159,6 +159,62 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
         self.assertIn("mutation_speedup_vs_recompute", proc.stdout)
 
+    def test_stalesync_floor_informational_without_baseline_metric(self):
+        # ISSUE 8: same first-run contract as the mutation floor — a ratio
+        # below 1.0 against a baseline that predates the metric warns only.
+        base = self.write("base.json", bench_doc())
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["stalesync_vs_best_pure"] = 0.8
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("stalesync_vs_best_pure", proc.stdout)
+        self.assertIn("informational: baseline lacks the metric", proc.stdout)
+
+    def test_stalesync_floor_gates_once_baseline_has_metric(self):
+        base_doc = bench_doc()
+        base_doc["metrics"]["stalesync_vs_best_pure"] = 1.4
+        base = self.write("base.json", base_doc)
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["stalesync_vs_best_pure"] = 0.8
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("stalesync_vs_best_pure", proc.stdout)
+
+    def test_stalesync_collect_picks_best_cell(self):
+        # collect derives the metric from the fig9 JSONL: only cells with
+        # all three modes count, and the best ratio wins.
+        micro = self.write("micro.json", {"benchmarks": []})
+        jsonl = os.path.join(self.tmp.name, "runs.jsonl")
+        runs = [
+            # Complete cell: best pure 2.0 / stale 1.0 => ratio 2.0.
+            {"program": "pagerank", "dataset": "wiki", "mode": "sync",
+             "wall_seconds": 2.5, "converged": True},
+            {"program": "pagerank", "dataset": "wiki", "mode": "async",
+             "wall_seconds": 2.0, "converged": True},
+            {"program": "pagerank", "dataset": "wiki", "mode": "stale-sync",
+             "wall_seconds": 1.0, "converged": True},
+            # Incomplete cell (no async run): must be ignored.
+            {"program": "sssp", "dataset": "wiki", "mode": "sync",
+             "wall_seconds": 1.0, "converged": True},
+            {"program": "sssp", "dataset": "wiki", "mode": "stale-sync",
+             "wall_seconds": 0.1, "converged": True},
+        ]
+        with open(jsonl, "w") as f:
+            for rec in runs:
+                f.write(json.dumps(rec) + "\n")
+        out = os.path.join(self.tmp.name, "out.json")
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "collect", "--rev", "test",
+             "--micro-json", micro, "--fig9-metrics", jsonl, "--out", out],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        with open(out) as f:
+            doc = json.load(f)
+        self.assertAlmostEqual(
+            doc["metrics"]["stalesync_vs_best_pure"], 2.0)
+
     def test_mutation_cell_divergence_gates(self):
         base_doc = bench_doc()
         base_doc["metrics"]["mutation_speedup_vs_recompute"] = 8.0

@@ -25,6 +25,7 @@ const char* ExecModeName(ExecMode mode) {
     case ExecMode::kAsync: return "async";
     case ExecMode::kAap: return "aap";
     case ExecMode::kSyncAsync: return "sync-async";
+    case ExecMode::kStaleSync: return "stale-sync";
   }
   return "?";
 }
@@ -58,6 +59,13 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
   snap->AddCounter("engine.frontier_skipped", stats.frontier_skipped);
   snap->AddCounter("engine.specialized_edges", stats.specialized_edges);
   snap->AddCounter("engine.vm_edges", stats.vm_edges);
+  if (stats.staleness_blocks > 0 || stats.staleness_final_bound > 0) {
+    snap->AddCounter("staleness.blocks", stats.staleness_blocks);
+    snap->AddGauge("staleness.max_lead",
+                   static_cast<double>(stats.staleness_max_lead));
+    snap->AddGauge("staleness.bound",
+                   static_cast<double>(stats.staleness_final_bound));
+  }
   snap->AddCounter("engine.recoveries", stats.recoveries);
   snap->AddCounter("engine.checkpoints_written", stats.checkpoints_written);
   snap->AddCounter("engine.checkpoint_us", stats.checkpoint_us);
@@ -304,6 +312,21 @@ class Supervisor {
     // Convergence state derived from the pre-rollback table is now junk.
     shared_->sync_prev_global = std::numeric_limits<double>::quiet_NaN();
     shared_->sync_eps_streak = 0;
+    if (shared_->worker_clock != nullptr) {
+      // Re-base every superstep clock to a consistent cut: the rollback
+      // made the old counts meaningless, and a victim's frozen clock must
+      // not leave the survivors' gates computing leads against it. All
+      // workers are parked here, so equalising is race-free; using the
+      // maximum keeps each clock monotone (a gate that cached its own
+      // clock pre-pause can only see its lead shrink).
+      int64_t top = 0;
+      for (const auto& clock : *shared_->worker_clock) {
+        top = std::max(top, clock.load(std::memory_order_acquire));
+      }
+      for (auto& clock : *shared_->worker_clock) {
+        clock.store(top, std::memory_order_release);
+      }
+    }
     shared_->superstep_work.store(0, std::memory_order_relaxed);
     for (auto& flag : *shared_->idle_flags) {
       flag.store(0, std::memory_order_release);
@@ -406,6 +429,9 @@ Status Engine::ValidateRunnable() const {
     return Status::InvalidArgument("engine needs at least one worker");
   }
   if (graph_.num_vertices() == 0) return Status::InvalidArgument("empty graph");
+  if (options_.mode == ExecMode::kStaleSync && options_.staleness < 0) {
+    return Status::InvalidArgument("staleness bound must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -486,11 +512,28 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
     shared.tracer = tracer.get();
     bus.SetTracer(tracer.get());
   }
+  // Stale-synchronous clocks: one completed-superstep counter per worker id
+  // (shared across incarnations — a respawn continues its predecessor's
+  // clock, re-based to a consistent cut by recovery). The bound is live so
+  // the auto-tuner can move it.
+  std::vector<std::atomic<int64_t>> worker_clock;
+  if (options_.mode == ExecMode::kStaleSync) {
+    worker_clock = std::vector<std::atomic<int64_t>>(options_.num_workers);
+    for (auto& clock : worker_clock) {
+      clock.store(0, std::memory_order_relaxed);
+    }
+    shared.worker_clock = &worker_clock;
+    shared.staleness_bound.store(std::max<int64_t>(options_.staleness, 0),
+                                 std::memory_order_relaxed);
+  }
   // Per-worker mean-β gauges feed the convergence timeline and the live
-  // exposition endpoint; skip the (cheap) flush-time update otherwise.
+  // exposition endpoint — and the kStaleSync auto-tuner, whose β-spread
+  // input must be populated even when nobody is tracing (the old gate left
+  // the gauges unallocated, silently emptying the tuning signal).
   std::vector<std::atomic<double>> worker_beta;
   if (options_.record_trace || options_.trace ||
-      options_.exposition != nullptr) {
+      options_.exposition != nullptr ||
+      options_.mode == ExecMode::kStaleSync) {
     worker_beta = std::vector<std::atomic<double>>(options_.num_workers);
     for (auto& beta : worker_beta) {
       beta.store(options_.buffer.beta, std::memory_order_relaxed);
@@ -560,6 +603,26 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
                               std::memory_order_relaxed));
           }
         }
+        if (live_shared->worker_clock != nullptr) {
+          int64_t min_clock = std::numeric_limits<int64_t>::max();
+          int64_t max_clock = 0;
+          for (size_t w = 0; w < live_shared->worker_clock->size(); ++w) {
+            const int64_t c = (*live_shared->worker_clock)[w].load(
+                std::memory_order_acquire);
+            min_clock = std::min(min_clock, c);
+            max_clock = std::max(max_clock, c);
+            snap.AddGauge(StringFormat("worker.%zu.superstep_clock", w),
+                          static_cast<double>(c));
+          }
+          snap.AddGauge("staleness.bound",
+                        static_cast<double>(live_shared->staleness_bound.load(
+                            std::memory_order_relaxed)));
+          snap.AddGauge("staleness.skew",
+                        static_cast<double>(max_clock - min_clock));
+          snap.AddCounter("staleness.blocks",
+                          live_shared->staleness_blocks.load(
+                              std::memory_order_relaxed));
+        }
         return snap;
       },
       [live_shared]() -> std::string {
@@ -611,6 +674,11 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
   result.stats.messages = net.messages;
   result.stats.updates_sent = net.updates;
   result.stats.converged = shared.converged.load();
+  result.stats.staleness_blocks = shared.staleness_blocks.load();
+  result.stats.staleness_max_lead = shared.staleness_max_lead.load();
+  if (options_.mode == ExecMode::kStaleSync) {
+    result.stats.staleness_final_bound = shared.staleness_bound.load();
+  }
   result.stats.recoveries = shared.recoveries.load();
   result.stats.checkpoints_written = shared.checkpoints_written.load();
   result.stats.checkpoint_us = shared.checkpoint_us.load();
@@ -661,6 +729,7 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
     // POWERLOG_BENCH_METRICS dump carries the time-resolved view.
     if (options_.record_trace && !shared.trace.empty()) {
       metrics::MetricsSnapshot::Series aggregate, mass, inflight, occupancy;
+      metrics::MetricsSnapshot::Series stale_bound, stale_skew;
       aggregate.reserve(shared.trace.size());
       mass.reserve(shared.trace.size());
       inflight.reserve(shared.trace.size());
@@ -672,6 +741,10 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
         mass.emplace_back(s.seconds, s.pending_mass);
         inflight.emplace_back(s.seconds, s.inflight_updates);
         occupancy.emplace_back(s.seconds, s.frontier_occupancy);
+        if (options_.mode == ExecMode::kStaleSync) {
+          stale_bound.emplace_back(s.seconds, s.staleness_bound);
+          stale_skew.emplace_back(s.seconds, s.staleness_skew);
+        }
         for (size_t w = 0; w < beta.size() && w < s.worker_beta.size(); ++w) {
           beta[w].emplace_back(s.seconds, s.worker_beta[w]);
         }
@@ -683,6 +756,12 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
                                std::move(inflight));
       result.metrics.AddSeries("timeline.frontier_occupancy",
                                std::move(occupancy));
+      if (options_.mode == ExecMode::kStaleSync) {
+        result.metrics.AddSeries("timeline.staleness.bound",
+                                 std::move(stale_bound));
+        result.metrics.AddSeries("timeline.staleness.skew",
+                                 std::move(stale_skew));
+      }
       for (size_t w = 0; w < beta.size(); ++w) {
         result.metrics.AddSeries(StringFormat("timeline.beta.w%zu", w),
                                  std::move(beta[w]));

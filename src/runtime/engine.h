@@ -11,6 +11,11 @@
 //   kSyncAsync — the paper's contribution: async execution with per-pair
 //                adaptive buffer sizing (β, τ, α=0.8, r=2) plus periodic
 //                global termination checks.
+//   kStaleSync — stale-synchronous parallel (Das & Zaniolo): workers run
+//                supersteps independently but may be at most `s` supersteps
+//                ahead of the slowest live worker before blocking on a
+//                per-worker superstep clock. `--staleness=N|auto`; auto
+//                tunes s online from the convergence-timeline signals.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +39,7 @@ class ExpositionServer;
 
 namespace powerlog::runtime {
 
-enum class ExecMode { kSync, kAsync, kAap, kSyncAsync };
+enum class ExecMode { kSync, kAsync, kAap, kSyncAsync, kStaleSync };
 
 const char* ExecModeName(ExecMode mode);
 
@@ -62,6 +67,19 @@ struct EngineOptions {
   /// optimisation SociaLite applies, §6.3). 0 disables. Only deltas within
   /// the current bucket are expanded; the bucket advances when exhausted.
   double delta_stepping = 0.0;
+
+  /// kStaleSync staleness bound `s`: a worker may be at most `s` completed
+  /// supersteps ahead of the slowest live worker before its superstep loop
+  /// blocks (s = 0 degenerates to barrier-free BSP lockstep). Ignored by
+  /// the other modes.
+  int64_t staleness = 4;
+
+  /// Tune the staleness bound online (`--staleness=auto`): the termination
+  /// controller adjusts `s` each check from clock skew, gate blocks, and
+  /// the pending-mass EMA — widen when the gate is the bottleneck, tighten
+  /// when staleness lets unapplied error pile up. `staleness` is then only
+  /// the initial bound.
+  bool staleness_auto = false;
 
   /// Termination. ε-termination (sum/count programs) follows the paper's
   /// criterion in *every* mode: the difference between two consecutive
@@ -204,6 +222,11 @@ struct EngineStats {
   int64_t specialized_edges = 0;
   int64_t vm_edges = 0;
 
+  // Stale-synchronous mode (zero elsewhere).
+  int64_t staleness_blocks = 0;    ///< superstep-clock gate waits
+  int64_t staleness_max_lead = 0;  ///< max observed fast−slow clock lead
+  int64_t staleness_final_bound = 0;  ///< bound at run end (auto-tuned)
+
   // Fault tolerance.
   int64_t recoveries = 0;           ///< workers fenced + respawned
   int64_t checkpoints_written = 0;  ///< snapshots published to the store
@@ -225,6 +248,8 @@ struct TraceSample {
   double pending_mass;      ///< Σ|ΔX| (sum) or #improving deltas (min/max)
   double inflight_updates = 0.0;     ///< bus updates sent but not yet applied
   double frontier_occupancy = 0.0;   ///< fraction of rows with a dirty bit
+  double staleness_bound = 0.0;      ///< kStaleSync: current bound s
+  double staleness_skew = 0.0;       ///< kStaleSync: max−min superstep clock
   std::vector<double> worker_beta;   ///< mean adaptive β per worker
 };
 

@@ -1,7 +1,9 @@
 #include "runtime/termination.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "common/logging.h"
@@ -77,6 +79,9 @@ void TerminationController::Run() {
     trace::SpanGuard check_span(shared_->tracer, "superstep");
     ++checks_;
     shared_->superstep.fetch_add(1, std::memory_order_relaxed);  // check count
+    if (options.mode == ExecMode::kStaleSync && options.staleness_auto) {
+      TuneStaleness();
+    }
     RecordTraceSample(shared_);
 
     // Hard wall-clock cap (divergent programs, e.g. Katz with β too large).
@@ -147,6 +152,61 @@ void TerminationController::Run() {
       }
       prev_global = global;
     }
+  }
+}
+
+void TerminationController::TuneStaleness() {
+  if (shared_->worker_clock == nullptr) return;
+  const double mass = shared_->table->PendingDeltaMass();
+  const double prev_ema = mass_ema_ < 0.0 ? mass : mass_ema_;
+  // PR-1's EMA weighting (α = 0.8 on the history).
+  mass_ema_ = mass_ema_ < 0.0 ? mass : 0.8 * mass_ema_ + 0.2 * mass;
+  const int64_t blocks =
+      shared_->staleness_blocks.load(std::memory_order_relaxed);
+  const int64_t blocked_since = blocks - tuner_prev_blocks_;
+  tuner_prev_blocks_ = blocks;
+
+  double beta_spread = 0.0;
+  if (shared_->worker_beta != nullptr && !shared_->worker_beta->empty()) {
+    double min_beta = std::numeric_limits<double>::infinity();
+    double max_beta = 0.0;
+    double sum_beta = 0.0;
+    for (const auto& beta : *shared_->worker_beta) {
+      const double b = beta.load(std::memory_order_relaxed);
+      min_beta = std::min(min_beta, b);
+      max_beta = std::max(max_beta, b);
+      sum_beta += b;
+    }
+    const double mean =
+        sum_beta / static_cast<double>(shared_->worker_beta->size());
+    if (mean > 0.0) beta_spread = (max_beta - min_beta) / mean;
+  }
+  int64_t skew = 0;
+  {
+    int64_t min_clock = std::numeric_limits<int64_t>::max();
+    int64_t max_clock = 0;
+    for (const auto& clock : *shared_->worker_clock) {
+      const int64_t c = clock.load(std::memory_order_acquire);
+      min_clock = std::min(min_clock, c);
+      max_clock = std::max(max_clock, c);
+    }
+    skew = max_clock - min_clock;
+  }
+
+  const int64_t bound =
+      shared_->staleness_bound.load(std::memory_order_relaxed);
+  int64_t next = bound;
+  if (mass > 1.1 * prev_ema || beta_spread > 1.0) {
+    // Error is accumulating faster than it drains, or the buffer policies
+    // have diverged across workers: rein the fast workers in.
+    next = std::max<int64_t>(1, bound / 2);
+  } else if (blocked_since > 0 && skew >= bound) {
+    // The gate fired while convergence held steady — the bound, not the
+    // work, is the bottleneck. Let the fast workers run further ahead.
+    next = std::min<int64_t>(256, bound * 2);
+  }
+  if (next != bound) {
+    shared_->staleness_bound.store(next, std::memory_order_release);
   }
 }
 

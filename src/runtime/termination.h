@@ -37,11 +37,24 @@ class TerminationController {
   /// the wire, check unapplied mass < ε). Live samples alone can be fooled
   /// by error hiding in unflushed buffers or on the bus. Returns false —
   /// without stopping — when the cut is unavailable (supervisor busy,
-  /// death mid-rendezvous) or the mass disproves convergence.
+  /// death mid-rendezvous) or the mass disproves convergence. In kStaleSync
+  /// the pause rendezvous is also the cut where all superstep clocks agree:
+  /// every worker is parked between supersteps with force-flushed buffers.
   bool ConfirmEpsilonAtCut(double epsilon);
+
+  /// kStaleSync `--staleness=auto` controller: one adjustment per check,
+  /// mirroring the PR-1 β-adaptation EMA (α = 0.8). Widens the bound when
+  /// the gate blocked since the last check while pending mass held steady
+  /// (the gate, not the work, is the bottleneck); tightens it when pending
+  /// mass rises above its EMA or the per-worker β spread blows out
+  /// (staleness is letting unapplied error pile up). Clamped to [1, 256].
+  void TuneStaleness();
 
   SharedState* shared_;
   int64_t checks_ = 0;
+  // TuneStaleness state.
+  double mass_ema_ = -1.0;
+  int64_t tuner_prev_blocks_ = 0;
 };
 
 }  // namespace powerlog::runtime

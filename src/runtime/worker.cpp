@@ -61,6 +61,18 @@ void RecordTraceSample(SharedState* shared) {
   sample.pending_mass = shared->table->PendingDeltaMass();
   sample.inflight_updates = static_cast<double>(shared->bus->InFlightUpdates());
   sample.frontier_occupancy = shared->table->FrontierOccupancy();
+  if (shared->worker_clock != nullptr) {
+    int64_t min_clock = std::numeric_limits<int64_t>::max();
+    int64_t max_clock = 0;
+    for (const auto& clock : *shared->worker_clock) {
+      const int64_t c = clock.load(std::memory_order_acquire);
+      min_clock = std::min(min_clock, c);
+      max_clock = std::max(max_clock, c);
+    }
+    sample.staleness_bound = static_cast<double>(
+        shared->staleness_bound.load(std::memory_order_relaxed));
+    sample.staleness_skew = static_cast<double>(max_clock - min_clock);
+  }
   if (shared->worker_beta != nullptr) {
     sample.worker_beta.reserve(shared->worker_beta->size());
     for (const auto& beta : *shared->worker_beta) {
@@ -77,6 +89,12 @@ void RecordTraceSample(SharedState* shared) {
                        sample.inflight_updates);
   trace::CounterSample(tracer, "timeline.frontier_occupancy",
                        sample.frontier_occupancy);
+  if (shared->worker_clock != nullptr) {
+    trace::CounterSample(tracer, "timeline.staleness.bound",
+                         sample.staleness_bound);
+    trace::CounterSample(tracer, "timeline.staleness.skew",
+                         sample.staleness_skew);
+  }
   if (!record) return;
   std::lock_guard<std::mutex> lock(shared->trace_mutex);
   shared->trace.push_back(std::move(sample));
@@ -164,6 +182,12 @@ Worker::Worker(uint32_t id, SharedState* shared, int64_t incarnation)
       // Honours the configured policy: adaptive by default; a fixed-buffer
       // override models Maiter/Prom-style engines without β/τ adaptation.
       break;
+    case ExecMode::kStaleSync:
+      // Like kSyncAsync: the configured (adaptive by default) policy drives
+      // the mid-sweep flush cadence, and the resulting per-worker β spread
+      // is one of the staleness auto-tuner's inputs. Superstep boundaries
+      // still force-flush everything.
+      break;
   }
   // One buffer per *peer* — contributions to self-owned keys go straight
   // into the MonoTable, so a self slot would only be dead weight.
@@ -211,10 +235,16 @@ void Worker::Run() {
     }
     shared_->tracer->RegisterCurrentThread(ring);
   }
-  if (shared_->options->mode == ExecMode::kSync) {
-    RunSync();
-  } else {
-    RunAsyncLike();
+  switch (shared_->options->mode) {
+    case ExecMode::kSync:
+      RunSync();
+      break;
+    case ExecMode::kStaleSync:
+      RunStaleSync();
+      break;
+    default:
+      RunAsyncLike();
+      break;
   }
   trace::Tracer::UnregisterCurrentThread();
 }
@@ -456,13 +486,20 @@ void Worker::FlushBuffers(bool force) {
       shared_->flush_size_hist->Observe(static_cast<double>(flushed));
     }
   }
-  if (shared_->worker_beta != nullptr && !policies_.empty()) {
+  PublishBeta();
+}
+
+void Worker::PublishBeta() {
+  if (shared_->worker_beta == nullptr) return;
+  // A single-worker run has no peers and therefore no policies; publish the
+  // configured β instead of leaving the gauge frozen at its initial value.
+  double mean = shared_->options->buffer.beta;
+  if (!policies_.empty()) {
     double sum = 0.0;
     for (const BufferPolicy& policy : policies_) sum += policy.beta();
-    (*shared_->worker_beta)[id_].store(
-        sum / static_cast<double>(policies_.size()),
-        std::memory_order_relaxed);
+    mean = sum / static_cast<double>(policies_.size());
   }
+  (*shared_->worker_beta)[id_].store(mean, std::memory_order_relaxed);
 }
 
 bool Worker::ArriveAndWaitTimed() {
@@ -717,6 +754,122 @@ void Worker::RunAsyncLike() {
   }
   // A crashed/fenced incarnation lost its buffers with the "node"; only a
   // clean shutdown flushes the tail.
+  if (!dead_) FlushBuffers(/*force=*/true);
+}
+
+int64_t Worker::SlowestLiveClock() const {
+  const auto& clocks = *shared_->worker_clock;
+  int64_t slowest = std::numeric_limits<int64_t>::max();
+  for (uint32_t w = 0; w < shared_->options->num_workers; ++w) {
+    if (shared_->control != nullptr &&
+        (*shared_->control)[w].dead.load(std::memory_order_acquire) != 0) {
+      // A dead peer's clock is frozen until recovery re-bases it; counting
+      // it would wedge every gate behind a corpse.
+      continue;
+    }
+    slowest =
+        std::min(slowest, clocks[w].load(std::memory_order_acquire));
+  }
+  // At least our own (live) clock is always in the minimum.
+  return slowest == std::numeric_limits<int64_t>::max()
+             ? clocks[id_].load(std::memory_order_relaxed)
+             : slowest;
+}
+
+bool Worker::WaitForSlowest() {
+  if (shared_->worker_clock == nullptr) return true;
+  const int64_t mine =
+      (*shared_->worker_clock)[id_].load(std::memory_order_relaxed);
+  int64_t slowest = SlowestLiveClock();
+  if (mine - slowest >
+      shared_->staleness_bound.load(std::memory_order_acquire)) {
+    shared_->staleness_blocks.fetch_add(1, std::memory_order_relaxed);
+    trace::SpanGuard park_span(tracer_, "stale.park");
+    auto* ctl =
+        shared_->control != nullptr ? &(*shared_->control)[id_] : nullptr;
+    while (!shared_->stop.load(std::memory_order_acquire)) {
+      // CheckControl keeps the heartbeat advancing and honours pause
+      // requests (the ε consistent cut and recovery park gated workers
+      // through the same rendezvous as everyone else); the drain keeps the
+      // wire moving so a blocked fast worker never backpressures the
+      // straggler it is waiting for.
+      if (!CheckControl()) return false;
+      DrainInbox();
+      slowest = SlowestLiveClock();
+      if (mine - slowest <=
+          shared_->staleness_bound.load(std::memory_order_acquire)) {
+        break;
+      }
+      // The `waiting` flag marks this as a legitimate park — the supervisor
+      // must treat a staleness-gated worker as alive, not hung.
+      if (ctl != nullptr) ctl->waiting.store(1, std::memory_order_release);
+      {
+        std::unique_lock<std::mutex> lock(shared_->ctl_mutex);
+        shared_->ctl_cv.wait_for(lock, std::chrono::microseconds(200));
+      }
+      if (ctl != nullptr) ctl->waiting.store(0, std::memory_order_release);
+    }
+  }
+  if (shared_->stop.load(std::memory_order_acquire)) return true;
+  // High-water mark of the lead actually run with, recorded at gate pass:
+  // the bounded-skew acceptance test asserts it never exceeds s. The min
+  // clock only grows, so the lead cannot widen between here and our bump.
+  const int64_t lead = mine - slowest;
+  int64_t seen = shared_->staleness_max_lead.load(std::memory_order_relaxed);
+  while (lead > seen &&
+         !shared_->staleness_max_lead.compare_exchange_weak(
+             seen, lead, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void Worker::RunStaleSync() {
+  // Stale-synchronous parallel (Das & Zaniolo): BSP's superstep structure
+  // without its barriers. Each worker sweeps, force-flushes, and bumps its
+  // own completed-superstep clock; the only coordination is the staleness
+  // gate at the loop top, which blocks a worker more than `s` supersteps
+  // ahead of the slowest. s→∞ degenerates to the async family, s=0 to
+  // barrier-free lockstep. Termination rides the async-family controller:
+  // quiescence for min/max, the ε streak confirmed at a consistent cut
+  // (ConfirmEpsilonAtCut's pause rendezvous is exactly a cut where all
+  // clocks agree — every worker is parked between supersteps with flushed
+  // buffers and an absorbed wire).
+  auto& clock = (*shared_->worker_clock)[id_];
+  while (!shared_->stop.load(std::memory_order_acquire)) {
+    trace::SpanGuard superstep_span(tracer_, "superstep");
+    if (!CheckControl()) return;
+    MaybeStall();
+    if (!WaitForSlowest()) return;
+    if (shared_->stop.load(std::memory_order_acquire)) break;
+    DrainInbox();
+
+    scan_abs_sum_ = 0.0;
+    scan_count_ = 0;
+    bool exited = false;
+    const bool any = SweepOwned(&exited) > 0;
+    if (exited) return;
+    // Superstep boundary: everything this superstep produced reaches the
+    // wire before the clock advances, so a peer that observes clock k has
+    // the release-ordered guarantee that superstep k's sends precede it.
+    FlushBuffers(/*force=*/true);
+    if (scan_count_ > 0) {
+      const double mean = scan_abs_sum_ / static_cast<double>(scan_count_);
+      priority_ema_ =
+          priority_ema_ == 0.0 ? mean : 0.7 * priority_ema_ + 0.3 * mean;
+    }
+    clock.fetch_add(1, std::memory_order_acq_rel);
+
+    auto& idle = (*shared_->idle_flags)[id_];
+    if (!any) {
+      ++idle_scans_;
+      ++stats_.idle_scans;
+      idle.store(1, std::memory_order_release);
+      SpinSleep(50);
+    } else {
+      idle_scans_ = 0;
+      idle.store(0, std::memory_order_release);
+    }
+  }
   if (!dead_) FlushBuffers(/*force=*/true);
 }
 

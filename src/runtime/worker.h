@@ -73,6 +73,19 @@ struct SharedState {
   // Async modes: per-worker idle flags for quiescence detection.
   std::vector<std::atomic<uint8_t>>* idle_flags = nullptr;
 
+  // Stale-synchronous mode (null / inert elsewhere). worker_clock[w] is
+  // worker w's completed-superstep count, published with release semantics
+  // (bumped once per superstep loop iteration); the staleness gate
+  // acquire-loads its peers' clocks and blocks while
+  // own − min(live clocks) > staleness_bound. The bound is a live atomic so
+  // the `--staleness=auto` controller can retune it mid-run; blocks and
+  // max_lead are the observability/acceptance counters behind
+  // `staleness.{blocks,max_lead}`.
+  std::vector<std::atomic<int64_t>>* worker_clock = nullptr;
+  std::atomic<int64_t> staleness_bound{0};
+  std::atomic<int64_t> staleness_blocks{0};
+  std::atomic<int64_t> staleness_max_lead{0};
+
   // Fault tolerance (null / inert when the supervisor is off).
   FaultInjector* injector = nullptr;
   std::vector<WorkerControl>* control = nullptr;
@@ -168,6 +181,26 @@ class Worker {
 
   void RunSync();
   void RunAsyncLike();  // kAsync / kAap / kSyncAsync
+  void RunStaleSync();  // kStaleSync: free supersteps behind a staleness gate
+
+  /// kStaleSync staleness gate: blocks while this worker's completed-
+  /// superstep clock leads the slowest live worker's by more than the
+  /// (possibly auto-tuned) bound. Keeps draining the inbox, beating, and
+  /// honouring pause requests while gated so a blocked fast worker never
+  /// dams the wire and the supervisor sees it as alive, not hung. Returns
+  /// false when this incarnation must exit (crashed or fenced).
+  bool WaitForSlowest();
+
+  /// Minimum superstep clock over live (non-dead) workers. A crashed
+  /// straggler's frozen clock must never wedge the gate; recovery re-bases
+  /// every clock to a consistent cut before the respawn resumes.
+  int64_t SlowestLiveClock() const;
+
+  /// Publishes this worker's mean adaptive β (and the staleness-tuning
+  /// inputs that ride with it) to SharedState::worker_beta. Called from
+  /// every mode that runs the β EMA — not just the async-family flush
+  /// paths — so kStaleSync auto-tuning inputs are never silently empty.
+  void PublishBeta();
 
   /// One pass over this worker's shard: full scan when the frontier is off,
   /// dense bit-peek or sparse word-scan sweep when it is on (automatic

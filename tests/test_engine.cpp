@@ -78,7 +78,8 @@ std::vector<EngineCase> AllModeCases() {
   };
   for (const auto& p : programs) {
     for (ExecMode mode :
-         {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap, ExecMode::kSyncAsync}) {
+         {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
+          ExecMode::kSyncAsync, ExecMode::kStaleSync}) {
       for (uint32_t workers : {1u, 4u}) {
         cases.push_back(EngineCase{p.program, p.graph, mode, workers, p.tol});
       }

@@ -1,6 +1,6 @@
 // Chaos-injection and recovery tests: deterministic fault plans, the
 // supervisor's fence-restore-respawn protocol, and the per-aggregate
-// consistent-cut rules — across all four execution modes.
+// consistent-cut rules — across all five execution modes.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -134,13 +134,14 @@ class ChaosModeTest : public ::testing::TestWithParam<ExecMode> {};
 INSTANTIATE_TEST_SUITE_P(
     AllModes, ChaosModeTest,
     ::testing::Values(ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
-                      ExecMode::kSyncAsync),
+                      ExecMode::kSyncAsync, ExecMode::kStaleSync),
     [](const ::testing::TestParamInfo<ExecMode>& info) {
       switch (info.param) {
         case ExecMode::kSync: return std::string("sync");
         case ExecMode::kAsync: return std::string("async");
         case ExecMode::kAap: return std::string("aap");
         case ExecMode::kSyncAsync: return std::string("sync_async");
+        case ExecMode::kStaleSync: return std::string("stale_sync");
       }
       return std::string("unknown");
     });

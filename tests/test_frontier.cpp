@@ -307,7 +307,7 @@ std::vector<ExactCase> ExactPrograms() {
 TEST(FrontierEquivalence, OnVsOffIsBitExactInEveryMode) {
   for (ExactCase& c : ExactPrograms()) {
     for (ExecMode mode : {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
-                          ExecMode::kSyncAsync}) {
+                          ExecMode::kSyncAsync, ExecMode::kStaleSync}) {
       EngineOptions options;
       options.mode = mode;
       options.num_workers = 3;
@@ -403,7 +403,7 @@ TEST(FrontierChaos, CrashRecoveryStaysDeterministicAndExact) {
   Kernel k = MustCompile("sssp");
   Graph g = SmallWeightedGraph(61);
   for (ExecMode mode : {ExecMode::kSync, ExecMode::kAsync, ExecMode::kAap,
-                        ExecMode::kSyncAsync}) {
+                        ExecMode::kSyncAsync, ExecMode::kStaleSync}) {
     EngineOptions base;
     base.mode = mode;
     base.num_workers = 3;

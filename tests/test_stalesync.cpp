@@ -1,0 +1,281 @@
+// Stale-synchronous execution (ExecMode::kStaleSync): the bounded
+// superstep-clock gate under a deliberately skewed partition, bit-exactness
+// against sync for min/max programs, ε-tightness for sums, the
+// --staleness=auto tuner, and crash recovery with a tight bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "eval/eval_common.h"
+#include "runtime/engine.h"
+#include "test_util.h"
+
+namespace powerlog::runtime {
+namespace {
+
+using eval::MaxAbsDiff;
+using powerlog::testing::MustCompile;
+using powerlog::testing::SmallDag;
+using powerlog::testing::SmallWeightedGraph;
+
+/// Three-shard graph with a deliberately unbalanced range partition:
+/// worker 0's shard is dense (every vertex fans out inside the shard, so
+/// its frontier stays hot for many supersteps) while workers 1–2 own leaf
+/// vertices that touch the computation once and then idle. Under
+/// kStaleSync the light workers' superstep clocks race ahead of the heavy
+/// worker's until the staleness gate parks them — the 2-fast/1-slow
+/// harness the bound-respected invariant needs.
+Graph SkewedThreeShardGraph(uint64_t seed = 9) {
+  Rng rng(seed);
+  GraphBuilder b;
+  const VertexId heavy = 600;  // worker 0's shard under kRange, 3 workers
+  const VertexId n = 1800;
+  b.EnsureVertices(n);
+  for (VertexId v = 0; v < heavy; ++v) {
+    for (int k = 0; k < 32; ++k) {
+      VertexId d = static_cast<VertexId>(rng.NextBounded(heavy));
+      if (d == v) d = (d + 1) % heavy;
+      b.AddEdge(v, d, 0.05 + 0.45 * rng.NextDouble());
+    }
+  }
+  for (VertexId v = heavy; v < n; ++v) {
+    // One edge back into the dense shard: light vertices seed the heavy
+    // computation, receive nothing afterwards, and sit idle bumping their
+    // superstep clocks.
+    b.AddEdge(v, static_cast<VertexId>(rng.NextBounded(heavy)),
+              0.05 + 0.45 * rng.NextDouble());
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  return std::move(b).Build(opts).ValueOrDie();
+}
+
+/// kStaleSync over the skewed harness: 3 workers, contiguous ranges so the
+/// shard imbalance lands exactly as constructed.
+EngineOptions StaleBase(int64_t staleness) {
+  EngineOptions options;
+  options.mode = ExecMode::kStaleSync;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.partition = Partitioner::Kind::kRange;
+  options.staleness = staleness;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// The SSP invariant: no worker runs more than s supersteps ahead.
+
+TEST(StaleSync, BoundIsRespectedUnderSkew) {
+  Kernel k = MustCompile("pagerank");
+  auto g = SkewedThreeShardGraph();
+  EngineOptions options = StaleBase(/*staleness=*/2);
+  options.epsilon_override = 1e-9;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->stats.converged) << run->stats.Summary();
+  // The hard SSP invariant: the largest fast−slow clock lead any worker
+  // observed on clearing the gate never exceeded the bound.
+  EXPECT_LE(run->stats.staleness_max_lead, 2);
+  // And the skew was real — the light shards actually hit the gate, so the
+  // invariant above was load-bearing rather than vacuous.
+  EXPECT_GT(run->stats.staleness_blocks, 0);
+  // Fixed bound: what the run ends with is what it started with.
+  EXPECT_EQ(run->stats.staleness_final_bound, 2);
+}
+
+TEST(StaleSync, SingleWorkerDegeneratesGracefully) {
+  // One worker, s = 0: the gate compares the worker's clock with itself,
+  // so the barrier-free-lockstep degenerate case must neither block nor
+  // change the fixpoint.
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(7);
+  EngineOptions sync;
+  sync.mode = ExecMode::kSync;
+  sync.num_workers = 1;
+  sync.network.instant = true;
+  sync.barrier_overhead_us = 0;
+  auto want = Engine(g, k, sync).Run();
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  EngineOptions stale = StaleBase(/*staleness=*/0);
+  stale.num_workers = 1;
+  auto got = Engine(g, k, stale).Run();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->stats.converged);
+  EXPECT_EQ(got->stats.staleness_blocks, 0);
+  EXPECT_EQ(got->values, want->values);
+}
+
+TEST(StaleSync, RejectsNegativeStalenessBound) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph();
+  EngineOptions options;
+  options.mode = ExecMode::kStaleSync;
+  options.staleness = -1;
+  EXPECT_TRUE(Engine(g, k, options).Run().status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Result parity with sync (fig9 programs).
+
+TEST(StaleSync, MinMaxProgramsAreBitExactVsSync) {
+  // min/max aggregates are order-independent: whatever interleaving the
+  // staleness gate admits, the fixpoint must be the sync one bit-for-bit.
+  for (const char* program : {"sssp", "cc", "viterbi"}) {
+    Kernel k = MustCompile(program);
+    auto g = SmallWeightedGraph(101);
+    EngineOptions sync;
+    sync.mode = ExecMode::kSync;
+    sync.num_workers = 4;
+    sync.network.instant = true;
+    sync.barrier_overhead_us = 0;
+    auto want = Engine(g, k, sync).Run();
+    ASSERT_TRUE(want.ok()) << program << ": " << want.status().ToString();
+
+    EngineOptions stale = StaleBase(/*staleness=*/3);
+    stale.num_workers = 4;
+    auto got = Engine(g, k, stale).Run();
+    ASSERT_TRUE(got.ok()) << program << ": " << got.status().ToString();
+    EXPECT_TRUE(got->stats.converged) << program;
+    EXPECT_EQ(got->values, want->values) << program;
+  }
+}
+
+TEST(StaleSync, DagSumMatchesSyncExactly) {
+  // Path counts are integers, so double addition is exact in any order:
+  // the quiescence fixpoint must match sync exactly even for a sum.
+  Kernel k = MustCompile("paths_dag");
+  auto g = SmallDag(71);
+  EngineOptions sync;
+  sync.mode = ExecMode::kSync;
+  sync.num_workers = 4;
+  sync.network.instant = true;
+  sync.barrier_overhead_us = 0;
+  auto want = Engine(g, k, sync).Run();
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  EngineOptions stale = StaleBase(/*staleness=*/2);
+  stale.num_workers = 4;
+  auto got = Engine(g, k, stale).Run();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->stats.converged);
+  EXPECT_EQ(got->values, want->values);
+}
+
+TEST(StaleSync, SumEpsilonTightVsSync) {
+  // Same kernel + ε must land element-wise within 10·ε of the sync run —
+  // the ε-streak is confirmed at a consistent cut (all clocks agree at the
+  // pause rendezvous), so bounded staleness must not loosen the criterion.
+  Kernel k = MustCompile("pagerank");
+  auto g = SmallWeightedGraph(101);
+  const double epsilon = 1e-7;
+  std::vector<std::vector<double>> results;
+  for (ExecMode mode : {ExecMode::kSync, ExecMode::kStaleSync}) {
+    EngineOptions options;
+    options.mode = mode;
+    options.num_workers = 4;
+    options.network.instant = true;
+    options.barrier_overhead_us = 0;
+    options.epsilon_override = epsilon;
+    options.staleness = 3;
+    auto run = Engine(g, k, options).Run();
+    ASSERT_TRUE(run.ok()) << ExecModeName(mode) << ": "
+                          << run.status().ToString();
+    EXPECT_TRUE(run->stats.converged)
+        << ExecModeName(mode) << " " << run->stats.Summary();
+    results.push_back(std::move(run->values));
+  }
+  EXPECT_LE(MaxAbsDiff(results[0], results[1]), 10.0 * epsilon);
+}
+
+// ---------------------------------------------------------------------------
+// The --staleness=auto controller.
+
+TEST(StaleSync, AutoTunerWidensWhenGateBinds) {
+  Kernel k = MustCompile("pagerank");
+  auto g = SkewedThreeShardGraph(13);
+  EngineOptions options = StaleBase(/*staleness=*/1);
+  options.staleness_auto = true;
+  options.epsilon_override = 1e-9;
+  options.record_trace = true;
+  // A fixed flush policy pins the per-worker β spread at zero, so the only
+  // tuner signals in play are the gate-block counter, the clock skew, and
+  // the pending-mass EMA — the widening pair.
+  options.buffer.kind = FlushPolicyKind::kFixed;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->stats.converged) << run->stats.Summary();
+  ASSERT_GT(run->stats.staleness_blocks, 0);
+  // With the gate binding every superstep and mass draining steadily, some
+  // check must have widened the bound off its floor — visible either in
+  // the final bound or in the recorded trajectory.
+  ASSERT_FALSE(run->trace.empty());
+  double max_bound = 0.0;
+  for (const TraceSample& sample : run->trace) {
+    EXPECT_GE(sample.staleness_bound, 1.0);
+    EXPECT_LE(sample.staleness_bound, 256.0);
+    max_bound = std::max(max_bound, sample.staleness_bound);
+  }
+  max_bound = std::max(
+      max_bound, static_cast<double>(run->stats.staleness_final_bound));
+  EXPECT_GT(max_bound, 1.0);
+  EXPECT_GE(run->stats.staleness_final_bound, 1);
+}
+
+TEST(StaleSync, WorkerBetaTimelineIsPopulated) {
+  // Regression: worker-β gauges used to be allocated only when tracing or
+  // exposition was on, and published only from the async-family flush
+  // paths — leaving the kStaleSync tuner's β-spread input silently empty.
+  // Every trace sample must now carry one positive β per worker.
+  Kernel k = MustCompile("pagerank");
+  auto g = SkewedThreeShardGraph(21);
+  EngineOptions options = StaleBase(/*staleness=*/2);
+  options.epsilon_override = 1e-8;
+  options.record_trace = true;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_FALSE(run->trace.empty());
+  for (const TraceSample& sample : run->trace) {
+    ASSERT_EQ(sample.worker_beta.size(), 3u);
+    for (double beta : sample.worker_beta) EXPECT_GT(beta, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance with a tight bound (the gate and the recovery rendezvous
+// share the park/cv machinery — exercise them together).
+
+TEST(StaleSync, CrashRecoveryIsDeterministicWithTightBound) {
+  Kernel k = MustCompile("sssp");
+  auto g = SmallWeightedGraph(61);
+  EngineOptions base = StaleBase(/*staleness=*/1);
+  base.partition = Partitioner::Kind::kHash;  // match the chaos-suite layout
+  base.barrier_overhead_us = 0;
+  base.term_check_interval_us = 50000;  // sluggish: fault fires first
+  auto clean = Engine(g, k, base).Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  EngineOptions chaos = base;
+  chaos.fault.crash_worker = 1;
+  chaos.fault.crash_at_beats = 20;
+  chaos.fault.seed = 0xBEEF;
+  auto r1 = Engine(g, k, chaos).Run();
+  auto r2 = Engine(g, k, chaos).Run();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1->stats.faults.crashes, 1);
+  EXPECT_GE(r1->stats.recoveries, 1);
+  // Same seed => same recovery count and bit-identical results; min is
+  // order-independent, so the healed run lands on the exact clean
+  // fixpoint. A dead peer's frozen clock must not wedge the gate, and the
+  // post-recovery clock re-base must not let a survivor overrun the bound.
+  EXPECT_EQ(r1->stats.recoveries, r2->stats.recoveries);
+  EXPECT_EQ(r1->values, r2->values);
+  EXPECT_EQ(r1->values, clean->values);
+  EXPECT_LE(r1->stats.staleness_max_lead, 1);
+}
+
+}  // namespace
+}  // namespace powerlog::runtime
