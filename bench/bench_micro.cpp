@@ -9,7 +9,9 @@
 #include <deque>
 #include <mutex>
 #include <new>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "checker/mra_checker.h"
 #include "common/metrics.h"
@@ -23,6 +25,7 @@
 #include "runtime/message.h"
 #include "runtime/network.h"
 #include "core/kernel.h"
+#include "core/kernel_simd.h"
 
 // ---------------------------------------------------------------------------
 // Allocation-counting hook: every global operator new bumps a relaxed
@@ -423,6 +426,94 @@ void BM_EdgeApplySpecialized(benchmark::State& state) {
                           static_cast<int64_t>(edges.size()));
 }
 BENCHMARK(BM_EdgeApplySpecialized);
+
+// ---------------------------------------------------------------------------
+// Per-shape span pairs (ISSUE 9): the dispatched SIMD span kernel against a
+// per-edge scalar loop over the same CSR span. The scalar reference is
+// compiled with auto-vectorization off — the gate measures the hand-written
+// vector kernels against the per-edge code the scalar fallback actually
+// runs, not against whatever the compiler manages to vectorize here — and
+// both sides write the same contribution scratch the worker's vector route
+// path uses. Registered as BM_EdgeApplySpecialized/<shape> and
+// BM_EdgeApplyVector/<shape>; bench_compare.py derives
+// vec_edge_speedup_<shape> from each pair and hard-floors the gated shapes.
+
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize"))) void
+SpanScalarReference(const EdgeKernelSpec& spec, double x, double deg,
+                    const Edge* edges, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ApplyEdgeKernel(spec, x, edges[i].weight, deg);
+  }
+}
+
+EdgeKernelSpec SpanBenchSpec(KernelOp op) {
+  EdgeKernelSpec spec;
+  spec.op = op;
+  spec.a = 0.85;
+  spec.b = 0.15;
+  return spec;
+}
+
+// L1-resident span for the per-shape pairs: CSR spans reach the vector
+// route warm from the harvest, so the pair should measure kernel
+// throughput, not L2 streaming bandwidth (kEdgeFanout's 64 KiB of AoS
+// edges spills the 32 KiB L1 and flattens both sides to the same memory
+// wall).
+constexpr size_t kSpanFanout = 1024;
+
+std::vector<Edge> SpanEdges() {
+  std::vector<Edge> edges(SyntheticEdges());
+  edges.resize(kSpanFanout);
+  return edges;
+}
+
+void EdgeApplySpanScalar(benchmark::State& state, KernelOp op) {
+  const EdgeKernelSpec spec = SpanBenchSpec(op);
+  const std::vector<Edge> edges = SpanEdges();
+  std::vector<double> out(edges.size());
+  for (auto _ : state) {
+    SpanScalarReference(spec, 0.5, 8.0, edges.data(), edges.size(),
+                        out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+
+void EdgeApplySpanVector(benchmark::State& state, KernelOp op) {
+  const EdgeKernelSpec spec = SpanBenchSpec(op);
+  const EdgeSpanFn fn = simd::SelectSpanFn(simd::ActiveLevel());
+  const std::vector<Edge> edges = SpanEdges();
+  std::vector<double> out(edges.size());
+  for (auto _ : state) {
+    fn(spec, 0.5, 8.0, edges.data(), edges.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+
+int RegisterSpanShapeBenches() {
+  // The gated shapes (kXPlusW / kAXOverDeg / kXTimesW) first; the rest of
+  // the specialized family rides along as informational pairs.
+  const std::pair<const char*, KernelOp> shapes[] = {
+      {"kXPlusW", KernelOp::kXPlusW},     {"kAXOverDeg", KernelOp::kAXOverDeg},
+      {"kXTimesW", KernelOp::kXTimesW},   {"kXPlusA", KernelOp::kXPlusA},
+      {"kAXW", KernelOp::kAXW},           {"kAXWB", KernelOp::kAXWB},
+  };
+  for (const auto& [name, op] : shapes) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_EdgeApplySpecialized/") + name).c_str(),
+        EdgeApplySpanScalar, op);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_EdgeApplyVector/") + name).c_str(),
+        EdgeApplySpanVector, op);
+  }
+  return 0;
+}
+const int kSpanShapeBenchesRegistered = RegisterSpanShapeBenches();
 
 // Steady-state allocation audit of the flat combining buffer: after one
 // warm-up cycle grows the slot array and the drain batch to working size,

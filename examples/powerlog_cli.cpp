@@ -66,7 +66,8 @@ int Usage(const char* argv0) {
                "[--source v] [--epsilon e] "
                "[--top k] [--check-only] [--metrics-json path] "
                "[--fault-plan spec] [--checkpoint base] [--checkpoint-us n] "
-               "[--heartbeat-us n] [--no-frontier] [--trace-out path] "
+               "[--heartbeat-us n] [--no-frontier] [--no-simd] [--no-steal] "
+               "[--pin|--no-pin] [--trace-out path] "
                "[--serve-metrics port] | --list\n",
                argv0);
   return 2;
@@ -231,6 +232,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-frontier") {
       // Escape hatch: full-scan sweeps instead of the active-set bitmap.
       options.engine.frontier = false;
+    } else if (arg == "--no-simd") {
+      // Escape hatch: scalar fused edge loops instead of the vector span
+      // kernels (results are bit-identical; this exists for debugging and
+      // A/B timing).
+      options.engine.simd = false;
+    } else if (arg == "--pin") {
+      options.engine.pin = true;
+    } else if (arg == "--no-pin") {
+      options.engine.pin = false;
+    } else if (arg == "--no-steal") {
+      options.engine.steal = false;
     } else if (arg == "--trace-out" && (value = next())) {
       trace_path = value;
       options.engine.trace = true;

@@ -55,7 +55,7 @@ int Usage(const char* argv0) {
                "[--mode m] [--staleness s|auto] [--workers n] "
                "[--handler-threads n] "
                "[--max-inflight n] [--max-queue n] [--deadline-ms n] "
-               "[--cache n]\n",
+               "[--cache n] [--no-simd] [--no-steal] [--pin|--no-pin]\n",
                argv0);
   return 2;
 }
@@ -141,6 +141,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache" && (value = next())) {
       if (!ParseIntFlag("--cache", value, 0, &n)) return 2;
       options.cache_capacity = static_cast<size_t>(n);
+    } else if (arg == "--no-simd") {
+      options.engine.simd = false;
+    } else if (arg == "--no-steal") {
+      options.engine.steal = false;
+    } else if (arg == "--pin") {
+      options.engine.pin = true;
+    } else if (arg == "--no-pin") {
+      options.engine.pin = false;
     } else {
       return Usage(argv[0]);
     }

@@ -76,6 +76,11 @@ FLAT_ALLOCS_CEILING = 1.0   # combining-buffer steady-state allocs/M
 TRACE_DISABLED_CEILING_NS = 10.0  # disabled SpanGuard cost (ISSUE 5)
 MUTATION_SPEEDUP_FLOOR = 5.0  # incremental Apply vs cold recompute (ISSUE 7)
 STALESYNC_SPEEDUP_FLOOR = 1.0  # best-cell min(sync,async)/stale-sync (ISSUE 8)
+VEC_EDGE_SPEEDUP_FLOOR = 4.0  # SIMD span kernel vs scalar per-edge (ISSUE 9)
+# The vectorizable shapes the floor gates; the rest of the specialized
+# family is collected per shape but stays informational.
+VEC_GATED_SHAPES = ("kXPlusW", "kAXOverDeg", "kXTimesW")
+VEC_ALL_SHAPES = VEC_GATED_SHAPES + ("kXPlusA", "kAXW", "kAXWB")
 REGRESSION_PCT = 10.0  # tracked-metric tolerance vs baseline
 ALLOC_SLACK = 1.0      # absolute allocs/M slack on top of the percentage
 OVERFLOW_SLACK = 0     # overflow sends allowed above baseline
@@ -195,6 +200,15 @@ def collect(args):
     edge_speedup = _ratio("BM_EdgeApplySpecialized", "BM_EdgeApplyVM")
     flat = micro.get("BM_CombiningFlatSteadyState", {})
 
+    # Per-shape SIMD span speedups (ISSUE 9): the dispatched vector kernel
+    # against the per-edge scalar loop over the same span.
+    vec_speedups = {
+        "vec_edge_speedup_{}".format(shape):
+            _ratio("BM_EdgeApplyVector/{}".format(shape),
+                   "BM_EdgeApplySpecialized/{}".format(shape))
+        for shape in VEC_ALL_SHAPES
+    }
+
     doc = {
         "schema": SCHEMA,
         "rev": args.rev,
@@ -229,6 +243,7 @@ def collect(args):
                 min(mutation_speedups) if mutation_speedups else None,
             "stalesync_vs_best_pure":
                 max(stalesync_ratios) if stalesync_ratios else None,
+            **vec_speedups,
         },
         "micro": micro,
         "fig9": fig9,
@@ -390,6 +405,38 @@ def compare(args):
     else:
         notes.append("stalesync_vs_best_pure: {:.2f} (floor {:.1f})".format(
             stale, STALESYNC_SPEEDUP_FLOOR))
+
+    # SIMD span floor (ISSUE 9): the vector kernel must beat the per-edge
+    # scalar loop by VEC_EDGE_SPEEDUP_FLOOR on every gated shape. Same
+    # informational-until-carried contract as the mutation floor — the first
+    # run on a host whose baseline predates the metric warns instead of
+    # failing (the host may not even have vector units).
+    for shape in VEC_GATED_SHAPES:
+        name = "vec_edge_speedup_{}".format(shape)
+        vec = _num(cm.get(name))
+        base_vec = _num(bm.get(name))
+        if vec is None:
+            if base_vec is not None:
+                failures.append("{}: missing from current run".format(name))
+            else:
+                notes.append("{}: not present (pre-ISSUE-9 run)".format(name))
+        elif vec < VEC_EDGE_SPEEDUP_FLOOR:
+            line = "{}: {:.2f} < floor {:.1f}".format(
+                name, vec, VEC_EDGE_SPEEDUP_FLOOR)
+            if base_vec is None:
+                warnings.append(line + " (informational: baseline lacks the metric)")
+            else:
+                failures.append(line)
+        else:
+            notes.append("{}: {:.2f} (floor {:.1f})".format(
+                name, vec, VEC_EDGE_SPEEDUP_FLOOR))
+    for shape in VEC_ALL_SHAPES:
+        if shape in VEC_GATED_SHAPES:
+            continue
+        name = "vec_edge_speedup_{}".format(shape)
+        vec = _num(cm.get(name))
+        if vec is not None:
+            notes.append("{} (info): {:.2f}".format(name, vec))
 
     tracked("fabric_speedup", worse_is="lower")
     tracked("fabric_spsc_allocs_per_M", worse_is="higher", slack=ALLOC_SLACK)

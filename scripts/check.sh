@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 suite, one ThreadSanitizer pass over the
 # race-prone suites (ctest labels `fault` and `concurrency`), one
-# AddressSanitizer pass over the data-plane suite (label `network`), and a
-# perf-regression gate against the committed BENCH_*.json baseline.
+# AddressSanitizer pass over the data-plane and SIMD suites (labels
+# `network` and `simd`), a forced-scalar rerun of the SIMD kernel-equality
+# suite, and a perf-regression gate against the committed BENCH_*.json
+# baseline.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 #                         [--skip-trace] [--skip-serve] [--skip-stalesync]
+#                         [--skip-simd]
 #
 # Build trees: build/ (plain), build-tsan/ (POWERLOG_SANITIZE=thread) and
 # build-asan/ (POWERLOG_SANITIZE=address); all are created if missing and
@@ -20,6 +23,7 @@ SKIP_BENCH=0
 SKIP_TRACE=0
 SKIP_SERVE=0
 SKIP_STALESYNC=0
+SKIP_SIMD=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -28,6 +32,7 @@ for arg in "$@"; do
     --skip-trace) SKIP_TRACE=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
     --skip-stalesync) SKIP_STALESYNC=1 ;;
+    --skip-simd) SKIP_SIMD=1 ;;
     *) echo "unknown arg: $arg" >&2; exit 2 ;;
   esac
 done
@@ -38,6 +43,21 @@ cmake --build build -j "$JOBS"
 
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_SIMD" -eq 1 ]]; then
+  echo "==> SIMD forced-scalar pass skipped (--skip-simd)"
+else
+  # SIMD stage (ISSUE 9): rerun the kernel-equality and steal suites with
+  # the dispatch override pinning the scalar fallback. The suites already
+  # ran once above under the host's native level (avx2/avx512 where
+  # available), so this pass proves the scalar reference loops — the path
+  # non-x86 hosts and POWERLOG_SIMD=scalar users run — satisfy the same
+  # contracts, and that the engine's vector/scalar parity holds from both
+  # sides of the dispatch.
+  echo "==> SIMD: ctest -L simd with POWERLOG_SIMD=scalar"
+  POWERLOG_SIMD=scalar ctest --test-dir build -L simd \
+      --output-on-failure -j "$JOBS"
+fi
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> TSan pass skipped (--skip-tsan)"
@@ -61,13 +81,16 @@ if [[ "$SKIP_ASAN" -eq 1 ]]; then
 else
   # The data plane recycles UpdateBatch capacity through a lock-free pool and
   # hands ring slots between threads; ASan over the `network` label catches
-  # use-after-move / use-after-free bugs TSan does not look for.
+  # use-after-move / use-after-free bugs TSan does not look for. The `simd`
+  # label rides along: the span kernels read 32/64-byte blocks out of AoS
+  # edge arrays and the peel/tail logic is exactly where an out-of-bounds
+  # lane read would hide.
   echo "==> ASan: configure + build (build-asan/)"
   cmake -B build-asan -S . -DPOWERLOG_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS"
 
-  echo "==> ASan: ctest -L network"
-  ctest --test-dir build-asan -L network --output-on-failure -j "$JOBS"
+  echo "==> ASan: ctest -L 'network|simd'"
+  ctest --test-dir build-asan -L 'network|simd' --output-on-failure -j "$JOBS"
 fi
 
 if [[ "$SKIP_SERVE" -eq 1 ]]; then

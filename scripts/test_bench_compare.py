@@ -215,6 +215,77 @@ class BenchCompareTest(unittest.TestCase):
         self.assertAlmostEqual(
             doc["metrics"]["stalesync_vs_best_pure"], 2.0)
 
+    def test_vec_floor_informational_without_baseline_metric(self):
+        # ISSUE 9: the per-shape SIMD floor must not gate against a baseline
+        # that predates the metric — the host may not even have vector units.
+        base = self.write("base.json", bench_doc())
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["vec_edge_speedup_kXPlusW"] = 1.1
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("vec_edge_speedup_kXPlusW", proc.stdout)
+        self.assertIn("informational: baseline lacks the metric", proc.stdout)
+
+    def test_vec_floor_gates_once_baseline_has_metric(self):
+        base_doc = bench_doc()
+        base_doc["metrics"]["vec_edge_speedup_kXTimesW"] = 5.0
+        base = self.write("base.json", base_doc)
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["vec_edge_speedup_kXTimesW"] = 2.5
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("vec_edge_speedup_kXTimesW: 2.50 < floor 4.0",
+                      proc.stdout)
+
+    def test_vec_floor_missing_from_current_after_carried(self):
+        # Once a baseline carries the metric, a current run that silently
+        # drops it (bench pair deleted, dispatch broken) must fail.
+        base_doc = bench_doc()
+        base_doc["metrics"]["vec_edge_speedup_kAXOverDeg"] = 12.0
+        base = self.write("base.json", base_doc)
+        cur = self.write("cur.json", bench_doc())
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("vec_edge_speedup_kAXOverDeg: missing from current run",
+                      proc.stdout)
+
+    def test_vec_nongated_shape_never_fails(self):
+        # kAXWB is collected but informational: a low ratio is a note even
+        # when the baseline carries it.
+        base_doc = bench_doc()
+        base_doc["metrics"]["vec_edge_speedup_kAXWB"] = 5.0
+        base = self.write("base.json", base_doc)
+        cur_doc = bench_doc()
+        cur_doc["metrics"]["vec_edge_speedup_kAXWB"] = 1.2
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("vec_edge_speedup_kAXWB (info)", proc.stdout)
+
+    def test_vec_collect_derives_per_shape_ratios(self):
+        # collect pairs BM_EdgeApplyVector/<shape> with
+        # BM_EdgeApplySpecialized/<shape> by items_per_second.
+        micro = self.write("micro.json", {"benchmarks": [
+            {"name": "BM_EdgeApplySpecialized/kXPlusW", "cpu_time": 700.0,
+             "real_time": 700.0, "items_per_second": 1.5e9},
+            {"name": "BM_EdgeApplyVector/kXPlusW", "cpu_time": 140.0,
+             "real_time": 140.0, "items_per_second": 7.5e9},
+        ]})
+        jsonl = os.path.join(self.tmp.name, "runs.jsonl")
+        open(jsonl, "w").close()
+        out = os.path.join(self.tmp.name, "out.json")
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "collect", "--rev", "test",
+             "--micro-json", micro, "--fig9-metrics", jsonl, "--out", out],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        with open(out) as f:
+            doc = json.load(f)
+        self.assertAlmostEqual(doc["metrics"]["vec_edge_speedup_kXPlusW"], 5.0)
+        self.assertIsNone(doc["metrics"]["vec_edge_speedup_kXTimesW"])
+
     def test_mutation_cell_divergence_gates(self):
         base_doc = bench_doc()
         base_doc["metrics"]["mutation_speedup_vs_recompute"] = 8.0

@@ -1,0 +1,180 @@
+#include "common/numa_arena.h"
+
+#include <cstdio>
+#include <new>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace powerlog::numa {
+
+namespace {
+
+constexpr size_t kPage = 4096;
+constexpr size_t kHugeThreshold = 2ull << 20;
+
+#if defined(__linux__)
+// mbind policy constants (numaif.h is part of libnuma-dev, which we do not
+// depend on; the ABI values are stable kernel UAPI).
+constexpr int kMpolPreferred = 1;
+constexpr int kMpolInterleave = 3;
+constexpr unsigned kMpolMfMove = 1u << 1;
+
+long Mbind(void* addr, unsigned long len, int mode, const unsigned long* mask,
+           unsigned long maxnode, unsigned flags) {
+#if defined(SYS_mbind)
+  return syscall(SYS_mbind, addr, len, mode, mask, maxnode, flags);
+#else
+  (void)addr; (void)len; (void)mode; (void)mask; (void)maxnode; (void)flags;
+  return -1;
+#endif
+}
+
+/// Counts entries under /sys/devices/system/node (node0, node1, ...).
+int ProbeNodes() {
+  int nodes = 0;
+  char path[64];
+  for (int n = 0; n < 1024; ++n) {
+    std::snprintf(path, sizeof(path), "/sys/devices/system/node/node%d", n);
+    if (access(path, F_OK) != 0) break;
+    ++nodes;
+  }
+  return nodes > 0 ? nodes : 1;
+}
+
+int ProbeNodeOfCpu(int cpu) {
+  char path[96];
+  for (int n = 0; n < NumNodes(); ++n) {
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/node/node%d/cpu%d", n, cpu);
+    if (access(path, F_OK) == 0) return n;
+  }
+  return 0;
+}
+#endif  // __linux__
+
+/// Rounds [p, p+bytes) outward to page boundaries (mbind/madvise operate on
+/// whole pages; over-covering neighbouring objects is harmless advice).
+std::pair<void*, size_t> PageSpan(void* p, size_t bytes) {
+  const uintptr_t lo = reinterpret_cast<uintptr_t>(p) & ~(kPage - 1);
+  const uintptr_t hi =
+      (reinterpret_cast<uintptr_t>(p) + bytes + kPage - 1) & ~(kPage - 1);
+  return {reinterpret_cast<void*>(lo), hi - lo};
+}
+
+}  // namespace
+
+int NumNodes() {
+#if defined(__linux__)
+  static const int nodes = ProbeNodes();
+  return nodes;
+#else
+  return 1;
+#endif
+}
+
+int NumCpus() {
+#if defined(__linux__)
+  static const int cpus = [] {
+    const long n = sysconf(_SC_NPROCESSORS_ONLN);
+    return n > 0 ? static_cast<int>(n) : 1;
+  }();
+  return cpus;
+#else
+  return 1;
+#endif
+}
+
+int NodeOfCpu(int cpu) {
+#if defined(__linux__)
+  if (NumNodes() <= 1 || cpu < 0) return 0;
+  return ProbeNodeOfCpu(cpu);
+#else
+  (void)cpu;
+  return 0;
+#endif
+}
+
+bool PinThreadToCpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu % NumCpus()), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int CpuForWorker(uint32_t worker) {
+  return static_cast<int>(worker) % NumCpus();
+}
+
+void AdviseHuge(void* p, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (bytes < kHugeThreshold) return;
+  auto [base, len] = PageSpan(p, bytes);
+  (void)madvise(base, len, MADV_HUGEPAGE);  // best effort
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+void BindPreferred(void* p, size_t bytes, int node) {
+#if defined(__linux__)
+  if (NumNodes() <= 1 || bytes == 0 || node < 0 || node >= NumNodes()) return;
+  auto [base, len] = PageSpan(p, bytes);
+  unsigned long mask = 1ul << node;
+  (void)Mbind(base, len, kMpolPreferred, &mask, sizeof(mask) * 8, kMpolMfMove);
+#else
+  (void)p;
+  (void)bytes;
+  (void)node;
+#endif
+}
+
+void Interleave(void* p, size_t bytes) {
+#if defined(__linux__)
+  const int nodes = NumNodes();
+  if (nodes <= 1 || bytes == 0) return;
+  auto [base, len] = PageSpan(p, bytes);
+  unsigned long mask = (nodes >= 64) ? ~0ul : ((1ul << nodes) - 1);
+  (void)Mbind(base, len, kMpolInterleave, &mask, sizeof(mask) * 8, kMpolMfMove);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+namespace detail {
+
+void* ArenaAlloc(size_t bytes) {
+#if defined(__linux__)
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();  // genuine OOM
+  AdviseHuge(p, bytes);
+  return p;
+#else
+  return ::operator new(bytes, std::align_val_t{64});
+#endif
+}
+
+void ArenaFree(void* p, size_t bytes) {
+#if defined(__linux__)
+  munmap(p, bytes);
+#else
+  ::operator delete(p, bytes, std::align_val_t{64});
+#endif
+}
+
+}  // namespace detail
+
+}  // namespace powerlog::numa

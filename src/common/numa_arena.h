@@ -1,0 +1,117 @@
+// NUMA-aware arena for the hot shard-partitioned columns (ROADMAP item 4).
+//
+// Placement model: ArenaArray allocations are anonymous mmap regions, so
+// physical pages materialise on *first touch* and land on the NUMA node of
+// the touching thread (the kernel's default local policy). With worker
+// pinning on (EngineOptions::pin), the engine then overrides the master
+// thread's initialising touches explicitly: contiguous shard ranges are
+// mbind()-ed (MPOL_PREFERRED + MPOL_MF_MOVE) to their owner's node, and
+// hash-partitioned columns are interleaved across the worker nodes. Regions
+// of 2 MiB and up get transparent-hugepage advice (MADV_HUGEPAGE).
+//
+// Everything here is best-effort and degrades gracefully: on a single-node
+// box (or where mbind/madvise are unavailable or refused — containers often
+// deny them) every placement call is a no-op and ArenaArray behaves like an
+// aligned heap allocation. No libnuma dependency — topology comes from
+// /sys/devices/system/node and the syscalls are invoked directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace powerlog::numa {
+
+/// Number of online NUMA nodes (cached; ≥1).
+int NumNodes();
+
+/// Number of online CPUs (cached; ≥1).
+int NumCpus();
+
+/// NUMA node of `cpu` (0 when unknown / single-node).
+int NodeOfCpu(int cpu);
+
+/// Pins the calling thread to `cpu`. Returns false when the kernel refuses
+/// (cpu offline, cpuset-restricted) — callers treat pinning as advisory.
+bool PinThreadToCpu(int cpu);
+
+/// Round-robin worker→CPU map used by EngineOptions::pin and the pinned
+/// ThreadPool: worker w gets CPU w mod NumCpus().
+int CpuForWorker(uint32_t worker);
+
+/// Transparent-hugepage advice for [p, p+bytes) (no-op below 2 MiB).
+void AdviseHuge(void* p, size_t bytes);
+
+/// Best-effort mbind of [p, p+bytes) to `node` (MPOL_PREFERRED,
+/// MPOL_MF_MOVE migrates already-touched pages). No-op on single-node
+/// systems or when the range is empty. Page-granular: callers may pass
+/// unaligned subranges, the arena rounds outward.
+void BindPreferred(void* p, size_t bytes, int node);
+
+/// Best-effort page interleave of [p, p+bytes) across all nodes
+/// (MPOL_INTERLEAVE + MPOL_MF_MOVE) — the placement for hash-partitioned
+/// columns where no node owns a contiguous range. No-op on single node.
+void Interleave(void* p, size_t bytes);
+
+namespace detail {
+void* ArenaAlloc(size_t bytes);                // mmap (fallback: ::operator new)
+void ArenaFree(void* p, size_t bytes);
+}  // namespace detail
+
+/// \brief Move-only typed array backed by the arena: page-aligned anonymous
+/// mapping, value-initialised elements, hugepage-advised when large. Holds
+/// the MonoTable value/delta columns and frontier bitmap words so shard
+/// placement advice applies at page granularity.
+template <typename T>
+class ArenaArray {
+ public:
+  ArenaArray() = default;
+  explicit ArenaArray(size_t n) : size_(n) {
+    if (n == 0) return;
+    data_ = static_cast<T*>(detail::ArenaAlloc(n * sizeof(T)));
+    // mmap memory is already zero-filled; the placement news value-
+    // initialise for the heap fallback and keep object lifetimes defined.
+    for (size_t i = 0; i < n; ++i) new (data_ + i) T();
+  }
+  ~ArenaArray() { Reset(); }
+
+  ArenaArray(ArenaArray&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  ArenaArray& operator=(ArenaArray&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  ArenaArray(const ArenaArray&) = delete;
+  ArenaArray& operator=(const ArenaArray&) = delete;
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Reset() {
+    if (data_ == nullptr) return;
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    detail::ArenaFree(data_, size_ * sizeof(T));
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace powerlog::numa

@@ -2,13 +2,18 @@
 
 #include <atomic>
 
+#include "common/numa_arena.h"
+
 namespace powerlog {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, bool pin) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i, pin] {
+      if (pin) numa::PinThreadToCpu(numa::CpuForWorker(static_cast<uint32_t>(i)));
+      WorkerLoop();
+    });
   }
 }
 

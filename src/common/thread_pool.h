@@ -17,7 +17,10 @@ namespace powerlog {
 /// \brief Fixed-size pool executing submitted tasks FIFO.
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  /// `pin` binds pool thread i to CPU i mod NumCpus() (numa_arena.h) so
+  /// first-touch allocations made from pool tasks land on the toucher's
+  /// node. Advisory: pinning failures are ignored.
+  explicit ThreadPool(size_t num_threads, bool pin = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -1,5 +1,6 @@
 #include "core/kernel.h"
 
+#include "core/kernel_simd.h"
 #include "datalog/parser.h"
 
 namespace powerlog {
@@ -117,6 +118,12 @@ Result<Kernel> BuildKernel(const datalog::AnalyzedProgram& program) {
   if (!compiled.ok()) return compiled.status();
   kernel.edge_fn = std::move(compiled).ValueOrDie();
   kernel.scatter = SpecializeEdgeExpr(kernel.edge_fn);
+  // Runtime SIMD dispatch: bake the span form of F' in here so every
+  // consumer of a built kernel (engine workers, benches) agrees on the
+  // selected level. --no-simd downgrades per run by ignoring this pointer.
+  if (kernel.scatter.specialized()) {
+    kernel.scatter_span = simd::SelectSpanFn(simd::ActiveLevel());
+  }
 
   // Ensure the aggregate is executable (mean is checker-only).
   Aggregator agg(kernel.agg);

@@ -77,12 +77,22 @@ inline double ApplyEdgeKernel(const EdgeKernelSpec& spec, double x, double w,
   return 0.0;  // kGeneric: caller must use the VM
 }
 
+/// Span form of F' for the vectorized scatter path (kernel_simd.h): fills
+/// out[i] = F'(x, edges[i].weight, deg) over a whole CSR span, bit-exact
+/// with ApplyEdgeKernel per element. BuildKernel resolves it through the
+/// runtime SIMD dispatch (CPUID ∧ POWERLOG_SIMD); it is null only for
+/// Kernel objects assembled by hand, and the worker then falls back to its
+/// scalar loops.
+using EdgeSpanFn = void (*)(const EdgeKernelSpec& spec, double x, double deg,
+                            const Edge* edges, size_t n, double* out);
+
 /// \brief Compiled recursive aggregate program.
 struct Kernel {
   std::string name;
   AggKind agg = AggKind::kSum;
   datalog::CompiledExpr edge_fn;  ///< F' over (x, w, deg)
   EdgeKernelSpec scatter;         ///< specialized shape of edge_fn
+  EdgeSpanFn scatter_span = nullptr;  ///< SIMD-dispatched span form of F'
   bool uses_weights = false;
   bool uses_degree = false;
   bool uses_in_edges = false;  ///< propagate along reversed edges

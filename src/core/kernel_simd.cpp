@@ -1,0 +1,161 @@
+// Runtime SIMD dispatch plus the scalar reference implementations.
+//
+// The scalar span/tile loops double as (a) the always-available fallback the
+// dispatcher hands out on non-AVX2 hosts or under POWERLOG_SIMD=scalar and
+// (b) the bit-equality oracle the vector paths are tested against. They are
+// compiled with auto-vectorization disabled: in the engine the scalar path
+// runs one edge at a time interleaved with routing decisions, so a
+// compiler-vectorized "scalar" loop would measure a path the engine never
+// executes and quietly deflate the BM_EdgeApplyVector speedup gate.
+#include "core/kernel_simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace powerlog::simd {
+
+namespace {
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define POWERLOG_NO_AUTOVEC \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define POWERLOG_NO_AUTOVEC
+#endif
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Level DetectCpuLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports also verifies OS XSAVE state (XCR0 zmm bits) for
+  // the AVX-512 predicates, so a kernel that masked zmm never dispatches it.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Level::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level ResolveLevel() {
+  const Level cpu = DetectCpuLevel();
+  const char* env = std::getenv("POWERLOG_SIMD");
+  if (env != nullptr) {
+    // An override clamps downward only — it never exceeds the CPU
+    // capability; anything else (including "auto") falls through to the
+    // probe.
+    if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return cpu < Level::kAvx2 ? cpu : Level::kAvx2;
+    }
+  }
+  return cpu;
+}
+
+Level ActiveLevel() {
+  static const Level level = ResolveLevel();
+  return level;
+}
+
+POWERLOG_NO_AUTOVEC
+void ComputeSpanScalar(const EdgeKernelSpec& spec, double x, double deg,
+                       const Edge* edges, size_t n, double* out) {
+  // Uniform shapes (F' ignores w): one evaluation, broadcast store.
+  if (spec.uniform()) {
+    const double c = ApplyEdgeKernel(spec, x, 0.0, deg);
+    for (size_t i = 0; i < n; ++i) out[i] = c;
+    return;
+  }
+  switch (spec.op) {
+    case KernelOp::kXPlusW:
+      for (size_t i = 0; i < n; ++i) out[i] = x + edges[i].weight;
+      break;
+    case KernelOp::kXTimesW:
+      for (size_t i = 0; i < n; ++i) out[i] = x * edges[i].weight;
+      break;
+    case KernelOp::kAXW: {
+      // (a*x) is loop-invariant; hoisting preserves the association.
+      const double ax = spec.a * x;
+      for (size_t i = 0; i < n; ++i) out[i] = ax * edges[i].weight;
+      break;
+    }
+    case KernelOp::kAXWB: {
+      const double ax = spec.a * x;
+      for (size_t i = 0; i < n; ++i) out[i] = (ax * edges[i].weight) * spec.b;
+      break;
+    }
+    default:  // kGeneric — precondition violation; keep the output defined.
+      for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+      break;
+  }
+}
+
+POWERLOG_NO_AUTOVEC
+void CombineTileScalar(AggKind kind, const double* vals, double* acc,
+                       size_t n, uint64_t* dirty) {
+  uint64_t marks = 0;
+  switch (kind) {
+    case AggKind::kMin:
+      // Ordered compare: a NaN candidate never improves and never marks,
+      // matching Aggregator::Improves and the AVX2 _CMP_LT_OQ path.
+      for (size_t i = 0; i < n; ++i) {
+        if (vals[i] < acc[i]) {
+          acc[i] = vals[i];
+          marks |= uint64_t{1} << i;
+        }
+      }
+      break;
+    case AggKind::kMax:
+      for (size_t i = 0; i < n; ++i) {
+        if (vals[i] > acc[i]) {
+          acc[i] = vals[i];
+          marks |= uint64_t{1} << i;
+        }
+      }
+      break;
+    default:  // sum/count: always fold; mark non-identity contributions.
+      for (size_t i = 0; i < n; ++i) {
+        acc[i] += vals[i];
+        if (vals[i] != 0.0) marks |= uint64_t{1} << i;
+      }
+      break;
+  }
+  *dirty |= marks;
+}
+
+EdgeSpanFn SelectSpanFn(Level level) {
+#if defined(__x86_64__) || defined(__i386__)
+  const Level cpu = DetectCpuLevel();
+  const Level chosen = level < cpu ? level : cpu;
+  if (chosen == Level::kAvx512) return &ComputeSpanAvx512;
+  if (chosen == Level::kAvx2) return &ComputeSpanAvx2;
+#else
+  (void)level;
+#endif
+  return &ComputeSpanScalar;
+}
+
+CombineTileFn SelectCombineTileFn(Level level) {
+#if defined(__x86_64__) || defined(__i386__)
+  const Level cpu = DetectCpuLevel();
+  const Level chosen = level < cpu ? level : cpu;
+  if (chosen == Level::kAvx512) return &CombineTileAvx512;
+  if (chosen == Level::kAvx2) return &CombineTileAvx2;
+#else
+  (void)level;
+#endif
+  return &CombineTileScalar;
+}
+
+}  // namespace powerlog::simd

@@ -1,0 +1,105 @@
+// SIMD compute-plane primitives (ROADMAP item 4): vectorized span kernels
+// for the specialized KernelOp shapes and a dense combine tile whose
+// movemask drives frontier dirty-bit marking, behind a runtime CPUID
+// dispatch with the scalar loops as the always-available fallback.
+//
+// Bit-exactness contract: every vector implementation is lane-wise
+// bit-identical to its scalar reference on every input, including ±inf
+// sentinel distances, NaN contributions, and the aggregate identities.
+// This holds because (a) the span kernels use only per-lane add/mul/div in
+// the *exact association* of ApplyEdgeKernel — FMA contraction is disabled
+// on the AVX2 translation unit (`-ffp-contract=off`), so no shape needs an
+// ε-tolerance — and (b) the min/max combine uses an ordered-quiet compare
+// plus blend (`val < acc ? val : acc`), which matches Aggregator::Improves
+// exactly (a NaN candidate never improves and never marks).
+//
+// One carve-out: when a lane's result is NaN, only NaN-ness is guaranteed,
+// not the payload or sign bit. IEEE 754 leaves the choice of which NaN a
+// multi-NaN operation returns to the implementation (x86 mul/add return the
+// *first* operand's NaN quieted), and the compiler is free to schedule the
+// scalar expression's operands in a different order than the intrinsics
+// spell — e.g. (0·inf)·NaN can surface the real-indefinite −NaN on one side
+// and the propagated quiet +NaN on the other. This never affects the
+// engine: NaN is absorbed by the min/max combine (never improves) and
+// condition-checked programs keep NaN out of sum/count columns.
+//
+// Dirty-marking contract of the combine tile: bit i of *dirty is OR-ed in
+// when slot i's combine *changed the column* — a strict improvement for
+// min/max (tighter than CombineDelta's any-non-identity rule, and safe for
+// the same reason the frontier may skip identity deltas: a non-improving
+// contribution leaves the column unchanged, so there is nothing to sweep),
+// a non-identity (nonzero) contribution for sum/count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/aggregates.h"
+#include "core/kernel.h"
+#include "graph/graph.h"
+
+namespace powerlog::simd {
+
+/// \brief Instruction-set level the dispatcher can select. Ordered by
+/// capability: a level never exceeds what the CPU (and OS XSAVE state)
+/// supports, and an env override clamps downward only.
+enum class Level : uint8_t {
+  kScalar = 0,  ///< portable reference loops (always available)
+  kAvx2 = 1,    ///< 4×double AVX2 lanes (x86-64 with AVX2)
+  kAvx512 = 2,  ///< 8×double zmm lanes (x86-64 with AVX-512 F+VL)
+};
+
+const char* LevelName(Level level);
+
+/// Raw CPU capability (CPUID probe; kScalar on non-x86 builds).
+Level DetectCpuLevel();
+
+/// CPU capability ∧ the `POWERLOG_SIMD` override ("scalar" forces the
+/// fallback, "avx2"/"avx512" request that level — silently clamped to the
+/// CPU capability — anything else / unset means "auto").
+Level ResolveLevel();
+
+/// Process-wide cached ResolveLevel(): the level BuildKernel bakes into
+/// Kernel::scatter_span. Resolved once; tests that flip POWERLOG_SIMD must
+/// call ResolveLevel() directly.
+Level ActiveLevel();
+
+/// Span kernel: out[i] = F'(x, edges[i].weight, deg) for i in [0, n) under
+/// `spec`, reading weights straight out of the AoS CSR span. Defined for
+/// every specialized shape (spec.specialized()); uniform shapes broadcast
+/// the single contribution. Callers must not pass kGeneric (the stack VM
+/// owns that path).
+void ComputeSpanScalar(const EdgeKernelSpec& spec, double x, double deg,
+                       const Edge* edges, size_t n, double* out);
+#if defined(__x86_64__) || defined(__i386__)
+void ComputeSpanAvx2(const EdgeKernelSpec& spec, double x, double deg,
+                     const Edge* edges, size_t n, double* out);
+void ComputeSpanAvx512(const EdgeKernelSpec& spec, double x, double deg,
+                       const Edge* edges, size_t n, double* out);
+#endif
+
+/// Returns the span kernel for `level` (clamped to availability).
+EdgeSpanFn SelectSpanFn(Level level);
+
+/// Dense combine tile: acc[i] = g(acc[i], vals[i]) for i in [0, n), n ≤ 64,
+/// OR-ing bit i into *dirty per the marking contract above. `kind` must
+/// have a runtime identity (min/max/sum/count). The tile is the
+/// dense-segment primitive: single-writer slots (plain doubles), e.g. a
+/// worker-private accumulation tile or a combining-buffer segment — the
+/// MonoTable's shared rows keep the atomic CAS path.
+using CombineTileFn = void (*)(AggKind kind, const double* vals, double* acc,
+                               size_t n, uint64_t* dirty);
+
+void CombineTileScalar(AggKind kind, const double* vals, double* acc,
+                       size_t n, uint64_t* dirty);
+#if defined(__x86_64__) || defined(__i386__)
+void CombineTileAvx2(AggKind kind, const double* vals, double* acc,
+                     size_t n, uint64_t* dirty);
+void CombineTileAvx512(AggKind kind, const double* vals, double* acc,
+                       size_t n, uint64_t* dirty);
+#endif
+
+/// Returns the combine tile for `level` (clamped to availability).
+CombineTileFn SelectCombineTileFn(Level level);
+
+}  // namespace powerlog::simd

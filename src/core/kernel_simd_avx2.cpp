@@ -1,0 +1,168 @@
+// AVX2 implementations of the span kernels and the combine tile. This is
+// the only translation unit compiled with -mavx2 (and -ffp-contract=off so
+// no mul+add ever contracts to an FMA — the bit-exactness contract of
+// kernel_simd.h) — everything here is reached exclusively through the
+// runtime dispatch, which verified CPUID first.
+//
+// Lane layout: 4×double per __m256d. CSR spans are AoS (Edge = {u32 dst,
+// pad, f64 weight}, 16 bytes), so weights sit at qword offsets 1,3,5,7 of a
+// 4-edge block; two unaligned 32-byte loads + unpackhi + a cross-lane
+// permute deinterleave them into natural order. The harvested source value
+// and the folded constants are scalar broadcasts. Tails (n mod 4) delegate
+// to the scalar reference, which is bit-identical by contract.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "core/kernel_simd.h"
+
+namespace powerlog::simd {
+
+namespace {
+
+static_assert(sizeof(Edge) == 16, "AoS deinterleave assumes 16-byte edges");
+static_assert(offsetof(Edge, weight) == 8,
+              "AoS deinterleave assumes the weight in the upper qword");
+
+/// Weights of edges[i..i+3] in natural order.
+inline __m256d LoadWeights4(const Edge* edges) {
+  const double* base = reinterpret_cast<const double*>(edges);
+  const __m256d lo = _mm256_loadu_pd(base);      // [dst0, w0, dst1, w1]
+  const __m256d hi = _mm256_loadu_pd(base + 4);  // [dst2, w2, dst3, w3]
+  // unpackhi works per 128-bit lane: [w0, w2, w1, w3]; the permute restores
+  // natural order.
+  const __m256d mixed = _mm256_unpackhi_pd(lo, hi);
+  return _mm256_permute4x64_pd(mixed, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+/// Runs `op` (a lane-wise __m256d -> __m256d map) over the span, two 4-edge
+/// blocks per iteration so the deinterleave shuffles of one block pipeline
+/// behind the other and the loop overhead is paid once per 8 edges. The op
+/// is applied per 4-lane block in span order, so the per-lane arithmetic —
+/// and therefore the bit pattern of every out[i] — is identical to the
+/// unrolled form.
+template <typename LaneOp>
+inline size_t SpanLoop(const EdgeKernelSpec& spec, double x, double deg,
+                       const Edge* edges, size_t n, double* out, LaneOp op) {
+  size_t i = 0;
+  // Peel one edge if the span starts on an odd 16-byte slot: the block
+  // stride is 64 bytes, so a 16-mod-64 base would make BOTH 32-byte weight
+  // loads straddle a cache line on EVERY iteration. One scalar head edge
+  // (bit-identical by contract) pins the loads inside single lines forever.
+  if (n >= 8 && (reinterpret_cast<uintptr_t>(edges) & 31) != 0) {
+    out[0] = ApplyEdgeKernel(spec, x, edges[0].weight, deg);
+    i = 1;
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256d w0 = LoadWeights4(edges + i);
+    const __m256d w1 = LoadWeights4(edges + i + 4);
+    _mm256_storeu_pd(out + i, op(w0));
+    _mm256_storeu_pd(out + i + 4, op(w1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, op(LoadWeights4(edges + i)));
+  }
+  return i;
+}
+
+}  // namespace
+
+void ComputeSpanAvx2(const EdgeKernelSpec& spec, double x, double deg,
+                     const Edge* edges, size_t n, double* out) {
+  size_t i = 0;
+  if (spec.uniform()) {
+    // Trivially wide: one evaluation, broadcast store (kX, kConst, and the
+    // other shapes that never read w).
+    const double c = ApplyEdgeKernel(spec, x, 0.0, deg);
+    const __m256d cv = _mm256_set1_pd(c);
+    for (; i + 4 <= n; i += 4) _mm256_storeu_pd(out + i, cv);
+    for (; i < n; ++i) out[i] = c;
+    return;
+  }
+  switch (spec.op) {
+    case KernelOp::kXPlusW: {
+      const __m256d xv = _mm256_set1_pd(x);
+      i = SpanLoop(spec, x, deg, edges, n, out,
+                   [xv](__m256d w) { return _mm256_add_pd(xv, w); });
+      break;
+    }
+    case KernelOp::kXTimesW: {
+      const __m256d xv = _mm256_set1_pd(x);
+      i = SpanLoop(spec, x, deg, edges, n, out,
+                   [xv](__m256d w) { return _mm256_mul_pd(xv, w); });
+      break;
+    }
+    case KernelOp::kAXW: {
+      // (a*x) hoisted exactly as the scalar loop hoists it.
+      const __m256d axv = _mm256_set1_pd(spec.a * x);
+      i = SpanLoop(spec, x, deg, edges, n, out,
+                   [axv](__m256d w) { return _mm256_mul_pd(axv, w); });
+      break;
+    }
+    case KernelOp::kAXWB: {
+      const __m256d axv = _mm256_set1_pd(spec.a * x);
+      const __m256d bv = _mm256_set1_pd(spec.b);
+      i = SpanLoop(spec, x, deg, edges, n, out, [axv, bv](__m256d w) {
+        return _mm256_mul_pd(_mm256_mul_pd(axv, w), bv);
+      });
+      break;
+    }
+    default:
+      break;  // kGeneric — precondition violation; scalar tail zero-fills.
+  }
+  if (i < n) ComputeSpanScalar(spec, x, deg, edges + i, n - i, out + i);
+}
+
+void CombineTileAvx2(AggKind kind, const double* vals, double* acc, size_t n,
+                     uint64_t* dirty) {
+  size_t i = 0;
+  uint64_t marks = 0;
+  switch (kind) {
+    case AggKind::kMin:
+      for (; i + 4 <= n; i += 4) {
+        const __m256d a = _mm256_loadu_pd(acc + i);
+        const __m256d v = _mm256_loadu_pd(vals + i);
+        // Ordered-quiet strict compare = Aggregator::Improves for min: a
+        // NaN candidate never improves, never marks. The blend keeps acc
+        // bit-identical (±0.0 included) when the candidate does not win.
+        const __m256d lt = _mm256_cmp_pd(v, a, _CMP_LT_OQ);
+        _mm256_storeu_pd(acc + i, _mm256_blendv_pd(a, v, lt));
+        marks |= static_cast<uint64_t>(_mm256_movemask_pd(lt)) << i;
+      }
+      break;
+    case AggKind::kMax:
+      for (; i + 4 <= n; i += 4) {
+        const __m256d a = _mm256_loadu_pd(acc + i);
+        const __m256d v = _mm256_loadu_pd(vals + i);
+        const __m256d gt = _mm256_cmp_pd(v, a, _CMP_GT_OQ);
+        _mm256_storeu_pd(acc + i, _mm256_blendv_pd(a, v, gt));
+        marks |= static_cast<uint64_t>(_mm256_movemask_pd(gt)) << i;
+      }
+      break;
+    default: {  // sum/count
+      const __m256d zero = _mm256_setzero_pd();
+      for (; i + 4 <= n; i += 4) {
+        const __m256d a = _mm256_loadu_pd(acc + i);
+        const __m256d v = _mm256_loadu_pd(vals + i);
+        _mm256_storeu_pd(acc + i, _mm256_add_pd(a, v));
+        // Unordered-quiet !=: NaN contributions mark (C's `v != 0.0` is
+        // true for NaN), ±0.0 does not.
+        const __m256d nz = _mm256_cmp_pd(v, zero, _CMP_NEQ_UQ);
+        marks |= static_cast<uint64_t>(_mm256_movemask_pd(nz)) << i;
+      }
+      break;
+    }
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    CombineTileScalar(kind, vals + i, acc + i, n - i, &tail);
+    marks |= tail << i;
+  }
+  *dirty |= marks;
+}
+
+}  // namespace powerlog::simd
+
+#endif  // x86

@@ -1,0 +1,167 @@
+// AVX-512 implementations of the span kernels and the combine tile. This is
+// the only translation unit compiled with -mavx512f/-mavx512vl (and
+// -ffp-contract=off so no mul+add ever contracts to an FMA — the
+// bit-exactness contract of kernel_simd.h) — everything here is reached
+// exclusively through the runtime dispatch, which verified CPUID (and the
+// OS XSAVE zmm state) first.
+//
+// Lane layout: 8×double per __m512d. One 64-byte load covers a whole 4-edge
+// AoS block ([dst0, w0, dst1, w1, dst2, w2, dst3, w3] as qwords), so a
+// single vpermt2pd over two consecutive blocks deinterleaves all 8 weights
+// in one cross-lane shuffle — the move that pays for this level: the AVX2
+// path needs a shuffle pair per 4 edges and saturates the shuffle port at
+// ~1.4 cycles/block, while this loop spends one shuffle per 8 edges. The
+// combine tile gets its dirty mask straight from the compare mask register
+// (no movemask) and uses masked stores so losing lanes are never written.
+// Tails (n mod 8) delegate to the scalar reference, bit-identical by
+// contract.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "core/kernel_simd.h"
+
+namespace powerlog::simd {
+
+namespace {
+
+static_assert(sizeof(Edge) == 16, "AoS deinterleave assumes 16-byte edges");
+static_assert(offsetof(Edge, weight) == 8,
+              "AoS deinterleave assumes the weight in the upper qword");
+
+/// Weights of edges[i..i+7] in natural order: the odd qwords of two
+/// consecutive 64-byte blocks, merged by one two-source permute.
+inline __m512d LoadWeights8(const Edge* edges) {
+  const double* base = reinterpret_cast<const double*>(edges);
+  const __m512d lo = _mm512_loadu_pd(base);      // edges 0..3
+  const __m512d hi = _mm512_loadu_pd(base + 8);  // edges 4..7
+  const __m512i idx = _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1);
+  return _mm512_permutex2var_pd(lo, idx, hi);
+}
+
+/// Runs `op` (a lane-wise __m512d -> __m512d map) over the span, 8 edges
+/// per iteration. The op is applied per 8-lane block in span order, so the
+/// per-lane arithmetic — and therefore the bit pattern of every out[i] — is
+/// identical to the scalar loop.
+template <typename LaneOp>
+inline size_t SpanLoop(const EdgeKernelSpec& spec, double x, double deg,
+                       const Edge* edges, size_t n, double* out, LaneOp op) {
+  size_t i = 0;
+  // Peel to a 64-byte edge base when a few scalar head edges can get there:
+  // the block stride is 128 bytes, so a misaligned base makes BOTH 64-byte
+  // weight loads straddle a cache line on EVERY iteration. The scalar head
+  // is bit-identical by contract.
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(edges);
+  if (n >= 16 && (addr & 15) == 0 && (addr & 63) != 0) {
+    const size_t peel = (64 - (addr & 63)) / sizeof(Edge);
+    ComputeSpanScalar(spec, x, deg, edges, peel, out);
+    i = peel;
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(out + i, op(LoadWeights8(edges + i)));
+  }
+  return i;
+}
+
+}  // namespace
+
+void ComputeSpanAvx512(const EdgeKernelSpec& spec, double x, double deg,
+                       const Edge* edges, size_t n, double* out) {
+  size_t i = 0;
+  if (spec.uniform()) {
+    // Trivially wide: one evaluation, broadcast store (kX, kConst, and the
+    // other shapes that never read w).
+    const double c = ApplyEdgeKernel(spec, x, 0.0, deg);
+    const __m512d cv = _mm512_set1_pd(c);
+    for (; i + 8 <= n; i += 8) _mm512_storeu_pd(out + i, cv);
+    for (; i < n; ++i) out[i] = c;
+    return;
+  }
+  switch (spec.op) {
+    case KernelOp::kXPlusW: {
+      const __m512d xv = _mm512_set1_pd(x);
+      i = SpanLoop(spec, x, deg, edges, n, out,
+                   [xv](__m512d w) { return _mm512_add_pd(xv, w); });
+      break;
+    }
+    case KernelOp::kXTimesW: {
+      const __m512d xv = _mm512_set1_pd(x);
+      i = SpanLoop(spec, x, deg, edges, n, out,
+                   [xv](__m512d w) { return _mm512_mul_pd(xv, w); });
+      break;
+    }
+    case KernelOp::kAXW: {
+      // (a*x) hoisted exactly as the scalar loop hoists it.
+      const __m512d axv = _mm512_set1_pd(spec.a * x);
+      i = SpanLoop(spec, x, deg, edges, n, out,
+                   [axv](__m512d w) { return _mm512_mul_pd(axv, w); });
+      break;
+    }
+    case KernelOp::kAXWB: {
+      const __m512d axv = _mm512_set1_pd(spec.a * x);
+      const __m512d bv = _mm512_set1_pd(spec.b);
+      i = SpanLoop(spec, x, deg, edges, n, out, [axv, bv](__m512d w) {
+        return _mm512_mul_pd(_mm512_mul_pd(axv, w), bv);
+      });
+      break;
+    }
+    default:
+      break;  // kGeneric — precondition violation; scalar tail zero-fills.
+  }
+  if (i < n) ComputeSpanScalar(spec, x, deg, edges + i, n - i, out + i);
+}
+
+void CombineTileAvx512(AggKind kind, const double* vals, double* acc,
+                       size_t n, uint64_t* dirty) {
+  size_t i = 0;
+  uint64_t marks = 0;
+  switch (kind) {
+    case AggKind::kMin:
+      for (; i + 8 <= n; i += 8) {
+        const __m512d a = _mm512_loadu_pd(acc + i);
+        const __m512d v = _mm512_loadu_pd(vals + i);
+        // Ordered-quiet strict compare = Aggregator::Improves for min: a
+        // NaN candidate never improves, never marks. The masked store only
+        // touches winning lanes, so acc stays bit-identical (±0.0
+        // included) when the candidate does not win.
+        const __mmask8 lt = _mm512_cmp_pd_mask(v, a, _CMP_LT_OQ);
+        _mm512_mask_storeu_pd(acc + i, lt, v);
+        marks |= static_cast<uint64_t>(lt) << i;
+      }
+      break;
+    case AggKind::kMax:
+      for (; i + 8 <= n; i += 8) {
+        const __m512d a = _mm512_loadu_pd(acc + i);
+        const __m512d v = _mm512_loadu_pd(vals + i);
+        const __mmask8 gt = _mm512_cmp_pd_mask(v, a, _CMP_GT_OQ);
+        _mm512_mask_storeu_pd(acc + i, gt, v);
+        marks |= static_cast<uint64_t>(gt) << i;
+      }
+      break;
+    default: {  // sum/count
+      const __m512d zero = _mm512_setzero_pd();
+      for (; i + 8 <= n; i += 8) {
+        const __m512d a = _mm512_loadu_pd(acc + i);
+        const __m512d v = _mm512_loadu_pd(vals + i);
+        _mm512_storeu_pd(acc + i, _mm512_add_pd(a, v));
+        // Unordered-quiet !=: NaN contributions mark (C's `v != 0.0` is
+        // true for NaN), ±0.0 does not.
+        const __mmask8 nz = _mm512_cmp_pd_mask(v, zero, _CMP_NEQ_UQ);
+        marks |= static_cast<uint64_t>(nz) << i;
+      }
+      break;
+    }
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    CombineTileScalar(kind, vals + i, acc + i, n - i, &tail);
+    marks |= tail << i;
+  }
+  *dirty |= marks;
+}
+
+}  // namespace powerlog::simd
+
+#endif  // x86

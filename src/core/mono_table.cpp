@@ -38,11 +38,41 @@ Status MonoTable::Initialize(const std::vector<double>& x0,
 void MonoTable::SetFrontierEnabled(bool on) {
   frontier_on_ = on;
   if (!on) {
-    frontier_.clear();
+    frontier_ = numa::ArenaArray<std::atomic<uint64_t>>();
     return;
   }
-  frontier_ = std::vector<std::atomic<uint64_t>>((num_rows() + 63) / 64);
+  frontier_ = numa::ArenaArray<std::atomic<uint64_t>>((num_rows() + 63) / 64);
   RebuildFrontier();
+}
+
+void MonoTable::PlaceShards(
+    const std::vector<std::pair<size_t, size_t>>& ranges,
+    const std::vector<int>& nodes) {
+  for (size_t i = 0; i < ranges.size() && i < nodes.size(); ++i) {
+    const auto [lo, hi] = ranges[i];
+    if (hi <= lo || hi > num_rows()) continue;
+    const size_t bytes = (hi - lo) * sizeof(std::atomic<double>);
+    numa::BindPreferred(accumulation_.data() + lo, bytes, nodes[i]);
+    numa::BindPreferred(intermediate_.data() + lo, bytes, nodes[i]);
+    if (!frontier_.empty()) {
+      const size_t wlo = lo >> 6;
+      const size_t whi = ((hi + 63) >> 6);
+      numa::BindPreferred(frontier_.data() + wlo,
+                          (whi - wlo) * sizeof(std::atomic<uint64_t>),
+                          nodes[i]);
+    }
+  }
+}
+
+void MonoTable::PlaceInterleaved() {
+  numa::Interleave(accumulation_.data(),
+                   num_rows() * sizeof(std::atomic<double>));
+  numa::Interleave(intermediate_.data(),
+                   num_rows() * sizeof(std::atomic<double>));
+  if (!frontier_.empty()) {
+    numa::Interleave(frontier_.data(),
+                     frontier_.size() * sizeof(std::atomic<uint64_t>));
+  }
 }
 
 void MonoTable::RebuildFrontier() {

@@ -26,8 +26,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/numa_arena.h"
 #include "common/result.h"
 #include "core/aggregates.h"
 
@@ -141,15 +143,30 @@ class MonoTable {
   /// Fraction of rows currently marked dirty (observability gauge).
   double FrontierOccupancy() const;
 
+  // --- NUMA placement (numa_arena.h; best-effort, no-op on single node) --
+
+  /// Binds each contiguous row range `ranges[i]` = [lo, hi) of both value
+  /// columns and the covering frontier words to NUMA node `nodes[i]` — the
+  /// placement for range-partitioned shards whose owner is pinned.
+  void PlaceShards(const std::vector<std::pair<size_t, size_t>>& ranges,
+                   const std::vector<int>& nodes);
+
+  /// Interleaves both value columns and the frontier words across all
+  /// nodes — the placement for hash-partitioned shards, where every node
+  /// touches every page range.
+  void PlaceInterleaved();
+
  private:
   MonoTable(AggKind kind, size_t num_rows, double identity);
 
   AggKind kind_;
   double identity_;
   bool frontier_on_ = false;
-  std::vector<std::atomic<double>> accumulation_;
-  std::vector<std::atomic<double>> intermediate_;
-  std::vector<std::atomic<uint64_t>> frontier_;  ///< 1 bit per row; empty if off
+  // Hot columns live in the NUMA arena (anonymous mappings, hugepage-
+  // advised, placeable per shard page range) rather than the heap.
+  numa::ArenaArray<std::atomic<double>> accumulation_;
+  numa::ArenaArray<std::atomic<double>> intermediate_;
+  numa::ArenaArray<std::atomic<uint64_t>> frontier_;  ///< 1 bit per row; empty if off
 };
 
 }  // namespace powerlog

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/numa_arena.h"
 #include "common/string_util.h"
 
 namespace powerlog {
@@ -33,6 +34,19 @@ const Graph& Graph::Reverse() const {
     reverse_ = std::make_shared<Graph>(std::move(roffsets), std::move(redges));
   });
   return *reverse_;
+}
+
+void Graph::AdvisePlacement() const {
+  // const_cast is confined to kernel page advice: madvise/mbind change
+  // where pages live, never what they contain.
+  auto* offsets = const_cast<EdgeIndex*>(offsets_.data());
+  auto* edges = const_cast<Edge*>(edges_.data());
+  numa::AdviseHuge(offsets, offsets_.size() * sizeof(EdgeIndex));
+  numa::AdviseHuge(edges, edges_.size() * sizeof(Edge));
+  if (numa::NumNodes() > 1) {
+    numa::Interleave(offsets, offsets_.size() * sizeof(EdgeIndex));
+    numa::Interleave(edges, edges_.size() * sizeof(Edge));
+  }
 }
 
 double Graph::AverageDegree() const {

@@ -88,6 +88,13 @@ class Graph {
   /// True if the reverse index is already materialised.
   bool HasReverse() const { return reverse_ != nullptr; }
 
+  /// Best-effort memory placement for the CSR arrays (EngineOptions::pin):
+  /// transparent-hugepage advice on the offset and adjacency arrays, plus a
+  /// page interleave across NUMA nodes when more than one is online (every
+  /// worker scans every span, so no single node should own the adjacency).
+  /// Kernel page advice only — logical state is untouched, hence const.
+  void AdvisePlacement() const;
+
   /// Sum of all out-degrees divided by |V| (0 for empty graphs).
   double AverageDegree() const;
 

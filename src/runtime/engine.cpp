@@ -9,9 +9,11 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/numa_arena.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "core/kernel_simd.h"
 #include "runtime/checkpoint.h"
 #include "runtime/exposition.h"
 #include "runtime/termination.h"
@@ -33,11 +35,16 @@ const char* ExecModeName(ExecMode mode) {
 std::string EngineStats::Summary() const {
   return StringFormat(
       "wall=%.3fs supersteps=%lld harvests=%lld edge_apps=%lld messages=%lld "
-      "updates=%lld converged=%s recoveries=%lld checkpoints=%lld",
+      "updates=%lld converged=%s simd=%s vec_edges=%lld steal_words=%lld "
+      "recoveries=%lld checkpoints=%lld",
       wall_seconds, static_cast<long long>(supersteps),
       static_cast<long long>(harvests), static_cast<long long>(edge_applications),
       static_cast<long long>(messages), static_cast<long long>(updates_sent),
-      converged ? "true" : "false", static_cast<long long>(recoveries),
+      converged ? "true" : "false",
+      simd_dispatch.empty() ? "?" : simd_dispatch.c_str(),
+      static_cast<long long>(vector_edges),
+      static_cast<long long>(steal_words),
+      static_cast<long long>(recoveries),
       static_cast<long long>(checkpoints_written));
 }
 
@@ -59,6 +66,17 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
   snap->AddCounter("engine.frontier_skipped", stats.frontier_skipped);
   snap->AddCounter("engine.specialized_edges", stats.specialized_edges);
   snap->AddCounter("engine.vm_edges", stats.vm_edges);
+  // SIMD/steal compute-plane counters. simd.dispatch is exported as the
+  // numeric Level ordinal (0 = scalar/off, 1 = avx2, 2 = avx512) so the
+  // JSON dump stays type-uniform; the string form lives in
+  // EngineStats::simd_dispatch.
+  snap->AddGauge("simd.dispatch", stats.simd_dispatch == "avx512" ? 2.0
+                                  : stats.simd_dispatch == "avx2" ? 1.0
+                                                                  : 0.0);
+  snap->AddCounter("simd.vector_edges", stats.vector_edges);
+  snap->AddCounter("simd.scalar_edges", stats.scalar_edges);
+  snap->AddCounter("steal.attempts", stats.steal_attempts);
+  snap->AddCounter("steal.words", stats.steal_words);
   if (stats.staleness_blocks > 0 || stats.staleness_final_bound > 0) {
     snap->AddCounter("staleness.blocks", stats.staleness_blocks);
     snap->AddGauge("staleness.max_lead",
@@ -87,6 +105,10 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
     snap->AddCounter(prefix + "frontier_skipped", w.frontier_skipped);
     snap->AddCounter(prefix + "specialized_edges", w.specialized_edges);
     snap->AddCounter(prefix + "vm_edges", w.vm_edges);
+    snap->AddCounter(prefix + "vector_edges", w.vector_edges);
+    snap->AddCounter(prefix + "scalar_edges", w.scalar_edges);
+    snap->AddCounter(prefix + "steal_attempts", w.steal_attempts);
+    snap->AddCounter(prefix + "steal_words", w.steal_words);
     snap->AddCounter(prefix + "barrier_wait_us", w.barrier_wait_us);
     snap->AddCounter(prefix + "stall_us", w.stall_us);
     snap->AddCounter(prefix + "inbox_drain_us", w.inbox_drain_us);
@@ -481,6 +503,52 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
   shared.barrier = &barrier;
   shared.idle_flags = &idle_flags;
 
+  // Intra-shard work stealing: one claim shard per worker. Needs the
+  // frontier (it steals frontier *words*) and at least one peer.
+  std::vector<StealShard> steal_shards;
+  std::vector<std::atomic<uint8_t>> sweeping;
+  if (options_.steal && options_.frontier && options_.num_workers > 1) {
+    steal_shards = std::vector<StealShard>(options_.num_workers);
+    shared.steal = &steal_shards;
+    // Raised before the workers start so the first superstep's steal poll
+    // sees every peer's compute phase as pending (see SharedState).
+    sweeping = std::vector<std::atomic<uint8_t>>(options_.num_workers);
+    for (auto& flag : sweeping) flag.store(1, std::memory_order_relaxed);
+    shared.sweeping = &sweeping;
+  }
+
+  // NUMA/affinity plane. Worker pinning is advisory; placement calls are
+  // best-effort and degenerate to no-ops on a single-node host (hugepage
+  // advice on the CSR arrays still applies there).
+  std::vector<int> worker_cpu;
+  if (options_.pin) {
+    worker_cpu.resize(options_.num_workers);
+    for (uint32_t w = 0; w < options_.num_workers; ++w) {
+      worker_cpu[w] = numa::CpuForWorker(w);
+    }
+    shared.worker_cpu = &worker_cpu;
+    graph_.AdvisePlacement();
+    if (shared.prop != &graph_) shared.prop->AdvisePlacement();
+    if (numa::NumNodes() > 1) {
+      if (options_.partition == Partitioner::Kind::kRange) {
+        // Contiguous shards: bind each row range to its pinned owner's node.
+        std::vector<std::pair<size_t, size_t>> ranges;
+        std::vector<int> nodes;
+        for (uint32_t w = 0; w < options_.num_workers; ++w) {
+          const std::vector<VertexId> owned = partition.OwnedVertices(w);
+          if (owned.empty()) continue;
+          ranges.emplace_back(owned.front(), owned.back() + 1);
+          nodes.push_back(numa::NodeOfCpu(worker_cpu[w]));
+        }
+        table->PlaceShards(ranges, nodes);
+      } else {
+        // Hash shards have no contiguity to exploit: interleave so no
+        // single node eats every remote access.
+        table->PlaceInterleaved();
+      }
+    }
+  }
+
   // Fault tolerance wiring. Control blocks are always present (a heartbeat
   // store per control iteration is noise); the injector, checkpoint store,
   // and supervisor thread only exist when configured.
@@ -703,6 +771,10 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
     m.frontier_skipped += s.frontier_skipped;
     m.specialized_edges += s.specialized_edges;
     m.vm_edges += s.vm_edges;
+    m.vector_edges += s.vector_edges;
+    m.scalar_edges += s.scalar_edges;
+    m.steal_attempts += s.steal_attempts;
+    m.steal_words += s.steal_words;
     m.barrier_wait_us += s.barrier_wait_us;
     m.stall_us += s.stall_us;
     m.inbox_drain_us += s.inbox_drain_us;
@@ -713,7 +785,13 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
     result.stats.frontier_skipped += w.frontier_skipped;
     result.stats.specialized_edges += w.specialized_edges;
     result.stats.vm_edges += w.vm_edges;
+    result.stats.vector_edges += w.vector_edges;
+    result.stats.scalar_edges += w.scalar_edges;
+    result.stats.steal_attempts += w.steal_attempts;
+    result.stats.steal_words += w.steal_words;
   }
+  result.stats.simd_dispatch =
+      options_.simd ? simd::LevelName(simd::ActiveLevel()) : "off";
   if (options_.collect_metrics) {
     result.metrics = registry.Snapshot();
     ExportRunMetrics(result.stats, bus, options_.num_workers, &result.metrics);

@@ -120,6 +120,29 @@ struct EngineOptions {
   /// identity, which a full scan would reject anyway.
   bool frontier = true;
 
+  /// SIMD edge kernels: compute F' contributions with the runtime-dispatched
+  /// vector span kernels (kernel_simd.h) for specialized scatter shapes.
+  /// `--no-simd` is the escape hatch back to the scalar fused loops; results
+  /// are bit-identical either way (the kernel_simd.h contract: FMA is off,
+  /// vector min/max compare exactly like Aggregator::Improves). The
+  /// POWERLOG_SIMD env var further constrains the dispatch level.
+  bool simd = true;
+
+  /// NUMA/affinity: pin worker i to CPU CpuForWorker(i), apply hugepage
+  /// advice to the CSR arrays, and place MonoTable shards on their owners'
+  /// nodes (range partition) or interleave them (hash). Off by default —
+  /// pinning is a deployment decision; everything degrades to advisory
+  /// no-ops on a single-node host. `--pin` / `--no-pin`.
+  bool pin = false;
+
+  /// Intra-shard work stealing: during sparse frontier sweeps, idle workers
+  /// steal half the remaining word-range of the slowest active owner via an
+  /// atomic claim cursor (see StealShard in worker.h). Requires the
+  /// frontier and >1 worker; results stay bit-identical for min/max and
+  /// identical-up-to-float-reassociation for sum (same set of deltas, each
+  /// harvested exactly once). On by default.
+  bool steal = true;
+
   Partitioner::Kind partition = Partitioner::Kind::kHash;
 
   /// Checkpointing. `checkpoint_path` is the base name of a ping-pong
@@ -200,6 +223,13 @@ struct WorkerStats {
   int64_t frontier_skipped = 0;  ///< rows skipped by a clean frontier bit
   int64_t specialized_edges = 0; ///< F' via fused KernelOp loops
   int64_t vm_edges = 0;          ///< F' via the stack-VM fallback
+  /// F' lanes computed by the SIMD span kernels. Uniform shapes (F' ignores
+  /// w) count here too when SIMD is on: their evaluate-once-route-many form
+  /// is already width-independent, so the vector and scalar paths coincide.
+  int64_t vector_edges = 0;
+  int64_t scalar_edges = 0;      ///< specialized F' via the scalar loops
+  int64_t steal_attempts = 0;    ///< successful back-half claims on a peer
+  int64_t steal_words = 0;       ///< frontier words claimed from peers
   int64_t barrier_wait_us = 0;   ///< sync: time parked at barriers
   int64_t stall_us = 0;          ///< injected environment-noise pauses
   int64_t inbox_drain_us = 0;    ///< time spent in DrainInbox
@@ -221,6 +251,14 @@ struct EngineStats {
   int64_t frontier_skipped = 0;
   int64_t specialized_edges = 0;
   int64_t vm_edges = 0;
+  int64_t vector_edges = 0;
+  int64_t scalar_edges = 0;
+  int64_t steal_attempts = 0;
+  int64_t steal_words = 0;
+  /// The SIMD dispatch level this run executed with ("avx512", "avx2",
+  /// "scalar", or
+  /// "off" when EngineOptions::simd is false).
+  std::string simd_dispatch;
 
   // Stale-synchronous mode (zero elsewhere).
   int64_t staleness_blocks = 0;    ///< superstep-clock gate waits

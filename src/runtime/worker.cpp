@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/numa_arena.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "runtime/checkpoint.h"
@@ -154,8 +155,13 @@ Worker::Worker(uint32_t id, SharedState* shared, int64_t incarnation)
       }
       owned_words_.back().second |= uint64_t{1} << (v & 63);
     }
-    worklist_.reserve(owned_.size());
   }
+  // SIMD edge kernels: --no-simd forces the scalar fused loops even when
+  // BuildKernel installed a span function (POWERLOG_SIMD only constrains
+  // which span function that is).
+  simd_enabled_ =
+      shared_->options->simd && shared_->kernel->scatter_span != nullptr;
+  span_fn_ = simd_enabled_ ? shared_->kernel->scatter_span : nullptr;
   stall_rng_.Seed(shared_->options->stall_seed * 0x9E3779B9ULL + id * 1297 + 1);
   stats_.worker_id = id;
   collect_metrics_ = shared_->options->collect_metrics;
@@ -225,6 +231,12 @@ void Worker::Run() {
   char tag[16];
   std::snprintf(tag, sizeof(tag), "w%u", id_);
   Logger::SetThreadTag(tag);
+  // Affinity first, before any shard memory is touched: first-touch pages
+  // faulted by this thread then land on its node. Advisory — a failed
+  // sched_setaffinity (cgroup cpuset, non-Linux) is silently ignored.
+  if (shared_->worker_cpu != nullptr) {
+    numa::PinThreadToCpu((*shared_->worker_cpu)[id_]);
+  }
   if (shared_->tracer != nullptr) {
     // Each incarnation gets its own ring: a fenced-but-still-unwinding
     // zombie may emit its last span-end events while the respawn runs, and
@@ -429,31 +441,56 @@ int64_t Worker::ScatterDelta(VertexId v, double tmp) {
   };
   if (spec.uniform()) {
     // F' ignores w under this shape: evaluate once, the loop only routes.
+    // This evaluate-once form is already width-independent — the span
+    // kernel's broadcast would only add a scratch round-trip — so it serves
+    // both dispatch levels and is counted as vector lanes when SIMD is on.
     const double contribution = ApplyEdgeKernel(spec, tmp, 0.0, deg);
     for (const Edge& e : edges) route(e.dst, contribution);
     stats_.specialized_edges += apps;
+    if (simd_enabled_) {
+      stats_.vector_edges += apps;
+    } else {
+      stats_.scalar_edges += apps;
+    }
+    return apps;
+  }
+  if (simd_enabled_ && spec.specialized() && edges.size() >= kSimdMinSpan) {
+    // Weighted specialized shape over a long span: compute all contributions
+    // wide into the scratch column, then route scalar (routing needs the
+    // per-destination ownership test and an atomic combine — no scatter).
+    const size_t n = edges.size();
+    if (contrib_scratch_.size() < n) contrib_scratch_.resize(n);
+    span_fn_(spec, tmp, deg, edges.begin(), n, contrib_scratch_.data());
+    const Edge* e = edges.begin();
+    for (size_t i = 0; i < n; ++i) route(e[i].dst, contrib_scratch_[i]);
+    stats_.specialized_edges += apps;
+    stats_.vector_edges += apps;
     return apps;
   }
   switch (spec.op) {
     case KernelOp::kXPlusW:
       for (const Edge& e : edges) route(e.dst, tmp + e.weight);
       stats_.specialized_edges += apps;
+      stats_.scalar_edges += apps;
       break;
     case KernelOp::kXTimesW:
       for (const Edge& e : edges) route(e.dst, tmp * e.weight);
       stats_.specialized_edges += apps;
+      stats_.scalar_edges += apps;
       break;
     case KernelOp::kAXW: {
       // (a*x) is loop-invariant; hoisting it preserves the association.
       const double ax = spec.a * tmp;
       for (const Edge& e : edges) route(e.dst, ax * e.weight);
       stats_.specialized_edges += apps;
+      stats_.scalar_edges += apps;
       break;
     }
     case KernelOp::kAXWB: {
       const double ax = spec.a * tmp;
       for (const Edge& e : edges) route(e.dst, (ax * e.weight) * spec.b);
       stats_.specialized_edges += apps;
+      stats_.scalar_edges += apps;
       break;
     }
     default:  // kGeneric — per-edge stack-VM fallback
@@ -566,30 +603,54 @@ int64_t Worker::SweepOwned(bool* exited) {
       }
     }
   } else {
-    // Sparse sweep: scan only the bitmap words this shard touches, collect
-    // the set rows into the reusable worklist, then process. Collection is
-    // a read-only pass; bits are cleared at processing time.
+    // Sparse sweep: scan only the bitmap words this shard touches,
+    // processing each word's set rows inline (ctz walk, bits cleared at
+    // processing time). The word range is claimed through the steal plane
+    // when it is on — the owner walks forward via fetch_add while idle
+    // peers may CAS the limit down and take the back half (see StealShard).
     ++stats_.sparse_sweeps;
-    worklist_.clear();
-    for (const auto& [word, mask] : owned_words_) {
+    StealShard* shard = nullptr;
+    if (shared_->steal != nullptr && !owned_words_.empty()) {
+      shard = &(*shared_->steal)[id_];
+      shard->words = owned_words_.data();
+      shard->next.store(0, std::memory_order_relaxed);
+      shard->limit.store(static_cast<uint32_t>(owned_words_.size()),
+                         std::memory_order_relaxed);
+      shard->active.store(1, std::memory_order_release);
+    }
+    size_t processed = 0;
+    for (size_t iter = 0;; ++iter) {
+      size_t idx = iter;
+      if (shard != nullptr) {
+        idx = shard->next.fetch_add(1, std::memory_order_acq_rel);
+        if (idx >= shard->limit.load(std::memory_order_acquire)) break;
+      } else if (idx >= owned_words_.size()) {
+        break;
+      }
+      const auto& [word, mask] = owned_words_[idx];
       uint64_t bits = table.FrontierWord(word) & mask;
       while (bits != 0) {
         const int bit = __builtin_ctzll(bits);
         bits &= bits - 1;
-        worklist_.push_back(static_cast<VertexId>((word << 6) | bit));
+        const VertexId v = static_cast<VertexId>((word << 6) | bit);
+        table.ClearDirty(v);
+        ++processed;
+        if (ProcessVertex(v)) ++useful;
       }
-    }
-    active = worklist_.size();
-    stats_.frontier_skipped += static_cast<int64_t>(owned_.size() - active);
-    for (size_t idx = 0; idx < worklist_.size(); ++idx) {
-      const VertexId v = worklist_[idx];
-      table.ClearDirty(v);
-      if (ProcessVertex(v)) ++useful;
-      if (!control_point(idx)) {
+      if (!control_point(iter)) {
+        if (shard != nullptr) shard->active.store(0, std::memory_order_release);
         *exited = true;
         return useful;
       }
     }
+    if (shard != nullptr) shard->active.store(0, std::memory_order_release);
+    // Rows in words a thief claimed are not in `processed`; the skipped
+    // count (and the density estimate below) treat them as clean, which
+    // only biases the next sweep toward staying sparse — harmless, a thief
+    // only fires when the frontier is already thin.
+    active = processed;
+    stats_.frontier_skipped +=
+        static_cast<int64_t>(owned_.size() - std::min(processed, owned_.size()));
   }
   active_fraction_ = owned_.empty()
                          ? 0.0
@@ -597,6 +658,74 @@ int64_t Worker::SweepOwned(bool* exited) {
                                static_cast<double>(owned_.size());
   sparse_sweep_ = active_fraction_ < kSparseThreshold;
   return useful;
+}
+
+bool Worker::TryStealSweep(int64_t* useful, bool* exited) {
+  *exited = false;
+  if (shared_->steal == nullptr || dead_) return false;
+  MonoTable& table = *shared_->table;
+  const bool sync = shared_->options->mode == ExecMode::kSync;
+
+  // Victim selection: the active owner with the most unclaimed words — the
+  // definition of "slowest" that matters, since remaining range is exactly
+  // the work a straggler still owes this round.
+  uint32_t victim = UINT32_MAX;
+  uint32_t best_remaining = 1;  // steal only when >= 2 words remain
+  for (uint32_t w = 0; w < shared_->options->num_workers; ++w) {
+    if (w == id_) continue;
+    const StealShard& s = (*shared_->steal)[w];
+    if (s.active.load(std::memory_order_acquire) == 0) continue;
+    const uint32_t lim = s.limit.load(std::memory_order_acquire);
+    const uint32_t nxt = s.next.load(std::memory_order_acquire);
+    const uint32_t remaining = lim > nxt ? lim - nxt : 0;
+    if (remaining > best_remaining) {
+      best_remaining = remaining;
+      victim = w;
+    }
+  }
+  if (victim == UINT32_MAX) return false;
+
+  // Claim the back half [mid, lim) by lowering the victim's limit. A failed
+  // CAS means the range moved under us (another thief, or the owner
+  // finishing); give up this attempt rather than spinning — the caller
+  // loops while claims succeed.
+  StealShard& s = (*shared_->steal)[victim];
+  uint32_t lim = s.limit.load(std::memory_order_acquire);
+  const uint32_t nxt = s.next.load(std::memory_order_acquire);
+  if (lim <= nxt + 1) return false;
+  const uint32_t mid = nxt + (lim - nxt + 1) / 2;
+  if (!s.limit.compare_exchange_strong(lim, mid, std::memory_order_acq_rel)) {
+    return false;
+  }
+  // The words pointer is valid for the whole run (it aliases the victim's
+  // owned_words_, whose storage never reallocates after construction), so a
+  // claim that races the owner's sweep-end deactivation still walks live
+  // data; any bits already processed harvest to the identity and no-op.
+  trace::SpanGuard steal_span(tracer_, "steal");
+  ++stats_.steal_attempts;
+  stats_.steal_words += static_cast<int64_t>(lim - mid);
+  const std::pair<size_t, uint64_t>* words = s.words;
+  for (uint32_t i = mid; i < lim; ++i) {
+    const auto& [word, mask] = words[i];
+    uint64_t bits = table.FrontierWord(word) & mask;
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const VertexId v = static_cast<VertexId>((word << 6) | bit);
+      table.ClearDirty(v);
+      if (ProcessVertex(v)) ++*useful;
+    }
+    // Same control cadence as a sweep: a thief must keep its heartbeat,
+    // pause parking, and (async) flush points alive mid-claim.
+    if (((i - mid) & 0x3F) == 0x3F) {
+      if (!sync) FlushBuffers(/*force=*/false);
+      if (!CheckControl()) {
+        *exited = true;
+        return true;
+      }
+    }
+  }
+  return true;
 }
 
 void Worker::RunSync() {
@@ -607,8 +736,41 @@ void Worker::RunSync() {
     // --- compute phase ---
     MaybeStall();
     bool exited = false;
-    const int64_t useful = SweepOwned(&exited);
+    int64_t useful = SweepOwned(&exited);
     if (exited) return;
+    // Skew kill: instead of parking at the barrier behind a straggler,
+    // poll the steal plane while any peer's compute phase is still pending
+    // and claim half of the slowest active peer's remaining frontier words.
+    // Stolen sends land in this worker's buffers and flush below, before
+    // the all-sends-complete barrier, so superstep semantics are unchanged.
+    // The poll (rather than a single check) matters on few-core hosts: a
+    // straggler mid-sweep is only observable across a preemption, so one
+    // early look almost always misses the window.
+    if (shared_->sweeping != nullptr) {
+      (*shared_->sweeping)[id_].store(0, std::memory_order_release);
+      for (;;) {
+        if (shared_->stop.load(std::memory_order_acquire) ||
+            shared_->barrier->broken()) {
+          break;  // recovery / shutdown: fall through to the barrier
+        }
+        bool pending = false;
+        for (uint32_t w = 0; w < options.num_workers; ++w) {
+          if (w != id_ &&
+              (*shared_->sweeping)[w].load(std::memory_order_acquire) != 0) {
+            pending = true;
+            break;
+          }
+        }
+        if (!pending) break;
+        if (TryStealSweep(&useful, &exited)) {
+          if (exited) return;
+          continue;
+        }
+        Beat();
+        if (!CheckControl()) return;
+        SpinSleep(20);
+      }
+    }
     shared_->superstep_work.fetch_add(useful, std::memory_order_relaxed);
     FlushBuffers(/*force=*/true);
     // Model the distributed barrier's coordination cost.
@@ -696,6 +858,12 @@ void Worker::RunSync() {
         }
       }
     }
+    // Raise the compute-pending flag for the *next* superstep before the
+    // barrier: every worker crosses with its flag already up, so no peer's
+    // steal poll can observe a not-yet-raised flag (see SharedState).
+    if (shared_->sweeping != nullptr) {
+      (*shared_->sweeping)[id_].store(1, std::memory_order_release);
+    }
     ArriveAndWaitTimed();  // decision visible to all
   }
 }
@@ -739,7 +907,17 @@ void Worker::RunAsyncLike() {
     received_since_process = 0;
 
     auto& idle = (*shared_->idle_flags)[id_];
+    // An empty own sweep is the steal trigger: help the slowest active
+    // peer before declaring idleness. Stolen useful work keeps this worker
+    // out of the idle set, so quiescence detection stays sound.
+    int64_t stolen = 0;
     if (!any) {
+      bool steal_exited = false;
+      while (TryStealSweep(&stolen, &steal_exited)) {
+        if (steal_exited) return;
+      }
+    }
+    if (!any && stolen == 0) {
       ++idle_scans_;
       ++stats_.idle_scans;
       // Nothing useful locally: push out whatever is buffered so other
@@ -800,6 +978,18 @@ bool Worker::WaitForSlowest() {
           shared_->staleness_bound.load(std::memory_order_acquire)) {
         break;
       }
+      // Gated on a straggler's clock: help it instead of just parking.
+      // Stolen sends flush here (and are force-flushed again at this
+      // worker's next superstep boundary, before its clock bump), and the
+      // straggler's own quiescence state is untouched — it is mid-sweep,
+      // not idle, so termination soundness is unchanged.
+      int64_t stolen = 0;
+      bool steal_exited = false;
+      if (TryStealSweep(&stolen, &steal_exited)) {
+        if (steal_exited) return false;
+        FlushBuffers(/*force=*/false);
+        continue;  // the straggler may have advanced; re-check the gate
+      }
       // The `waiting` flag marks this as a legitimate park — the supervisor
       // must treat a staleness-gated worker as alive, not hung.
       if (ctl != nullptr) ctl->waiting.store(1, std::memory_order_release);
@@ -846,8 +1036,18 @@ void Worker::RunStaleSync() {
     scan_abs_sum_ = 0.0;
     scan_count_ = 0;
     bool exited = false;
-    const bool any = SweepOwned(&exited) > 0;
+    bool any = SweepOwned(&exited) > 0;
     if (exited) return;
+    // A fast worker with an empty sweep helps the straggler it would
+    // otherwise end up gated on: steal here, *before* the superstep's
+    // force-flush, so stolen sends are covered by the clock's release edge.
+    if (!any) {
+      int64_t stolen = 0;
+      while (TryStealSweep(&stolen, &exited)) {
+        if (exited) return;
+      }
+      any = stolen > 0;
+    }
     // Superstep boundary: everything this superstep produced reaches the
     // wire before the clock advances, so a peer that observes clock k has
     // the release-ordered guarantee that superstep k's sends precede it.

@@ -40,6 +40,29 @@ struct WorkerControl {
   std::atomic<int64_t> incarnation{0};
 };
 
+/// \brief Per-worker claim plane for intra-shard work stealing of frontier
+/// words (sparse sweeps only). At sweep start the owner publishes its
+/// (word, ownership-mask) list and the claim range, then store-releases
+/// `active`; a thief that acquire-loads active==1 therefore sees a
+/// consistent (words, next, limit) triple. The owner claims forward with
+/// fetch_add on `next`; a thief claims the *back half* by CAS-ing `limit`
+/// down to the midpoint, so owner and thief walk toward each other and the
+/// overlap window is at most one word (an owner fetch_add racing the CAS) —
+/// benign, because processing a row starts with MonoTable::HarvestDelta's
+/// atomic exchange: the second visitor reads the identity and no-ops.
+/// Writes stay race-free because a thief routes contributions exactly like
+/// an owner would (CombineDelta only into rows the *thief* owns, combining
+/// buffers to everyone else) and the victim's ownership masks restrict the
+/// stolen words to the victim's rows, so no third worker's rows are ever
+/// touched. Cache-line aligned: next/limit are contended across threads and
+/// must not false-share with a neighbouring worker's shard.
+struct alignas(64) StealShard {
+  const std::pair<size_t, uint64_t>* words = nullptr;
+  std::atomic<uint32_t> next{0};
+  std::atomic<uint32_t> limit{0};
+  std::atomic<uint8_t> active{0};
+};
+
 /// \brief State shared by all workers and the master for one run.
 struct SharedState {
   const Graph* graph = nullptr;
@@ -72,6 +95,25 @@ struct SharedState {
 
   // Async modes: per-worker idle flags for quiescence detection.
   std::vector<std::atomic<uint8_t>>* idle_flags = nullptr;
+
+  // Work stealing (EngineOptions::steal): one StealShard per worker, or null
+  // when stealing is off / single-worker / frontier off.
+  std::vector<StealShard>* steal = nullptr;
+
+  // Sync-mode steal polling, allocated with `steal`. sweeping[w] != 0 means
+  // worker w's compute phase for the current superstep has not finished: a
+  // worker that is done keeps polling the steal plane while any peer's flag
+  // is up instead of parking at the barrier behind the straggler. Each
+  // worker raises its own flag *before* the decision barrier (and the
+  // engine raises all of them before the first superstep), so the flags are
+  // visibly up before any peer can start the next superstep's poll — a
+  // flag raised after the barrier would race a fast peer's poll and turn
+  // it into the one-shot check this plane exists to avoid.
+  std::vector<std::atomic<uint8_t>>* sweeping = nullptr;
+
+  // Worker pinning (EngineOptions::pin): worker_cpu[w] is the CPU worker w
+  // binds to on entry; null when pinning is off.
+  const std::vector<int>* worker_cpu = nullptr;
 
   // Stale-synchronous mode (null / inert elsewhere). worker_clock[w] is
   // worker w's completed-superstep count, published with release semantics
@@ -211,6 +253,14 @@ class Worker {
   /// CheckControl demanded an immediate exit (caller unwinds).
   int64_t SweepOwned(bool* exited);
 
+  /// One steal attempt: picks the active peer with the most unclaimed
+  /// frontier words (the slowest owner), CAS-claims the back half of its
+  /// range, and processes the stolen words with the normal control cadence.
+  /// Returns true iff a claim succeeded (useful harvests are accumulated
+  /// into `*useful`); callers loop until it returns false. Sets `*exited`
+  /// like SweepOwned. No-op unless the steal plane is allocated.
+  bool TryStealSweep(int64_t* useful, bool* exited);
+
   /// Drains the inbox into the MonoTable. Returns updates applied.
   size_t DrainInbox();
 
@@ -249,13 +299,22 @@ class Worker {
   std::vector<VertexId> owned_;
   // Frontier sweep state. owned_words_ precomputes, per 64-row bitmap word
   // touched by this shard, the mask of bits this worker owns — the sparse
-  // sweep is then one masked load per word. worklist_ is the reusable
-  // collection scratch (no steady-state allocation).
+  // sweep is then one masked load per word, processed inline (ctz walk).
+  // The same (word, mask) list is what the steal plane publishes.
   bool frontier_ = false;
   bool sparse_sweep_ = false;       ///< current sweep strategy
   double active_fraction_ = 1.0;    ///< measured by the last sweep
   std::vector<std::pair<size_t, uint64_t>> owned_words_;
-  std::vector<VertexId> worklist_;
+  // SIMD edge kernels. span_fn_ is the dispatched span form of F' (null when
+  // --no-simd or the kernel fell back to the VM); contributions are computed
+  // wide into contrib_scratch_ (grown lazily to the largest out-degree seen,
+  // zero steady-state allocation) and then routed scalar — routing needs a
+  // per-destination ownership test and an atomic combine, which AVX2 cannot
+  // scatter.
+  static constexpr size_t kSimdMinSpan = 8;  ///< spans below this stay scalar
+  bool simd_enabled_ = false;
+  EdgeSpanFn span_fn_ = nullptr;
+  std::vector<double> contrib_scratch_;
   // Outgoing buffers/policies are indexed by *peer slot*, not worker id: a
   // worker never messages itself (local contributions go straight into the
   // MonoTable), so there are num_workers-1 buffers and peers_[slot] maps a

@@ -1,0 +1,264 @@
+// SIMD compute-plane tests (ISSUE 9): vector-vs-scalar bit-equality of the
+// span kernels across every KernelOp shape — including ±inf sentinels, NaN,
+// the aggregate identities, denormals, and unaligned/tail span lengths —
+// the combine-tile value and dirty-mask contracts, and the runtime dispatch
+// (CPUID probe ∧ POWERLOG_SIMD override).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/aggregates.h"
+#include "core/kernel.h"
+#include "core/kernel_simd.h"
+#include "datalog/ast.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+// The direct ComputeSpanAvx2/CombineTileAvx2 references below only exist on
+// x86 builds (kernel_simd.h guards the declarations); elsewhere the dispatch
+// can never select them, so comparing against the scalar reference is moot.
+#if defined(__x86_64__) || defined(__i386__)
+#define POWERLOG_TEST_HAVE_AVX2_SYMBOLS 1
+#endif
+
+namespace powerlog::simd {
+namespace {
+
+using powerlog::testing::MustCompile;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+
+/// Bitwise equality, except any-NaN == any-NaN: the header contract only
+/// guarantees NaN-ness, not payload/sign (operand scheduling picks which
+/// input NaN x86 propagates, and scalar codegen may commute what the
+/// intrinsics spell out).
+bool BitEqual(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Every KernelOp, including the shapes the engine never routes through the
+/// span path (uniform and kGeneric) — the span functions are defined for
+/// all of them and the equality contract must hold everywhere.
+const KernelOp kAllOps[] = {
+    KernelOp::kGeneric,   KernelOp::kConst,    KernelOp::kX,
+    KernelOp::kXPlusW,    KernelOp::kXPlusA,   KernelOp::kXTimesW,
+    KernelOp::kXTimesA,   KernelOp::kXOverDeg, KernelOp::kAXOverDeg,
+    KernelOp::kXOverDegA, KernelOp::kAXW,      KernelOp::kAXWB,
+};
+
+/// Interesting scalar inputs: both aggregate identities, zeros, denormals,
+/// infinities, NaN, and plain magnitudes.
+const double kSpecials[] = {0.0,  -0.0,    1.0,  -1.0,     0.85, 1e300,
+                            1e-9, kDenorm, kInf, -kInf,    kNan, 2.5};
+
+std::vector<Edge> MakeEdges(size_t n, Rng* rng, bool specials) {
+  std::vector<Edge> edges(n);
+  for (size_t i = 0; i < n; ++i) {
+    edges[i].dst = static_cast<VertexId>(rng->NextBounded(1000));
+    if (specials && rng->NextBounded(4) == 0) {
+      edges[i].weight =
+          kSpecials[rng->NextBounded(sizeof(kSpecials) / sizeof(double))];
+    } else {
+      edges[i].weight = rng->NextDouble() * 4.0 - 2.0;
+    }
+  }
+  return edges;
+}
+
+#if defined(POWERLOG_TEST_HAVE_AVX2_SYMBOLS)
+void CheckSpanBitExact(EdgeSpanFn vector_fn, const char* which) {
+  Rng rng(0x51D0);
+  // Span lengths straddling the 4- and 8-lane widths: empty, sub-vector,
+  // exact multiples, and every tail remainder. Nothing here is aligned —
+  // Edge spans come out of the CSR mid-array.
+  const size_t lengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 11, 16, 29, 64, 67};
+  for (KernelOp op : kAllOps) {
+    EdgeKernelSpec spec;
+    spec.op = op;
+    for (int round = 0; round < 200; ++round) {
+      spec.a = kSpecials[rng.NextBounded(sizeof(kSpecials) / sizeof(double))];
+      spec.b = kSpecials[rng.NextBounded(sizeof(kSpecials) / sizeof(double))];
+      const double x =
+          kSpecials[rng.NextBounded(sizeof(kSpecials) / sizeof(double))];
+      const double deg = static_cast<double>(1 + rng.NextBounded(16));
+      const size_t n = lengths[rng.NextBounded(13)];
+      std::vector<Edge> edges = MakeEdges(n, &rng, /*specials=*/true);
+      std::vector<double> scalar(n + 1, 12345.0), vec(n + 1, 54321.0);
+      ComputeSpanScalar(spec, x, deg, edges.data(), n, scalar.data());
+      vector_fn(spec, x, deg, edges.data(), n, vec.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_PRED2(BitEqual, scalar[i], vec[i])
+            << which << " " << KernelOpName(op) << " lane " << i << "/" << n
+            << " x=" << x << " w=" << edges[i].weight << " a=" << spec.a
+            << " b=" << spec.b;
+      }
+      // Neither implementation may write past the span.
+      EXPECT_EQ(scalar[n], 12345.0);
+      EXPECT_EQ(vec[n], 54321.0);
+    }
+  }
+}
+
+TEST(SimdSpan, AllShapesBitExactVsScalarRandomized) {
+  if (DetectCpuLevel() < Level::kAvx2) {
+    GTEST_SKIP() << "host CPU has no AVX2; scalar-only build";
+  }
+  CheckSpanBitExact(&ComputeSpanAvx2, "avx2");
+}
+
+TEST(SimdSpan, Avx512AllShapesBitExactVsScalarRandomized) {
+  if (DetectCpuLevel() < Level::kAvx512) {
+    GTEST_SKIP() << "host CPU has no AVX-512 F+VL";
+  }
+  CheckSpanBitExact(&ComputeSpanAvx512, "avx512");
+}
+#endif  // POWERLOG_TEST_HAVE_AVX2_SYMBOLS
+
+TEST(SimdSpan, MatchesApplyEdgeKernelLaneWise) {
+  // The scalar span function is itself only a batch form of
+  // ApplyEdgeKernel; pin that equivalence so the AVX2 test above transitively
+  // proves vector == ApplyEdgeKernel.
+  Rng rng(0xAB5E);
+  for (KernelOp op : kAllOps) {
+    if (op == KernelOp::kGeneric) continue;  // VM-owned; span zero-fills
+    EdgeKernelSpec spec;
+    spec.op = op;
+    spec.a = 0.85;
+    spec.b = -1.5;
+    const double x = rng.NextDouble() * 10.0;
+    const double deg = 3.0;
+    std::vector<Edge> edges = MakeEdges(21, &rng, /*specials=*/false);
+    std::vector<double> out(21);
+    ComputeSpanScalar(spec, x, deg, edges.data(), edges.size(), out.data());
+    for (size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_PRED2(BitEqual, out[i],
+                   ApplyEdgeKernel(spec, x, edges[i].weight, deg))
+          << KernelOpName(op) << " lane " << i;
+    }
+  }
+}
+
+#if defined(POWERLOG_TEST_HAVE_AVX2_SYMBOLS)
+void CheckCombineTileMatchesScalar(CombineTileFn vector_fn,
+                                   const char* which) {
+  Rng rng(0xC0B1);
+  const AggKind kinds[] = {AggKind::kMin, AggKind::kMax, AggKind::kSum,
+                           AggKind::kCount};
+  const size_t lengths[] = {1, 2, 3, 4, 5, 7, 8, 13, 31, 63, 64};
+  for (AggKind kind : kinds) {
+    for (int round = 0; round < 300; ++round) {
+      const size_t n = lengths[rng.NextBounded(11)];
+      std::vector<double> vals(n), acc_s(n), acc_v(n);
+      for (size_t i = 0; i < n; ++i) {
+        vals[i] = rng.NextBounded(4) == 0
+                      ? kSpecials[rng.NextBounded(12)]
+                      : rng.NextDouble() * 8.0 - 4.0;
+        acc_s[i] = rng.NextBounded(4) == 0
+                       ? kSpecials[rng.NextBounded(12)]
+                       : rng.NextDouble() * 8.0 - 4.0;
+        acc_v[i] = acc_s[i];
+      }
+      uint64_t dirty_s = 0, dirty_v = 0;
+      CombineTileScalar(kind, vals.data(), acc_s.data(), n, &dirty_s);
+      vector_fn(kind, vals.data(), acc_v.data(), n, &dirty_v);
+      EXPECT_EQ(dirty_s, dirty_v)
+          << which << " " << AggKindName(kind) << " n=" << n << " round "
+          << round;
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_PRED2(BitEqual, acc_s[i], acc_v[i])
+            << which << " " << AggKindName(kind) << " slot " << i
+            << " val=" << vals[i];
+      }
+    }
+  }
+}
+
+TEST(SimdCombineTile, ValuesAndDirtyMasksMatchScalar) {
+  if (DetectCpuLevel() < Level::kAvx2) {
+    GTEST_SKIP() << "host CPU has no AVX2; scalar-only build";
+  }
+  CheckCombineTileMatchesScalar(&CombineTileAvx2, "avx2");
+}
+
+TEST(SimdCombineTile, Avx512ValuesAndDirtyMasksMatchScalar) {
+  if (DetectCpuLevel() < Level::kAvx512) {
+    GTEST_SKIP() << "host CPU has no AVX-512 F+VL";
+  }
+  CheckCombineTileMatchesScalar(&CombineTileAvx512, "avx512");
+}
+#endif  // POWERLOG_TEST_HAVE_AVX2_SYMBOLS
+
+TEST(SimdCombineTile, DirtyBitSemantics) {
+  // Min: only strict improvements mark. A NaN candidate never improves
+  // (ordered-quiet compare) and an equal value is not an improvement.
+  {
+    double vals[4] = {1.0, 5.0, kNan, 3.0};
+    double acc[4] = {3.0, 3.0, 3.0, 3.0};
+    uint64_t dirty = 0;
+    CombineTileScalar(AggKind::kMin, vals, acc, 4, &dirty);
+    EXPECT_EQ(dirty, uint64_t{1} << 0);
+    EXPECT_EQ(acc[0], 1.0);
+    EXPECT_EQ(acc[1], 3.0);
+    EXPECT_EQ(acc[2], 3.0);  // NaN rejected
+    EXPECT_EQ(acc[3], 3.0);  // equal: no improvement, no mark
+  }
+  // Sum: nonzero contributions mark; ±0.0 is the identity and must not
+  // (NEQ_UQ compare: -0.0 == 0.0), while NaN != 0.0 is true and must mark.
+  {
+    double vals[5] = {0.0, -0.0, 2.0, kNan, -3.5};
+    double acc[5] = {1.0, 1.0, 1.0, 1.0, 1.0};
+    uint64_t dirty = 0;
+    CombineTileScalar(AggKind::kSum, vals, acc, 5, &dirty);
+    EXPECT_EQ(dirty, (uint64_t{1} << 2) | (uint64_t{1} << 3) |
+                         (uint64_t{1} << 4));
+    EXPECT_EQ(acc[2], 3.0);
+    EXPECT_TRUE(std::isnan(acc[3]));
+  }
+  // OR-accumulation: pre-set dirty bits survive.
+  {
+    double vals[2] = {0.0, 0.0};
+    double acc[2] = {0.0, 0.0};
+    uint64_t dirty = uint64_t{1} << 63;
+    CombineTileScalar(AggKind::kSum, vals, acc, 2, &dirty);
+    EXPECT_EQ(dirty, uint64_t{1} << 63);
+  }
+}
+
+TEST(SimdDispatch, EnvOverrideForcesScalar) {
+  ASSERT_EQ(setenv("POWERLOG_SIMD", "scalar", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveLevel(), Level::kScalar);
+  EXPECT_EQ(SelectSpanFn(Level::kScalar), &ComputeSpanScalar);
+  EXPECT_EQ(SelectCombineTileFn(Level::kScalar), &CombineTileScalar);
+  ASSERT_EQ(setenv("POWERLOG_SIMD", "avx2", 1), 0);
+  // An override clamps downward only: "avx2" never exceeds the CPU
+  // capability, and on an AVX-512 host it pins the level at kAvx2.
+  EXPECT_EQ(ResolveLevel(), DetectCpuLevel() < Level::kAvx2
+                                ? DetectCpuLevel()
+                                : Level::kAvx2);
+  ASSERT_EQ(unsetenv("POWERLOG_SIMD"), 0);
+  EXPECT_EQ(ResolveLevel(), DetectCpuLevel());
+  EXPECT_STREQ(LevelName(Level::kScalar), "scalar");
+  EXPECT_STREQ(LevelName(Level::kAvx2), "avx2");
+  EXPECT_STREQ(LevelName(Level::kAvx512), "avx512");
+}
+
+TEST(SimdDispatch, BuildKernelInstallsSpanFnForSpecializedShapes) {
+  // sssp compiles to kXPlusW — specialized, so the span form is installed
+  // and agrees with the dispatch level's selection.
+  Kernel sssp = MustCompile("sssp");
+  ASSERT_TRUE(sssp.scatter.specialized());
+  ASSERT_NE(sssp.scatter_span, nullptr);
+  EXPECT_EQ(sssp.scatter_span, SelectSpanFn(ActiveLevel()));
+}
+
+}  // namespace
+}  // namespace powerlog::simd

@@ -1,0 +1,282 @@
+// Engine-level SIMD + work-stealing tests (ISSUE 9): vector-vs-scalar
+// bit-equality of full engine runs across every execution mode (crossed with
+// the frontier escape hatch), dispatch/counter surfacing, and intra-shard
+// work-stealing determinism under deliberate 2-fast/1-slow skew.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "core/kernel_simd.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "runtime/engine.h"
+#include "test_util.h"
+
+namespace powerlog::runtime {
+namespace {
+
+using powerlog::testing::MustCompile;
+
+// Exact programs only (min/max/count, plus a dyadic sum): their fixpoints
+// are bit-reproducible regardless of arrival order, so any vector-vs-scalar
+// or steal-vs-no-steal difference is a real defect, not rounding noise.
+// Degrees are kept >= 10 so spans clear the worker's kSimdMinSpan and the
+// vector path actually executes (SmallWeightedGraph's degree 1-4 would
+// silently fall back to the scalar loops).
+
+constexpr const char* kDagSumSource = R"(
+@name dagsum.
+seed(X,v) :- X = 0, v = 1.
+dagsum(Y,sum[v1]) :- seed(Y,v2), v1 = v2;
+                  :- dagsum(X,v), edge(X,Y,w), v1 = v*w.
+)";
+
+/// Weighted digraph with out-degree 10..13 (weights in (0, 0.5]).
+Graph DenseWeightedGraph(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b;
+  const VertexId n = 60;
+  b.EnsureVertices(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const int degree = 10 + static_cast<int>(rng.NextBounded(4));
+    for (int k = 0; k < degree; ++k) {
+      VertexId d = static_cast<VertexId>(rng.NextBounded(n));
+      if (d == v) d = (d + 1) % n;
+      b.AddEdge(v, d, 0.05 + 0.45 * rng.NextDouble());
+    }
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  return std::move(b).Build(opts).ValueOrDie();
+}
+
+/// Dense DAG where the edge v -> v+step carries weight 2^-step, so every
+/// path into vertex v has mass exactly 2^-v and any partial sum at v is an
+/// integer multiple of 2^-v. With n = 48 the path counts stay below 2^53,
+/// so every partial sum is exactly representable and the dagsum fixpoint is
+/// bit-identical in ANY combine order — while degree 10 keeps spans over
+/// the worker's vector threshold so the kXTimesW span path engages.
+Graph DenseDyadicDag() {
+  GraphBuilder b;
+  const VertexId n = 48;
+  b.EnsureVertices(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId step = 1; step <= 10; ++step) {
+      if (v + step < n) b.AddEdge(v, v + step, std::ldexp(1.0, -int(step)));
+    }
+  }
+  GraphBuilder::Options opts;
+  opts.dedup = true;
+  return std::move(b).Build(opts).ValueOrDie();
+}
+
+struct ExactCase {
+  const char* label;
+  Kernel kernel;
+  Graph graph;
+};
+
+std::vector<ExactCase> ExactPrograms() {
+  std::vector<ExactCase> cases;
+  cases.push_back({"sssp/min", MustCompile("sssp"), DenseWeightedGraph(17)});
+  cases.push_back({"viterbi/max", MustCompile("viterbi"), DenseDyadicDag()});
+  auto dagsum = BuildKernelFromSource(kDagSumSource);
+  EXPECT_TRUE(dagsum.ok()) << dagsum.status().ToString();
+  cases.push_back({"dagsum/sum", std::move(dagsum).ValueOrDie(),
+                   DenseDyadicDag()});
+  return cases;
+}
+
+const ExecMode kAllModes[] = {ExecMode::kSync, ExecMode::kAsync,
+                              ExecMode::kAap, ExecMode::kSyncAsync,
+                              ExecMode::kStaleSync};
+
+// ---------------------------------------------------------------------------
+// SIMD engine parity.
+
+TEST(SimdEngineParity, OnVsOffBitExactInEveryModeAndFrontierCombo) {
+  for (ExactCase& c : ExactPrograms()) {
+    for (ExecMode mode : kAllModes) {
+      for (bool frontier : {true, false}) {
+        EngineOptions options;
+        options.mode = mode;
+        options.num_workers = 3;
+        options.network.instant = true;
+        options.max_wall_seconds = 30.0;
+        options.frontier = frontier;
+        options.simd = true;
+        auto vec = Engine(c.graph, c.kernel, options).Run();
+        options.simd = false;  // the --no-simd escape hatch
+        auto scal = Engine(c.graph, c.kernel, options).Run();
+        ASSERT_TRUE(vec.ok()) << c.label << ": " << vec.status().ToString();
+        ASSERT_TRUE(scal.ok()) << c.label << ": " << scal.status().ToString();
+        EXPECT_TRUE(vec->stats.converged) << c.label << " " << ExecModeName(mode);
+        EXPECT_TRUE(scal->stats.converged) << c.label << " " << ExecModeName(mode);
+        // operator== on the vectors: element-wise bitwise-equal doubles.
+        EXPECT_EQ(vec->values, scal->values)
+            << c.label << " diverged under " << ExecModeName(mode)
+            << " frontier=" << frontier;
+        EXPECT_EQ(scal->stats.simd_dispatch, "off");
+        EXPECT_EQ(scal->stats.vector_edges, 0) << c.label;
+        // The weighted specialized shapes really took the span path (their
+        // spans clear kSimdMinSpan on these dense graphs).
+        EXPECT_GT(vec->stats.vector_edges, 0)
+            << c.label << " " << ExecModeName(mode);
+      }
+    }
+  }
+}
+
+TEST(SimdEngineParity, DispatchLevelAndCountersSurfaceInMetrics) {
+  Kernel k = MustCompile("sssp");
+  Graph g = DenseWeightedGraph(23);
+  EngineOptions options;
+  options.num_workers = 2;
+  options.network.instant = true;
+  options.collect_metrics = true;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->stats.simd_dispatch, simd::LevelName(simd::ActiveLevel()));
+  auto counter = [&](const std::string& name) -> int64_t {
+    for (const auto& [n, v] : run->metrics.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return -1;
+  };
+  EXPECT_EQ(counter("simd.vector_edges"), run->stats.vector_edges);
+  EXPECT_EQ(counter("simd.scalar_edges"), run->stats.scalar_edges);
+  EXPECT_EQ(counter("steal.attempts"), run->stats.steal_attempts);
+  EXPECT_EQ(counter("steal.words"), run->stats.steal_words);
+  // Short spans (< kSimdMinSpan) and the VM fallback are the only scalar
+  // residue; on this degree-10+ graph the span path carries the bulk.
+  EXPECT_GT(run->stats.vector_edges, run->stats.scalar_edges);
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing.
+
+/// All reachable work lives in worker 0's range-partition shard; workers 1
+/// and 2 own only isolated vertices, so every harvest they make must have
+/// come through the steal plane. The reachable part is 8 layers of 16
+/// vertices with complete bipartite edges between consecutive layers,
+/// arranged to defeat two single-host accidents:
+///
+///  - Sweeps visit bitmap words in ascending order, so edges pointing at
+///    *higher* ids cascade inside one sweep (a destination marked dirty is
+///    reached later in the same scan) and the whole graph would collapse
+///    into one dense sweep. The seed therefore feeds the TOP word and each
+///    layer feeds the word BELOW it: layer j lives in word 7-j, and a
+///    sweep can never advance the wave by more than one layer.
+///  - 16-17 active of 512 owned keeps every sweep under kSparseThreshold,
+///    so the owner publishes its shard, and with per-edge compute
+///    inflation each layer sweep grinds ~128ms in a low-indexed word while
+///    the words above it stay unclaimed — a steal window wide enough to
+///    survive single-CPU scheduling, where a thief only observes the
+///    victim mid-sweep across a preemption.
+Graph SkewLayers(VertexId n_total) {
+  GraphBuilder b;
+  b.EnsureVertices(n_total);
+  auto base = [](int layer) { return static_cast<VertexId>((7 - layer) * 64); };
+  for (VertexId d = 0; d < 16; ++d) {
+    b.AddEdge(0, base(0) + d, 1.0 + 0.25 * (d % 5));
+  }
+  for (int layer = 0; layer + 1 < 8; ++layer) {
+    for (VertexId s = 0; s < 16; ++s) {
+      for (VertexId d = 0; d < 16; ++d) {
+        const double w = 1.0 + 0.25 * ((s * 7 + d) % 5);
+        b.AddEdge(base(layer) + s, base(layer + 1) + d, w);
+      }
+    }
+  }
+  return std::move(b).Build(GraphBuilder::Options{}).ValueOrDie();
+}
+
+EngineOptions SkewOptions(ExecMode mode, bool steal) {
+  EngineOptions options;
+  options.mode = mode;
+  options.num_workers = 3;
+  options.partition = Partitioner::Kind::kRange;
+  options.network.instant = true;
+  options.max_wall_seconds = 60.0;
+  options.steal = steal;
+  // 0.5ms per edge application -> 8ms per vertex, ~128ms per 16-vertex
+  // layer sweep: the owner is the deliberate straggler.
+  options.compute_inflation_ns_per_edge = 500000.0;
+  return options;
+}
+
+TEST(StealDeterminism, TwoFastOneSlowBitExactAcrossModes) {
+  Kernel k = MustCompile("sssp");
+  // 1536 vertices / 3 range shards: worker 0 owns [0, 512) = 8 frontier
+  // words; the descending wave grinds words 7, 6, ..., 0 one superstep at
+  // a time, so from word 5 down at least two words stay claimable.
+  Graph g = SkewLayers(1536);
+  // The single-threaded no-steal sync run is the ground truth.
+  EngineOptions ref_options = SkewOptions(ExecMode::kSync, /*steal=*/false);
+  ref_options.num_workers = 1;
+  ref_options.compute_inflation_ns_per_edge = 0.0;
+  auto ref = Engine(g, k, ref_options).Run();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  for (ExecMode mode :
+       {ExecMode::kSync, ExecMode::kSyncAsync, ExecMode::kStaleSync}) {
+    auto stolen = Engine(g, k, SkewOptions(mode, /*steal=*/true)).Run();
+    auto honest = Engine(g, k, SkewOptions(mode, /*steal=*/false)).Run();
+    ASSERT_TRUE(stolen.ok()) << stolen.status().ToString();
+    ASSERT_TRUE(honest.ok()) << honest.status().ToString();
+    EXPECT_TRUE(stolen->stats.converged) << ExecModeName(mode);
+    // Min aggregation is order-independent, so stealing must change
+    // nothing — bit-exact against both the no-steal run and the
+    // single-threaded reference.
+    EXPECT_EQ(stolen->values, honest->values) << ExecModeName(mode);
+    EXPECT_EQ(stolen->values, ref->values) << ExecModeName(mode);
+    EXPECT_EQ(honest->stats.steal_attempts, 0) << ExecModeName(mode);
+    EXPECT_EQ(honest->stats.steal_words, 0) << ExecModeName(mode);
+    // The skew is extreme and sustained (each layer superstep grinds for
+    // ~128ms with idle peers), so the fast workers must actually have
+    // stolen at least once.
+    EXPECT_GT(stolen->stats.steal_words, 0) << ExecModeName(mode);
+    EXPECT_GE(stolen->stats.steal_words, stolen->stats.steal_attempts)
+        << ExecModeName(mode);
+  }
+}
+
+TEST(StealDeterminism, StealOffAndSingleWorkerNeverSteal) {
+  Kernel k = MustCompile("sssp");
+  Graph g = SkewLayers(256);
+  for (uint32_t workers : {1u, 3u}) {
+    EngineOptions options;
+    options.num_workers = workers;
+    options.network.instant = true;
+    options.steal = workers == 1;  // single worker: plane never allocated
+    auto run = Engine(g, k, options).Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->stats.steal_attempts, 0);
+    EXPECT_EQ(run->stats.steal_words, 0);
+  }
+}
+
+TEST(StealDeterminism, PinnedRunMatchesUnpinned) {
+  // Pinning is advisory placement only — it must never change results.
+  // (On this container it degenerates to sched_setaffinity on one CPU and
+  // hugepage advice; the test asserts the degradation is value-silent.)
+  Kernel k = MustCompile("sssp");
+  Graph g = DenseWeightedGraph(31);
+  EngineOptions options;
+  options.num_workers = 3;
+  options.network.instant = true;
+  options.pin = true;
+  auto pinned = Engine(g, k, options).Run();
+  options.pin = false;
+  auto unpinned = Engine(g, k, options).Run();
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  ASSERT_TRUE(unpinned.ok()) << unpinned.status().ToString();
+  EXPECT_EQ(pinned->values, unpinned->values);
+}
+
+}  // namespace
+}  // namespace powerlog::runtime
