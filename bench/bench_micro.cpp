@@ -22,6 +22,7 @@
 #include "eval/mra.h"
 #include "eval/semi_naive.h"
 #include "graph/generators.h"
+#include "powerlog/serving.h"
 #include "runtime/message.h"
 #include "runtime/network.h"
 #include "core/kernel.h"
@@ -567,6 +568,35 @@ void BM_TraceSpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceSpanEnabled);
+
+// Serving-plane per-request tracking (StartQuery → FinishQuery round trip:
+// id draw, inflight bookkeeping, RED counters + latency histogram, the
+// slow-query ring). The untraced variant is what every tracked HTTP request
+// pays with --trace-out off; the traced variant adds the request-span ring
+// emissions. bench_compare reports the difference as
+// serving_trace_overhead_ns.
+void BM_ServingQueryTrack(benchmark::State& state) {
+  serving::ServingCatalog catalog(serving::ServingOptions{});
+  for (auto _ : state) {
+    const int64_t id = catalog.StartQuery("run", "bench/bench");
+    catalog.FinishQuery(id, Status::OK());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServingQueryTrack);
+
+void BM_ServingQueryTrackTraced(benchmark::State& state) {
+  serving::ServingOptions options;
+  options.trace = true;
+  serving::ServingCatalog catalog(std::move(options));
+  for (auto _ : state) {
+    const int64_t id = catalog.StartQuery("run", "bench/bench");
+    catalog.FinishQuery(id, Status::OK());
+  }
+  trace::Tracer::UnregisterCurrentThread();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServingQueryTrackTraced);
 
 void BM_ConditionCheck(benchmark::State& state) {
   const auto entry = datalog::GetCatalogEntry(

@@ -27,16 +27,23 @@
 //   --max-queue <n>             runs allowed to wait for a slot (default 8)
 //   --deadline-ms <n>           default per-query deadline (default 30000)
 //   --cache <n>                 result-cache capacity, 0 disables (default 64)
+//   --trace-out <file>          enable query-level tracing; write the merged
+//                               Chrome/Perfetto trace there on shutdown
+//   --metrics-json <file>       rewrite the metrics snapshot there every
+//                               second (and once more on shutdown)
+//   --slow-query-ms <n>         log queries slower than n ms end-to-end
 //
-// Routes: /catalog /lookup /topk /run /version /mutate plus the exposition
-// built-ins /metrics /metrics.json /healthz. The serving.* counters (cache
-// hits, admissions, graph builds, mutation paths) ride along on /metrics.
+// Routes: /catalog /lookup /topk /run /version /mutate /debug/queries plus
+// the exposition built-ins /metrics /metrics.json /healthz /trace. The
+// serving.* counters (cache hits, admissions, graph builds, mutation paths)
+// and the per-route RED instruments ride along on /metrics.
 //
 // SIGINT/SIGTERM shut down cleanly: stop accepting, drain in-flight
 // handlers, join every thread, exit 0. Both "--flag value" and
 // "--flag=value" spellings are accepted.
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <unistd.h>
@@ -55,7 +62,9 @@ int Usage(const char* argv0) {
                "[--mode m] [--staleness s|auto] [--workers n] "
                "[--handler-threads n] "
                "[--max-inflight n] [--max-queue n] [--deadline-ms n] "
-               "[--cache n] [--no-simd] [--no-steal] [--pin|--no-pin]\n",
+               "[--cache n] [--trace-out file] [--metrics-json file] "
+               "[--slow-query-ms n] [--no-simd] [--no-steal] "
+               "[--pin|--no-pin]\n",
                argv0);
   return 2;
 }
@@ -77,6 +86,26 @@ bool ParseIntFlag(const char* flag, const char* value, int64_t min_value,
   return true;
 }
 
+// Artifact writing with exit-code discipline: a requested artifact that
+// cannot be produced is a failed run, not a warning.
+bool WriteArtifact(const char* what, const std::string& path,
+                   const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s output '%s' for writing\n", what,
+                 path.c_str());
+    return false;
+  }
+  out << body << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s output '%s' failed\n", what,
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +114,8 @@ int main(int argc, char** argv) {
   int64_t port = 0;
   int64_t handler_threads = 4;
   std::string mode_name = "sync-async";
+  std::string trace_out;
+  std::string metrics_json;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -141,6 +172,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache" && (value = next())) {
       if (!ParseIntFlag("--cache", value, 0, &n)) return 2;
       options.cache_capacity = static_cast<size_t>(n);
+    } else if (arg == "--trace-out" && (value = next())) {
+      trace_out = value;
+      options.trace = true;
+    } else if (arg == "--metrics-json" && (value = next())) {
+      metrics_json = value;
+    } else if (arg == "--slow-query-ms" && (value = next())) {
+      if (!ParseIntFlag("--slow-query-ms", value, 1, &n)) return 2;
+      options.slow_query_ms = n;
     } else if (arg == "--no-simd") {
       options.engine.simd = false;
     } else if (arg == "--no-steal") {
@@ -191,7 +230,7 @@ int main(int argc, char** argv) {
   ExpositionServer server;
   server.SetHandler(serving::MakeServingHandler(&catalog));
   server.SetSources([&catalog] { return catalog.Metrics(); },
-                    [] { return std::string(); });
+                    [&catalog] { return catalog.TraceJson(); });
   auto bound = server.Start(static_cast<int>(port),
                             static_cast<int>(handler_threads));
   if (!bound.ok()) {
@@ -207,8 +246,17 @@ int main(int argc, char** argv) {
   sa.sa_handler = OnSignal;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  int ticks = 0;
   while (g_shutdown == 0) {
     usleep(50 * 1000);
+    // Periodic metrics snapshot for offline collectors (one rewrite per
+    // second keeps the file fresh without hammering the registry).
+    if (!metrics_json.empty() && ++ticks % 20 == 0) {
+      if (!WriteArtifact("metrics", metrics_json,
+                         catalog.Metrics().ToJson())) {
+        return 1;
+      }
+    }
   }
 
   // Clean shutdown: detach the metrics source (blocks on in-flight scrapes),
@@ -219,6 +267,17 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   server.ClearSources();
   server.Stop();
+  // Export artifacts after the drain so every finished request's spans and
+  // counters are in the files.
+  bool artifacts_ok = true;
+  if (!trace_out.empty()) {
+    artifacts_ok &= WriteArtifact("trace", trace_out, catalog.TraceJson());
+  }
+  if (!metrics_json.empty()) {
+    artifacts_ok &=
+        WriteArtifact("metrics", metrics_json, catalog.Metrics().ToJson());
+  }
+  if (!artifacts_ok) return 1;
   std::printf("clean exit: all handler threads joined\n");
   return 0;
 }

@@ -37,6 +37,12 @@ on a loaded host:
                             path every production run pays with the tracer
                             compiled in); hard ceiling 10 ns — a couple of
                             predictable branches, never a clock read.
+  serving_trace_overhead_ns per-request cost the serving tracer adds to a
+                            tracked StartQuery→FinishQuery round trip
+                            (BM_ServingQueryTrackTraced − BM_ServingQueryTrack,
+                            ISSUE 10); ceiling 2000 ns. Informational on the
+                            first run (baseline predates the metric) and
+                            gated thereafter, like the mutation floor.
   mutation_speedup_vs_recompute
                             worst-cell incremental-Apply vs cold-recompute
                             wall ratio from bench_mutation (ISSUE 7); must
@@ -74,6 +80,7 @@ SWEEP_SPEEDUP_FLOOR = 5.0   # frontier sweep vs full-scan replica (ISSUE 4)
 EDGE_SPEEDUP_FLOOR = 1.5    # specialized scatter vs stack VM (ISSUE 4)
 FLAT_ALLOCS_CEILING = 1.0   # combining-buffer steady-state allocs/M
 TRACE_DISABLED_CEILING_NS = 10.0  # disabled SpanGuard cost (ISSUE 5)
+SERVING_TRACE_OVERHEAD_CEILING_NS = 2000.0  # per-request tracing add (ISSUE 10)
 MUTATION_SPEEDUP_FLOOR = 5.0  # incremental Apply vs cold recompute (ISSUE 7)
 STALESYNC_SPEEDUP_FLOOR = 1.0  # best-cell min(sync,async)/stale-sync (ISSUE 8)
 VEC_EDGE_SPEEDUP_FLOOR = 4.0  # SIMD span kernel vs scalar per-edge (ISSUE 9)
@@ -200,6 +207,16 @@ def collect(args):
     edge_speedup = _ratio("BM_EdgeApplySpecialized", "BM_EdgeApplyVM")
     flat = micro.get("BM_CombiningFlatSteadyState", {})
 
+    # Serving-plane request tracking (ISSUE 10): the traced round trip minus
+    # the untraced one isolates what the request spans cost per query.
+    serving_track_ns = _num(
+        micro.get("BM_ServingQueryTrack", {}).get("cpu_time_ns"))
+    serving_traced_ns = _num(
+        micro.get("BM_ServingQueryTrackTraced", {}).get("cpu_time_ns"))
+    serving_trace_overhead = None
+    if serving_track_ns is not None and serving_traced_ns is not None:
+        serving_trace_overhead = max(0.0, serving_traced_ns - serving_track_ns)
+
     # Per-shape SIMD span speedups (ISSUE 9): the dispatched vector kernel
     # against the per-edge scalar loop over the same span.
     vec_speedups = {
@@ -237,6 +254,8 @@ def collect(args):
                 micro.get("BM_TraceSpanDisabled", {}).get("cpu_time_ns"),
             "trace_enabled_span_ns":
                 micro.get("BM_TraceSpanEnabled", {}).get("cpu_time_ns"),
+            "serving_query_track_ns": serving_track_ns,
+            "serving_trace_overhead_ns": serving_trace_overhead,
             # Worst cell gates: one slow (program, dataset) pair is a
             # regression even if the others still fly.
             "mutation_speedup_vs_recompute":
@@ -362,6 +381,27 @@ def compare(args):
         notes.append("trace_disabled_span_ns: {:.2f} (ceiling {:.1f})".format(
             span_ns, TRACE_DISABLED_CEILING_NS))
 
+    # Serving-plane tracing overhead (ISSUE 10): same informational-until-
+    # carried contract as the mutation floor — a ceiling, not a floor.
+    serve_ovh = _num(cm.get("serving_trace_overhead_ns"))
+    base_serve_ovh = _num(bm.get("serving_trace_overhead_ns"))
+    if serve_ovh is None:
+        if base_serve_ovh is not None:
+            failures.append("serving_trace_overhead_ns: missing from current run")
+        else:
+            notes.append(
+                "serving_trace_overhead_ns: not present (pre-ISSUE-10 run)")
+    elif serve_ovh >= SERVING_TRACE_OVERHEAD_CEILING_NS:
+        line = "serving_trace_overhead_ns: {:.0f} >= ceiling {:.0f}".format(
+            serve_ovh, SERVING_TRACE_OVERHEAD_CEILING_NS)
+        if base_serve_ovh is None:
+            warnings.append(line + " (informational: baseline lacks the metric)")
+        else:
+            failures.append(line)
+    else:
+        notes.append("serving_trace_overhead_ns: {:.0f} (ceiling {:.0f})".format(
+            serve_ovh, SERVING_TRACE_OVERHEAD_CEILING_NS))
+
     # Mutation-plane floor (ISSUE 7). Informational on the first run — a
     # baseline that predates the metric can't vouch for the host — and a hard
     # absolute gate once any baseline has carried it.
@@ -471,7 +511,7 @@ def compare(args):
     for name in ("fabric_spsc_updates_per_sec", "fabric_mutex_updates_per_sec",
                  "sweep_frontier_rows_per_sec", "sweep_fullscan_rows_per_sec",
                  "edge_vm_edges_per_sec", "edge_specialized_edges_per_sec",
-                 "trace_enabled_span_ns"):
+                 "trace_enabled_span_ns", "serving_query_track_ns"):
         b, c = _num(bm.get(name)), _num(cm.get(name))
         if b and c:
             notes.append("{} (info): {} -> {} ({:+.1f}%)".format(

@@ -101,14 +101,18 @@ else
   # result cache moves, and verify SIGTERM produces a clean joined shutdown.
   echo "==> serving: boot powerlog_serve (pagerank/flickr, ephemeral port)"
   SERVE_LOG="$(mktemp)"
+  SERVE_TMP="$(mktemp -d)"
   build/examples/powerlog_serve --pair pagerank:flickr --port 0 \
-      --workers 4 --cache 16 >"$SERVE_LOG" 2>&1 &
+      --workers 4 --cache 16 \
+      --trace-out "$SERVE_TMP/serve.trace.json" --slow-query-ms 5000 \
+      >"$SERVE_LOG" 2>&1 &
   SERVE_PID=$!
   serve_fail() {
     echo "serving stage failed: $1" >&2
     cat "$SERVE_LOG" >&2
     kill -KILL "$SERVE_PID" 2>/dev/null || true
     rm -f "$SERVE_LOG"
+    rm -rf "$SERVE_TMP"
     exit 1
   }
   PORT=""
@@ -166,6 +170,22 @@ else
   grep -q '^powerlog_serving_graph_builds 2$' <<<"$METRICS" \
       || serve_fail "mutation did not advance the graph build count"
 
+  # Query-level observability (ISSUE 10): the requests above were tracked —
+  # /debug/queries must show them with phase timings, and the per-route RED
+  # instruments must have moved.
+  echo "==> serving: /debug/queries + per-route RED metrics"
+  DEBUGQ="$(curl -sf "$BASE/debug/queries")" || serve_fail "/debug/queries"
+  grep -q '"slowest":\[{' <<<"$DEBUGQ" \
+      || serve_fail "/debug/queries recorded no completed queries"
+  grep -q '"route":"run"' <<<"$DEBUGQ" \
+      || serve_fail "/debug/queries missing the /run record"
+  grep -q '"exec_ms":' <<<"$DEBUGQ" \
+      || serve_fail "/debug/queries missing phase timings"
+  grep -q '^powerlog_serving_red_run_requests [1-9]' <<<"$METRICS" \
+      || serve_fail "RED request counter did not move"
+  grep -q '^powerlog_serving_latency_run_bucket{le=' <<<"$METRICS" \
+      || serve_fail "RED latency histogram missing"
+
   echo "==> serving: SIGTERM clean shutdown"
   kill -TERM "$SERVE_PID"
   SERVE_RC=0
@@ -173,7 +193,19 @@ else
   [[ "$SERVE_RC" -eq 0 ]] || serve_fail "exit code $SERVE_RC on SIGTERM"
   grep -q "clean exit: all handler threads joined" "$SERVE_LOG" \
       || serve_fail "shutdown did not join handler threads"
+
+  # The request path above must export as one connected tree: serving-side
+  # request/phase spans well nested, engine rings in the same file, and the
+  # handler→worker query.run flow arrows matched.
+  echo "==> serving: check_trace.py on the serve-produced trace"
+  python3 scripts/check_trace.py "$SERVE_TMP/serve.trace.json" \
+      --require serving.request.run --require serving.request.lookup \
+      --require serving.request.topk --require serving.request.mutate \
+      --require serving.queue --require serving.exec \
+      --require serving.patch --require serving.certify \
+      || serve_fail "serve trace failed validation"
   rm -f "$SERVE_LOG"
+  rm -rf "$SERVE_TMP"
 fi
 
 if [[ "$SKIP_STALESYNC" -eq 1 ]]; then

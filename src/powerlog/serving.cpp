@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -30,6 +31,50 @@ void AppendJsonNumber(std::string* out, double v) {
     return;
   }
   out->append(StringFormat("%.17g", v));
+}
+
+/// Thread-local phase sink for the query being served on this thread.
+/// StartQuery arms it; RunImpl/Apply write phase timings into it lock-free
+/// (the request thread owns both ends); FinishQuery merges it into the
+/// debug record under the mutex. JsonError stamps the failing StatusCode
+/// here so the HTTP handler does not have to thread a Status out of every
+/// route arm.
+struct QueryPhaseSink {
+  int64_t id = 0;  ///< 0 = no query tracked on this thread
+  double queue_ms = 0.0;
+  double exec_ms = 0.0;
+  uint64_t version = 0;
+  bool cached = false;
+  const char* span = nullptr;  ///< open request-span name (static storage)
+  StatusCode status = StatusCode::kOk;
+};
+thread_local QueryPhaseSink t_query;
+
+/// Event rings store the name *pointer*, so span names must have static
+/// storage — map the route token onto a literal.
+const char* RouteSpanName(const char* route) {
+  if (std::strcmp(route, "run") == 0) return "serving.request.run";
+  if (std::strcmp(route, "lookup") == 0) return "serving.request.lookup";
+  if (std::strcmp(route, "topk") == 0) return "serving.request.topk";
+  if (std::strcmp(route, "mutate") == 0) return "serving.request.mutate";
+  return "serving.request";
+}
+
+/// Metric-name-safe status token (StatusCodeToString has spaces).
+const char* StatusCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kNotSupported: return "not_supported";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kIOError: return "io_error";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kConditionViolated: return "condition_violated";
+    case StatusCode::kTimeout: return "timeout";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -103,7 +148,10 @@ Result<MutationStats> Materialization::Apply(const MutationBatch& batch) {
   out.ops_requested = batch.size();
   out.version = resident->version;
 
-  auto applied = ApplyMutationBatch(*resident->graph, batch);
+  auto applied = [&] {
+    trace::SpanGuard patch_span(catalog_->tracer_.get(), "serving.patch");
+    return ApplyMutationBatch(*resident->graph, batch);
+  }();
   if (!applied.ok()) return applied.status();
   out.edges_added = applied->edges_added;
   out.edges_removed = applied->edges_removed;
@@ -122,28 +170,42 @@ Result<MutationStats> Materialization::Apply(const MutationBatch& batch) {
   auto new_graph = std::make_shared<const Graph>(std::move(applied->graph));
   if (kernel_.uses_in_edges) (void)new_graph->Reverse();
 
-  auto plan = runtime::PlanReconvergence(kernel_, *resident->graph, *new_graph,
-                                         applied->ops, resident->values);
+  auto plan = [&] {
+    trace::SpanGuard plan_span(catalog_->tracer_.get(), "serving.plan");
+    return runtime::PlanReconvergence(kernel_, *resident->graph, *new_graph,
+                                      applied->ops, resident->values);
+  }();
   if (!plan.ok()) return plan.status();
   out.path = runtime::ReconvergePathName(plan->path);
   out.affected_vertices = plan->affected_vertices;
 
   runtime::EngineResult reconverged;
-  if (plan->path == runtime::ReconvergePath::kRecompute) {
-    // Pause-and-absorb: a cold fixpoint on the new snapshot, while the old
-    // version keeps serving until the swap below.
-    RunOptions run_options;
-    run_options.engine = catalog_->options_.engine;
-    auto cold = PowerLog::Run(kernel_, *new_graph, run_options);
-    if (!cold.ok()) return cold.status();
-    reconverged.values = std::move(cold->values);
-    reconverged.stats = std::move(cold->stats);
-  } else {
-    runtime::Engine engine(*new_graph, kernel_, catalog_->options_.engine);
-    auto warm = engine.Resume(plan->warm);
-    if (!warm.ok()) return warm.status();
-    reconverged = std::move(warm).ValueOrDie();
+  const int64_t exec_t0 = NowMicros();
+  {
+    trace::SpanGuard exec_span(catalog_->tracer_.get(), "serving.exec");
+    if (plan->path == runtime::ReconvergePath::kRecompute) {
+      // Pause-and-absorb: a cold fixpoint on the new snapshot, while the old
+      // version keeps serving until the swap below.
+      RunOptions run_options;
+      run_options.engine = catalog_->options_.engine;
+      catalog_->StampRunTrace(&run_options.engine, "query.run");
+      auto cold = PowerLog::Run(kernel_, *new_graph, run_options);
+      if (!cold.ok()) return cold.status();
+      reconverged.values = std::move(cold->values);
+      reconverged.stats = std::move(cold->stats);
+    } else {
+      runtime::EngineOptions engine_options = catalog_->options_.engine;
+      catalog_->StampRunTrace(&engine_options, "query.run");
+      runtime::Engine engine(*new_graph, kernel_, engine_options);
+      auto warm = engine.Resume(plan->warm);
+      if (!warm.ok()) return warm.status();
+      reconverged = std::move(warm).ValueOrDie();
+    }
   }
+  if (t_query.id != 0) {
+    t_query.exec_ms = static_cast<double>(NowMicros() - exec_t0) / 1e3;
+  }
+  trace::SpanGuard certify_span(catalog_->tracer_.get(), "serving.certify");
   if (!reconverged.stats.converged) {
     return Status::Timeout(StringFormat(
         "mutation re-convergence on '%s'/'%s' missed the engine caps; "
@@ -180,6 +242,7 @@ Result<MutationStats> Materialization::Apply(const MutationBatch& batch) {
       break;
   }
 
+  if (t_query.id != 0) t_query.version = head.version;
   out.version = head.version;
   out.engine = reconverged.stats;
   out.apply_seconds = static_cast<double>(NowMicros() - t0) / 1e6;
@@ -198,6 +261,150 @@ ServingCatalog::ServingCatalog(ServingOptions options)
   // The serving plane owns exposition wiring; a per-run attachment would
   // detach the server's sources after the first materialisation.
   options_.engine.exposition = nullptr;
+  if (options_.trace) {
+    tracer_ = std::make_unique<trace::Tracer>(options_.trace_ring_events);
+  }
+}
+
+int64_t ServingCatalog::StartQuery(const char* route, std::string key) {
+  const int64_t id = next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  t_query = QueryPhaseSink{};
+  t_query.id = id;
+  if (tracer_ != nullptr) {
+    if (trace::Tracer::Current() == nullptr) {
+      // First query on this handler thread: give it a ring. Rings are
+      // reused by name, so the count only grows with the thread pool.
+      const int64_t ring = serving_rings_.fetch_add(1, std::memory_order_relaxed);
+      tracer_->RegisterCurrentThread(
+          StringFormat("serving.h%lld", static_cast<long long>(ring)));
+    }
+    t_query.span = RouteSpanName(route);
+    trace::Tracer::Current()->Emit(trace::EventType::kSpanBegin, t_query.span,
+                                   static_cast<double>(id));
+  }
+  QueryRecord rec;
+  rec.id = id;
+  rec.route = route;
+  rec.key = std::move(key);
+  rec.start_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(debug_mutex_);
+    inflight_.emplace(id, std::move(rec));
+  }
+  return id;
+}
+
+void ServingCatalog::FinishQuery(int64_t id, const Status& status) {
+  const int64_t now = NowMicros();
+  if (t_query.span != nullptr && trace::Tracer::Current() != nullptr) {
+    trace::Tracer::Current()->Emit(trace::EventType::kSpanEnd, t_query.span,
+                                   static_cast<double>(id));
+  }
+  QueryRecord rec;
+  {
+    std::lock_guard<std::mutex> lock(debug_mutex_);
+    auto it = inflight_.find(id);
+    if (it != inflight_.end()) {
+      rec = std::move(it->second);
+      inflight_.erase(it);
+    } else {
+      rec.id = id;  // FinishQuery without StartQuery: record what we can
+    }
+  }
+  // An explicit error Status wins; otherwise take whatever JsonError (or
+  // nobody) stamped into the sink on this thread.
+  StatusCode code = status.code();
+  if (code == StatusCode::kOk && t_query.id == id) code = t_query.status;
+  if (t_query.id == id) {
+    rec.queue_ms = t_query.queue_ms;
+    rec.exec_ms = t_query.exec_ms;
+    rec.version = t_query.version;
+    rec.cached = t_query.cached;
+  }
+  rec.total_ms = static_cast<double>(now - rec.start_us) / 1e3;
+  rec.status = code == StatusCode::kOk ? "OK" : StatusCodeToken(code);
+
+  // Per-route RED: rate, errors (keyed by status code), duration histogram
+  // plus last-observed phase gauges.
+  const std::string& route = rec.route;
+  red_.GetCounter("serving.red." + route + ".requests")->Increment();
+  if (code != StatusCode::kOk) {
+    red_.GetCounter("serving.red." + route + ".errors." + rec.status)
+        ->Increment();
+  }
+  red_.GetHistogram("serving.latency." + route,
+                    metrics::ExponentialBuckets(0.05, 2.0, 20))
+      ->Observe(rec.total_ms);
+  red_.GetGauge("serving.latency." + route + ".queue")->Set(rec.queue_ms);
+  red_.GetGauge("serving.latency." + route + ".exec")->Set(rec.exec_ms);
+  red_.GetGauge("serving.latency." + route + ".total")->Set(rec.total_ms);
+
+  if (options_.slow_query_ms > 0 &&
+      rec.total_ms >= static_cast<double>(options_.slow_query_ms)) {
+    POWERLOG_WARN << "slow query #" << rec.id << " " << rec.route << " '"
+                  << rec.key << "': " << rec.total_ms << " ms (queue "
+                  << rec.queue_ms << " ms, exec " << rec.exec_ms << " ms, "
+                  << rec.status << ")";
+  }
+  {
+    std::lock_guard<std::mutex> lock(debug_mutex_);
+    slow_.push_back(std::move(rec));
+    std::sort(slow_.begin(), slow_.end(),
+              [](const QueryRecord& a, const QueryRecord& b) {
+                return a.total_ms > b.total_ms;
+              });
+    if (slow_.size() > options_.slow_query_capacity) {
+      slow_.resize(options_.slow_query_capacity);
+    }
+  }
+  t_query = QueryPhaseSink{};
+}
+
+QueryDebugSnapshot ServingCatalog::DebugQueries() const {
+  QueryDebugSnapshot snap;
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(debug_mutex_);
+  snap.inflight.reserve(inflight_.size());
+  for (const auto& [id, rec] : inflight_) {
+    (void)id;
+    QueryRecord live = rec;
+    // Phases are still accumulating in the owning thread's sink; the only
+    // trustworthy live number is elapsed wall time.
+    live.total_ms = static_cast<double>(now - rec.start_us) / 1e3;
+    snap.inflight.push_back(std::move(live));
+  }
+  snap.slowest = slow_;
+  return snap;
+}
+
+std::string ServingCatalog::TraceJson() const {
+  if (tracer_ == nullptr) return std::string();
+  return trace::ExportChromeTrace(*tracer_);
+}
+
+void ServingCatalog::StampRunTrace(runtime::EngineOptions* engine,
+                                   const char* flow_name) {
+  if (tracer_ == nullptr) return;
+  // The engine's worker/supervisor/controller rings register on the
+  // catalog's tracer under a per-query tag, so two concurrent runs never
+  // share a single-writer ring and the engine skips its per-run export.
+  engine->trace = true;
+  engine->external_tracer = tracer_.get();
+  const int64_t tag =
+      t_query.id != 0
+          ? t_query.id
+          : next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  engine->trace_run_tag = StringFormat(".q%lld", static_cast<long long>(tag));
+  trace::EventRing* ring = trace::Tracer::Current();
+  if (ring != nullptr) {
+    // The request side of the arrow; the run's worker 0 emits the matching
+    // FlowRecv right after it registers. Only stamp the id when the send
+    // actually went out, so the trace never carries a half-open arrow.
+    const uint64_t flow = tracer_->NextFlowId();
+    ring->Emit(trace::EventType::kFlowSend, flow_name,
+               static_cast<double>(flow));
+    engine->trace_flow_id = flow;
+  }
 }
 
 Result<std::shared_ptr<Materialization>> ServingCatalog::Materialize(
@@ -258,6 +465,7 @@ Result<std::shared_ptr<Materialization>> ServingCatalog::MaterializeEntry(
   // queries against already-resident entries must not stall behind it.
   RunOptions run_options;
   run_options.engine = options_.engine;
+  StampRunTrace(&run_options.engine, "query.run");
   const int64_t t0 = NowMicros();
   auto run = PowerLog::Run(kernel, *graph, run_options);
   if (!run.ok()) return run.status();
@@ -384,6 +592,7 @@ Result<RunSummary> ServingCatalog::RunImpl(
 
   use_cache = use_cache && options_.cache_capacity > 0;
   if (use_cache) {
+    trace::SpanGuard cache_span(tracer_.get(), "serving.cache");
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = cache_index_.find(cache_key);
     if (it != cache_index_.end()) {
@@ -391,6 +600,7 @@ Result<RunSummary> ServingCatalog::RunImpl(
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
       RunSummary summary = it->second->summary;
       summary.cached = true;
+      if (t_query.id != 0) t_query.cached = true;
       return summary;
     }
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -398,12 +608,24 @@ Result<RunSummary> ServingCatalog::RunImpl(
 
   // Pin the version this run computes against; a concurrent Apply can swap
   // the head without pulling the snapshot out from under us.
-  auto resident = entry->Current();
+  auto resident = [&] {
+    trace::SpanGuard resolve_span(tracer_.get(), "serving.resolve");
+    return entry->Current();
+  }();
+  if (t_query.id != 0) t_query.version = resident->version;
 
   if (deadline_ms <= 0) deadline_ms = options_.default_deadline_ms;
   const int64_t deadline_us = NowMicros() + deadline_ms * 1000;
 
-  Status admitted = AcquireRunSlot(deadline_us);
+  const int64_t queue_t0 = NowMicros();
+  Status admitted;
+  {
+    trace::SpanGuard queue_span(tracer_.get(), "serving.queue");
+    admitted = AcquireRunSlot(deadline_us);
+  }
+  if (t_query.id != 0) {
+    t_query.queue_ms = static_cast<double>(NowMicros() - queue_t0) / 1e3;
+  }
   if (!admitted.ok()) {
     if (admitted.code() == StatusCode::kTimeout) {
       run_timeouts_.fetch_add(1, std::memory_order_relaxed);
@@ -424,8 +646,16 @@ Result<RunSummary> ServingCatalog::RunImpl(
   run_options.engine.max_wall_seconds =
       std::min(run_options.engine.max_wall_seconds, std::max(0.01, remaining_s));
 
-  auto run = PowerLog::Run(entry->kernel_, *resident->graph, run_options);
+  StampRunTrace(&run_options.engine, "query.run");
+  const int64_t exec_t0 = NowMicros();
+  auto run = [&] {
+    trace::SpanGuard exec_span(tracer_.get(), "serving.exec");
+    return PowerLog::Run(entry->kernel_, *resident->graph, run_options);
+  }();
   ReleaseRunSlot();
+  if (t_query.id != 0) {
+    t_query.exec_ms = static_cast<double>(NowMicros() - exec_t0) / 1e3;
+  }
   if (!run.ok()) return run.status();
   runs_executed_.fetch_add(1, std::memory_order_relaxed);
 
@@ -486,7 +716,15 @@ size_t ServingCatalog::size() const {
 }
 
 metrics::MetricsSnapshot ServingCatalog::Metrics() const {
-  metrics::MetricsSnapshot snap;
+  // Per-route RED instruments first (serving.red.*, serving.latency.*
+  // histograms stay strictly cumulative under concurrent snapshot), then
+  // the plain serving counters on top.
+  metrics::MetricsSnapshot snap = red_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(debug_mutex_);
+    snap.AddGauge("serving.queries.inflight",
+                  static_cast<double>(inflight_.size()));
+  }
   snap.AddCounter("serving.lookups",
                   lookups_.load(std::memory_order_relaxed));
   snap.AddCounter("serving.topk_scans",
@@ -546,6 +784,10 @@ void SplitTarget(const std::string& target, std::string* route,
 }
 
 void JsonError(const Status& status, HttpResponse* resp) {
+  // Record the outcome for the query being tracked on this thread, so
+  // FinishQuery keys the RED error counter without the handler having to
+  // hand the Status back out of every route arm.
+  if (t_query.id != 0) t_query.status = status.code();
   switch (status.code()) {
     case StatusCode::kNotFound: resp->status = 404; break;
     case StatusCode::kInvalidArgument:
@@ -694,6 +936,50 @@ Result<MutationBatch> ParseMutationBody(const std::string& body) {
   return batch;
 }
 
+void AppendQueryRecords(std::string* out,
+                        const std::vector<QueryRecord>& records) {
+  bool first = true;
+  for (const QueryRecord& r : records) {
+    if (!first) out->append(",");
+    first = false;
+    out->append(StringFormat(
+        "{\"id\":%lld,\"route\":\"%s\",\"key\":\"%s\",\"status\":\"%s\","
+        "\"version\":%llu,\"cached\":%s,\"queue_ms\":",
+        static_cast<long long>(r.id), metrics::JsonEscape(r.route).c_str(),
+        metrics::JsonEscape(r.key).c_str(),
+        metrics::JsonEscape(r.status).c_str(),
+        static_cast<unsigned long long>(r.version),
+        r.cached ? "true" : "false"));
+    AppendJsonNumber(out, r.queue_ms);
+    out->append(",\"exec_ms\":");
+    AppendJsonNumber(out, r.exec_ms);
+    out->append(",\"total_ms\":");
+    AppendJsonNumber(out, r.total_ms);
+    out->append("}");
+  }
+}
+
+/// Closes request tracking on every handler exit path. JsonError stamps the
+/// failing Status into the thread-local sink, so passing OK here still
+/// records the real outcome.
+class QueryScope {
+ public:
+  QueryScope() = default;
+  QueryScope(const QueryScope&) = delete;
+  QueryScope& operator=(const QueryScope&) = delete;
+  void Arm(ServingCatalog* catalog, int64_t id) {
+    catalog_ = catalog;
+    id_ = id;
+  }
+  ~QueryScope() {
+    if (catalog_ != nullptr) catalog_->FinishQuery(id_, Status::OK());
+  }
+
+ private:
+  ServingCatalog* catalog_ = nullptr;
+  int64_t id_ = 0;
+};
+
 }  // namespace
 
 ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog) {
@@ -734,9 +1020,36 @@ ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog) {
       return true;
     }
 
+    if (route == "/debug/queries") {
+      const QueryDebugSnapshot snap = catalog->DebugQueries();
+      std::string body = "{\"inflight\":[";
+      AppendQueryRecords(&body, snap.inflight);
+      body += "],\"slowest\":[";
+      AppendQueryRecords(&body, snap.slowest);
+      body += "]}\n";
+      JsonOk(std::move(body), resp);
+      return true;
+    }
+
     if (route != "/lookup" && route != "/topk" && route != "/run" &&
         route != "/version" && route != "/mutate") {
       return false;  // not ours — fall through to 404
+    }
+
+    // Track the query routes (query id, request span, RED instruments,
+    // /debug/queries). /version stays untracked: a metadata read with no
+    // phase structure. The scope closes tracking on every exit path.
+    QueryScope scope;
+    if (route != "/version") {
+      const char* tracked = route == "/lookup" ? "lookup"
+                            : route == "/topk" ? "topk"
+                            : route == "/run"  ? "run"
+                                               : "mutate";
+      std::string key = params["program"] + "/" + params["dataset"];
+      if (params.count("v")) key += " v=" + params["v"];
+      if (params.count("k")) key += " k=" + params["k"];
+      if (params.count("source")) key += " source=" + params["source"];
+      scope.Arm(catalog, catalog->StartQuery(tracked, std::move(key)));
     }
 
     const std::string program = params.count("program") ? params["program"] : "";

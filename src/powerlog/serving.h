@@ -52,6 +52,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/kernel.h"
 #include "graph/mutation.h"
 #include "graph/snapshot.h"
@@ -86,6 +87,46 @@ struct ServingOptions {
 
   /// Keyed full-run result cache entries (LRU). 0 disables caching.
   size_t cache_capacity = 64;
+
+  /// Query-level tracing: the catalog owns one trace::Tracer shared by every
+  /// request thread and every engine run it launches (the runs register
+  /// their worker/supervisor/controller rings on it with a per-query tag),
+  /// so one request exports as a single connected Perfetto span tree —
+  /// serving.request.* → admission/cache/exec phases → engine worker spans,
+  /// linked by a flow arrow. Off (the default) every request-path trace site
+  /// costs one branch.
+  bool trace = false;
+
+  /// Events retained per registered thread ring when `trace` is on.
+  uint32_t trace_ring_events = 1u << 16;
+
+  /// Queries slower than this (end-to-end) are logged via POWERLOG_WARN.
+  /// <= 0 disables the log line; the slow-query ring captures regardless.
+  int64_t slow_query_ms = 0;
+
+  /// Bounded ring of the N slowest recent queries kept for /debug/queries.
+  size_t slow_query_capacity = 32;
+};
+
+/// \brief One captured query for the slow-query ring and the inflight
+/// snapshot (`GET /debug/queries`): identity, phase breakdown, outcome.
+struct QueryRecord {
+  int64_t id = 0;          ///< catalog-unique query id (trace ring tag ".qN")
+  std::string route;       ///< "lookup" | "topk" | "run" | "mutate" | ...
+  std::string key;         ///< program/dataset plus the salient parameters
+  uint64_t version = 0;    ///< snapshot version the query ran against
+  std::string status;      ///< "OK" or the Status code name
+  bool cached = false;     ///< answered from the run cache
+  double queue_ms = 0.0;   ///< admission queue wait
+  double exec_ms = 0.0;    ///< engine execution (0 for resident reads)
+  double total_ms = 0.0;   ///< end-to-end, request entry to response build
+  int64_t start_us = 0;    ///< wall-clock start (NowMicros)
+};
+
+/// \brief Point-in-time view served at /debug/queries.
+struct QueryDebugSnapshot {
+  std::vector<QueryRecord> inflight;  ///< currently executing (phases tbd)
+  std::vector<QueryRecord> slowest;   ///< descending by total_ms, bounded
 };
 
 /// \brief Result of one full-run query.
@@ -242,9 +283,35 @@ class ServingCatalog {
   /// never query count.
   int64_t graph_builds() const { return registry_.builds(); }
 
-  /// Serving-plane counters (serving.* namespace), suitable for merging
+  /// Serving-plane counters (serving.* namespace) plus the per-route RED
+  /// instruments (serving.red.*, serving.latency.*), suitable for merging
   /// into the exposition server's /metrics via SetSources.
   metrics::MetricsSnapshot Metrics() const;
+
+  /// The catalog-owned query tracer, or null when `options.trace` is off.
+  /// Engine runs launched by this catalog register their rings on it.
+  trace::Tracer* tracer() const { return tracer_.get(); }
+
+  /// Chrome trace JSON across every serving-request and engine ring — the
+  /// merged query-level trace. Empty string when tracing is off. Safe to
+  /// call concurrently with traffic (ring snapshots are seqlock-validated).
+  std::string TraceJson() const;
+
+  /// /debug/queries data: currently-inflight queries plus the slowest-N
+  /// completed ones (descending by total_ms).
+  QueryDebugSnapshot DebugQueries() const;
+
+  /// Begins tracking one request on the calling thread: assigns a query id,
+  /// registers this thread's trace ring (first call per thread), opens the
+  /// request span, records the query as inflight, and arms the thread-local
+  /// phase sink that RunImpl/Apply feed. Returns the query id; pass it to
+  /// FinishQuery on the *same thread*. `route` must be a string literal.
+  int64_t StartQuery(const char* route, std::string key);
+
+  /// Completes tracking: closes the request span, moves the record from
+  /// inflight to the slow-query ring, bumps the per-route RED instruments,
+  /// and logs above the slow-query threshold.
+  void FinishQuery(int64_t id, const Status& status);
 
   const ServingOptions& options() const { return options_; }
 
@@ -273,8 +340,23 @@ class ServingCatalog {
   Status AcquireRunSlot(int64_t deadline_us);
   void ReleaseRunSlot();
 
+  /// Stamps query-level trace fields (external tracer, per-run ring tag,
+  /// flow id) onto one engine-run's options and emits the FlowSend side of
+  /// the request arrow on the calling thread's ring. No-op when tracing is
+  /// off. `flow_name` must be a string literal.
+  void StampRunTrace(runtime::EngineOptions* engine, const char* flow_name);
+
   ServingOptions options_;
   GraphSnapshotRegistry registry_;
+
+  // Query-level observability plane.
+  std::unique_ptr<trace::Tracer> tracer_;   ///< null when options_.trace off
+  std::atomic<int64_t> next_query_id_{0};
+  std::atomic<int64_t> serving_rings_{0};   ///< request-thread ring names
+  metrics::Registry red_;                   ///< per-route RED instruments
+  mutable std::mutex debug_mutex_;          ///< guards inflight_ + slow_
+  std::map<int64_t, QueryRecord> inflight_;
+  std::vector<QueryRecord> slow_;           ///< descending by total_ms
 
   mutable std::mutex entries_mutex_;  ///< guards materialisation only
   std::vector<std::shared_ptr<Materialization>> entries_;
@@ -327,9 +409,14 @@ class ServingCatalog {
 ///                                    "dst":T,"weight":W}, ...]} with op in
 ///                                    insert|delete|reweight; applies the
 ///                                    batch and re-converges incrementally
+///   GET  /debug/queries              live introspection: inflight queries +
+///                                    the slowest-N recent ones with phase
+///                                    breakdown (queue/exec/total ms)
 ///
 /// All responses are JSON. Errors map NotFound→404, InvalidArgument→400,
-/// Timeout and queue-full→503. The catalog must outlive the server.
+/// Timeout and queue-full→503. Every request is tracked through
+/// ServingCatalog::StartQuery/FinishQuery (query ids, RED metrics, request
+/// spans when tracing is on). The catalog must outlive the server.
 ExpositionServer::Handler MakeServingHandler(ServingCatalog* catalog);
 
 }  // namespace powerlog::serving

@@ -83,6 +83,10 @@ void ExportRunMetrics(const EngineStats& stats, const MessageBus& bus,
                    static_cast<double>(stats.staleness_max_lead));
     snap->AddGauge("staleness.bound",
                    static_cast<double>(stats.staleness_final_bound));
+    snap->AddGauge("straggler.identity",
+                   static_cast<double>(stats.straggler_identity));
+    snap->AddCounter("staleness.widens_suppressed",
+                     stats.staleness_widens_suppressed);
   }
   snap->AddCounter("engine.recoveries", stats.recoveries);
   snap->AddCounter("engine.checkpoints_written", stats.checkpoints_written);
@@ -180,7 +184,8 @@ class Supervisor {
     const uint32_t n = options.num_workers;
     Logger::SetThreadTag("sup");
     if (shared_->tracer != nullptr) {
-      shared_->tracer->RegisterCurrentThread("supervisor");
+      shared_->tracer->RegisterCurrentThread("supervisor" +
+                                             options.trace_run_tag);
     }
     last_beat_.assign(n, -1);
     last_change_us_.assign(n, NowMicros());
@@ -574,11 +579,19 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
   // Event tracing: one Tracer for the run; workers, supervisor, and
   // controller register their rings as their threads start. Null (the
   // default) keeps every instrumentation site at one branch, no clock reads.
+  // An injected external tracer (the serving plane's query-level tracing)
+  // takes the owned tracer's place: `tracer` stays null, so the per-run
+  // chrome_trace export and trace.dropped counter below are skipped and the
+  // owner exports the merged trace instead.
   std::unique_ptr<trace::Tracer> tracer;
   if (options_.trace) {
-    tracer = std::make_unique<trace::Tracer>(options_.trace_ring_events);
-    shared.tracer = tracer.get();
-    bus.SetTracer(tracer.get());
+    if (options_.external_tracer != nullptr) {
+      shared.tracer = options_.external_tracer;
+    } else {
+      tracer = std::make_unique<trace::Tracer>(options_.trace_ring_events);
+      shared.tracer = tracer.get();
+    }
+    bus.SetTracer(shared.tracer);
   }
   // Stale-synchronous clocks: one completed-superstep counter per worker id
   // (shared across incarnations — a respawn continues its predecessor's
@@ -593,6 +606,17 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
     shared.worker_clock = &worker_clock;
     shared.staleness_bound.store(std::max<int64_t>(options_.staleness, 0),
                                  std::memory_order_relaxed);
+  }
+  // Straggler attribution: per-worker EMA busy fraction, published at each
+  // clock bump. Allocated for the mode unconditionally — the auto-tuner
+  // needs identity even when nobody is tracing or scraping.
+  std::vector<std::atomic<double>> worker_busy;
+  if (options_.mode == ExecMode::kStaleSync) {
+    worker_busy = std::vector<std::atomic<double>>(options_.num_workers);
+    for (auto& busy : worker_busy) {
+      busy.store(0.0, std::memory_order_relaxed);
+    }
+    shared.worker_busy = &worker_busy;
   }
   // Per-worker mean-β gauges feed the convergence timeline and the live
   // exposition endpoint — and the kStaleSync auto-tuner, whose β-spread
@@ -691,6 +715,17 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
                           live_shared->staleness_blocks.load(
                               std::memory_order_relaxed));
         }
+        if (live_shared->worker_busy != nullptr) {
+          for (size_t w = 0; w < live_shared->worker_busy->size(); ++w) {
+            snap.AddGauge(StringFormat("worker.%zu.busy", w),
+                          (*live_shared->worker_busy)[w].load(
+                              std::memory_order_relaxed));
+          }
+          snap.AddGauge(
+              "straggler.identity",
+              static_cast<double>(live_shared->straggler_identity.load(
+                  std::memory_order_relaxed)));
+        }
         return snap;
       },
       [live_shared]() -> std::string {
@@ -746,6 +781,9 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
   result.stats.staleness_max_lead = shared.staleness_max_lead.load();
   if (options_.mode == ExecMode::kStaleSync) {
     result.stats.staleness_final_bound = shared.staleness_bound.load();
+    result.stats.straggler_identity = shared.straggler_identity.load();
+    result.stats.staleness_widens_suppressed =
+        shared.straggler_suppressed.load();
   }
   result.stats.recoveries = shared.recoveries.load();
   result.stats.checkpoints_written = shared.checkpoints_written.load();
@@ -814,6 +852,8 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
       occupancy.reserve(shared.trace.size());
       std::vector<metrics::MetricsSnapshot::Series> beta(
           shared.trace.front().worker_beta.size());
+      std::vector<metrics::MetricsSnapshot::Series> busy(
+          shared.trace.front().worker_busy.size());
       for (const TraceSample& s : shared.trace) {
         aggregate.emplace_back(s.seconds, s.global_aggregate);
         mass.emplace_back(s.seconds, s.pending_mass);
@@ -825,6 +865,9 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
         }
         for (size_t w = 0; w < beta.size() && w < s.worker_beta.size(); ++w) {
           beta[w].emplace_back(s.seconds, s.worker_beta[w]);
+        }
+        for (size_t w = 0; w < busy.size() && w < s.worker_busy.size(); ++w) {
+          busy[w].emplace_back(s.seconds, s.worker_busy[w]);
         }
       }
       result.metrics.AddSeries("timeline.global_aggregate",
@@ -843,6 +886,10 @@ Result<EngineResult> Engine::RunWithState(const std::vector<double>& x0,
       for (size_t w = 0; w < beta.size(); ++w) {
         result.metrics.AddSeries(StringFormat("timeline.beta.w%zu", w),
                                  std::move(beta[w]));
+      }
+      for (size_t w = 0; w < busy.size(); ++w) {
+        result.metrics.AddSeries(StringFormat("timeline.worker.w%zu.busy", w),
+                                 std::move(busy[w]));
       }
     }
   }

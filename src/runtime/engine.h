@@ -35,6 +35,9 @@
 
 namespace powerlog {
 class ExpositionServer;
+namespace trace {
+class Tracer;
+}  // namespace trace
 }  // namespace powerlog
 
 namespace powerlog::runtime {
@@ -191,6 +194,26 @@ struct EngineOptions {
   /// events drop on wrap — a trace always holds the newest window.
   uint32_t trace_ring_events = 1u << 16;
 
+  /// External tracer injection (the serving plane's query-level tracing):
+  /// when set — and `trace` is true — the engine registers its threads on
+  /// this caller-owned tracer instead of creating its own, so serving-plane
+  /// request spans and engine/worker spans share one ring registry and one
+  /// flow-id space. EngineResult::chrome_trace stays empty; the owner
+  /// exports the merged trace. The tracer must outlive Run().
+  trace::Tracer* external_tracer = nullptr;
+
+  /// Suffix appended to this run's ring names ("worker0<tag>", ...) when
+  /// `external_tracer` is set. Tracer::RegisterCurrentThread reuses rings
+  /// by name, and a ring is single-writer — concurrent runs sharing one
+  /// tracer MUST carry distinct tags or two threads would write one ring.
+  std::string trace_run_tag;
+
+  /// When nonzero (and tracing is active), the supervisor emits one
+  /// FlowRecv with this id as the run starts — the receive side of a
+  /// caller-emitted FlowSend, drawing the arrow that links a serving
+  /// request's span tree to this run's engine/worker spans in Perfetto.
+  uint64_t trace_flow_id = 0;
+
   /// Live HTTP exposition: when set, the engine attaches this run's metrics
   /// (and trace, if enabled) to the server for the duration of Run(), so
   /// `/metrics`, `/metrics.json`, and `/trace` reflect the run in flight.
@@ -264,6 +287,18 @@ struct EngineStats {
   int64_t staleness_blocks = 0;    ///< superstep-clock gate waits
   int64_t staleness_max_lead = 0;  ///< max observed fast−slow clock lead
   int64_t staleness_final_bound = 0;  ///< bound at run end (auto-tuned)
+  /// Worker id the auto-tuner flagged as a *persistent* straggler: the
+  /// minimum-superstep-clock worker (the one the gate parks everyone on)
+  /// with a saturated busy fraction, across consecutive checks. -1 when no
+  /// worker ever confirmed. Latched at the last confirmed straggler — the
+  /// drain phase dissolving the signal does not erase the attribution. A
+  /// flagged straggler means the skew is a placement problem — rebalance,
+  /// don't widen.
+  int64_t straggler_identity = -1;
+  /// Widening decisions the auto-tuner suppressed because the observed skew
+  /// was attributed to the flagged persistent straggler (widening the bound
+  /// cannot help a worker that is busy 100% of the time).
+  int64_t staleness_widens_suppressed = 0;
 
   // Fault tolerance.
   int64_t recoveries = 0;           ///< workers fenced + respawned
@@ -289,6 +324,10 @@ struct TraceSample {
   double staleness_bound = 0.0;      ///< kStaleSync: current bound s
   double staleness_skew = 0.0;       ///< kStaleSync: max−min superstep clock
   std::vector<double> worker_beta;   ///< mean adaptive β per worker
+  /// kStaleSync straggler attribution: EMA-smoothed busy (sweep+flush, i.e.
+  /// non-park) fraction of each worker's superstep wall time. Empty in the
+  /// other modes.
+  std::vector<double> worker_busy;
 };
 
 struct EngineResult {

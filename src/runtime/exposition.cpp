@@ -270,6 +270,7 @@ const char* StatusLine(int status) {
     case 400: return "400 Bad Request";
     case 404: return "404 Not Found";
     case 408: return "408 Request Timeout";
+    case 431: return "431 Request Header Fields Too Large";
     case 503: return "503 Service Unavailable";
     default: return "500 Internal Server Error";
   }
@@ -312,7 +313,10 @@ void ExpositionServer::HandleConnection(int fd) {
     raw.append(buf, static_cast<size_t>(n));
     header_end = raw.find("\r\n\r\n");
     if (header_end == std::string::npos && raw.size() > kMaxHeaderBytes) {
-      WriteResponse(fd, "400 Bad Request", "text/plain", "headers too large\n");
+      // 431, not 400: the request line may be perfectly well-formed — it is
+      // specifically the header section that blew the bound, and the
+      // distinct code lets clients/load-balancers tell the two apart.
+      WriteResponse(fd, StatusLine(431), "text/plain", "headers too large\n");
       return;
     }
   }

@@ -67,7 +67,8 @@ void TerminationController::Run() {
 
   Logger::SetThreadTag("ctl");
   if (shared_->tracer != nullptr) {
-    shared_->tracer->RegisterCurrentThread("controller");
+    shared_->tracer->RegisterCurrentThread("controller" +
+                                           options.trace_run_tag);
   }
 
   while (!shared_->stop.load(std::memory_order_acquire)) {
@@ -181,29 +182,74 @@ void TerminationController::TuneStaleness() {
         sum_beta / static_cast<double>(shared_->worker_beta->size());
     if (mean > 0.0) beta_spread = (max_beta - min_beta) / mean;
   }
+  const int64_t bound =
+      shared_->staleness_bound.load(std::memory_order_relaxed);
   int64_t skew = 0;
+  int64_t slowest = -1;
   {
     int64_t min_clock = std::numeric_limits<int64_t>::max();
     int64_t max_clock = 0;
-    for (const auto& clock : *shared_->worker_clock) {
-      const int64_t c = clock.load(std::memory_order_acquire);
-      min_clock = std::min(min_clock, c);
+    for (size_t w = 0; w < shared_->worker_clock->size(); ++w) {
+      const int64_t c =
+          (*shared_->worker_clock)[w].load(std::memory_order_acquire);
+      if (c < min_clock) {
+        min_clock = c;
+        slowest = static_cast<int64_t>(w);
+      }
       max_clock = std::max(max_clock, c);
     }
     skew = max_clock - min_clock;
   }
 
-  const int64_t bound =
-      shared_->staleness_bound.load(std::memory_order_relaxed);
+  // Straggler identity: the candidate is defined by the gate's own
+  // semantics — the minimum-clock worker is the one every fast peer parks
+  // on. Its busy fraction qualifies the attribution: a slow *saturated*
+  // worker (busy near 1 while real skew exists) is a placement problem the
+  // rebalancer can act on; a slow idle worker is blocked on something else
+  // entirely (fault, IO) and gets no flag. Only a streak across
+  // consecutive checks confirms — one noisy sample must not reclassify
+  // transient scheduling noise as a placement problem.
+  bool persistent = false;
+  if (shared_->worker_busy != nullptr && shared_->worker_busy->size() > 1 &&
+      slowest >= 0 &&
+      static_cast<size_t>(slowest) < shared_->worker_busy->size()) {
+    const double busy =
+        (*shared_->worker_busy)[slowest].load(std::memory_order_relaxed);
+    const bool candidate = skew >= std::max<int64_t>(1, bound) && busy > 0.75;
+    if (candidate && slowest == straggler_id_) {
+      ++straggler_streak_;
+    } else {
+      straggler_streak_ = candidate ? 1 : 0;
+      straggler_id_ = candidate ? slowest : -1;
+    }
+    persistent = straggler_streak_ >= 3;
+    // Latched, not live: once a worker confirms, the identity sticks until
+    // a *different* worker confirms. Attribution is for rebalancing after
+    // the run — the drain phase dissolving the dominance signal must not
+    // erase who dragged the run.
+    if (persistent) {
+      shared_->straggler_identity.store(straggler_id_,
+                                        std::memory_order_relaxed);
+    }
+  }
+
   int64_t next = bound;
   if (mass > 1.1 * prev_ema || beta_spread > 1.0) {
     // Error is accumulating faster than it drains, or the buffer policies
     // have diverged across workers: rein the fast workers in.
     next = std::max<int64_t>(1, bound / 2);
   } else if (blocked_since > 0 && skew >= bound) {
-    // The gate fired while convergence held steady — the bound, not the
-    // work, is the bottleneck. Let the fast workers run further ahead.
-    next = std::min<int64_t>(256, bound * 2);
+    if (persistent) {
+      // The skew traces to one persistently slow worker: widening lets the
+      // fast peers drift further from a worker that is already saturated —
+      // more staleness, same wall time. Hold the bound and flag the worker
+      // (straggler.identity) for rebalancing instead.
+      shared_->straggler_suppressed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The gate fired while convergence held steady — the bound, not the
+      // work, is the bottleneck. Let the fast workers run further ahead.
+      next = std::min<int64_t>(256, bound * 2);
+    }
   }
   if (next != bound) {
     shared_->staleness_bound.store(next, std::memory_order_release);

@@ -48,6 +48,10 @@ class TerminationController {
   /// (the gate, not the work, is the bottleneck); tightens it when pending
   /// mass rises above its EMA or the per-worker β spread blows out
   /// (staleness is letting unapplied error pile up). Clamped to [1, 256].
+  /// Straggler-aware: when the skew traces to one *persistently* dominant
+  /// worker (busy fraction > 2× the runner-up for three consecutive
+  /// checks), widening is suppressed — more staleness cannot speed up a
+  /// saturated worker — and the identity is published for rebalancing.
   void TuneStaleness();
 
   SharedState* shared_;
@@ -55,6 +59,8 @@ class TerminationController {
   // TuneStaleness state.
   double mass_ema_ = -1.0;
   int64_t tuner_prev_blocks_ = 0;
+  int64_t straggler_id_ = -1;   ///< current dominance-streak candidate
+  int straggler_streak_ = 0;    ///< consecutive checks the candidate held
 };
 
 }  // namespace powerlog::runtime

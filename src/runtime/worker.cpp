@@ -80,6 +80,12 @@ void RecordTraceSample(SharedState* shared) {
       sample.worker_beta.push_back(beta.load(std::memory_order_relaxed));
     }
   }
+  if (shared->worker_busy != nullptr) {
+    sample.worker_busy.reserve(shared->worker_busy->size());
+    for (const auto& busy : *shared->worker_busy) {
+      sample.worker_busy.push_back(busy.load(std::memory_order_relaxed));
+    }
+  }
   // Mirror the timeline onto the sampling thread's event ring as Perfetto
   // counter tracks, so the trace view shows convergence progress alongside
   // the spans.
@@ -240,12 +246,22 @@ void Worker::Run() {
   if (shared_->tracer != nullptr) {
     // Each incarnation gets its own ring: a fenced-but-still-unwinding
     // zombie may emit its last span-end events while the respawn runs, and
-    // the ring is single-writer.
+    // the ring is single-writer. The run tag keeps concurrent runs sharing
+    // one injected tracer (the serving plane) from colliding on ring names.
     std::string ring = StringFormat("worker%u", id_);
     if (incarnation_ > 0) {
       ring += StringFormat(".r%lld", static_cast<long long>(incarnation_));
     }
-    shared_->tracer->RegisterCurrentThread(ring);
+    ring += shared_->options->trace_run_tag;
+    trace::EventRing* own = shared_->tracer->RegisterCurrentThread(ring);
+    if (own != nullptr && id_ == 0 && incarnation_ == 0 &&
+        shared_->options->trace_flow_id != 0) {
+      // Receive side of the serving plane's request arrow: the caller
+      // emitted a FlowSend with this id around Engine::Run, so Perfetto
+      // draws request span tree → this run's worker spans as one tree.
+      own->Emit(trace::EventType::kFlowRecv, "query.run",
+                static_cast<double>(shared_->options->trace_flow_id));
+    }
   }
   switch (shared_->options->mode) {
     case ExecMode::kSync:
@@ -1025,12 +1041,20 @@ void Worker::RunStaleSync() {
   // clocks agree — every worker is parked between supersteps with flushed
   // buffers and an absorbed wire).
   auto& clock = (*shared_->worker_clock)[id_];
+  // Straggler attribution: busy = the work phase (drain + sweep + steal +
+  // flush), idle = the park at the staleness gate. EMA-smoothed (α = 0.8,
+  // the PR-1 adaptation constant) so one noisy superstep cannot flip the
+  // tuner's identity reading.
+  const bool account_busy = shared_->worker_busy != nullptr;
+  double busy_ema = 0.0;
   while (!shared_->stop.load(std::memory_order_acquire)) {
     trace::SpanGuard superstep_span(tracer_, "superstep");
     if (!CheckControl()) return;
     MaybeStall();
+    const int64_t step_start_us = account_busy ? NowMicros() : 0;
     if (!WaitForSlowest()) return;
     if (shared_->stop.load(std::memory_order_acquire)) break;
+    const int64_t work_start_us = account_busy ? NowMicros() : 0;
     DrainInbox();
 
     scan_abs_sum_ = 0.0;
@@ -1056,6 +1080,18 @@ void Worker::RunStaleSync() {
       const double mean = scan_abs_sum_ / static_cast<double>(scan_count_);
       priority_ema_ =
           priority_ema_ == 0.0 ? mean : 0.7 * priority_ema_ + 0.3 * mean;
+    }
+    if (account_busy) {
+      const int64_t now = NowMicros();
+      const int64_t total = now - step_start_us;
+      if (total > 0) {
+        const double frac = static_cast<double>(now - work_start_us) /
+                            static_cast<double>(total);
+        busy_ema = busy_ema == 0.0 ? frac : 0.8 * busy_ema + 0.2 * frac;
+        (*shared_->worker_busy)[id_].store(busy_ema,
+                                           std::memory_order_relaxed);
+        trace::CounterSample(tracer_, "worker.busy", busy_ema);
+      }
     }
     clock.fetch_add(1, std::memory_order_acq_rel);
 

@@ -171,6 +171,19 @@ struct SharedState {
   // otherwise.
   std::vector<std::atomic<double>>* worker_beta = nullptr;
 
+  // Straggler attribution (kStaleSync only, null elsewhere): worker_busy[w]
+  // is worker w's EMA-smoothed busy fraction of superstep wall time —
+  // (sweep + flush) / total, so park time at the staleness gate reads as
+  // idle. Published at each clock bump; the auto-tuner reads it to tell a
+  // persistently slow worker (rebalance, don't widen) from transient noise.
+  std::vector<std::atomic<double>>* worker_busy = nullptr;
+  /// Worker id the tuner currently attributes the skew to, or -1. Written
+  /// by the termination controller, read by exposition and final stats.
+  std::atomic<int64_t> straggler_identity{-1};
+  /// Widening decisions suppressed because the skew traced to the flagged
+  /// persistent straggler.
+  std::atomic<int64_t> straggler_suppressed{0};
+
   // Convergence timeline (options->record_trace): guarded by trace_mutex.
   std::mutex trace_mutex;
   std::vector<TraceSample> trace;

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,35 @@ std::string HttpGet(int port, const std::string& path) {
 std::string Body(const std::string& response) {
   const size_t pos = response.find("\r\n\r\n");
   return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+// Writes an arbitrary byte payload to 127.0.0.1:port and returns whatever
+// comes back — for requests HttpGet cannot shape (oversized headers, etc.).
+std::string HttpRaw(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t w = ::write(fd, payload.data() + off, payload.size() - off);
+    if (w <= 0) break;
+    off += static_cast<size_t>(w);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 // A weighted path 0 -> 1 -> ... -> n-1. SSSP from source s is exactly
@@ -150,6 +180,24 @@ TEST(ExpositionRestart, CustomHandlerServesAcrossRestart) {
   EXPECT_EQ(Body(HttpGet(*port, "/echo")), "echo:/echo");
   server.Stop();
   EXPECT_EQ(calls.load(), 2);
+}
+
+// Oversized header sections must draw the dedicated 431, not a generic 400:
+// the request line can be perfectly well-formed while the headers blow the
+// 16 KiB bound, and clients should be able to tell the cases apart.
+TEST(ExpositionRestart, OversizedHeadersReturn431) {
+  ExpositionServer server;
+  auto port = server.Start(0, /*handler_threads=*/2);
+  ASSERT_TRUE(port.ok());
+  std::string request = "GET /healthz HTTP/1.1\r\nX-Pad: ";
+  request.append(20 * 1024, 'a');  // never reaches \r\n\r\n inside 16 KiB
+  const std::string response = HttpRaw(*port, request);
+  EXPECT_NE(response.find("431 Request Header Fields Too Large"),
+            std::string::npos)
+      << response.substr(0, 120);
+  // A normal request right after is unaffected.
+  EXPECT_EQ(Body(HttpGet(*port, "/healthz")), "ok\n");
+  server.Stop();
 }
 
 // ---------------------------------------------------------------------------
@@ -565,6 +613,168 @@ TEST(ServingHttp, EndToEndRoutes) {
   EXPECT_NE(metrics.find("powerlog_serving_cache_hits 1"), std::string::npos)
       << metrics;
   EXPECT_NE(metrics.find("powerlog_serving_graph_builds 1"),
+            std::string::npos);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Query-level observability: request tracking, RED metrics, /debug/queries.
+
+TEST(ServingObservability, QueryTrackingRecordsPhasesAndOutcomes) {
+  serving::ServingOptions options = FastServingOptions();
+  options.slow_query_capacity = 2;  // force truncation below
+  serving::ServingCatalog catalog(options);
+  ASSERT_TRUE(
+      catalog.MaterializeSource("sssp", "chain", SsspSource(), ChainGraph(32))
+          .ok());
+
+  // A real run through the tracked path fills queue/exec/version.
+  const int64_t run_id = catalog.StartQuery("run", "sssp/chain source=3");
+  auto run = catalog.Run("sssp", "chain", 3);
+  ASSERT_TRUE(run.ok());
+  catalog.FinishQuery(run_id, Status::OK());
+
+  // An error outcome keys the RED error counter by status token.
+  const int64_t bad_id = catalog.StartQuery("lookup", "nope/chain v=1");
+  auto missing = catalog.Lookup("nope", "chain", 1);
+  catalog.FinishQuery(bad_id, missing.status());
+
+  const int64_t third_id = catalog.StartQuery("lookup", "sssp/chain v=1");
+  ASSERT_TRUE(catalog.Lookup("sssp", "chain", 1).ok());
+  catalog.FinishQuery(third_id, Status::OK());
+
+  auto debug = catalog.DebugQueries();
+  EXPECT_TRUE(debug.inflight.empty());
+  // Capacity 2 keeps the two slowest of the three, descending by total_ms.
+  ASSERT_EQ(debug.slowest.size(), 2u);
+  EXPECT_GE(debug.slowest[0].total_ms, debug.slowest[1].total_ms);
+  EXPECT_EQ(debug.slowest[0].id, run_id);  // the engine run dominates
+  EXPECT_EQ(debug.slowest[0].route, "run");
+  EXPECT_EQ(debug.slowest[0].status, "OK");
+  EXPECT_EQ(debug.slowest[0].version, 1u);
+  EXPECT_FALSE(debug.slowest[0].cached);
+  EXPECT_GT(debug.slowest[0].exec_ms, 0.0);
+
+  // An inflight query shows up in the snapshot until FinishQuery.
+  const int64_t open_id = catalog.StartQuery("topk", "sssp/chain k=3");
+  auto live = catalog.DebugQueries();
+  ASSERT_EQ(live.inflight.size(), 1u);
+  EXPECT_EQ(live.inflight[0].id, open_id);
+  EXPECT_EQ(live.inflight[0].route, "topk");
+  catalog.FinishQuery(open_id, Status::OK());
+  EXPECT_TRUE(catalog.DebugQueries().inflight.empty());
+
+  auto snap = catalog.Metrics();
+  int64_t run_requests = -1, lookup_requests = -1, not_found = -1;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "serving.red.run.requests") run_requests = value;
+    if (name == "serving.red.lookup.requests") lookup_requests = value;
+    if (name == "serving.red.lookup.errors.not_found") not_found = value;
+  }
+  EXPECT_EQ(run_requests, 1);
+  EXPECT_EQ(lookup_requests, 2);
+  EXPECT_EQ(not_found, 1);
+  bool found_histogram = false;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "serving.latency.run") {
+      found_histogram = true;
+      int64_t total = 0;
+      for (const int64_t c : hist.counts) total += c;
+      EXPECT_EQ(total, 1);
+    }
+  }
+  EXPECT_TRUE(found_histogram);
+}
+
+// The acceptance gate: per-route latency histograms must render strictly
+// cumulative bucket series even when the snapshot races live Observe calls.
+TEST(ServingObservability, RedHistogramCumulativeUnderConcurrentSnapshot) {
+  serving::ServingCatalog catalog(FastServingOptions());
+  // Warm-up observation on this thread so the histogram exists before the
+  // first snapshot — the race under test is Observe-vs-snapshot, not lazy
+  // registration.
+  catalog.FinishQuery(catalog.StartQuery("run", "p/d"), Status::OK());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&catalog, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t id = catalog.StartQuery("run", "p/d");
+        catalog.FinishQuery(id, Status::OK());
+      }
+    });
+  }
+
+  int64_t prev_total = 0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::string text = PrometheusText(catalog.Metrics());
+    // Walk the rendered bucket lines in order: each must carry a
+    // non-decreasing cumulative count, and _count must equal +Inf.
+    int64_t prev_bucket = 0, inf_bucket = -1, count_line = -1;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t end = text.find('\n', pos);
+      if (end == std::string::npos) end = text.size();
+      const std::string line = text.substr(pos, end - pos);
+      pos = end + 1;
+      if (line.rfind("powerlog_serving_latency_run_bucket{", 0) == 0) {
+        const int64_t value =
+            std::strtoll(line.substr(line.find("} ") + 2).c_str(), nullptr, 10);
+        ASSERT_GE(value, prev_bucket) << line;
+        prev_bucket = value;
+        if (line.find("le=\"+Inf\"") != std::string::npos) inf_bucket = value;
+      } else if (line.rfind("powerlog_serving_latency_run_count ", 0) == 0) {
+        count_line = std::strtoll(
+            line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+      }
+    }
+    if (inf_bucket >= 0) {
+      EXPECT_EQ(inf_bucket, count_line);
+      // The total observation count never moves backwards across snapshots.
+      EXPECT_GE(inf_bucket, prev_total);
+      prev_total = inf_bucket;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  EXPECT_GT(prev_total, 0);
+}
+
+TEST(ServingHttp, DebugQueriesAndRedMetricsOverHttp) {
+  serving::ServingCatalog catalog(FastServingOptions());
+  ASSERT_TRUE(
+      catalog.MaterializeSource("sssp", "chain", SsspSource(), ChainGraph(32))
+          .ok());
+  ExpositionServer server;
+  server.SetHandler(serving::MakeServingHandler(&catalog));
+  server.SetSources([&catalog] { return catalog.Metrics(); },
+                    [&catalog] { return catalog.TraceJson(); });
+  auto port = server.Start(0, /*handler_threads=*/2);
+  ASSERT_TRUE(port.ok());
+
+  EXPECT_NE(Body(HttpGet(*port, "/run?program=sssp&dataset=chain&source=3"))
+                .find("\"converged\":true"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(*port, "/lookup?program=x&dataset=chain&v=1").find("404"),
+            std::string::npos);
+
+  const std::string debug = Body(HttpGet(*port, "/debug/queries"));
+  EXPECT_NE(debug.find("\"inflight\":["), std::string::npos) << debug;
+  EXPECT_NE(debug.find("\"route\":\"run\""), std::string::npos) << debug;
+  EXPECT_NE(debug.find("\"status\":\"not_found\""), std::string::npos)
+      << debug;
+  EXPECT_NE(debug.find("\"exec_ms\":"), std::string::npos) << debug;
+
+  const std::string metrics = Body(HttpGet(*port, "/metrics"));
+  EXPECT_NE(metrics.find("powerlog_serving_red_run_requests 1"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(
+      metrics.find("powerlog_serving_red_lookup_errors_not_found 1"),
+      std::string::npos);
+  EXPECT_NE(metrics.find("powerlog_serving_latency_run_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("powerlog_serving_queries_inflight"),
             std::string::npos);
   server.Stop();
 }

@@ -224,6 +224,34 @@ TEST(StaleSync, AutoTunerWidensWhenGateBinds) {
   EXPECT_GE(run->stats.staleness_final_bound, 1);
 }
 
+TEST(StaleSync, AutoTunerSuppressesWidensForPersistentStraggler) {
+  // Straggler-identity attribution: the dense shard pins worker 0's busy
+  // fraction near 1 while workers 1–2 idle at the gate, so the tuner's
+  // dominance streak must converge on worker 0 — and once the straggler is
+  // *persistent*, gate pressure must stop widening the bound (more
+  // staleness would just let the fast peers drift from a saturated worker)
+  // and count the suppression instead.
+  Kernel k = MustCompile("pagerank");
+  auto g = SkewedThreeShardGraph(9);
+  EngineOptions options = StaleBase(/*staleness=*/1);
+  options.staleness_auto = true;
+  options.epsilon_override = 1e-10;  // long run: many tuner checks
+  options.steal = false;  // stealing would offload the heavy shard and
+                          // dilute the dominance signal under test
+  options.term_check_interval_us = 200;  // frequent checks: streak confirms
+  options.buffer.kind = FlushPolicyKind::kFixed;
+  auto run = Engine(g, k, options).Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->stats.converged) << run->stats.Summary();
+  ASSERT_GT(run->stats.staleness_blocks, 0);
+  // The tuner attributed the skew to the heavy range shard's owner...
+  EXPECT_EQ(run->stats.straggler_identity, 0) << run->stats.Summary();
+  // ...and demonstrably branched on it: at least one gate-pressure check
+  // that would have widened the bound held it instead.
+  EXPECT_GT(run->stats.staleness_widens_suppressed, 0)
+      << run->stats.Summary();
+}
+
 TEST(StaleSync, WorkerBetaTimelineIsPopulated) {
   // Regression: worker-β gauges used to be allocated only when tracing or
   // exposition was on, and published only from the async-family flush

@@ -19,6 +19,9 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "datalog/catalog.h"
+#include "graph/builder.h"
+#include "powerlog/serving.h"
 #include "runtime/engine.h"
 #include "runtime/exposition.h"
 #include "test_util.h"
@@ -490,6 +493,90 @@ TEST(Exposition, ServesHealthzAndDetachedStates) {
   server.Stop();
   server.Stop();  // idempotent
   EXPECT_TRUE(HttpGet(*port, "/healthz").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Serving-plane tracing: one HTTP /run renders as a single connected span
+// tree — request span + admission/queue/exec phases on the handler thread's
+// ring, the engine's worker/supervisor rings under a per-query tag, and a
+// query.run flow arrow linking the two planes.
+
+TEST(ServingTrace, HttpRunExportsConnectedSpanTree) {
+  serving::ServingOptions options;
+  options.engine.num_workers = 2;
+  options.engine.network.instant = true;
+  options.engine.mode = runtime::ExecMode::kSync;
+  options.trace = true;
+
+  serving::ServingCatalog catalog(options);
+  auto sssp = datalog::GetCatalogEntry("sssp");
+  ASSERT_TRUE(sssp.ok());
+  GraphBuilder b;
+  b.EnsureVertices(32);
+  for (VertexId v = 0; v + 1 < 32; ++v) b.AddEdge(v, v + 1, 1.0);
+  ASSERT_TRUE(catalog
+                  .MaterializeSource(
+                      "sssp", "chain", sssp->source,
+                      std::move(b).Build(GraphBuilder::Options{}).ValueOrDie())
+                  .ok());
+
+  ExpositionServer server;
+  server.SetHandler(serving::MakeServingHandler(&catalog));
+  server.SetSources([&catalog] { return catalog.Metrics(); },
+                    [&catalog] { return catalog.TraceJson(); });
+  auto port = server.Start(0, /*handler_threads=*/2);
+  ASSERT_TRUE(port.ok());
+
+  // One real engine run through the HTTP front door (nocache: it must
+  // execute, not answer from the result cache).
+  const std::string run = Body(
+      HttpGet(*port, "/run?program=sssp&dataset=chain&source=1&nocache=1"));
+  EXPECT_NE(run.find("\"converged\":true"), std::string::npos) << run;
+
+  const std::string trace = Body(HttpGet(*port, "/trace"));
+  server.Stop();
+  ASSERT_NE(trace.find("traceEvents"), std::string::npos);
+  auto doc = metrics::JsonValue::Parse(trace);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  CheckWellNested(*doc);
+
+  std::set<std::string> span_names, ring_names;
+  std::set<double> run_flow_sends, run_flow_recvs;
+  for (const auto& e : doc->Find("traceEvents")->array()) {
+    const std::string& ph = e.Find("ph")->string_value();
+    if (ph == "B") span_names.insert(e.Find("name")->string_value());
+    if (ph == "M" && e.Find("name")->string_value() == "thread_name") {
+      ring_names.insert(e.Find("args")->Find("name")->string_value());
+    }
+    if (ph == "s" && e.Find("name")->string_value() == "query.run") {
+      run_flow_sends.insert(e.Find("id")->number());
+    }
+    if (ph == "f" && e.Find("name")->string_value() == "query.run") {
+      run_flow_recvs.insert(e.Find("id")->number());
+    }
+  }
+  // The serving-side request phases...
+  EXPECT_TRUE(span_names.count("serving.request.run"))
+      << trace.substr(0, 400);
+  EXPECT_TRUE(span_names.count("serving.queue"));
+  EXPECT_TRUE(span_names.count("serving.exec"));
+  // ...and the engine plane in the same export, under per-query ring tags.
+  bool saw_serving_ring = false, saw_tagged_worker = false;
+  for (const auto& name : ring_names) {
+    if (name.rfind("serving.h", 0) == 0) saw_serving_ring = true;
+    if (name.rfind("worker", 0) == 0 &&
+        name.find(".q") != std::string::npos) {
+      saw_tagged_worker = true;
+    }
+  }
+  EXPECT_TRUE(saw_serving_ring);
+  EXPECT_TRUE(saw_tagged_worker);
+  // The request arrow: a query.run send matched by a worker-side receive.
+  bool matched = false;
+  for (double id : run_flow_sends) {
+    if (run_flow_recvs.count(id)) matched = true;
+  }
+  EXPECT_TRUE(matched) << "serving FlowSend never met the worker FlowRecv";
 }
 
 // End-to-end smoke: scrape a *live* async run. A hang fault keeps worker 0
